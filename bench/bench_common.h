@@ -1,0 +1,62 @@
+// Shared helpers for the bench binaries. Every bench regenerates one
+// table/figure of the paper; they share the testbed construction and
+// iterate browsers one at a time so flow stores can be dropped between
+// browsers (15 full crawls held at once would be gigabytes).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+
+namespace panoptes::bench {
+
+// Site budget: the paper's 1000, reducible for quick runs via
+// PANOPTES_SITES.
+inline int SiteBudget(int fallback = 1000) {
+  const char* env = std::getenv("PANOPTES_SITES");
+  if (env == nullptr) return fallback;
+  int value = std::atoi(env);
+  return value > 0 ? value : fallback;
+}
+
+inline core::FrameworkOptions DefaultOptions() {
+  core::FrameworkOptions options;
+  int budget = SiteBudget();
+  options.catalog.popular_count = budget / 2;
+  options.catalog.sensitive_count = budget - budget / 2;
+  return options;
+}
+
+inline std::vector<const web::Site*> AllSites(
+    const core::Framework& framework) {
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) {
+    sites.push_back(&site);
+  }
+  return sites;
+}
+
+// Runs the crawl for every browser in Table 1 order, invoking
+// `consume` with each result before its stores are destroyed.
+inline void ForEachBrowserCrawl(
+    core::Framework& framework, const std::vector<const web::Site*>& sites,
+    const core::CrawlOptions& options,
+    const std::function<void(const core::CrawlResult&)>& consume) {
+  for (const auto& spec : browser::AllBrowserSpecs()) {
+    auto result = core::RunCrawl(framework, spec, sites, options);
+    consume(result);
+  }
+}
+
+inline void PrintHeader(const char* experiment, const char* claim) {
+  std::printf("=== %s ===\n", experiment);
+  std::printf("paper: %s\n\n", claim);
+}
+
+}  // namespace panoptes::bench

@@ -1,0 +1,89 @@
+// Countermeasure evaluation (paper §4 / related work NoMoAds, ReCon,
+// OS-level filterlists): a network-interface blocker built on the
+// Panoptes taint split. For each browser, crawl with and without the
+// blocker and measure: native tracker flows that survive, history
+// reports received by vendors, and whether pages still load.
+#include "analysis/historyleak.h"
+#include "analysis/hostslist.h"
+#include "analysis/report.h"
+#include "bench_common.h"
+#include "core/blocker.h"
+
+using namespace panoptes;
+
+namespace {
+
+struct Measurement {
+  uint64_t native_ad_flows_ok = 0;   // tracker calls that reached servers
+  uint64_t history_reports = 0;      // sba + wup full-URL reports received
+  double page_success = 0;
+};
+
+Measurement RunOne(bool with_blocker, const char* browser_name) {
+  core::FrameworkOptions options = bench::DefaultOptions();
+  options.catalog.popular_count = 40;
+  options.catalog.sensitive_count = 0;
+  core::Framework framework(options);
+
+  auto hosts_list = std::make_shared<analysis::HostsList>(
+      analysis::HostsList::Default());
+  auto blocker = std::make_shared<core::NativeTrackerBlocker>(
+      [hosts_list](std::string_view host) {
+        return hosts_list->IsAdRelated(host);
+      });
+  blocker->BlockHost("sba.yandex.net");
+  blocker->BlockHost("wup.browser.qq.com");
+  blocker->SetEnabled(with_blocker);
+  framework.proxy().AddAddon(blocker);
+
+  auto sites = bench::AllSites(framework);
+  auto result =
+      core::RunCrawl(framework, *browser::FindSpec(browser_name), sites);
+
+  Measurement m;
+  for (const auto& flow : result.native_flows->flows()) {
+    if (hosts_list->IsAdRelated(flow.Host()) &&
+        flow.response_status < 400) {
+      ++m.native_ad_flows_ok;
+    }
+  }
+  m.history_reports = framework.vendor_world().sba_yandex->valid_reports();
+  const auto* wup = framework.vendor_world().Telemetry("wup.browser.qq.com");
+  if (wup != nullptr) m.history_reports += wup->hits();
+
+  uint64_t ok = 0;
+  for (const auto& visit : result.visits) {
+    if (visit.dom_content_loaded) ++ok;
+  }
+  m.page_success = result.visits.empty()
+                       ? 0
+                       : static_cast<double>(ok) / result.visits.size();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Countermeasure — OS-level native-tracker blocker (§4)",
+      "no published number; engine ad blockers cannot stop native "
+      "tracking — a network-layer blocker keyed on the taint split can");
+
+  analysis::TextTable table({"Browser", "Config", "Native tracker flows",
+                             "History reports at vendor", "Pages loading"});
+  for (const char* browser_name : {"Kiwi", "Edge", "Opera", "Yandex", "QQ"}) {
+    auto off = RunOne(false, browser_name);
+    auto on = RunOne(true, browser_name);
+    table.AddRow({browser_name, "unprotected",
+                  std::to_string(off.native_ad_flows_ok),
+                  std::to_string(off.history_reports),
+                  analysis::Percent(off.page_success)});
+    table.AddRow({"", "blocker on", std::to_string(on.native_ad_flows_ok),
+                  std::to_string(on.history_reports),
+                  analysis::Percent(on.page_success)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("note: engine traffic (the pages' own ads) is untouched in "
+              "native-only scope; page success stays at 100%%.\n");
+  return 0;
+}

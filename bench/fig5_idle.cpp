@@ -1,0 +1,96 @@
+// Figure 5: timeline of native requests while each browser sits idle
+// at its start page for 10 minutes.
+//
+// Paper shape: most browsers burst within the first minute (favicons,
+// thumbnails, DNS for the start page) then plateau into periodic
+// phone-homes; Opera grows linearly (news feed). §3.5 shares: Dolphin
+// sends 46% of idle natives to the Facebook Graph API, Mint 8%;
+// CocCoc 6.7% to adjust.com; Opera 21.9% to doubleclick.net and 1.7%
+// to appsflyer.
+#include "analysis/report.h"
+#include "analysis/timeline.h"
+#include "bench_common.h"
+#include "util/strings.h"
+
+using namespace panoptes;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 5 — native requests during 10 idle minutes",
+      "burst-then-plateau for most, linear for Opera; Graph API 46% "
+      "(Dolphin) / 8% (Mint); adjust 6.7% (CocCoc); doubleclick 21.9% "
+      "+ appsflyer 1.7% (Opera)");
+
+  core::FrameworkOptions options = bench::DefaultOptions();
+  options.catalog.popular_count = 10;  // idle runs never touch the web
+  options.catalog.sensitive_count = 0;
+  core::Framework framework(options);
+
+  core::IdleOptions idle_options;
+  std::vector<core::IdleResult> results;
+  for (const auto& spec : browser::AllBrowserSpecs()) {
+    results.push_back(core::RunIdle(framework, spec, idle_options));
+  }
+
+  // Cumulative counts per minute.
+  std::vector<std::string> headers = {"Browser"};
+  for (int minute = 1; minute <= 10; ++minute) {
+    headers.push_back(std::to_string(minute) + "m");
+  }
+  analysis::TextTable table(headers);
+  for (const auto& result : results) {
+    std::vector<std::string> row = {result.browser};
+    size_t buckets_per_minute = 60000 / result.bucket.millis;
+    for (int minute = 1; minute <= 10; ++minute) {
+      size_t index = minute * buckets_per_minute - 1;
+      index = std::min(index, result.cumulative_by_bucket.size() - 1);
+      row.push_back(std::to_string(result.cumulative_by_bucket[index]));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  // §3.5 destination shares.
+  analysis::TextTable shares({"Browser", "Destination", "Share", "Paper"});
+  auto add_share = [&](const char* browser, const char* host,
+                       const char* expected) {
+    for (const auto& result : results) {
+      if (result.browser != browser) continue;
+      shares.AddRow({browser, host,
+                     analysis::Percent(result.ShareToHost(host)), expected});
+    }
+  };
+  add_share("Dolphin", "graph.facebook.com", "46%");
+  add_share("Mint", "graph.facebook.com", "8%");
+  add_share("CocCoc", "app.adjust.com", "6.7%");
+  add_share("Opera", "ad.doubleclick.net", "21.9%");
+  add_share("Opera", "inapps.appsflyersdk.com", "1.7%");
+  std::printf("%s\n", shares.Render().c_str());
+
+  // Shape verification: fit both cadence models to every timeline and
+  // classify — the paper expects burst-then-plateau everywhere except
+  // Opera (linear, news feed) and the near-silent browsers.
+  analysis::TextTable shapes({"Browser", "Total", "First-minute share",
+                              "Fitted shape", "Expected"});
+  int mismatches = 0;
+  for (const auto& result : results) {
+    auto timeline =
+        analysis::AnalyzeTimeline(result.cumulative_by_bucket, result.bucket);
+    std::string expected;
+    if (result.browser == "Opera") {
+      expected = "linear";
+    } else if (result.browser == "DuckDuckGo") {
+      expected = "quiet";
+    } else {
+      expected = "burst-then-plateau";
+    }
+    std::string fitted(analysis::TimelineShapeName(timeline.shape));
+    if (fitted != expected) ++mismatches;
+    shapes.AddRow({result.browser, std::to_string(timeline.total),
+                   analysis::Percent(timeline.first_minute_share), fitted,
+                   expected});
+  }
+  std::printf("%s\n", shapes.Render().c_str());
+  std::printf("shape mismatches vs paper: %d / 15\n", mismatches);
+  return mismatches == 0 ? 0 : 1;
+}

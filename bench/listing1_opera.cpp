@@ -1,0 +1,47 @@
+// Listing 1: the native ad request Opera issues to
+// s-odx.oleads.com/api/v1/sdk_fetch, carrying the operaId, device
+// data, precise coordinates and userConsent=false.
+#include "bench_common.h"
+#include "util/json.h"
+
+using namespace panoptes;
+
+int main() {
+  bench::PrintHeader("Listing 1 — Opera's native oleads ad request",
+                     "POST s-odx.oleads.com/api/v1/sdk_fetch with "
+                     "operaId, lat/long, device data, userConsent=false");
+
+  core::FrameworkOptions options = bench::DefaultOptions();
+  options.catalog.popular_count = 3;
+  options.catalog.sensitive_count = 0;
+  core::Framework framework(options);
+
+  const auto* spec = browser::FindSpec("Opera");
+  auto sites = bench::AllSites(framework);
+  auto result = core::RunCrawl(framework, *spec, sites);
+
+  const auto& oleads = *framework.vendor_world().oleads;
+  std::printf("oleads fetches received: %llu (invalid: %llu)\n\n",
+              (unsigned long long)oleads.valid_fetches(),
+              (unsigned long long)oleads.invalid_fetches());
+
+  // Pretty-print the captured body, one key per line (ANONYMIZING the
+  // coordinates the way the paper's listing does).
+  auto json = util::Json::Parse(oleads.last_body());
+  if (!json || !json->is_object()) {
+    std::printf("no body captured!\n");
+    return 1;
+  }
+  std::printf("POST https://s-odx.oleads.com/api/v1/sdk_fetch\nbody: {\n");
+  for (const auto& [key, value] : json->as_object()) {
+    std::string rendered;
+    if (key == "latitude" || key == "longitude" || key == "countryCode") {
+      rendered = "\"ANONYMIZED\"";
+    } else {
+      rendered = value.Dump();
+    }
+    std::printf("  \"%s\": %s,\n", key.c_str(), rendered.c_str());
+  }
+  std::printf("}\n");
+  return 0;
+}

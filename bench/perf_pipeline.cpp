@@ -1,0 +1,103 @@
+// P1: micro-benchmarks of the measurement pipeline's hot paths
+// (google-benchmark). These bound the framework's own overhead: the
+// proxy + taint filter must be cheap relative to the traffic it
+// observes, or the instrument would distort the measurement.
+#include <benchmark/benchmark.h>
+
+#include "analysis/hostslist.h"
+#include "analysis/pii.h"
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+#include "net/psl.h"
+#include "net/url.h"
+#include "util/base64.h"
+
+using namespace panoptes;
+
+namespace {
+
+void BM_UrlParse(benchmark::State& state) {
+  std::string text =
+      "https://fastlane.rubiconproject.com/a/api/fastlane.json?account_id="
+      "12345&site_id=67890&zone_id=13579&size_id=15&p_pos=atf&rand=0.837";
+  for (auto _ : state) {
+    auto url = net::Url::Parse(text);
+    benchmark::DoNotOptimize(url);
+  }
+}
+BENCHMARK(BM_UrlParse);
+
+void BM_Base64RoundTrip(benchmark::State& state) {
+  std::string payload(static_cast<size_t>(state.range(0)), 'q');
+  for (auto _ : state) {
+    auto encoded = util::Base64Encode(payload);
+    auto decoded = util::Base64Decode(encoded);
+    benchmark::DoNotOptimize(decoded);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Base64RoundTrip)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_RegistrableDomain(benchmark::State& state) {
+  for (auto _ : state) {
+    auto domain = net::RegistrableDomain("a.b.tracker.example.co.uk");
+    benchmark::DoNotOptimize(domain);
+  }
+}
+BENCHMARK(BM_RegistrableDomain);
+
+void BM_HostsListLookup(benchmark::State& state) {
+  auto list = analysis::HostsList::Default();
+  for (auto _ : state) {
+    bool hit = list.IsAdRelated("fastlane.rubiconproject.com");
+    bool miss = list.IsAdRelated("static.innocent-cdn.com");
+    benchmark::DoNotOptimize(hit);
+    benchmark::DoNotOptimize(miss);
+  }
+}
+BENCHMARK(BM_HostsListLookup);
+
+void BM_PiiScanFlow(benchmark::State& state) {
+  analysis::PiiScanner scanner(device::DeviceProfile::PaperTestbed());
+  proxy::Flow flow;
+  flow.url = net::Url::MustParse(
+      "https://api.browser.yandex.ru/track?uuid=3f2b9a64-5e1c-4d7a-9b0e-"
+      "2f6c8d1a7e43&host=example.com&devtype=TABLET&manuf=Samsung&res="
+      "1200x1920&dpi=240&locale=el-GR&net=WIFI");
+  for (auto _ : state) {
+    analysis::PiiReport report;
+    scanner.ScanFlow(flow, report);
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_PiiScanFlow);
+
+// One full instrumented visit (engine + native + proxy + stores): the
+// end-to-end unit of a crawl campaign.
+void BM_InstrumentedVisit(benchmark::State& state) {
+  core::FrameworkOptions options;
+  options.catalog.popular_count = 10;
+  options.catalog.sensitive_count = 0;
+  core::Framework framework(options);
+  const auto* spec = browser::FindSpec("Edge");
+  auto& runtime = framework.PrepareBrowser(*spec);
+  proxy::FlowStore engine_store(true), native_store;
+  framework.taint_addon().SetStores(&engine_store, &native_store);
+  runtime.Startup();
+  const auto& site = framework.catalog().sites().front();
+
+  for (auto _ : state) {
+    auto outcome = runtime.Navigate(site.landing_url);
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["flows/visit"] = benchmark::Counter(
+      static_cast<double>(engine_store.size() + native_store.size()) /
+      static_cast<double>(state.iterations()));
+  framework.taint_addon().SetStores(nullptr, nullptr);
+}
+BENCHMARK(BM_InstrumentedVisit)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

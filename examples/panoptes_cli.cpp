@@ -1,0 +1,231 @@
+// panoptes_cli — the command-line face of the framework, roughly what
+// the paper's tooling exposes to an operator.
+//
+//   panoptes_cli browsers
+//   panoptes_cli crawl --browser Yandex --sites 50 [--incognito]
+//                      [--har flows.har] [--csv flows.csv]
+//   panoptes_cli idle  --browser Opera --minutes 10
+//   panoptes_cli sitelist [--out 1k.txt]
+#include <cstdio>
+#include <fstream>
+
+#include "analysis/export.h"
+#include "analysis/historyleak.h"
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "analysis/manifest.h"
+#include "analysis/timeline.h"
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+#include "proxy/har.h"
+#include "util/args.h"
+#include "web/sitelist.h"
+
+using namespace panoptes;
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: panoptes_cli <command>\n"
+               "  browsers                      list the instrumented browsers\n"
+               "  crawl --browser <name> [--sites N] [--incognito]\n"
+               "        [--har FILE] [--csv FILE]\n"
+               "  idle  --browser <name> [--minutes M]\n"
+               "  sitelist [--out FILE]         dump the crawl dataset\n"
+               "  run-manifest <FILE> [--out FILE]   execute a JSON campaign\n");
+  return 2;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+core::Framework MakeFramework(int sites) {
+  core::FrameworkOptions options;
+  options.catalog.popular_count = sites / 2;
+  options.catalog.sensitive_count = sites - sites / 2;
+  return core::Framework(options);
+}
+
+int CmdBrowsers() {
+  analysis::TextTable table({"Browser", "Version", "Package", "DNS",
+                             "Incognito", "Instrumentation"});
+  for (const auto& spec : browser::AllBrowserSpecs()) {
+    table.AddRow(
+        {spec.name, spec.version, spec.package,
+         spec.doh == browser::DohProvider::kNone ? "stub" : "DoH",
+         spec.has_incognito ? "yes" : "no",
+         spec.instrumentation == browser::Instrumentation::kCdp
+             ? "CDP"
+             : "Frida"});
+  }
+  std::printf("%s", table.Render().c_str());
+  return 0;
+}
+
+int CmdCrawl(const util::Args& args) {
+  std::string browser_name = args.OptionOr("browser", "Yandex");
+  const auto* spec = browser::FindSpec(browser_name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown browser: %s\n", browser_name.c_str());
+    return 1;
+  }
+  int site_count = static_cast<int>(args.IntOptionOr("sites", 40));
+  auto framework = MakeFramework(site_count);
+
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) sites.push_back(&site);
+
+  core::CrawlOptions crawl_options;
+  crawl_options.incognito = args.HasFlag("incognito");
+  auto result = core::RunCrawl(framework, *spec, sites, crawl_options);
+
+  auto requests = analysis::ComputeRequestStats(result);
+  auto volume = analysis::ComputeVolumeStats(result);
+  std::printf("%s: %llu engine / %llu native requests (ratio %s, native "
+              "bytes +%s)%s\n",
+              spec->name.c_str(),
+              (unsigned long long)requests.engine_requests,
+              (unsigned long long)requests.native_requests,
+              analysis::Ratio(requests.native_ratio).c_str(),
+              analysis::Percent(volume.native_extra_fraction).c_str(),
+              crawl_options.incognito ? " [incognito]" : "");
+
+  std::vector<net::Url> visited;
+  for (const auto* site : sites) visited.push_back(site->landing_url);
+  analysis::HistoryLeakDetector detector(visited);
+  for (const auto* store :
+       {result.native_flows.get(), result.engine_flows.get()}) {
+    bool engine = store == result.engine_flows.get();
+    for (const auto& leak : detector.Scan(*store, engine)) {
+      std::printf("leak -> %s [%s%s%s]\n", leak.destination_host.c_str(),
+                  std::string(LeakGranularityName(leak.granularity)).c_str(),
+                  leak.persistent_identifier ? ", persistent id" : "",
+                  leak.via_engine_injection ? ", JS injection" : "");
+    }
+  }
+
+  if (auto har_path = args.Option("har")) {
+    // Both stores concatenated into one capture, like a proxy dump.
+    proxy::FlowStore combined;
+    for (const auto& flow : result.engine_flows->flows()) combined.Add(flow);
+    for (const auto& flow : result.native_flows->flows()) combined.Add(flow);
+    if (!WriteFile(*har_path, proxy::ExportHar(combined, "panoptes_cli"))) {
+      std::fprintf(stderr, "cannot write %s\n", har_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu flows to %s\n", combined.size(),
+                har_path->c_str());
+  }
+  if (auto csv_path = args.Option("csv")) {
+    proxy::FlowStore combined;
+    for (const auto& flow : result.engine_flows->flows()) combined.Add(flow);
+    for (const auto& flow : result.native_flows->flows()) combined.Add(flow);
+    if (!WriteFile(*csv_path, analysis::FlowStoreCsv(combined))) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu flows to %s\n", combined.size(),
+                csv_path->c_str());
+  }
+  return 0;
+}
+
+int CmdIdle(const util::Args& args) {
+  std::string browser_name = args.OptionOr("browser", "Opera");
+  const auto* spec = browser::FindSpec(browser_name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown browser: %s\n", browser_name.c_str());
+    return 1;
+  }
+  auto framework = MakeFramework(4);
+  core::IdleOptions idle_options;
+  idle_options.duration =
+      util::Duration::Minutes(args.IntOptionOr("minutes", 10));
+  auto result = core::RunIdle(framework, *spec, idle_options);
+
+  auto timeline =
+      analysis::AnalyzeTimeline(result.cumulative_by_bucket, result.bucket);
+  std::printf("%s idle for %llds: %llu native requests, shape %s "
+              "(first-minute share %s)\n",
+              spec->name.c_str(),
+              (long long)(idle_options.duration.millis / 1000),
+              (unsigned long long)timeline.total,
+              std::string(analysis::TimelineShapeName(timeline.shape)).c_str(),
+              analysis::Percent(timeline.first_minute_share).c_str());
+  for (const auto& host : result.native_flows->DistinctHosts()) {
+    std::printf("  %-30s %s\n", host.c_str(),
+                analysis::Percent(result.ShareToHost(host)).c_str());
+  }
+  return 0;
+}
+
+int CmdSitelist(const util::Args& args) {
+  auto framework = MakeFramework(
+      static_cast<int>(args.IntOptionOr("sites", 1000)));
+  std::string list = web::SaveSiteList(framework.catalog());
+  if (auto out = args.Option("out")) {
+    if (!WriteFile(*out, list)) {
+      std::fprintf(stderr, "cannot write %s\n", out->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu sites to %s\n",
+                framework.catalog().sites().size(), out->c_str());
+  } else {
+    std::printf("%s", list.c_str());
+  }
+  return 0;
+}
+
+int CmdRunManifest(const util::Args& args) {
+  std::string path = args.Positional(1);
+  if (path.empty()) {
+    std::fprintf(stderr, "run-manifest needs a file\n");
+    return 2;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto manifest = analysis::Manifest::FromJson(text);
+  if (!manifest) {
+    std::fprintf(stderr, "invalid manifest: %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "running %zu entries over %d sites...\n",
+               manifest->entries.size(),
+               manifest->popular_sites + manifest->sensitive_sites);
+  auto result = analysis::RunManifest(*manifest);
+  std::string rendered = result.ToJson();
+  if (auto out_path = args.Option("out")) {
+    if (!WriteFile(*out_path, rendered)) {
+      std::fprintf(stderr, "cannot write %s\n", out_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path->c_str());
+  } else {
+    std::printf("%s\n", rendered.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = util::Args::Parse(argc, argv);
+  std::string command = args.Positional(0);
+  if (command == "browsers") return CmdBrowsers();
+  if (command == "crawl") return CmdCrawl(args);
+  if (command == "idle") return CmdIdle(args);
+  if (command == "sitelist") return CmdSitelist(args);
+  if (command == "run-manifest") return CmdRunManifest(args);
+  return Usage();
+}

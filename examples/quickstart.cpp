@@ -1,0 +1,110 @@
+// Quickstart: stand up the Panoptes testbed, crawl a handful of sites
+// with one browser, and show the engine/native split plus what the
+// browser told its vendor about the user.
+//
+//   ./build/examples/quickstart [browser-name]
+#include <cstdio>
+#include <string>
+
+#include "analysis/geoip.h"
+#include "analysis/historyleak.h"
+#include "analysis/pii.h"
+#include "analysis/report.h"
+#include "analysis/stats.h"
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+
+using namespace panoptes;
+
+int main(int argc, char** argv) {
+  std::string browser_name = argc > 1 ? argv[1] : "Yandex";
+  const browser::BrowserSpec* spec = browser::FindSpec(browser_name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown browser: %s\nknown:", browser_name.c_str());
+    for (const auto& s : browser::AllBrowserSpecs()) {
+      std::fprintf(stderr, " %s", s.name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  // A small testbed: 40 popular + 20 sensitive sites.
+  core::FrameworkOptions options;
+  options.catalog.popular_count = 40;
+  options.catalog.sensitive_count = 20;
+  core::Framework framework(options);
+
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) {
+    sites.push_back(&site);
+    if (sites.size() == 25) break;
+  }
+
+  std::printf("Panoptes quickstart — crawling %zu sites with %s %s\n\n",
+              sites.size(), spec->name.c_str(), spec->version.c_str());
+
+  auto result = core::RunCrawl(framework, *spec, sites);
+
+  auto requests = analysis::ComputeRequestStats(result);
+  auto volume = analysis::ComputeVolumeStats(result);
+  std::printf("engine requests : %llu\n",
+              (unsigned long long)requests.engine_requests);
+  std::printf("native requests : %llu\n",
+              (unsigned long long)requests.native_requests);
+  std::printf("native ratio    : %s\n",
+              analysis::Ratio(requests.native_ratio).c_str());
+  std::printf("outgoing bytes  : engine %s, native %s (+%s)\n\n",
+              analysis::Bytes(volume.engine_bytes).c_str(),
+              analysis::Bytes(volume.native_bytes).c_str(),
+              analysis::Percent(volume.native_extra_fraction).c_str());
+
+  // Who received the browsing history?
+  std::vector<net::Url> visited;
+  for (const auto* site : sites) visited.push_back(site->landing_url);
+  analysis::HistoryLeakDetector detector(visited);
+  auto native_leaks = detector.Scan(*result.native_flows);
+  auto engine_leaks = detector.Scan(*result.engine_flows,
+                                    /*engine_store=*/true);
+
+  analysis::GeoIpDb geo(framework.geo_plan().ranges());
+  if (native_leaks.empty() && engine_leaks.empty()) {
+    std::printf("no browsing-history leak detected\n");
+  }
+  for (const auto* leaks : {&native_leaks, &engine_leaks}) {
+    for (const auto& leak : *leaks) {
+      auto transfers = analysis::ClassifyTransfers(
+          leak.via_engine_injection ? *result.engine_flows
+                                    : *result.native_flows,
+          {leak.destination_host}, geo);
+      std::string where = transfers.empty()
+                              ? "?"
+                              : transfers.front().country_name +
+                                    (transfers.front().outside_eu
+                                         ? " (outside EU!)"
+                                         : " (EU)");
+      std::printf("history leak -> %s  [%s, %s, %llu reports%s%s]  %s\n",
+                  leak.destination_host.c_str(),
+                  std::string(LeakGranularityName(leak.granularity)).c_str(),
+                  leak.encoding.c_str(),
+                  (unsigned long long)leak.report_count,
+                  leak.persistent_identifier ? ", persistent id" : "",
+                  leak.via_engine_injection ? ", via JS injection" : "",
+                  where.c_str());
+    }
+  }
+
+  // What device data left the phone?
+  analysis::PiiScanner scanner(framework.device().profile());
+  auto pii = scanner.Scan(*result.native_flows);
+  std::printf("\nPII fields leaked natively: %zu\n", pii.LeakCount());
+  for (const auto& evidence : pii.evidence) {
+    std::printf("  %-15s -> %-28s %s\n",
+                std::string(PiiFieldName(evidence.field)).c_str(),
+                evidence.host.c_str(), evidence.sample.c_str());
+  }
+
+  std::printf("\ntaint leaks seen by servers: %llu (must be 0)\n",
+              (unsigned long long)framework.network().taint_leaks());
+  return 0;
+}

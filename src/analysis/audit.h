@@ -1,0 +1,56 @@
+// One-call browser audit: everything the paper measures about a
+// browser, gathered from a single crawl into one structure, plus a
+// Markdown renderer. This is the API a downstream adopter (regulator,
+// vendor QA, researcher) calls; the bench binaries print the same
+// numbers figure by figure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/geoip.h"
+#include "analysis/historyleak.h"
+#include "analysis/hostslist.h"
+#include "analysis/pii.h"
+#include "analysis/referer.h"
+#include "analysis/stats.h"
+#include "browser/spec.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+
+namespace panoptes::analysis {
+
+struct BrowserAuditReport {
+  std::string browser;
+  std::string version;
+  size_t sites_visited = 0;
+
+  RequestStats requests;       // Fig 2 row
+  VolumeStats volume;          // Fig 4 row
+  DomainStats domains;         // Fig 3 row
+  PiiReport pii;               // Table 2 row
+  std::vector<LeakFinding> native_leaks;   // §3.2
+  std::vector<LeakFinding> engine_leaks;   // §3.2 (UC-style injection)
+  std::vector<CountryShare> countries;     // §3.4
+  RefererReport referer;                   // classic engine-side channel
+  device::NetworkStackStats stack;         // pinning/QUIC accounting
+
+  bool LeaksFullUrl() const;
+  bool ContactsNonEu() const;
+};
+
+// Crawls `sites` with `spec` and assembles the report. Uses the
+// framework's device profile for the PII scan and its geo plan for the
+// country analysis.
+BrowserAuditReport AuditBrowser(core::Framework& framework,
+                                const browser::BrowserSpec& spec,
+                                const std::vector<const web::Site*>& sites,
+                                const HostsList& hosts_list,
+                                const GeoIpDb& geo);
+
+// Renders audits as a Markdown document (one section per browser plus
+// a comparison table).
+std::string RenderAuditMarkdown(
+    const std::vector<BrowserAuditReport>& reports);
+
+}  // namespace panoptes::analysis

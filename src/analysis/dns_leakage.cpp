@@ -1,0 +1,42 @@
+#include "analysis/dns_leakage.h"
+
+#include "util/strings.h"
+
+namespace panoptes::analysis {
+
+namespace {
+
+constexpr const char* kDohProviders[] = {"cloudflare-dns.com",
+                                         "dns.google"};
+
+}  // namespace
+
+DnsLeakageReport AnalyzeDnsLeakage(
+    const proxy::FlowStore& native_flows,
+    const std::set<std::string>& visited_hosts) {
+  DnsLeakageReport report;
+  for (const auto& flow : native_flows.flows()) {
+    bool is_provider = false;
+    for (const char* provider : kDohProviders) {
+      if (flow.Host() == provider) {
+        is_provider = true;
+        break;
+      }
+    }
+    if (!is_provider || flow.url.path() != "/dns-query") continue;
+
+    auto name = flow.url.QueryParam("name");
+    if (!name) continue;
+    report.uses_doh = true;
+    report.provider_host = flow.Host();
+    ++report.queries;
+    std::string lowered = util::ToLower(*name);
+    report.domains_leaked.insert(lowered);
+    if (visited_hosts.count(lowered) > 0) {
+      ++report.visited_site_lookups;
+    }
+  }
+  return report;
+}
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,88 @@
+#include "analysis/export.h"
+
+#include "util/clock.h"
+#include "util/strings.h"
+
+namespace panoptes::analysis {
+
+std::string CsvField(std::string_view value) {
+  bool needs_quoting =
+      value.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(value);
+  std::string out = "\"";
+  out += util::ReplaceAll(value, "\"", "\"\"");
+  out += "\"";
+  return out;
+}
+
+std::string RenderCsv(const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows) {
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) out += ',';
+      out += CsvField(cells[i]);
+    }
+    out += '\n';
+  };
+  append_row(header);
+  for (const auto& row : rows) append_row(row);
+  return out;
+}
+
+std::string RequestStatsCsv(const std::vector<RequestStats>& stats) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& row : stats) {
+    rows.push_back({row.browser, std::to_string(row.engine_requests),
+                    std::to_string(row.native_requests),
+                    util::FormatDouble(row.native_ratio, 4)});
+  }
+  return RenderCsv(
+      {"browser", "engine_requests", "native_requests", "native_ratio"},
+      rows);
+}
+
+std::string VolumeStatsCsv(const std::vector<VolumeStats>& stats) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& row : stats) {
+    rows.push_back({row.browser, std::to_string(row.engine_bytes),
+                    std::to_string(row.native_bytes),
+                    util::FormatDouble(row.native_extra_fraction, 4)});
+  }
+  return RenderCsv(
+      {"browser", "engine_bytes", "native_bytes", "native_extra_fraction"},
+      rows);
+}
+
+std::string DomainStatsCsv(const std::vector<DomainStats>& stats) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& row : stats) {
+    rows.push_back({row.browser, std::to_string(row.distinct_hosts),
+                    util::FormatDouble(row.third_party_fraction, 4),
+                    util::FormatDouble(row.ad_related_fraction, 4),
+                    util::Join(row.ad_hosts, ";")});
+  }
+  return RenderCsv({"browser", "distinct_hosts", "third_party_fraction",
+                    "ad_related_fraction", "ad_hosts"},
+                   rows);
+}
+
+std::string FlowStoreCsv(const proxy::FlowStore& store) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& flow : store.flows()) {
+    rows.push_back({util::FormatTimestamp(flow.time), flow.browser,
+                    std::string(proxy::TrafficOriginName(flow.origin)),
+                    std::string(net::MethodName(flow.method)),
+                    flow.url.Serialize(),
+                    std::to_string(flow.response_status),
+                    std::to_string(flow.request_bytes),
+                    std::to_string(flow.response_bytes),
+                    flow.server_ip.ToString(),
+                    flow.blocked ? "blocked" : ""});
+  }
+  return RenderCsv({"time", "browser", "origin", "method", "url", "status",
+                    "request_bytes", "response_bytes", "server_ip", "note"},
+                   rows);
+}
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,33 @@
+// CSV export of analysis results, so downstream tooling (spreadsheets,
+// pandas, gnuplot) can consume crawl output without linking the
+// library. Quoting follows RFC 4180.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/stats.h"
+#include "proxy/flowstore.h"
+
+namespace panoptes::analysis {
+
+// Quotes a single CSV field when needed (commas, quotes, newlines).
+std::string CsvField(std::string_view value);
+
+// Renders one CSV document from a header row and data rows.
+std::string RenderCsv(const std::vector<std::string>& header,
+                      const std::vector<std::vector<std::string>>& rows);
+
+// Fig 2 rows: browser, engine_requests, native_requests, native_ratio.
+std::string RequestStatsCsv(const std::vector<RequestStats>& stats);
+
+// Fig 4 rows: browser, engine_bytes, native_bytes, native_extra.
+std::string VolumeStatsCsv(const std::vector<VolumeStats>& stats);
+
+// Fig 3 rows: browser, distinct_hosts, third_party_%, ad_%.
+std::string DomainStatsCsv(const std::vector<DomainStats>& stats);
+
+// Raw flow dump: one row per flow with its classification.
+std::string FlowStoreCsv(const proxy::FlowStore& store);
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,78 @@
+#include "analysis/geoip.h"
+
+#include <algorithm>
+#include <set>
+
+namespace panoptes::analysis {
+
+GeoIpDb::GeoIpDb(std::vector<net::GeoRange> ranges)
+    : ranges_(std::move(ranges)) {}
+
+void GeoIpDb::AddRange(net::GeoRange range) {
+  ranges_.push_back(std::move(range));
+}
+
+std::optional<GeoInfo> GeoIpDb::Lookup(net::IpAddress ip) const {
+  // Longest-prefix match, like a real routing/geo table.
+  const net::GeoRange* best = nullptr;
+  for (const auto& range : ranges_) {
+    if (range.cidr.Contains(ip)) {
+      if (best == nullptr ||
+          range.cidr.prefix_len() > best->cidr.prefix_len()) {
+        best = &range;
+      }
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return GeoInfo{best->country_code, best->country_name, best->eu_member};
+}
+
+std::vector<CountryShare> CountriesContacted(const proxy::FlowStore& flows,
+                                             const GeoIpDb& db) {
+  std::map<std::string, CountryShare> by_code;
+  std::map<std::string, std::set<std::string>> hosts_by_code;
+  for (const auto& flow : flows.flows()) {
+    auto info = db.Lookup(flow.server_ip);
+    std::string code = info ? info->country_code : "??";
+    auto& share = by_code[code];
+    if (share.flows == 0) {
+      share.country_code = code;
+      share.country_name = info ? info->country_name : "unknown";
+      share.eu_member = info && info->eu_member;
+    }
+    ++share.flows;
+    hosts_by_code[code].insert(flow.Host());
+  }
+  std::vector<CountryShare> out;
+  for (auto& [code, share] : by_code) {
+    for (const auto& host : hosts_by_code[code]) {
+      share.hosts.push_back(host);
+    }
+    out.push_back(std::move(share));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CountryShare& a, const CountryShare& b) {
+              return a.flows > b.flows;
+            });
+  return out;
+}
+
+std::vector<TransferFinding> ClassifyTransfers(
+    const proxy::FlowStore& flows, const std::vector<std::string>& hosts,
+    const GeoIpDb& db) {
+  std::vector<TransferFinding> out;
+  for (const auto& host : hosts) {
+    auto matching = flows.ToHost(host);
+    if (matching.empty()) continue;
+    auto info = db.Lookup(matching.front()->server_ip);
+    TransferFinding finding;
+    finding.host = host;
+    finding.country_code = info ? info->country_code : "??";
+    finding.country_name = info ? info->country_name : "unknown";
+    finding.outside_eu = !info || !info->eu_member;
+    out.push_back(std::move(finding));
+  }
+  return out;
+}
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,184 @@
+#include "analysis/historyleak.h"
+
+#include <algorithm>
+
+#include "util/base64.h"
+#include "util/json.h"
+#include "util/strings.h"
+#include "util/uuid.h"
+
+namespace panoptes::analysis {
+
+namespace {
+
+bool IsHexToken(std::string_view value) {
+  if (value.size() < 16) return false;
+  for (char c : value) {
+    bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') ||
+               (c >= 'A' && c <= 'F');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool LooksLikeIdentifier(std::string_view value) {
+  return util::LooksLikeUuid(value) || IsHexToken(value);
+}
+
+std::string_view LeakGranularityName(LeakGranularity granularity) {
+  switch (granularity) {
+    case LeakGranularity::kFullUrl: return "full-url";
+    case LeakGranularity::kHostOnly: return "host-only";
+  }
+  return "?";
+}
+
+HistoryLeakDetector::HistoryLeakDetector(std::vector<net::Url> visited) {
+  visited_.reserve(visited.size());
+  for (const auto& url : visited) {
+    VisitedEntry entry;
+    entry.full = url.Serialize();
+    entry.base64 = util::Base64Encode(entry.full);
+    entry.host = url.host();
+    visited_hosts_.insert(entry.host);
+    visited_.push_back(std::move(entry));
+  }
+}
+
+bool HistoryLeakDetector::MatchText(std::string_view text,
+                                    const VisitedEntry& visited,
+                                    Hit& hit) const {
+  // Full URL, plain (query-parameter decoding already removed any
+  // percent-encoding).
+  if (util::Contains(text, visited.full)) {
+    hit.full_url = true;
+    hit.encoding = "plain";
+    hit.sample = std::string(text.substr(0, 96));
+    return true;
+  }
+  // Full URL, Base64.
+  if (util::Contains(text, visited.base64)) {
+    hit.full_url = true;
+    hit.encoding = "base64";
+    hit.sample = std::string(text.substr(0, 96));
+    return true;
+  }
+  // Hostname only: the bare host as a discrete value.
+  if (text == visited.host) {
+    hit.full_url = false;
+    hit.encoding = "plain";
+    hit.sample = std::string(text.substr(0, 96));
+    return true;
+  }
+  return false;
+}
+
+std::vector<LeakFinding> HistoryLeakDetector::Scan(
+    const proxy::FlowStore& flows, bool engine_store) const {
+  struct Accumulator {
+    uint64_t full_reports = 0;
+    uint64_t host_reports = 0;
+    bool persistent_identifier = false;
+    std::string identifier_sample;
+    std::string encoding;
+    std::string sample;
+  };
+  std::map<std::string, Accumulator> by_destination;
+
+  for (const auto& flow : flows.flows()) {
+    const std::string destination = flow.Host();
+    // Flows to a visited site itself are the visit, not a leak; the
+    // interesting case is a *different* destination learning the URL.
+    if (visited_hosts_.count(destination) > 0) continue;
+
+    // Candidate texts: decoded query parameter values and the body.
+    std::vector<std::pair<std::string, std::string>> candidates;
+    for (const auto& [key, value] : flow.url.QueryParams()) {
+      candidates.emplace_back(key, value);
+      if (auto decoded = util::Base64Decode(value);
+          decoded && value.size() >= 8) {
+        candidates.emplace_back(key, *decoded);
+      }
+    }
+    if (!flow.request_body.empty()) {
+      candidates.emplace_back("<body>", flow.request_body);
+      // Bodies may carry the URL percent-encoded (form posts).
+      if (flow.request_body.find('%') != std::string::npos) {
+        candidates.emplace_back("<body-decoded>",
+                                util::PercentDecode(flow.request_body));
+      }
+    }
+
+    bool flow_matched = false;
+    Hit best_hit;
+    for (const auto& visited : visited_) {
+      for (const auto& [key, text] : candidates) {
+        (void)key;
+        Hit hit;
+        if (MatchText(text, visited, hit)) {
+          flow_matched = true;
+          if (hit.full_url || best_hit.sample.empty()) best_hit = hit;
+          if (hit.full_url) break;
+        }
+      }
+      if (flow_matched && best_hit.full_url) break;
+    }
+    if (!flow_matched) continue;
+
+    auto& acc = by_destination[destination];
+    if (best_hit.full_url) {
+      ++acc.full_reports;
+    } else {
+      ++acc.host_reports;
+    }
+    if (acc.sample.empty() || best_hit.full_url) {
+      acc.encoding = best_hit.encoding;
+      acc.sample = best_hit.sample;
+    }
+
+    // Does a stable identifier accompany the report?
+    for (const auto& [key, value] : flow.url.QueryParams()) {
+      (void)key;
+      if (LooksLikeIdentifier(value)) {
+        acc.persistent_identifier = true;
+        acc.identifier_sample = value;
+      }
+    }
+    if (!flow.request_body.empty()) {
+      if (auto json = util::Json::Parse(flow.request_body);
+          json && json->is_object()) {
+        for (const auto& [key, value] : json->as_object()) {
+          (void)key;
+          if (value.is_string() && LooksLikeIdentifier(value.as_string())) {
+            acc.persistent_identifier = true;
+            acc.identifier_sample = value.as_string();
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<LeakFinding> findings;
+  for (auto& [destination, acc] : by_destination) {
+    LeakFinding finding;
+    finding.destination_host = destination;
+    finding.granularity = acc.full_reports > 0 ? LeakGranularity::kFullUrl
+                                               : LeakGranularity::kHostOnly;
+    finding.report_count = acc.full_reports + acc.host_reports;
+    finding.via_engine_injection = engine_store;
+    finding.persistent_identifier = acc.persistent_identifier;
+    finding.identifier_sample = acc.identifier_sample;
+    finding.encoding = acc.encoding;
+    finding.sample = acc.sample;
+    findings.push_back(std::move(finding));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const LeakFinding& a, const LeakFinding& b) {
+              return a.report_count > b.report_count;
+            });
+  return findings;
+}
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,75 @@
+// Browsing-history leak detection (paper §3.2).
+//
+// Given the set of URLs a crawl visited and the captured traffic, finds
+// destinations that received the visited URL — either the full URL
+// (path and query included: the content the user consumed) or just the
+// hostname — whether plainly, percent-encoded or Base64-encoded, in
+// query parameters or request bodies. Also detects when the reports
+// ride together with a persistent identifier (UUID or long hex token),
+// which is what lets a vendor track a user across Tor/VPN/IP changes.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/url.h"
+#include "proxy/flowstore.h"
+
+namespace panoptes::analysis {
+
+enum class LeakGranularity { kFullUrl, kHostOnly };
+
+std::string_view LeakGranularityName(LeakGranularity granularity);
+
+struct LeakFinding {
+  std::string destination_host;    // who received the report
+  LeakGranularity granularity = LeakGranularity::kHostOnly;
+  uint64_t report_count = 0;       // how many visits were reported
+  bool via_engine_injection = false;  // UC-style: rides tainted traffic
+  bool persistent_identifier = false; // a stable ID accompanies reports
+  std::string identifier_sample;
+  std::string encoding;            // "plain", "base64", ...
+  std::string sample;              // one example payload fragment
+};
+
+class HistoryLeakDetector {
+ public:
+  // `visited` are the URLs the campaign navigated to.
+  explicit HistoryLeakDetector(std::vector<net::Url> visited);
+
+  // Scans a flow store. `engine_store` true marks findings as
+  // injection-based (the UC case: leak rides tainted engine traffic to
+  // a non-website destination).
+  std::vector<LeakFinding> Scan(const proxy::FlowStore& flows,
+                                bool engine_store = false) const;
+
+ private:
+  struct Hit {
+    bool full_url = false;
+    std::string encoding;
+    std::string sample;
+  };
+
+  // Precomputed match targets per visited URL (serialisation and its
+  // Base64 form), so scanning is linear in the traffic volume.
+  struct VisitedEntry {
+    std::string full;
+    std::string base64;
+    std::string host;
+  };
+
+  bool MatchText(std::string_view text, const VisitedEntry& visited,
+                 Hit& hit) const;
+
+  std::vector<VisitedEntry> visited_;
+  std::set<std::string> visited_hosts_;
+};
+
+// True for values shaped like stable identifiers: UUIDs or hex tokens
+// of at least 16 characters.
+bool LooksLikeIdentifier(std::string_view value);
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,53 @@
+#include "analysis/hostslist.h"
+
+#include "util/strings.h"
+#include "web/thirdparty.h"
+
+namespace panoptes::analysis {
+
+HostsList HostsList::Default() {
+  HostsList list;
+  for (const auto& service : web::ThirdPartyPool()) {
+    if (service.kind == web::ThirdPartyKind::kAd ||
+        service.kind == web::ThirdPartyKind::kAnalytics) {
+      list.Block(service.domain);
+    }
+  }
+  // Vendor-side advertising endpoints the paper names or implies.
+  list.Block("oleads.com");              // Opera ad SDK (Listing 1)
+  list.Block("yandexadexchange.net");    // Yandex mobile ad exchange
+  list.Block("graph.facebook.com");      // Graph API (§3.5 Dolphin/Mint)
+  return list;
+}
+
+HostsList HostsList::Parse(std::string_view text) {
+  HostsList list;
+  for (const auto& raw_line : util::Split(text, '\n')) {
+    std::string_view line = util::Trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    auto fields = util::SplitNonEmpty(line, ' ');
+    if (fields.size() == 2 &&
+        (fields[0] == "0.0.0.0" || fields[0] == "127.0.0.1")) {
+      list.Block(fields[1]);
+    } else if (fields.size() == 1) {
+      list.Block(fields[0]);
+    }
+  }
+  return list;
+}
+
+void HostsList::Block(std::string_view domain) {
+  blocked_.emplace(util::ToLower(domain));
+}
+
+bool HostsList::IsAdRelated(std::string_view host) const {
+  std::string current = util::ToLower(host);
+  while (true) {
+    if (blocked_.find(current) != blocked_.end()) return true;
+    size_t dot = current.find('.');
+    if (dot == std::string::npos) return false;
+    current = current.substr(dot + 1);
+  }
+}
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,34 @@
+// Steven Black-style hosts list (paper §3.1 [25]): classifies a
+// destination as ad/analytics-related. The default list covers the
+// ad/analytics services in the third-party pool plus the vendor-side
+// advertising endpoints the paper names.
+#pragma once
+
+#include <set>
+#include <string>
+#include <string_view>
+
+namespace panoptes::analysis {
+
+class HostsList {
+ public:
+  // The bundled list (simulating the Steven Black unified list with
+  // the social/fakenews extensions the paper's classifications imply).
+  static HostsList Default();
+
+  // Parses the classic hosts-file syntax: "0.0.0.0 domain" per line,
+  // '#' comments.
+  static HostsList Parse(std::string_view text);
+
+  void Block(std::string_view domain);
+
+  // True if `host` or any of its parent domains is listed.
+  bool IsAdRelated(std::string_view host) const;
+
+  size_t size() const { return blocked_.size(); }
+
+ private:
+  std::set<std::string, std::less<>> blocked_;
+};
+
+}  // namespace panoptes::analysis

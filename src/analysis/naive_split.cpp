@@ -1,0 +1,64 @@
+#include "analysis/naive_split.h"
+
+#include "net/psl.h"
+#include "web/thirdparty.h"
+
+namespace panoptes::analysis {
+
+NaiveSplitter::NaiveSplitter(std::set<std::string> site_hosts)
+    : site_hosts_(std::move(site_hosts)) {
+  for (const auto& host : site_hosts_) {
+    site_domains_.insert(net::RegistrableDomain(host));
+  }
+}
+
+proxy::TrafficOrigin NaiveSplitter::Predict(const proxy::Flow& flow) const {
+  const std::string host = flow.Host();
+  // Heuristic 1: requests to a crawled site (or its subdomains) are
+  // engine traffic.
+  if (site_hosts_.count(host) > 0 ||
+      site_domains_.count(net::RegistrableDomain(host)) > 0) {
+    return proxy::TrafficOrigin::kEngine;
+  }
+  // Heuristic 2: well-known web third parties (ads, analytics, CDNs,
+  // fonts, social) are assumed to be page embeds.
+  if (web::IsAdOrAnalyticsDomain(host)) return proxy::TrafficOrigin::kEngine;
+  for (const auto& service : web::ThirdPartyPool()) {
+    if (net::HostMatchesDomain(host, service.domain)) {
+      return proxy::TrafficOrigin::kEngine;
+    }
+  }
+  // Everything else looks vendor-ish.
+  return proxy::TrafficOrigin::kNative;
+}
+
+void NaiveSplitter::ScoreStore(const proxy::FlowStore& flows,
+                               proxy::TrafficOrigin truth,
+                               Score& score) const {
+  for (const auto& flow : flows.flows()) {
+    ++score.total;
+    proxy::TrafficOrigin predicted = Predict(flow);
+    if (predicted == truth) {
+      ++score.correct;
+    } else if (truth == proxy::TrafficOrigin::kNative) {
+      ++score.native_as_engine;
+    } else {
+      ++score.engine_as_native;
+    }
+  }
+}
+
+NaiveSplitter::Score NaiveSplitter::Evaluate(
+    const proxy::FlowStore& engine_flows,
+    const proxy::FlowStore& native_flows) const {
+  Score score;
+  ScoreStore(engine_flows, proxy::TrafficOrigin::kEngine, score);
+  ScoreStore(native_flows, proxy::TrafficOrigin::kNative, score);
+  if (score.total > 0) {
+    score.accuracy =
+        static_cast<double>(score.correct) / static_cast<double>(score.total);
+  }
+  return score;
+}
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,49 @@
+// Baseline splitter (ablation A1).
+//
+// Tools like a bare mitmproxy, PCAPdroid or Lumen see the same per-app
+// traffic Panoptes sees but have no taint: they can only guess the
+// engine/native split from the destination. This baseline encodes the
+// natural heuristic — "requests to the visited sites and to well-known
+// web third parties are engine traffic; everything else is native" —
+// and is scored against the taint ground truth. It fails precisely on
+// the paper's most interesting traffic: browsers natively calling the
+// *same* ad-tech hosts websites embed (Kiwi, Edge→adjust, Opera→
+// doubleclick), and UC's injected engine requests to a vendor host.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "proxy/flowstore.h"
+
+namespace panoptes::analysis {
+
+class NaiveSplitter {
+ public:
+  // `site_hosts` are the crawled sites (first-party hosts).
+  explicit NaiveSplitter(std::set<std::string> site_hosts);
+
+  // Predicted origin for one flow, ignoring its taint.
+  proxy::TrafficOrigin Predict(const proxy::Flow& flow) const;
+
+  struct Score {
+    uint64_t total = 0;
+    uint64_t correct = 0;
+    uint64_t native_as_engine = 0;  // hidden tracking: the bad miss
+    uint64_t engine_as_native = 0;
+    double accuracy = 0;
+  };
+
+  // Scores predictions against taint ground truth over both stores.
+  Score Evaluate(const proxy::FlowStore& engine_flows,
+                 const proxy::FlowStore& native_flows) const;
+
+ private:
+  void ScoreStore(const proxy::FlowStore& flows,
+                  proxy::TrafficOrigin truth, Score& score) const;
+
+  std::set<std::string> site_hosts_;
+  std::set<std::string> site_domains_;  // registrable domains of sites
+};
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,183 @@
+#include "analysis/pii.h"
+
+#include "util/base64.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace panoptes::analysis {
+
+namespace {
+
+void Mark(PiiReport& report, PiiField field, const std::string& host,
+          std::string sample) {
+  report.leaked[static_cast<size_t>(field)] = true;
+  // Keep at most one evidence sample per (field, host) to bound memory.
+  for (const auto& existing : report.evidence) {
+    if (existing.field == field && existing.host == host) return;
+  }
+  report.evidence.push_back(PiiEvidence{field, host, std::move(sample)});
+}
+
+bool KeyHintContains(std::string_view key, std::string_view needle) {
+  return util::ContainsIgnoreCase(key, needle);
+}
+
+}  // namespace
+
+std::string_view PiiFieldName(PiiField field) {
+  switch (field) {
+    case PiiField::kDeviceType: return "Device Type";
+    case PiiField::kManufacturer: return "Device Manuf.";
+    case PiiField::kTimezone: return "Timezone";
+    case PiiField::kResolution: return "Resolution";
+    case PiiField::kLocalIp: return "Local IP";
+    case PiiField::kDpi: return "DPI";
+    case PiiField::kRooted: return "Rooted Status";
+    case PiiField::kLocale: return "Locale";
+    case PiiField::kCountry: return "Country";
+    case PiiField::kLocation: return "Location";
+    case PiiField::kConnectionType: return "Connection Type";
+    case PiiField::kNetworkType: return "Network Type";
+  }
+  return "?";
+}
+
+size_t PiiReport::LeakCount() const {
+  size_t count = 0;
+  for (bool flag : leaked) {
+    if (flag) ++count;
+  }
+  return count;
+}
+
+PiiScanner::PiiScanner(device::DeviceProfile profile)
+    : profile_(std::move(profile)) {}
+
+void PiiScanner::ScanText(std::string_view key_hint, std::string_view value,
+                          const std::string& host,
+                          PiiReport& report) const {
+  auto sample = [&] {
+    return std::string(key_hint) + "=" + std::string(value.substr(0, 80));
+  };
+
+  // Value-anchored detections (distinctive values: safe without keys).
+  if (value == profile_.device_type ||
+      util::EqualsIgnoreCase(value, "tablet") ||
+      util::EqualsIgnoreCase(value, "phone")) {
+    if (KeyHintContains(key_hint, "dev") || KeyHintContains(key_hint, "type") ||
+        value == profile_.device_type) {
+      Mark(report, PiiField::kDeviceType, host, sample());
+    }
+  }
+  if (value == profile_.manufacturer ||
+      (KeyHintContains(key_hint, "manuf") &&
+       util::EqualsIgnoreCase(value, profile_.manufacturer)) ||
+      (KeyHintContains(key_hint, "vendor") &&
+       util::EqualsIgnoreCase(value, profile_.manufacturer))) {
+    Mark(report, PiiField::kManufacturer, host, sample());
+  }
+  if (value == profile_.timezone) {
+    Mark(report, PiiField::kTimezone, host, sample());
+  }
+  std::string resolution = std::to_string(profile_.screen_width) + "x" +
+                           std::to_string(profile_.screen_height);
+  if (value == resolution) {
+    Mark(report, PiiField::kResolution, host, sample());
+  }
+  if (value == profile_.local_ip.ToString()) {
+    Mark(report, PiiField::kLocalIp, host, sample());
+  }
+  if (value == profile_.locale ||
+      value == util::ReplaceAll(profile_.locale, "-", "_")) {
+    Mark(report, PiiField::kLocale, host, sample());
+  }
+  std::string lat_prefix = util::FormatDouble(profile_.latitude, 2);
+  std::string lon_prefix = util::FormatDouble(profile_.longitude, 2);
+  if ((KeyHintContains(key_hint, "lat") &&
+       util::StartsWith(value, lat_prefix)) ||
+      (KeyHintContains(key_hint, "lon") &&
+       util::StartsWith(value, lon_prefix))) {
+    Mark(report, PiiField::kLocation, host, sample());
+  }
+
+  // Key-anchored detections (generic values: require a keyword).
+  if (KeyHintContains(key_hint, "dpi") &&
+      value == std::to_string(profile_.dpi)) {
+    Mark(report, PiiField::kDpi, host, sample());
+  }
+  if ((KeyHintContains(key_hint, "root") ||
+       KeyHintContains(key_hint, "jailb")) &&
+      (value == "true" || value == "false" || value == "0" ||
+       value == "1")) {
+    Mark(report, PiiField::kRooted, host, sample());
+  }
+  if ((KeyHintContains(key_hint, "country") ||
+       KeyHintContains(key_hint, "cc")) &&
+      util::EqualsIgnoreCase(value, profile_.country)) {
+    Mark(report, PiiField::kCountry, host, sample());
+  }
+  if (util::EqualsIgnoreCase(value, "metered") ||
+      util::EqualsIgnoreCase(value, "unmetered")) {
+    Mark(report, PiiField::kConnectionType, host, sample());
+  }
+  if ((KeyHintContains(key_hint, "net") ||
+       KeyHintContains(key_hint, "conn")) &&
+      (util::EqualsIgnoreCase(value, "wifi") ||
+       util::EqualsIgnoreCase(value, "cellular"))) {
+    Mark(report, PiiField::kNetworkType, host, sample());
+  }
+}
+
+void PiiScanner::ScanFlow(const proxy::Flow& flow, PiiReport& report) const {
+  const std::string host = flow.Host();
+
+  for (const auto& [key, value] : flow.url.QueryParams()) {
+    ScanText(key, value, host, report);
+    // Values may be Base64-wrapped (the paper decodes them too).
+    if (auto decoded = util::Base64Decode(value);
+        decoded && value.size() >= 8) {
+      ScanText(key, *decoded, host, report);
+    }
+  }
+
+  if (flow.request_body.empty()) return;
+  auto json = util::Json::Parse(flow.request_body);
+  if (!json || !json->is_object()) return;
+  for (const auto& [key, value] : json->as_object()) {
+    if (value.is_string()) {
+      ScanText(key, value.as_string(), host, report);
+    } else if (value.is_number()) {
+      double number = value.as_number();
+      // Exact integers print bare; keep enough precision for lat/lon.
+      std::string text = number == static_cast<int64_t>(number)
+                             ? std::to_string(static_cast<int64_t>(number))
+                             : util::FormatDouble(number, 4);
+      ScanText(key, text, host, report);
+    } else if (value.is_bool()) {
+      ScanText(key, value.as_bool() ? "true" : "false", host, report);
+    }
+  }
+
+  // Resolution split across two JSON numbers (Opera's oleads body).
+  const auto* width = json->Find("deviceScreenWidth");
+  const auto* height = json->Find("deviceScreenHeight");
+  if (width != nullptr && height != nullptr && width->is_number() &&
+      height->is_number() &&
+      static_cast<int>(width->as_number()) == profile_.screen_width &&
+      static_cast<int>(height->as_number()) == profile_.screen_height) {
+    Mark(report, PiiField::kResolution, host,
+         "deviceScreenWidth/Height=" +
+             std::to_string(profile_.screen_width) + "x" +
+             std::to_string(profile_.screen_height));
+  }
+}
+
+PiiReport PiiScanner::Scan(const proxy::FlowStore& flows) const {
+  PiiReport report;
+  for (const auto& flow : flows.flows()) {
+    ScanFlow(flow, report);
+  }
+  return report;
+}
+
+}  // namespace panoptes::analysis

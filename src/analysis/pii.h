@@ -1,0 +1,74 @@
+// PII / device-identifier extraction (paper §3.3, Table 2).
+//
+// Scans natively generated requests — URL parameters and bodies,
+// including values that only appear after Base64 decoding — for the
+// twelve device fields of Table 2, using keyword+value heuristics the
+// way the paper combines regex keyword matching with heuristics.
+// The Android version and device model are deliberately NOT tracked:
+// every vendor reports them via the User-Agent header for
+// compatibility, so the paper excludes them.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "device/profile.h"
+#include "proxy/flowstore.h"
+
+namespace panoptes::analysis {
+
+enum class PiiField {
+  kDeviceType,
+  kManufacturer,
+  kTimezone,
+  kResolution,
+  kLocalIp,
+  kDpi,
+  kRooted,
+  kLocale,
+  kCountry,
+  kLocation,
+  kConnectionType,
+  kNetworkType,
+};
+
+inline constexpr size_t kPiiFieldCount = 12;
+std::string_view PiiFieldName(PiiField field);
+
+struct PiiEvidence {
+  PiiField field = PiiField::kDeviceType;
+  std::string host;      // destination that received the value
+  std::string sample;    // "key=value" or JSON fragment
+};
+
+// Table 2 row for one browser.
+struct PiiReport {
+  std::array<bool, kPiiFieldCount> leaked{};
+  std::vector<PiiEvidence> evidence;
+
+  bool Leaks(PiiField field) const {
+    return leaked[static_cast<size_t>(field)];
+  }
+  size_t LeakCount() const;
+};
+
+class PiiScanner {
+ public:
+  explicit PiiScanner(device::DeviceProfile profile);
+
+  // Scans every flow in the store (native database).
+  PiiReport Scan(const proxy::FlowStore& flows) const;
+
+  // Scans one flow, appending evidence to `report`.
+  void ScanFlow(const proxy::Flow& flow, PiiReport& report) const;
+
+ private:
+  void ScanText(std::string_view key_hint, std::string_view value,
+                const std::string& host, PiiReport& report) const;
+
+  device::DeviceProfile profile_;
+};
+
+}  // namespace panoptes::analysis

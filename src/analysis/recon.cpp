@@ -1,0 +1,314 @@
+#include "analysis/recon.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace panoptes::analysis {
+
+namespace {
+
+bool IsNumber(std::string_view value) {
+  if (value.empty()) return false;
+  for (char c : value) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LooksLikeIpValue(std::string_view value) {
+  // Four dot-separated octets, each 0-255. Version strings such as
+  // "113.0.5672.77" also have three dots but fail the octet range.
+  int octets = 0;
+  size_t start = 0;
+  while (true) {
+    size_t dot = value.find('.', start);
+    std::string_view part = value.substr(
+        start, dot == std::string_view::npos ? std::string_view::npos
+                                             : dot - start);
+    if (part.empty() || part.size() > 3) return false;
+    int number = 0;
+    for (char c : part) {
+      if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+      number = number * 10 + (c - '0');
+    }
+    if (number > 255) return false;
+    ++octets;
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  return octets == 4;
+}
+
+bool LooksLikeResolution(std::string_view value) {
+  size_t x = value.find('x');
+  if (x == std::string_view::npos || x == 0 || x + 1 >= value.size()) {
+    return false;
+  }
+  return IsNumber(value.substr(0, x)) && IsNumber(value.substr(x + 1));
+}
+
+bool LooksLikeLocaleTag(std::string_view value) {
+  // xx-XX or xx_XX
+  if (value.size() != 5) return false;
+  char sep = value[2];
+  if (sep != '-' && sep != '_') return false;
+  return std::islower(static_cast<unsigned char>(value[0])) &&
+         std::islower(static_cast<unsigned char>(value[1])) &&
+         std::isupper(static_cast<unsigned char>(value[3])) &&
+         std::isupper(static_cast<unsigned char>(value[4]));
+}
+
+bool LooksLikeCoordinate(std::string_view value) {
+  // Signed decimal with exactly one dot and >= 2 fractional digits
+  // ("35.3387"); version strings have several dots.
+  size_t dot = value.find('.');
+  if (dot == std::string_view::npos || value.size() - dot - 1 < 2) {
+    return false;
+  }
+  if (value.find('.', dot + 1) != std::string_view::npos) return false;
+  return IsNumber(value);
+}
+
+bool LooksLikeTimezonePath(std::string_view value) {
+  size_t slash = value.find('/');
+  if (slash == std::string_view::npos || slash == 0 ||
+      slash + 1 >= value.size()) {
+    return false;
+  }
+  return std::isupper(static_cast<unsigned char>(value[0])) &&
+         std::isupper(static_cast<unsigned char>(value[slash + 1]));
+}
+
+bool IsUpperWord(std::string_view value) {
+  if (value.empty() || value.size() > 12) return false;
+  for (char c : value) {
+    if (std::isupper(static_cast<unsigned char>(c)) == 0 && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string ValueShape(std::string_view value) {
+  if (LooksLikeIpValue(value)) return "shape:ip";
+  if (LooksLikeResolution(value)) return "shape:resolution";
+  if (LooksLikeCoordinate(value)) return "shape:coordinate";
+  if (LooksLikeLocaleTag(value)) return "shape:locale";
+  if (LooksLikeTimezonePath(value)) return "shape:tzpath";
+  if (value == "true" || value == "false") return "shape:boolean";
+  if (IsUpperWord(value)) return "shape:enumword";
+  if (IsNumber(value)) return "shape:number";
+  return "shape:opaque";
+}
+
+}  // namespace
+
+std::vector<std::string> ReconClassifier::TokenizePair(
+    std::string_view key, std::string_view value) {
+  std::vector<std::string> tokens;
+  tokens.push_back("key:" + util::ToLower(key));
+  tokens.push_back(ValueShape(value));
+  // Conjunction feature: key together with the value shape carries the
+  // signal ("lat" + coordinate is telling; "price" + coordinate not).
+  tokens.push_back("pair:" + util::ToLower(key) + "|" + ValueShape(value));
+  return tokens;
+}
+
+std::vector<std::string> ReconClassifier::Tokenize(const proxy::Flow& flow) {
+  std::vector<std::string> tokens;
+  auto append = [&](std::string_view key, std::string_view value) {
+    for (auto& token : TokenizePair(key, value)) {
+      tokens.push_back(std::move(token));
+    }
+  };
+  for (const auto& [key, value] : flow.url.QueryParams()) {
+    append(key, value);
+  }
+  if (!flow.request_body.empty()) {
+    if (auto json = util::Json::Parse(flow.request_body);
+        json && json->is_object()) {
+      for (const auto& [key, value] : json->as_object()) {
+        if (value.is_string()) {
+          append(key, value.as_string());
+        } else if (value.is_number()) {
+          append(key, value.Dump());
+        } else if (value.is_bool()) {
+          append(key, value.as_bool() ? "true" : "false");
+        }
+      }
+    }
+  }
+  return tokens;
+}
+
+void ReconClassifier::Train(const std::vector<Example>& examples) {
+  for (const auto& example : examples) {
+    if (example.pii) {
+      ++pii_examples_;
+    } else {
+      ++clean_examples_;
+    }
+    for (const auto& token : example.tokens) {
+      auto& counts = token_counts_[token];
+      if (example.pii) {
+        ++counts.pii;
+        ++pii_tokens_;
+      } else {
+        ++counts.clean;
+        ++clean_tokens_;
+      }
+    }
+  }
+  trained_ = pii_examples_ > 0 && clean_examples_ > 0;
+}
+
+double ReconClassifier::Score(
+    const std::vector<std::string>& tokens) const {
+  if (!trained_) return 0.5;
+  double vocabulary = static_cast<double>(token_counts_.size()) + 1.0;
+  double log_pii = std::log(static_cast<double>(pii_examples_) /
+                            (pii_examples_ + clean_examples_));
+  double log_clean = std::log(static_cast<double>(clean_examples_) /
+                              (pii_examples_ + clean_examples_));
+  for (const auto& token : tokens) {
+    auto it = token_counts_.find(token);
+    double pii_count = it == token_counts_.end() ? 0 : it->second.pii;
+    double clean_count = it == token_counts_.end() ? 0 : it->second.clean;
+    log_pii += std::log((pii_count + 1.0) / (pii_tokens_ + vocabulary));
+    log_clean +=
+        std::log((clean_count + 1.0) / (clean_tokens_ + vocabulary));
+  }
+  // Softmax over two log-likelihoods.
+  double max_log = std::max(log_pii, log_clean);
+  double pii = std::exp(log_pii - max_log);
+  double clean = std::exp(log_clean - max_log);
+  return pii / (pii + clean);
+}
+
+std::vector<ReconClassifier::Example> GenerateTrainingCorpus(
+    const device::DeviceProfile& profile, util::Rng& rng,
+    size_t examples) {
+  auto pick = [&](std::initializer_list<const char*> options) {
+    std::vector<const char*> v(options);
+    return std::string(v[rng.NextBelow(v.size())]);
+  };
+
+  std::vector<ReconClassifier::Example> corpus;
+  corpus.reserve(examples);
+  std::string resolution = std::to_string(profile.screen_width) + "x" +
+                           std::to_string(profile.screen_height);
+
+  for (size_t i = 0; i < examples; ++i) {
+    ReconClassifier::Example example;
+    example.pii = rng.NextBool(0.5);
+
+    auto add_pair = [&](std::string_view key, std::string_view value) {
+      for (auto& token : ReconClassifier::TokenizePair(key, value)) {
+        example.tokens.push_back(std::move(token));
+      }
+    };
+
+    // Background noise in every example, shaped like real telemetry
+    // (timestamps, package names, version strings, batched blobs).
+    int noise = static_cast<int>(rng.NextBelow(4)) + 2;
+    for (int n = 0; n < noise; ++n) {
+      switch (rng.NextBelow(9)) {
+        case 0: add_pair(rng.NextToken(4), rng.NextToken(8)); break;
+        case 1: add_pair("page", std::to_string(rng.NextBelow(50))); break;
+        case 2: add_pair("session", rng.NextHex(12)); break;
+        case 3:
+          add_pair("ts", std::to_string(1680000000 + rng.NextBelow(9999999)));
+          break;
+        case 4:
+          add_pair("app", "com." + rng.NextToken(5) + "." + rng.NextToken(7));
+          break;
+        case 5: add_pair("batch", rng.NextToken(40)); break;
+        case 6:
+          add_pair("v", std::to_string(rng.NextBelow(20)) + "." +
+                            std::to_string(rng.NextBelow(9)) + "." +
+                            std::to_string(rng.NextBelow(999)));
+          break;
+        case 7:
+          // DoH lookups: the most common benign query on a phone.
+          add_pair("name", rng.NextToken(7) + ".com");
+          add_pair("type", "A");
+          break;
+        default: add_pair("host", rng.NextToken(7) + ".com"); break;
+      }
+    }
+
+    if (example.pii) {
+      switch (rng.NextBelow(9)) {
+        case 0:
+          add_pair(pick({"lip", "local_ip", "localIp", "clientip"}),
+                   profile.local_ip.ToString());
+          break;
+        case 1:
+          add_pair(pick({"res", "screen", "display", "wh"}), resolution);
+          break;
+        case 2:
+          add_pair(pick({"lat", "latitude"}),
+                   util::FormatDouble(profile.latitude, 4));
+          add_pair(pick({"lon", "lng", "longitude"}),
+                   util::FormatDouble(profile.longitude, 4));
+          break;
+        case 3:
+          add_pair(pick({"locale", "lang", "languageTag"}), profile.locale);
+          break;
+        case 4:
+          add_pair(pick({"tz", "timezone"}), profile.timezone);
+          break;
+        case 5:
+          add_pair(pick({"rooted", "is_rooted", "jailbroken"}),
+                   profile.rooted ? "true" : "false");
+          break;
+        case 6:
+          add_pair(pick({"net", "conn", "network_type"}),
+                   pick({"WIFI", "CELLULAR"}));
+          break;
+        default:
+          add_pair(pick({"devtype", "device_type"}),
+                   pick({"TABLET", "PHONE"}));
+      }
+    }
+    corpus.push_back(std::move(example));
+  }
+  return corpus;
+}
+
+double ReconEvaluation::Precision() const {
+  uint64_t denom = true_positives + false_positives;
+  return denom == 0 ? 0 : static_cast<double>(true_positives) / denom;
+}
+
+double ReconEvaluation::Recall() const {
+  uint64_t denom = true_positives + false_negatives;
+  return denom == 0 ? 0 : static_cast<double>(true_positives) / denom;
+}
+
+double ReconEvaluation::F1() const {
+  double p = Precision(), r = Recall();
+  return (p + r) == 0 ? 0 : 2 * p * r / (p + r);
+}
+
+ReconEvaluation EvaluateRecon(
+    const ReconClassifier& classifier,
+    const std::vector<ReconClassifier::Example>& examples) {
+  ReconEvaluation eval;
+  for (const auto& example : examples) {
+    bool predicted = classifier.Predict(example.tokens);
+    if (predicted && example.pii) ++eval.true_positives;
+    if (predicted && !example.pii) ++eval.false_positives;
+    if (!predicted && !example.pii) ++eval.true_negatives;
+    if (!predicted && example.pii) ++eval.false_negatives;
+  }
+  return eval;
+}
+
+}  // namespace panoptes::analysis

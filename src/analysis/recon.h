@@ -1,0 +1,94 @@
+// ReCon-style PII detector (related work [42], Ren et al., MobiSys'16).
+//
+// The paper's §4 discusses ReCon as a countermeasure: instead of
+// matching *known device values* (what PiiScanner does, and what the
+// paper's regex methodology does), ReCon trains a classifier on
+// labeled flows and recognises PII leaks by the *shape* of keys and
+// values — so it generalises to devices it has never seen. This module
+// implements that idea as a naive-Bayes classifier over key/value
+// shape features, plus a synthetic labeled-corpus generator and an
+// evaluation harness. `bench/baseline_recon` compares it against the
+// deterministic scanner.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "device/profile.h"
+#include "proxy/flow.h"
+#include "util/rng.h"
+
+namespace panoptes::analysis {
+
+class ReconClassifier {
+ public:
+  struct Example {
+    std::vector<std::string> tokens;
+    bool pii = false;
+  };
+
+  // Extracts shape features from one flow: lowercase key names and
+  // value-shape classes (ip / WxH resolution / coordinate / locale tag
+  // / tz path / boolean / enum-word / number / opaque token).
+  static std::vector<std::string> Tokenize(const proxy::Flow& flow);
+  static std::vector<std::string> TokenizePair(std::string_view key,
+                                               std::string_view value);
+
+  // Multinomial naive Bayes with Laplace smoothing.
+  void Train(const std::vector<Example>& examples);
+
+  // P(pii | tokens); 0.5 when untrained.
+  double Score(const std::vector<std::string>& tokens) const;
+
+  // A flow with no key/value material cannot leak through parameters,
+  // so empty token sets are never flagged (the Score alone would sit
+  // at the class prior).
+  // 0.55 demands positive evidence: a flow whose tokens are all
+  // class-neutral sits at the prior (~0.5) and must not be flagged.
+  static constexpr double kThreshold = 0.55;
+
+  bool Predict(const std::vector<std::string>& tokens) const {
+    return !tokens.empty() && Score(tokens) > kThreshold;
+  }
+
+  size_t vocabulary_size() const { return token_counts_.size(); }
+  bool trained() const { return trained_; }
+
+ private:
+  struct Counts {
+    uint64_t pii = 0;
+    uint64_t clean = 0;
+  };
+  std::map<std::string, Counts> token_counts_;
+  uint64_t pii_examples_ = 0;
+  uint64_t clean_examples_ = 0;
+  uint64_t pii_tokens_ = 0;
+  uint64_t clean_tokens_ = 0;
+  bool trained_ = false;
+};
+
+// Synthesises a labeled corpus: PII examples embed device fields under
+// randomly spelled keys (as different vendors would name them); clean
+// examples are ordinary telemetry/api parameters. Using a *different*
+// device profile than the evaluation device is exactly the point — the
+// classifier must generalise across devices.
+std::vector<ReconClassifier::Example> GenerateTrainingCorpus(
+    const device::DeviceProfile& profile, util::Rng& rng, size_t examples);
+
+struct ReconEvaluation {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t true_negatives = 0;
+  uint64_t false_negatives = 0;
+
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+};
+
+ReconEvaluation EvaluateRecon(const ReconClassifier& classifier,
+                              const std::vector<ReconClassifier::Example>&
+                                  examples);
+
+}  // namespace panoptes::analysis

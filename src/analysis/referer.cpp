@@ -1,0 +1,47 @@
+#include "analysis/referer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "net/psl.h"
+#include "net/url.h"
+
+namespace panoptes::analysis {
+
+RefererReport AnalyzeRefererLeakage(const proxy::FlowStore& engine_flows) {
+  RefererReport report;
+  struct PerHost {
+    uint64_t requests = 0;
+    std::set<std::string> sites;
+  };
+  std::map<std::string, PerHost> by_host;
+
+  for (const auto& flow : engine_flows.flows()) {
+    ++report.engine_requests;
+    auto referer = flow.request_headers.Get("Referer");
+    if (!referer) continue;
+    auto referer_url = net::Url::Parse(*referer);
+    if (!referer_url) continue;
+    // Third party = the destination is not same-site with the page.
+    if (net::SameSite(flow.Host(), referer_url->host())) continue;
+    ++report.leaking_requests;
+    auto& entry = by_host[flow.Host()];
+    ++entry.requests;
+    entry.sites.insert(referer_url->host());
+  }
+
+  for (auto& [host, entry] : by_host) {
+    RefererLeak leak;
+    leak.third_party_host = host;
+    leak.requests = entry.requests;
+    leak.distinct_sites = entry.sites.size();
+    report.leaks.push_back(std::move(leak));
+  }
+  std::sort(report.leaks.begin(), report.leaks.end(),
+            [](const RefererLeak& a, const RefererLeak& b) {
+              return a.requests > b.requests;
+            });
+  return report;
+}
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,67 @@
+#include "analysis/report.h"
+
+#include <algorithm>
+
+#include "util/strings.h"
+
+namespace panoptes::analysis {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i != 0) line += "  ";
+      line += cells[i];
+      line.append(widths[i] - cells[i].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = render_row(headers_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string Ratio(double value, int decimals) {
+  return util::FormatDouble(value, decimals);
+}
+
+std::string Percent(double fraction, int decimals) {
+  return util::FormatDouble(fraction * 100.0, decimals) + "%";
+}
+
+std::string Bytes(uint64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 3) {
+    value /= 1024.0;
+    ++unit;
+  }
+  return util::FormatDouble(value, unit == 0 ? 0 : 1) + " " + units[unit];
+}
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,32 @@
+// Plain-text table rendering for the bench binaries: every figure and
+// table prints through these helpers so output stays aligned and
+// greppable in bench_output.txt.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace panoptes::analysis {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment and a header separator.
+  std::string Render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// "0.392" / "39.2%" helpers.
+std::string Ratio(double value, int decimals = 3);
+std::string Percent(double fraction, int decimals = 1);
+
+// Human-readable byte count ("1.4 MB").
+std::string Bytes(uint64_t bytes);
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,54 @@
+// Traffic statistics backing Figs 2, 3 and 4.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/hostslist.h"
+#include "core/campaign.h"
+
+namespace panoptes::analysis {
+
+// Fig 2 row: request counts and the native ratio for one browser.
+struct RequestStats {
+  std::string browser;
+  uint64_t engine_requests = 0;
+  uint64_t native_requests = 0;
+  double native_ratio = 0;  // native / (native + engine)
+};
+
+RequestStats ComputeRequestStats(const core::CrawlResult& result);
+
+// Fig 4 row: outgoing (request) bytes.
+struct VolumeStats {
+  std::string browser;
+  uint64_t engine_bytes = 0;
+  uint64_t native_bytes = 0;
+  double native_extra_fraction = 0;  // native / engine ("42% extra")
+};
+
+VolumeStats ComputeVolumeStats(const core::CrawlResult& result);
+
+// Fig 3 row: classification of the distinct hosts contacted natively.
+struct DomainStats {
+  std::string browser;
+  size_t distinct_hosts = 0;
+  size_t third_party_hosts = 0;  // not owned by the browser's vendor
+  size_t ad_related_hosts = 0;   // per the hosts list
+  double third_party_fraction = 0;
+  double ad_related_fraction = 0;
+  std::vector<std::string> ad_hosts;  // the offending hosts, sorted
+};
+
+// `vendor_domains` lists the registrable domains considered first
+// party for this browser (its vendor's own estate); everything else,
+// DoH resolvers included, is third party.
+DomainStats ComputeDomainStats(const core::CrawlResult& result,
+                               const std::vector<std::string>& vendor_domains,
+                               const HostsList& hosts_list);
+
+// First-party (vendor-owned) registrable domains per browser name.
+std::vector<std::string> VendorDomainsFor(std::string_view browser_name);
+
+}  // namespace panoptes::analysis

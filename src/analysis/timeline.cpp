@@ -1,0 +1,141 @@
+#include "analysis/timeline.h"
+
+#include <cmath>
+
+namespace panoptes::analysis {
+
+namespace {
+
+double Mean(const std::vector<double>& values) {
+  double sum = 0;
+  for (double value : values) sum += value;
+  return values.empty() ? 0 : sum / static_cast<double>(values.size());
+}
+
+double RSquared(const std::vector<double>& ys,
+                const std::vector<double>& predictions) {
+  double mean = Mean(ys);
+  double ss_total = 0, ss_residual = 0;
+  for (size_t i = 0; i < ys.size(); ++i) {
+    ss_total += (ys[i] - mean) * (ys[i] - mean);
+    ss_residual += (ys[i] - predictions[i]) * (ys[i] - predictions[i]);
+  }
+  if (ss_total == 0) return 1.0;
+  return 1.0 - ss_residual / ss_total;
+}
+
+}  // namespace
+
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  LinearFit fit;
+  if (xs.size() < 2 || xs.size() != ys.size()) return fit;
+  double mx = Mean(xs), my = Mean(ys);
+  double sxx = 0, sxy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    sxy += (xs[i] - mx) * (ys[i] - my);
+  }
+  if (sxx == 0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  std::vector<double> predictions(xs.size());
+  for (size_t i = 0; i < xs.size(); ++i) {
+    predictions[i] = fit.slope * xs[i] + fit.intercept;
+  }
+  fit.r2 = RSquared(ys, predictions);
+  return fit;
+}
+
+SaturatingFit FitSaturating(const std::vector<double>& xs,
+                            const std::vector<double>& ys) {
+  SaturatingFit best;
+  best.r2 = -1e18;
+  if (xs.size() < 3 || xs.size() != ys.size()) {
+    best.r2 = 0;
+    return best;
+  }
+  // Grid over tau; for fixed tau the model y = A*f(t) + r*t is linear
+  // in (A, r) — solve the 2x2 normal equations.
+  for (double tau : {5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0, 90.0}) {
+    double s_ff = 0, s_ft = 0, s_tt = 0, s_fy = 0, s_ty = 0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      double f = 1.0 - std::exp(-xs[i] / tau);
+      double t = xs[i];
+      s_ff += f * f;
+      s_ft += f * t;
+      s_tt += t * t;
+      s_fy += f * ys[i];
+      s_ty += t * ys[i];
+    }
+    double det = s_ff * s_tt - s_ft * s_ft;
+    if (std::fabs(det) < 1e-12) continue;
+    double amplitude = (s_fy * s_tt - s_ty * s_ft) / det;
+    double rate = (s_ff * s_ty - s_ft * s_fy) / det;
+
+    std::vector<double> predictions(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i) {
+      predictions[i] =
+          amplitude * (1.0 - std::exp(-xs[i] / tau)) + rate * xs[i];
+    }
+    double r2 = RSquared(ys, predictions);
+    if (r2 > best.r2) {
+      best.amplitude = amplitude;
+      best.tau_seconds = tau;
+      best.plateau_rate = rate;
+      best.r2 = r2;
+    }
+  }
+  return best;
+}
+
+std::string_view TimelineShapeName(TimelineShape shape) {
+  switch (shape) {
+    case TimelineShape::kBurstThenPlateau: return "burst-then-plateau";
+    case TimelineShape::kLinear: return "linear";
+    case TimelineShape::kQuiet: return "quiet";
+  }
+  return "?";
+}
+
+TimelineAnalysis AnalyzeTimeline(const std::vector<uint64_t>& cumulative,
+                                 util::Duration bucket) {
+  TimelineAnalysis analysis;
+  if (cumulative.empty()) return analysis;
+  analysis.total = cumulative.back();
+
+  std::vector<double> xs(cumulative.size()), ys(cumulative.size());
+  for (size_t i = 0; i < cumulative.size(); ++i) {
+    xs[i] = static_cast<double>(i + 1) * bucket.ToSecondsF();
+    ys[i] = static_cast<double>(cumulative[i]);
+  }
+  analysis.linear = FitLinear(xs, ys);
+  analysis.saturating = FitSaturating(xs, ys);
+
+  // Share of all requests landing in the first minute.
+  size_t buckets_per_minute =
+      std::max<size_t>(1, static_cast<size_t>(60.0 / bucket.ToSecondsF()));
+  size_t index = std::min(buckets_per_minute, cumulative.size()) - 1;
+  if (analysis.total > 0) {
+    analysis.first_minute_share =
+        static_cast<double>(cumulative[index]) /
+        static_cast<double>(analysis.total);
+  }
+
+  double duration_minutes = xs.back() / 60.0;
+  if (analysis.total < 1.5 * duration_minutes || analysis.total < 6) {
+    analysis.shape = TimelineShape::kQuiet;
+  } else {
+    // A dominant early burst is the signature of the two-phase shape:
+    // the first minute holds far more than its proportional share.
+    double proportional = 1.0 / duration_minutes;
+    bool bursty = analysis.first_minute_share > 2.0 * proportional &&
+                  analysis.saturating.amplitude >
+                      0.15 * static_cast<double>(analysis.total);
+    analysis.shape = bursty ? TimelineShape::kBurstThenPlateau
+                            : TimelineShape::kLinear;
+  }
+  return analysis;
+}
+
+}  // namespace panoptes::analysis

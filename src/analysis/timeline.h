@@ -1,0 +1,58 @@
+// Idle-timeline shape analysis (Fig 5).
+//
+// The paper describes two cadence shapes: most browsers' cumulative
+// native-request count "grows exponentially within the first minute
+// ... before reaching a relative plateau", while Opera's grows
+// linearly (news feed). This module fits both models to a measured
+// cumulative timeline and classifies which one explains it better, so
+// the Fig 5 bench can *verify* the shapes instead of eyeballing them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace panoptes::analysis {
+
+struct LinearFit {
+  double slope = 0;      // requests per second
+  double intercept = 0;
+  double r2 = 0;         // coefficient of determination
+};
+
+// Ordinary least squares over (x, y) pairs; r2 = 1 for a perfect line.
+LinearFit FitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+struct SaturatingFit {
+  double amplitude = 0;    // burst size A in A*(1-exp(-t/tau)) + r*t
+  double tau_seconds = 0;
+  double plateau_rate = 0; // r, requests per second
+  double r2 = 0;
+};
+
+// Fits the paper's burst-then-plateau model with a small grid search
+// over tau; amplitude and rate are solved by least squares per tau.
+SaturatingFit FitSaturating(const std::vector<double>& xs,
+                            const std::vector<double>& ys);
+
+enum class TimelineShape { kBurstThenPlateau, kLinear, kQuiet };
+
+std::string_view TimelineShapeName(TimelineShape shape);
+
+struct TimelineAnalysis {
+  TimelineShape shape = TimelineShape::kQuiet;
+  double first_minute_share = 0;  // fraction of total within 60 s
+  LinearFit linear;
+  SaturatingFit saturating;
+  uint64_t total = 0;
+};
+
+// `cumulative` holds the cumulative request count at the end of each
+// bucket of width `bucket`.
+TimelineAnalysis AnalyzeTimeline(const std::vector<uint64_t>& cumulative,
+                                 util::Duration bucket);
+
+}  // namespace panoptes::analysis

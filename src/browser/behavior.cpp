@@ -1,0 +1,97 @@
+#include "browser/behavior.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace panoptes::browser {
+
+void NativeBehavior::OnStartup() {
+  FirePlanOnce(ctx_->spec().startup_calls);
+}
+
+void NativeBehavior::OnNavigate(const net::Url& url, bool incognito) {
+  (void)url;
+  (void)incognito;
+  for (const auto& call : ctx_->spec().per_visit_calls) {
+    // Expected `per_visit` executions: fire the integer part, then a
+    // Bernoulli trial for the fraction.
+    double expected = call.per_visit;
+    int whole = static_cast<int>(std::floor(expected));
+    for (int i = 0; i < whole; ++i) FireNativeCall(call);
+    if (ctx_->rng().NextBool(expected - whole)) FireNativeCall(call);
+  }
+}
+
+void NativeBehavior::OnPageLoaded(const net::Url& url, bool incognito) {
+  (void)url;
+  (void)incognito;
+}
+
+void NativeBehavior::OnIdleTick(util::Duration elapsed) {
+  double target = ctx_->spec().idle_cadence.ExpectedAt(elapsed);
+  while (idle_fired_ + 1.0 <= target) {
+    FireIdleRequest();
+    idle_fired_ += 1.0;
+  }
+}
+
+void NativeBehavior::FireNativeCall(const NativeCall& call) {
+  net::HttpRequest request;
+  request.method = call.post ? net::HttpMethod::kPost : net::HttpMethod::kGet;
+
+  std::string path = util::ReplaceAll(call.path, "{token}",
+                                      ctx_->rng().NextHex(12));
+  request.url = net::Url::MustParse("https://" + call.host + path);
+
+  if (call.carries_pii) ctx_->AttachPiiParams(request.url);
+
+  if (call.post) {
+    util::JsonObject body;
+    body["ts"] = static_cast<int64_t>(ctx_->clock().Now().millis / 1000);
+    body["app"] = ctx_->spec().package;
+    body["v"] = ctx_->spec().version;
+    if (call.carries_pii) ctx_->AttachPiiJson(body);
+    std::string payload = util::Json(std::move(body)).Dump();
+    // Pad batched-telemetry uploads to the planned size.
+    if (payload.size() < call.body_bytes) {
+      util::JsonObject padded_body;
+      auto parsed = util::Json::Parse(payload);
+      padded_body = parsed->as_object();
+      padded_body["batch"] = std::string(call.body_bytes - payload.size(),
+                                         'x');
+      payload = util::Json(std::move(padded_body)).Dump();
+    }
+    request.body = std::move(payload);
+    request.headers.Set("Content-Type", "application/json");
+    request.headers.Set("Content-Length",
+                        std::to_string(request.body.size()));
+  }
+  ctx_->SendNative(std::move(request));
+}
+
+void NativeBehavior::FirePlanOnce(const std::vector<NativeCall>& plan) {
+  for (const auto& call : plan) FireNativeCall(call);
+}
+
+void NativeBehavior::FireIdleRequest() {
+  const auto& destinations = ctx_->spec().idle_destinations;
+  if (destinations.empty()) return;
+  double total = 0;
+  for (const auto& dest : destinations) total += dest.weight;
+  double roll = ctx_->rng().NextDouble() * total;
+  const IdleDestination* chosen = &destinations.back();
+  for (const auto& dest : destinations) {
+    roll -= dest.weight;
+    if (roll <= 0) {
+      chosen = &dest;
+      break;
+    }
+  }
+  NativeCall call;
+  call.host = chosen->host;
+  call.path = chosen->path;
+  FireNativeCall(call);
+}
+
+}  // namespace panoptes::browser

@@ -1,0 +1,60 @@
+// Native behaviour: the traffic a browser app generates *itself*, as
+// designed by its vendor — phone-home requests, telemetry, ad SDK
+// calls, feed refreshes. This is the traffic Panoptes isolates by the
+// absence of the engine taint.
+//
+// DataDrivenBehavior executes the spec's declarative plans (startup
+// calls, per-visit calls, idle cadence); browser-specific subclasses in
+// profiles.cpp layer the paper's individual findings on top (Yandex's
+// Base64 URL reports, QQ's full-URL phone home, UC's JS injection,
+// Edge's Bing reports, Opera's Sitecheck + oleads ad request, ...).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "browser/context.h"
+#include "browser/engine.h"
+#include "browser/spec.h"
+
+namespace panoptes::browser {
+
+class NativeBehavior {
+ public:
+  explicit NativeBehavior(BrowserContext* ctx) : ctx_(ctx) {}
+  virtual ~NativeBehavior() = default;
+
+  // Cold start: fired once when the browser launches.
+  virtual void OnStartup();
+
+  // Fired for every committed navigation, before the page settles.
+  virtual void OnNavigate(const net::Url& url, bool incognito);
+
+  // Fired after DOMContentLoaded (UC's injected snippet runs here, in
+  // *engine* context).
+  virtual void OnPageLoaded(const net::Url& url, bool incognito);
+
+  // Fired by the idle campaign; `elapsed` is time since the browser
+  // was left idle at its start page.
+  virtual void OnIdleTick(util::Duration elapsed);
+
+ protected:
+  // Executes one planned call (resolves "{token}" placeholders, builds
+  // PII payloads, fires `per_visit` times in expectation).
+  void FireNativeCall(const NativeCall& call);
+  void FirePlanOnce(const std::vector<NativeCall>& plan);
+
+  // Issues one idle-time request to a weighted destination.
+  void FireIdleRequest();
+
+  BrowserContext* ctx_;
+  double idle_fired_ = 0;
+};
+
+// Behaviour entirely described by the spec's plans.
+class DataDrivenBehavior : public NativeBehavior {
+ public:
+  using NativeBehavior::NativeBehavior;
+};
+
+}  // namespace panoptes::browser

@@ -1,0 +1,120 @@
+#include "browser/cdp.h"
+
+namespace panoptes::browser {
+
+CdpSession::CdpSession(BrowserRuntime* runtime) : runtime_(runtime) {}
+
+void CdpSession::LogEvent(const std::string& method,
+                          util::JsonObject params) {
+  CdpFrame frame;
+  frame.kind = CdpFrame::Kind::kEvent;
+  frame.method = method;
+  frame.payload = util::Json(std::move(params)).Dump();
+  frames_.push_back(std::move(frame));
+}
+
+util::JsonObject CdpSession::SendCommand(const std::string& method,
+                                         util::JsonObject params) {
+  int id = next_id_++;
+  {
+    CdpFrame frame;
+    frame.kind = CdpFrame::Kind::kCommand;
+    frame.id = id;
+    frame.method = method;
+    frame.payload = util::Json(params).Dump();
+    frames_.push_back(std::move(frame));
+  }
+
+  util::JsonObject result;
+  if (method == "Browser.getVersion") {
+    result["product"] =
+        runtime_->spec().name + "/" + runtime_->spec().version;
+    result["userAgent"] = runtime_->spec().user_agent;
+  } else if (method == "Page.enable") {
+    page_enabled_ = true;
+  } else if (method == "Network.enable") {
+    // Modeled as always-on observation; nothing to flip.
+  } else if (method == "Fetch.enable") {
+    fetch_enabled_ = true;
+  } else if (method == "Page.navigate") {
+    const auto it = params.find("url");
+    if (it == params.end() || !it->second.is_string()) {
+      result["error"] = "Page.navigate requires params.url";
+    } else {
+      auto url = net::Url::Parse(it->second.as_string());
+      if (!url) {
+        result["error"] = "invalid url";
+      } else {
+        bool incognito = false;
+        if (auto inc = params.find("_incognito"); inc != params.end()) {
+          incognito = inc->second.is_bool() && inc->second.as_bool();
+        }
+        last_outcome_ = runtime_->Navigate(*url, incognito);
+        result["frameId"] = "frame-" + std::to_string(id);
+        if (last_outcome_.page.dom_content_loaded) {
+          util::JsonObject event;
+          event["timestamp"] =
+              last_outcome_.page.elapsed.ToSecondsF();
+          LogEvent("Page.domContentEventFired", std::move(event));
+        }
+      }
+    }
+  } else {
+    result["error"] = "'" + method + "' wasn't found";
+  }
+
+  {
+    CdpFrame frame;
+    frame.kind = CdpFrame::Kind::kResult;
+    frame.id = id;
+    frame.method = method;
+    frame.payload = util::Json(result).Dump();
+    frames_.push_back(std::move(frame));
+  }
+  return result;
+}
+
+void CdpSession::Attach() {
+  SendCommand("Page.enable");
+  SendCommand("Network.enable");
+  SendCommand("Fetch.enable");
+}
+
+NavigateOutcome CdpSession::Navigate(const net::Url& url, bool incognito) {
+  util::JsonObject params;
+  params["url"] = url.Serialize();
+  params["_incognito"] = incognito;
+  SendCommand("Page.navigate", std::move(params));
+  return last_outcome_;
+}
+
+FridaDriver::FridaDriver(BrowserRuntime* runtime) : runtime_(runtime) {}
+
+void FridaDriver::Attach() {
+  // The real framework injects a script hooking
+  // WebViewClient#shouldInterceptRequest; here the interceptor is
+  // already part of the runtime, so attaching records the act.
+  script_loaded_ = true;
+  console_.push_back("[frida] hooked android.webkit.WebViewClient#"
+                     "shouldInterceptRequest in " +
+                     runtime_->spec().package);
+}
+
+NavigateOutcome FridaDriver::Navigate(const net::Url& url, bool incognito) {
+  console_.push_back("[frida] WebView.loadUrl(\"" + url.Serialize() + "\")");
+  auto outcome = runtime_->Navigate(url, incognito);
+  if (outcome.page.dom_content_loaded) {
+    console_.push_back("[frida] onPageFinished " + url.Serialize());
+  }
+  return outcome;
+}
+
+std::unique_ptr<NavigationDriver> MakeDriver(BrowserRuntime* runtime) {
+  if (runtime->spec().instrumentation ==
+      Instrumentation::kFridaWebViewHook) {
+    return std::make_unique<FridaDriver>(runtime);
+  }
+  return std::make_unique<CdpSession>(runtime);
+}
+
+}  // namespace panoptes::browser

@@ -1,0 +1,97 @@
+// Chrome DevTools Protocol session modeling (paper §2.1).
+//
+// Panoptes drives navigation through CDP's Page domain and taints
+// engine requests through the Fetch domain, never through the address
+// bar (autocomplete would pollute the traces). This module models the
+// JSON-RPC message exchange so campaigns navigate the way the real
+// framework does, and the message log is inspectable in tests.
+//
+// For browsers without a CDP endpoint (UC International) the
+// FridaDriver stands in: it "loads" a hook script and navigates by
+// invoking the WebView's loadUrl through the instrumented process.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "browser/runtime.h"
+#include "util/json.h"
+
+namespace panoptes::browser {
+
+// Uniform navigation interface for the crawler.
+class NavigationDriver {
+ public:
+  virtual ~NavigationDriver() = default;
+
+  // Prepares instrumentation (Fetch.enable / script injection).
+  virtual void Attach() = 0;
+
+  // Navigates without touching the address bar.
+  virtual NavigateOutcome Navigate(const net::Url& url, bool incognito) = 0;
+
+  virtual std::string_view Describe() const = 0;
+};
+
+// One JSON-RPC exchange (command or event), as logged by the session.
+struct CdpFrame {
+  enum class Kind { kCommand, kResult, kEvent };
+  Kind kind = Kind::kCommand;
+  int id = 0;                // commands/results; 0 for events
+  std::string method;        // "Page.navigate", "Page.domContentEventFired"
+  std::string payload;       // serialized params/result JSON
+};
+
+class CdpSession : public NavigationDriver {
+ public:
+  explicit CdpSession(BrowserRuntime* runtime);
+
+  // Generic command entry point; understood methods:
+  //   Browser.getVersion, Page.enable, Network.enable, Fetch.enable,
+  //   Page.navigate {url}. Unknown methods return {"error": ...}.
+  util::JsonObject SendCommand(const std::string& method,
+                               util::JsonObject params = {});
+
+  // NavigationDriver:
+  void Attach() override;
+  NavigateOutcome Navigate(const net::Url& url, bool incognito) override;
+  std::string_view Describe() const override { return "cdp"; }
+
+  bool fetch_interception_enabled() const { return fetch_enabled_; }
+  const std::vector<CdpFrame>& frames() const { return frames_; }
+
+ private:
+  void LogEvent(const std::string& method, util::JsonObject params);
+
+  BrowserRuntime* runtime_;
+  std::vector<CdpFrame> frames_;
+  int next_id_ = 1;
+  bool page_enabled_ = false;
+  bool fetch_enabled_ = false;
+  NavigateOutcome last_outcome_;
+};
+
+class FridaDriver : public NavigationDriver {
+ public:
+  explicit FridaDriver(BrowserRuntime* runtime);
+
+  // NavigationDriver:
+  void Attach() override;  // "loads" the WebView hook script
+  NavigateOutcome Navigate(const net::Url& url, bool incognito) override;
+  std::string_view Describe() const override { return "frida"; }
+
+  bool script_loaded() const { return script_loaded_; }
+  const std::vector<std::string>& console_log() const { return console_; }
+
+ private:
+  BrowserRuntime* runtime_;
+  bool script_loaded_ = false;
+  std::vector<std::string> console_;
+};
+
+// CDP when the spec supports it, Frida otherwise — exactly the paper's
+// split (UC International is the Frida case).
+std::unique_ptr<NavigationDriver> MakeDriver(BrowserRuntime* runtime);
+
+}  // namespace panoptes::browser

@@ -1,0 +1,61 @@
+// The web-engine simulator.
+//
+// Loads a page the way a browser engine does as far as the network is
+// concerned: fetch the document, discover subresources in its HTML,
+// fetch each (subject to the browser's in-engine ad blocker, if any),
+// manage cookies, and report DOMContentLoaded. Every request goes out
+// through BrowserContext::SendEngine, i.e. tainted.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "browser/context.h"
+#include "net/url.h"
+#include "util/clock.h"
+#include "web/easylist.h"
+
+namespace panoptes::browser {
+
+struct PageLoadResult {
+  bool ok = false;                   // document fetched successfully
+  bool dom_content_loaded = false;
+  int requests_attempted = 0;        // document + subresources
+  int requests_succeeded = 0;
+  int blocked_by_adblock = 0;
+  size_t bytes_sent = 0;
+  size_t bytes_received = 0;
+  util::Duration elapsed;
+  std::vector<net::Url> fetched;     // successfully fetched URLs
+};
+
+class WebEngine {
+ public:
+  // `filter` is consulted when the spec enables in-engine ad blocking.
+  explicit WebEngine(BrowserContext* ctx);
+
+  // Navigates to `url` (no address bar involved: the crawler drives
+  // this through CDP Page.navigate / a Frida hook). `incognito`
+  // disables cookie persistence.
+  PageLoadResult LoadPage(const net::Url& url, bool incognito);
+
+  // DOMContentLoaded deadline, after which the crawler gives up
+  // (paper: 60 s).
+  static constexpr util::Duration kLoadTimeout = util::Duration::Seconds(60);
+
+ private:
+  net::HttpRequest BuildRequest(const net::Url& url, const net::Url& referer,
+                                bool incognito);
+  void StoreCookies(const net::Url& url, const net::HttpResponse& response,
+                    bool incognito);
+
+  BrowserContext* ctx_;
+  web::FilterList filter_;
+  bool adblock_enabled_;
+};
+
+// Extracts absolute http(s) URLs referenced by src= / href= /
+// data-fetch= attributes in an HTML document.
+std::vector<net::Url> ExtractResourceUrls(std::string_view html);
+
+}  // namespace panoptes::browser

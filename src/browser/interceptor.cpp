@@ -1,0 +1,36 @@
+#include "browser/interceptor.h"
+
+#include "browser/spec.h"
+
+namespace panoptes::browser {
+
+CdpInterceptor::CdpInterceptor(uint64_t session_seed) {
+  util::Rng rng(session_seed);
+  token_ = "cdp-" + rng.NextHex(12);
+}
+
+void CdpInterceptor::InterceptEngineRequest(net::HttpRequest& request) {
+  ++intercepted_;
+  request.headers.Set(kTaintHeader, token_);
+}
+
+FridaWebViewHook::FridaWebViewHook(uint64_t session_seed) {
+  util::Rng rng(session_seed);
+  token_ = "frida-" + rng.NextHex(12);
+}
+
+void FridaWebViewHook::InterceptEngineRequest(net::HttpRequest& request) {
+  ++intercepted_;
+  request.headers.Set(kTaintHeader, token_);
+}
+
+std::unique_ptr<RequestInterceptor> MakeInterceptor(int instrumentation_kind,
+                                                    uint64_t session_seed) {
+  if (instrumentation_kind ==
+      static_cast<int>(Instrumentation::kFridaWebViewHook)) {
+    return std::make_unique<FridaWebViewHook>(session_seed);
+  }
+  return std::make_unique<CdpInterceptor>(session_seed);
+}
+
+}  // namespace panoptes::browser

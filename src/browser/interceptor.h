@@ -1,0 +1,70 @@
+// Engine-request tainting (§2.3).
+//
+// Panoptes intercepts every HTTP request the web engine initiates and
+// piggybacks a custom "x-" header before it leaves the device; the
+// MITM addon later separates tainted (engine) from untainted (native)
+// flows and strips the header. Two mechanisms exist, exactly as in the
+// paper: the Chrome DevTools Protocol Fetch domain, and a Frida script
+// hooking the WebView's request factory for browsers without CDP (UC).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "net/http.h"
+#include "util/rng.h"
+
+namespace panoptes::browser {
+
+// The taint header name ("x-" prefix so it cannot collide with real
+// headers, per the paper).
+inline constexpr std::string_view kTaintHeader = "x-panoptes-taint";
+
+class RequestInterceptor {
+ public:
+  virtual ~RequestInterceptor() = default;
+
+  // Marks one engine request. Implementations add the taint header.
+  virtual void InterceptEngineRequest(net::HttpRequest& request) = 0;
+
+  // "cdp" or "frida-webview".
+  virtual std::string_view Describe() const = 0;
+
+  uint64_t intercepted_count() const { return intercepted_; }
+
+ protected:
+  uint64_t intercepted_ = 0;
+};
+
+// CDP Fetch-domain interception.
+class CdpInterceptor : public RequestInterceptor {
+ public:
+  explicit CdpInterceptor(uint64_t session_seed);
+
+  void InterceptEngineRequest(net::HttpRequest& request) override;
+  std::string_view Describe() const override { return "cdp"; }
+
+  const std::string& session_token() const { return token_; }
+
+ private:
+  std::string token_;
+};
+
+// Frida hook on android.webkit.WebViewClient#shouldInterceptRequest.
+class FridaWebViewHook : public RequestInterceptor {
+ public:
+  explicit FridaWebViewHook(uint64_t session_seed);
+
+  void InterceptEngineRequest(net::HttpRequest& request) override;
+  std::string_view Describe() const override { return "frida-webview"; }
+
+ private:
+  std::string token_;
+};
+
+// Factory matching the spec's Instrumentation value.
+std::unique_ptr<RequestInterceptor> MakeInterceptor(
+    int instrumentation_kind, uint64_t session_seed);
+
+}  // namespace panoptes::browser

@@ -1,0 +1,730 @@
+#include "browser/profiles.h"
+
+#include "util/base64.h"
+#include "util/strings.h"
+
+namespace panoptes::browser {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec construction helpers
+// ---------------------------------------------------------------------------
+
+NativeCall Call(std::string host, std::string path, double per_visit,
+                bool post = false, size_t body_bytes = 0, bool pii = false) {
+  NativeCall call;
+  call.host = std::move(host);
+  call.path = std::move(path);
+  call.per_visit = per_visit;
+  call.post = post;
+  call.body_bytes = body_bytes;
+  call.carries_pii = pii;
+  return call;
+}
+
+IdleDestination Idle(std::string host, std::string path, double weight) {
+  return IdleDestination{std::move(host), std::move(path), weight};
+}
+
+std::string ChromiumUa(std::string_view product) {
+  std::string ua =
+      "Mozilla/5.0 (Linux; Android 11; SM-T580) AppleWebKit/537.36 "
+      "(KHTML, like Gecko) ";
+  ua += product;
+  ua += " Mobile Safari/537.36";
+  return ua;
+}
+
+// ---------------------------------------------------------------------------
+// Per-browser specs. Per-visit plans and idle cadences are the
+// calibrated free parameters (see profiles.h and EXPERIMENTS.md); the
+// leak mechanisms, PII matrix, DoH choices and incognito availability
+// come straight from the paper.
+// ---------------------------------------------------------------------------
+
+BrowserSpec MakeChrome() {
+  BrowserSpec s;
+  s.suggest_host = "www.google.com";
+  s.name = "Chrome";
+  s.package = "com.android.chrome";
+  s.version = "113.0.5672.77";
+  s.user_agent = ChromiumUa("Chrome/113.0.5672.77");
+  s.doh = DohProvider::kGoogle;
+  s.pinned_hosts = {"clients4.google.com"};
+  // Table 2: Chrome leaks none of the tracked fields.
+  s.startup_calls = {
+      Call("update.googleapis.com", "/service/update2?cup2key={token}", 1),
+      Call("safebrowsing.googleapis.com", "/v4/threatListUpdates:fetch", 1,
+           true, 256),
+      Call("clients4.google.com", "/chrome-variations/seed", 1),
+  };
+  s.per_visit_calls = {
+      Call("safebrowsing.googleapis.com", "/v4/fullHashes:find", 0.05, true,
+           128),
+  };
+  s.idle_cadence = {IdleShape::kTwoPhase, 8, 20, 0.8, 0, 0};
+  s.idle_destinations = {
+      Idle("update.googleapis.com", "/service/update2", 0.4),
+      Idle("safebrowsing.googleapis.com", "/v4/threatListUpdates:fetch",
+           0.35),
+      Idle("www.gstatic.com", "/chrome/config.json", 0.25),
+  };
+  return s;
+}
+
+BrowserSpec MakeEdge() {
+  BrowserSpec s;
+  s.suggest_host = "www.bing.com";
+  s.name = "Edge";
+  s.package = "com.microsoft.emmx";
+  s.version = "113.0.1774.38";
+  s.user_agent = ChromiumUa("Chrome/113.0.5672.77 EdgA/113.0.1774.38");
+  s.doh = DohProvider::kCloudflare;
+  s.history_leak = HistoryLeak::kHostOnly;  // every domain → Bing API
+  s.history_leak_in_incognito = true;
+  s.pii = {.manufacturer = true,
+           .timezone = true,
+           .resolution = true,
+           .locale = true,
+           .connection_type = true,
+           .network_type = true};
+  s.startup_calls = {
+      Call("config.edge.skype.com", "/config/v1/Edge", 1),
+      Call("edge.microsoft.com", "/componentupdater/api/v1/update", 1),
+  };
+  // Calibrated for a native/total request ratio ≈ 0.38 (Fig 2).
+  s.per_visit_calls = {
+      Call("vortex.data.microsoft.com", "/collect/v1", 3.8, true, 240, true),
+      Call("config.edge.skype.com", "/config/v1/Edge", 1),
+      Call("www.msn.com", "/feed/refresh?market={token}", 4.3),
+      Call("assets.msn.com", "/service/news/card/{token}", 2.2),
+      Call("app.adjust.com", "/session?app_token={token}", 0.4),
+  };
+  s.idle_cadence = {IdleShape::kTwoPhase, 45, 16, 7.5, 0, 0};
+  s.idle_destinations = {
+      Idle("www.msn.com", "/feed/refresh", 0.20),
+      Idle("assets.msn.com", "/service/news/card/{token}", 0.15),
+      Idle("www.bing.com", "/api/ping", 0.15),
+      Idle("vortex.data.microsoft.com", "/collect/v1", 0.15),
+      Idle("config.edge.skype.com", "/config/v1/Edge", 0.10),
+      Idle("edge.microsoft.com", "/componentupdater/api/v1/update", 0.05),
+      Idle("app.adjust.com", "/session", 0.08),
+      Idle("widgets.outbrain.com", "/outbrain.js", 0.05),
+      Idle("b1sync.zemanta.com", "/usersync", 0.04),
+      Idle("sb.scorecardresearch.com", "/beacon", 0.03),
+  };
+  return s;
+}
+
+BrowserSpec MakeOpera() {
+  BrowserSpec s;
+  s.suggest_host = "sdx.opera.com";
+  s.name = "Opera";
+  s.package = "com.opera.browser";
+  s.version = "75.1.3978.72329";
+  s.user_agent = ChromiumUa("Chrome/113.0.5672.77 OPR/75.1.3978.72329");
+  s.doh = DohProvider::kCloudflare;
+  s.history_leak = HistoryLeak::kHostOnly;  // every domain → Sitecheck
+  s.history_leak_in_incognito = true;
+  s.pii = {.manufacturer = true,
+           .timezone = true,
+           .resolution = true,
+           .locale = true,
+           .country = true,
+           .location = true,
+           .network_type = true};
+  s.startup_calls = {
+      Call("autoupdate.geo.opera.com", "/v1/update", 1),
+      Call("features.opera.com", "/v2/flags", 1),
+      Call("crashstats.opera.com", "/ping", 1),
+      Call("exchange.opera.com", "/session/start", 1),
+      Call("sdx.opera.com", "/speeddial", 1),
+      Call("notifications.opera.com", "/register", 1),
+      Call("cdn.opera.com", "/startpage/assets", 1),
+  };
+  // Calibrated ratio ≈ 0.30; hosts chosen so ≈19% of the distinct
+  // native hosts are ad/analytics (Fig 3: sitecheck estate + oleads +
+  // appsflyer + doubleclick).
+  s.per_visit_calls = {
+      Call("news.opera-api.com", "/v1/news?edition={token}", 2.2),
+      Call("static.opera.com", "/startpage/tile/{token}", 2.0),
+      Call("thumbnails.opera.com", "/thumb/{token}", 1.2),
+      Call("push.opera.com", "/v1/subscribe", 0.3),
+      Call("inapps.appsflyersdk.com", "/api/v4/event", 0.4, true, 384),
+      Call("ad.doubleclick.net", "/prefetch/{token}", 0.4),
+  };
+  s.idle_cadence = {IdleShape::kLinear, 0, 0, 0, 11, 0};  // news feed
+  s.idle_destinations = {
+      Idle("news.opera-api.com", "/v1/news", 0.40),
+      Idle("ad.doubleclick.net", "/prefetch/{token}", 0.24),
+      Idle("inapps.appsflyersdk.com", "/api/v4/event", 0.025),
+      Idle("ofa.opera.com", "/config", 0.085),
+      Idle("autoupdate.geo.opera.com", "/v1/update", 0.10),
+      Idle("thumbnails.opera.com", "/thumb/{token}", 0.15),
+  };
+  return s;
+}
+
+BrowserSpec MakeVivaldi() {
+  BrowserSpec s;
+  s.suggest_host = "mimir2.vivaldi.com";
+  s.name = "Vivaldi";
+  s.package = "com.vivaldi.browser";
+  s.version = "6.0.2980.33";
+  s.user_agent = ChromiumUa("Chrome/113.0.5672.77 Vivaldi/6.0.2980.33");
+  s.doh = DohProvider::kCloudflare;
+  s.pii = {.resolution = true};
+  s.startup_calls = {
+      Call("update.vivaldi.com", "/update/check", 1),
+      Call("mimir2.vivaldi.com", "/stats/launch", 1, true, 256, true),
+  };
+  // Calibrated ratio > 1/3 (Fig 2 names Vivaldi among the heavy five).
+  s.per_visit_calls = {
+      Call("update.vivaldi.com", "/update/check", 2.2),
+      Call("sync.vivaldi.com", "/sync/command", 2.8, true, 280),
+      Call("urlcheck.vivaldi.com", "/check?h={token}", 2.8),
+      Call("downloads.vivaldi.com", "/themes/manifest", 1.7),
+      Call("mimir2.vivaldi.com", "/stats/ping", 1, true, 192, true),
+  };
+  s.idle_cadence = {IdleShape::kTwoPhase, 28, 18, 3.5, 0, 0};
+  s.idle_destinations = {
+      Idle("sync.vivaldi.com", "/sync/command", 0.4),
+      Idle("update.vivaldi.com", "/update/check", 0.3),
+      Idle("downloads.vivaldi.com", "/themes/manifest", 0.3),
+  };
+  return s;
+}
+
+BrowserSpec MakeYandex() {
+  BrowserSpec s;
+  s.suggest_host = "api.browser.yandex.ru";
+  s.name = "Yandex";
+  s.package = "com.yandex.browser";
+  s.version = "23.3.7.24";
+  s.user_agent = ChromiumUa("Chrome/113.0.5672.77 YaBrowser/23.3.7.24");
+  s.doh = DohProvider::kNone;       // local stub resolver
+  s.has_incognito = false;          // footnote 5
+  s.history_leak = HistoryLeak::kFullUrl;
+  s.history_leak_in_incognito = true;  // no mode to escape into
+  s.persistent_identifier = true;
+  s.pii = {.device_type = true,
+           .manufacturer = true,
+           .resolution = true,
+           .dpi = true,
+           .locale = true,
+           .network_type = true};
+  s.startup_calls = {
+      Call("browser-updates.yandex.net", "/check", 1),
+      Call("api.browser.yandex.ru", "/startup", 1, false, 0, true),
+  };
+  // Calibrated ratio ≈ 0.39 — the highest in Fig 2. The sba/api
+  // history reports are added by YandexBehavior on top of this plan.
+  s.per_visit_calls = {
+      Call("browser-updates.yandex.net", "/check", 2),
+      Call("resize.yandex.net", "/thumb/{token}", 4),
+      Call("favicon.yandex.net", "/favicon/{token}", 4.5),
+      Call("mobile.yandexadexchange.net", "/v1/adprefetch", 1.5),
+  };
+  s.idle_cadence = {IdleShape::kTwoPhase, 40, 15, 5.5, 0, 0};
+  s.idle_destinations = {
+      Idle("favicon.yandex.net", "/favicon/{token}", 0.4),
+      Idle("resize.yandex.net", "/thumb/{token}", 0.3),
+      Idle("browser-updates.yandex.net", "/check", 0.2),
+      Idle("mobile.yandexadexchange.net", "/v1/adprefetch", 0.1),
+  };
+  return s;
+}
+
+BrowserSpec MakeBrave() {
+  BrowserSpec s;
+  s.suggest_host = "static.brave.com";
+  s.name = "Brave";
+  s.package = "com.brave.browser";
+  s.version = "1.51.114";
+  s.user_agent = ChromiumUa("Chrome/113.0.5672.77 Brave/1.51.114");
+  s.doh = DohProvider::kCloudflare;
+  s.pinned_hosts = {"go-updater.brave.com"};
+  s.startup_calls = {
+      Call("variations.brave.com", "/seed", 1),
+      Call("go-updater.brave.com", "/extensions", 1),  // pinned: lost
+      Call("static.brave.com", "/ntp/sponsored.json", 1),
+  };
+  s.per_visit_calls = {};  // quietest of the Chromium forks
+  s.idle_cadence = {IdleShape::kTwoPhase, 6, 25, 0.4, 0, 0};
+  s.idle_destinations = {
+      Idle("variations.brave.com", "/seed", 0.5),
+      Idle("static.brave.com", "/ntp/sponsored.json", 0.5),
+  };
+  return s;
+}
+
+BrowserSpec MakeSamsung() {
+  BrowserSpec s;
+  s.suggest_host = "api.internet.apps.samsung.com";
+  s.name = "Samsung";
+  s.package = "com.sec.android.app.sbrowser";
+  s.version = "20.0.6.5";
+  s.user_agent = ChromiumUa("SamsungBrowser/20.0 Chrome/106.0.5249.126");
+  s.doh = DohProvider::kGoogle;
+  s.pii = {.locale = true};
+  s.startup_calls = {
+      Call("config.samsungbrowser.com", "/v3/config", 1, false, 0, true),
+  };
+  s.per_visit_calls = {
+      Call("api.internet.apps.samsung.com", "/v1/stats", 0.8, true, 256,
+           true),
+  };
+  s.idle_cadence = {IdleShape::kTwoPhase, 14, 20, 1.8, 0, 0};
+  s.idle_destinations = {
+      Idle("api.internet.apps.samsung.com", "/v1/stats", 0.5),
+      Idle("config.samsungbrowser.com", "/v3/config", 0.5),
+  };
+  return s;
+}
+
+BrowserSpec MakeDuckDuckGo() {
+  BrowserSpec s;
+  s.suggest_host = "improving.duckduckgo.com";
+  s.name = "DuckDuckGo";
+  s.package = "com.duckduckgo.mobile.android";
+  s.version = "5.158.0";
+  s.engine = "WebView";
+  s.user_agent = ChromiumUa("DuckDuckGo/5 Chrome/113.0.5672.77");
+  s.doh = DohProvider::kNone;
+  s.startup_calls = {
+      Call("staticcdn.duckduckgo.com", "/trackerblocking/tds.json", 1),
+  };
+  s.per_visit_calls = {
+      Call("improving.duckduckgo.com", "/t/page_load", 0.5),
+  };
+  s.idle_cadence = {IdleShape::kQuiet, 0, 0, 0, 0, 3};
+  s.idle_destinations = {
+      Idle("staticcdn.duckduckgo.com", "/trackerblocking/tds.json", 1.0),
+  };
+  return s;
+}
+
+BrowserSpec MakeDolphin() {
+  BrowserSpec s;
+  s.suggest_host = "api.dolphin-browser.com";
+  s.name = "Dolphin";
+  s.package = "mobi.mgeek.TunnyBrowser";
+  s.version = "12.2.9";
+  s.engine = "WebView";
+  s.user_agent = ChromiumUa("Dolphin/12.2.9 Chrome/113.0.5672.77");
+  s.doh = DohProvider::kNone;
+  s.startup_calls = {
+      Call("api.dolphin-browser.com", "/v2/launch", 1),
+      Call("graph.facebook.com", "/v16.0/app/activities", 1, true, 320),
+  };
+  s.per_visit_calls = {
+      Call("graph.facebook.com", "/v16.0/app/events", 1, true, 256),
+      Call("api.dolphin-browser.com", "/v2/gesture/sync", 1.5),
+      Call("cdn.dolphin-browser.com", "/speeddial/{token}", 0.5),
+  };
+  // §3.5: 46% of Dolphin's idle natives hit the Facebook Graph API.
+  s.idle_cadence = {IdleShape::kTwoPhase, 20, 18, 2.2, 0, 0};
+  s.idle_destinations = {
+      Idle("graph.facebook.com", "/v16.0/app/events", 0.46),
+      Idle("api.dolphin-browser.com", "/v2/launch", 0.34),
+      Idle("cdn.dolphin-browser.com", "/speeddial/{token}", 0.20),
+  };
+  return s;
+}
+
+BrowserSpec MakeWhale() {
+  BrowserSpec s;
+  s.suggest_host = "api-whale.naver.com";
+  s.name = "Whale";
+  s.package = "com.naver.whale";
+  s.version = "2.10.2.2";
+  s.user_agent = ChromiumUa("Chrome/113.0.5672.77 Whale/2.10.2.2");
+  s.doh = DohProvider::kNone;
+  s.pinned_hosts = {"update.whale.naver.net"};
+  s.pii = {.resolution = true,
+           .local_ip = true,
+           .rooted = true,
+           .locale = true,
+           .country = true,
+           .network_type = true};
+  s.startup_calls = {
+      Call("api-whale.naver.com", "/v1/init", 1, true, 384, true),
+  };
+  // Calibrated ratio > 1/3 (Fig 2).
+  s.per_visit_calls = {
+      Call("api-whale.naver.com", "/v1/stats", 5.7, true, 160, true),
+      Call("update.whale.naver.net", "/components", 2),  // pinned: lost
+      Call("cast.whale.naver.com", "/v1/devices", 3.0),
+      Call("store.whale.naver.com", "/extensions/updates", 3.2),
+  };
+  s.idle_cadence = {IdleShape::kTwoPhase, 30, 17, 3.8, 0, 0};
+  s.idle_destinations = {
+      Idle("api-whale.naver.com", "/v1/stats", 0.4),
+      Idle("cast.whale.naver.com", "/v1/devices", 0.3),
+      Idle("store.whale.naver.com", "/extensions/updates", 0.3),
+  };
+  return s;
+}
+
+BrowserSpec MakeMint() {
+  BrowserSpec s;
+  s.suggest_host = "api.browser.mi.com";
+  s.name = "Mint";
+  s.package = "com.mi.globalbrowser.mini";
+  s.version = "3.9.3";
+  s.engine = "WebView";
+  s.user_agent = ChromiumUa("Mint/3.9.3 Chrome/113.0.5672.77");
+  s.doh = DohProvider::kNone;
+  s.pii = {.timezone = true,
+           .resolution = true,
+           .locale = true,
+           .country = true};
+  s.startup_calls = {
+      Call("api.browser.mi.com", "/v5/config", 1, false, 0, true),
+  };
+  s.per_visit_calls = {
+      Call("api.browser.mi.com", "/v5/recommend", 1.5),
+      Call("data.mistat.xiaomi.com", "/mistats/v2", 1, true, 448, true),
+      Call("graph.facebook.com", "/v16.0/app/events", 0.5, true, 256),
+  };
+  // §3.5: 8% of Mint's idle natives hit the Facebook Graph API.
+  s.idle_cadence = {IdleShape::kTwoPhase, 22, 19, 2.5, 0, 0};
+  s.idle_destinations = {
+      Idle("graph.facebook.com", "/v16.0/app/events", 0.05),
+      Idle("api.browser.mi.com", "/v5/recommend", 0.52),
+      Idle("data.mistat.xiaomi.com", "/mistats/v2", 0.40),
+  };
+  return s;
+}
+
+BrowserSpec MakeKiwi() {
+  BrowserSpec s;
+  s.suggest_host = "kiwisearchservices.com";
+  s.name = "Kiwi";
+  s.package = "com.kiwibrowser.browser";
+  s.version = "112.0.5615.137";
+  s.user_agent = ChromiumUa("Chrome/112.0.5615.137 Kiwi/112");
+  s.doh = DohProvider::kCloudflare;
+  // Fig 3: ≈40% of the distinct hosts Kiwi contacts natively are
+  // ad/analytics (rubicon, adnxs, openx, pubmatic, bidswitch, demdex).
+  s.startup_calls = {
+      Call("update.googleapis.com", "/service/update2", 1),
+      Call("safebrowsing.googleapis.com", "/v4/threatListUpdates:fetch", 1,
+           true, 256),
+      Call("clients4.google.com", "/chrome-variations/seed", 1),
+      Call("accounts.google.com", "/ListAccounts", 1),
+      Call("www.gstatic.com", "/chrome/config.json", 1),
+      Call("t0.gstatic.com", "/faviconV2?url={token}", 1),
+      Call("kiwisearchservices.com", "/config", 1),
+  };
+  s.per_visit_calls = {
+      Call("kiwisearchservices.com", "/suggest?q={token}", 0.8),
+      Call("update.kiwibrowser.com", "/check", 0.5),
+      Call("fastlane.rubiconproject.com", "/a/api/fastlane.json", 0.7),
+      Call("ib.adnxs.com", "/ut/v3/prebid", 0.7, true, 256),
+      Call("rtb.openx.net", "/w/1.0/arj", 0.6),
+      Call("hbopenbid.pubmatic.com", "/translator", 0.6, true, 224),
+      Call("x.bidswitch.net", "/sync", 0.4),
+      Call("dpm.demdex.net", "/id", 0.4),
+  };
+  s.idle_cadence = {IdleShape::kTwoPhase, 16, 20, 1.8, 0, 0};
+  s.idle_destinations = {
+      Idle("kiwisearchservices.com", "/config", 0.4),
+      Idle("update.kiwibrowser.com", "/check", 0.3),
+      Idle("ib.adnxs.com", "/ut/v3/prebid", 0.15),
+      Idle("fastlane.rubiconproject.com", "/a/api/fastlane.json", 0.15),
+  };
+  return s;
+}
+
+BrowserSpec MakeCocCoc() {
+  BrowserSpec s;
+  s.suggest_host = "browser.coccoc.com";
+  s.name = "CocCoc";
+  s.package = "com.coccoc.trinhduyet";
+  s.version = "117.0.177";
+  s.user_agent = ChromiumUa("Chrome/113.0.5672.77 coc_coc_browser/117.0.177");
+  s.doh = DohProvider::kGoogle;
+  s.engine_adblock = true;  // enforces EasyList in the web engine §3.1
+  s.pii = {.device_type = true,
+           .manufacturer = true,
+           .resolution = true,
+           .locale = true,
+           .country = true};
+  s.startup_calls = {
+      Call("browser.coccoc.com", "/v1/boot", 1, false, 0, true),
+      Call("app.adjust.com", "/attribution?app_token={token}", 1),
+  };
+  // Engine blocks ads, yet the app itself talks to adjust (§3.1) —
+  // ratio still > 1/3 because the blocked engine traffic shrinks the
+  // denominator.
+  s.per_visit_calls = {
+      Call("browser.coccoc.com", "/v1/newtab", 2.0),
+      Call("log.coccoc.com", "/submit", 3.5, true, 256, true),
+      Call("spell.itim.vn", "/v2/check?d={token}", 1.2),
+      Call("app.adjust.com", "/event?app_token={token}", 1),
+  };
+  // §3.5: 6.7% of CocCoc's idle natives go to adjust.com.
+  s.idle_cadence = {IdleShape::kTwoPhase, 24, 18, 2.6, 0, 0};
+  s.idle_destinations = {
+      Idle("app.adjust.com", "/event", 0.061),
+      Idle("browser.coccoc.com", "/v1/newtab", 0.533),
+      Idle("log.coccoc.com", "/submit", 0.40),
+  };
+  return s;
+}
+
+BrowserSpec MakeQq() {
+  BrowserSpec s;
+  s.suggest_host = "wup.browser.qq.com";
+  s.name = "QQ";
+  s.package = "com.tencent.mtt";
+  s.version = "13.7.6.6042";
+  s.user_agent = ChromiumUa("MQQBrowser/13.7 Chrome/113.0.5672.77");
+  s.doh = DohProvider::kNone;
+  s.has_incognito = false;  // footnote 5
+  s.history_leak = HistoryLeak::kFullUrl;
+  s.history_leak_in_incognito = true;
+  s.pii = {.device_type = true, .manufacturer = true, .resolution = true};
+  s.startup_calls = {
+      Call("wup.browser.qq.com", "/v1/boot", 1, true, 512, true),
+  };
+  // Calibrated for Fig 4: native *outgoing* bytes ≈ 42% of the engine's
+  // outgoing bytes — large batched telemetry uploads, not just many
+  // requests. The full-URL phone home is added by QqBehavior.
+  s.per_visit_calls = {
+      Call("mtt.browser.qq.com", "/metrics/batch", 2, true, 800, true),
+      Call("log.tbs.qq.com", "/ajax?c=dl&k={token}", 2, true, 420),
+      Call("aax.amazon-adsystem.com", "/e/dtb/bid", 0.6, true, 320, true),
+      Call("wup.browser.qq.com", "/v1/config", 2),
+  };
+  s.idle_cadence = {IdleShape::kTwoPhase, 32, 16, 4.2, 0, 0};
+  s.idle_destinations = {
+      Idle("mtt.browser.qq.com", "/metrics/batch", 0.4),
+      Idle("wup.browser.qq.com", "/v1/config", 0.4),
+      Idle("log.tbs.qq.com", "/ajax", 0.2),
+  };
+  return s;
+}
+
+BrowserSpec MakeUc() {
+  BrowserSpec s;
+  s.suggest_host = "api.ucweb.com";
+  s.name = "UC International";
+  s.package = "com.UCMobile.intl";
+  s.version = "13.4.2.1307";
+  s.engine = "U4/WebView";
+  s.user_agent = ChromiumUa("UCBrowser/13.4.2.1307 Chrome/100.0.4896.58");
+  // UC has no CDP endpoint: Panoptes hooks its WebView via Frida (§2.1).
+  s.instrumentation = Instrumentation::kFridaWebViewHook;
+  s.doh = DohProvider::kNone;
+  s.history_leak = HistoryLeak::kJsInjection;  // §3.2: injected snippet
+  s.history_leak_in_incognito = true;
+  s.pii = {.locale = true, .network_type = true};
+  s.startup_calls = {
+      Call("puds.ucweb.com", "/upgrade/check", 1),
+      Call("api.ucweb.com", "/v1/config", 1, false, 0, true),
+  };
+  s.per_visit_calls = {
+      Call("api.ucweb.com", "/v1/stat", 2, true, 320, true),
+      Call("puds.ucweb.com", "/upgrade/components", 1.5),
+      Call("u.ucweb.com", "/sync/bookmarks", 2),
+  };
+  s.idle_cadence = {IdleShape::kTwoPhase, 18, 19, 2.0, 0, 0};
+  s.idle_destinations = {
+      Idle("api.ucweb.com", "/v1/stat", 0.5),
+      Idle("u.ucweb.com", "/sync/bookmarks", 0.3),
+      Idle("puds.ucweb.com", "/upgrade/check", 0.2),
+  };
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Behaviour subclasses implementing the paper's individual findings.
+// ---------------------------------------------------------------------------
+
+// Yandex (§3.2, "The Yandex case"): every page visit produces
+//   GET sba.yandex.net/safebrowsing/report?url=<Base64(full URL)>
+//   GET api.browser.yandex.ru/track?uuid=<persistent id>&host=<host>
+// on every visit (not just the first), incognito or not (no incognito
+// mode exists), with an identifier that survives cookie clearing and
+// IP changes.
+class YandexBehavior : public NativeBehavior {
+ public:
+  using NativeBehavior::NativeBehavior;
+
+  void OnNavigate(const net::Url& url, bool incognito) override {
+    NativeBehavior::OnNavigate(url, incognito);
+
+    net::HttpRequest sba;
+    sba.url = net::Url::MustParse("https://sba.yandex.net/safebrowsing/report");
+    sba.url.AddQueryParam("url", util::Base64Encode(url.Serialize()));
+    ctx_->SendNative(std::move(sba));
+
+    net::HttpRequest track;
+    track.url = net::Url::MustParse("https://api.browser.yandex.ru/track");
+    track.url.AddQueryParam("uuid", ctx_->EnsureStoredId("yandex_uuid"));
+    track.url.AddQueryParam("host", url.host());
+    ctx_->AttachPiiParams(track.url);
+    ctx_->SendNative(std::move(track));
+  }
+};
+
+// QQ (§3.2): sends the entire visited URL, path and query included, in
+// its phone-home POST body.
+class QqBehavior : public NativeBehavior {
+ public:
+  using NativeBehavior::NativeBehavior;
+
+  void OnNavigate(const net::Url& url, bool incognito) override {
+    NativeBehavior::OnNavigate(url, incognito);
+
+    net::HttpRequest report;
+    report.method = net::HttpMethod::kPost;
+    report.url = net::Url::MustParse("https://wup.browser.qq.com/phone_home");
+    util::JsonObject body;
+    body["qimei"] = ctx_->EnsureStoredId("qq_qimei", 32);
+    body["url"] = url.Serialize();
+    body["ts"] = static_cast<int64_t>(ctx_->clock().Now().millis / 1000);
+    report.body = util::Json(std::move(body)).Dump();
+    report.headers.Set("Content-Type", "application/json");
+    report.headers.Set("Content-Length",
+                       std::to_string(report.body.size()));
+    ctx_->SendNative(std::move(report));
+  }
+};
+
+// UC International (§3.2): no native history report — instead an
+// obfuscated JS snippet injected into *every page* beacons the full
+// URL plus city-level geolocation and ISP. Because the snippet runs in
+// the page, its request carries the engine taint and shows up in the
+// engine store; the analysis finds it by destination + payload.
+class UcBehavior : public NativeBehavior {
+ public:
+  using NativeBehavior::NativeBehavior;
+
+  void OnPageLoaded(const net::Url& url, bool incognito) override {
+    (void)incognito;  // the snippet is injected in incognito too
+    net::HttpRequest beacon;
+    beacon.url = net::Url::MustParse("https://u.ucweb.com/collect");
+    beacon.url.AddQueryParam("pv", url.Serialize());
+    beacon.url.AddQueryParam("city", ctx_->device().profile().city);
+    beacon.url.AddQueryParam("isp", ctx_->device().profile().isp);
+    ctx_->SendEngine(std::move(beacon));
+  }
+};
+
+// Edge (§3.2): reports every visited domain to the Bing API.
+class EdgeBehavior : public NativeBehavior {
+ public:
+  using NativeBehavior::NativeBehavior;
+
+  void OnNavigate(const net::Url& url, bool incognito) override {
+    NativeBehavior::OnNavigate(url, incognito);
+    net::HttpRequest report;
+    report.url = net::Url::MustParse("https://www.bing.com/api/v1/visited");
+    report.url.AddQueryParam("domain", url.host());
+    ctx_->SendNative(std::move(report));
+  }
+};
+
+// Opera (§3.2 + Listing 1): reports every visited domain to Sitecheck
+// (its anti-phishing service) and fires the oleads ad-SDK fetch whose
+// JSON body carries the operaId, precise coordinates and device data.
+class OperaBehavior : public NativeBehavior {
+ public:
+  using NativeBehavior::NativeBehavior;
+
+  void OnNavigate(const net::Url& url, bool incognito) override {
+    NativeBehavior::OnNavigate(url, incognito);
+
+    net::HttpRequest sitecheck;
+    sitecheck.url =
+        net::Url::MustParse("https://sitecheck2.opera.com/api/check");
+    sitecheck.url.AddQueryParam("host", url.host());
+    ctx_->SendNative(std::move(sitecheck));
+
+    ctx_->SendNative(BuildOleadsFetch());
+  }
+
+  void OnIdleTick(util::Duration elapsed) override {
+    NativeBehavior::OnIdleTick(elapsed);
+    // One ad fetch per idle minute rides along with the news feed.
+    int64_t minutes = elapsed.millis / 60000;
+    while (oleads_idle_fired_ < minutes) {
+      ctx_->SendNative(BuildOleadsFetch());
+      ++oleads_idle_fired_;
+    }
+  }
+
+ private:
+  net::HttpRequest BuildOleadsFetch() {
+    const auto& profile = ctx_->device().profile();
+    util::JsonObject body;
+    body["channelId"] = "adxsdk_for_opera_ofa_final";
+    body["availableServices"] = util::JsonArray{util::Json("GOOGLE_PLAY")};
+    body["appPackageName"] = ctx_->spec().package;
+    body["appVersion"] = ctx_->spec().version;
+    body["sdkVersion"] = "1.12.2";
+    body["osType"] = profile.os;
+    body["osVersion"] = profile.os_version;
+    body["deviceModel"] = profile.model;
+    body["operaId"] = ctx_->EnsureStoredId("opera_id", 64);
+    body["userConsent"] = "false";
+    body["positionTimestamp"] =
+        static_cast<int64_t>(ctx_->clock().Now().millis / 1000);
+    body["timestamp"] =
+        static_cast<int64_t>(ctx_->clock().Now().millis / 1000);
+    body["placementKey"] = "556949864898556";
+    body["adCount"] = 2;
+    body["floorPriceInCent"] = 0;
+    body["token"] = ctx_->rng().NextHex(28);
+    body["supportedAdTypes"] = util::JsonArray{util::Json("SINGLE")};
+    body["supportedCreativeTypes"] = util::JsonArray{
+        util::Json("BIG_CARD"), util::Json("DISPLAY_HTML_300x250"),
+        util::Json("NATIVE_NEWSFLOW_1_IMAGE"), util::Json("POLL")};
+    ctx_->AttachPiiJson(body);  // vendor, country, language, lat/lon, ...
+
+    net::HttpRequest fetch;
+    fetch.method = net::HttpMethod::kPost;
+    fetch.url = net::Url::MustParse("https://s-odx.oleads.com/api/v1/sdk_fetch");
+    fetch.body = util::Json(std::move(body)).Dump();
+    fetch.headers.Set("Content-Type", "application/json");
+    fetch.headers.Set("Content-Length", std::to_string(fetch.body.size()));
+    return fetch;
+  }
+
+  int64_t oleads_idle_fired_ = 0;
+};
+
+}  // namespace
+
+const std::vector<BrowserSpec>& AllBrowserSpecs() {
+  static const std::vector<BrowserSpec> kSpecs = {
+      MakeChrome(),     MakeEdge(),   MakeOpera(),  MakeVivaldi(),
+      MakeYandex(),     MakeBrave(),  MakeSamsung(), MakeQq(),
+      MakeDuckDuckGo(), MakeDolphin(), MakeWhale(),  MakeMint(),
+      MakeKiwi(),       MakeCocCoc(), MakeUc(),
+  };
+  return kSpecs;
+}
+
+const BrowserSpec* FindSpec(std::string_view name) {
+  for (const auto& spec : AllBrowserSpecs()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<NativeBehavior> MakeBehavior(BrowserContext* ctx) {
+  const std::string& name = ctx->spec().name;
+  if (name == "Yandex") return std::make_unique<YandexBehavior>(ctx);
+  if (name == "QQ") return std::make_unique<QqBehavior>(ctx);
+  if (name == "UC International") return std::make_unique<UcBehavior>(ctx);
+  if (name == "Edge") return std::make_unique<EdgeBehavior>(ctx);
+  if (name == "Opera") return std::make_unique<OperaBehavior>(ctx);
+  return std::make_unique<DataDrivenBehavior>(ctx);
+}
+
+}  // namespace panoptes::browser

@@ -1,0 +1,29 @@
+// The 15 browsers of Table 1, each with its behaviour model.
+//
+// Calibration note: the paper publishes *findings* (ratios, domain
+// percentages, leak mechanisms, the Table 2 matrix) but not raw
+// per-browser request plans. The plans below are free parameters tuned
+// so the published numbers reproduce; every calibrated value is listed
+// in EXPERIMENTS.md.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "browser/behavior.h"
+#include "browser/spec.h"
+
+namespace panoptes::browser {
+
+// All 15 specs in the paper's Table 1 order.
+const std::vector<BrowserSpec>& AllBrowserSpecs();
+
+// Spec by display name ("Yandex", "UC International", ...).
+const BrowserSpec* FindSpec(std::string_view name);
+
+// Builds the behaviour implementing ctx->spec()'s findings.
+std::unique_ptr<NativeBehavior> MakeBehavior(BrowserContext* ctx);
+
+}  // namespace panoptes::browser

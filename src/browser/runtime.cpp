@@ -1,0 +1,71 @@
+#include "browser/runtime.h"
+
+#include "browser/profiles.h"
+
+namespace panoptes::browser {
+
+BrowserRuntime::BrowserRuntime(BrowserSpec spec,
+                               device::AndroidDevice* device,
+                               device::NetworkStack* netstack,
+                               net::Network* network, util::SimClock* clock,
+                               uint64_t seed)
+    : spec_(std::move(spec)), device_(device) {
+  // Install on first use only: launching an already-installed browser
+  // must not wipe its private storage (that is exactly what lets
+  // persistent identifiers survive across sessions).
+  if (device_->FindApp(spec_.package) == nullptr) {
+    device_->InstallApp(spec_.package);
+  }
+  auto* app = device_->FindApp(spec_.package);
+
+  // Vendor apps ship their pins; after any reset they hold again.
+  for (const auto& host : spec_.pinned_hosts) {
+    if (const auto* leaf = network->LeafFor(host)) {
+      app->pins.Pin(host, leaf->spki_id);
+    }
+  }
+
+  ctx_ = std::make_unique<BrowserContext>(&spec_, device, app, netstack,
+                                          network, clock, seed);
+  engine_ = std::make_unique<WebEngine>(ctx_.get());
+  behavior_ = MakeBehavior(ctx_.get());
+}
+
+void BrowserRuntime::Startup() { behavior_->OnStartup(); }
+
+NavigateOutcome BrowserRuntime::Navigate(const net::Url& url,
+                                         bool incognito) {
+  NavigateOutcome outcome;
+  bool effective_incognito = incognito;
+  if (incognito && !spec_.has_incognito) {
+    outcome.incognito_honored = false;
+    effective_incognito = false;
+  }
+  behavior_->OnNavigate(url, effective_incognito);
+  outcome.page = engine_->LoadPage(url, effective_incognito);
+  if (outcome.page.dom_content_loaded) {
+    behavior_->OnPageLoaded(url, effective_incognito);
+  }
+  return outcome;
+}
+
+void BrowserRuntime::IdleTick(util::Duration elapsed) {
+  behavior_->OnIdleTick(elapsed);
+}
+
+int BrowserRuntime::TypeInAddressBar(std::string_view text) {
+  if (spec_.suggest_host.empty()) return 0;
+  int fired = 0;
+  for (size_t len = 3; len <= text.size(); ++len) {
+    net::HttpRequest query;
+    query.url = net::Url::MustParse("https://" + spec_.suggest_host +
+                                    spec_.suggest_path);
+    query.url.AddQueryParam("q", text.substr(0, len));
+    query.url.AddQueryParam("client", spec_.package);
+    ctx_->SendNative(std::move(query));
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace panoptes::browser

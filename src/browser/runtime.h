@@ -1,0 +1,63 @@
+// A running browser instance: spec + context + engine + native
+// behaviour, installed as an app on the device.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "browser/behavior.h"
+#include "browser/context.h"
+#include "browser/engine.h"
+#include "browser/spec.h"
+#include "device/netstack.h"
+#include "net/fabric.h"
+
+namespace panoptes::browser {
+
+struct NavigateOutcome {
+  // False when incognito was requested but the browser has no such
+  // mode (Yandex, QQ) — the visit proceeds in normal mode, which is
+  // itself one of the paper's findings (§3.2, footnote 5).
+  bool incognito_honored = true;
+  PageLoadResult page;
+};
+
+class BrowserRuntime {
+ public:
+  // Installs the app (keeping its UID if present), re-establishes the
+  // vendor's certificate pins against the genuine leaves, and builds
+  // the engine/behaviour pair.
+  BrowserRuntime(BrowserSpec spec, device::AndroidDevice* device,
+                 device::NetworkStack* netstack, net::Network* network,
+                 util::SimClock* clock, uint64_t seed);
+
+  const BrowserSpec& spec() const { return spec_; }
+  BrowserContext& context() { return *ctx_; }
+  NativeBehavior& behavior() { return *behavior_; }
+
+  // Cold start: fires the startup native plan.
+  void Startup();
+
+  // One crawl visit, driven via CDP Page.navigate or the Frida hook
+  // (never the address bar, so autocomplete cannot pollute traces).
+  NavigateOutcome Navigate(const net::Url& url, bool incognito = false);
+
+  // Idle campaign hook; `elapsed` = time since idling began.
+  void IdleTick(util::Duration elapsed);
+
+  // Simulates a user typing `text` into the address bar: one native
+  // autocomplete query per keystroke once three characters are in.
+  // Crawl campaigns NEVER call this — the whole point of driving
+  // navigation through CDP/Frida is to keep these out of the traces
+  // (§2.1). Returns the number of suggest queries fired.
+  int TypeInAddressBar(std::string_view text);
+
+ private:
+  BrowserSpec spec_;
+  device::AndroidDevice* device_;
+  std::unique_ptr<BrowserContext> ctx_;
+  std::unique_ptr<WebEngine> engine_;
+  std::unique_ptr<NativeBehavior> behavior_;
+};
+
+}  // namespace panoptes::browser

@@ -1,0 +1,26 @@
+#include "browser/spec.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace panoptes::browser {
+
+double IdleCadence::ExpectedAt(util::Duration elapsed) const {
+  double t_sec = elapsed.ToSecondsF();
+  double t_min = t_sec / 60.0;
+  switch (shape) {
+    case IdleShape::kTwoPhase:
+      return burst_total * (1.0 - std::exp(-t_sec / burst_tau_seconds)) +
+             plateau_per_min * t_min;
+    case IdleShape::kLinear:
+      return linear_per_min * t_min;
+    case IdleShape::kQuiet:
+      // The few requests a quiet browser makes happen within the first
+      // half-minute.
+      return std::min(quiet_total,
+                      quiet_total * (1.0 - std::exp(-t_sec / 15.0)));
+  }
+  return 0;
+}
+
+}  // namespace panoptes::browser

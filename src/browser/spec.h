@@ -1,0 +1,131 @@
+// Static description of one mobile browser under test.
+//
+// A BrowserSpec is pure data: identity (Table 1), engine capabilities,
+// instrumentation protocol (CDP vs Frida WebView hook), DNS choice,
+// certificate pins, incognito availability, the PII fields its native
+// telemetry carries (Table 2), how (and whether) it leaks the browsing
+// history (§3.2), its per-visit native call plan (Figs 2-4) and its
+// idle cadence (Fig 5). The behaviour classes in profiles.cpp turn
+// this data into actual traffic.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace panoptes::browser {
+
+// How Panoptes instruments the engine to taint its requests (§2.3).
+enum class Instrumentation { kCdp, kFridaWebViewHook };
+
+enum class DohProvider { kNone, kCloudflare, kGoogle };
+
+// What the browser reports about each visited page, natively.
+enum class HistoryLeak {
+  kNone,
+  kHostOnly,      // visited hostname/domain only (Edge→Bing, Opera→Sitecheck)
+  kFullUrl,       // full URL incl. path & query (Yandex, QQ)
+  kJsInjection,   // leak rides an injected script in engine traffic (UC)
+};
+
+// Table 2 row: which device/PII fields the browser's native requests
+// carry.
+struct PiiLeakProfile {
+  bool device_type = false;
+  bool manufacturer = false;
+  bool timezone = false;
+  bool resolution = false;
+  bool local_ip = false;
+  bool dpi = false;
+  bool rooted = false;
+  bool locale = false;
+  bool country = false;
+  bool location = false;  // latitude & longitude
+  bool connection_type = false;
+  bool network_type = false;
+
+  bool AnyLeak() const {
+    return device_type || manufacturer || timezone || resolution ||
+           local_ip || dpi || rooted || locale || country || location ||
+           connection_type || network_type;
+  }
+};
+
+// One recurring native call in the per-visit plan.
+struct NativeCall {
+  std::string host;
+  std::string path;             // may contain "{token}" placeholder
+  bool post = false;
+  double per_visit = 1.0;       // expected count per navigation
+  size_t body_bytes = 0;        // POST payload size (0 = no body)
+  bool carries_pii = false;     // attach the PiiLeakProfile fields
+};
+
+// Fig 5 idle-cadence shapes. Cumulative request count over idle time:
+//   kTwoPhase: burst_total*(1-exp(-t/burst_tau)) + plateau_per_min*t
+//   kLinear:   linear_per_min*t           (Opera's news feed)
+//   kQuiet:    at most quiet_total requests, early on
+enum class IdleShape { kTwoPhase, kLinear, kQuiet };
+
+struct IdleCadence {
+  IdleShape shape = IdleShape::kTwoPhase;
+  double burst_total = 20;      // requests in the initial burst
+  double burst_tau_seconds = 18;
+  double plateau_per_min = 3;   // steady phone-home rate
+  double linear_per_min = 10;
+  double quiet_total = 2;
+
+  // Expected cumulative native requests after `elapsed` idle time.
+  double ExpectedAt(util::Duration elapsed) const;
+};
+
+// Destination mix for idle-time native requests (weights normalised).
+struct IdleDestination {
+  std::string host;
+  std::string path;
+  double weight = 1.0;
+};
+
+struct BrowserSpec {
+  // Identity (Table 1).
+  std::string name;     // "Yandex"
+  std::string package;  // "com.yandex.browser"
+  std::string version;  // "23.3.7.24"
+  std::string engine = "Blink";
+  std::string user_agent;
+
+  // Capabilities & instrumentation.
+  Instrumentation instrumentation = Instrumentation::kCdp;
+  bool has_incognito = true;
+  bool supports_h3 = true;
+  DohProvider doh = DohProvider::kNone;
+  bool engine_adblock = false;  // CocCoc: EasyList enforced in-engine
+
+  // Hosts the app pins certificates for (lost to the MITM — footnote 3).
+  std::vector<std::string> pinned_hosts;
+
+  // Findings data.
+  HistoryLeak history_leak = HistoryLeak::kNone;
+  bool history_leak_in_incognito = false;  // keeps leaking in incognito
+  bool persistent_identifier = false;      // Yandex's cross-reset UUID
+  PiiLeakProfile pii;
+
+  // Traffic plans.
+  std::vector<NativeCall> per_visit_calls;
+  IdleCadence idle_cadence;
+  std::vector<IdleDestination> idle_destinations;
+
+  // Startup (cold-start) native calls, fired once per launch.
+  std::vector<NativeCall> startup_calls;
+
+  // Address-bar autocomplete endpoint. Typing in the address bar sends
+  // every keystroke prefix here — which is precisely why Panoptes
+  // navigates via CDP/Frida instead of the address bar (§2.1): these
+  // suggest queries would pollute the native traces.
+  std::string suggest_host;
+  std::string suggest_path = "/complete/search";
+};
+
+}  // namespace panoptes::browser

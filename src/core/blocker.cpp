@@ -1,0 +1,37 @@
+#include "core/blocker.h"
+
+namespace panoptes::core {
+
+NativeTrackerBlocker::NativeTrackerBlocker(HostClassifier classifier,
+                                           BlockScope scope)
+    : classifier_(std::move(classifier)), scope_(scope) {}
+
+void NativeTrackerBlocker::BlockHost(std::string host) {
+  extra_hosts_.push_back(std::move(host));
+}
+
+bool NativeTrackerBlocker::ShouldBlock(const proxy::Flow& flow) const {
+  if (scope_ == BlockScope::kNativeOnly &&
+      flow.origin != proxy::TrafficOrigin::kNative) {
+    return false;
+  }
+  for (const auto& host : extra_hosts_) {
+    if (flow.Host() == host) return true;
+  }
+  return classifier_(flow.Host());
+}
+
+void NativeTrackerBlocker::OnRequest(proxy::Flow& flow,
+                                     net::HttpRequest& request) {
+  (void)request;
+  if (!enabled_ || flow.blocked) return;
+  if (ShouldBlock(flow)) {
+    flow.blocked = true;
+    flow.blocked_by = "native-tracker-blocker";
+    ++blocked_;
+  } else {
+    ++passed_;
+  }
+}
+
+}  // namespace panoptes::core

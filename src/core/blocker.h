@@ -1,0 +1,62 @@
+// The §4 countermeasure, built on Panoptes itself.
+//
+// The paper observes that traditional in-engine ad blockers cannot
+// touch native tracking: the requests never pass through the web
+// engine. The related work (NoMoAds, ReCon, OS-level filterlists)
+// blocks at the network interface instead. This addon is that idea
+// implemented on the Panoptes proxy: it uses the taint split to
+// identify *native* flows and a filter list to decide which of them to
+// refuse — killing the browser app's trackers while leaving the page's
+// own traffic (and the browser's benign update traffic) untouched.
+//
+// It must be installed AFTER the taint filter in the addon chain so
+// flows already carry their origin classification.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proxy/addon.h"
+
+namespace panoptes::core {
+
+enum class BlockScope {
+  kNativeOnly,       // block listed hosts only on native flows (default)
+  kNativeAndEngine,  // classic content blocking on top
+};
+
+class NativeTrackerBlocker : public proxy::Addon {
+ public:
+  // `classifier` returns true for hosts that should be refused (the
+  // benches pass analysis::HostsList::IsAdRelated).
+  using HostClassifier = std::function<bool(std::string_view host)>;
+
+  explicit NativeTrackerBlocker(HostClassifier classifier,
+                                BlockScope scope = BlockScope::kNativeOnly);
+
+  void SetEnabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  // Additional exact hosts to refuse regardless of the hosts list —
+  // e.g. known history-leak endpoints (sba.yandex.net).
+  void BlockHost(std::string host);
+
+  void OnRequest(proxy::Flow& flow, net::HttpRequest& request) override;
+
+  uint64_t blocked() const { return blocked_; }
+  uint64_t passed() const { return passed_; }
+
+ private:
+  bool ShouldBlock(const proxy::Flow& flow) const;
+
+  HostClassifier classifier_;
+  BlockScope scope_;
+  bool enabled_ = true;
+  std::vector<std::string> extra_hosts_;
+  uint64_t blocked_ = 0;
+  uint64_t passed_ = 0;
+};
+
+}  // namespace panoptes::core

@@ -1,0 +1,115 @@
+#include "core/campaign.h"
+
+#include "browser/cdp.h"
+#include "util/logging.h"
+
+namespace panoptes::core {
+
+double CrawlResult::NativeRatio() const {
+  double engine = static_cast<double>(engine_flows->size());
+  double native = static_cast<double>(native_flows->size());
+  if (engine + native == 0) return 0;
+  return native / (engine + native);
+}
+
+CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
+                     const std::vector<const web::Site*>& sites,
+                     const CrawlOptions& options) {
+  CrawlResult result;
+  result.browser = spec.name;
+  result.incognito_requested = options.incognito;
+  result.incognito_effective = options.incognito && spec.has_incognito;
+  result.engine_flows =
+      std::make_unique<proxy::FlowStore>(options.compact_engine_store);
+  result.native_flows = std::make_unique<proxy::FlowStore>();
+
+  auto& runtime = framework.PrepareBrowser(spec, options.factory_reset);
+  framework.taint_addon().SetStores(result.engine_flows.get(),
+                                    result.native_flows.get());
+  framework.netstack().ResetStats();
+
+  // Navigation is driven through CDP (Page.navigate) or, for browsers
+  // without a CDP endpoint, a Frida WebView hook — never the address
+  // bar, so autocomplete cannot pollute the traces (§2.1).
+  auto driver = browser::MakeDriver(&runtime);
+  driver->Attach();
+
+  runtime.Startup();
+
+  for (const web::Site* site : sites) {
+    auto outcome = driver->Navigate(site->landing_url, options.incognito);
+    framework.clock().Advance(options.settle);
+
+    VisitRecord record;
+    record.hostname = site->hostname;
+    record.category = site->category;
+    record.ok = outcome.page.ok;
+    record.dom_content_loaded = outcome.page.dom_content_loaded;
+    record.incognito_honored = outcome.incognito_honored;
+    record.engine_requests = outcome.page.requests_attempted;
+    record.blocked_by_adblock = outcome.page.blocked_by_adblock;
+    result.visits.push_back(std::move(record));
+  }
+
+  result.stack_stats = framework.netstack().stats();
+  framework.taint_addon().SetStores(nullptr, nullptr);
+  framework.TeardownBrowser();
+
+  PANOPTES_LOG(kInfo, "crawl")
+      << spec.name << ": " << result.visits.size() << " visits, "
+      << result.engine_flows->size() << " engine / "
+      << result.native_flows->size() << " native flows";
+  return result;
+}
+
+double IdleResult::ShareToHost(std::string_view host) const {
+  if (native_flows->empty()) return 0;
+  size_t to_host = native_flows->ToHost(host).size();
+  return static_cast<double>(to_host) /
+         static_cast<double>(native_flows->size());
+}
+
+double IdleResult::ShareToDomain(std::string_view domain) const {
+  if (native_flows->empty()) return 0;
+  size_t to_domain = native_flows->ToDomain(domain).size();
+  return static_cast<double>(to_domain) /
+         static_cast<double>(native_flows->size());
+}
+
+IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
+                   const IdleOptions& options) {
+  IdleResult result;
+  result.browser = spec.name;
+  result.native_flows = std::make_unique<proxy::FlowStore>();
+  result.bucket = options.bucket;
+
+  auto& runtime = framework.PrepareBrowser(spec, options.factory_reset);
+  // Idle runs only need the native database.
+  framework.taint_addon().SetStores(nullptr, result.native_flows.get());
+
+  util::SimTime start = framework.clock().Now();
+  runtime.Startup();  // launch traffic is part of the idle timeline
+
+  util::Duration elapsed{0};
+  util::Duration next_bucket = options.bucket;
+  while (elapsed < options.duration) {
+    framework.clock().Advance(options.tick);
+    elapsed = framework.clock().Now() - start;
+    runtime.IdleTick(elapsed);
+    while (elapsed >= next_bucket && next_bucket <= options.duration) {
+      result.cumulative_by_bucket.push_back(result.native_flows->size());
+      next_bucket = next_bucket + options.bucket;
+    }
+  }
+  while (result.cumulative_by_bucket.size() <
+         static_cast<size_t>(options.duration.millis /
+                             options.bucket.millis)) {
+    result.cumulative_by_bucket.push_back(result.native_flows->size());
+  }
+
+  framework.taint_addon().SetStores(nullptr, nullptr);
+  framework.TeardownBrowser();
+  return result;
+}
+
+}  // namespace panoptes::core

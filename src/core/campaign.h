@@ -1,0 +1,85 @@
+// Crawl and idle campaigns (paper §2.1 / §3.5).
+//
+// A crawl campaign factory-resets the browser, launches it, then for
+// every site navigates directly via CDP/Frida (never the address bar),
+// waits for DOMContentLoaded (60 s budget) plus a 5-second settle
+// period, and stores the engine/native flow split. An idle campaign
+// launches the browser at its start page and monitors it untouched for
+// 10 minutes, bucketing native requests over time (Fig 5).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "proxy/flowstore.h"
+#include "web/site.h"
+
+namespace panoptes::core {
+
+struct CrawlOptions {
+  bool incognito = false;
+  bool factory_reset = true;
+  util::Duration settle = util::Duration::Seconds(5);
+  // The engine database is compact (no headers/bodies) by default to
+  // bound memory over 1000-site crawls; analyses that need engine
+  // headers (Referer leakage) ask for a full store.
+  bool compact_engine_store = true;
+};
+
+struct VisitRecord {
+  std::string hostname;
+  web::SiteCategory category = web::SiteCategory::kPopular;
+  bool ok = false;
+  bool dom_content_loaded = false;
+  bool incognito_honored = true;
+  int engine_requests = 0;
+  int blocked_by_adblock = 0;
+};
+
+struct CrawlResult {
+  std::string browser;
+  bool incognito_requested = false;
+  // True only if the browser actually has an incognito mode.
+  bool incognito_effective = false;
+  std::unique_ptr<proxy::FlowStore> engine_flows;  // compact
+  std::unique_ptr<proxy::FlowStore> native_flows;  // full
+  std::vector<VisitRecord> visits;
+  device::NetworkStackStats stack_stats;
+
+  uint64_t EngineRequestCount() const { return engine_flows->size(); }
+  uint64_t NativeRequestCount() const { return native_flows->size(); }
+  // Fig 2's black line: native / (native + engine).
+  double NativeRatio() const;
+};
+
+// Crawls `sites` with `spec`'s browser. The framework's taint addon is
+// pointed at fresh stores for the duration of the run.
+CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
+                     const std::vector<const web::Site*>& sites,
+                     const CrawlOptions& options = {});
+
+struct IdleOptions {
+  util::Duration duration = util::Duration::Minutes(10);
+  util::Duration tick = util::Duration::Seconds(1);
+  util::Duration bucket = util::Duration::Seconds(10);
+  bool factory_reset = true;
+};
+
+struct IdleResult {
+  std::string browser;
+  std::unique_ptr<proxy::FlowStore> native_flows;
+  // Cumulative native request count at the end of each bucket.
+  std::vector<uint64_t> cumulative_by_bucket;
+  util::Duration bucket;
+
+  // Fraction of native requests that went to `host` (§3.5 shares).
+  double ShareToHost(std::string_view host) const;
+  double ShareToDomain(std::string_view domain) const;
+};
+
+IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
+                   const IdleOptions& options = {});
+
+}  // namespace panoptes::core

@@ -1,0 +1,79 @@
+#include "core/framework.h"
+
+#include "util/rng.h"
+
+namespace panoptes::core {
+
+Framework::Framework(FrameworkOptions options)
+    : options_(options),
+      network_(options.seed ^ 0xFAB51Cull),
+      geo_plan_(vendors::GeoPlan::Default()),
+      netstack_(&device_, &network_, &clock_) {
+  // The generated web.
+  catalog_ = web::SiteCatalog::Generate(options_.seed, options_.catalog);
+  std::vector<net::IpAllocator> origin_blocks = {
+      geo_plan_.Allocator("US-HOSTING"),
+      geo_plan_.Allocator("DE-HOSTING"),
+      geo_plan_.Allocator("NL-HOSTING"),
+  };
+  // Note: copies of the allocators are fine here — origin installation
+  // happens once, and the geo ranges (not offsets) drive geolocation.
+  web::InstallWeb(catalog_, network_, origin_blocks,
+                  geo_plan_.Allocator("US-ADTECH"));
+
+  // The vendor backends.
+  vendor_world_ = vendors::InstallVendors(network_, geo_plan_);
+
+  // The proxy and its addon chain.
+  proxy_ = std::make_unique<proxy::MitmProxy>(&network_,
+                                              options_.seed ^ 0x917Full);
+  taint_addon_ = std::make_shared<TaintFilterAddon>();
+  proxy_->AddAddon(taint_addon_);
+  netstack_.SetDiverter(proxy_.get());
+  netstack_.SetLatency(options_.latency);
+  if (options_.use_geo_latency) {
+    netstack_.SetLatencyModel(std::make_unique<net::GeoLatencyModel>(
+        net::GeoLatencyModel::FromVantageGreece(geo_plan_.ranges())));
+  }
+
+  // Device trust: the public web PKI always; the Panoptes CA when
+  // interception is wanted.
+  device_.trust_store().Trust(network_.web_ca().name());
+  if (options_.install_mitm_ca) {
+    device_.trust_store().Trust(proxy_->ca_name());
+  }
+
+  // HTTP/3 blocking (mitmproxy cannot intercept QUIC — §2.2).
+  if (options_.block_quic) {
+    device_.iptables().Append(device::Iptables::BlockQuic());
+  }
+}
+
+browser::BrowserRuntime& Framework::PrepareBrowser(
+    const browser::BrowserSpec& spec, bool factory_reset) {
+  TeardownBrowser();
+
+  if (factory_reset) {
+    device_.FactoryResetApp(spec.package);  // no-op if not yet installed
+  }
+
+  uint64_t seed = util::HashString(spec.name) ^ options_.seed ^
+                  (++browser_counter_ * 0x9E3779B97F4A7C15ull);
+  runtime_ = std::make_unique<browser::BrowserRuntime>(
+      spec, &device_, &netstack_, &network_, &clock_, seed);
+
+  int uid = runtime_->context().app().uid;
+  device_.iptables().Append(device::Iptables::DivertUidTcp(uid));
+  proxy_->SetBrowserLabel(spec.name);
+  return *runtime_;
+}
+
+void Framework::TeardownBrowser() {
+  if (runtime_ == nullptr) return;
+  int uid = runtime_->context().app().uid;
+  device_.iptables().DeleteByComment("panoptes-divert-uid-" +
+                                     std::to_string(uid));
+  runtime_.reset();
+}
+
+}  // namespace panoptes::core

@@ -1,0 +1,39 @@
+#include "core/taint_addon.h"
+
+namespace panoptes::core {
+
+void TaintFilterAddon::SetStores(proxy::FlowStore* engine_store,
+                                 proxy::FlowStore* native_store) {
+  engine_store_ = engine_store;
+  native_store_ = native_store;
+}
+
+void TaintFilterAddon::OnRequest(proxy::Flow& flow,
+                                 net::HttpRequest& request) {
+  auto taint = request.headers.Get(browser::kTaintHeader);
+  if (taint) {
+    flow.origin = proxy::TrafficOrigin::kEngine;
+    flow.taint = *taint;
+    // Strip before forwarding: the destination must never see it.
+    request.headers.Remove(browser::kTaintHeader);
+  } else {
+    flow.origin = proxy::TrafficOrigin::kNative;
+  }
+}
+
+void TaintFilterAddon::OnFlowComplete(const proxy::Flow& flow) {
+  if (flow.origin == proxy::TrafficOrigin::kEngine) {
+    ++engine_flows_;
+    if (engine_store_ != nullptr) engine_store_->Add(flow);
+  } else {
+    ++native_flows_;
+    if (native_store_ != nullptr) native_store_->Add(flow);
+  }
+}
+
+void TaintFilterAddon::ResetCounters() {
+  engine_flows_ = 0;
+  native_flows_ = 0;
+}
+
+}  // namespace panoptes::core

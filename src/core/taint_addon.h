@@ -1,0 +1,39 @@
+// The Panoptes MITM addon (§2.3): inspects every flow's headers,
+// separates tainted (engine-originated) requests from untainted
+// (native) ones, strips the taint header before the request is
+// forwarded to its genuine destination, and stores the two classes in
+// separate databases.
+#pragma once
+
+#include <string>
+
+#include "browser/interceptor.h"
+#include "proxy/addon.h"
+#include "proxy/flowstore.h"
+
+namespace panoptes::core {
+
+class TaintFilterAddon : public proxy::Addon {
+ public:
+  TaintFilterAddon() = default;
+
+  // Points the addon at the databases for the current campaign. Either
+  // may be null (flows of that class are then counted but not stored).
+  void SetStores(proxy::FlowStore* engine_store,
+                 proxy::FlowStore* native_store);
+
+  void OnRequest(proxy::Flow& flow, net::HttpRequest& request) override;
+  void OnFlowComplete(const proxy::Flow& flow) override;
+
+  uint64_t engine_flows() const { return engine_flows_; }
+  uint64_t native_flows() const { return native_flows_; }
+  void ResetCounters();
+
+ private:
+  proxy::FlowStore* engine_store_ = nullptr;
+  proxy::FlowStore* native_store_ = nullptr;
+  uint64_t engine_flows_ = 0;
+  uint64_t native_flows_ = 0;
+};
+
+}  // namespace panoptes::core

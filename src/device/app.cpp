@@ -1,0 +1,26 @@
+#include "device/app.h"
+
+namespace panoptes::device {
+
+void AppStorage::Put(std::string_view key, std::string_view value) {
+  values_[std::string(key)] = std::string(value);
+}
+
+std::optional<std::string> AppStorage::Get(std::string_view key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool AppStorage::Has(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+void AppStorage::Erase(std::string_view key) {
+  auto it = values_.find(key);
+  if (it != values_.end()) values_.erase(it);
+}
+
+void AppStorage::Clear() { values_.clear(); }
+
+}  // namespace panoptes::device

@@ -1,0 +1,42 @@
+// Installed applications: package name, kernel UID, private storage and
+// certificate pins.
+//
+// Per-app kernel UIDs are what Panoptes keys its iptables diversion on
+// (paper §2.2); app-private storage is where persistent tracking
+// identifiers live (it survives cookie clearing, which is how Yandex's
+// identifier defeats Tor/VPN/IP rotation).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/cookies.h"
+#include "net/tls.h"
+
+namespace panoptes::device {
+
+// Key-value store standing in for an app's private data directory.
+class AppStorage {
+ public:
+  void Put(std::string_view key, std::string_view value);
+  std::optional<std::string> Get(std::string_view key) const;
+  bool Has(std::string_view key) const;
+  void Erase(std::string_view key);
+  void Clear();
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+};
+
+struct InstalledApp {
+  std::string package;  // e.g. "com.opera.browser"
+  int uid = -1;         // kernel UID (unique per app)
+  AppStorage storage;     // survives cookie clearing; wiped on app reset
+  net::CookieJar cookies; // wiped by "clear browsing data" AND app reset
+  net::PinSet pins;     // certificate pins the app enforces
+};
+
+}  // namespace panoptes::device

@@ -1,0 +1,50 @@
+#include "device/device.h"
+
+namespace panoptes::device {
+
+AndroidDevice::AndroidDevice(DeviceProfile profile)
+    : profile_(std::move(profile)) {}
+
+int AndroidDevice::InstallApp(std::string_view package) {
+  auto it = apps_.find(package);
+  if (it != apps_.end()) {
+    it->second.storage.Clear();
+    it->second.cookies.Clear();
+    it->second.pins = net::PinSet();
+    return it->second.uid;
+  }
+  InstalledApp app;
+  app.package = std::string(package);
+  app.uid = next_uid_++;
+  int uid = app.uid;
+  apps_.emplace(std::string(package), std::move(app));
+  return uid;
+}
+
+InstalledApp* AndroidDevice::FindApp(std::string_view package) {
+  auto it = apps_.find(package);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+const InstalledApp* AndroidDevice::FindApp(std::string_view package) const {
+  auto it = apps_.find(package);
+  return it == apps_.end() ? nullptr : &it->second;
+}
+
+bool AndroidDevice::FactoryResetApp(std::string_view package) {
+  auto* app = FindApp(package);
+  if (app == nullptr) return false;
+  app->storage.Clear();
+  app->cookies.Clear();
+  app->pins = net::PinSet();
+  return true;
+}
+
+bool AndroidDevice::ClearCookies(std::string_view package) {
+  auto* app = FindApp(package);
+  if (app == nullptr) return false;
+  app->cookies.Clear();
+  return true;
+}
+
+}  // namespace panoptes::device

@@ -1,0 +1,59 @@
+// The Android device: installed apps, system trust store, iptables and
+// the device profile. The network stack (netstack.h) performs the
+// actual sending on its behalf.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "device/app.h"
+#include "device/iptables.h"
+#include "device/profile.h"
+#include "net/tls.h"
+
+namespace panoptes::device {
+
+class AndroidDevice {
+ public:
+  explicit AndroidDevice(DeviceProfile profile = DeviceProfile::PaperTestbed());
+
+  const DeviceProfile& profile() const { return profile_; }
+  DeviceProfile& mutable_profile() { return profile_; }
+
+  net::CaStore& trust_store() { return trust_store_; }
+  const net::CaStore& trust_store() const { return trust_store_; }
+
+  Iptables& iptables() { return iptables_; }
+  const Iptables& iptables() const { return iptables_; }
+
+  // Installs an app, assigning the next kernel UID (Android app UIDs
+  // start at 10000). Returns the assigned UID. Reinstalling an existing
+  // package keeps its UID but wipes its storage.
+  int InstallApp(std::string_view package);
+
+  InstalledApp* FindApp(std::string_view package);
+  const InstalledApp* FindApp(std::string_view package) const;
+
+  // Appium-style reset to factory settings: wipes storage, cookies and
+  // pins for the package. Returns false if not installed.
+  bool FactoryResetApp(std::string_view package);
+
+  // "Clear browsing data": cookies only; app-private storage survives.
+  bool ClearCookies(std::string_view package);
+
+  size_t app_count() const { return apps_.size(); }
+
+  // Changes the public IP (models switching to Tor / a VPN / a new
+  // network) without touching any app state.
+  void SetPublicIp(net::IpAddress ip) { profile_.public_ip = ip; }
+
+ private:
+  DeviceProfile profile_;
+  net::CaStore trust_store_;
+  Iptables iptables_;
+  std::map<std::string, InstalledApp, std::less<>> apps_;
+  int next_uid_ = 10050;
+};
+
+}  // namespace panoptes::device

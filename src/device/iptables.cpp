@@ -1,0 +1,51 @@
+#include "device/iptables.h"
+
+namespace panoptes::device {
+
+void Iptables::Append(IptablesRule rule) { rules_.push_back(std::move(rule)); }
+
+size_t Iptables::DeleteByComment(std::string_view comment) {
+  size_t removed = 0;
+  for (auto it = rules_.begin(); it != rules_.end();) {
+    if (it->comment == comment) {
+      it = rules_.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+void Iptables::Flush() { rules_.clear(); }
+
+RuleAction Iptables::Evaluate(int uid, Protocol protocol,
+                              uint16_t dest_port) const {
+  for (const auto& rule : rules_) {
+    if (rule.uid && *rule.uid != uid) continue;
+    if (rule.protocol && *rule.protocol != protocol) continue;
+    if (rule.dest_port && *rule.dest_port != dest_port) continue;
+    return rule.action;
+  }
+  return RuleAction::kAccept;
+}
+
+IptablesRule Iptables::DivertUidTcp(int uid) {
+  IptablesRule rule;
+  rule.uid = uid;
+  rule.protocol = Protocol::kTcp;
+  rule.action = RuleAction::kDivert;
+  rule.comment = "panoptes-divert-uid-" + std::to_string(uid);
+  return rule;
+}
+
+IptablesRule Iptables::BlockQuic() {
+  IptablesRule rule;
+  rule.protocol = Protocol::kUdp;
+  rule.dest_port = 443;
+  rule.action = RuleAction::kReject;
+  rule.comment = "panoptes-block-quic";
+  return rule;
+}
+
+}  // namespace panoptes::device

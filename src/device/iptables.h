@@ -1,0 +1,52 @@
+// Minimal iptables-like rule engine.
+//
+// Panoptes creates two kinds of rules on the device (paper §2.2):
+//   1. divert all TCP traffic of a browser's kernel UID through the
+//      transparent MITM proxy, and
+//   2. block all HTTP/3 (UDP/443) traffic, because mitmproxy could not
+//      intercept QUIC — browsers then fall back to older HTTP versions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace panoptes::device {
+
+enum class Protocol { kTcp, kUdp };
+
+enum class RuleAction { kAccept, kDivert, kReject };
+
+struct IptablesRule {
+  // Match criteria; nullopt = wildcard.
+  std::optional<int> uid;
+  std::optional<Protocol> protocol;
+  std::optional<uint16_t> dest_port;
+  RuleAction action = RuleAction::kAccept;
+  std::string comment;
+};
+
+class Iptables {
+ public:
+  // Appends a rule; evaluation is first-match-wins, default kAccept.
+  void Append(IptablesRule rule);
+
+  // Removes every rule whose comment equals `comment`; returns count.
+  size_t DeleteByComment(std::string_view comment);
+
+  void Flush();
+
+  RuleAction Evaluate(int uid, Protocol protocol, uint16_t dest_port) const;
+
+  const std::vector<IptablesRule>& rules() const { return rules_; }
+
+  // Convenience builders matching what Panoptes installs.
+  static IptablesRule DivertUidTcp(int uid);
+  static IptablesRule BlockQuic();
+
+ private:
+  std::vector<IptablesRule> rules_;
+};
+
+}  // namespace panoptes::device

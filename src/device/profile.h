@@ -1,0 +1,42 @@
+// Static description of the test device.
+//
+// The paper's testbed is a Samsung Galaxy Tab A (SM-T580) on Android 11
+// crawling from an EU vantage point. Every field here is something at
+// least one browser in the dataset leaks natively (Table 2), so the PII
+// scanner searches captured traffic for exactly these values.
+#pragma once
+
+#include <string>
+
+#include "net/ip.h"
+
+namespace panoptes::device {
+
+struct DeviceProfile {
+  std::string manufacturer = "Samsung";
+  std::string model = "SM-T580";
+  std::string device_type = "TABLET";
+  std::string os = "ANDROID";
+  std::string os_version = "11";
+  int screen_width = 1200;
+  int screen_height = 1920;
+  int dpi = 240;
+  std::string timezone = "Europe/Athens";
+  int timezone_offset_minutes = 180;  // UTC+3 (EEST)
+  std::string locale = "el-GR";
+  std::string country = "GR";
+  std::string city = "Heraklion";
+  double latitude = 35.3387;
+  double longitude = 25.1442;
+  bool rooted = false;
+  std::string connection_type = "WIFI";      // WIFI / CELLULAR
+  std::string network_metering = "UNMETERED";
+  std::string isp = "HellasNet Broadband";
+  net::IpAddress local_ip{192, 168, 1, 42};
+  net::IpAddress public_ip{94, 66, 220, 17};  // EU (Greece) block
+
+  // The factory profile used across the whole evaluation.
+  static DeviceProfile PaperTestbed() { return DeviceProfile{}; }
+};
+
+}  // namespace panoptes::device

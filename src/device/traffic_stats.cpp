@@ -1,0 +1,34 @@
+#include "device/traffic_stats.h"
+
+namespace panoptes::device {
+
+void TrafficStatsRegistry::RecordExchange(int uid, uint64_t tx_bytes,
+                                          uint64_t rx_bytes) {
+  auto& entry = by_uid_[uid];
+  entry.tx_bytes += tx_bytes;
+  entry.rx_bytes += rx_bytes;
+  entry.tx_packets += 1;
+}
+
+void TrafficStatsRegistry::RecordFailure(int uid) {
+  by_uid_[uid].failed_attempts += 1;
+}
+
+UidTraffic TrafficStatsRegistry::ForUid(int uid) const {
+  auto it = by_uid_.find(uid);
+  return it == by_uid_.end() ? UidTraffic{} : it->second;
+}
+
+UidTraffic TrafficStatsRegistry::Total() const {
+  UidTraffic total;
+  for (const auto& [uid, entry] : by_uid_) {
+    (void)uid;
+    total.tx_bytes += entry.tx_bytes;
+    total.rx_bytes += entry.rx_bytes;
+    total.tx_packets += entry.tx_packets;
+    total.failed_attempts += entry.failed_attempts;
+  }
+  return total;
+}
+
+}  // namespace panoptes::device

@@ -1,0 +1,41 @@
+// Per-UID traffic accounting, mirroring android.net.TrafficStats.
+//
+// Android exposes cumulative tx/rx byte counters per kernel UID; tools
+// like PCAPdroid build on them. Panoptes keeps the same ledger on the
+// device side, which gives the test suite a powerful cross-check: for
+// fully intercepted traffic, the device's ledger and the proxy's flow
+// databases must agree byte-for-byte.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace panoptes::device {
+
+struct UidTraffic {
+  uint64_t tx_bytes = 0;    // bytes the app sent (requests)
+  uint64_t rx_bytes = 0;    // bytes the app received (responses)
+  uint64_t tx_packets = 0;  // exchanges initiated
+  uint64_t failed_attempts = 0;  // sends that never completed
+};
+
+class TrafficStatsRegistry {
+ public:
+  void RecordExchange(int uid, uint64_t tx_bytes, uint64_t rx_bytes);
+  void RecordFailure(int uid);
+
+  // Counters for one UID (zeros when the UID never sent).
+  UidTraffic ForUid(int uid) const;
+
+  // Aggregate over all UIDs.
+  UidTraffic Total() const;
+
+  void Reset() { by_uid_.clear(); }
+  size_t TrackedUids() const { return by_uid_.size(); }
+
+ private:
+  std::map<int, UidTraffic> by_uid_;
+};
+
+}  // namespace panoptes::device

@@ -1,0 +1,80 @@
+// Cookie jar (RFC 6265 subset): Set-Cookie parsing with attributes,
+// domain/path matching, expiry against the simulated clock, and
+// Secure handling.
+//
+// Cookies matter to the study in one precise way: "clear browsing
+// data" wipes them — and the paper shows it does NOT stop tracking,
+// because the persistent identifiers live elsewhere. Modeling a real
+// jar makes that contrast concrete and lets incognito's no-persistence
+// property be tested at the right layer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/url.h"
+#include "util/clock.h"
+
+namespace panoptes::net {
+
+struct Cookie {
+  std::string name;
+  std::string value;
+  std::string domain;       // host-only when host_only is true
+  bool host_only = true;
+  std::string path = "/";
+  bool secure = false;
+  bool http_only = false;
+  // Session cookies (no Expires/Max-Age) have no expiry.
+  std::optional<util::SimTime> expires;
+
+  bool IsExpiredAt(util::SimTime now) const {
+    return expires.has_value() && *expires <= now;
+  }
+};
+
+// Parses one Set-Cookie header value in the context of `request_url`.
+// Returns nullopt for malformed input or a domain attribute the origin
+// may not set (not a parent domain of the host).
+std::optional<Cookie> ParseSetCookie(std::string_view header,
+                                     const Url& request_url,
+                                     util::SimTime now);
+
+class CookieJar {
+ public:
+  // Stores (or replaces by name+domain+path) a cookie.
+  void Store(Cookie cookie);
+
+  // Processes a Set-Cookie header for a response to `request_url`.
+  // Returns false when the header was rejected.
+  bool SetFromHeader(std::string_view header, const Url& request_url,
+                     util::SimTime now);
+
+  // The "Cookie:" header value for a request to `url` at `now`
+  // ("a=1; b=2"), or empty when nothing matches. Expired cookies are
+  // evicted as a side effect.
+  std::string CookieHeaderFor(const Url& url, util::SimTime now);
+
+  // All live cookies matching `url` (most-specific path first).
+  std::vector<const Cookie*> MatchingCookies(const Url& url,
+                                             util::SimTime now);
+
+  void Clear() { cookies_.clear(); }
+  size_t size() const { return cookies_.size(); }
+
+ private:
+  void Evict(util::SimTime now);
+
+  std::vector<Cookie> cookies_;
+};
+
+// Domain-match per RFC 6265 §5.1.3.
+bool CookieDomainMatch(std::string_view host, std::string_view domain);
+
+// Path-match per RFC 6265 §5.1.4.
+bool CookiePathMatch(std::string_view request_path,
+                     std::string_view cookie_path);
+
+}  // namespace panoptes::net

@@ -1,0 +1,81 @@
+// DNS: the authoritative zone of the simulated internet, plus the two
+// resolver paths the paper distinguishes — a local stub resolver (no
+// observable HTTP traffic) and DNS-over-HTTPS (which *is* native HTTPS
+// traffic to Cloudflare/Google and shows up in the flow stores).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "net/ip.h"
+
+namespace panoptes::net {
+
+// Authoritative hostname → address mapping for the whole simulation.
+class DnsZone {
+ public:
+  void AddRecord(std::string_view hostname, IpAddress address);
+  std::optional<IpAddress> Lookup(std::string_view hostname) const;
+  bool Has(std::string_view hostname) const;
+  size_t size() const { return records_.size(); }
+
+  // Simulate an outage for a specific name (failure injection).
+  void SetFailing(std::string_view hostname, bool failing);
+
+ private:
+  std::map<std::string, IpAddress, std::less<>> records_;
+  std::set<std::string, std::less<>> failing_;
+};
+
+// Resolver interface used by the device network stack.
+class Resolver {
+ public:
+  virtual ~Resolver() = default;
+
+  // Resolves a hostname; nullopt = NXDOMAIN / failure.
+  virtual std::optional<IpAddress> Resolve(std::string_view hostname) = 0;
+
+  // Human-readable description ("stub", "doh:cloudflare-dns.com").
+  virtual std::string Describe() const = 0;
+};
+
+// The device's local stub resolver: answers from the zone without
+// generating observable application-layer traffic.
+class StubResolver : public Resolver {
+ public:
+  explicit StubResolver(const DnsZone* zone) : zone_(zone) {}
+
+  std::optional<IpAddress> Resolve(std::string_view hostname) override;
+  std::string Describe() const override { return "stub"; }
+
+ private:
+  const DnsZone* zone_;
+};
+
+// DNS-over-HTTPS resolver. The actual HTTPS query is delegated to a
+// transport callback so this class stays independent of the device
+// stack that owns it; the transport returns the response body of
+// GET https://<provider>/dns-query?name=<host>&type=A.
+class DohResolver : public Resolver {
+ public:
+  using Transport =
+      std::function<std::optional<std::string>(std::string_view query_url)>;
+
+  DohResolver(std::string provider_host, Transport transport);
+
+  std::optional<IpAddress> Resolve(std::string_view hostname) override;
+  std::string Describe() const override { return "doh:" + provider_host_; }
+
+  const std::string& provider_host() const { return provider_host_; }
+
+ private:
+  std::string provider_host_;
+  Transport transport_;
+  std::map<std::string, IpAddress, std::less<>> cache_;
+};
+
+}  // namespace panoptes::net

@@ -1,0 +1,72 @@
+#include "net/fabric.h"
+
+#include "util/strings.h"
+
+namespace panoptes::net {
+
+Network::Network(uint64_t seed)
+    : web_ca_("SimWeb-Root-CA", util::Rng(seed)) {}
+
+const HostBinding& Network::Host(std::string hostname, IpAddress ip,
+                                 std::shared_ptr<Server> server,
+                                 bool supports_h3) {
+  std::string key = util::ToLower(hostname);
+  HostBinding binding;
+  binding.hostname = key;
+  binding.ip = ip;
+  binding.leaf = const_cast<CertificateAuthority&>(web_ca_).IssueLeaf(key);
+  binding.supports_h3 = supports_h3;
+  binding.server = std::move(server);
+
+  zone_.AddRecord(key, ip);
+  host_by_ip_[ip] = key;
+  auto [it, _] = by_host_.insert_or_assign(key, std::move(binding));
+  return it->second;
+}
+
+const HostBinding* Network::FindByHost(std::string_view hostname) const {
+  auto it = by_host_.find(util::ToLower(hostname));
+  return it == by_host_.end() ? nullptr : &it->second;
+}
+
+const HostBinding* Network::FindByIp(IpAddress ip) const {
+  auto it = host_by_ip_.find(ip);
+  if (it == host_by_ip_.end()) return nullptr;
+  return FindByHost(it->second);
+}
+
+const Certificate* Network::LeafFor(std::string_view sni) const {
+  const auto* binding = FindByHost(sni);
+  return binding == nullptr ? nullptr : &binding->leaf;
+}
+
+bool Network::SupportsH3(std::string_view hostname) const {
+  const auto* binding = FindByHost(hostname);
+  return binding != nullptr && binding->supports_h3;
+}
+
+HttpResponse Network::Deliver(IpAddress server_ip, const HttpRequest& request,
+                              const ConnectionMeta& meta) {
+  ++delivered_;
+  for (const auto& [name, value] : request.headers.entries()) {
+    (void)value;
+    if (util::StartsWith(util::ToLower(name), "x-panoptes")) {
+      ++taint_leaks_;
+      break;
+    }
+  }
+  const auto* binding = FindByIp(server_ip);
+  if (binding == nullptr || binding->server == nullptr) {
+    return HttpResponse::Error(502, "no server at " + server_ip.ToString());
+  }
+  return binding->server->Handle(request, meta);
+}
+
+std::vector<std::string> Network::Hostnames() const {
+  std::vector<std::string> out;
+  out.reserve(by_host_.size());
+  for (const auto& [host, _] : by_host_) out.push_back(host);
+  return out;
+}
+
+}  // namespace panoptes::net

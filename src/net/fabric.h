@@ -1,0 +1,129 @@
+// The in-process network fabric: every simulated remote endpoint
+// (website origins, browser-vendor backends, ad servers, DoH providers)
+// registers here, and all device traffic is delivered through it.
+//
+// The fabric is synchronous and deterministic. It owns the authoritative
+// DNS zone, the "web PKI" certificate authority that issues the real
+// leaf certificates, and the hostname → server bindings.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/dns.h"
+#include "net/http.h"
+#include "net/ip.h"
+#include "net/tls.h"
+#include "util/clock.h"
+
+namespace panoptes::net {
+
+// Per-exchange metadata visible to servers (and recorded by the proxy).
+struct ConnectionMeta {
+  IpAddress client_ip;
+  IpAddress server_ip;
+  std::string sni;          // hostname presented in the handshake
+  int app_uid = -1;         // kernel UID of the originating app
+  HttpVersion version = HttpVersion::kHttp11;
+  util::SimTime time;       // simulated send time
+  bool via_proxy = false;   // true once the MITM has forwarded it
+  bool tls = true;
+};
+
+// A remote HTTP endpoint.
+class Server {
+ public:
+  virtual ~Server() = default;
+
+  // Handles one request/response exchange.
+  virtual HttpResponse Handle(const HttpRequest& request,
+                              const ConnectionMeta& meta) = 0;
+};
+
+// Adapts a lambda into a Server.
+class FunctionServer : public Server {
+ public:
+  using Handler =
+      std::function<HttpResponse(const HttpRequest&, const ConnectionMeta&)>;
+  explicit FunctionServer(Handler handler) : handler_(std::move(handler)) {}
+
+  HttpResponse Handle(const HttpRequest& request,
+                      const ConnectionMeta& meta) override {
+    return handler_(request, meta);
+  }
+
+ private:
+  Handler handler_;
+};
+
+// One hostname bound to an address, a certificate and a server.
+struct HostBinding {
+  std::string hostname;
+  IpAddress ip;
+  Certificate leaf;        // issued by the fabric's web CA
+  bool supports_h3 = false;
+  std::shared_ptr<Server> server;
+};
+
+class Network {
+ public:
+  // `seed` feeds the web CA's key-id generator.
+  explicit Network(uint64_t seed = 0x9A7075E5u);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  DnsZone& zone() { return zone_; }
+  const DnsZone& zone() const { return zone_; }
+
+  // The CA that signs every genuine server leaf. Device trust stores
+  // include it by default (it models the public web PKI).
+  const CertificateAuthority& web_ca() const { return web_ca_; }
+
+  // Registers a hostname: adds the DNS record, issues a leaf and binds
+  // the server. Replaces any previous binding for the hostname.
+  const HostBinding& Host(std::string hostname, IpAddress ip,
+                          std::shared_ptr<Server> server,
+                          bool supports_h3 = false);
+
+  const HostBinding* FindByHost(std::string_view hostname) const;
+  const HostBinding* FindByIp(IpAddress ip) const;
+
+  // Certificate the genuine server would present for `sni`; nullptr for
+  // unknown hosts.
+  const Certificate* LeafFor(std::string_view sni) const;
+
+  bool SupportsH3(std::string_view hostname) const;
+
+  // Delivers a request to the server bound at `server_ip`. Returns 502
+  // when nothing is listening there. Counts every delivery.
+  HttpResponse Deliver(IpAddress server_ip, const HttpRequest& request,
+                       const ConnectionMeta& meta);
+
+  uint64_t delivered_count() const { return delivered_; }
+
+  // Number of delivered requests that still carried a Panoptes taint
+  // header. Invariant: stays zero — the MITM addon must strip the taint
+  // before forwarding (the tainted header must never reach a real
+  // server, or it could alter site behaviour).
+  uint64_t taint_leaks() const { return taint_leaks_; }
+
+  // Every hostname currently bound (stable order).
+  std::vector<std::string> Hostnames() const;
+
+ private:
+  DnsZone zone_;
+  CertificateAuthority web_ca_;
+  std::map<std::string, HostBinding, std::less<>> by_host_;
+  std::map<IpAddress, std::string> host_by_ip_;
+  uint64_t delivered_ = 0;
+  uint64_t taint_leaks_ = 0;
+};
+
+}  // namespace panoptes::net

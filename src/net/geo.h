@@ -1,0 +1,23 @@
+// Geographic metadata for address ranges. The simulated internet
+// allocates every server out of a country-labelled block; the analysis
+// GeoIP database is built from these ranges, mirroring the paper's use
+// of an IP-to-geolocation service (§3.4).
+#pragma once
+
+#include <string>
+
+#include "net/ip.h"
+
+namespace panoptes::net {
+
+struct GeoRange {
+  Cidr cidr;
+  std::string country_code;  // ISO 3166-1 alpha-2
+  std::string country_name;
+  bool eu_member = false;    // GDPR territorial scope proxy
+  // Address-plan block label ("US-ANYCAST-CF", "DE-HOSTING", ...);
+  // carries deployment hints such as anycast.
+  std::string block_key;
+};
+
+}  // namespace panoptes::net

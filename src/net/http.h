@@ -1,0 +1,55 @@
+// HTTP message model: requests, responses, versions and wire-size
+// accounting (Fig 4 reports traffic volume, so byte counts matter).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/headers.h"
+#include "net/url.h"
+
+namespace panoptes::net {
+
+enum class HttpMethod { kGet, kPost, kPut, kHead, kOptions, kDelete };
+
+std::string_view MethodName(HttpMethod method);
+std::optional<HttpMethod> ParseMethod(std::string_view name);
+
+// The protocol a flow was carried over. HTTP/3 matters because the
+// paper's proxy blocks QUIC and relies on browsers falling back.
+enum class HttpVersion { kHttp11, kHttp2, kHttp3 };
+
+std::string_view VersionName(HttpVersion version);
+
+struct HttpRequest {
+  HttpMethod method = HttpMethod::kGet;
+  Url url;
+  HttpHeaders headers;
+  std::string body;
+
+  // Approximate on-the-wire size in bytes: request line + headers +
+  // body. Used for the Fig 4 volume accounting.
+  size_t WireSize() const;
+
+  // "GET https://example.org/ HTTP/1.1" style summary for logs.
+  std::string Summary() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  HttpHeaders headers;
+  std::string body;
+
+  size_t WireSize() const;
+
+  static HttpResponse Ok(std::string body,
+                         std::string_view content_type = "text/html");
+  static HttpResponse Json(std::string body);
+  static HttpResponse NotFound();
+  static HttpResponse Error(int status, std::string_view reason);
+};
+
+std::string_view StatusReason(int status);
+
+}  // namespace panoptes::net

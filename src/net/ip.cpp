@@ -1,0 +1,67 @@
+#include "net/ip.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace panoptes::net {
+
+std::optional<IpAddress> IpAddress::Parse(std::string_view text) {
+  auto parts = util::Split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  uint32_t value = 0;
+  for (const auto& part : parts) {
+    auto n = util::ParseUint(part);
+    if (!n || *n > 255) return std::nullopt;
+    value = (value << 8) | static_cast<uint32_t>(*n);
+  }
+  return IpAddress(value);
+}
+
+std::string IpAddress::ToString() const {
+  std::array<char, 20> buf{};
+  std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u", (value_ >> 24) & 0xFF,
+                (value_ >> 16) & 0xFF, (value_ >> 8) & 0xFF, value_ & 0xFF);
+  return std::string(buf.data());
+}
+
+bool IpAddress::IsPrivate() const {
+  uint8_t a = static_cast<uint8_t>(value_ >> 24);
+  uint8_t b = static_cast<uint8_t>(value_ >> 16);
+  if (a == 10) return true;
+  if (a == 172 && b >= 16 && b <= 31) return true;
+  if (a == 192 && b == 168) return true;
+  if (a == 127) return true;
+  if (a == 169 && b == 254) return true;
+  return false;
+}
+
+std::string Endpoint::ToString() const {
+  return ip.ToString() + ":" + std::to_string(port);
+}
+
+Cidr::Cidr(IpAddress base, int prefix_len)
+    : base_(base), prefix_len_(prefix_len) {
+  mask_ = prefix_len == 0 ? 0 : ~uint32_t{0} << (32 - prefix_len);
+  base_ = IpAddress(base.value() & mask_);
+}
+
+std::optional<Cidr> Cidr::Parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto ip = IpAddress::Parse(text.substr(0, slash));
+  auto len = util::ParseUint(text.substr(slash + 1));
+  if (!ip || !len || *len > 32) return std::nullopt;
+  return Cidr(*ip, static_cast<int>(*len));
+}
+
+bool Cidr::Contains(IpAddress ip) const {
+  return (ip.value() & mask_) == base_.value();
+}
+
+std::string Cidr::ToString() const {
+  return base_.ToString() + "/" + std::to_string(prefix_len_);
+}
+
+}  // namespace panoptes::net

@@ -1,0 +1,67 @@
+// IPv4 addresses, endpoints and CIDR ranges for the simulated network.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace panoptes::net {
+
+// An IPv4 address stored in host byte order.
+class IpAddress {
+ public:
+  constexpr IpAddress() = default;
+  constexpr explicit IpAddress(uint32_t value) : value_(value) {}
+  constexpr IpAddress(uint8_t a, uint8_t b, uint8_t c, uint8_t d)
+      : value_((static_cast<uint32_t>(a) << 24) |
+               (static_cast<uint32_t>(b) << 16) |
+               (static_cast<uint32_t>(c) << 8) | d) {}
+
+  static std::optional<IpAddress> Parse(std::string_view text);
+
+  constexpr uint32_t value() const { return value_; }
+  std::string ToString() const;
+
+  constexpr bool IsUnspecified() const { return value_ == 0; }
+
+  // RFC 1918 + loopback + link-local.
+  bool IsPrivate() const;
+
+  friend auto operator<=>(const IpAddress&, const IpAddress&) = default;
+
+ private:
+  uint32_t value_ = 0;
+};
+
+// An (address, port) pair.
+struct Endpoint {
+  IpAddress ip;
+  uint16_t port = 0;
+
+  std::string ToString() const;
+
+  friend auto operator<=>(const Endpoint&, const Endpoint&) = default;
+};
+
+// A CIDR range such as 77.88.0.0/17.
+class Cidr {
+ public:
+  Cidr() = default;
+  Cidr(IpAddress base, int prefix_len);
+
+  static std::optional<Cidr> Parse(std::string_view text);
+
+  bool Contains(IpAddress ip) const;
+  int prefix_len() const { return prefix_len_; }
+  IpAddress base() const { return base_; }
+  std::string ToString() const;
+
+ private:
+  IpAddress base_;
+  int prefix_len_ = 0;
+  uint32_t mask_ = 0;
+};
+
+}  // namespace panoptes::net

@@ -1,0 +1,13 @@
+#include "net/ipalloc.h"
+
+namespace panoptes::net {
+
+IpAddress IpAllocator::Next() {
+  uint64_t capacity = 1ULL << (32 - block_.prefix_len());
+  if (next_offset_ >= capacity) {
+    throw std::out_of_range("IP block exhausted: " + block_.ToString());
+  }
+  return IpAddress(block_.base().value() + next_offset_++);
+}
+
+}  // namespace panoptes::net

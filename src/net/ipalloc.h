@@ -1,0 +1,28 @@
+// Sequential address allocation out of a CIDR block. Used when wiring
+// the simulated internet: each block belongs to one hosting region, so
+// the GeoIP database can later map any allocated address to a country.
+#pragma once
+
+#include <stdexcept>
+
+#include "net/ip.h"
+
+namespace panoptes::net {
+
+class IpAllocator {
+ public:
+  explicit IpAllocator(Cidr block) : block_(block) {}
+
+  // Next unused address in the block; throws std::out_of_range when the
+  // block is exhausted (misconfiguration — blocks are sized generously).
+  IpAddress Next();
+
+  const Cidr& block() const { return block_; }
+  uint32_t allocated() const { return next_offset_; }
+
+ private:
+  Cidr block_;
+  uint32_t next_offset_ = 1;  // skip the network address
+};
+
+}  // namespace panoptes::net

@@ -1,0 +1,50 @@
+#include "net/latency.h"
+
+namespace panoptes::net {
+
+GeoLatencyModel::GeoLatencyModel(
+    std::vector<GeoRange> ranges,
+    std::map<std::string, util::Duration> rtt_by_country,
+    util::Duration fallback)
+    : ranges_(std::move(ranges)),
+      rtt_by_country_(std::move(rtt_by_country)),
+      fallback_(fallback) {}
+
+GeoLatencyModel GeoLatencyModel::FromVantageGreece(
+    std::vector<GeoRange> ranges) {
+  using util::Duration;
+  std::map<std::string, Duration> rtt = {
+      {"GR", Duration::Millis(12)},  {"DE", Duration::Millis(35)},
+      {"NL", Duration::Millis(40)},  {"FR", Duration::Millis(42)},
+      {"IE", Duration::Millis(55)},  {"NO", Duration::Millis(52)},
+      {"RU", Duration::Millis(58)},  {"US", Duration::Millis(115)},
+      {"CA", Duration::Millis(105)}, {"KR", Duration::Millis(185)},
+      {"CN", Duration::Millis(210)}, {"VN", Duration::Millis(195)},
+      {"SG", Duration::Millis(170)},
+  };
+  return GeoLatencyModel(std::move(ranges), std::move(rtt),
+                         Duration::Millis(90));
+}
+
+util::Duration GeoLatencyModel::RttTo(IpAddress server) const {
+  const GeoRange* best = nullptr;
+  for (const auto& range : ranges_) {
+    if (range.cidr.Contains(server)) {
+      if (best == nullptr ||
+          range.cidr.prefix_len() > best->cidr.prefix_len()) {
+        best = &range;
+      }
+    }
+  }
+  if (best == nullptr) return fallback_;
+  // Anycast prefixes resolve to a nearby PoP regardless of the
+  // operator's registration country.
+  if (best->block_key.find("ANYCAST") != std::string::npos) {
+    return util::Duration::Millis(18);
+  }
+  auto it = rtt_by_country_.find(best->country_code);
+  if (it == rtt_by_country_.end()) return fallback_;
+  return it->second;
+}
+
+}  // namespace panoptes::net

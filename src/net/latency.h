@@ -1,0 +1,54 @@
+// Round-trip latency models. The crawl runs from an EU vantage point
+// (Greece); a request to a Greek origin and one to a Chinese vendor
+// backend should not cost the same simulated time. Latency does not
+// change any count or byte in the figures — it only makes the timing
+// side (DOMContentLoaded, Fig 5 timelines) behave like a real vantage
+// point.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/geo.h"
+#include "net/ip.h"
+#include "util/clock.h"
+
+namespace panoptes::net {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  // Full request/response round trip to `server`.
+  virtual util::Duration RttTo(IpAddress server) const = 0;
+};
+
+class FixedLatency : public LatencyModel {
+ public:
+  explicit FixedLatency(util::Duration rtt) : rtt_(rtt) {}
+  util::Duration RttTo(IpAddress) const override { return rtt_; }
+
+ private:
+  util::Duration rtt_;
+};
+
+// Country-keyed RTTs resolved through the address plan's geo ranges.
+class GeoLatencyModel : public LatencyModel {
+ public:
+  // Builds the default table for a Greek (EU) vantage point.
+  static GeoLatencyModel FromVantageGreece(std::vector<GeoRange> ranges);
+
+  GeoLatencyModel(std::vector<GeoRange> ranges,
+                  std::map<std::string, util::Duration> rtt_by_country,
+                  util::Duration fallback);
+
+  util::Duration RttTo(IpAddress server) const override;
+
+ private:
+  std::vector<GeoRange> ranges_;
+  std::map<std::string, util::Duration> rtt_by_country_;
+  util::Duration fallback_;
+};
+
+}  // namespace panoptes::net

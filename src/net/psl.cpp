@@ -1,0 +1,77 @@
+#include "net/psl.h"
+
+#include <array>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace panoptes::net {
+
+namespace {
+
+// Subset of the Mozilla Public Suffix List covering every TLD used by
+// the simulation (vendor domains, generated sites, DoH providers) plus
+// the common multi-label suffixes.
+constexpr std::array<std::string_view, 38> kSuffixes = {
+    "com",    "net",     "org",    "io",     "co",     "ru",
+    "cn",     "de",      "fr",     "gr",     "es",     "it",
+    "nl",     "uk",      "ca",     "us",     "jp",     "kr",
+    "vn",     "in",      "br",     "au",     "info",   "biz",
+    "dev",    "app",     "cloud",  "online", "site",   "xyz",
+    "health", "news",    "co.uk",  "org.uk", "ac.uk",  "com.cn",
+    "com.au", "co.jp",
+};
+
+bool IsIpLiteral(std::string_view host) {
+  for (char c : host) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.') {
+      return false;
+    }
+  }
+  return !host.empty();
+}
+
+}  // namespace
+
+bool IsPublicSuffix(std::string_view suffix) {
+  std::string lower = util::ToLower(suffix);
+  for (auto known : kSuffixes) {
+    if (lower == known) return true;
+  }
+  return false;
+}
+
+std::string RegistrableDomain(std::string_view host) {
+  std::string lower = util::ToLower(host);
+  if (IsIpLiteral(lower)) return lower;
+
+  auto labels = util::SplitNonEmpty(lower, '.');
+  if (labels.size() <= 1) return lower;
+
+  // Find the longest matching public suffix, then take one more label.
+  for (size_t take = std::min<size_t>(labels.size() - 1, 3); take >= 1;
+       --take) {
+    std::vector<std::string> tail(labels.end() - static_cast<long>(take),
+                                  labels.end());
+    std::string suffix = util::Join(tail, ".");
+    if (IsPublicSuffix(suffix)) {
+      return labels[labels.size() - take - 1] + "." + suffix;
+    }
+  }
+  // Unknown TLD: fall back to the last two labels.
+  return labels[labels.size() - 2] + "." + labels[labels.size() - 1];
+}
+
+bool SameSite(std::string_view host_a, std::string_view host_b) {
+  return RegistrableDomain(host_a) == RegistrableDomain(host_b);
+}
+
+bool HostMatchesDomain(std::string_view host, std::string_view domain) {
+  if (util::EqualsIgnoreCase(host, domain)) return true;
+  if (host.size() <= domain.size()) return false;
+  std::string_view tail = host.substr(host.size() - domain.size());
+  return util::EqualsIgnoreCase(tail, domain) &&
+         host[host.size() - domain.size() - 1] == '.';
+}
+
+}  // namespace panoptes::net

@@ -1,0 +1,28 @@
+// Public-suffix handling (lite): registrable-domain extraction.
+//
+// Fig 3 counts *distinct registrable domains* contacted natively and
+// classifies them as first vs third party, so "cdn.ads.example.co.uk"
+// must reduce to "example.co.uk".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace panoptes::net {
+
+// True if `suffix` is a known public suffix ("com", "co.uk", ...).
+bool IsPublicSuffix(std::string_view suffix);
+
+// eTLD+1 of `host`: "a.b.example.com" → "example.com". Returns `host`
+// unchanged when it is itself a public suffix, a single label, or an IP
+// literal.
+std::string RegistrableDomain(std::string_view host);
+
+// True if both hosts share a registrable domain (the "same site" test
+// used to split first-party from third-party requests).
+bool SameSite(std::string_view host_a, std::string_view host_b);
+
+// True if `host` equals `domain` or is a subdomain of it.
+bool HostMatchesDomain(std::string_view host, std::string_view domain);
+
+}  // namespace panoptes::net

@@ -1,0 +1,92 @@
+#include "net/tls.h"
+
+#include "util/strings.h"
+
+namespace panoptes::net {
+
+bool Certificate::MatchesHost(std::string_view hostname) const {
+  auto matches = [&](std::string_view pattern) {
+    if (util::EqualsIgnoreCase(pattern, hostname)) return true;
+    if (util::StartsWith(pattern, "*.")) {
+      std::string_view suffix = pattern.substr(1);  // ".example.org"
+      if (hostname.size() <= suffix.size()) return false;
+      std::string_view tail = hostname.substr(hostname.size() - suffix.size());
+      if (!util::EqualsIgnoreCase(tail, suffix)) return false;
+      // The wildcard covers exactly one label.
+      std::string_view label = hostname.substr(0, hostname.size() - suffix.size());
+      return label.find('.') == std::string_view::npos && !label.empty();
+    }
+    return false;
+  };
+  if (matches(subject)) return true;
+  for (const auto& san : san_dns) {
+    if (matches(san)) return true;
+  }
+  return false;
+}
+
+CertificateAuthority::CertificateAuthority(std::string name, util::Rng rng)
+    : name_(std::move(name)), rng_(rng) {
+  root_.subject = name_;
+  root_.issuer = name_;  // self-signed
+  root_.spki_id = rng_.NextHex(16);
+  root_.is_ca = true;
+}
+
+Certificate CertificateAuthority::IssueLeaf(std::string_view hostname) {
+  Certificate leaf;
+  leaf.subject = std::string(hostname);
+  leaf.issuer = name_;
+  leaf.spki_id = rng_.NextHex(16);
+  return leaf;
+}
+
+void CaStore::Trust(std::string_view ca_name) {
+  trusted_.emplace(ca_name);
+}
+
+void CaStore::Distrust(std::string_view ca_name) {
+  auto it = trusted_.find(ca_name);
+  if (it != trusted_.end()) trusted_.erase(it);
+}
+
+bool CaStore::Trusts(std::string_view ca_name) const {
+  return trusted_.find(ca_name) != trusted_.end();
+}
+
+void PinSet::Pin(std::string_view host, std::string_view spki_id) {
+  pins_[std::string(host)].emplace(spki_id);
+}
+
+bool PinSet::HasPinsFor(std::string_view host) const {
+  return pins_.find(host) != pins_.end();
+}
+
+bool PinSet::Satisfies(std::string_view host, std::string_view spki_id) const {
+  auto it = pins_.find(host);
+  if (it == pins_.end()) return true;  // unpinned hosts accept any key
+  return it->second.count(std::string(spki_id)) > 0;
+}
+
+std::string_view TlsVerifyResultName(TlsVerifyResult result) {
+  switch (result) {
+    case TlsVerifyResult::kOk: return "ok";
+    case TlsVerifyResult::kUntrustedIssuer: return "untrusted-issuer";
+    case TlsVerifyResult::kHostMismatch: return "host-mismatch";
+    case TlsVerifyResult::kPinMismatch: return "pin-mismatch";
+  }
+  return "?";
+}
+
+TlsVerifyResult VerifyCertificate(const Certificate& leaf,
+                                  std::string_view hostname,
+                                  const CaStore& trust, const PinSet& pins) {
+  if (!trust.Trusts(leaf.issuer)) return TlsVerifyResult::kUntrustedIssuer;
+  if (!leaf.MatchesHost(hostname)) return TlsVerifyResult::kHostMismatch;
+  if (!pins.Satisfies(hostname, leaf.spki_id)) {
+    return TlsVerifyResult::kPinMismatch;
+  }
+  return TlsVerifyResult::kOk;
+}
+
+}  // namespace panoptes::net

@@ -1,0 +1,92 @@
+// TLS trust model: certificates, CA stores, hostname matching and
+// certificate pinning.
+//
+// This is deliberately structural, not cryptographic: what the paper's
+// methodology depends on is *which* handshakes succeed. A browser
+// accepts the MITM's forged leaf iff (a) the Panoptes CA is in the
+// device trust store and (b) the destination host is not pinned to the
+// real server's key (footnote 3: pinned flows are simply lost and the
+// results are a lower bound).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace panoptes::net {
+
+// A leaf or CA certificate. `spki_id` stands in for the Subject Public
+// Key Info hash that real pinning compares.
+struct Certificate {
+  std::string subject;      // hostname for leaves, CA name for roots
+  std::string issuer;       // CA name
+  std::string spki_id;      // opaque key identifier
+  bool is_ca = false;
+  std::vector<std::string> san_dns;  // additional DNS names (leaves)
+
+  // True if this leaf is valid for `hostname`, including single-label
+  // wildcard matching ("*.example.org").
+  bool MatchesHost(std::string_view hostname) const;
+};
+
+// A certification authority that can mint leaf certificates.
+class CertificateAuthority {
+ public:
+  CertificateAuthority(std::string name, util::Rng rng);
+
+  const std::string& name() const { return name_; }
+  const Certificate& root() const { return root_; }
+
+  // Issues a leaf for `hostname` with a fresh key id.
+  Certificate IssueLeaf(std::string_view hostname);
+
+ private:
+  std::string name_;
+  util::Rng rng_;
+  Certificate root_;
+};
+
+// The set of CA names a client trusts.
+class CaStore {
+ public:
+  void Trust(std::string_view ca_name);
+  void Distrust(std::string_view ca_name);
+  bool Trusts(std::string_view ca_name) const;
+
+ private:
+  std::set<std::string, std::less<>> trusted_;
+};
+
+// Host → expected SPKI ids. Real apps pin a small set of first-party
+// hosts; a presented leaf whose key id is not in the pinned set is
+// rejected even when its chain is trusted.
+class PinSet {
+ public:
+  void Pin(std::string_view host, std::string_view spki_id);
+  bool HasPinsFor(std::string_view host) const;
+  bool Satisfies(std::string_view host, std::string_view spki_id) const;
+  size_t size() const { return pins_.size(); }
+
+ private:
+  std::map<std::string, std::set<std::string>, std::less<>> pins_;
+};
+
+enum class TlsVerifyResult {
+  kOk,
+  kUntrustedIssuer,
+  kHostMismatch,
+  kPinMismatch,
+};
+
+std::string_view TlsVerifyResultName(TlsVerifyResult result);
+
+// Client-side verification of a presented leaf.
+TlsVerifyResult VerifyCertificate(const Certificate& leaf,
+                                  std::string_view hostname,
+                                  const CaStore& trust, const PinSet& pins);
+
+}  // namespace panoptes::net

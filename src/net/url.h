@@ -1,0 +1,74 @@
+// URL model (RFC 3986 subset: http/https, host, port, path, query,
+// fragment) with query-parameter helpers.
+//
+// URLs are the central object of the study: the taint splitter keys on
+// them, the history-leak detector searches for them (plain, percent-
+// encoded or Base64-encoded) inside other requests' parameters.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace panoptes::net {
+
+class Url {
+ public:
+  Url() = default;
+
+  // Parses an absolute http(s) URL. Returns nullopt for other schemes,
+  // empty hosts, or invalid ports.
+  static std::optional<Url> Parse(std::string_view text);
+
+  // Convenience for literals that are known-valid; aborts on failure.
+  static Url MustParse(std::string_view text);
+
+  const std::string& scheme() const { return scheme_; }
+  const std::string& host() const { return host_; }
+  // Port from the URL, or the scheme default (80/443).
+  uint16_t EffectivePort() const;
+  bool has_explicit_port() const { return port_.has_value(); }
+  const std::string& path() const { return path_; }    // always begins '/'
+  const std::string& query() const { return query_; }  // without '?'
+  const std::string& fragment() const { return fragment_; }
+
+  void set_path(std::string path);
+  void set_query(std::string query) { query_ = std::move(query); }
+
+  // "https://host[:port]" with the port omitted when default.
+  std::string Origin() const;
+
+  // Full serialization; parse(Serialize()) is the identity for parsed
+  // URLs.
+  std::string Serialize() const;
+
+  // Path plus "?query" when non-empty (the HTTP/1.1 request target).
+  std::string RequestTarget() const;
+
+  // Decoded (name, value) pairs in order of appearance.
+  std::vector<std::pair<std::string, std::string>> QueryParams() const;
+
+  // First value for `name` after decoding; nullopt if absent.
+  std::optional<std::string> QueryParam(std::string_view name) const;
+
+  // Appends an encoded name=value pair to the query string.
+  void AddQueryParam(std::string_view name, std::string_view value);
+
+  friend bool operator==(const Url&, const Url&) = default;
+
+ private:
+  std::string scheme_;
+  std::string host_;
+  std::optional<uint16_t> port_;
+  std::string path_ = "/";
+  std::string query_;
+  std::string fragment_;
+};
+
+// Builds "name=value&..." from pairs with percent-encoding.
+std::string EncodeQuery(
+    const std::vector<std::pair<std::string, std::string>>& params);
+
+}  // namespace panoptes::net

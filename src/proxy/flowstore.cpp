@@ -1,0 +1,68 @@
+#include "proxy/flowstore.h"
+
+#include "net/psl.h"
+
+namespace panoptes::proxy {
+
+void FlowStore::Add(Flow flow) {
+  if (compact_) {
+    flow.request_headers = net::HttpHeaders();
+    flow.request_body.clear();
+    flow.request_body.shrink_to_fit();
+  }
+  flows_.push_back(std::move(flow));
+}
+
+void FlowStore::Clear() {
+  flows_.clear();
+  flows_.shrink_to_fit();
+}
+
+uint64_t FlowStore::TotalBytes() const {
+  uint64_t total = 0;
+  for (const auto& flow : flows_) {
+    total += flow.request_bytes + flow.response_bytes;
+  }
+  return total;
+}
+
+uint64_t FlowStore::RequestBytes() const {
+  uint64_t total = 0;
+  for (const auto& flow : flows_) total += flow.request_bytes;
+  return total;
+}
+
+std::set<std::string> FlowStore::DistinctHosts() const {
+  std::set<std::string> out;
+  for (const auto& flow : flows_) out.insert(flow.Host());
+  return out;
+}
+
+std::set<std::string> FlowStore::DistinctDomains() const {
+  std::set<std::string> out;
+  for (const auto& flow : flows_) {
+    out.insert(net::RegistrableDomain(flow.Host()));
+  }
+  return out;
+}
+
+std::vector<const Flow*> FlowStore::Where(
+    const std::function<bool(const Flow&)>& predicate) const {
+  std::vector<const Flow*> out;
+  for (const auto& flow : flows_) {
+    if (predicate(flow)) out.push_back(&flow);
+  }
+  return out;
+}
+
+std::vector<const Flow*> FlowStore::ToHost(std::string_view host) const {
+  return Where([&](const Flow& flow) { return flow.Host() == host; });
+}
+
+std::vector<const Flow*> FlowStore::ToDomain(std::string_view domain) const {
+  return Where([&](const Flow& flow) {
+    return net::RegistrableDomain(flow.Host()) == domain;
+  });
+}
+
+}  // namespace panoptes::proxy

@@ -1,0 +1,49 @@
+// Flow databases. The paper stores tainted (engine) and untainted
+// (native) flows in two separate local databases; analysis queries run
+// against these stores.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "proxy/flow.h"
+
+namespace panoptes::proxy {
+
+class FlowStore {
+ public:
+  // Compact stores drop request headers/bodies on insert (sizes and
+  // URLs are kept). Used for the high-volume engine database, where
+  // only counts, bytes and destinations feed the figures.
+  explicit FlowStore(bool compact = false) : compact_(compact) {}
+
+  void Add(Flow flow);
+  void Clear();
+
+  const std::vector<Flow>& flows() const { return flows_; }
+  size_t size() const { return flows_.size(); }
+  bool empty() const { return flows_.empty(); }
+
+  // Total request + response wire bytes across stored flows.
+  uint64_t TotalBytes() const;
+  uint64_t RequestBytes() const;
+
+  // Distinct request hosts / registrable domains.
+  std::set<std::string> DistinctHosts() const;
+  std::set<std::string> DistinctDomains() const;
+
+  std::vector<const Flow*> Where(
+      const std::function<bool(const Flow&)>& predicate) const;
+
+  std::vector<const Flow*> ToHost(std::string_view host) const;
+  std::vector<const Flow*> ToDomain(std::string_view domain) const;
+
+ private:
+  bool compact_;
+  std::vector<Flow> flows_;
+};
+
+}  // namespace panoptes::proxy

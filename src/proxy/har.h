@@ -1,0 +1,24 @@
+// HAR-style export/import of flow databases (the moral equivalent of
+// mitmproxy's dump files). Lets captures be written to disk, diffed,
+// and re-analysed without re-running a crawl. Panoptes-specific fields
+// are carried in "_"-prefixed extension members, as the HAR spec
+// allows.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "proxy/flowstore.h"
+
+namespace panoptes::proxy {
+
+// Serializes the store to HAR 1.2-shaped JSON.
+std::string ExportHar(const FlowStore& store,
+                      std::string_view creator_comment = "panoptes");
+
+// Parses HAR produced by ExportHar back into a store. Returns nullopt
+// on structurally invalid input. Body/headers are restored; derived
+// sizes are taken from the recorded values.
+std::optional<FlowStore> ImportHar(std::string_view har_json);
+
+}  // namespace panoptes::proxy

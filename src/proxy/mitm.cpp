@@ -1,0 +1,68 @@
+#include "proxy/mitm.h"
+
+#include "util/rng.h"
+
+namespace panoptes::proxy {
+
+MitmProxy::MitmProxy(net::Network* network, uint64_t seed)
+    : network_(network), ca_("Panoptes-MITM-CA", util::Rng(seed)) {}
+
+void MitmProxy::AddAddon(std::shared_ptr<Addon> addon) {
+  addons_.push_back(std::move(addon));
+}
+
+const net::Certificate& MitmProxy::PresentCertificate(std::string_view sni) {
+  auto it = cert_cache_.find(sni);
+  if (it != cert_cache_.end()) return it->second;
+  auto [inserted, _] =
+      cert_cache_.emplace(std::string(sni), ca_.IssueLeaf(sni));
+  return inserted->second;
+}
+
+net::HttpResponse MitmProxy::Forward(net::HttpRequest request,
+                                     net::ConnectionMeta meta) {
+  Flow flow;
+  flow.id = next_flow_id_++;
+  flow.time = meta.time;
+  flow.browser = browser_label_;
+  flow.app_uid = meta.app_uid;
+  flow.method = request.method;
+  flow.url = request.url;
+  flow.request_bytes = request.WireSize();
+  flow.server_ip = meta.server_ip;
+  flow.version = meta.version;
+
+  // Addons may rewrite the request (the taint filter strips the
+  // x-panoptes-taint header here, after recording it on the flow).
+  for (const auto& addon : addons_) {
+    addon->OnRequest(flow, request);
+  }
+
+  flow.request_headers = request.headers;
+  flow.request_body = request.body;
+
+  net::HttpResponse response;
+  if (flow.blocked) {
+    // A blocking addon claimed this flow: answer locally, never
+    // contact the upstream (the NoMoAds/ReCon-style countermeasure).
+    response = net::HttpResponse::Error(403, "blocked by " + flow.blocked_by);
+    ++blocked_count_;
+  } else {
+    meta.via_proxy = true;
+    response = network_->Deliver(meta.server_ip, request, meta);
+  }
+
+  for (const auto& addon : addons_) {
+    addon->OnResponse(flow, response);
+  }
+
+  flow.response_status = response.status;
+  flow.response_bytes = response.WireSize();
+
+  for (const auto& addon : addons_) {
+    addon->OnFlowComplete(flow);
+  }
+  return response;
+}
+
+}  // namespace panoptes::proxy

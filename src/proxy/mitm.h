@@ -1,0 +1,55 @@
+// The transparent MITM proxy (mitmproxy stand-in).
+//
+// Runs "on the device" (a Debian container in the paper): traffic
+// diverted by the iptables UID rules lands here, gets re-encrypted
+// under the Panoptes CA, passes through the addon chain and is then
+// forwarded to the genuine server over the network fabric.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/netstack.h"
+#include "net/fabric.h"
+#include "net/tls.h"
+#include "proxy/addon.h"
+#include "proxy/flowstore.h"
+
+namespace panoptes::proxy {
+
+class MitmProxy : public device::TrafficDiverter {
+ public:
+  explicit MitmProxy(net::Network* network, uint64_t seed = 0x4D17B0D5u);
+
+  // Name of the proxy's CA; install it into the device trust store to
+  // let interception succeed (Panoptes does this during setup).
+  const std::string& ca_name() const { return ca_.name(); }
+
+  void AddAddon(std::shared_ptr<Addon> addon);
+
+  // Label stamped onto every flow (the browser under test).
+  void SetBrowserLabel(std::string label) { browser_label_ = std::move(label); }
+
+  // device::TrafficDiverter:
+  const net::Certificate& PresentCertificate(std::string_view sni) override;
+  net::HttpResponse Forward(net::HttpRequest request,
+                            net::ConnectionMeta meta) override;
+
+  uint64_t flows_processed() const { return next_flow_id_ - 1; }
+  size_t forged_cert_count() const { return cert_cache_.size(); }
+  // Flows answered locally because a blocking addon claimed them.
+  uint64_t blocked_count() const { return blocked_count_; }
+
+ private:
+  net::Network* network_;
+  net::CertificateAuthority ca_;
+  std::map<std::string, net::Certificate, std::less<>> cert_cache_;
+  std::vector<std::shared_ptr<Addon>> addons_;
+  std::string browser_label_;
+  uint64_t next_flow_id_ = 1;
+  uint64_t blocked_count_ = 0;
+};
+
+}  // namespace panoptes::proxy

@@ -1,0 +1,57 @@
+#include "util/args.h"
+
+#include "util/strings.h"
+
+namespace panoptes::util {
+
+Args Args::Parse(int argc, const char* const* argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view token = argv[i];
+    if (!StartsWith(token, "--")) {
+      args.positional_.emplace_back(token);
+      continue;
+    }
+    token.remove_prefix(2);
+    size_t eq = token.find('=');
+    if (eq != std::string_view::npos) {
+      args.options_[std::string(token.substr(0, eq))] =
+          std::string(token.substr(eq + 1));
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      args.options_[std::string(token)] = argv[++i];
+    } else {
+      args.options_[std::string(token)] = "";  // bare flag
+    }
+  }
+  return args;
+}
+
+std::string Args::Positional(size_t index, std::string_view fallback) const {
+  if (index < positional_.size()) return positional_[index];
+  return std::string(fallback);
+}
+
+bool Args::HasFlag(std::string_view name) const {
+  return options_.find(name) != options_.end();
+}
+
+std::optional<std::string> Args::Option(std::string_view name) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Args::OptionOr(std::string_view name,
+                           std::string_view fallback) const {
+  auto value = Option(name);
+  return value ? *value : std::string(fallback);
+}
+
+int64_t Args::IntOptionOr(std::string_view name, int64_t fallback) const {
+  auto value = Option(name);
+  if (!value) return fallback;
+  auto parsed = ParseUint(*value);
+  return parsed ? static_cast<int64_t>(*parsed) : fallback;
+}
+
+}  // namespace panoptes::util

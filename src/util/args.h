@@ -1,0 +1,37 @@
+// Minimal command-line parsing for the example binaries and the
+// panoptes CLI: positional arguments plus --flag / --key=value /
+// --key value options.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace panoptes::util {
+
+class Args {
+ public:
+  // Parses argv (excluding argv[0]). Tokens starting with "--" become
+  // options; everything else is positional.
+  static Args Parse(int argc, const char* const* argv);
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Positional argument by index, or fallback when absent.
+  std::string Positional(size_t index, std::string_view fallback = "") const;
+
+  bool HasFlag(std::string_view name) const;
+
+  std::optional<std::string> Option(std::string_view name) const;
+  std::string OptionOr(std::string_view name,
+                       std::string_view fallback) const;
+  int64_t IntOptionOr(std::string_view name, int64_t fallback) const;
+
+ private:
+  std::vector<std::string> positional_;
+  std::map<std::string, std::string, std::less<>> options_;
+};
+
+}  // namespace panoptes::util

@@ -1,0 +1,94 @@
+#include "util/base64.h"
+
+#include <array>
+#include <cstdint>
+
+namespace panoptes::util {
+
+namespace {
+
+constexpr char kStd[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+constexpr char kUrl[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-_";
+
+std::string EncodeWith(std::string_view data, const char* alphabet,
+                       bool pad) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t v = (static_cast<uint8_t>(data[i]) << 16) |
+                 (static_cast<uint8_t>(data[i + 1]) << 8) |
+                 static_cast<uint8_t>(data[i + 2]);
+    out.push_back(alphabet[(v >> 18) & 63]);
+    out.push_back(alphabet[(v >> 12) & 63]);
+    out.push_back(alphabet[(v >> 6) & 63]);
+    out.push_back(alphabet[v & 63]);
+    i += 3;
+  }
+  size_t rest = data.size() - i;
+  if (rest == 1) {
+    uint32_t v = static_cast<uint8_t>(data[i]) << 16;
+    out.push_back(alphabet[(v >> 18) & 63]);
+    out.push_back(alphabet[(v >> 12) & 63]);
+    if (pad) out.append("==");
+  } else if (rest == 2) {
+    uint32_t v = (static_cast<uint8_t>(data[i]) << 16) |
+                 (static_cast<uint8_t>(data[i + 1]) << 8);
+    out.push_back(alphabet[(v >> 18) & 63]);
+    out.push_back(alphabet[(v >> 12) & 63]);
+    out.push_back(alphabet[(v >> 6) & 63]);
+    if (pad) out.push_back('=');
+  }
+  return out;
+}
+
+// -1: invalid, -2: padding.
+int DecodeChar(char c) {
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= 'a' && c <= 'z') return c - 'a' + 26;
+  if (c >= '0' && c <= '9') return c - '0' + 52;
+  if (c == '+' || c == '-') return 62;
+  if (c == '/' || c == '_') return 63;
+  if (c == '=') return -2;
+  return -1;
+}
+
+}  // namespace
+
+std::string Base64Encode(std::string_view data) {
+  return EncodeWith(data, kStd, /*pad=*/true);
+}
+
+std::string Base64UrlEncode(std::string_view data) {
+  return EncodeWith(data, kUrl, /*pad=*/false);
+}
+
+std::optional<std::string> Base64Decode(std::string_view data) {
+  // Strip trailing padding.
+  while (!data.empty() && data.back() == '=') data.remove_suffix(1);
+  if (data.size() % 4 == 1) return std::nullopt;
+
+  std::string out;
+  out.reserve(data.size() / 4 * 3 + 3);
+  uint32_t acc = 0;
+  int bits = 0;
+  for (char c : data) {
+    int v = DecodeChar(c);
+    if (v < 0) return std::nullopt;  // '=' mid-stream also rejected here
+    acc = (acc << 6) | static_cast<uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<char>((acc >> bits) & 0xFF));
+    }
+  }
+  return out;
+}
+
+bool LooksLikeBase64(std::string_view data) {
+  return !data.empty() && Base64Decode(data).has_value();
+}
+
+}  // namespace panoptes::util

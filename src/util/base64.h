@@ -1,0 +1,27 @@
+// Base64 codec (RFC 4648) — standard and URL-safe alphabets.
+//
+// Yandex encodes visited URLs in Base64 inside its phone-home requests
+// (paper §3.2); the analysis pipeline must both produce and recognise
+// such payloads.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace panoptes::util {
+
+// Encodes with the standard alphabet ('+', '/') and '=' padding.
+std::string Base64Encode(std::string_view data);
+
+// Encodes with the URL-safe alphabet ('-', '_'), no padding.
+std::string Base64UrlEncode(std::string_view data);
+
+// Decodes either alphabet; padding optional. Returns nullopt on any
+// character outside the alphabet or an impossible length (4n+1).
+std::optional<std::string> Base64Decode(std::string_view data);
+
+// True if `data` is non-empty and decodes successfully.
+bool LooksLikeBase64(std::string_view data);
+
+}  // namespace panoptes::util

@@ -1,0 +1,71 @@
+#include "util/clock.h"
+
+#include <array>
+#include <cstdio>
+
+namespace panoptes::util {
+
+namespace {
+
+// 2023-05-12T00:00:00Z — within the paper's crawl window (browser
+// versions in Table 1 date to May 2023).
+constexpr int64_t kDefaultEpochMillis = 1683849600000LL;
+
+constexpr int kDaysPerMonth[] = {31, 28, 31, 30, 31, 30,
+                                 31, 31, 30, 31, 30, 31};
+
+bool IsLeap(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+}  // namespace
+
+SimClock::SimClock() : now_{kDefaultEpochMillis} {}
+
+SimClock::SimClock(SimTime start) : now_(start) {}
+
+void SimClock::Advance(Duration d) { now_.millis += d.millis; }
+
+int64_t ToUnixSeconds(SimTime t) { return t.millis / 1000; }
+
+std::string FormatTimestamp(SimTime t) {
+  int64_t ms = t.millis % 1000;
+  int64_t secs = t.millis / 1000;
+  if (ms < 0) {
+    ms += 1000;
+    secs -= 1;
+  }
+  int64_t days = secs / 86400;
+  int64_t rem = secs % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  int hour = static_cast<int>(rem / 3600);
+  int minute = static_cast<int>((rem % 3600) / 60);
+  int second = static_cast<int>(rem % 60);
+
+  int year = 1970;
+  while (true) {
+    int len = IsLeap(year) ? 366 : 365;
+    if (days < len) break;
+    days -= len;
+    ++year;
+  }
+  int month = 0;
+  while (true) {
+    int len = kDaysPerMonth[month] + ((month == 1 && IsLeap(year)) ? 1 : 0);
+    if (days < len) break;
+    days -= len;
+    ++month;
+  }
+
+  std::array<char, 40> buf{};
+  std::snprintf(buf.data(), buf.size(),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", year, month + 1,
+                static_cast<int>(days) + 1, hour, minute, second,
+                static_cast<int>(ms));
+  return std::string(buf.data());
+}
+
+}  // namespace panoptes::util

@@ -1,0 +1,71 @@
+// Simulated time.
+//
+// Panoptes campaigns are timed (DOMContentLoaded + 5 s settle, 10-minute
+// idle runs, Fig 5 timelines), so the whole stack runs on a manually
+// advanced clock rather than wall time. Timestamps are milliseconds
+// since the (simulated) Unix epoch.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace panoptes::util {
+
+// A point in simulated time, milliseconds since the Unix epoch.
+struct SimTime {
+  int64_t millis = 0;
+
+  friend auto operator<=>(const SimTime&, const SimTime&) = default;
+};
+
+// A span of simulated time in milliseconds.
+struct Duration {
+  int64_t millis = 0;
+
+  static constexpr Duration Millis(int64_t ms) { return Duration{ms}; }
+  static constexpr Duration Seconds(int64_t s) { return Duration{s * 1000}; }
+  static constexpr Duration Minutes(int64_t m) {
+    return Duration{m * 60 * 1000};
+  }
+
+  double ToSecondsF() const { return static_cast<double>(millis) / 1000.0; }
+
+  friend auto operator<=>(const Duration&, const Duration&) = default;
+};
+
+inline SimTime operator+(SimTime t, Duration d) {
+  return SimTime{t.millis + d.millis};
+}
+inline Duration operator-(SimTime a, SimTime b) {
+  return Duration{a.millis - b.millis};
+}
+inline Duration operator+(Duration a, Duration b) {
+  return Duration{a.millis + b.millis};
+}
+inline Duration operator*(Duration d, int64_t k) {
+  return Duration{d.millis * k};
+}
+
+// Manually advanced clock. The crawl driver owns one instance and every
+// component that needs "now" holds a pointer to it.
+class SimClock {
+ public:
+  // Starts at a fixed epoch matching the paper's crawl period (May 2023)
+  // so that timestamps embedded in simulated requests look realistic.
+  SimClock();
+  explicit SimClock(SimTime start);
+
+  SimTime Now() const { return now_; }
+  void Advance(Duration d);
+
+ private:
+  SimTime now_;
+};
+
+// Formats a SimTime as "YYYY-MM-DDTHH:MM:SS.mmmZ" (proleptic Gregorian).
+std::string FormatTimestamp(SimTime t);
+
+// The Unix timestamp in whole seconds.
+int64_t ToUnixSeconds(SimTime t);
+
+}  // namespace panoptes::util

@@ -1,0 +1,16 @@
+// Hex codec used for opaque identifiers and payload dumps.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace panoptes::util {
+
+// Lowercase hex encoding of raw bytes.
+std::string HexEncode(std::string_view data);
+
+// Decodes hex (either case). Requires even length; nullopt otherwise.
+std::optional<std::string> HexDecode(std::string_view data);
+
+}  // namespace panoptes::util

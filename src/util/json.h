@@ -1,0 +1,73 @@
+// Minimal JSON value, writer and parser.
+//
+// Native browser telemetry in the paper is JSON (see Listing 1, the
+// Opera oleads ad request). The vendors build JSON bodies and the PII
+// scanner parses them back, so a small self-contained implementation is
+// part of the substrate.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace panoptes::util {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps serialization order deterministic.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<double>(i)) {}
+  Json(int64_t i) : value_(static_cast<double>(i)) {}
+  Json(uint64_t i) : value_(static_cast<double>(i)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+  Json(std::string_view s) : value_(std::string(s)) {}
+  Json(JsonArray a) : value_(std::move(a)) {}
+  Json(JsonObject o) : value_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_bool() const { return std::holds_alternative<bool>(value_); }
+  bool is_number() const { return std::holds_alternative<double>(value_); }
+  bool is_string() const { return std::holds_alternative<std::string>(value_); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(value_); }
+  bool is_object() const { return std::holds_alternative<JsonObject>(value_); }
+
+  bool as_bool() const { return std::get<bool>(value_); }
+  double as_number() const { return std::get<double>(value_); }
+  const std::string& as_string() const { return std::get<std::string>(value_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(value_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
+  JsonArray& as_array() { return std::get<JsonArray>(value_); }
+  JsonObject& as_object() { return std::get<JsonObject>(value_); }
+
+  // Object member lookup; returns nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  // Compact serialization (no whitespace).
+  std::string Dump() const;
+
+  // Parses a complete JSON document; nullopt on any syntax error or
+  // trailing garbage.
+  static std::optional<Json> Parse(std::string_view text);
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+               JsonObject>
+      value_;
+};
+
+// Escapes a string for embedding in JSON output (no surrounding quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace panoptes::util

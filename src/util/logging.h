@@ -1,0 +1,47 @@
+// Tiny leveled logger.
+//
+// Off (kWarn) by default so tests and benches stay quiet; examples turn
+// on kInfo to narrate the crawl.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace panoptes::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Process-wide minimum level.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes one line to stderr if `level` passes the threshold.
+void LogLine(LogLevel level, const std::string& message);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* tag) : level_(level) {
+    stream_ << "[" << tag << "] ";
+  }
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace panoptes::util
+
+#define PANOPTES_LOG(level, tag)                                       \
+  ::panoptes::util::internal::LogMessage(::panoptes::util::LogLevel::level, \
+                                         tag)                          \
+      .stream()

@@ -1,0 +1,59 @@
+// String helpers shared across the Panoptes codebase.
+//
+// All functions are pure and allocate only when the signature returns an
+// owning string. Inputs are taken as std::string_view.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace panoptes::util {
+
+// Returns `s` with ASCII uppercase letters folded to lowercase.
+std::string ToLower(std::string_view s);
+
+// Returns `s` with ASCII lowercase letters folded to uppercase.
+std::string ToUpper(std::string_view s);
+
+// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+// Splits `s` on every occurrence of `sep`. An empty input yields a single
+// empty element, matching the usual "join . split == id" convention.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits on `sep`, dropping empty pieces.
+std::vector<std::string> SplitNonEmpty(std::string_view s, char sep);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool Contains(std::string_view haystack, std::string_view needle);
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+// Replaces every non-overlapping occurrence of `from` with `to`.
+// `from` must be non-empty.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+// Parses a non-negative decimal integer. Rejects empty input, sign
+// characters, trailing garbage and overflow.
+std::optional<uint64_t> ParseUint(std::string_view s);
+
+// Formats `value` with `decimals` digits after the point (no locale).
+std::string FormatDouble(double value, int decimals);
+
+// Percent-encodes bytes outside the RFC 3986 "unreserved" set.
+std::string PercentEncode(std::string_view s);
+
+// Decodes %XX escapes; malformed escapes are passed through verbatim.
+std::string PercentDecode(std::string_view s);
+
+}  // namespace panoptes::util

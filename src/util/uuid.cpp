@@ -1,0 +1,40 @@
+#include "util/uuid.h"
+
+namespace panoptes::util {
+
+std::string GenerateUuid(Rng& rng) {
+  std::string hex = rng.NextHex(32);
+  // Set version (4) and variant (10xx) nibbles.
+  hex[12] = '4';
+  static constexpr char kVariant[] = "89ab";
+  hex[16] = kVariant[rng.NextBelow(4)];
+
+  std::string out;
+  out.reserve(36);
+  out.append(hex, 0, 8);
+  out.push_back('-');
+  out.append(hex, 8, 4);
+  out.push_back('-');
+  out.append(hex, 12, 4);
+  out.push_back('-');
+  out.append(hex, 16, 4);
+  out.push_back('-');
+  out.append(hex, 20, 12);
+  return out;
+}
+
+bool LooksLikeUuid(std::string_view s) {
+  if (s.size() != 36) return false;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (s[i] != '-') return false;
+    } else {
+      char c = s[i];
+      bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+      if (!hex) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace panoptes::util

@@ -1,0 +1,21 @@
+// UUID generation for persistent browser/user identifiers.
+//
+// Yandex's persistent tracking identifier (paper §3.2) and the various
+// installation/advertising IDs the browsers attach to native requests
+// are modelled as UUIDs or opaque hex tokens drawn from a seeded PRNG.
+#pragma once
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace panoptes::util {
+
+// RFC 4122 version-4 layout, lowercase, e.g.
+// "3f2b9a64-5e1c-4d7a-9b0e-2f6c8d1a7e43".
+std::string GenerateUuid(Rng& rng);
+
+// True if `s` has the 8-4-4-4-12 lowercase-hex UUID shape.
+bool LooksLikeUuid(std::string_view s);
+
+}  // namespace panoptes::util

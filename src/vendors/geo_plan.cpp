@@ -1,0 +1,69 @@
+#include "vendors/geo_plan.h"
+
+#include <stdexcept>
+
+namespace panoptes::vendors {
+
+namespace {
+
+net::Cidr MustCidr(std::string_view text) {
+  auto cidr = net::Cidr::Parse(text);
+  if (!cidr) throw std::invalid_argument("bad cidr: " + std::string(text));
+  return *cidr;
+}
+
+}  // namespace
+
+void GeoPlan::AddBlock(std::string code, std::string name, bool eu,
+                       net::Cidr cidr) {
+  // Block keys may carry a purpose suffix ("US-ADTECH"); the ISO
+  // country code is the part before the first dash.
+  std::string iso = code.substr(0, code.find('-'));
+  ranges_.push_back(
+      net::GeoRange{cidr, std::move(iso), std::move(name), eu, code});
+  allocators_.emplace(std::move(code), net::IpAllocator(cidr));
+}
+
+GeoPlan GeoPlan::Default() {
+  GeoPlan plan;
+  // Non-EU vendor regions (the §3.4 findings land here).
+  plan.AddBlock("US", "United States", false, MustCidr("23.20.0.0/14"));
+  plan.AddBlock("RU", "Russia", false, MustCidr("77.88.0.0/18"));
+  plan.AddBlock("CN", "China", false, MustCidr("119.28.0.0/15"));
+  plan.AddBlock("CA", "Canada", false, MustCidr("99.79.0.0/16"));
+  plan.AddBlock("KR", "South Korea", false, MustCidr("211.32.0.0/16"));
+  plan.AddBlock("VN", "Vietnam", false, MustCidr("103.2.224.0/19"));
+  plan.AddBlock("SG", "Singapore", false, MustCidr("161.117.0.0/16"));
+  plan.AddBlock("NO", "Norway", false, MustCidr("185.26.0.0/16"));
+  // EU regions.
+  plan.AddBlock("IE", "Ireland", true, MustCidr("54.72.0.0/15"));
+  plan.AddBlock("DE", "Germany", true, MustCidr("88.198.0.0/16"));
+  plan.AddBlock("FR", "France", true, MustCidr("51.15.0.0/16"));
+  plan.AddBlock("NL", "Netherlands", true, MustCidr("145.14.0.0/16"));
+  plan.AddBlock("GR", "Greece", true, MustCidr("94.66.0.0/15"));
+  // DoH anycast (treated as US for reporting purposes).
+  plan.AddBlock("US-ANYCAST-CF", "United States", false,
+                MustCidr("1.1.1.0/24"));
+  plan.AddBlock("US-ANYCAST-GOOG", "United States", false,
+                MustCidr("8.8.8.0/24"));
+  // Generic origin-hosting blocks used by the site catalog.
+  plan.AddBlock("US-HOSTING", "United States", false,
+                MustCidr("104.16.0.0/13"));
+  plan.AddBlock("DE-HOSTING", "Germany", true, MustCidr("95.216.0.0/16"));
+  plan.AddBlock("NL-HOSTING", "Netherlands", true,
+                MustCidr("145.97.0.0/16"));
+  // Third-party ad/analytics/CDN services.
+  plan.AddBlock("US-ADTECH", "United States", false,
+                MustCidr("142.250.0.0/15"));
+  return plan;
+}
+
+net::IpAllocator& GeoPlan::Allocator(const std::string& country_code) {
+  auto it = allocators_.find(country_code);
+  if (it == allocators_.end()) {
+    throw std::out_of_range("no geo block for " + country_code);
+  }
+  return it->second;
+}
+
+}  // namespace panoptes::vendors

@@ -1,0 +1,37 @@
+// The address plan of the simulated internet: one CIDR block per
+// hosting region, with allocators handed out to whoever installs
+// servers there. Keeping the plan in one place guarantees the GeoIP
+// database and the actual allocations can never disagree.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/geo.h"
+#include "net/ipalloc.h"
+
+namespace panoptes::vendors {
+
+class GeoPlan {
+ public:
+  // Builds the default plan (US, RU, CN, CA, KR, VN, SG, NO, IE, DE,
+  // FR, NL, GR + DoH anycast blocks).
+  static GeoPlan Default();
+
+  // Allocator for a country block; throws std::out_of_range for an
+  // unknown code.
+  net::IpAllocator& Allocator(const std::string& country_code);
+
+  // All ranges, for seeding the analysis GeoIP database.
+  const std::vector<net::GeoRange>& ranges() const { return ranges_; }
+
+ private:
+  void AddBlock(std::string code, std::string name, bool eu,
+                net::Cidr cidr);
+
+  std::vector<net::GeoRange> ranges_;
+  std::map<std::string, net::IpAllocator> allocators_;
+};
+
+}  // namespace panoptes::vendors

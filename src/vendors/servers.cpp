@@ -1,0 +1,158 @@
+#include "vendors/servers.h"
+
+#include "util/base64.h"
+#include "util/strings.h"
+#include "util/uuid.h"
+
+namespace panoptes::vendors {
+
+net::HttpResponse TelemetryServer::Handle(const net::HttpRequest& request,
+                                          const net::ConnectionMeta& meta) {
+  (void)meta;
+  ++hits_;
+  last_target_ = request.url.RequestTarget();
+  last_body_ = request.body;
+  return net::HttpResponse::Json("{\"status\":\"ok\"}");
+}
+
+net::HttpResponse SbaYandexServer::Handle(const net::HttpRequest& request,
+                                          const net::ConnectionMeta& meta) {
+  (void)meta;
+  auto encoded = request.url.QueryParam("url");
+  if (!encoded) {
+    ++malformed_;
+    return net::HttpResponse::Error(400, "missing url param");
+  }
+  auto decoded = util::Base64Decode(*encoded);
+  if (!decoded || !util::StartsWith(*decoded, "http")) {
+    ++malformed_;
+    return net::HttpResponse::Error(400, "url param is not base64 of a URL");
+  }
+  ++valid_reports_;
+  last_decoded_url_ = *decoded;
+  net::HttpResponse resp;
+  resp.status = 204;
+  resp.headers.Set("Content-Length", "0");
+  return resp;
+}
+
+net::HttpResponse YandexApiServer::Handle(const net::HttpRequest& request,
+                                          const net::ConnectionMeta& meta) {
+  (void)meta;
+  auto uuid = request.url.QueryParam("uuid");
+  auto host = request.url.QueryParam("host");
+  if (!uuid || !host || !util::LooksLikeUuid(*uuid)) {
+    return net::HttpResponse::Error(400, "missing uuid/host");
+  }
+  ++reports_;
+  last_uuid_ = *uuid;
+  last_host_ = *host;
+  bool known = false;
+  for (const auto& seen : uuids_seen_) {
+    if (seen == *uuid) {
+      known = true;
+      break;
+    }
+  }
+  if (!known) uuids_seen_.push_back(*uuid);
+  return net::HttpResponse::Json("{\"status\":\"ok\"}");
+}
+
+net::HttpResponse OleadsServer::Handle(const net::HttpRequest& request,
+                                       const net::ConnectionMeta& meta) {
+  (void)meta;
+  if (request.method != net::HttpMethod::kPost ||
+      request.url.path() != "/api/v1/sdk_fetch") {
+    ++invalid_;
+    return net::HttpResponse::NotFound();
+  }
+  auto body = util::Json::Parse(request.body);
+  if (!body || !body->is_object()) {
+    ++invalid_;
+    return net::HttpResponse::Error(400, "body is not JSON");
+  }
+  // The fields of Listing 1 this reproduction asserts on.
+  static constexpr const char* kRequired[] = {
+      "channelId",   "appPackageName", "deviceVendor", "deviceModel",
+      "operaId",     "latitude",       "longitude",    "connectionType",
+      "countryCode", "languageCode",
+  };
+  for (const char* field : kRequired) {
+    if (body->Find(field) == nullptr) {
+      ++invalid_;
+      return net::HttpResponse::Error(
+          400, std::string("missing field: ") + field);
+    }
+  }
+  ++valid_fetches_;
+  last_body_ = request.body;
+
+  util::JsonObject ad;
+  ad["adType"] = "SINGLE";
+  ad["creativeType"] = "BIG_CARD";
+  ad["clickUrl"] = "https://ads.example/click";
+  util::JsonObject out;
+  out["ads"] = util::JsonArray{util::Json(std::move(ad))};
+  out["ttl"] = 600;
+  return net::HttpResponse::Json(util::Json(std::move(out)).Dump());
+}
+
+net::HttpResponse BingApiServer::Handle(const net::HttpRequest& request,
+                                        const net::ConnectionMeta& meta) {
+  (void)meta;
+  if (request.url.path() == "/api/v1/visited") {
+    auto domain = request.url.QueryParam("domain");
+    if (!domain || domain->empty()) {
+      return net::HttpResponse::Error(400, "missing domain");
+    }
+    ++visit_reports_;
+    domains_seen_.push_back(*domain);
+    return net::HttpResponse::Json("{\"ack\":true}");
+  }
+  ++other_hits_;
+  return net::HttpResponse::Json("{\"status\":\"ok\"}");
+}
+
+net::HttpResponse OperaSitecheckServer::Handle(
+    const net::HttpRequest& request, const net::ConnectionMeta& meta) {
+  (void)meta;
+  auto host = request.url.QueryParam("host");
+  if (request.url.path() != "/api/check" || !host || host->empty()) {
+    return net::HttpResponse::Error(400, "bad sitecheck query");
+  }
+  ++checks_;
+  hosts_seen_.push_back(*host);
+  util::JsonObject verdict;
+  verdict["host"] = *host;
+  verdict["verdict"] = "clean";
+  verdict["ttl"] = 3600;
+  return net::HttpResponse::Json(util::Json(std::move(verdict)).Dump());
+}
+
+net::HttpResponse DohServer::Handle(const net::HttpRequest& request,
+                                    const net::ConnectionMeta& meta) {
+  (void)meta;
+  ++queries_;
+  auto name = request.url.QueryParam("name");
+  if (!name || request.url.path() != "/dns-query") {
+    return net::HttpResponse::Error(400, "bad dns query");
+  }
+  auto ip = network_->zone().Lookup(*name);
+  util::JsonObject out;
+  if (!ip) {
+    ++nxdomain_;
+    out["Status"] = 3;  // NXDOMAIN
+    out["Answer"] = util::JsonArray{};
+  } else {
+    out["Status"] = 0;
+    util::JsonObject answer;
+    answer["name"] = *name;
+    answer["type"] = 1;
+    answer["TTL"] = 300;
+    answer["data"] = ip->ToString();
+    out["Answer"] = util::JsonArray{util::Json(std::move(answer))};
+  }
+  return net::HttpResponse::Json(util::Json(std::move(out)).Dump());
+}
+
+}  // namespace panoptes::vendors

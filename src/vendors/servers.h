@@ -1,0 +1,145 @@
+// Server implementations for the browser vendors' backends and the
+// shared infrastructure services (DoH). These receive the native
+// "phone home" traffic the paper analyses; several of them validate
+// the payloads they receive, so a browser model that stops sending the
+// right fields fails integration tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/fabric.h"
+#include "util/json.h"
+
+namespace panoptes::vendors {
+
+// Generic vendor backend: accepts anything, answers {"status":"ok"},
+// keeps counters and the most recent request for inspection.
+class TelemetryServer : public net::Server {
+ public:
+  explicit TelemetryServer(std::string name) : name_(std::move(name)) {}
+
+  net::HttpResponse Handle(const net::HttpRequest& request,
+                           const net::ConnectionMeta& meta) override;
+
+  const std::string& name() const { return name_; }
+  uint64_t hits() const { return hits_; }
+  const std::string& last_target() const { return last_target_; }
+  const std::string& last_body() const { return last_body_; }
+
+ private:
+  std::string name_;
+  uint64_t hits_ = 0;
+  std::string last_target_;
+  std::string last_body_;
+};
+
+// sba.yandex.net — receives the Base64-encoded full URL of every page
+// the user visits (paper §3.2, "The Yandex case").
+class SbaYandexServer : public net::Server {
+ public:
+  net::HttpResponse Handle(const net::HttpRequest& request,
+                           const net::ConnectionMeta& meta) override;
+
+  uint64_t valid_reports() const { return valid_reports_; }
+  uint64_t malformed_reports() const { return malformed_; }
+  const std::string& last_decoded_url() const { return last_decoded_url_; }
+
+ private:
+  uint64_t valid_reports_ = 0;
+  uint64_t malformed_ = 0;
+  std::string last_decoded_url_;
+};
+
+// api.browser.yandex.ru — receives the visited hostname together with
+// the persistent user identifier.
+class YandexApiServer : public net::Server {
+ public:
+  net::HttpResponse Handle(const net::HttpRequest& request,
+                           const net::ConnectionMeta& meta) override;
+
+  uint64_t reports() const { return reports_; }
+  const std::string& last_uuid() const { return last_uuid_; }
+  const std::string& last_host() const { return last_host_; }
+  // Distinct identifiers seen — the persistence finding is that this
+  // stays 1 across cookie wipes and IP changes.
+  const std::vector<std::string>& uuids_seen() const { return uuids_seen_; }
+
+ private:
+  uint64_t reports_ = 0;
+  std::string last_uuid_;
+  std::string last_host_;
+  std::vector<std::string> uuids_seen_;
+};
+
+// s-odx.oleads.com — the Opera ad-SDK endpoint of Listing 1. Validates
+// the JSON body carries the device/geo fields the paper reproduces.
+class OleadsServer : public net::Server {
+ public:
+  net::HttpResponse Handle(const net::HttpRequest& request,
+                           const net::ConnectionMeta& meta) override;
+
+  uint64_t valid_fetches() const { return valid_fetches_; }
+  uint64_t invalid_fetches() const { return invalid_; }
+  const std::string& last_body() const { return last_body_; }
+
+ private:
+  uint64_t valid_fetches_ = 0;
+  uint64_t invalid_ = 0;
+  std::string last_body_;
+};
+
+// www.bing.com — Edge reports every visited domain here (§3.2).
+class BingApiServer : public net::Server {
+ public:
+  net::HttpResponse Handle(const net::HttpRequest& request,
+                           const net::ConnectionMeta& meta) override;
+
+  uint64_t visit_reports() const { return visit_reports_; }
+  uint64_t other_hits() const { return other_hits_; }
+  const std::vector<std::string>& domains_seen() const {
+    return domains_seen_;
+  }
+
+ private:
+  uint64_t visit_reports_ = 0;
+  uint64_t other_hits_ = 0;
+  std::vector<std::string> domains_seen_;
+};
+
+// sitecheck2.opera.com — Opera's anti-phishing service, consulted for
+// every visited host (§3.2). Answers a verdict and remembers what it
+// was asked.
+class OperaSitecheckServer : public net::Server {
+ public:
+  net::HttpResponse Handle(const net::HttpRequest& request,
+                           const net::ConnectionMeta& meta) override;
+
+  uint64_t checks() const { return checks_; }
+  const std::vector<std::string>& hosts_seen() const { return hosts_seen_; }
+
+ private:
+  uint64_t checks_ = 0;
+  std::vector<std::string> hosts_seen_;
+};
+
+// DNS-over-HTTPS provider answering from the authoritative zone.
+class DohServer : public net::Server {
+ public:
+  explicit DohServer(const net::Network* network) : network_(network) {}
+
+  net::HttpResponse Handle(const net::HttpRequest& request,
+                           const net::ConnectionMeta& meta) override;
+
+  uint64_t queries() const { return queries_; }
+  uint64_t nxdomain() const { return nxdomain_; }
+
+ private:
+  const net::Network* network_;
+  uint64_t queries_ = 0;
+  uint64_t nxdomain_ = 0;
+};
+
+}  // namespace panoptes::vendors

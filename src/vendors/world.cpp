@@ -1,0 +1,146 @@
+#include "vendors/world.h"
+
+namespace panoptes::vendors {
+
+namespace {
+
+struct VendorHostSpec {
+  const char* hostname;
+  const char* country;  // GeoPlan block code
+  bool h3 = false;
+};
+
+// Every generic vendor backend. The specialised ones (Yandex sba/api,
+// oleads, DoH) are installed separately below.
+constexpr VendorHostSpec kTelemetryHosts[] = {
+    // Google / Chrome.
+    {"update.googleapis.com", "US", true},
+    {"safebrowsing.googleapis.com", "US", true},
+    {"clients4.google.com", "US", true},
+    // Microsoft / Edge — §3.5 names msn, microsoft.com, bing.com plus
+    // adjust/outbrain/zemanta/scorecardresearch (ad-tech pool hosts).
+    {"config.edge.skype.com", "US"},
+    {"vortex.data.microsoft.com", "US"},
+    {"www.msn.com", "US"},
+    {"assets.msn.com", "US"},
+    {"edge.microsoft.com", "US"},
+    // Opera (Norwegian vendor; oleads/sitecheck installed separately).
+    {"ofa.opera.com", "NO"},
+    {"news.opera-api.com", "NO"},
+    {"autoupdate.geo.opera.com", "NO"},
+    // Vivaldi.
+    {"update.vivaldi.com", "NO"},
+    {"downloads.vivaldi.com", "NO"},
+    // Yandex update/ads backends (sba/api installed separately).
+    {"browser-updates.yandex.net", "RU"},
+    {"mobile.yandexadexchange.net", "RU"},
+    // Brave.
+    {"variations.brave.com", "US"},
+    {"go-updater.brave.com", "US"},
+    {"static.brave.com", "US"},
+    // Samsung Internet.
+    {"api.internet.apps.samsung.com", "KR"},
+    {"config.samsungbrowser.com", "KR"},
+    // DuckDuckGo.
+    {"improving.duckduckgo.com", "US"},
+    {"staticcdn.duckduckgo.com", "US"},
+    // Dolphin (§3.5: 46% of idle natives go to Facebook Graph).
+    {"api.dolphin-browser.com", "US"},
+    {"cdn.dolphin-browser.com", "US"},
+    {"graph.facebook.com", "US", true},
+    // Naver Whale.
+    {"api-whale.naver.com", "KR"},
+    {"update.whale.naver.net", "KR"},
+    // Xiaomi Mint.
+    {"api.browser.mi.com", "SG"},
+    {"data.mistat.xiaomi.com", "SG"},
+    // Kiwi.
+    {"update.kiwibrowser.com", "US"},
+    // CocCoc.
+    {"browser.coccoc.com", "VN"},
+    {"log.coccoc.com", "VN"},
+    {"spell.itim.vn", "VN"},
+    // QQ (full-URL phone home handled by the generic server: the leak
+    // is in what the browser sends, not in how the server replies).
+    {"wup.browser.qq.com", "CN"},
+    {"mtt.browser.qq.com", "CN"},
+    {"log.tbs.qq.com", "CN"},
+    // UC International (hosted in Canada per the paper's geolocation).
+    {"u.ucweb.com", "CA"},
+    {"api.ucweb.com", "CA"},
+    {"puds.ucweb.com", "CA"},
+    // Additional Google infrastructure Chromium forks touch natively.
+    {"accounts.google.com", "US", true},
+    {"www.google.com", "US", true},
+    {"www.gstatic.com", "US", true},
+    {"t0.gstatic.com", "US", true},
+    // Kiwi's own search service.
+    {"kiwisearchservices.com", "US"},
+    // Yandex start-page asset services.
+    {"resize.yandex.net", "RU"},
+    {"favicon.yandex.net", "RU"},
+    // Opera's wider first-party estate (start page, crash reports,
+    // feature flags, push, thumbnails).
+    {"static.opera.com", "NO"},
+    {"crashstats.opera.com", "NO"},
+    {"exchange.opera.com", "NO"},
+    {"features.opera.com", "NO"},
+    {"cdn.opera.com", "NO"},
+    {"sdx.opera.com", "NO"},
+    {"notifications.opera.com", "NO"},
+    {"thumbnails.opera.com", "NO"},
+    {"push.opera.com", "NO"},
+    // Vivaldi sync / URL reputation.
+    {"sync.vivaldi.com", "NO"},
+    {"mimir2.vivaldi.com", "NO"},
+    {"urlcheck.vivaldi.com", "NO"},
+    // Whale start-page services.
+    {"cast.whale.naver.com", "KR"},
+    {"store.whale.naver.com", "KR"},
+};
+
+}  // namespace
+
+VendorWorld InstallVendors(net::Network& network, GeoPlan& plan) {
+  VendorWorld world;
+
+  for (const auto& spec : kTelemetryHosts) {
+    auto server = std::make_shared<TelemetryServer>(spec.hostname);
+    network.Host(spec.hostname, plan.Allocator(spec.country).Next(), server,
+                 spec.h3);
+    world.telemetry.emplace(spec.hostname, std::move(server));
+  }
+
+  world.sba_yandex = std::make_shared<SbaYandexServer>();
+  network.Host("sba.yandex.net", plan.Allocator("RU").Next(),
+               world.sba_yandex);
+
+  world.yandex_api = std::make_shared<YandexApiServer>();
+  network.Host("api.browser.yandex.ru", plan.Allocator("RU").Next(),
+               world.yandex_api);
+
+  world.oleads = std::make_shared<OleadsServer>();
+  network.Host("s-odx.oleads.com", plan.Allocator("NO").Next(),
+               world.oleads);
+
+  world.bing = std::make_shared<BingApiServer>();
+  network.Host("www.bing.com", plan.Allocator("US").Next(), world.bing,
+               /*supports_h3=*/true);
+
+  world.sitecheck = std::make_shared<OperaSitecheckServer>();
+  network.Host("sitecheck2.opera.com", plan.Allocator("NO").Next(),
+               world.sitecheck);
+
+  world.cloudflare_doh = std::make_shared<DohServer>(&network);
+  network.Host("cloudflare-dns.com",
+               plan.Allocator("US-ANYCAST-CF").Next(), world.cloudflare_doh,
+               /*supports_h3=*/true);
+
+  world.google_doh = std::make_shared<DohServer>(&network);
+  network.Host("dns.google", plan.Allocator("US-ANYCAST-GOOG").Next(),
+               world.google_doh, /*supports_h3=*/true);
+
+  return world;
+}
+
+}  // namespace panoptes::vendors

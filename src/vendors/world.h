@@ -1,0 +1,40 @@
+// Wires the vendor side of the simulated internet: every backend the
+// 15 browsers natively talk to, installed into the network fabric with
+// addresses drawn from country-labelled blocks (so §3.4's geolocation
+// analysis reproduces: Yandex→RU, QQ→CN, UC International→CA).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/fabric.h"
+#include "vendors/geo_plan.h"
+#include "vendors/servers.h"
+
+namespace panoptes::vendors {
+
+struct VendorWorld {
+  // Specialised servers, exposed so tests and benches can assert on
+  // what actually arrived.
+  std::shared_ptr<SbaYandexServer> sba_yandex;
+  std::shared_ptr<YandexApiServer> yandex_api;
+  std::shared_ptr<OleadsServer> oleads;
+  std::shared_ptr<DohServer> cloudflare_doh;
+  std::shared_ptr<DohServer> google_doh;
+  std::shared_ptr<BingApiServer> bing;
+  std::shared_ptr<OperaSitecheckServer> sitecheck;
+
+  // Generic telemetry backends by hostname.
+  std::map<std::string, std::shared_ptr<TelemetryServer>> telemetry;
+
+  const TelemetryServer* Telemetry(const std::string& host) const {
+    auto it = telemetry.find(host);
+    return it == telemetry.end() ? nullptr : it->second.get();
+  }
+};
+
+// Installs all vendor hosts; allocates their addresses out of `plan`.
+VendorWorld InstallVendors(net::Network& network, GeoPlan& plan);
+
+}  // namespace panoptes::vendors

@@ -1,0 +1,93 @@
+#include "web/easylist.h"
+
+#include "net/psl.h"
+#include "util/strings.h"
+#include "web/thirdparty.h"
+
+namespace panoptes::web {
+
+FilterList FilterList::Parse(std::string_view text) {
+  FilterList list;
+  for (const auto& raw_line : util::Split(text, '\n')) {
+    std::string_view line = util::Trim(raw_line);
+    if (line.empty() || line[0] == '!') continue;
+
+    FilterRule rule;
+    if (util::StartsWith(line, "@@")) {
+      rule.exception = true;
+      line.remove_prefix(2);
+    }
+
+    // Split off "$option" suffix.
+    size_t dollar = line.find('$');
+    if (dollar != std::string_view::npos) {
+      std::string_view options = line.substr(dollar + 1);
+      line = line.substr(0, dollar);
+      bool supported = false;
+      for (const auto& option : util::SplitNonEmpty(options, ',')) {
+        if (option == "third-party") {
+          rule.third_party_only = true;
+          supported = true;
+        }
+      }
+      if (!supported) continue;  // unsupported option set — skip rule
+    }
+
+    if (util::StartsWith(line, "||")) {
+      line.remove_prefix(2);
+      if (util::EndsWith(line, "^")) line.remove_suffix(1);
+      if (line.empty()) continue;
+      rule.kind = FilterRule::Kind::kDomainAnchor;
+      rule.pattern = util::ToLower(line);
+    } else {
+      if (line.empty()) continue;
+      rule.kind = FilterRule::Kind::kSubstring;
+      rule.pattern = std::string(line);
+    }
+    list.rules_.push_back(std::move(rule));
+  }
+  return list;
+}
+
+FilterList FilterList::DefaultEasyList() {
+  std::string text = "! simulated EasyList (ad/analytics pool)\n";
+  for (const auto& service : ThirdPartyPool()) {
+    if (service.kind == ThirdPartyKind::kAd ||
+        service.kind == ThirdPartyKind::kAnalytics) {
+      text += "||" + service.domain + "^\n";
+    }
+  }
+  return Parse(text);
+}
+
+void FilterList::AddRule(FilterRule rule) {
+  rules_.push_back(std::move(rule));
+}
+
+bool FilterList::Matches(const FilterRule& rule, const net::Url& url,
+                         std::string_view first_party_host) const {
+  if (rule.third_party_only &&
+      net::SameSite(url.host(), first_party_host)) {
+    return false;
+  }
+  switch (rule.kind) {
+    case FilterRule::Kind::kDomainAnchor:
+      return net::HostMatchesDomain(url.host(), rule.pattern);
+    case FilterRule::Kind::kSubstring:
+      return util::Contains(url.Serialize(), rule.pattern);
+  }
+  return false;
+}
+
+bool FilterList::ShouldBlock(const net::Url& url,
+                             std::string_view first_party_host) const {
+  bool blocked = false;
+  for (const auto& rule : rules_) {
+    if (!Matches(rule, url, first_party_host)) continue;
+    if (rule.exception) return false;  // exceptions always win
+    blocked = true;
+  }
+  return blocked;
+}
+
+}  // namespace panoptes::web

@@ -1,0 +1,58 @@
+// EasyList-style filter engine.
+//
+// CocCoc ships an ad blocker that enforces EasyList *inside its web
+// engine* (paper §3.1) — while its native traffic still talks to
+// analytics services. Modelling the engine-side blocker is what makes
+// that contrast reproducible: CocCoc's engine request counts shrink
+// while its native counts do not.
+//
+// Supported rule syntax (the subset EasyList's hot paths use):
+//   ||domain.com^            block the domain and its subdomains
+//   ||domain.com^$third-party   ... only when loaded third-party
+//   /substring/              plain substring match on the full URL
+//   @@||domain.com^          exception (overrides blocks)
+//   ! comment                ignored
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/url.h"
+
+namespace panoptes::web {
+
+struct FilterRule {
+  enum class Kind { kDomainAnchor, kSubstring };
+  Kind kind = Kind::kDomainAnchor;
+  std::string pattern;       // domain for kDomainAnchor, text otherwise
+  bool exception = false;    // @@ rule
+  bool third_party_only = false;
+};
+
+class FilterList {
+ public:
+  // Parses rules, skipping comments and unsupported syntax.
+  static FilterList Parse(std::string_view text);
+
+  // The default list used by CocCoc's engine: blocks the ad/analytics
+  // services in the third-party pool.
+  static FilterList DefaultEasyList();
+
+  void AddRule(FilterRule rule);
+
+  // True if a request for `url` made in the context of a page on
+  // `first_party_host` should be blocked.
+  bool ShouldBlock(const net::Url& url,
+                   std::string_view first_party_host) const;
+
+  size_t rule_count() const { return rules_.size(); }
+
+ private:
+  bool Matches(const FilterRule& rule, const net::Url& url,
+               std::string_view first_party_host) const;
+
+  std::vector<FilterRule> rules_;
+};
+
+}  // namespace panoptes::web

@@ -1,0 +1,90 @@
+#include "web/origin_server.h"
+
+#include "util/json.h"
+#include "util/rng.h"
+#include "web/sitegen.h"
+
+namespace panoptes::web {
+
+std::string FillerBody(std::string_view tag, size_t size) {
+  std::string out;
+  out.reserve(size);
+  std::string unit = std::string(tag) + "|";
+  while (out.size() + unit.size() <= size) out += unit;
+  out.append(size - out.size(), '.');
+  return out;
+}
+
+OriginServer::OriginServer(Site site) : site_(std::move(site)) {
+  landing_html_ = RenderLandingHtml(site_);
+}
+
+net::HttpResponse OriginServer::Handle(const net::HttpRequest& request,
+                                       const net::ConnectionMeta& meta) {
+  (void)meta;
+  ++hits_;
+  const std::string& path = request.url.path();
+  if (path == site_.landing_url.path()) {
+    auto resp = net::HttpResponse::Ok(landing_html_);
+    // First-party session cookie, deterministic per site. Lets the
+    // engine's cookie jar (and incognito's refusal to persist it) be
+    // observable in traffic.
+    resp.headers.Set("Set-Cookie",
+                     "sid=" + std::to_string(util::HashString(
+                                  site_.hostname) %
+                              1000000007ULL) +
+                         "; Path=/; Secure");
+    return resp;
+  }
+  for (const auto& resource : site_.resources) {
+    if (!resource.third_party && resource.url.path() == path) {
+      return net::HttpResponse::Ok(
+          FillerBody(path, resource.body_size),
+          ResourceContentType(resource.type));
+    }
+  }
+  return net::HttpResponse::NotFound();
+}
+
+ThirdPartyServer::ThirdPartyServer(ThirdPartyService service)
+    : service_(std::move(service)) {}
+
+net::HttpResponse ThirdPartyServer::Handle(const net::HttpRequest& request,
+                                           const net::ConnectionMeta& meta) {
+  (void)meta;
+  ++hits_;
+  // Deterministic size per path so repeated crawls byte-match.
+  util::Rng rng(util::HashString(request.url.RequestTarget()) ^
+                util::HashString(service_.domain));
+  switch (service_.kind) {
+    case ThirdPartyKind::kAd: {
+      util::JsonObject bid;
+      bid["id"] = rng.NextHex(16);
+      bid["cur"] = "USD";
+      bid["price_cpm"] = rng.NextInRange(10, 450) / 100.0;
+      bid["adm"] = FillerBody("creative", static_cast<size_t>(
+                                              rng.NextInRange(1500, 6000)));
+      return net::HttpResponse::Json(util::Json(std::move(bid)).Dump());
+    }
+    case ThirdPartyKind::kAnalytics: {
+      net::HttpResponse resp;
+      resp.status = 204;
+      resp.headers.Set("Content-Length", "0");
+      return resp;
+    }
+    case ThirdPartyKind::kSocial:
+    case ThirdPartyKind::kCdn:
+      return net::HttpResponse::Ok(
+          FillerBody(request.url.path(),
+                     static_cast<size_t>(rng.NextInRange(30'000, 150'000))),
+          "application/javascript");
+    case ThirdPartyKind::kFont:
+      return net::HttpResponse::Ok(
+          FillerBody(request.url.path(),
+                     static_cast<size_t>(rng.NextInRange(20'000, 80'000))),
+          "font/woff2");
+  }
+  return net::HttpResponse::NotFound();
+}
+
+}  // namespace panoptes::web

@@ -1,0 +1,56 @@
+#include "web/site.h"
+
+namespace panoptes::web {
+
+std::string_view SiteCategoryName(SiteCategory category) {
+  switch (category) {
+    case SiteCategory::kPopular: return "popular";
+    case SiteCategory::kSociety: return "society";
+    case SiteCategory::kReligion: return "religion";
+    case SiteCategory::kSexuality: return "sexuality";
+    case SiteCategory::kHealth: return "health";
+  }
+  return "?";
+}
+
+bool IsSensitiveCategory(SiteCategory category) {
+  return category != SiteCategory::kPopular;
+}
+
+std::string_view ResourceTypeName(ResourceType type) {
+  switch (type) {
+    case ResourceType::kDocument: return "document";
+    case ResourceType::kScript: return "script";
+    case ResourceType::kStylesheet: return "stylesheet";
+    case ResourceType::kImage: return "image";
+    case ResourceType::kXhr: return "xhr";
+  }
+  return "?";
+}
+
+std::string_view ResourceContentType(ResourceType type) {
+  switch (type) {
+    case ResourceType::kDocument: return "text/html";
+    case ResourceType::kScript: return "application/javascript";
+    case ResourceType::kStylesheet: return "text/css";
+    case ResourceType::kImage: return "image/png";
+    case ResourceType::kXhr: return "application/json";
+  }
+  return "application/octet-stream";
+}
+
+size_t Site::ThirdPartyCount() const {
+  size_t n = 0;
+  for (const auto& resource : resources) {
+    if (resource.third_party) ++n;
+  }
+  return n;
+}
+
+size_t Site::TotalBytes() const {
+  size_t total = document_size;
+  for (const auto& resource : resources) total += resource.body_size;
+  return total;
+}
+
+}  // namespace panoptes::web

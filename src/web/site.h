@@ -1,0 +1,54 @@
+// Site model: the structure of one website as the crawler sees it —
+// a landing document plus the subresources its HTML references.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/url.h"
+
+namespace panoptes::web {
+
+// Dataset slice the site belongs to. Popular = Tranco-style top list;
+// the other four are the paper's sensitive Curlie categories.
+enum class SiteCategory {
+  kPopular,
+  kSociety,
+  kReligion,
+  kSexuality,
+  kHealth,
+};
+
+std::string_view SiteCategoryName(SiteCategory category);
+bool IsSensitiveCategory(SiteCategory category);
+
+enum class ResourceType { kDocument, kScript, kStylesheet, kImage, kXhr };
+
+std::string_view ResourceTypeName(ResourceType type);
+std::string_view ResourceContentType(ResourceType type);
+
+// One fetchable resource belonging to a site's landing page.
+struct Resource {
+  net::Url url;            // absolute; host may be first or third party
+  ResourceType type = ResourceType::kScript;
+  size_t body_size = 0;    // bytes served
+  bool third_party = false;
+  bool ad_related = false; // embeds from the ad/analytics pool
+};
+
+struct Site {
+  std::string hostname;         // e.g. "streamhub042.com"
+  SiteCategory category = SiteCategory::kPopular;
+  int rank = 0;                 // 1-based position within its list
+  net::Url landing_url;         // what the crawler navigates to
+  size_t document_size = 0;     // landing HTML size in bytes
+  std::vector<Resource> resources;
+  bool supports_h3 = false;
+
+  size_t ThirdPartyCount() const;
+  size_t TotalBytes() const;  // document + all subresources
+};
+
+}  // namespace panoptes::web

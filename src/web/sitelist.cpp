@@ -1,0 +1,84 @@
+#include "web/sitelist.h"
+
+#include "util/strings.h"
+
+namespace panoptes::web {
+
+std::optional<SiteCategory> ParseSiteCategory(std::string_view name) {
+  if (name == "popular") return SiteCategory::kPopular;
+  if (name == "society") return SiteCategory::kSociety;
+  if (name == "religion") return SiteCategory::kReligion;
+  if (name == "sexuality") return SiteCategory::kSexuality;
+  if (name == "health") return SiteCategory::kHealth;
+  return std::nullopt;
+}
+
+std::string SaveSiteList(const SiteCatalog& catalog) {
+  std::string out = "# panoptes site list\n";
+  SiteCategory current = SiteCategory::kPopular;
+  bool first = true;
+  for (const auto& site : catalog.sites()) {
+    if (first || site.category != current) {
+      current = site.category;
+      first = false;
+      out += "# category: ";
+      out += SiteCategoryName(current);
+      out += "\n";
+    }
+    out += site.hostname + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+bool PlausibleHostname(std::string_view name) {
+  if (name.empty() || name.size() > 253) return false;
+  if (name.find('.') == std::string_view::npos) return false;
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+              c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<SiteListEntry> ParseSiteList(std::string_view text) {
+  std::vector<SiteListEntry> out;
+  SiteCategory current = SiteCategory::kPopular;
+  for (const auto& raw_line : util::Split(text, '\n')) {
+    std::string_view line = util::Trim(raw_line);
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::string_view comment = util::Trim(line.substr(1));
+      if (util::StartsWith(comment, "category:")) {
+        auto name = util::Trim(comment.substr(9));
+        if (auto category = ParseSiteCategory(name)) current = *category;
+      }
+      continue;
+    }
+    std::string hostname = util::ToLower(line);
+    if (!PlausibleHostname(hostname)) continue;
+    out.push_back(SiteListEntry{std::move(hostname), current});
+  }
+  return out;
+}
+
+SiteCatalog CatalogFromList(const std::vector<SiteListEntry>& entries,
+                            uint64_t seed, const SiteGenOptions& options) {
+  util::Rng rng(seed);
+  std::vector<Site> sites;
+  sites.reserve(entries.size());
+  int rank_by_category[5] = {0, 0, 0, 0, 0};
+  for (const auto& entry : entries) {
+    int& rank = rank_by_category[static_cast<int>(entry.category)];
+    ++rank;
+    sites.push_back(GenerateSite(entry.hostname, entry.category, rank,
+                                 rng.Fork("site"), options));
+  }
+  return SiteCatalog::FromSites(std::move(sites));
+}
+
+}  // namespace panoptes::web

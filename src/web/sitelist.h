@@ -1,0 +1,37 @@
+// Site-list file IO in the format the paper published alongside the
+// study (panoptes-results/1k.txt: one hostname per line). Category
+// annotations travel in "# category: <name>" section comments so that
+// a saved catalog reloads with its popular/sensitive split intact.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "web/catalog.h"
+
+namespace panoptes::web {
+
+struct SiteListEntry {
+  std::string hostname;
+  SiteCategory category = SiteCategory::kPopular;
+};
+
+// Renders the catalog's hostnames (paper 1k.txt format + category
+// sections).
+std::string SaveSiteList(const SiteCatalog& catalog);
+
+// Parses a site list. Unknown category names and malformed hostnames
+// are skipped; a completely unparsable input yields an empty list.
+std::vector<SiteListEntry> ParseSiteList(std::string_view text);
+
+// Builds a catalog from a parsed list: each entry is expanded through
+// the deterministic site generator with `seed`.
+SiteCatalog CatalogFromList(const std::vector<SiteListEntry>& entries,
+                            uint64_t seed,
+                            const SiteGenOptions& options = {});
+
+std::optional<SiteCategory> ParseSiteCategory(std::string_view name);
+
+}  // namespace panoptes::web

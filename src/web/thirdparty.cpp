@@ -1,0 +1,87 @@
+#include "web/thirdparty.h"
+
+#include "net/psl.h"
+
+namespace panoptes::web {
+
+std::string_view ThirdPartyKindName(ThirdPartyKind kind) {
+  switch (kind) {
+    case ThirdPartyKind::kAd: return "ad";
+    case ThirdPartyKind::kAnalytics: return "analytics";
+    case ThirdPartyKind::kSocial: return "social";
+    case ThirdPartyKind::kCdn: return "cdn";
+    case ThirdPartyKind::kFont: return "font";
+  }
+  return "?";
+}
+
+const std::vector<ThirdPartyService>& ThirdPartyPool() {
+  static const std::vector<ThirdPartyService> kPool = {
+      // Advertising (paper §3.1 / §3.5 named domains first).
+      {"doubleclick.net", "ad.doubleclick.net", ThirdPartyKind::kAd, 3.0},
+      {"rubiconproject.com", "fastlane.rubiconproject.com",
+       ThirdPartyKind::kAd, 1.5},
+      {"adnxs.com", "ib.adnxs.com", ThirdPartyKind::kAd, 1.5},
+      {"openx.net", "rtb.openx.net", ThirdPartyKind::kAd, 1.2},
+      {"pubmatic.com", "hbopenbid.pubmatic.com", ThirdPartyKind::kAd, 1.2},
+      {"bidswitch.net", "x.bidswitch.net", ThirdPartyKind::kAd, 1.0},
+      {"criteo.com", "bidder.criteo.com", ThirdPartyKind::kAd, 1.0},
+      {"taboola.com", "trc.taboola.com", ThirdPartyKind::kAd, 0.8},
+      {"outbrain.com", "widgets.outbrain.com", ThirdPartyKind::kAd, 0.8},
+      {"zemanta.com", "b1sync.zemanta.com", ThirdPartyKind::kAd, 0.5},
+      {"amazon-adsystem.com", "aax.amazon-adsystem.com", ThirdPartyKind::kAd,
+       1.0},
+      {"smartadserver.com", "diff.smartadserver.com", ThirdPartyKind::kAd,
+       0.5},
+      // Analytics / data platforms.
+      {"google-analytics.com", "www.google-analytics.com",
+       ThirdPartyKind::kAnalytics, 3.0},
+      {"demdex.net", "dpm.demdex.net", ThirdPartyKind::kAnalytics, 1.0},
+      {"scorecardresearch.com", "sb.scorecardresearch.com",
+       ThirdPartyKind::kAnalytics, 1.0},
+      {"adjust.com", "app.adjust.com", ThirdPartyKind::kAnalytics, 0.8},
+      {"appsflyersdk.com", "inapps.appsflyersdk.com",
+       ThirdPartyKind::kAnalytics, 0.8},
+      {"hotjar.com", "script.hotjar.com", ThirdPartyKind::kAnalytics, 0.8},
+      {"mixpanel.com", "api.mixpanel.com", ThirdPartyKind::kAnalytics, 0.6},
+      {"chartbeat.com", "static.chartbeat.com", ThirdPartyKind::kAnalytics,
+       0.6},
+      // Social widgets.
+      {"facebook.net", "connect.facebook.net", ThirdPartyKind::kSocial, 2.0},
+      {"twitter.com", "platform.twitter.com", ThirdPartyKind::kSocial, 1.0},
+      {"linkedin.com", "snap.licdn.linkedin.com", ThirdPartyKind::kSocial,
+       0.5},
+      // CDNs.
+      {"jsdelivr.net", "cdn.jsdelivr.net", ThirdPartyKind::kCdn, 2.0},
+      {"cloudflare.com", "cdnjs.cloudflare.com", ThirdPartyKind::kCdn, 2.0},
+      {"unpkg.com", "unpkg.com", ThirdPartyKind::kCdn, 1.0},
+      {"akamaized.net", "static.akamaized.net", ThirdPartyKind::kCdn, 1.5},
+      {"fastly.net", "global.fastly.net", ThirdPartyKind::kCdn, 1.0},
+      // Fonts.
+      {"gstatic.com", "fonts.gstatic.com", ThirdPartyKind::kFont, 2.5},
+      {"typekit.net", "use.typekit.net", ThirdPartyKind::kFont, 0.8},
+  };
+  return kPool;
+}
+
+std::vector<ThirdPartyService> ServicesOfKind(ThirdPartyKind kind) {
+  std::vector<ThirdPartyService> out;
+  for (const auto& service : ThirdPartyPool()) {
+    if (service.kind == kind) out.push_back(service);
+  }
+  return out;
+}
+
+bool IsAdOrAnalyticsDomain(std::string_view domain) {
+  std::string reg = net::RegistrableDomain(domain);
+  for (const auto& service : ThirdPartyPool()) {
+    if ((service.kind == ThirdPartyKind::kAd ||
+         service.kind == ThirdPartyKind::kAnalytics) &&
+        service.domain == reg) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace panoptes::web

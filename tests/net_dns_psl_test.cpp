@@ -1,0 +1,120 @@
+// DNS (zone, stub, DoH) and public-suffix tests.
+#include <gtest/gtest.h>
+
+#include "net/dns.h"
+#include "net/psl.h"
+#include "util/json.h"
+
+namespace panoptes::net {
+namespace {
+
+TEST(DnsZone, AddLookup) {
+  DnsZone zone;
+  zone.AddRecord("Example.COM", IpAddress(1, 2, 3, 4));
+  EXPECT_EQ(zone.Lookup("example.com"), IpAddress(1, 2, 3, 4));
+  EXPECT_EQ(zone.Lookup("EXAMPLE.com"), IpAddress(1, 2, 3, 4));
+  EXPECT_FALSE(zone.Lookup("missing.com").has_value());
+  EXPECT_TRUE(zone.Has("example.com"));
+  EXPECT_EQ(zone.size(), 1u);
+}
+
+TEST(DnsZone, FailureInjection) {
+  DnsZone zone;
+  zone.AddRecord("example.com", IpAddress(1, 2, 3, 4));
+  zone.SetFailing("example.com", true);
+  EXPECT_FALSE(zone.Lookup("example.com").has_value());
+  zone.SetFailing("example.com", false);
+  EXPECT_TRUE(zone.Lookup("example.com").has_value());
+}
+
+TEST(StubResolver, AnswersFromZone) {
+  DnsZone zone;
+  zone.AddRecord("example.com", IpAddress(1, 2, 3, 4));
+  StubResolver resolver(&zone);
+  EXPECT_EQ(resolver.Resolve("example.com"), IpAddress(1, 2, 3, 4));
+  EXPECT_FALSE(resolver.Resolve("nope.com").has_value());
+  EXPECT_EQ(resolver.Describe(), "stub");
+}
+
+TEST(DohResolver, ParsesRfc8484Json) {
+  int calls = 0;
+  DohResolver resolver("cloudflare-dns.com",
+                       [&](std::string_view query_url) {
+                         ++calls;
+                         EXPECT_NE(query_url.find("cloudflare-dns.com"),
+                                   std::string_view::npos);
+                         EXPECT_NE(query_url.find("name=example.com"),
+                                   std::string_view::npos);
+                         return std::optional<std::string>(
+                             R"({"Status":0,"Answer":[{"name":"example.com","type":1,"TTL":300,"data":"5.6.7.8"}]})");
+                       });
+  EXPECT_EQ(resolver.Resolve("example.com"), IpAddress(5, 6, 7, 8));
+  EXPECT_EQ(resolver.Describe(), "doh:cloudflare-dns.com");
+  // Cached: no second transport call.
+  EXPECT_EQ(resolver.Resolve("example.com"), IpAddress(5, 6, 7, 8));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(DohResolver, HandlesNxdomainAndGarbage) {
+  DohResolver nx("dns.google", [](std::string_view) {
+    return std::optional<std::string>(R"({"Status":3,"Answer":[]})");
+  });
+  EXPECT_FALSE(nx.Resolve("missing.com").has_value());
+
+  DohResolver garbage("dns.google", [](std::string_view) {
+    return std::optional<std::string>("not json");
+  });
+  EXPECT_FALSE(garbage.Resolve("x.com").has_value());
+
+  DohResolver failing("dns.google",
+                      [](std::string_view) -> std::optional<std::string> {
+                        return std::nullopt;
+                      });
+  EXPECT_FALSE(failing.Resolve("x.com").has_value());
+}
+
+TEST(Psl, PublicSuffixes) {
+  EXPECT_TRUE(IsPublicSuffix("com"));
+  EXPECT_TRUE(IsPublicSuffix("co.uk"));
+  EXPECT_TRUE(IsPublicSuffix("COM"));
+  EXPECT_FALSE(IsPublicSuffix("example.com"));
+  EXPECT_FALSE(IsPublicSuffix("notatld"));
+}
+
+TEST(Psl, RegistrableDomain) {
+  EXPECT_EQ(RegistrableDomain("example.com"), "example.com");
+  EXPECT_EQ(RegistrableDomain("a.b.example.com"), "example.com");
+  EXPECT_EQ(RegistrableDomain("Example.Co.UK"), "example.co.uk");
+  EXPECT_EQ(RegistrableDomain("deep.sub.example.co.uk"), "example.co.uk");
+  // Paper-relevant hosts.
+  EXPECT_EQ(RegistrableDomain("sba.yandex.net"), "yandex.net");
+  EXPECT_EQ(RegistrableDomain("api.browser.yandex.ru"), "yandex.ru");
+  EXPECT_EQ(RegistrableDomain("fastlane.rubiconproject.com"),
+            "rubiconproject.com");
+  EXPECT_EQ(RegistrableDomain("s-odx.oleads.com"), "oleads.com");
+}
+
+TEST(Psl, DegenerateInputs) {
+  EXPECT_EQ(RegistrableDomain("localhost"), "localhost");
+  EXPECT_EQ(RegistrableDomain("com"), "com");
+  EXPECT_EQ(RegistrableDomain("192.168.1.1"), "192.168.1.1");
+  EXPECT_EQ(RegistrableDomain("x.unknowntld"), "x.unknowntld");
+  EXPECT_EQ(RegistrableDomain("a.b.unknowntld"), "b.unknowntld");
+}
+
+TEST(Psl, SameSite) {
+  EXPECT_TRUE(SameSite("a.example.com", "b.example.com"));
+  EXPECT_TRUE(SameSite("example.com", "www.example.com"));
+  EXPECT_FALSE(SameSite("example.com", "example.org"));
+  EXPECT_FALSE(SameSite("a.co.uk", "b.co.uk"));
+}
+
+TEST(Psl, HostMatchesDomain) {
+  EXPECT_TRUE(HostMatchesDomain("ads.example.com", "example.com"));
+  EXPECT_TRUE(HostMatchesDomain("example.com", "example.com"));
+  EXPECT_FALSE(HostMatchesDomain("badexample.com", "example.com"));
+  EXPECT_FALSE(HostMatchesDomain("example.com", "ads.example.com"));
+}
+
+}  // namespace
+}  // namespace panoptes::net

@@ -1,0 +1,106 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+namespace panoptes::net {
+namespace {
+
+HttpResponse Echo(const HttpRequest& request, const ConnectionMeta& meta) {
+  (void)meta;
+  return HttpResponse::Ok("echo:" + request.url.path());
+}
+
+TEST(Network, HostRegistersDnsAndCert) {
+  Network network;
+  network.Host("example.com", IpAddress(1, 2, 3, 4),
+               std::make_shared<FunctionServer>(Echo));
+  EXPECT_EQ(network.zone().Lookup("example.com"), IpAddress(1, 2, 3, 4));
+  const auto* leaf = network.LeafFor("example.com");
+  ASSERT_NE(leaf, nullptr);
+  EXPECT_EQ(leaf->issuer, network.web_ca().name());
+  EXPECT_TRUE(leaf->MatchesHost("example.com"));
+}
+
+TEST(Network, FindByHostAndIp) {
+  Network network;
+  network.Host("a.com", IpAddress(1, 0, 0, 1),
+               std::make_shared<FunctionServer>(Echo));
+  EXPECT_NE(network.FindByHost("a.com"), nullptr);
+  EXPECT_NE(network.FindByHost("A.COM"), nullptr);
+  EXPECT_EQ(network.FindByHost("b.com"), nullptr);
+  EXPECT_NE(network.FindByIp(IpAddress(1, 0, 0, 1)), nullptr);
+  EXPECT_EQ(network.FindByIp(IpAddress(9, 9, 9, 9)), nullptr);
+}
+
+TEST(Network, DeliverRoutesToServer) {
+  Network network;
+  network.Host("a.com", IpAddress(1, 0, 0, 1),
+               std::make_shared<FunctionServer>(Echo));
+  HttpRequest request;
+  request.url = Url::MustParse("https://a.com/hello");
+  ConnectionMeta meta;
+  auto response = network.Deliver(IpAddress(1, 0, 0, 1), request, meta);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "echo:/hello");
+  EXPECT_EQ(network.delivered_count(), 1u);
+}
+
+TEST(Network, DeliverToEmptyAddressIs502) {
+  Network network;
+  HttpRequest request;
+  request.url = Url::MustParse("https://a.com/");
+  ConnectionMeta meta;
+  auto response = network.Deliver(IpAddress(9, 9, 9, 9), request, meta);
+  EXPECT_EQ(response.status, 502);
+}
+
+TEST(Network, TaintLeakCounterFiresOnPanoptesHeaders) {
+  Network network;
+  network.Host("a.com", IpAddress(1, 0, 0, 1),
+               std::make_shared<FunctionServer>(Echo));
+  HttpRequest clean;
+  clean.url = Url::MustParse("https://a.com/");
+  ConnectionMeta meta;
+  network.Deliver(IpAddress(1, 0, 0, 1), clean, meta);
+  EXPECT_EQ(network.taint_leaks(), 0u);
+
+  HttpRequest tainted = clean;
+  tainted.headers.Add("X-Panoptes-Taint", "oops");
+  network.Deliver(IpAddress(1, 0, 0, 1), tainted, meta);
+  EXPECT_EQ(network.taint_leaks(), 1u);
+}
+
+TEST(Network, SupportsH3Flag) {
+  Network network;
+  network.Host("h3.com", IpAddress(1, 0, 0, 2),
+               std::make_shared<FunctionServer>(Echo), /*supports_h3=*/true);
+  network.Host("h1.com", IpAddress(1, 0, 0, 3),
+               std::make_shared<FunctionServer>(Echo));
+  EXPECT_TRUE(network.SupportsH3("h3.com"));
+  EXPECT_FALSE(network.SupportsH3("h1.com"));
+  EXPECT_FALSE(network.SupportsH3("unknown.com"));
+}
+
+TEST(Network, RebindingReplaces) {
+  Network network;
+  network.Host("a.com", IpAddress(1, 0, 0, 1),
+               std::make_shared<FunctionServer>(Echo));
+  network.Host("a.com", IpAddress(1, 0, 0, 7),
+               std::make_shared<FunctionServer>(Echo));
+  EXPECT_EQ(network.zone().Lookup("a.com"), IpAddress(1, 0, 0, 7));
+}
+
+TEST(Network, HostnamesListing) {
+  Network network;
+  network.Host("b.com", IpAddress(1, 0, 0, 2),
+               std::make_shared<FunctionServer>(Echo));
+  network.Host("a.com", IpAddress(1, 0, 0, 1),
+               std::make_shared<FunctionServer>(Echo));
+  auto names = network.Hostnames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a.com");  // stable (sorted) order
+  EXPECT_EQ(names[1], "b.com");
+}
+
+}  // namespace
+}  // namespace panoptes::net

@@ -1,0 +1,93 @@
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+#include "net/ipalloc.h"
+
+namespace panoptes::net {
+namespace {
+
+TEST(IpAddress, ParseFormatsRoundTrip) {
+  auto ip = IpAddress::Parse("192.168.1.42");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(ip->ToString(), "192.168.1.42");
+  EXPECT_EQ(ip->value(), 0xC0A8012Au);
+}
+
+TEST(IpAddress, ParseRejectsInvalid) {
+  EXPECT_FALSE(IpAddress::Parse("").has_value());
+  EXPECT_FALSE(IpAddress::Parse("1.2.3").has_value());
+  EXPECT_FALSE(IpAddress::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IpAddress::Parse("256.0.0.1").has_value());
+  EXPECT_FALSE(IpAddress::Parse("a.b.c.d").has_value());
+  EXPECT_FALSE(IpAddress::Parse("1.2.3.-4").has_value());
+}
+
+TEST(IpAddress, PrivateRanges) {
+  EXPECT_TRUE(IpAddress(10, 0, 0, 1).IsPrivate());
+  EXPECT_TRUE(IpAddress(172, 16, 0, 1).IsPrivate());
+  EXPECT_TRUE(IpAddress(172, 31, 255, 255).IsPrivate());
+  EXPECT_FALSE(IpAddress(172, 32, 0, 1).IsPrivate());
+  EXPECT_TRUE(IpAddress(192, 168, 1, 42).IsPrivate());
+  EXPECT_TRUE(IpAddress(127, 0, 0, 1).IsPrivate());
+  EXPECT_TRUE(IpAddress(169, 254, 1, 1).IsPrivate());
+  EXPECT_FALSE(IpAddress(8, 8, 8, 8).IsPrivate());
+  EXPECT_FALSE(IpAddress(77, 88, 0, 3).IsPrivate());
+}
+
+TEST(IpAddress, Ordering) {
+  EXPECT_LT(IpAddress(1, 0, 0, 1), IpAddress(2, 0, 0, 0));
+  EXPECT_EQ(IpAddress(1, 2, 3, 4), IpAddress(1, 2, 3, 4));
+}
+
+TEST(Endpoint, ToString) {
+  Endpoint endpoint{IpAddress(1, 2, 3, 4), 443};
+  EXPECT_EQ(endpoint.ToString(), "1.2.3.4:443");
+}
+
+TEST(Cidr, ParseAndContains) {
+  auto cidr = Cidr::Parse("77.88.0.0/18");
+  ASSERT_TRUE(cidr.has_value());
+  EXPECT_TRUE(cidr->Contains(IpAddress(77, 88, 21, 3)));
+  EXPECT_TRUE(cidr->Contains(IpAddress(77, 88, 63, 255)));
+  EXPECT_FALSE(cidr->Contains(IpAddress(77, 88, 64, 0)));
+  EXPECT_FALSE(cidr->Contains(IpAddress(77, 89, 0, 0)));
+  EXPECT_EQ(cidr->ToString(), "77.88.0.0/18");
+}
+
+TEST(Cidr, NormalisesBase) {
+  Cidr cidr(IpAddress(10, 1, 2, 3), 8);
+  EXPECT_EQ(cidr.base().ToString(), "10.0.0.0");
+}
+
+TEST(Cidr, ZeroPrefixMatchesEverything) {
+  Cidr cidr(IpAddress(0, 0, 0, 0), 0);
+  EXPECT_TRUE(cidr.Contains(IpAddress(255, 255, 255, 255)));
+  EXPECT_TRUE(cidr.Contains(IpAddress(1, 2, 3, 4)));
+}
+
+TEST(Cidr, ParseRejectsInvalid) {
+  EXPECT_FALSE(Cidr::Parse("1.2.3.4").has_value());
+  EXPECT_FALSE(Cidr::Parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Cidr::Parse("bad/8").has_value());
+}
+
+TEST(IpAllocator, SequentialUnique) {
+  IpAllocator alloc(*Cidr::Parse("10.0.0.0/24"));
+  auto first = alloc.Next();
+  auto second = alloc.Next();
+  EXPECT_EQ(first.ToString(), "10.0.0.1");  // skips network address
+  EXPECT_EQ(second.ToString(), "10.0.0.2");
+  EXPECT_NE(first, second);
+}
+
+TEST(IpAllocator, ThrowsWhenExhausted) {
+  IpAllocator alloc(*Cidr::Parse("10.0.0.0/30"));  // capacity 4, usable 3
+  alloc.Next();
+  alloc.Next();
+  alloc.Next();
+  EXPECT_THROW(alloc.Next(), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace panoptes::net

@@ -1,0 +1,66 @@
+#include "net/latency.h"
+
+#include <gtest/gtest.h>
+
+#include "vendors/geo_plan.h"
+
+namespace panoptes::net {
+namespace {
+
+TEST(Latency, FixedModel) {
+  FixedLatency model(util::Duration::Millis(40));
+  EXPECT_EQ(model.RttTo(IpAddress(1, 2, 3, 4)).millis, 40);
+  EXPECT_EQ(model.RttTo(IpAddress(9, 9, 9, 9)).millis, 40);
+}
+
+TEST(Latency, GeoModelOrdersByDistanceFromGreece) {
+  auto plan = vendors::GeoPlan::Default();
+  auto model = GeoLatencyModel::FromVantageGreece(plan.ranges());
+
+  auto rtt_of = [&](const char* block) {
+    return model.RttTo(plan.Allocator(block).Next());
+  };
+
+  auto gr = rtt_of("GR");
+  auto de = rtt_of("DE");
+  auto ru = rtt_of("RU");
+  auto us = rtt_of("US");
+  auto cn = rtt_of("CN");
+  // Local < EU < Russia < US < China — the vantage-point ordering the
+  // crawl experiences.
+  EXPECT_LT(gr, de);
+  EXPECT_LT(de, ru);
+  EXPECT_LT(ru, us);
+  EXPECT_LT(us, cn);
+}
+
+TEST(Latency, AnycastIsNearbyDespiteUsRegistration) {
+  auto plan = vendors::GeoPlan::Default();
+  auto model = GeoLatencyModel::FromVantageGreece(plan.ranges());
+  auto anycast = model.RttTo(plan.Allocator("US-ANYCAST-CF").Next());
+  auto us_unicast = model.RttTo(plan.Allocator("US").Next());
+  EXPECT_LT(anycast.millis, 30);
+  EXPECT_GT(us_unicast.millis, 3 * anycast.millis);
+}
+
+TEST(Latency, UnknownAddressGetsFallback) {
+  auto model = GeoLatencyModel::FromVantageGreece({});
+  EXPECT_EQ(model.RttTo(IpAddress(203, 0, 113, 1)).millis, 90);
+}
+
+TEST(Latency, LongestPrefixWinsInsideOverlappingRanges) {
+  std::vector<GeoRange> ranges;
+  ranges.push_back(
+      {*Cidr::Parse("10.0.0.0/8"), "US", "United States", false, "US"});
+  ranges.push_back(
+      {*Cidr::Parse("10.1.0.0/16"), "GR", "Greece", true, "GR"});
+  GeoLatencyModel model(ranges,
+                        {{"US", util::Duration::Millis(115)},
+                         {"GR", util::Duration::Millis(12)}},
+                        util::Duration::Millis(90));
+  EXPECT_EQ(model.RttTo(IpAddress(10, 1, 0, 5)).millis, 12);
+  EXPECT_EQ(model.RttTo(IpAddress(10, 2, 0, 5)).millis, 115);
+}
+
+}  // namespace
+}  // namespace panoptes::net

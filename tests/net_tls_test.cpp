@@ -1,0 +1,129 @@
+// TLS trust-model tests: the MITM succeeds exactly when the Panoptes CA
+// is trusted and the host is not pinned — the paper's interception
+// preconditions.
+#include "net/tls.h"
+
+#include <gtest/gtest.h>
+
+namespace panoptes::net {
+namespace {
+
+class TlsTest : public ::testing::Test {
+ protected:
+  TlsTest()
+      : web_ca_("SimWeb-Root-CA", util::Rng(1)),
+        mitm_ca_("Panoptes-MITM-CA", util::Rng(2)) {}
+
+  CertificateAuthority web_ca_;
+  CertificateAuthority mitm_ca_;
+};
+
+TEST_F(TlsTest, HostMatching) {
+  auto leaf = web_ca_.IssueLeaf("example.com");
+  EXPECT_TRUE(leaf.MatchesHost("example.com"));
+  EXPECT_TRUE(leaf.MatchesHost("EXAMPLE.COM"));
+  EXPECT_FALSE(leaf.MatchesHost("sub.example.com"));
+  EXPECT_FALSE(leaf.MatchesHost("example.org"));
+}
+
+TEST_F(TlsTest, WildcardMatchingSingleLabel) {
+  auto leaf = web_ca_.IssueLeaf("*.opera.com");
+  EXPECT_TRUE(leaf.MatchesHost("sitecheck2.opera.com"));
+  EXPECT_FALSE(leaf.MatchesHost("opera.com"));          // no bare apex
+  EXPECT_FALSE(leaf.MatchesHost("a.b.opera.com"));      // one label only
+  EXPECT_FALSE(leaf.MatchesHost("notopera.com"));
+}
+
+TEST_F(TlsTest, SanMatching) {
+  auto leaf = web_ca_.IssueLeaf("example.com");
+  leaf.san_dns.push_back("www.example.com");
+  EXPECT_TRUE(leaf.MatchesHost("www.example.com"));
+}
+
+TEST_F(TlsTest, FreshKeysPerLeaf) {
+  auto a = web_ca_.IssueLeaf("a.com");
+  auto b = web_ca_.IssueLeaf("a.com");
+  EXPECT_NE(a.spki_id, b.spki_id);
+}
+
+TEST_F(TlsTest, CaStore) {
+  CaStore store;
+  EXPECT_FALSE(store.Trusts("SimWeb-Root-CA"));
+  store.Trust("SimWeb-Root-CA");
+  EXPECT_TRUE(store.Trusts("SimWeb-Root-CA"));
+  store.Distrust("SimWeb-Root-CA");
+  EXPECT_FALSE(store.Trusts("SimWeb-Root-CA"));
+}
+
+TEST_F(TlsTest, VerifyHappyPath) {
+  CaStore trust;
+  trust.Trust(web_ca_.name());
+  PinSet pins;
+  auto leaf = web_ca_.IssueLeaf("example.com");
+  EXPECT_EQ(VerifyCertificate(leaf, "example.com", trust, pins),
+            TlsVerifyResult::kOk);
+}
+
+TEST_F(TlsTest, VerifyUntrustedIssuer) {
+  CaStore trust;
+  trust.Trust(web_ca_.name());  // MITM CA not installed
+  PinSet pins;
+  auto forged = mitm_ca_.IssueLeaf("example.com");
+  EXPECT_EQ(VerifyCertificate(forged, "example.com", trust, pins),
+            TlsVerifyResult::kUntrustedIssuer);
+}
+
+TEST_F(TlsTest, VerifyHostMismatch) {
+  CaStore trust;
+  trust.Trust(web_ca_.name());
+  PinSet pins;
+  auto leaf = web_ca_.IssueLeaf("other.com");
+  EXPECT_EQ(VerifyCertificate(leaf, "example.com", trust, pins),
+            TlsVerifyResult::kHostMismatch);
+}
+
+TEST_F(TlsTest, PinningDefeatsTrustedMitm) {
+  // Footnote 3: even with the Panoptes CA installed, a pinned host
+  // rejects the forged leaf — its flows are lost to the capture.
+  CaStore trust;
+  trust.Trust(web_ca_.name());
+  trust.Trust(mitm_ca_.name());  // MITM CA installed on the device
+
+  auto genuine = web_ca_.IssueLeaf("go-updater.brave.com");
+  PinSet pins;
+  pins.Pin("go-updater.brave.com", genuine.spki_id);
+
+  auto forged = mitm_ca_.IssueLeaf("go-updater.brave.com");
+  EXPECT_EQ(
+      VerifyCertificate(forged, "go-updater.brave.com", trust, pins),
+      TlsVerifyResult::kPinMismatch);
+  // The genuine leaf still verifies.
+  EXPECT_EQ(
+      VerifyCertificate(genuine, "go-updater.brave.com", trust, pins),
+      TlsVerifyResult::kOk);
+  // Unpinned hosts accept the forged leaf.
+  auto forged_other = mitm_ca_.IssueLeaf("example.com");
+  EXPECT_EQ(VerifyCertificate(forged_other, "example.com", trust, pins),
+            TlsVerifyResult::kOk);
+}
+
+TEST_F(TlsTest, PinSetMultipleKeys) {
+  PinSet pins;
+  pins.Pin("h", "key1");
+  pins.Pin("h", "key2");
+  EXPECT_TRUE(pins.Satisfies("h", "key1"));
+  EXPECT_TRUE(pins.Satisfies("h", "key2"));
+  EXPECT_FALSE(pins.Satisfies("h", "key3"));
+  EXPECT_TRUE(pins.HasPinsFor("h"));
+  EXPECT_FALSE(pins.HasPinsFor("other"));
+  EXPECT_TRUE(pins.Satisfies("other", "anything"));
+}
+
+TEST_F(TlsTest, ResultNames) {
+  EXPECT_EQ(TlsVerifyResultName(TlsVerifyResult::kOk), "ok");
+  EXPECT_EQ(TlsVerifyResultName(TlsVerifyResult::kPinMismatch),
+            "pin-mismatch");
+}
+
+}  // namespace
+}  // namespace panoptes::net

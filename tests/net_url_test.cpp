@@ -1,0 +1,133 @@
+#include "net/url.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace panoptes::net {
+namespace {
+
+TEST(Url, ParseFull) {
+  auto url = Url::Parse(
+      "https://Sba.Yandex.Net:8443/safebrowsing/report?url=aHR0&x=1#frag");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->scheme(), "https");
+  EXPECT_EQ(url->host(), "sba.yandex.net");  // lowercased
+  EXPECT_EQ(url->EffectivePort(), 8443);
+  EXPECT_EQ(url->path(), "/safebrowsing/report");
+  EXPECT_EQ(url->query(), "url=aHR0&x=1");
+  EXPECT_EQ(url->fragment(), "frag");
+}
+
+TEST(Url, DefaultsAndOrigin) {
+  auto url = Url::Parse("http://example.com");
+  ASSERT_TRUE(url.has_value());
+  EXPECT_EQ(url->EffectivePort(), 80);
+  EXPECT_EQ(url->path(), "/");
+  EXPECT_EQ(url->Origin(), "http://example.com");
+  EXPECT_EQ(Url::Parse("https://x.org")->EffectivePort(), 443);
+}
+
+TEST(Url, SerializeRoundTrip) {
+  const char* cases[] = {
+      "https://example.com/",
+      "https://example.com/a/b.js",
+      "https://example.com/a?b=c&d=e",
+      "https://example.com:8080/a?b=c#f",
+      "http://sub.domain.co.uk/path%20enc?q=%26",
+  };
+  for (const char* text : cases) {
+    auto url = Url::Parse(text);
+    ASSERT_TRUE(url.has_value()) << text;
+    EXPECT_EQ(url->Serialize(), text);
+    // Idempotent: parse(serialize(u)) == u.
+    EXPECT_EQ(Url::Parse(url->Serialize()), url);
+  }
+}
+
+TEST(Url, ParseRejectsInvalid) {
+  EXPECT_FALSE(Url::Parse("").has_value());
+  EXPECT_FALSE(Url::Parse("not a url").has_value());
+  EXPECT_FALSE(Url::Parse("ftp://example.com/").has_value());
+  EXPECT_FALSE(Url::Parse("https://").has_value());
+  EXPECT_FALSE(Url::Parse("https:///path").has_value());
+  EXPECT_FALSE(Url::Parse("https://host:0/").has_value());
+  EXPECT_FALSE(Url::Parse("https://host:99999/").has_value());
+  EXPECT_FALSE(Url::Parse("https://host:abc/").has_value());
+}
+
+TEST(Url, RequestTarget) {
+  EXPECT_EQ(Url::MustParse("https://h/a/b?x=1").RequestTarget(), "/a/b?x=1");
+  EXPECT_EQ(Url::MustParse("https://h/").RequestTarget(), "/");
+}
+
+TEST(Url, QueryParamsDecoded) {
+  auto url = Url::MustParse("https://h/?a=1&b=hello%20world&c&d=%3D");
+  auto params = url.QueryParams();
+  ASSERT_EQ(params.size(), 4u);
+  EXPECT_EQ(params[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(params[1].second, "hello world");
+  EXPECT_EQ(params[2].second, "");
+  EXPECT_EQ(params[3].second, "=");
+  EXPECT_EQ(url.QueryParam("b"), "hello world");
+  EXPECT_FALSE(url.QueryParam("zzz").has_value());
+}
+
+TEST(Url, AddQueryParamEncodes) {
+  Url url = Url::MustParse("https://api.browser.yandex.ru/track");
+  url.AddQueryParam("host", "example.com");
+  url.AddQueryParam("payload", "a b&c=d");
+  EXPECT_EQ(url.Serialize(),
+            "https://api.browser.yandex.ru/track?host=example.com&"
+            "payload=a%20b%26c%3Dd");
+  EXPECT_EQ(url.QueryParam("payload"), "a b&c=d");
+}
+
+TEST(Url, Base64ParamSurvivesEncoding) {
+  // The Yandex phone-home pattern: base64 of a URL ('+', '/', '=' all
+  // need escaping) must round-trip through the query string.
+  std::string b64 = "aHR0cHM6Ly9leGFtcGxlLmNvbS8+/w==";
+  Url url = Url::MustParse("https://sba.yandex.net/report");
+  url.AddQueryParam("url", b64);
+  EXPECT_EQ(Url::Parse(url.Serialize())->QueryParam("url"), b64);
+}
+
+TEST(Url, SetPathNormalises) {
+  Url url = Url::MustParse("https://h/");
+  url.set_path("no-slash");
+  EXPECT_EQ(url.path(), "/no-slash");
+  url.set_path("/ok");
+  EXPECT_EQ(url.path(), "/ok");
+}
+
+TEST(Url, EncodeQueryHelper) {
+  EXPECT_EQ(EncodeQuery({{"a", "1"}, {"b c", "d&e"}}), "a=1&b%20c=d%26e");
+  EXPECT_EQ(EncodeQuery({}), "");
+}
+
+// Property: parse∘serialize is the identity over generated URLs.
+class UrlRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(UrlRoundTrip, Holds) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  std::string text = "https://";
+  text += rng.NextToken(8) + "." + rng.NextToken(4) + ".com";
+  if (rng.NextBool(0.3)) text += ":" + std::to_string(rng.NextInRange(1, 65535));
+  int segments = static_cast<int>(rng.NextBelow(4));
+  for (int i = 0; i < segments; ++i) text += "/" + rng.NextToken(6);
+  if (segments == 0) text += "/";
+  if (rng.NextBool(0.5)) {
+    text += "?" + rng.NextToken(3) + "=" + rng.NextHex(8);
+    if (rng.NextBool(0.5)) text += "&" + rng.NextToken(2) + "=" + rng.NextToken(5);
+  }
+  if (rng.NextBool(0.2)) text += "#" + rng.NextToken(4);
+
+  auto url = Url::Parse(text);
+  ASSERT_TRUE(url.has_value()) << text;
+  EXPECT_EQ(url->Serialize(), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UrlRoundTrip, ::testing::Range(0, 50));
+
+}  // namespace
+}  // namespace panoptes::net

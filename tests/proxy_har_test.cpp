@@ -1,0 +1,109 @@
+#include "proxy/har.h"
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+namespace panoptes::proxy {
+namespace {
+
+Flow SampleFlow(uint64_t id) {
+  Flow flow;
+  flow.id = id;
+  flow.time = util::SimTime{1683849600000LL + static_cast<int64_t>(id)};
+  flow.browser = "Yandex";
+  flow.app_uid = 10053;
+  flow.method = net::HttpMethod::kPost;
+  flow.url = net::Url::MustParse(
+      "https://sba.yandex.net/report?url=aHR0cHM6Ly94Lm9yZy8");
+  flow.request_headers.Add("User-Agent", "YaBrowser/23");
+  flow.request_headers.Add("Content-Type", "application/json");
+  flow.request_body = "{\"k\":1}";
+  flow.response_status = 204;
+  flow.request_bytes = 321;
+  flow.response_bytes = 42;
+  flow.server_ip = net::IpAddress(77, 88, 0, 3);
+  flow.origin = TrafficOrigin::kNative;
+  return flow;
+}
+
+TEST(Har, ExportShape) {
+  FlowStore store;
+  store.Add(SampleFlow(1));
+  std::string har = ExportHar(store, "unit test");
+
+  auto json = util::Json::Parse(har);
+  ASSERT_TRUE(json.has_value());
+  const auto* log = json->Find("log");
+  ASSERT_NE(log, nullptr);
+  EXPECT_EQ(log->Find("version")->as_string(), "1.2");
+  EXPECT_EQ(log->Find("creator")->Find("comment")->as_string(), "unit test");
+  const auto& entries = log->Find("entries")->as_array();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].Find("request")->Find("method")->as_string(), "POST");
+  EXPECT_EQ(entries[0].Find("_origin")->as_string(), "native");
+  EXPECT_EQ(entries[0].Find("_browser")->as_string(), "Yandex");
+  EXPECT_EQ(entries[0].Find("startedDateTime")->as_string(),
+            "2023-05-12T00:00:00.001Z");
+}
+
+TEST(Har, RoundTripPreservesEverything) {
+  FlowStore store;
+  store.Add(SampleFlow(1));
+  Flow engine = SampleFlow(2);
+  engine.origin = TrafficOrigin::kEngine;
+  engine.taint = "cdp-abcdef";
+  engine.request_body.clear();
+  store.Add(engine);
+
+  auto imported = ImportHar(ExportHar(store));
+  ASSERT_TRUE(imported.has_value());
+  ASSERT_EQ(imported->size(), 2u);
+
+  const Flow& a = imported->flows()[0];
+  EXPECT_EQ(a.id, 1u);
+  EXPECT_EQ(a.browser, "Yandex");
+  EXPECT_EQ(a.app_uid, 10053);
+  EXPECT_EQ(a.method, net::HttpMethod::kPost);
+  EXPECT_EQ(a.url.Serialize(),
+            "https://sba.yandex.net/report?url=aHR0cHM6Ly94Lm9yZy8");
+  EXPECT_EQ(a.request_headers.Get("User-Agent"), "YaBrowser/23");
+  EXPECT_EQ(a.request_body, "{\"k\":1}");
+  EXPECT_EQ(a.response_status, 204);
+  EXPECT_EQ(a.request_bytes, 321u);
+  EXPECT_EQ(a.response_bytes, 42u);
+  EXPECT_EQ(a.server_ip.ToString(), "77.88.0.3");
+  EXPECT_EQ(a.origin, TrafficOrigin::kNative);
+  EXPECT_EQ(a.time.millis, 1683849600001LL);
+
+  const Flow& b = imported->flows()[1];
+  EXPECT_EQ(b.origin, TrafficOrigin::kEngine);
+  EXPECT_EQ(b.taint, "cdp-abcdef");
+
+  // Aggregates match after the round trip.
+  EXPECT_EQ(imported->RequestBytes(), store.RequestBytes());
+  EXPECT_EQ(imported->DistinctHosts(), store.DistinctHosts());
+}
+
+TEST(Har, EmptyStore) {
+  FlowStore store;
+  auto imported = ImportHar(ExportHar(store));
+  ASSERT_TRUE(imported.has_value());
+  EXPECT_TRUE(imported->empty());
+}
+
+TEST(Har, ImportRejectsGarbage) {
+  EXPECT_FALSE(ImportHar("").has_value());
+  EXPECT_FALSE(ImportHar("not json").has_value());
+  EXPECT_FALSE(ImportHar("{}").has_value());
+  EXPECT_FALSE(ImportHar("{\"log\":{}}").has_value());
+  EXPECT_FALSE(
+      ImportHar("{\"log\":{\"entries\":[{\"request\":{}}]}}").has_value());
+  EXPECT_FALSE(
+      ImportHar(
+          R"({"log":{"entries":[{"request":{"url":"::bad::"},"response":{}}]}})")
+          .has_value());
+}
+
+}  // namespace
+}  // namespace panoptes::proxy

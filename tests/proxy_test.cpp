@@ -1,0 +1,180 @@
+// MITM proxy + flow store tests.
+#include <gtest/gtest.h>
+
+#include "net/fabric.h"
+#include "proxy/flowstore.h"
+#include "proxy/mitm.h"
+
+namespace panoptes::proxy {
+namespace {
+
+net::HttpRequest Get(std::string_view url) {
+  net::HttpRequest request;
+  request.url = net::Url::MustParse(url);
+  return request;
+}
+
+Flow MakeFlow(std::string_view url, size_t req_bytes = 100,
+              size_t resp_bytes = 200) {
+  Flow flow;
+  flow.url = net::Url::MustParse(url);
+  flow.request_bytes = req_bytes;
+  flow.response_bytes = resp_bytes;
+  return flow;
+}
+
+TEST(FlowStore, CountsAndBytes) {
+  FlowStore store;
+  store.Add(MakeFlow("https://a.com/x", 100, 200));
+  store.Add(MakeFlow("https://b.com/y", 50, 70));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.TotalBytes(), 420u);
+  EXPECT_EQ(store.RequestBytes(), 150u);
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(FlowStore, DistinctHostsAndDomains) {
+  FlowStore store;
+  store.Add(MakeFlow("https://a.x.com/1"));
+  store.Add(MakeFlow("https://a.x.com/2"));
+  store.Add(MakeFlow("https://b.x.com/3"));
+  store.Add(MakeFlow("https://c.org/4"));
+  EXPECT_EQ(store.DistinctHosts().size(), 3u);
+  auto domains = store.DistinctDomains();
+  EXPECT_EQ(domains.size(), 2u);
+  EXPECT_TRUE(domains.count("x.com"));
+  EXPECT_TRUE(domains.count("c.org"));
+}
+
+TEST(FlowStore, QueriesByHostAndDomain) {
+  FlowStore store;
+  store.Add(MakeFlow("https://sba.yandex.net/report"));
+  store.Add(MakeFlow("https://api.browser.yandex.ru/track"));
+  EXPECT_EQ(store.ToHost("sba.yandex.net").size(), 1u);
+  EXPECT_EQ(store.ToDomain("yandex.net").size(), 1u);
+  EXPECT_EQ(store.ToDomain("yandex.ru").size(), 1u);
+  EXPECT_TRUE(store.ToHost("other.com").empty());
+  EXPECT_EQ(store
+                .Where([](const Flow& flow) {
+                  return flow.url.path() == "/track";
+                })
+                .size(),
+            1u);
+}
+
+TEST(FlowStore, CompactDropsHeadersAndBody) {
+  FlowStore store(/*compact=*/true);
+  Flow flow = MakeFlow("https://a.com/x");
+  flow.request_headers.Add("User-Agent", "big string");
+  flow.request_body = std::string(4096, 'x');
+  store.Add(flow);
+  EXPECT_TRUE(store.flows().front().request_headers.empty());
+  EXPECT_TRUE(store.flows().front().request_body.empty());
+  // Sizes survive (the figures need them).
+  EXPECT_EQ(store.flows().front().request_bytes, 100u);
+}
+
+TEST(TrafficOrigin, Names) {
+  EXPECT_EQ(TrafficOriginName(TrafficOrigin::kEngine), "engine");
+  EXPECT_EQ(TrafficOriginName(TrafficOrigin::kNative), "native");
+  EXPECT_EQ(TrafficOriginName(TrafficOrigin::kUnknown), "unknown");
+}
+
+// ---------------------------------------------------------------------------
+// MitmProxy
+// ---------------------------------------------------------------------------
+
+class RecordingAddon : public Addon {
+ public:
+  void OnRequest(Flow& flow, net::HttpRequest& request) override {
+    (void)flow;
+    request.headers.Set("x-addon-touched", "1");
+  }
+  void OnFlowComplete(const Flow& flow) override {
+    flows.push_back(flow);
+  }
+  std::vector<Flow> flows;
+};
+
+class MitmTest : public ::testing::Test {
+ protected:
+  MitmTest() : proxy_(&network_) {
+    network_.Host("site.com", net::IpAddress(1, 0, 0, 1),
+                  std::make_shared<net::FunctionServer>(
+                      [this](const net::HttpRequest& request,
+                             const net::ConnectionMeta& meta) {
+                        last_request_ = request;
+                        last_meta_ = meta;
+                        return net::HttpResponse::Ok("served");
+                      }));
+  }
+
+  net::ConnectionMeta Meta() {
+    net::ConnectionMeta meta;
+    meta.server_ip = net::IpAddress(1, 0, 0, 1);
+    meta.sni = "site.com";
+    meta.app_uid = 10050;
+    return meta;
+  }
+
+  net::Network network_;
+  MitmProxy proxy_;
+  net::HttpRequest last_request_;
+  net::ConnectionMeta last_meta_;
+};
+
+TEST_F(MitmTest, ForgedCertsSignedByPanoptesCaAndCached) {
+  const auto& cert_a = proxy_.PresentCertificate("site.com");
+  EXPECT_EQ(cert_a.issuer, proxy_.ca_name());
+  EXPECT_TRUE(cert_a.MatchesHost("site.com"));
+  const auto& cert_b = proxy_.PresentCertificate("site.com");
+  EXPECT_EQ(cert_a.spki_id, cert_b.spki_id);  // cached, stable
+  EXPECT_EQ(proxy_.forged_cert_count(), 1u);
+  proxy_.PresentCertificate("other.com");
+  EXPECT_EQ(proxy_.forged_cert_count(), 2u);
+}
+
+TEST_F(MitmTest, ForwardRunsAddonsAndDelivers) {
+  auto addon = std::make_shared<RecordingAddon>();
+  proxy_.AddAddon(addon);
+  proxy_.SetBrowserLabel("Yandex");
+
+  net::HttpRequest request = Get("https://site.com/p?q=1");
+  auto response = proxy_.Forward(request, Meta());
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.body, "served");
+
+  // Addon rewrote the request before it reached the server.
+  EXPECT_EQ(last_request_.headers.Get("x-addon-touched"), "1");
+  EXPECT_TRUE(last_meta_.via_proxy);
+
+  ASSERT_EQ(addon->flows.size(), 1u);
+  const Flow& flow = addon->flows.front();
+  EXPECT_EQ(flow.browser, "Yandex");
+  EXPECT_EQ(flow.app_uid, 10050);
+  EXPECT_EQ(flow.url.Serialize(), "https://site.com/p?q=1");
+  EXPECT_EQ(flow.response_status, 200);
+  EXPECT_GT(flow.response_bytes, 0u);
+  EXPECT_EQ(flow.id, 1u);
+}
+
+TEST_F(MitmTest, FlowIdsMonotonic) {
+  proxy_.Forward(Get("https://site.com/a"), Meta());
+  proxy_.Forward(Get("https://site.com/b"), Meta());
+  EXPECT_EQ(proxy_.flows_processed(), 2u);
+}
+
+TEST_F(MitmTest, ForwardToUnknownIpYields502Flow) {
+  auto addon = std::make_shared<RecordingAddon>();
+  proxy_.AddAddon(addon);
+  net::ConnectionMeta meta = Meta();
+  meta.server_ip = net::IpAddress(9, 9, 9, 9);
+  auto response = proxy_.Forward(Get("https://site.com/a"), meta);
+  EXPECT_EQ(response.status, 502);
+  ASSERT_EQ(addon->flows.size(), 1u);
+  EXPECT_EQ(addon->flows.front().response_status, 502);
+}
+
+}  // namespace
+}  // namespace panoptes::proxy

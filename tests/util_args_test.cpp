@@ -1,0 +1,58 @@
+#include "util/args.h"
+
+#include <gtest/gtest.h>
+
+namespace panoptes::util {
+namespace {
+
+Args ParseTokens(std::initializer_list<const char*> tokens) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), tokens.begin(), tokens.end());
+  return Args::Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, Positionals) {
+  auto args = ParseTokens({"crawl", "extra"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.Positional(0), "crawl");
+  EXPECT_EQ(args.Positional(1), "extra");
+  EXPECT_EQ(args.Positional(5, "fallback"), "fallback");
+}
+
+TEST(Args, KeyValueForms) {
+  auto args = ParseTokens({"--browser", "Yandex", "--sites=50"});
+  EXPECT_EQ(args.Option("browser"), "Yandex");
+  EXPECT_EQ(args.Option("sites"), "50");
+  EXPECT_EQ(args.IntOptionOr("sites", 0), 50);
+  EXPECT_FALSE(args.Option("missing").has_value());
+  EXPECT_EQ(args.OptionOr("missing", "dflt"), "dflt");
+}
+
+TEST(Args, BareFlags) {
+  auto args = ParseTokens({"crawl", "--incognito", "--har", "out.har"});
+  EXPECT_TRUE(args.HasFlag("incognito"));
+  EXPECT_FALSE(args.HasFlag("verbose"));
+  EXPECT_EQ(args.Option("har"), "out.har");
+  EXPECT_EQ(args.Positional(0), "crawl");
+}
+
+TEST(Args, FlagFollowedByFlagStaysBare) {
+  auto args = ParseTokens({"--a", "--b", "value"});
+  EXPECT_TRUE(args.HasFlag("a"));
+  EXPECT_EQ(args.Option("a"), "");
+  EXPECT_EQ(args.Option("b"), "value");
+}
+
+TEST(Args, IntFallbackOnGarbage) {
+  auto args = ParseTokens({"--sites=abc"});
+  EXPECT_EQ(args.IntOptionOr("sites", 7), 7);
+}
+
+TEST(Args, EmptyArgv) {
+  auto args = Args::Parse(0, nullptr);
+  EXPECT_TRUE(args.positional().empty());
+  EXPECT_EQ(args.Positional(0, "x"), "x");
+}
+
+}  // namespace
+}  // namespace panoptes::util

@@ -1,0 +1,88 @@
+#include "util/base64.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace panoptes::util {
+namespace {
+
+TEST(Base64, KnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, DecodeKnownVectors) {
+  EXPECT_EQ(Base64Decode("Zm9vYmFy"), "foobar");
+  EXPECT_EQ(Base64Decode("Zg=="), "f");
+  EXPECT_EQ(Base64Decode("Zg"), "f");  // padding optional
+}
+
+TEST(Base64, UrlSafeAlphabet) {
+  // 0xFF 0xEF produces '+' and '/' in the standard alphabet.
+  std::string data = "\xff\xef\xbe";
+  std::string standard = Base64Encode(data);
+  std::string url = Base64UrlEncode(data);
+  EXPECT_NE(standard.find_first_of("+/"), std::string::npos);
+  EXPECT_EQ(url.find_first_of("+/="), std::string::npos);
+  EXPECT_EQ(Base64Decode(url), data);  // decoder accepts both
+}
+
+TEST(Base64, RejectsInvalid) {
+  EXPECT_FALSE(Base64Decode("a").has_value());      // 4n+1 impossible
+  EXPECT_FALSE(Base64Decode("ab!d").has_value());   // bad character
+  EXPECT_FALSE(Base64Decode("ab=d").has_value());   // '=' mid-stream
+}
+
+TEST(Base64, YandexStyleUrlPayload) {
+  // The exact pattern the sba.yandex.net phone-home uses (§3.2).
+  std::string url = "https://mentalcare42.org/";
+  auto decoded = Base64Decode(Base64Encode(url));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, url);
+}
+
+TEST(Base64, LooksLikeBase64) {
+  EXPECT_TRUE(LooksLikeBase64("Zm9vYmFy"));
+  EXPECT_FALSE(LooksLikeBase64(""));
+  EXPECT_FALSE(LooksLikeBase64("not base64!"));
+}
+
+// Property: decode(encode(x)) == x for random binary strings of many
+// lengths, both alphabets.
+class Base64RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Base64RoundTrip, StandardAlphabet) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  size_t length = static_cast<size_t>(GetParam());
+  std::string data;
+  for (size_t i = 0; i < length; ++i) {
+    data.push_back(static_cast<char>(rng.NextBelow(256)));
+  }
+  auto decoded = Base64Decode(Base64Encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST_P(Base64RoundTrip, UrlAlphabet) {
+  Rng rng(static_cast<uint64_t>(GetParam()) ^ 0xABCD);
+  size_t length = static_cast<size_t>(GetParam());
+  std::string data;
+  for (size_t i = 0; i < length; ++i) {
+    data.push_back(static_cast<char>(rng.NextBelow(256)));
+  }
+  auto decoded = Base64Decode(Base64UrlEncode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Base64RoundTrip, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace panoptes::util

@@ -1,0 +1,113 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace panoptes::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+  // bound 1 always yields 0.
+  EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values reachable
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, NextBoolProbability) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+  EXPECT_FALSE(rng.NextBool(0));
+  EXPECT_TRUE(rng.NextBool(1));
+}
+
+TEST(Rng, NextExponentialMean) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / 20000, 5.0, 0.25);
+}
+
+TEST(Rng, TokensAndHex) {
+  Rng rng(19);
+  std::string token = rng.NextToken(12);
+  EXPECT_EQ(token.size(), 12u);
+  for (char c : token) EXPECT_TRUE(c >= 'a' && c <= 'z');
+  std::string hex = rng.NextHex(32);
+  EXPECT_EQ(hex.size(), 32u);
+  for (char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(23);
+  Rng child_a = parent.Fork("site");
+  Rng child_b = parent.Fork("site");  // parent advanced → different
+  EXPECT_NE(child_a.NextU64(), child_b.NextU64());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto original = items;
+  rng.Shuffle(items);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(original.begin(), original.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Rng, HashStringStable) {
+  EXPECT_EQ(HashString("panoptes"), HashString("panoptes"));
+  EXPECT_NE(HashString("panoptes"), HashString("Panoptes"));
+  EXPECT_NE(HashString(""), HashString("a"));
+}
+
+}  // namespace
+}  // namespace panoptes::util

@@ -1,0 +1,78 @@
+#include "web/sitelist.h"
+
+#include <gtest/gtest.h>
+
+namespace panoptes::web {
+namespace {
+
+TEST(SiteList, SaveParseRoundTrip) {
+  CatalogOptions options;
+  options.popular_count = 10;
+  options.sensitive_count = 8;
+  auto catalog = SiteCatalog::Generate(11, options);
+
+  std::string text = SaveSiteList(catalog);
+  auto entries = ParseSiteList(text);
+  ASSERT_EQ(entries.size(), catalog.sites().size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(entries[i].hostname, catalog.sites()[i].hostname);
+    EXPECT_EQ(entries[i].category, catalog.sites()[i].category);
+  }
+}
+
+TEST(SiteList, ParseSkipsJunk) {
+  auto entries = ParseSiteList(
+      "# header comment\n"
+      "good.example.com\n"
+      "\n"
+      "   spaced.example.org   \n"
+      "UPPER.example.com\n"          // lowered
+      "no-dot-hostname\n"            // skipped
+      "bad host.com\n"               // skipped (space)
+      "# category: health\n"
+      "clinic.example.org\n"
+      "# category: nonsense\n"       // unknown → keeps current
+      "stillhealth.example.org\n");
+  ASSERT_EQ(entries.size(), 5u);
+  EXPECT_EQ(entries[0].hostname, "good.example.com");
+  EXPECT_EQ(entries[0].category, SiteCategory::kPopular);
+  EXPECT_EQ(entries[2].hostname, "upper.example.com");
+  EXPECT_EQ(entries[3].hostname, "clinic.example.org");
+  EXPECT_EQ(entries[3].category, SiteCategory::kHealth);
+  EXPECT_EQ(entries[4].category, SiteCategory::kHealth);
+}
+
+TEST(SiteList, ParseCategoryNames) {
+  EXPECT_EQ(ParseSiteCategory("popular"), SiteCategory::kPopular);
+  EXPECT_EQ(ParseSiteCategory("health"), SiteCategory::kHealth);
+  EXPECT_EQ(ParseSiteCategory("sexuality"), SiteCategory::kSexuality);
+  EXPECT_FALSE(ParseSiteCategory("other").has_value());
+}
+
+TEST(SiteList, CatalogFromListIsDeterministic) {
+  std::vector<SiteListEntry> entries = {
+      {"alpha.example.com", SiteCategory::kPopular},
+      {"clinic.example.org", SiteCategory::kHealth},
+  };
+  auto a = CatalogFromList(entries, 99);
+  auto b = CatalogFromList(entries, 99);
+  ASSERT_EQ(a.sites().size(), 2u);
+  EXPECT_EQ(a.sites()[0].hostname, "alpha.example.com");
+  EXPECT_EQ(a.sites()[1].category, SiteCategory::kHealth);
+  EXPECT_EQ(a.sites()[0].resources.size(), b.sites()[0].resources.size());
+  EXPECT_EQ(a.sites()[1].rank, 1);  // ranks per category
+
+  auto c = CatalogFromList(entries, 100);
+  // Different seed → different structure (overwhelmingly likely).
+  EXPECT_TRUE(a.sites()[0].resources.size() !=
+                  c.sites()[0].resources.size() ||
+              a.sites()[0].document_size != c.sites()[0].document_size);
+}
+
+TEST(SiteList, EmptyInput) {
+  EXPECT_TRUE(ParseSiteList("").empty());
+  EXPECT_TRUE(ParseSiteList("# only comments\n").empty());
+}
+
+}  // namespace
+}  // namespace panoptes::web
