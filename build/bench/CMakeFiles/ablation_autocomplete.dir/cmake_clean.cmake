@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_autocomplete.dir/ablation_autocomplete.cpp.o"
+  "CMakeFiles/ablation_autocomplete.dir/ablation_autocomplete.cpp.o.d"
+  "ablation_autocomplete"
+  "ablation_autocomplete.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autocomplete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_proxy.dir/ablation_proxy.cpp.o"
+  "CMakeFiles/ablation_proxy.dir/ablation_proxy.cpp.o.d"
+  "ablation_proxy"
+  "ablation_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

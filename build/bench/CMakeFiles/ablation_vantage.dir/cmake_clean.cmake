@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vantage.dir/ablation_vantage.cpp.o"
+  "CMakeFiles/ablation_vantage.dir/ablation_vantage.cpp.o.d"
+  "ablation_vantage"
+  "ablation_vantage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vantage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

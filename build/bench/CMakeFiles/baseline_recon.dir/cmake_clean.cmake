@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_recon.dir/baseline_recon.cpp.o"
+  "CMakeFiles/baseline_recon.dir/baseline_recon.cpp.o.d"
+  "baseline_recon"
+  "baseline_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/countermeasure_blocker.dir/countermeasure_blocker.cpp.o"
+  "CMakeFiles/countermeasure_blocker.dir/countermeasure_blocker.cpp.o.d"
+  "countermeasure_blocker"
+  "countermeasure_blocker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/countermeasure_blocker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_requests.dir/fig2_requests.cpp.o"
+  "CMakeFiles/fig2_requests.dir/fig2_requests.cpp.o.d"
+  "fig2_requests"
+  "fig2_requests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_requests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

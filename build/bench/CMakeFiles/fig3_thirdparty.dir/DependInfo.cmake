@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig3_thirdparty.cpp" "bench/CMakeFiles/fig3_thirdparty.dir/fig3_thirdparty.cpp.o" "gcc" "bench/CMakeFiles/fig3_thirdparty.dir/fig3_thirdparty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/panoptes_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/panoptes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/panoptes_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/vendors/CMakeFiles/panoptes_vendors.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/panoptes_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/panoptes_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/panoptes_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panoptes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/panoptes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_thirdparty.dir/fig3_thirdparty.cpp.o"
+  "CMakeFiles/fig3_thirdparty.dir/fig3_thirdparty.cpp.o.d"
+  "fig3_thirdparty"
+  "fig3_thirdparty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_thirdparty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_volume.dir/fig4_volume.cpp.o"
+  "CMakeFiles/fig4_volume.dir/fig4_volume.cpp.o.d"
+  "fig4_volume"
+  "fig4_volume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_volume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_idle.dir/fig5_idle.cpp.o"
+  "CMakeFiles/fig5_idle.dir/fig5_idle.cpp.o.d"
+  "fig5_idle"
+  "fig5_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listing1_opera.dir/listing1_opera.cpp.o"
+  "CMakeFiles/listing1_opera.dir/listing1_opera.cpp.o.d"
+  "listing1_opera"
+  "listing1_opera.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listing1_opera.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec32_doh.dir/sec32_doh.cpp.o"
+  "CMakeFiles/sec32_doh.dir/sec32_doh.cpp.o.d"
+  "sec32_doh"
+  "sec32_doh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec32_doh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec32_history_leaks.dir/sec32_history_leaks.cpp.o"
+  "CMakeFiles/sec32_history_leaks.dir/sec32_history_leaks.cpp.o.d"
+  "sec32_history_leaks"
+  "sec32_history_leaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec32_history_leaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

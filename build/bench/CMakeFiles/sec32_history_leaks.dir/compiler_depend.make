@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec32_history_leaks.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec32_incognito.dir/sec32_incognito.cpp.o"
+  "CMakeFiles/sec32_incognito.dir/sec32_incognito.cpp.o.d"
+  "sec32_incognito"
+  "sec32_incognito.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec32_incognito.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

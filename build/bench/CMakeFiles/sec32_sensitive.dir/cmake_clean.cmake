@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec32_sensitive.dir/sec32_sensitive.cpp.o"
+  "CMakeFiles/sec32_sensitive.dir/sec32_sensitive.cpp.o.d"
+  "sec32_sensitive"
+  "sec32_sensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec32_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

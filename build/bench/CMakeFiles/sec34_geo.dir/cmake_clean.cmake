@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec34_geo.dir/sec34_geo.cpp.o"
+  "CMakeFiles/sec34_geo.dir/sec34_geo.cpp.o.d"
+  "sec34_geo"
+  "sec34_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec34_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

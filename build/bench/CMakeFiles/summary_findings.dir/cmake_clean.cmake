@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_findings.dir/summary_findings.cpp.o"
+  "CMakeFiles/summary_findings.dir/summary_findings.cpp.o.d"
+  "summary_findings"
+  "summary_findings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_findings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_pii.dir/table2_pii.cpp.o"
+  "CMakeFiles/table2_pii.dir/table2_pii.cpp.o.d"
+  "table2_pii"
+  "table2_pii.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_pii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

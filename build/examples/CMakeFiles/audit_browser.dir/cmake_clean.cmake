@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_browser.dir/audit_browser.cpp.o"
+  "CMakeFiles/audit_browser.dir/audit_browser.cpp.o.d"
+  "audit_browser"
+  "audit_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incognito_check.dir/incognito_check.cpp.o"
+  "CMakeFiles/incognito_check.dir/incognito_check.cpp.o.d"
+  "incognito_check"
+  "incognito_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incognito_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

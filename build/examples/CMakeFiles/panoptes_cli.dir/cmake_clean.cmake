@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panoptes_cli.dir/panoptes_cli.cpp.o"
+  "CMakeFiles/panoptes_cli.dir/panoptes_cli.cpp.o.d"
+  "panoptes_cli"
+  "panoptes_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panoptes_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

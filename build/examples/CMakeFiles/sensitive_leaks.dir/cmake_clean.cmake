@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitive_leaks.dir/sensitive_leaks.cpp.o"
+  "CMakeFiles/sensitive_leaks.dir/sensitive_leaks.cpp.o.d"
+  "sensitive_leaks"
+  "sensitive_leaks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitive_leaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/audit.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/audit.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/audit.cpp.o.d"
+  "/root/repo/src/analysis/dns_leakage.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/dns_leakage.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/dns_leakage.cpp.o.d"
+  "/root/repo/src/analysis/export.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/export.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/export.cpp.o.d"
+  "/root/repo/src/analysis/geoip.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/geoip.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/geoip.cpp.o.d"
+  "/root/repo/src/analysis/historyleak.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/historyleak.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/historyleak.cpp.o.d"
+  "/root/repo/src/analysis/hostslist.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/hostslist.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/hostslist.cpp.o.d"
+  "/root/repo/src/analysis/manifest.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/manifest.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/manifest.cpp.o.d"
+  "/root/repo/src/analysis/naive_split.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/naive_split.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/naive_split.cpp.o.d"
+  "/root/repo/src/analysis/pii.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/pii.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/pii.cpp.o.d"
+  "/root/repo/src/analysis/recon.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/recon.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/recon.cpp.o.d"
+  "/root/repo/src/analysis/referer.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/referer.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/referer.cpp.o.d"
+  "/root/repo/src/analysis/report.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/report.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/report.cpp.o.d"
+  "/root/repo/src/analysis/stats.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/stats.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/stats.cpp.o.d"
+  "/root/repo/src/analysis/timeline.cpp" "src/analysis/CMakeFiles/panoptes_analysis.dir/timeline.cpp.o" "gcc" "src/analysis/CMakeFiles/panoptes_analysis.dir/timeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/panoptes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/panoptes_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/panoptes_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/panoptes_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panoptes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/panoptes_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/panoptes_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/vendors/CMakeFiles/panoptes_vendors.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

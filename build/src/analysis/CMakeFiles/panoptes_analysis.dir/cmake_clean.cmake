@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panoptes_analysis.dir/audit.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/audit.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/dns_leakage.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/dns_leakage.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/export.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/export.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/geoip.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/geoip.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/historyleak.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/historyleak.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/hostslist.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/hostslist.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/manifest.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/manifest.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/naive_split.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/naive_split.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/pii.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/pii.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/recon.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/recon.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/referer.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/referer.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/report.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/report.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/stats.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/stats.cpp.o.d"
+  "CMakeFiles/panoptes_analysis.dir/timeline.cpp.o"
+  "CMakeFiles/panoptes_analysis.dir/timeline.cpp.o.d"
+  "libpanoptes_analysis.a"
+  "libpanoptes_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panoptes_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/browser/behavior.cpp" "src/browser/CMakeFiles/panoptes_browser.dir/behavior.cpp.o" "gcc" "src/browser/CMakeFiles/panoptes_browser.dir/behavior.cpp.o.d"
+  "/root/repo/src/browser/cdp.cpp" "src/browser/CMakeFiles/panoptes_browser.dir/cdp.cpp.o" "gcc" "src/browser/CMakeFiles/panoptes_browser.dir/cdp.cpp.o.d"
+  "/root/repo/src/browser/context.cpp" "src/browser/CMakeFiles/panoptes_browser.dir/context.cpp.o" "gcc" "src/browser/CMakeFiles/panoptes_browser.dir/context.cpp.o.d"
+  "/root/repo/src/browser/engine.cpp" "src/browser/CMakeFiles/panoptes_browser.dir/engine.cpp.o" "gcc" "src/browser/CMakeFiles/panoptes_browser.dir/engine.cpp.o.d"
+  "/root/repo/src/browser/interceptor.cpp" "src/browser/CMakeFiles/panoptes_browser.dir/interceptor.cpp.o" "gcc" "src/browser/CMakeFiles/panoptes_browser.dir/interceptor.cpp.o.d"
+  "/root/repo/src/browser/profiles.cpp" "src/browser/CMakeFiles/panoptes_browser.dir/profiles.cpp.o" "gcc" "src/browser/CMakeFiles/panoptes_browser.dir/profiles.cpp.o.d"
+  "/root/repo/src/browser/runtime.cpp" "src/browser/CMakeFiles/panoptes_browser.dir/runtime.cpp.o" "gcc" "src/browser/CMakeFiles/panoptes_browser.dir/runtime.cpp.o.d"
+  "/root/repo/src/browser/spec.cpp" "src/browser/CMakeFiles/panoptes_browser.dir/spec.cpp.o" "gcc" "src/browser/CMakeFiles/panoptes_browser.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/panoptes_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/panoptes_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panoptes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/panoptes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

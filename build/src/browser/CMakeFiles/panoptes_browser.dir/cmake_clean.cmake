@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panoptes_browser.dir/behavior.cpp.o"
+  "CMakeFiles/panoptes_browser.dir/behavior.cpp.o.d"
+  "CMakeFiles/panoptes_browser.dir/cdp.cpp.o"
+  "CMakeFiles/panoptes_browser.dir/cdp.cpp.o.d"
+  "CMakeFiles/panoptes_browser.dir/context.cpp.o"
+  "CMakeFiles/panoptes_browser.dir/context.cpp.o.d"
+  "CMakeFiles/panoptes_browser.dir/engine.cpp.o"
+  "CMakeFiles/panoptes_browser.dir/engine.cpp.o.d"
+  "CMakeFiles/panoptes_browser.dir/interceptor.cpp.o"
+  "CMakeFiles/panoptes_browser.dir/interceptor.cpp.o.d"
+  "CMakeFiles/panoptes_browser.dir/profiles.cpp.o"
+  "CMakeFiles/panoptes_browser.dir/profiles.cpp.o.d"
+  "CMakeFiles/panoptes_browser.dir/runtime.cpp.o"
+  "CMakeFiles/panoptes_browser.dir/runtime.cpp.o.d"
+  "CMakeFiles/panoptes_browser.dir/spec.cpp.o"
+  "CMakeFiles/panoptes_browser.dir/spec.cpp.o.d"
+  "libpanoptes_browser.a"
+  "libpanoptes_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panoptes_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

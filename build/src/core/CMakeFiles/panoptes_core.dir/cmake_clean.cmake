@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panoptes_core.dir/blocker.cpp.o"
+  "CMakeFiles/panoptes_core.dir/blocker.cpp.o.d"
+  "CMakeFiles/panoptes_core.dir/campaign.cpp.o"
+  "CMakeFiles/panoptes_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/panoptes_core.dir/framework.cpp.o"
+  "CMakeFiles/panoptes_core.dir/framework.cpp.o.d"
+  "CMakeFiles/panoptes_core.dir/taint_addon.cpp.o"
+  "CMakeFiles/panoptes_core.dir/taint_addon.cpp.o.d"
+  "libpanoptes_core.a"
+  "libpanoptes_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panoptes_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpanoptes_core.a"
+)

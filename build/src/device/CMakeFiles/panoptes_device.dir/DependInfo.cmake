@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/app.cpp" "src/device/CMakeFiles/panoptes_device.dir/app.cpp.o" "gcc" "src/device/CMakeFiles/panoptes_device.dir/app.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/device/CMakeFiles/panoptes_device.dir/device.cpp.o" "gcc" "src/device/CMakeFiles/panoptes_device.dir/device.cpp.o.d"
+  "/root/repo/src/device/iptables.cpp" "src/device/CMakeFiles/panoptes_device.dir/iptables.cpp.o" "gcc" "src/device/CMakeFiles/panoptes_device.dir/iptables.cpp.o.d"
+  "/root/repo/src/device/netstack.cpp" "src/device/CMakeFiles/panoptes_device.dir/netstack.cpp.o" "gcc" "src/device/CMakeFiles/panoptes_device.dir/netstack.cpp.o.d"
+  "/root/repo/src/device/traffic_stats.cpp" "src/device/CMakeFiles/panoptes_device.dir/traffic_stats.cpp.o" "gcc" "src/device/CMakeFiles/panoptes_device.dir/traffic_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/panoptes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/panoptes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panoptes_device.dir/app.cpp.o"
+  "CMakeFiles/panoptes_device.dir/app.cpp.o.d"
+  "CMakeFiles/panoptes_device.dir/device.cpp.o"
+  "CMakeFiles/panoptes_device.dir/device.cpp.o.d"
+  "CMakeFiles/panoptes_device.dir/iptables.cpp.o"
+  "CMakeFiles/panoptes_device.dir/iptables.cpp.o.d"
+  "CMakeFiles/panoptes_device.dir/netstack.cpp.o"
+  "CMakeFiles/panoptes_device.dir/netstack.cpp.o.d"
+  "CMakeFiles/panoptes_device.dir/traffic_stats.cpp.o"
+  "CMakeFiles/panoptes_device.dir/traffic_stats.cpp.o.d"
+  "libpanoptes_device.a"
+  "libpanoptes_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panoptes_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

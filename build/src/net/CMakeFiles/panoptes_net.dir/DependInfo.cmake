@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cookies.cpp" "src/net/CMakeFiles/panoptes_net.dir/cookies.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/cookies.cpp.o.d"
+  "/root/repo/src/net/dns.cpp" "src/net/CMakeFiles/panoptes_net.dir/dns.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/dns.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/panoptes_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/net/CMakeFiles/panoptes_net.dir/headers.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/headers.cpp.o.d"
+  "/root/repo/src/net/http.cpp" "src/net/CMakeFiles/panoptes_net.dir/http.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/http.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/net/CMakeFiles/panoptes_net.dir/ip.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/ip.cpp.o.d"
+  "/root/repo/src/net/ipalloc.cpp" "src/net/CMakeFiles/panoptes_net.dir/ipalloc.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/ipalloc.cpp.o.d"
+  "/root/repo/src/net/latency.cpp" "src/net/CMakeFiles/panoptes_net.dir/latency.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/latency.cpp.o.d"
+  "/root/repo/src/net/psl.cpp" "src/net/CMakeFiles/panoptes_net.dir/psl.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/psl.cpp.o.d"
+  "/root/repo/src/net/tls.cpp" "src/net/CMakeFiles/panoptes_net.dir/tls.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/tls.cpp.o.d"
+  "/root/repo/src/net/url.cpp" "src/net/CMakeFiles/panoptes_net.dir/url.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/url.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/net/CMakeFiles/panoptes_net.dir/wire.cpp.o" "gcc" "src/net/CMakeFiles/panoptes_net.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/panoptes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panoptes_net.dir/cookies.cpp.o"
+  "CMakeFiles/panoptes_net.dir/cookies.cpp.o.d"
+  "CMakeFiles/panoptes_net.dir/dns.cpp.o"
+  "CMakeFiles/panoptes_net.dir/dns.cpp.o.d"
+  "CMakeFiles/panoptes_net.dir/fabric.cpp.o"
+  "CMakeFiles/panoptes_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/panoptes_net.dir/headers.cpp.o"
+  "CMakeFiles/panoptes_net.dir/headers.cpp.o.d"
+  "CMakeFiles/panoptes_net.dir/http.cpp.o"
+  "CMakeFiles/panoptes_net.dir/http.cpp.o.d"
+  "CMakeFiles/panoptes_net.dir/ip.cpp.o"
+  "CMakeFiles/panoptes_net.dir/ip.cpp.o.d"
+  "CMakeFiles/panoptes_net.dir/ipalloc.cpp.o"
+  "CMakeFiles/panoptes_net.dir/ipalloc.cpp.o.d"
+  "CMakeFiles/panoptes_net.dir/latency.cpp.o"
+  "CMakeFiles/panoptes_net.dir/latency.cpp.o.d"
+  "CMakeFiles/panoptes_net.dir/psl.cpp.o"
+  "CMakeFiles/panoptes_net.dir/psl.cpp.o.d"
+  "CMakeFiles/panoptes_net.dir/tls.cpp.o"
+  "CMakeFiles/panoptes_net.dir/tls.cpp.o.d"
+  "CMakeFiles/panoptes_net.dir/url.cpp.o"
+  "CMakeFiles/panoptes_net.dir/url.cpp.o.d"
+  "CMakeFiles/panoptes_net.dir/wire.cpp.o"
+  "CMakeFiles/panoptes_net.dir/wire.cpp.o.d"
+  "libpanoptes_net.a"
+  "libpanoptes_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panoptes_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

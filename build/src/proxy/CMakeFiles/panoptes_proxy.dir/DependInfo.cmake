@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proxy/flow.cpp" "src/proxy/CMakeFiles/panoptes_proxy.dir/flow.cpp.o" "gcc" "src/proxy/CMakeFiles/panoptes_proxy.dir/flow.cpp.o.d"
+  "/root/repo/src/proxy/flowstore.cpp" "src/proxy/CMakeFiles/panoptes_proxy.dir/flowstore.cpp.o" "gcc" "src/proxy/CMakeFiles/panoptes_proxy.dir/flowstore.cpp.o.d"
+  "/root/repo/src/proxy/har.cpp" "src/proxy/CMakeFiles/panoptes_proxy.dir/har.cpp.o" "gcc" "src/proxy/CMakeFiles/panoptes_proxy.dir/har.cpp.o.d"
+  "/root/repo/src/proxy/mitm.cpp" "src/proxy/CMakeFiles/panoptes_proxy.dir/mitm.cpp.o" "gcc" "src/proxy/CMakeFiles/panoptes_proxy.dir/mitm.cpp.o.d"
+  "/root/repo/src/proxy/wirecheck.cpp" "src/proxy/CMakeFiles/panoptes_proxy.dir/wirecheck.cpp.o" "gcc" "src/proxy/CMakeFiles/panoptes_proxy.dir/wirecheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/panoptes_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panoptes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/panoptes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

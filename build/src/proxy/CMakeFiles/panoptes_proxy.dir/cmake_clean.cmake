@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panoptes_proxy.dir/flow.cpp.o"
+  "CMakeFiles/panoptes_proxy.dir/flow.cpp.o.d"
+  "CMakeFiles/panoptes_proxy.dir/flowstore.cpp.o"
+  "CMakeFiles/panoptes_proxy.dir/flowstore.cpp.o.d"
+  "CMakeFiles/panoptes_proxy.dir/har.cpp.o"
+  "CMakeFiles/panoptes_proxy.dir/har.cpp.o.d"
+  "CMakeFiles/panoptes_proxy.dir/mitm.cpp.o"
+  "CMakeFiles/panoptes_proxy.dir/mitm.cpp.o.d"
+  "CMakeFiles/panoptes_proxy.dir/wirecheck.cpp.o"
+  "CMakeFiles/panoptes_proxy.dir/wirecheck.cpp.o.d"
+  "libpanoptes_proxy.a"
+  "libpanoptes_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panoptes_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

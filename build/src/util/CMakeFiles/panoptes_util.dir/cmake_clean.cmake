@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panoptes_util.dir/args.cpp.o"
+  "CMakeFiles/panoptes_util.dir/args.cpp.o.d"
+  "CMakeFiles/panoptes_util.dir/base64.cpp.o"
+  "CMakeFiles/panoptes_util.dir/base64.cpp.o.d"
+  "CMakeFiles/panoptes_util.dir/clock.cpp.o"
+  "CMakeFiles/panoptes_util.dir/clock.cpp.o.d"
+  "CMakeFiles/panoptes_util.dir/hex.cpp.o"
+  "CMakeFiles/panoptes_util.dir/hex.cpp.o.d"
+  "CMakeFiles/panoptes_util.dir/json.cpp.o"
+  "CMakeFiles/panoptes_util.dir/json.cpp.o.d"
+  "CMakeFiles/panoptes_util.dir/logging.cpp.o"
+  "CMakeFiles/panoptes_util.dir/logging.cpp.o.d"
+  "CMakeFiles/panoptes_util.dir/rng.cpp.o"
+  "CMakeFiles/panoptes_util.dir/rng.cpp.o.d"
+  "CMakeFiles/panoptes_util.dir/strings.cpp.o"
+  "CMakeFiles/panoptes_util.dir/strings.cpp.o.d"
+  "CMakeFiles/panoptes_util.dir/uuid.cpp.o"
+  "CMakeFiles/panoptes_util.dir/uuid.cpp.o.d"
+  "libpanoptes_util.a"
+  "libpanoptes_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panoptes_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vendors/geo_plan.cpp" "src/vendors/CMakeFiles/panoptes_vendors.dir/geo_plan.cpp.o" "gcc" "src/vendors/CMakeFiles/panoptes_vendors.dir/geo_plan.cpp.o.d"
+  "/root/repo/src/vendors/servers.cpp" "src/vendors/CMakeFiles/panoptes_vendors.dir/servers.cpp.o" "gcc" "src/vendors/CMakeFiles/panoptes_vendors.dir/servers.cpp.o.d"
+  "/root/repo/src/vendors/world.cpp" "src/vendors/CMakeFiles/panoptes_vendors.dir/world.cpp.o" "gcc" "src/vendors/CMakeFiles/panoptes_vendors.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/panoptes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/panoptes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

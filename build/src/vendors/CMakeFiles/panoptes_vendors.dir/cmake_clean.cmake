@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panoptes_vendors.dir/geo_plan.cpp.o"
+  "CMakeFiles/panoptes_vendors.dir/geo_plan.cpp.o.d"
+  "CMakeFiles/panoptes_vendors.dir/servers.cpp.o"
+  "CMakeFiles/panoptes_vendors.dir/servers.cpp.o.d"
+  "CMakeFiles/panoptes_vendors.dir/world.cpp.o"
+  "CMakeFiles/panoptes_vendors.dir/world.cpp.o.d"
+  "libpanoptes_vendors.a"
+  "libpanoptes_vendors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panoptes_vendors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/web/catalog.cpp" "src/web/CMakeFiles/panoptes_web.dir/catalog.cpp.o" "gcc" "src/web/CMakeFiles/panoptes_web.dir/catalog.cpp.o.d"
+  "/root/repo/src/web/easylist.cpp" "src/web/CMakeFiles/panoptes_web.dir/easylist.cpp.o" "gcc" "src/web/CMakeFiles/panoptes_web.dir/easylist.cpp.o.d"
+  "/root/repo/src/web/origin_server.cpp" "src/web/CMakeFiles/panoptes_web.dir/origin_server.cpp.o" "gcc" "src/web/CMakeFiles/panoptes_web.dir/origin_server.cpp.o.d"
+  "/root/repo/src/web/site.cpp" "src/web/CMakeFiles/panoptes_web.dir/site.cpp.o" "gcc" "src/web/CMakeFiles/panoptes_web.dir/site.cpp.o.d"
+  "/root/repo/src/web/sitegen.cpp" "src/web/CMakeFiles/panoptes_web.dir/sitegen.cpp.o" "gcc" "src/web/CMakeFiles/panoptes_web.dir/sitegen.cpp.o.d"
+  "/root/repo/src/web/sitelist.cpp" "src/web/CMakeFiles/panoptes_web.dir/sitelist.cpp.o" "gcc" "src/web/CMakeFiles/panoptes_web.dir/sitelist.cpp.o.d"
+  "/root/repo/src/web/thirdparty.cpp" "src/web/CMakeFiles/panoptes_web.dir/thirdparty.cpp.o" "gcc" "src/web/CMakeFiles/panoptes_web.dir/thirdparty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/panoptes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/panoptes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panoptes_web.dir/catalog.cpp.o"
+  "CMakeFiles/panoptes_web.dir/catalog.cpp.o.d"
+  "CMakeFiles/panoptes_web.dir/easylist.cpp.o"
+  "CMakeFiles/panoptes_web.dir/easylist.cpp.o.d"
+  "CMakeFiles/panoptes_web.dir/origin_server.cpp.o"
+  "CMakeFiles/panoptes_web.dir/origin_server.cpp.o.d"
+  "CMakeFiles/panoptes_web.dir/site.cpp.o"
+  "CMakeFiles/panoptes_web.dir/site.cpp.o.d"
+  "CMakeFiles/panoptes_web.dir/sitegen.cpp.o"
+  "CMakeFiles/panoptes_web.dir/sitegen.cpp.o.d"
+  "CMakeFiles/panoptes_web.dir/sitelist.cpp.o"
+  "CMakeFiles/panoptes_web.dir/sitelist.cpp.o.d"
+  "CMakeFiles/panoptes_web.dir/thirdparty.cpp.o"
+  "CMakeFiles/panoptes_web.dir/thirdparty.cpp.o.d"
+  "libpanoptes_web.a"
+  "libpanoptes_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panoptes_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

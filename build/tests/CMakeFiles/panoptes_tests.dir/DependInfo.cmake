@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_audit_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/analysis_audit_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/analysis_audit_test.cpp.o.d"
+  "/root/repo/tests/analysis_dns_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/analysis_dns_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/analysis_dns_test.cpp.o.d"
+  "/root/repo/tests/analysis_export_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/analysis_export_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/analysis_export_test.cpp.o.d"
+  "/root/repo/tests/analysis_manifest_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/analysis_manifest_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/analysis_manifest_test.cpp.o.d"
+  "/root/repo/tests/analysis_pii_fuzz_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/analysis_pii_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/analysis_pii_fuzz_test.cpp.o.d"
+  "/root/repo/tests/analysis_recon_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/analysis_recon_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/analysis_recon_test.cpp.o.d"
+  "/root/repo/tests/analysis_referer_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/analysis_referer_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/analysis_referer_test.cpp.o.d"
+  "/root/repo/tests/analysis_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/analysis_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/analysis_test.cpp.o.d"
+  "/root/repo/tests/analysis_timeline_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/analysis_timeline_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/analysis_timeline_test.cpp.o.d"
+  "/root/repo/tests/browser_autocomplete_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/browser_autocomplete_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/browser_autocomplete_test.cpp.o.d"
+  "/root/repo/tests/browser_cdp_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/browser_cdp_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/browser_cdp_test.cpp.o.d"
+  "/root/repo/tests/browser_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/browser_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/browser_test.cpp.o.d"
+  "/root/repo/tests/campaign_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/campaign_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/campaign_test.cpp.o.d"
+  "/root/repo/tests/core_blocker_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/core_blocker_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/core_blocker_test.cpp.o.d"
+  "/root/repo/tests/core_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/core_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/core_test.cpp.o.d"
+  "/root/repo/tests/device_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/device_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/device_test.cpp.o.d"
+  "/root/repo/tests/device_traffic_stats_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/device_traffic_stats_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/device_traffic_stats_test.cpp.o.d"
+  "/root/repo/tests/engine_timeout_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/engine_timeout_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/engine_timeout_test.cpp.o.d"
+  "/root/repo/tests/failure_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/failure_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/failure_test.cpp.o.d"
+  "/root/repo/tests/idle_sweep_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/idle_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/idle_sweep_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/net_cookies_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/net_cookies_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/net_cookies_test.cpp.o.d"
+  "/root/repo/tests/net_dns_psl_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/net_dns_psl_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/net_dns_psl_test.cpp.o.d"
+  "/root/repo/tests/net_fabric_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/net_fabric_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/net_fabric_test.cpp.o.d"
+  "/root/repo/tests/net_http_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/net_http_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/net_http_test.cpp.o.d"
+  "/root/repo/tests/net_ip_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/net_ip_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/net_ip_test.cpp.o.d"
+  "/root/repo/tests/net_latency_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/net_latency_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/net_latency_test.cpp.o.d"
+  "/root/repo/tests/net_tls_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/net_tls_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/net_tls_test.cpp.o.d"
+  "/root/repo/tests/net_url_fuzz_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/net_url_fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/net_url_fuzz_test.cpp.o.d"
+  "/root/repo/tests/net_url_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/net_url_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/net_url_test.cpp.o.d"
+  "/root/repo/tests/net_wire_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/net_wire_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/net_wire_test.cpp.o.d"
+  "/root/repo/tests/proxy_har_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/proxy_har_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/proxy_har_test.cpp.o.d"
+  "/root/repo/tests/proxy_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/proxy_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/proxy_test.cpp.o.d"
+  "/root/repo/tests/proxy_wirecheck_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/proxy_wirecheck_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/proxy_wirecheck_test.cpp.o.d"
+  "/root/repo/tests/util_args_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/util_args_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/util_args_test.cpp.o.d"
+  "/root/repo/tests/util_base64_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/util_base64_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/util_base64_test.cpp.o.d"
+  "/root/repo/tests/util_json_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/util_json_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/util_json_test.cpp.o.d"
+  "/root/repo/tests/util_misc_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/util_misc_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/util_misc_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_strings_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/util_strings_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/util_strings_test.cpp.o.d"
+  "/root/repo/tests/vendors_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/vendors_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/vendors_test.cpp.o.d"
+  "/root/repo/tests/web_sitelist_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/web_sitelist_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/web_sitelist_test.cpp.o.d"
+  "/root/repo/tests/web_test.cpp" "tests/CMakeFiles/panoptes_tests.dir/web_test.cpp.o" "gcc" "tests/CMakeFiles/panoptes_tests.dir/web_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/panoptes_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/panoptes_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/panoptes_browser.dir/DependInfo.cmake"
+  "/root/repo/build/src/vendors/CMakeFiles/panoptes_vendors.dir/DependInfo.cmake"
+  "/root/repo/build/src/proxy/CMakeFiles/panoptes_proxy.dir/DependInfo.cmake"
+  "/root/repo/build/src/web/CMakeFiles/panoptes_web.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/panoptes_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/panoptes_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/panoptes_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
