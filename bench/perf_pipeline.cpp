@@ -8,6 +8,7 @@
 #include "analysis/pii.h"
 #include "browser/profiles.h"
 #include "core/campaign.h"
+#include "core/fleet.h"
 #include "core/framework.h"
 #include "net/psl.h"
 #include "net/url.h"
@@ -97,6 +98,45 @@ void BM_InstrumentedVisit(benchmark::State& state) {
   framework.taint_addon().SetStores(nullptr, nullptr);
 }
 BENCHMARK(BM_InstrumentedVisit)->Unit(benchmark::kMicrosecond);
+
+// Fleet scaling: the full Table 1 roster crawled over a small catalog,
+// sharded across 1/2/4/8 worker threads. The campaign is embarrassingly
+// parallel (private Framework per job), so wall-clock should shrink
+// toward 1/N on an N-core machine while the merged report stays
+// byte-identical (tests/core_fleet_test.cpp holds that invariant).
+void BM_FleetCrawl(benchmark::State& state) {
+  core::FleetOptions options;
+  options.jobs = static_cast<int>(state.range(0));
+  options.framework.catalog.popular_count = 4;
+  options.framework.catalog.sensitive_count = 2;
+  core::FleetExecutor executor(options);
+  auto jobs = core::FleetExecutor::PlanCampaign(
+      browser::AllBrowserSpecs(), {core::CampaignKind::kCrawl}, 2);
+
+  uint64_t flows = 0;
+  for (auto _ : state) {
+    auto results = executor.Run(jobs);
+    flows = 0;
+    for (const auto& result : results) {
+      flows += result.crawl->EngineRequestCount() +
+               result.crawl->NativeRequestCount();
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs"] =
+      benchmark::Counter(static_cast<double>(jobs.size()));
+  state.counters["flows/run"] = benchmark::Counter(static_cast<double>(flows));
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetCrawl)
+    ->ArgName("threads")
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
 
 }  // namespace
 

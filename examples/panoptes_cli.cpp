@@ -5,7 +5,11 @@
 //   panoptes_cli crawl --browser Yandex --sites 50 [--incognito]
 //                      [--har flows.har] [--csv flows.csv]
 //   panoptes_cli idle  --browser Opera --minutes 10
+//   panoptes_cli fleet --jobs 4 [--sites 100] [--shards 4]
+//                      [--browsers Yandex,Opera] [--incognito] [--idle]
+//                      [--json report.json] [--csv report.csv]
 //   panoptes_cli sitelist [--out 1k.txt]
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 
@@ -17,9 +21,11 @@
 #include "analysis/timeline.h"
 #include "browser/profiles.h"
 #include "core/campaign.h"
+#include "core/fleet.h"
 #include "core/framework.h"
 #include "proxy/har.h"
 #include "util/args.h"
+#include "util/strings.h"
 #include "web/sitelist.h"
 
 using namespace panoptes;
@@ -33,6 +39,9 @@ int Usage() {
                "  crawl --browser <name> [--sites N] [--incognito]\n"
                "        [--har FILE] [--csv FILE]\n"
                "  idle  --browser <name> [--minutes M]\n"
+               "  fleet [--jobs N] [--sites N] [--shards K] [--seed S]\n"
+               "        [--browsers A,B,..] [--incognito] [--idle]\n"
+               "        [--json FILE] [--csv FILE]\n"
                "  sitelist [--out FILE]         dump the crawl dataset\n"
                "  run-manifest <FILE> [--out FILE]   execute a JSON campaign\n");
   return 2;
@@ -165,6 +174,66 @@ int CmdIdle(const util::Args& args) {
   return 0;
 }
 
+// Whole-dataset campaign across many browsers, sharded over worker
+// threads. Same seed ⇒ same report, whatever --jobs says; see
+// "Parallel execution" in EXPERIMENTS.md.
+int CmdFleet(const util::Args& args) {
+  std::vector<browser::BrowserSpec> browsers;
+  if (auto names = args.Option("browsers")) {
+    for (const auto& name : util::SplitNonEmpty(*names, ',')) {
+      const auto* spec = browser::FindSpec(name);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "unknown browser: %s\n", name.c_str());
+        return 1;
+      }
+      browsers.push_back(*spec);
+    }
+  } else {
+    browsers = browser::AllBrowserSpecs();
+  }
+
+  std::vector<core::CampaignKind> kinds = {core::CampaignKind::kCrawl};
+  if (args.HasFlag("incognito")) {
+    kinds.push_back(core::CampaignKind::kIncognitoCrawl);
+  }
+  if (args.HasFlag("idle")) kinds.push_back(core::CampaignKind::kIdle);
+
+  int site_count = static_cast<int>(args.IntOptionOr("sites", 40));
+  core::FleetOptions options;
+  options.jobs =
+      std::max<int>(1, static_cast<int>(args.IntOptionOr("jobs", 1)));
+  options.base_seed =
+      static_cast<uint64_t>(args.IntOptionOr("seed", 20231024));
+  options.framework.catalog.popular_count = site_count / 2;
+  options.framework.catalog.sensitive_count = site_count - site_count / 2;
+
+  int shards = static_cast<int>(args.IntOptionOr("shards", options.jobs));
+  auto jobs = core::FleetExecutor::PlanCampaign(browsers, kinds, shards);
+  std::fprintf(stderr, "fleet: %zu jobs (%zu browsers x %zu kinds), %d "
+               "workers\n",
+               jobs.size(), browsers.size(), kinds.size(), options.jobs);
+
+  core::FleetExecutor executor(options);
+  auto merged = core::FleetExecutor::MergeShards(executor.Run(jobs));
+  std::printf("%s", analysis::FleetSummaryTable(merged).c_str());
+
+  if (auto json_path = args.Option("json")) {
+    if (!WriteFile(*json_path, analysis::FleetReportJson(merged))) {
+      std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path->c_str());
+  }
+  if (auto csv_path = args.Option("csv")) {
+    if (!WriteFile(*csv_path, analysis::FleetSummaryCsv(merged))) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", csv_path->c_str());
+  }
+  return 0;
+}
+
 int CmdSitelist(const util::Args& args) {
   auto framework = MakeFramework(
       static_cast<int>(args.IntOptionOr("sites", 1000)));
@@ -225,6 +294,7 @@ int main(int argc, char** argv) {
   if (command == "browsers") return CmdBrowsers();
   if (command == "crawl") return CmdCrawl(args);
   if (command == "idle") return CmdIdle(args);
+  if (command == "fleet") return CmdFleet(args);
   if (command == "sitelist") return CmdSitelist(args);
   if (command == "run-manifest") return CmdRunManifest(args);
   return Usage();

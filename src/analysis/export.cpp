@@ -1,6 +1,11 @@
 #include "analysis/export.h"
 
+#include <array>
+#include <cstdio>
+
+#include "analysis/pii.h"
 #include "util/clock.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace panoptes::analysis {
@@ -83,6 +88,117 @@ std::string FlowStoreCsv(const proxy::FlowStore& store) {
   return RenderCsv({"time", "browser", "origin", "method", "url", "status",
                     "request_bytes", "response_bytes", "server_ip", "note"},
                    rows);
+}
+
+namespace {
+
+std::string SeedHex(uint64_t seed) {
+  std::array<char, 19> buf{};
+  std::snprintf(buf.data(), buf.size(), "0x%016llx",
+                static_cast<unsigned long long>(seed));
+  return std::string(buf.data());
+}
+
+// Sorted PII field names leaked by the native store.
+std::vector<std::string> PiiFieldNames(const proxy::FlowStore& native) {
+  PiiScanner scanner(device::DeviceProfile::PaperTestbed());
+  PiiReport report = scanner.Scan(native);
+  std::vector<std::string> names;
+  for (size_t i = 0; i < kPiiFieldCount; ++i) {
+    if (report.leaked[i]) {
+      names.emplace_back(PiiFieldName(static_cast<PiiField>(i)));
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string FleetSummaryCsv(
+    const std::vector<core::FleetJobResult>& results) {
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& result : results) {
+    uint64_t engine = 0, native = 0, engine_bytes = 0, native_bytes = 0;
+    double ratio = 0;
+    size_t pii = 0;
+    if (result.crawl.has_value()) {
+      engine = result.crawl->EngineRequestCount();
+      native = result.crawl->NativeRequestCount();
+      engine_bytes = result.crawl->engine_flows->RequestBytes();
+      native_bytes = result.crawl->native_flows->RequestBytes();
+      ratio = result.crawl->NativeRatio();
+      pii = PiiFieldNames(*result.crawl->native_flows).size();
+    } else if (result.idle.has_value()) {
+      native = result.idle->native_flows->size();
+      native_bytes = result.idle->native_flows->RequestBytes();
+      ratio = native == 0 ? 0 : 1.0;  // idle traffic is all native
+      pii = PiiFieldNames(*result.idle->native_flows).size();
+    }
+    rows.push_back({result.job.spec.name,
+                    std::string(core::CampaignKindName(result.job.kind)),
+                    SeedHex(result.seed), std::to_string(engine),
+                    std::to_string(native), util::FormatDouble(ratio, 4),
+                    std::to_string(engine_bytes),
+                    std::to_string(native_bytes), std::to_string(pii)});
+  }
+  return RenderCsv({"browser", "campaign", "seed", "engine_requests",
+                    "native_requests", "native_ratio", "engine_bytes",
+                    "native_bytes", "pii_fields"},
+                   rows);
+}
+
+std::string FleetReportJson(
+    const std::vector<core::FleetJobResult>& results) {
+  util::JsonArray entries;
+  for (const auto& result : results) {
+    util::JsonObject entry;
+    entry["browser"] = result.job.spec.name;
+    entry["campaign"] =
+        std::string(core::CampaignKindName(result.job.kind));
+    entry["seed"] = SeedHex(result.seed);
+    if (result.crawl.has_value()) {
+      const core::CrawlResult& crawl = *result.crawl;
+      entry["engine_requests"] = crawl.EngineRequestCount();
+      entry["native_requests"] = crawl.NativeRequestCount();
+      entry["native_ratio"] = crawl.NativeRatio();
+      entry["engine_request_bytes"] = crawl.engine_flows->RequestBytes();
+      entry["native_request_bytes"] = crawl.native_flows->RequestBytes();
+      entry["incognito_effective"] = crawl.incognito_effective;
+      entry["visits"] = static_cast<uint64_t>(crawl.visits.size());
+      uint64_t ok = 0;
+      for (const auto& visit : crawl.visits) ok += visit.ok ? 1 : 0;
+      entry["visits_ok"] = ok;
+      util::JsonArray hosts;
+      for (const auto& host : crawl.native_flows->DistinctHosts()) {
+        hosts.emplace_back(host);
+      }
+      entry["native_hosts"] = std::move(hosts);
+      util::JsonArray pii;
+      for (auto& name : PiiFieldNames(*crawl.native_flows)) {
+        pii.emplace_back(std::move(name));
+      }
+      entry["pii_fields"] = std::move(pii);
+    } else if (result.idle.has_value()) {
+      const core::IdleResult& idle = *result.idle;
+      entry["native_requests"] =
+          static_cast<uint64_t>(idle.native_flows->size());
+      entry["native_request_bytes"] = idle.native_flows->RequestBytes();
+      util::JsonArray buckets;
+      for (uint64_t count : idle.cumulative_by_bucket) {
+        buckets.emplace_back(count);
+      }
+      entry["cumulative_by_bucket"] = std::move(buckets);
+      util::JsonArray pii;
+      for (auto& name : PiiFieldNames(*idle.native_flows)) {
+        pii.emplace_back(std::move(name));
+      }
+      entry["pii_fields"] = std::move(pii);
+    }
+    entries.push_back(util::Json(std::move(entry)));
+  }
+  util::JsonObject root;
+  root["results"] = std::move(entries);
+  return util::Json(std::move(root)).Dump();
 }
 
 }  // namespace panoptes::analysis

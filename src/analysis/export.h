@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "analysis/stats.h"
+#include "core/fleet.h"
 #include "proxy/flowstore.h"
 
 namespace panoptes::analysis {
@@ -29,5 +30,14 @@ std::string DomainStatsCsv(const std::vector<DomainStats>& stats);
 
 // Raw flow dump: one row per flow with its classification.
 std::string FlowStoreCsv(const proxy::FlowStore& store);
+
+// Fleet rows: browser, campaign, seed, request counts, ratio, request
+// bytes, PII field count. One row per (merged) fleet job result.
+std::string FleetSummaryCsv(const std::vector<core::FleetJobResult>& results);
+
+// Canonical JSON export of a fleet campaign, in result order. Fully
+// deterministic for a given result set — the differential harness
+// compares serial and parallel runs byte-for-byte on this output.
+std::string FleetReportJson(const std::vector<core::FleetJobResult>& results);
 
 }  // namespace panoptes::analysis

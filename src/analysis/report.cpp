@@ -64,4 +64,28 @@ std::string Bytes(uint64_t bytes) {
   return util::FormatDouble(value, unit == 0 ? 0 : 1) + " " + units[unit];
 }
 
+std::string FleetSummaryTable(
+    const std::vector<core::FleetJobResult>& results) {
+  TextTable table(
+      {"Browser", "Campaign", "Engine", "Native", "Ratio", "Native bytes"});
+  for (const auto& result : results) {
+    if (result.crawl.has_value()) {
+      const core::CrawlResult& crawl = *result.crawl;
+      table.AddRow({result.job.spec.name,
+                    std::string(core::CampaignKindName(result.job.kind)),
+                    std::to_string(crawl.EngineRequestCount()),
+                    std::to_string(crawl.NativeRequestCount()),
+                    Ratio(crawl.NativeRatio()),
+                    Bytes(crawl.native_flows->RequestBytes())});
+    } else if (result.idle.has_value()) {
+      const core::IdleResult& idle = *result.idle;
+      table.AddRow({result.job.spec.name,
+                    std::string(core::CampaignKindName(result.job.kind)),
+                    "0", std::to_string(idle.native_flows->size()), "-",
+                    Bytes(idle.native_flows->RequestBytes())});
+    }
+  }
+  return table.Render();
+}
+
 }  // namespace panoptes::analysis

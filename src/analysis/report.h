@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "core/fleet.h"
+
 namespace panoptes::analysis {
 
 class TextTable {
@@ -28,5 +30,10 @@ std::string Percent(double fraction, int decimals = 1);
 
 // Human-readable byte count ("1.4 MB").
 std::string Bytes(uint64_t bytes);
+
+// Aggregate table over (merged) fleet results: one row per browser ×
+// campaign with request counts, the native ratio and native bytes.
+std::string FleetSummaryTable(
+    const std::vector<core::FleetJobResult>& results);
 
 }  // namespace panoptes::analysis

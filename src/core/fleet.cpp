@@ -1,0 +1,181 @@
+#include "core/fleet.h"
+
+#include <atomic>
+#include <thread>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace panoptes::core {
+
+namespace {
+
+// Per-shard contiguous site range [begin, end) of an n-site catalog.
+void ShardRange(size_t n, int shard, int shard_count, size_t* begin,
+                size_t* end) {
+  size_t count = shard_count < 1 ? 1 : static_cast<size_t>(shard_count);
+  size_t s = static_cast<size_t>(shard < 0 ? 0 : shard);
+  *begin = n * s / count;
+  *end = n * (s + 1) / count;
+}
+
+device::NetworkStackStats SumStats(const device::NetworkStackStats& a,
+                                   const device::NetworkStackStats& b) {
+  device::NetworkStackStats out = a;
+  out.sends += b.sends;
+  out.ok += b.ok;
+  out.dns_failures += b.dns_failures;
+  out.tls_failures += b.tls_failures;
+  out.pin_failures += b.pin_failures;
+  out.quic_blocked += b.quic_blocked;
+  out.quic_direct += b.quic_direct;
+  out.diverted += b.diverted;
+  return out;
+}
+
+}  // namespace
+
+std::string_view CampaignKindName(CampaignKind kind) {
+  switch (kind) {
+    case CampaignKind::kCrawl: return "crawl";
+    case CampaignKind::kIncognitoCrawl: return "incognito";
+    case CampaignKind::kIdle: return "idle";
+  }
+  return "?";
+}
+
+uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
+                       CampaignKind kind, int shard) {
+  // Splitmix chain: each identity component perturbs the state and is
+  // diffused before the next one lands. Stable across platforms
+  // (FNV-1a + splitmix64, no std::hash).
+  uint64_t state = base_seed;
+  util::SplitMix64(state);
+  state ^= util::HashString(browser);
+  util::SplitMix64(state);
+  state ^= (static_cast<uint64_t>(kind) + 1) * 0x9E3779B97F4A7C15ull;
+  util::SplitMix64(state);
+  state ^= static_cast<uint64_t>(shard) + 1;
+  return util::SplitMix64(state);
+}
+
+std::vector<FleetJob> FleetExecutor::PlanCampaign(
+    const std::vector<browser::BrowserSpec>& browsers,
+    const std::vector<CampaignKind>& kinds, int shard_count,
+    const CrawlOptions& crawl, const IdleOptions& idle) {
+  if (shard_count < 1) shard_count = 1;
+  std::vector<FleetJob> jobs;
+  for (const auto& spec : browsers) {
+    for (CampaignKind kind : kinds) {
+      int shards = kind == CampaignKind::kIdle ? 1 : shard_count;
+      for (int shard = 0; shard < shards; ++shard) {
+        FleetJob job;
+        job.spec = spec;
+        job.kind = kind;
+        job.shard = shard;
+        job.shard_count = shards;
+        job.crawl = crawl;
+        job.idle = idle;
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+  return jobs;
+}
+
+FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job) const {
+  FleetJobResult out;
+  out.job = job;
+
+  FrameworkOptions fw = options_.framework;
+  fw.seed = DeriveJobSeed(options_.base_seed, job.spec.name, job.kind,
+                          job.shard);
+  // All jobs crawl the same generated web; only the runtime streams
+  // (browser jitter, tokens, idle cadence) differ per job.
+  if (!fw.catalog_seed.has_value()) fw.catalog_seed = options_.base_seed;
+  out.seed = fw.seed;
+  Framework framework(fw);
+
+  if (job.kind == CampaignKind::kIdle) {
+    out.idle = RunIdle(framework, job.spec, job.idle);
+    return out;
+  }
+
+  CrawlOptions crawl = job.crawl;
+  crawl.incognito = job.kind == CampaignKind::kIncognitoCrawl;
+  const auto& sites = framework.catalog().sites();
+  size_t begin = 0, end = 0;
+  ShardRange(sites.size(), job.shard, job.shard_count, &begin, &end);
+  std::vector<const web::Site*> shard_sites;
+  shard_sites.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) shard_sites.push_back(&sites[i]);
+  out.crawl = RunCrawl(framework, job.spec, shard_sites, crawl);
+  return out;
+}
+
+std::vector<FleetJobResult> FleetExecutor::RunSerial(
+    const std::vector<FleetJob>& jobs) const {
+  std::vector<FleetJobResult> results;
+  results.reserve(jobs.size());
+  for (const auto& job : jobs) results.push_back(ExecuteJob(job));
+  return results;
+}
+
+std::vector<FleetJobResult> FleetExecutor::Run(
+    const std::vector<FleetJob>& jobs) const {
+  std::vector<FleetJobResult> results(jobs.size());
+  size_t worker_count = options_.jobs < 1 ? 1 : options_.jobs;
+  if (worker_count > jobs.size()) worker_count = jobs.size();
+  if (jobs.empty()) return results;
+
+  // Workers claim job indices from a shared counter and write into
+  // disjoint slots of `results`; job identity (not scheduling) decides
+  // every seed, so the outcome is order-independent by construction.
+  std::atomic<size_t> next{0};
+  auto work = [&]() {
+    while (true) {
+      size_t index = next.fetch_add(1, std::memory_order_relaxed);
+      if (index >= jobs.size()) return;
+      results[index] = ExecuteJob(jobs[index]);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(worker_count);
+  for (size_t i = 0; i < worker_count; ++i) pool.emplace_back(work);
+  for (auto& thread : pool) thread.join();
+
+  PANOPTES_LOG(kInfo, "fleet")
+      << jobs.size() << " jobs over " << worker_count << " workers";
+  return results;
+}
+
+std::vector<FleetJobResult> FleetExecutor::MergeShards(
+    std::vector<FleetJobResult> results) {
+  std::vector<FleetJobResult> merged;
+  for (auto& result : results) {
+    bool continues_group =
+        !merged.empty() && merged.back().crawl.has_value() &&
+        result.crawl.has_value() &&
+        merged.back().job.spec.name == result.job.spec.name &&
+        merged.back().job.kind == result.job.kind &&
+        result.job.shard > 0;
+    if (!continues_group) {
+      result.job.shard = 0;
+      result.job.shard_count = 1;
+      merged.push_back(std::move(result));
+      continue;
+    }
+    CrawlResult& into = *merged.back().crawl;
+    CrawlResult& from = *result.crawl;
+    into.engine_flows->Append(*from.engine_flows);
+    into.native_flows->Append(*from.native_flows);
+    into.visits.insert(into.visits.end(),
+                       std::make_move_iterator(from.visits.begin()),
+                       std::make_move_iterator(from.visits.end()));
+    into.stack_stats = SumStats(into.stack_stats, from.stack_stats);
+  }
+  return merged;
+}
+
+}  // namespace panoptes::core

@@ -1,0 +1,105 @@
+// Parallel campaign fleet executor.
+//
+// The paper's evaluation is embarrassingly parallel: 15 browsers, each
+// crawled (plain and incognito) and left idle, with no shared state
+// between browsers. The executor shards that work into jobs — one per
+// (browser, campaign kind, site shard) — and runs them on a pool of
+// worker threads, each job owning a *private* Framework seeded from a
+// deterministically derived per-job seed. Because no two jobs touch the
+// same testbed, results are bit-identical to running the same job list
+// one at a time on a single thread, regardless of how the scheduler
+// interleaves workers. `RunSerial` is that reference path and the
+// differential harness (tests/core_fleet_test.cpp) pins `Run` to it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "browser/spec.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+
+namespace panoptes::core {
+
+// The three campaign types of the evaluation (§3.1 crawl, §3.2
+// incognito crawl, §3.5 idle run).
+enum class CampaignKind { kCrawl, kIncognitoCrawl, kIdle };
+
+std::string_view CampaignKindName(CampaignKind kind);
+
+// Derives the seed for one job from the campaign's base seed. The
+// derivation depends only on the job's identity — never on scheduling,
+// thread ids or the order other jobs finish — so a fleet run and a
+// serial run build byte-identical testbeds for the same job.
+uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
+                       CampaignKind kind, int shard);
+
+// One unit of fleet work: a browser × campaign kind × site shard.
+// Crawl shards split the catalog into `shard_count` contiguous ranges
+// (shard s visits sites [s*n/count, (s+1)*n/count)); idle runs never
+// shard (the 10-minute timeline is indivisible).
+struct FleetJob {
+  browser::BrowserSpec spec;
+  CampaignKind kind = CampaignKind::kCrawl;
+  int shard = 0;
+  int shard_count = 1;
+  CrawlOptions crawl;  // crawl kinds; `incognito` is set from `kind`
+  IdleOptions idle;    // idle kind
+};
+
+struct FleetJobResult {
+  FleetJob job;
+  uint64_t seed = 0;  // the derived per-job seed, for provenance
+  std::optional<CrawlResult> crawl;
+  std::optional<IdleResult> idle;
+};
+
+struct FleetOptions {
+  // Worker threads. 1 still goes through the pool; RunSerial is the
+  // in-line reference path.
+  int jobs = 1;
+  uint64_t base_seed = 20231024;
+  // Template for every job's framework; `seed` is overwritten per job.
+  FrameworkOptions framework;
+};
+
+class FleetExecutor {
+ public:
+  explicit FleetExecutor(FleetOptions options) : options_(options) {}
+
+  const FleetOptions& options() const { return options_; }
+
+  // Runs every job on `options.jobs` worker threads. Results come back
+  // indexed exactly like `jobs`, independent of scheduling.
+  std::vector<FleetJobResult> Run(const std::vector<FleetJob>& jobs) const;
+
+  // Reference implementation: the same jobs, the same derived seeds,
+  // executed one at a time on the calling thread.
+  std::vector<FleetJobResult> RunSerial(
+      const std::vector<FleetJob>& jobs) const;
+
+  // Expands browsers × kinds × shards into the canonical job list:
+  // browsers in the given (Table 1) order, kinds in the given order,
+  // shards ascending. Idle kinds always get a single shard.
+  static std::vector<FleetJob> PlanCampaign(
+      const std::vector<browser::BrowserSpec>& browsers,
+      const std::vector<CampaignKind>& kinds, int shard_count,
+      const CrawlOptions& crawl = {}, const IdleOptions& idle = {});
+
+  // Folds shard results of the same (browser, kind) back into one
+  // per-browser result: flows appended in shard order (contiguous
+  // shards ⇒ catalog order), visits concatenated, stack stats summed.
+  // Input must be in PlanCampaign order; merged entries report
+  // shard = 0, shard_count = 1.
+  static std::vector<FleetJobResult> MergeShards(
+      std::vector<FleetJobResult> results);
+
+ private:
+  FleetJobResult ExecuteJob(const FleetJob& job) const;
+
+  FleetOptions options_;
+};
+
+}  // namespace panoptes::core

@@ -10,7 +10,8 @@ Framework::Framework(FrameworkOptions options)
       geo_plan_(vendors::GeoPlan::Default()),
       netstack_(&device_, &network_, &clock_) {
   // The generated web.
-  catalog_ = web::SiteCatalog::Generate(options_.seed, options_.catalog);
+  catalog_ = web::SiteCatalog::Generate(
+      options_.catalog_seed.value_or(options_.seed), options_.catalog);
   std::vector<net::IpAllocator> origin_blocks = {
       geo_plan_.Allocator("US-HOSTING"),
       geo_plan_.Allocator("DE-HOSTING"),

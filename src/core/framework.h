@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,11 @@ namespace panoptes::core {
 
 struct FrameworkOptions {
   uint64_t seed = 20231024;  // IMC'23 first day
+  // When set, the generated web (site catalog) draws from this seed
+  // instead of `seed`. Fleet jobs set it to the campaign's base seed so
+  // every shard of a sharded crawl sees the *same* web while their
+  // runtime streams (derived per-job seeds) stay decorrelated.
+  std::optional<uint64_t> catalog_seed;
   web::CatalogOptions catalog;
   // Per-exchange simulated latency (used when use_geo_latency is off).
   util::Duration latency = util::Duration::Millis(25);

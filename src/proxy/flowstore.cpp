@@ -13,6 +13,11 @@ void FlowStore::Add(Flow flow) {
   flows_.push_back(std::move(flow));
 }
 
+void FlowStore::Append(const FlowStore& other) {
+  flows_.reserve(flows_.size() + other.flows_.size());
+  for (const auto& flow : other.flows_) Add(flow);
+}
+
 void FlowStore::Clear() {
   flows_.clear();
   flows_.shrink_to_fit();

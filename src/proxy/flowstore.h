@@ -23,6 +23,13 @@ class FlowStore {
   void Add(Flow flow);
   void Clear();
 
+  // Appends a copy of every flow in `other`, preserving order. Used to
+  // fold sharded campaign stores back into one database; this store's
+  // compaction policy applies to the incoming flows.
+  void Append(const FlowStore& other);
+
+  void Reserve(size_t capacity) { flows_.reserve(capacity); }
+
   const std::vector<Flow>& flows() const { return flows_; }
   size_t size() const { return flows_.size(); }
   bool empty() const { return flows_.empty(); }

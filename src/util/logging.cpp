@@ -1,12 +1,15 @@
 #include "util/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace panoptes::util {
 
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Read from every fleet worker thread; atomic so a level change from
+// one thread never races a concurrent log call on another.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -20,12 +23,14 @@ const char* LevelName(LogLevel level) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return g_level; }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void LogLine(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
   std::fprintf(stderr, "%-5s %s\n", LevelName(level), message.c_str());
 }
 

@@ -1,0 +1,89 @@
+// Golden-value regression tests at the paper seed (20231024).
+//
+// The reproduction's figures are only as trustworthy as the calibrated
+// browser profiles behind them; a silent drift in the request plans,
+// the site generator or the RNG stream shifts every ratio in Fig 2.
+// These tests pin exact request counts and native ratios for three
+// representative profiles (Yandex: dataset maximum, Samsung: low,
+// DuckDuckGo: minimum) on a fixed 40-site catalog, so drift fails CI
+// instead of having to be eyeballed against the paper.
+//
+// If a deliberate calibration change lands, re-derive the constants by
+// running this test and copying the reported actual values — and
+// re-check EXPERIMENTS.md's tables still hold.
+#include <gtest/gtest.h>
+
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/fleet.h"
+#include "core/framework.h"
+
+namespace panoptes::core {
+namespace {
+
+constexpr uint64_t kPaperSeed = 20231024;  // IMC'23 first day
+
+CrawlResult GoldenCrawl(std::string_view browser) {
+  FrameworkOptions options;
+  options.seed = kPaperSeed;
+  options.catalog.popular_count = 20;
+  options.catalog.sensitive_count = 20;
+  Framework framework(options);
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) sites.push_back(&site);
+  return RunCrawl(framework, *browser::FindSpec(browser), sites);
+}
+
+struct Golden {
+  const char* browser;
+  uint64_t engine_requests;
+  uint64_t native_requests;
+};
+
+// Exact counts for a fresh framework at the paper seed, 20+20 sites.
+// The engine side is browser-independent (same web, same engine) for
+// non-adblocking browsers; the native side is the calibrated profile.
+// Ratios track Fig 2's ordering: Yandex max, Samsung low, DDG minimum.
+constexpr Golden kGolden[] = {
+    {"Yandex", 1017, 566},
+    {"Samsung", 1017, 104},
+    {"DuckDuckGo", 1017, 27},
+};
+
+TEST(Determinism, GoldenRequestCountsAtPaperSeed) {
+  for (const auto& golden : kGolden) {
+    SCOPED_TRACE(golden.browser);
+    auto result = GoldenCrawl(golden.browser);
+    EXPECT_EQ(result.EngineRequestCount(), golden.engine_requests);
+    EXPECT_EQ(result.NativeRequestCount(), golden.native_requests);
+    double expected_ratio =
+        static_cast<double>(golden.native_requests) /
+        static_cast<double>(golden.native_requests + golden.engine_requests);
+    EXPECT_DOUBLE_EQ(result.NativeRatio(), expected_ratio);
+  }
+}
+
+TEST(Determinism, RepeatedCrawlsAreBitIdentical) {
+  auto first = GoldenCrawl("Yandex");
+  auto second = GoldenCrawl("Yandex");
+  ASSERT_EQ(first.native_flows->size(), second.native_flows->size());
+  for (size_t i = 0; i < first.native_flows->size(); ++i) {
+    const auto& a = first.native_flows->flows()[i];
+    const auto& b = second.native_flows->flows()[i];
+    EXPECT_EQ(a.url.Serialize(), b.url.Serialize());
+    EXPECT_EQ(a.time.millis, b.time.millis);
+    EXPECT_EQ(a.request_bytes, b.request_bytes);
+  }
+}
+
+// The fleet's seed derivation is part of the determinism contract: a
+// change here re-seeds every sharded campaign, so it must be explicit.
+TEST(Determinism, JobSeedDerivationIsPinned) {
+  EXPECT_EQ(DeriveJobSeed(kPaperSeed, "Yandex", CampaignKind::kCrawl, 0),
+            8379929806318620680ull);
+  EXPECT_EQ(DeriveJobSeed(kPaperSeed, "Opera", CampaignKind::kIdle, 2),
+            15057783577856798029ull);
+}
+
+}  // namespace
+}  // namespace panoptes::core

@@ -1,0 +1,180 @@
+// FleetExecutor: the determinism-first differential harness.
+//
+// The permanent guardrail for all parallelism work: a fleet run at
+// jobs=4 must produce byte-identical exported reports to the serial
+// reference path for the same base seed, no matter how the scheduler
+// interleaves the workers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/export.h"
+#include "analysis/report.h"
+#include "browser/profiles.h"
+#include "core/fleet.h"
+
+namespace panoptes::core {
+namespace {
+
+FleetOptions TinyFleet(int jobs) {
+  FleetOptions options;
+  options.jobs = jobs;
+  options.framework.catalog.popular_count = 4;
+  options.framework.catalog.sensitive_count = 2;
+  return options;
+}
+
+std::vector<browser::BrowserSpec> Browsers(
+    std::initializer_list<std::string_view> names) {
+  std::vector<browser::BrowserSpec> specs;
+  for (auto name : names) specs.push_back(*browser::FindSpec(name));
+  return specs;
+}
+
+IdleOptions ShortIdle() {
+  IdleOptions idle;
+  idle.duration = util::Duration::Minutes(1);
+  return idle;
+}
+
+TEST(FleetSeed, DependsOnEveryIdentityComponent) {
+  uint64_t base = DeriveJobSeed(1, "Yandex", CampaignKind::kCrawl, 0);
+  EXPECT_NE(base, DeriveJobSeed(2, "Yandex", CampaignKind::kCrawl, 0));
+  EXPECT_NE(base, DeriveJobSeed(1, "Opera", CampaignKind::kCrawl, 0));
+  EXPECT_NE(base,
+            DeriveJobSeed(1, "Yandex", CampaignKind::kIncognitoCrawl, 0));
+  EXPECT_NE(base, DeriveJobSeed(1, "Yandex", CampaignKind::kCrawl, 1));
+  // And is a pure function of those components.
+  EXPECT_EQ(base, DeriveJobSeed(1, "Yandex", CampaignKind::kCrawl, 0));
+}
+
+TEST(FleetPlan, CanonicalOrderAndIdleNeverShards) {
+  auto jobs = FleetExecutor::PlanCampaign(
+      Browsers({"Yandex", "Opera"}),
+      {CampaignKind::kCrawl, CampaignKind::kIdle}, 3);
+  // Per browser: 3 crawl shards + 1 idle job.
+  ASSERT_EQ(jobs.size(), 8u);
+  EXPECT_EQ(jobs[0].spec.name, "Yandex");
+  EXPECT_EQ(jobs[0].kind, CampaignKind::kCrawl);
+  EXPECT_EQ(jobs[2].shard, 2);
+  EXPECT_EQ(jobs[3].kind, CampaignKind::kIdle);
+  EXPECT_EQ(jobs[3].shard_count, 1);
+  EXPECT_EQ(jobs[4].spec.name, "Opera");
+}
+
+// The acceptance-criteria test: fleet(jobs=4) vs the serial loop,
+// compared byte-for-byte on the exported analysis JSON.
+TEST(FleetDifferential, ParallelMatchesSerialByteForByte) {
+  FleetExecutor executor(TinyFleet(4));
+  auto jobs = FleetExecutor::PlanCampaign(
+      Browsers({"Yandex", "Opera", "DuckDuckGo"}),
+      {CampaignKind::kCrawl, CampaignKind::kIncognitoCrawl,
+       CampaignKind::kIdle},
+      2, CrawlOptions{}, ShortIdle());
+
+  auto serial = executor.RunSerial(jobs);
+  auto parallel = executor.Run(jobs);
+  ASSERT_EQ(serial.size(), parallel.size());
+
+  for (size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(serial[i].job.spec.name + "/" +
+                 std::string(CampaignKindName(serial[i].job.kind)) +
+                 "/shard" + std::to_string(serial[i].job.shard));
+    EXPECT_EQ(serial[i].seed, parallel[i].seed);
+    ASSERT_EQ(serial[i].crawl.has_value(), parallel[i].crawl.has_value());
+    if (serial[i].crawl.has_value()) {
+      EXPECT_EQ(serial[i].crawl->EngineRequestCount(),
+                parallel[i].crawl->EngineRequestCount());
+      EXPECT_EQ(serial[i].crawl->NativeRequestCount(),
+                parallel[i].crawl->NativeRequestCount());
+      EXPECT_EQ(serial[i].crawl->visits.size(),
+                parallel[i].crawl->visits.size());
+    }
+    if (serial[i].idle.has_value()) {
+      EXPECT_EQ(serial[i].idle->cumulative_by_bucket,
+                parallel[i].idle->cumulative_by_bucket);
+    }
+  }
+
+  auto serial_merged = FleetExecutor::MergeShards(std::move(serial));
+  auto parallel_merged = FleetExecutor::MergeShards(std::move(parallel));
+  EXPECT_EQ(analysis::FleetReportJson(serial_merged),
+            analysis::FleetReportJson(parallel_merged));
+  EXPECT_EQ(analysis::FleetSummaryCsv(serial_merged),
+            analysis::FleetSummaryCsv(parallel_merged));
+  EXPECT_EQ(analysis::FleetSummaryTable(serial_merged),
+            analysis::FleetSummaryTable(parallel_merged));
+}
+
+TEST(FleetMerge, ShardsFoldBackIntoCatalogOrder) {
+  FleetExecutor executor(TinyFleet(2));
+  auto jobs = FleetExecutor::PlanCampaign(Browsers({"Samsung"}),
+                                          {CampaignKind::kCrawl}, 3);
+  auto merged = FleetExecutor::MergeShards(executor.Run(jobs));
+  ASSERT_EQ(merged.size(), 1u);
+  ASSERT_TRUE(merged[0].crawl.has_value());
+
+  // The merged visit list is exactly the catalog, in catalog order:
+  // contiguous shards partition the site list without loss or overlap.
+  Framework probe(executor.options().framework);
+  const auto& sites = probe.catalog().sites();
+  ASSERT_EQ(merged[0].crawl->visits.size(), sites.size());
+  for (size_t i = 0; i < sites.size(); ++i) {
+    EXPECT_EQ(merged[0].crawl->visits[i].hostname, sites[i].hostname);
+  }
+
+  // Merged flow totals are the sum of the per-shard stores.
+  auto per_shard = executor.Run(jobs);
+  uint64_t engine = 0, native = 0, sends = 0;
+  for (const auto& shard : per_shard) {
+    engine += shard.crawl->EngineRequestCount();
+    native += shard.crawl->NativeRequestCount();
+    sends += shard.crawl->stack_stats.sends;
+  }
+  EXPECT_EQ(merged[0].crawl->EngineRequestCount(), engine);
+  EXPECT_EQ(merged[0].crawl->NativeRequestCount(), native);
+  EXPECT_EQ(merged[0].crawl->stack_stats.sends, sends);
+}
+
+// Stress: the full Table 1 roster × 3 shards at jobs=8, repeatedly.
+// Any scheduling-dependent state (shared RNG, store cross-talk, seed
+// derivation from execution order) shows up as run-to-run drift here.
+TEST(FleetStress, FullRosterRepeatedRunsAreIdentical) {
+  FleetOptions options = TinyFleet(8);
+  options.framework.catalog.popular_count = 3;
+  options.framework.catalog.sensitive_count = 0;
+  FleetExecutor executor(options);
+  auto jobs = FleetExecutor::PlanCampaign(browser::AllBrowserSpecs(),
+                                          {CampaignKind::kCrawl}, 3);
+  ASSERT_EQ(jobs.size(), browser::AllBrowserSpecs().size() * 3);
+
+  std::string reference;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    SCOPED_TRACE("repeat " + std::to_string(repeat));
+    auto merged = FleetExecutor::MergeShards(executor.Run(jobs));
+    std::string json = analysis::FleetReportJson(merged);
+    if (repeat == 0) {
+      reference = std::move(json);
+      // One merged result per browser, in Table 1 order.
+      ASSERT_EQ(merged.size(), browser::AllBrowserSpecs().size());
+    } else {
+      EXPECT_EQ(json, reference);
+    }
+  }
+}
+
+TEST(FleetSeed, JobSeedsAreDistinctAcrossThePlan) {
+  auto jobs = FleetExecutor::PlanCampaign(
+      browser::AllBrowserSpecs(),
+      {CampaignKind::kCrawl, CampaignKind::kIncognitoCrawl,
+       CampaignKind::kIdle},
+      4);
+  std::set<uint64_t> seeds;
+  for (const auto& job : jobs) {
+    seeds.insert(DeriveJobSeed(20231024, job.spec.name, job.kind, job.shard));
+  }
+  EXPECT_EQ(seeds.size(), jobs.size());
+}
+
+}  // namespace
+}  // namespace panoptes::core
