@@ -1,0 +1,136 @@
+// Telemetry overhead: the obs:: acceptance gate.
+//
+// The ISSUE-2 budget is <2% wall-clock overhead for metrics on a fleet
+// crawl. Each benchmark runs the same small fleet campaign with the
+// instrumentation toggled by the benchmark argument (0 = disabled,
+// 1 = enabled), so the enabled/disabled delta on the SAME binary is the
+// true cost of the hot-path atomics and span records. Micro-benchmarks
+// of a single counter increment and a single span round out the
+// per-event cost picture. Numbers are recorded in EXPERIMENTS.md.
+#include <benchmark/benchmark.h>
+
+#include "browser/profiles.h"
+#include "core/fleet.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+
+using namespace panoptes;
+
+namespace {
+
+// A fleet crawl sized like the unit-test fleets: full-ish roster work
+// without making each iteration take seconds.
+core::FleetExecutor MakeExecutor() {
+  core::FleetOptions options;
+  options.jobs = 2;
+  options.framework.catalog.popular_count = 4;
+  options.framework.catalog.sensitive_count = 2;
+  return core::FleetExecutor(options);
+}
+
+std::vector<core::FleetJob> MakeJobs() {
+  return core::FleetExecutor::PlanCampaign(
+      {*browser::FindSpec("Yandex"), *browser::FindSpec("Opera"),
+       *browser::FindSpec("DuckDuckGo")},
+      {core::CampaignKind::kCrawl}, 2);
+}
+
+// arg 0: metrics disabled. arg 1: metrics enabled (the default state).
+void BM_MetricsOverhead(benchmark::State& state) {
+  bool enabled = state.range(0) != 0;
+  auto executor = MakeExecutor();
+  auto jobs = MakeJobs();
+  obs::SetMetricsEnabled(enabled);
+  for (auto _ : state) {
+    auto results = executor.Run(jobs);
+    benchmark::DoNotOptimize(results);
+  }
+  obs::SetMetricsEnabled(true);
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_MetricsOverhead)
+    ->ArgName("enabled")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// arg 0: tracer off (the default). arg 1: spans recorded for every
+// fleet job, campaign, visit and report. The tracer buffer is cleared
+// each iteration so memory stays bounded and record cost (not realloc
+// growth) dominates.
+void BM_TraceOverhead(benchmark::State& state) {
+  bool enabled = state.range(0) != 0;
+  auto executor = MakeExecutor();
+  auto jobs = MakeJobs();
+  obs::Tracer::Default().SetEnabled(enabled);
+  for (auto _ : state) {
+    auto results = executor.Run(jobs);
+    benchmark::DoNotOptimize(results);
+    if (enabled) {
+      state.PauseTiming();
+      obs::Tracer::Default().Clear();
+      state.ResumeTiming();
+    }
+  }
+  obs::Tracer::Default().SetEnabled(false);
+  obs::Tracer::Default().Clear();
+}
+BENCHMARK(BM_TraceOverhead)
+    ->ArgName("enabled")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Per-event floor: one counter increment (the proxy does a handful per
+// flow).
+void BM_CounterInc(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Counter& counter = registry.GetCounter("bench_events_total");
+  for (auto _ : state) {
+    counter.Inc();
+  }
+  benchmark::DoNotOptimize(counter.Value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::MetricsRegistry registry;
+  obs::Histogram& histogram = registry.GetHistogram("bench_seconds");
+  double value = 0.0;
+  for (auto _ : state) {
+    histogram.Observe(value);
+    value += 1e-6;
+  }
+  benchmark::DoNotOptimize(histogram.Count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+// One enabled span, including the thread-buffer append.
+void BM_ScopedSpan(benchmark::State& state) {
+  obs::Tracer tracer;
+  tracer.SetEnabled(true);
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span", "bench", tracer);
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_ScopedSpan);
+
+// The same span while the tracer is disabled: this is what every
+// instrumented call site costs in a normal (untraced) run.
+void BM_ScopedSpanDisabled(benchmark::State& state) {
+  obs::Tracer tracer;
+  for (auto _ : state) {
+    obs::ScopedSpan span("bench.span", "bench", tracer);
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+BENCHMARK(BM_ScopedSpanDisabled);
+
+}  // namespace
+
+BENCHMARK_MAIN();

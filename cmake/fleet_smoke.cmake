@@ -1,0 +1,51 @@
+# Telemetry smoke test, run as a ctest via `cmake -P`.
+#
+# Drives the real CLI end to end: a small fleet crawl that writes both
+# telemetry artifacts, then the CLI's own validator on the results. Runs
+# in every build flavor (including the sanitizer configs), so the whole
+# instrumented pipeline gets exercised under TSan/ASan too.
+#
+# Expected variables:
+#   CLI     - path to the panoptes_cli executable
+#   OUT_DIR - scratch directory for the telemetry artifacts
+
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR "fleet_smoke.cmake needs -DCLI=... and -DOUT_DIR=...")
+endif()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(metrics_file "${OUT_DIR}/metrics.prom")
+set(trace_file "${OUT_DIR}/trace.json")
+file(REMOVE "${metrics_file}" "${trace_file}")
+
+execute_process(
+  COMMAND "${CLI}" fleet --jobs 2 --sites 6 --shards 2
+          --browsers Yandex,DuckDuckGo
+          --metrics-out "${metrics_file}" --trace-out "${trace_file}"
+  RESULT_VARIABLE fleet_rc
+  OUTPUT_VARIABLE fleet_out
+  ERROR_VARIABLE fleet_err)
+if(NOT fleet_rc EQUAL 0)
+  message(FATAL_ERROR
+      "panoptes_cli fleet failed (rc=${fleet_rc})\n${fleet_out}${fleet_err}")
+endif()
+
+foreach(artifact IN ITEMS "${metrics_file}" "${trace_file}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "fleet did not write ${artifact}\n${fleet_out}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND "${CLI}" validate-telemetry
+          --metrics "${metrics_file}" --trace "${trace_file}"
+  RESULT_VARIABLE validate_rc
+  OUTPUT_VARIABLE validate_out
+  ERROR_VARIABLE validate_err)
+if(NOT validate_rc EQUAL 0)
+  message(FATAL_ERROR
+      "validate-telemetry failed (rc=${validate_rc})\n"
+      "${validate_out}${validate_err}")
+endif()
+
+message(STATUS "fleet telemetry smoke ok:\n${validate_out}")

@@ -8,13 +8,19 @@
 //   panoptes_cli fleet --jobs 4 [--sites 100] [--shards 4]
 //                      [--browsers Yandex,Opera] [--incognito] [--idle]
 //                      [--json report.json] [--csv report.csv]
+//                      [--metrics-out metrics.prom] [--trace-out trace.json]
+//   panoptes_cli validate-telemetry [--metrics f.prom] [--trace f.json]
 //   panoptes_cli sitelist [--out 1k.txt]
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 
 #include "analysis/export.h"
 #include "analysis/historyleak.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "analysis/report.h"
 #include "analysis/stats.h"
 #include "analysis/manifest.h"
@@ -42,6 +48,8 @@ int Usage() {
                "  fleet [--jobs N] [--sites N] [--shards K] [--seed S]\n"
                "        [--browsers A,B,..] [--incognito] [--idle]\n"
                "        [--json FILE] [--csv FILE]\n"
+               "        [--metrics-out FILE] [--trace-out FILE]\n"
+               "  validate-telemetry [--metrics FILE] [--trace FILE]\n"
                "  sitelist [--out FILE]         dump the crawl dataset\n"
                "  run-manifest <FILE> [--out FILE]   execute a JSON campaign\n");
   return 2;
@@ -213,9 +221,20 @@ int CmdFleet(const util::Args& args) {
                "workers\n",
                jobs.size(), browsers.size(), kinds.size(), options.jobs);
 
+  // Telemetry: fresh counters per invocation; span tracing only when a
+  // trace file is requested (per-thread buffering is not free).
+  auto metrics_path = args.Option("metrics-out");
+  auto trace_path = args.Option("trace-out");
+  obs::MetricsRegistry::Default().Reset();
+  if (trace_path) {
+    obs::Tracer::Default().Clear();
+    obs::Tracer::Default().SetEnabled(true);
+  }
+
   core::FleetExecutor executor(options);
-  auto merged = core::FleetExecutor::MergeShards(executor.Run(jobs));
-  std::printf("%s", analysis::FleetSummaryTable(merged).c_str());
+  core::FleetRunStats stats;
+  auto merged = core::FleetExecutor::MergeShards(executor.Run(jobs, &stats));
+  std::printf("%s", analysis::FleetSummaryTable(merged, &stats).c_str());
 
   if (auto json_path = args.Option("json")) {
     if (!WriteFile(*json_path, analysis::FleetReportJson(merged))) {
@@ -230,6 +249,139 @@ int CmdFleet(const util::Args& args) {
       return 1;
     }
     std::printf("wrote %s\n", csv_path->c_str());
+  }
+
+  // Telemetry files go last so report-rendering spans are included.
+  if (metrics_path) {
+    if (!WriteFile(*metrics_path,
+                   obs::MetricsRegistry::Default().PrometheusText())) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", metrics_path->c_str());
+  }
+  if (trace_path) {
+    obs::Tracer::Default().SetEnabled(false);
+    if (!WriteFile(*trace_path, obs::Tracer::Default().ChromeTraceJson())) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu spans to %s\n",
+                obs::Tracer::Default().EventCount(), trace_path->c_str());
+  }
+  return 0;
+}
+
+// Validates telemetry files produced by `fleet`: the metrics file must
+// be well-formed Prometheus text exposition with at least one sample,
+// the trace file valid Chrome trace_event JSON with at least one event.
+// Exit 0 only when every given file checks out (the ctest smoke test
+// gates on this).
+int CmdValidateTelemetry(const util::Args& args) {
+  bool checked_any = false;
+
+  if (auto metrics_path = args.Option("metrics")) {
+    std::ifstream in(*metrics_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", metrics_path->c_str());
+      return 1;
+    }
+    std::string line;
+    size_t samples = 0;
+    size_t line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (line.empty() || line[0] == '#') continue;
+      // "name[{labels}] value": a metric name, optional label set, one
+      // numeric value.
+      size_t name_end = line.find_first_of(" {");
+      if (name_end == 0 || name_end == std::string::npos) {
+        std::fprintf(stderr, "%s:%zu: malformed sample: %s\n",
+                     metrics_path->c_str(), line_no, line.c_str());
+        return 1;
+      }
+      for (char c : line.substr(0, name_end)) {
+        if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+              c == ':')) {
+          std::fprintf(stderr, "%s:%zu: bad metric name: %s\n",
+                       metrics_path->c_str(), line_no, line.c_str());
+          return 1;
+        }
+      }
+      size_t value_at = name_end;
+      if (line[name_end] == '{') {
+        size_t close = line.find('}', name_end);
+        if (close == std::string::npos) {
+          std::fprintf(stderr, "%s:%zu: unterminated labels: %s\n",
+                       metrics_path->c_str(), line_no, line.c_str());
+          return 1;
+        }
+        value_at = close + 1;
+      }
+      try {
+        size_t used = 0;
+        std::stod(line.substr(value_at), &used);
+        if (line.find_first_not_of(" \t", value_at + used) !=
+            std::string::npos) {
+          throw std::invalid_argument("trailing garbage");
+        }
+      } catch (const std::exception&) {
+        std::fprintf(stderr, "%s:%zu: bad sample value: %s\n",
+                     metrics_path->c_str(), line_no, line.c_str());
+        return 1;
+      }
+      ++samples;
+    }
+    if (samples == 0) {
+      std::fprintf(stderr, "%s: no samples\n", metrics_path->c_str());
+      return 1;
+    }
+    std::printf("metrics ok: %zu samples in %s\n", samples,
+                metrics_path->c_str());
+    checked_any = true;
+  }
+
+  if (auto trace_path = args.Option("trace")) {
+    std::ifstream in(*trace_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", trace_path->c_str());
+      return 1;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    auto parsed = util::Json::Parse(text);
+    if (!parsed || !parsed->is_object()) {
+      std::fprintf(stderr, "%s: not a JSON object\n", trace_path->c_str());
+      return 1;
+    }
+    const util::Json* events = parsed->Find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      std::fprintf(stderr, "%s: missing traceEvents array\n",
+                   trace_path->c_str());
+      return 1;
+    }
+    if (events->as_array().empty()) {
+      std::fprintf(stderr, "%s: no trace events\n", trace_path->c_str());
+      return 1;
+    }
+    for (const auto& event : events->as_array()) {
+      for (const char* key : {"name", "ph", "ts", "dur", "pid", "tid"}) {
+        if (event.Find(key) == nullptr) {
+          std::fprintf(stderr, "%s: event missing \"%s\"\n",
+                       trace_path->c_str(), key);
+          return 1;
+        }
+      }
+    }
+    std::printf("trace ok: %zu events in %s\n", events->as_array().size(),
+                trace_path->c_str());
+    checked_any = true;
+  }
+
+  if (!checked_any) {
+    std::fprintf(stderr,
+                 "validate-telemetry needs --metrics and/or --trace\n");
+    return 2;
   }
   return 0;
 }
@@ -295,6 +447,7 @@ int main(int argc, char** argv) {
   if (command == "crawl") return CmdCrawl(args);
   if (command == "idle") return CmdIdle(args);
   if (command == "fleet") return CmdFleet(args);
+  if (command == "validate-telemetry") return CmdValidateTelemetry(args);
   if (command == "sitelist") return CmdSitelist(args);
   if (command == "run-manifest") return CmdRunManifest(args);
   return Usage();

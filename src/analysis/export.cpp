@@ -4,11 +4,41 @@
 #include <cstdio>
 
 #include "analysis/pii.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "util/clock.h"
 #include "util/json.h"
 #include "util/strings.h"
 
 namespace panoptes::analysis {
+
+namespace {
+
+// Report-generation timing: spans for the trace view plus a histogram
+// so slow exports show up in the metrics dump. Timing is telemetry
+// only — the rendered report bytes never depend on it.
+class ReportTimer {
+ public:
+  explicit ReportTimer(const char* name)
+      : span_(name, "analysis"), start_ns_(util::SteadyNowNanos()) {}
+  ~ReportTimer() {
+    auto& registry = obs::MetricsRegistry::Default();
+    static obs::Counter& reports = registry.GetCounter(
+        "panoptes_analysis_reports_total", "Fleet reports rendered");
+    static obs::Histogram& seconds = registry.GetHistogram(
+        "panoptes_analysis_report_seconds",
+        "Wall-clock time to render one fleet report");
+    reports.Inc();
+    seconds.Observe(
+        static_cast<double>(util::SteadyNowNanos() - start_ns_) * 1e-9);
+  }
+
+ private:
+  obs::ScopedSpan span_;
+  int64_t start_ns_;
+};
+
+}  // namespace
 
 std::string CsvField(std::string_view value) {
   bool needs_quoting =
@@ -116,6 +146,7 @@ std::vector<std::string> PiiFieldNames(const proxy::FlowStore& native) {
 
 std::string FleetSummaryCsv(
     const std::vector<core::FleetJobResult>& results) {
+  ReportTimer timer("analysis.fleet_summary_csv");
   std::vector<std::vector<std::string>> rows;
   for (const auto& result : results) {
     uint64_t engine = 0, native = 0, engine_bytes = 0, native_bytes = 0;
@@ -149,6 +180,7 @@ std::string FleetSummaryCsv(
 
 std::string FleetReportJson(
     const std::vector<core::FleetJobResult>& results) {
+  ReportTimer timer("analysis.fleet_report_json");
   util::JsonArray entries;
   for (const auto& result : results) {
     util::JsonObject entry;

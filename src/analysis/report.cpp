@@ -64,8 +64,17 @@ std::string Bytes(uint64_t bytes) {
   return util::FormatDouble(value, unit == 0 ? 0 : 1) + " " + units[unit];
 }
 
+namespace {
+
+std::string Millis(double seconds) {
+  return util::FormatDouble(seconds * 1000.0, 1) + " ms";
+}
+
+}  // namespace
+
 std::string FleetSummaryTable(
-    const std::vector<core::FleetJobResult>& results) {
+    const std::vector<core::FleetJobResult>& results,
+    const core::FleetRunStats* stats) {
   TextTable table(
       {"Browser", "Campaign", "Engine", "Native", "Ratio", "Native bytes"});
   for (const auto& result : results) {
@@ -85,7 +94,24 @@ std::string FleetSummaryTable(
                     Bytes(idle.native_flows->RequestBytes())});
     }
   }
-  return table.Render();
+  std::string out = table.Render();
+  if (stats != nullptr && stats->workers > 0) {
+    size_t jobs = stats->job_seconds.size();
+    out += "fleet: " + std::to_string(jobs) + " job" +
+           (jobs == 1 ? "" : "s") + " over " +
+           std::to_string(stats->workers) + " worker" +
+           (stats->workers == 1 ? "" : "s") + " in " +
+           util::FormatDouble(stats->wall_seconds, 2) + " s (job p50 " +
+           Millis(stats->JobLatencyQuantile(0.5)) + ", p95 " +
+           Millis(stats->JobLatencyQuantile(0.95)) + ")\n";
+    out += "worker jobs:";
+    for (size_t i = 0; i < stats->jobs_per_worker.size(); ++i) {
+      out += " w" + std::to_string(i) + "=" +
+             std::to_string(stats->jobs_per_worker[i]);
+    }
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace panoptes::analysis

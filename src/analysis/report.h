@@ -33,7 +33,13 @@ std::string Bytes(uint64_t bytes);
 
 // Aggregate table over (merged) fleet results: one row per browser ×
 // campaign with request counts, the native ratio and native bytes.
+// With `stats` (from FleetExecutor::Run) a telemetry footer is
+// appended: wall-clock, per-worker job counts and p50/p95 job latency.
+// The footer is operator display only — wall-clock data never goes
+// into exported reports, so the stats-less rendering stays
+// byte-deterministic.
 std::string FleetSummaryTable(
-    const std::vector<core::FleetJobResult>& results);
+    const std::vector<core::FleetJobResult>& results,
+    const core::FleetRunStats* stats = nullptr);
 
 }  // namespace panoptes::analysis

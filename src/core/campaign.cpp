@@ -1,9 +1,42 @@
 #include "core/campaign.h"
 
 #include "browser/cdp.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace panoptes::core {
+
+namespace {
+
+// Campaign-layer metrics. The native/engine split mirrors the paper's
+// taint split; counts are bulk-added from the job's private stores so
+// the per-flow hot path stays untouched.
+struct CampaignMetrics {
+  obs::Counter& visits_total;
+  obs::Counter& idle_ticks_total;
+  obs::Counter& engine_flows_total;
+  obs::Counter& native_flows_total;
+
+  static CampaignMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Default();
+    static CampaignMetrics* metrics = new CampaignMetrics{
+        registry.GetCounter("panoptes_core_visits_total",
+                            "Site visits across all crawl campaigns"),
+        registry.GetCounter("panoptes_core_idle_ticks_total",
+                            "Idle-campaign monitor ticks"),
+        registry.GetCounter(
+            "panoptes_core_engine_flows_total",
+            "Flows attributed to the web engine (tainted)"),
+        registry.GetCounter(
+            "panoptes_core_native_flows_total",
+            "Flows attributed to the browser app (untainted)"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 double CrawlResult::NativeRatio() const {
   double engine = static_cast<double>(engine_flows->size());
@@ -15,6 +48,12 @@ double CrawlResult::NativeRatio() const {
 CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
                      const std::vector<const web::Site*>& sites,
                      const CrawlOptions& options) {
+  CampaignMetrics& metrics = CampaignMetrics::Get();
+  obs::ScopedSpan crawl_span("campaign.crawl", "campaign");
+  crawl_span.Arg("browser", spec.name);
+  crawl_span.Arg("sites", static_cast<int64_t>(sites.size()));
+  if (options.incognito) crawl_span.Arg("incognito", "true");
+
   CrawlResult result;
   result.browser = spec.name;
   result.incognito_requested = options.incognito;
@@ -37,6 +76,9 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
   runtime.Startup();
 
   for (const web::Site* site : sites) {
+    obs::ScopedSpan visit_span("campaign.visit", "campaign");
+    visit_span.Arg("host", site->hostname);
+    metrics.visits_total.Inc();
     auto outcome = driver->Navigate(site->landing_url, options.incognito);
     framework.clock().Advance(options.settle);
 
@@ -54,6 +96,9 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
   result.stack_stats = framework.netstack().stats();
   framework.taint_addon().SetStores(nullptr, nullptr);
   framework.TeardownBrowser();
+
+  metrics.engine_flows_total.Inc(result.engine_flows->size());
+  metrics.native_flows_total.Inc(result.native_flows->size());
 
   PANOPTES_LOG(kInfo, "crawl")
       << spec.name << ": " << result.visits.size() << " visits, "
@@ -78,6 +123,10 @@ double IdleResult::ShareToDomain(std::string_view domain) const {
 
 IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
                    const IdleOptions& options) {
+  CampaignMetrics& metrics = CampaignMetrics::Get();
+  obs::ScopedSpan idle_span("campaign.idle", "campaign");
+  idle_span.Arg("browser", spec.name);
+
   IdleResult result;
   result.browser = spec.name;
   result.native_flows = std::make_unique<proxy::FlowStore>();
@@ -93,6 +142,8 @@ IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
   util::Duration elapsed{0};
   util::Duration next_bucket = options.bucket;
   while (elapsed < options.duration) {
+    obs::ScopedSpan tick_span("campaign.idle_tick", "campaign");
+    metrics.idle_ticks_total.Inc();
     framework.clock().Advance(options.tick);
     elapsed = framework.clock().Now() - start;
     runtime.IdleTick(elapsed);
@@ -109,6 +160,7 @@ IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
 
   framework.taint_addon().SetStores(nullptr, nullptr);
   framework.TeardownBrowser();
+  metrics.native_flows_total.Inc(result.native_flows->size());
   return result;
 }
 

@@ -1,8 +1,12 @@
 #include "core/fleet.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "util/clock.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -33,7 +37,40 @@ device::NetworkStackStats SumStats(const device::NetworkStackStats& a,
   return out;
 }
 
+// Fleet-layer metrics, registered once. References stay valid for the
+// process lifetime; the hot path is pure atomics.
+struct FleetMetrics {
+  obs::Counter& jobs_total;
+  obs::Gauge& queue_depth;
+  obs::Gauge& workers_busy;
+  obs::Histogram& job_seconds;
+
+  static FleetMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Default();
+    static FleetMetrics* metrics = new FleetMetrics{
+        registry.GetCounter("panoptes_fleet_jobs_total",
+                            "Fleet jobs executed"),
+        registry.GetGauge("panoptes_fleet_queue_depth",
+                          "Fleet jobs not yet claimed by a worker"),
+        registry.GetGauge("panoptes_fleet_workers_busy",
+                          "Workers currently executing a job"),
+        registry.GetHistogram("panoptes_fleet_job_duration_seconds",
+                              "Wall-clock time per fleet job"),
+    };
+    return *metrics;
+  }
+};
+
 }  // namespace
+
+double FleetRunStats::JobLatencyQuantile(double q) const {
+  if (job_seconds.empty()) return 0;
+  std::vector<double> sorted = job_seconds;
+  std::sort(sorted.begin(), sorted.end());
+  double clamped = std::clamp(q, 0.0, 1.0);
+  size_t rank = static_cast<size_t>(clamped * (sorted.size() - 1) + 0.5);
+  return sorted[rank];
+}
 
 std::string_view CampaignKindName(CampaignKind kind) {
   switch (kind) {
@@ -84,6 +121,11 @@ std::vector<FleetJob> FleetExecutor::PlanCampaign(
 }
 
 FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job) const {
+  obs::ScopedSpan span("fleet.job", "fleet");
+  span.Arg("browser", job.spec.name);
+  span.Arg("kind", CampaignKindName(job.kind));
+  span.Arg("shard", static_cast<int64_t>(job.shard));
+
   FleetJobResult out;
   out.job = job;
 
@@ -114,36 +156,94 @@ FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job) const {
 }
 
 std::vector<FleetJobResult> FleetExecutor::RunSerial(
-    const std::vector<FleetJob>& jobs) const {
+    const std::vector<FleetJob>& jobs, FleetRunStats* stats) const {
+  FleetMetrics& metrics = FleetMetrics::Get();
+  obs::ScopedSpan run_span("fleet.run_serial", "fleet");
+  run_span.Arg("jobs", static_cast<int64_t>(jobs.size()));
+  int64_t run_start = util::SteadyNowNanos();
+
   std::vector<FleetJobResult> results;
   results.reserve(jobs.size());
-  for (const auto& job : jobs) results.push_back(ExecuteJob(job));
+  std::vector<double> job_seconds;
+  job_seconds.reserve(jobs.size());
+  for (const auto& job : jobs) {
+    int64_t start = util::SteadyNowNanos();
+    results.push_back(ExecuteJob(job));
+    double seconds =
+        static_cast<double>(util::SteadyNowNanos() - start) * 1e-9;
+    job_seconds.push_back(seconds);
+    metrics.job_seconds.Observe(seconds);
+    metrics.jobs_total.Inc();
+  }
+
+  if (stats != nullptr) {
+    stats->workers = 1;
+    stats->wall_seconds =
+        static_cast<double>(util::SteadyNowNanos() - run_start) * 1e-9;
+    stats->jobs_per_worker = {static_cast<int>(jobs.size())};
+    stats->job_seconds = std::move(job_seconds);
+  }
   return results;
 }
 
 std::vector<FleetJobResult> FleetExecutor::Run(
-    const std::vector<FleetJob>& jobs) const {
+    const std::vector<FleetJob>& jobs, FleetRunStats* stats) const {
   std::vector<FleetJobResult> results(jobs.size());
   size_t worker_count = options_.jobs < 1 ? 1 : options_.jobs;
   if (worker_count > jobs.size()) worker_count = jobs.size();
-  if (jobs.empty()) return results;
+  if (jobs.empty()) {
+    if (stats != nullptr) *stats = FleetRunStats{};
+    return results;
+  }
+
+  FleetMetrics& metrics = FleetMetrics::Get();
+  obs::ScopedSpan run_span("fleet.run", "fleet");
+  run_span.Arg("jobs", static_cast<int64_t>(jobs.size()));
+  run_span.Arg("workers", static_cast<int64_t>(worker_count));
+  int64_t run_start = util::SteadyNowNanos();
+
+  // Telemetry side-tables: disjoint slots per worker / per job, so the
+  // only cross-thread accounting is the atomics inside the metrics.
+  std::vector<int> jobs_per_worker(worker_count, 0);
+  std::vector<double> job_seconds(jobs.size(), 0.0);
+  metrics.queue_depth.Set(static_cast<int64_t>(jobs.size()));
 
   // Workers claim job indices from a shared counter and write into
   // disjoint slots of `results`; job identity (not scheduling) decides
   // every seed, so the outcome is order-independent by construction.
   std::atomic<size_t> next{0};
-  auto work = [&]() {
+  auto work = [&](size_t worker) {
     while (true) {
       size_t index = next.fetch_add(1, std::memory_order_relaxed);
       if (index >= jobs.size()) return;
+      metrics.queue_depth.Set(
+          static_cast<int64_t>(jobs.size() - index - 1));
+      metrics.workers_busy.Add(1);
+      int64_t start = util::SteadyNowNanos();
       results[index] = ExecuteJob(jobs[index]);
+      double seconds =
+          static_cast<double>(util::SteadyNowNanos() - start) * 1e-9;
+      job_seconds[index] = seconds;
+      metrics.job_seconds.Observe(seconds);
+      metrics.jobs_total.Inc();
+      metrics.workers_busy.Add(-1);
+      ++jobs_per_worker[worker];
     }
   };
 
   std::vector<std::thread> pool;
   pool.reserve(worker_count);
-  for (size_t i = 0; i < worker_count; ++i) pool.emplace_back(work);
+  for (size_t i = 0; i < worker_count; ++i) pool.emplace_back(work, i);
   for (auto& thread : pool) thread.join();
+  metrics.queue_depth.Set(0);
+
+  if (stats != nullptr) {
+    stats->workers = static_cast<int>(worker_count);
+    stats->wall_seconds =
+        static_cast<double>(util::SteadyNowNanos() - run_start) * 1e-9;
+    stats->jobs_per_worker = std::move(jobs_per_worker);
+    stats->job_seconds = std::move(job_seconds);
+  }
 
   PANOPTES_LOG(kInfo, "fleet")
       << jobs.size() << " jobs over " << worker_count << " workers";

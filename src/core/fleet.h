@@ -65,6 +65,23 @@ struct FleetOptions {
   FrameworkOptions framework;
 };
 
+// Wall-clock accounting for one Run/RunSerial call. Telemetry only —
+// timings are steady-clock and scheduling-dependent, so none of this
+// may ever flow into an exported report (determinism contract).
+struct FleetRunStats {
+  int workers = 0;
+  double wall_seconds = 0;
+  // Jobs each worker completed, indexed by worker. RunSerial reports a
+  // single worker.
+  std::vector<int> jobs_per_worker;
+  // Per-job execution time, indexed like the job list (plan order).
+  std::vector<double> job_seconds;
+
+  // Latency quantile over job_seconds (q in [0,1], nearest-rank);
+  // 0 when no jobs ran.
+  double JobLatencyQuantile(double q) const;
+};
+
 class FleetExecutor {
  public:
   explicit FleetExecutor(FleetOptions options) : options_(options) {}
@@ -72,13 +89,15 @@ class FleetExecutor {
   const FleetOptions& options() const { return options_; }
 
   // Runs every job on `options.jobs` worker threads. Results come back
-  // indexed exactly like `jobs`, independent of scheduling.
-  std::vector<FleetJobResult> Run(const std::vector<FleetJob>& jobs) const;
+  // indexed exactly like `jobs`, independent of scheduling. When
+  // `stats` is given it is filled with this run's wall-clock telemetry.
+  std::vector<FleetJobResult> Run(const std::vector<FleetJob>& jobs,
+                                  FleetRunStats* stats = nullptr) const;
 
   // Reference implementation: the same jobs, the same derived seeds,
   // executed one at a time on the calling thread.
-  std::vector<FleetJobResult> RunSerial(
-      const std::vector<FleetJob>& jobs) const;
+  std::vector<FleetJobResult> RunSerial(const std::vector<FleetJob>& jobs,
+                                        FleetRunStats* stats = nullptr) const;
 
   // Expands browsers × kinds × shards into the canonical job list:
   // browsers in the given (Table 1) order, kinds in the given order,

@@ -1,5 +1,7 @@
 #include "device/netstack.h"
 
+#include "obs/metrics.h"
+
 namespace panoptes::device {
 
 namespace {
@@ -92,6 +94,17 @@ SendOutcome NetworkStack::Send(const net::HttpRequest& request,
           presented, host, device_->trust_store(), ctx.app->pins);
       if (verdict != net::TlsVerifyResult::kOk) {
         ++stats_.tls_failures;
+        if (verdict == net::TlsVerifyResult::kUntrustedIssuer) {
+          // The diverter presented a certificate the device rejects:
+          // the MITM CA is not in the trust store, so interception
+          // fails (the paper's "no CA" failure mode).
+          static obs::Counter& ca_failures =
+              obs::MetricsRegistry::Default().GetCounter(
+                  "panoptes_proxy_ca_failures_total",
+                  "Intercepted TLS handshakes rejected because the "
+                  "MITM CA is untrusted");
+          ca_failures.Inc();
+        }
         if (verdict == net::TlsVerifyResult::kPinMismatch) {
           ++stats_.pin_failures;
         }

@@ -1,0 +1,259 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace panoptes::obs {
+
+namespace internal {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace internal
+
+void SetMetricsEnabled(bool enabled) {
+  internal::g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return internal::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+// Shortest round-trip double formatting; integral values print without
+// a mantissa so counter samples look like counts.
+std::string FormatNumber(double value) {
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      value > -1e15 && value < 1e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  buckets_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+std::vector<double> Histogram::LatencyBounds() {
+  return {0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+          0.25,  0.5,    1.0,   2.5,  5.0,   10.0, 25.0, 100.0};
+}
+
+void Histogram::Observe(double value) {
+  if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+  // First bound >= value; everything above the last bound lands in the
+  // implicit +Inf bucket.
+  size_t index =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Double accumulation via CAS on the bit pattern: lock-free and
+  // TSan-clean (std::atomic<double>::fetch_add is C++20 but this stays
+  // portable across libstdc++ versions).
+  uint64_t observed = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    uint64_t wanted =
+        std::bit_cast<uint64_t>(std::bit_cast<double>(observed) + value);
+    if (sum_bits_.compare_exchange_weak(observed, wanted,
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::Sum() const {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+std::vector<uint64_t> Histogram::CumulativeBuckets() const {
+  std::vector<uint64_t> out(bounds_.size() + 1);
+  uint64_t running = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    running += buckets_[i].load(std::memory_order_relaxed);
+    out[i] = running;
+  }
+  return out;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::FindLocked(std::string_view name) {
+  for (auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* found = FindLocked(name); found != nullptr) {
+    if (found->counter) return *found->counter;
+    static Counter dummy;  // kind mismatch: detached, never exported
+    return dummy;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->kind = Kind::kCounter;
+  entry->counter = std::unique_ptr<Counter>(new Counter());
+  Counter& out = *entry->counter;
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* found = FindLocked(name); found != nullptr) {
+    if (found->gauge) return *found->gauge;
+    static Gauge dummy;
+    return dummy;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->kind = Kind::kGauge;
+  entry->gauge = std::unique_ptr<Gauge>(new Gauge());
+  Gauge& out = *entry->gauge;
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (Entry* found = FindLocked(name); found != nullptr) {
+    if (found->histogram) return *found->histogram;
+    static Histogram dummy{{1.0}};
+    return dummy;
+  }
+  if (bounds.empty()) bounds = Histogram::LatencyBounds();
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->help = std::string(help);
+  entry->kind = Kind::kHistogram;
+  entry->histogram =
+      std::unique_ptr<Histogram>(new Histogram(std::move(bounds)));
+  Histogram& out = *entry->histogram;
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : entries_) {
+    switch (entry->kind) {
+      case Kind::kCounter:
+        entry->counter->value_.store(0, std::memory_order_relaxed);
+        break;
+      case Kind::kGauge:
+        entry->gauge->value_.store(0, std::memory_order_relaxed);
+        break;
+      case Kind::kHistogram: {
+        Histogram& h = *entry->histogram;
+        for (size_t i = 0; i <= h.bounds_.size(); ++i) {
+          h.buckets_[i].store(0, std::memory_order_relaxed);
+        }
+        h.count_.store(0, std::memory_order_relaxed);
+        h.sum_bits_.store(0, std::memory_order_relaxed);
+        break;
+      }
+    }
+  }
+}
+
+size_t MetricsRegistry::MetricCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& entry : entries_) sorted.push_back(entry.get());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) { return a->name < b->name; });
+
+  std::string out;
+  for (const Entry* entry : sorted) {
+    if (!entry->help.empty()) {
+      out += "# HELP " + entry->name + " " + entry->help + "\n";
+    }
+    switch (entry->kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + entry->name + " counter\n";
+        out += entry->name + " " +
+               std::to_string(entry->counter->Value()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + entry->name + " gauge\n";
+        out += entry->name + " " + std::to_string(entry->gauge->Value()) +
+               "\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        out += "# TYPE " + entry->name + " histogram\n";
+        auto cumulative = h.CumulativeBuckets();
+        for (size_t i = 0; i < h.bounds_.size(); ++i) {
+          out += entry->name + "_bucket{le=\"" + FormatNumber(h.bounds_[i]) +
+                 "\"} " + std::to_string(cumulative[i]) + "\n";
+        }
+        out += entry->name + "_bucket{le=\"+Inf\"} " +
+               std::to_string(cumulative.back()) + "\n";
+        out += entry->name + "_sum " + FormatNumber(h.Sum()) + "\n";
+        out += entry->name + "_count " + std::to_string(h.Count()) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+util::Json MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::JsonObject root;
+  for (const auto& entry : entries_) {
+    util::JsonObject metric;
+    if (!entry->help.empty()) metric["help"] = entry->help;
+    switch (entry->kind) {
+      case Kind::kCounter:
+        metric["type"] = "counter";
+        metric["value"] = entry->counter->Value();
+        break;
+      case Kind::kGauge:
+        metric["type"] = "gauge";
+        metric["value"] = static_cast<int64_t>(entry->gauge->Value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *entry->histogram;
+        metric["type"] = "histogram";
+        metric["count"] = h.Count();
+        metric["sum"] = h.Sum();
+        util::JsonArray bounds, buckets;
+        auto cumulative = h.CumulativeBuckets();
+        for (double bound : h.bounds()) bounds.emplace_back(bound);
+        for (uint64_t value : cumulative) buckets.emplace_back(value);
+        metric["le"] = std::move(bounds);
+        metric["cumulative"] = std::move(buckets);
+        break;
+      }
+    }
+    root[entry->name] = std::move(metric);
+  }
+  return util::Json(std::move(root));
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+}  // namespace panoptes::obs

@@ -1,0 +1,144 @@
+// Harness telemetry: the metrics registry.
+//
+// The measurement pipeline needs to be observable without perturbing
+// the measurement itself. Counters, gauges and fixed-bucket histograms
+// register once under a mutex and then mutate through lock-free
+// atomics, so fleet workers can hammer them concurrently; values are
+// exported as Prometheus text exposition or JSON. Telemetry is strictly
+// additive — nothing here ever feeds an exported report, so fleet
+// determinism holds with metrics on or off.
+//
+// Naming convention: panoptes_<layer>_<name>[_total|_seconds|_bytes].
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+
+namespace panoptes::obs {
+
+// Process-wide kill switch for the metric hot paths. On by default (an
+// uncontended relaxed atomic add per event is far below the cost of the
+// events being counted); bench/obs_overhead.cpp measures the delta.
+void SetMetricsEnabled(bool enabled);
+bool MetricsEnabled();
+
+namespace internal {
+extern std::atomic<bool> g_metrics_enabled;
+}  // namespace internal
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Inc(uint64_t n = 1) {
+    if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<uint64_t> value_{0};
+};
+
+// Instantaneous level (queue depth, workers busy).
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta) {
+    if (!internal::g_metrics_enabled.load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<int64_t> value_{0};
+};
+
+// Fixed-bucket histogram. Bucket bounds are upper edges (Prometheus
+// `le`); an implicit +Inf bucket catches the tail. Observation is one
+// atomic add on the matching bucket plus count/sum updates.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const;
+  // Cumulative count of observations <= bounds[i] (last entry = +Inf).
+  std::vector<uint64_t> CumulativeBuckets() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  // Default latency edges: 1 ms .. ~100 s, quarter-decade spacing.
+  static std::vector<double> LatencyBounds();
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+
+  std::vector<double> bounds_;  // ascending, without +Inf
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // bit-cast double, CAS-accumulated
+};
+
+// Owns named metrics. Registration (name lookup/creation) takes a
+// mutex; the returned references stay valid for the registry's lifetime
+// and mutate lock-free. Re-registering a name returns the existing
+// metric; a name registered as one kind must not be requested as
+// another (returns a detached dummy and logs nothing — callers follow
+// the naming convention).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name, std::string_view help = "");
+  Gauge& GetGauge(std::string_view name, std::string_view help = "");
+  Histogram& GetHistogram(std::string_view name, std::string_view help = "",
+                          std::vector<double> bounds = {});
+
+  // Zeroes every value; registrations (and references) survive.
+  void Reset();
+
+  // Prometheus text exposition format, families sorted by name.
+  std::string PrometheusText() const;
+
+  // {"name": {"type": "...", "value": ...}, ...} via util::Json.
+  util::Json ToJson() const;
+  std::string JsonText() const { return ToJson().Dump(); }
+
+  size_t MetricCount() const;
+
+  // The process-wide registry every instrumented layer reports into.
+  static MetricsRegistry& Default();
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    std::string help;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* FindLocked(std::string_view name);
+
+  mutable std::mutex mutex_;
+  // unique_ptr entries keep metric addresses stable across growth.
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace panoptes::obs

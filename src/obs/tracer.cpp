@@ -1,0 +1,136 @@
+#include "obs/tracer.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/clock.h"
+#include "util/json.h"
+
+namespace panoptes::obs {
+
+namespace {
+
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+// Per-thread buffer cache, keyed by tracer id. Ids are never reused, so
+// a stale entry for a destroyed tracer can never alias a live one.
+thread_local std::unordered_map<uint64_t, void*> t_buffer_cache;
+
+}  // namespace
+
+Tracer::Tracer()
+    : tracer_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  auto cached = t_buffer_cache.find(tracer_id_);
+  if (cached != t_buffer_cache.end()) {
+    return static_cast<ThreadBuffer*>(cached->second);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<uint32_t>(buffers_.size() + 1);
+  ThreadBuffer* out = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  t_buffer_cache[tracer_id_] = out;
+  return out;
+}
+
+void Tracer::Record(SpanEvent event) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  event.tid = buffer->tid;
+  std::lock_guard<std::mutex> lock(buffer->mutex);
+  buffer->events.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> Tracer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SpanEvent> out;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  return out;
+}
+
+size_t Tracer::EventCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t count = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    buffer->events.clear();
+  }
+}
+
+std::string Tracer::ChromeTraceJson() const {
+  std::vector<SpanEvent> events = Snapshot();
+  // Chronological order makes the file diffable and the viewer happy.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  util::JsonArray trace_events;
+  trace_events.reserve(events.size());
+  for (const SpanEvent& event : events) {
+    util::JsonObject entry;
+    entry["name"] = event.name;
+    entry["cat"] = event.category;
+    entry["ph"] = "X";
+    entry["ts"] = static_cast<double>(event.start_ns) / 1000.0;
+    entry["dur"] = static_cast<double>(event.duration_ns) / 1000.0;
+    entry["pid"] = 1;
+    entry["tid"] = static_cast<uint64_t>(event.tid);
+    if (!event.args.empty()) {
+      util::JsonObject args;
+      for (const auto& [key, value] : event.args) args[key] = value;
+      entry["args"] = std::move(args);
+    }
+    trace_events.push_back(util::Json(std::move(entry)));
+  }
+  util::JsonObject root;
+  root["traceEvents"] = std::move(trace_events);
+  root["displayTimeUnit"] = "ms";
+  return util::Json(std::move(root)).Dump();
+}
+
+Tracer& Tracer::Default() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category,
+                       Tracer& tracer)
+    : tracer_(tracer), active_(tracer.enabled()) {
+  if (!active_) return;
+  event_.name = std::string(name);
+  event_.category = std::string(category);
+  event_.start_ns = util::SteadyNowNanos();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  event_.duration_ns = util::SteadyNowNanos() - event_.start_ns;
+  tracer_.Record(std::move(event_));
+}
+
+void ScopedSpan::Arg(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  event_.args.emplace_back(std::string(key), std::string(value));
+}
+
+void ScopedSpan::Arg(std::string_view key, int64_t value) {
+  if (!active_) return;
+  event_.args.emplace_back(std::string(key), std::to_string(value));
+}
+
+}  // namespace panoptes::obs

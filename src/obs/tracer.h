@@ -1,0 +1,104 @@
+// Harness telemetry: span tracing.
+//
+// Records begin/end spans (steady-clock timestamps, thread id, optional
+// key=value attributes) into per-thread buffers and exports them as
+// Chrome trace_event JSON — load the file in chrome://tracing or
+// https://ui.perfetto.dev to see where a fleet run's wall-clock goes.
+//
+// Off by default: a disabled ScopedSpan is a single relaxed atomic load
+// and no allocation. Timestamps come from util::SteadyNowNanos(), never
+// the simulated clock, so sim-time advancement cannot move trace time.
+// Export/Clear take every buffer's mutex, so they are safe to call even
+// while workers record (each record holds only its own buffer's
+// otherwise-uncontended mutex).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace panoptes::obs {
+
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  int64_t start_ns = 0;  // steady clock
+  int64_t duration_ns = 0;
+  uint32_t tid = 0;  // tracer-assigned, dense from 1 in registration order
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class Tracer {
+ public:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Appends a finished span to the calling thread's buffer. `tid` is
+  // assigned here.
+  void Record(SpanEvent event);
+
+  // All recorded spans, in (tid, record order). Copies; recording
+  // threads may keep running.
+  std::vector<SpanEvent> Snapshot() const;
+  size_t EventCount() const;
+  void Clear();
+
+  // Chrome trace_event JSON ("X" complete events, microsecond units):
+  // {"traceEvents":[{"name":...,"cat":...,"ph":"X","ts":...,"dur":...,
+  //   "pid":1,"tid":...,"args":{...}},...]}
+  std::string ChromeTraceJson() const;
+
+  // The process-wide tracer every instrumented layer reports into.
+  static Tracer& Default();
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mutex;
+    std::vector<SpanEvent> events;
+    uint32_t tid = 0;
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  const uint64_t tracer_id_;  // distinguishes tracers in the TLS cache
+  mutable std::mutex mutex_;  // guards buffers_ registration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+// RAII span: captures the start timestamp on construction (when the
+// tracer is enabled) and records the completed span on destruction.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name,
+                      std::string_view category = "panoptes",
+                      Tracer& tracer = Tracer::Default());
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  // Attaches a key=value attribute (no-op when the span is inactive).
+  void Arg(std::string_view key, std::string_view value);
+  void Arg(std::string_view key, int64_t value);
+
+  bool active() const { return active_; }
+
+ private:
+  Tracer& tracer_;
+  bool active_;
+  SpanEvent event_;
+};
+
+}  // namespace panoptes::obs

@@ -1,10 +1,20 @@
 #include "proxy/flowstore.h"
 
 #include "net/psl.h"
+#include "obs/metrics.h"
 
 namespace panoptes::proxy {
 
 void FlowStore::Add(Flow flow) {
+  static obs::Counter& stored = obs::MetricsRegistry::Default().GetCounter(
+      "panoptes_proxy_flows_stored_total",
+      "Flows stored into a flow database (first capture; shard merges "
+      "are not re-counted)");
+  stored.Inc();
+  AddUncounted(std::move(flow));
+}
+
+void FlowStore::AddUncounted(Flow flow) {
   if (compact_) {
     flow.request_headers = net::HttpHeaders();
     flow.request_body.clear();
@@ -15,7 +25,7 @@ void FlowStore::Add(Flow flow) {
 
 void FlowStore::Append(const FlowStore& other) {
   flows_.reserve(flows_.size() + other.flows_.size());
-  for (const auto& flow : other.flows_) Add(flow);
+  for (const auto& flow : other.flows_) AddUncounted(flow);
 }
 
 void FlowStore::Clear() {

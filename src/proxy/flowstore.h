@@ -49,6 +49,10 @@ class FlowStore {
   std::vector<const Flow*> ToDomain(std::string_view domain) const;
 
  private:
+  // Add without the stored-flows counter (Append re-stores copies that
+  // were already counted when first captured).
+  void AddUncounted(Flow flow);
+
   bool compact_;
   std::vector<Flow> flows_;
 };

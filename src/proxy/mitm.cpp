@@ -1,8 +1,40 @@
 #include "proxy/mitm.h"
 
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace panoptes::proxy {
+
+namespace {
+
+// Proxy-layer metrics, shared by every MitmProxy instance (fleet jobs
+// each own a private proxy; the registry aggregates across them).
+struct ProxyMetrics {
+  obs::Counter& flows_total;
+  obs::Counter& request_bytes_total;
+  obs::Counter& response_bytes_total;
+  obs::Counter& blocked_total;
+  obs::Counter& forged_certs_total;
+
+  static ProxyMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Default();
+    static ProxyMetrics* metrics = new ProxyMetrics{
+        registry.GetCounter("panoptes_proxy_flows_total",
+                            "Flows intercepted by the MITM proxy"),
+        registry.GetCounter("panoptes_proxy_request_bytes_total",
+                            "Request wire bytes through the proxy"),
+        registry.GetCounter("panoptes_proxy_response_bytes_total",
+                            "Response wire bytes through the proxy"),
+        registry.GetCounter("panoptes_proxy_blocked_total",
+                            "Flows answered locally by a blocking addon"),
+        registry.GetCounter("panoptes_proxy_forged_certs_total",
+                            "Leaf certificates forged under the MITM CA"),
+    };
+    return *metrics;
+  }
+};
+
+}  // namespace
 
 MitmProxy::MitmProxy(net::Network* network, uint64_t seed)
     : network_(network), ca_("Panoptes-MITM-CA", util::Rng(seed)) {}
@@ -14,6 +46,7 @@ void MitmProxy::AddAddon(std::shared_ptr<Addon> addon) {
 const net::Certificate& MitmProxy::PresentCertificate(std::string_view sni) {
   auto it = cert_cache_.find(sni);
   if (it != cert_cache_.end()) return it->second;
+  ProxyMetrics::Get().forged_certs_total.Inc();
   auto [inserted, _] =
       cert_cache_.emplace(std::string(sni), ca_.IssueLeaf(sni));
   return inserted->second;
@@ -21,6 +54,7 @@ const net::Certificate& MitmProxy::PresentCertificate(std::string_view sni) {
 
 net::HttpResponse MitmProxy::Forward(net::HttpRequest request,
                                      net::ConnectionMeta meta) {
+  ProxyMetrics& metrics = ProxyMetrics::Get();
   Flow flow;
   flow.id = next_flow_id_++;
   flow.time = meta.time;
@@ -47,6 +81,7 @@ net::HttpResponse MitmProxy::Forward(net::HttpRequest request,
     // contact the upstream (the NoMoAds/ReCon-style countermeasure).
     response = net::HttpResponse::Error(403, "blocked by " + flow.blocked_by);
     ++blocked_count_;
+    metrics.blocked_total.Inc();
   } else {
     meta.via_proxy = true;
     response = network_->Deliver(meta.server_ip, request, meta);
@@ -62,6 +97,10 @@ net::HttpResponse MitmProxy::Forward(net::HttpRequest request,
   for (const auto& addon : addons_) {
     addon->OnFlowComplete(flow);
   }
+
+  metrics.flows_total.Inc();
+  metrics.request_bytes_total.Inc(flow.request_bytes);
+  metrics.response_bytes_total.Inc(flow.response_bytes);
   return response;
 }
 

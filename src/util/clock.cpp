@@ -1,6 +1,7 @@
 #include "util/clock.h"
 
 #include <array>
+#include <chrono>
 #include <cstdio>
 
 namespace panoptes::util {
@@ -27,6 +28,12 @@ SimClock::SimClock(SimTime start) : now_(start) {}
 void SimClock::Advance(Duration d) { now_.millis += d.millis; }
 
 int64_t ToUnixSeconds(SimTime t) { return t.millis / 1000; }
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 std::string FormatTimestamp(SimTime t) {
   int64_t ms = t.millis % 1000;

@@ -62,6 +62,12 @@ class SimClock {
   SimTime now_;
 };
 
+// Monotonic wall-clock nanoseconds (std::chrono::steady_clock), for
+// telemetry only. Deliberately separate from SimClock: spans and
+// metrics measure the harness itself, so advancing simulated time must
+// never move a telemetry timestamp (tests/obs_test.cpp pins this).
+int64_t SteadyNowNanos();
+
 // Formats a SimTime as "YYYY-MM-DDTHH:MM:SS.mmmZ" (proleptic Gregorian).
 std::string FormatTimestamp(SimTime t);
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace panoptes::util {
 
@@ -10,6 +11,15 @@ namespace {
 // Read from every fleet worker thread; atomic so a level change from
 // one thread never races a concurrent log call on another.
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes sink swaps and every Write call: one line in, one line
+// out, never torn between threads.
+std::mutex& SinkMutex() {
+  static std::mutex* mutex = new std::mutex();
+  return *mutex;
+}
+
+LogSink* g_sink = nullptr;  // guarded by SinkMutex(); nullptr = stderr
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,6 +31,22 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// Default sink: the whole line leaves in a single fwrite so even
+// without the mutex a line could not tear mid-way through libc.
+class StderrSink : public LogSink {
+ public:
+  void Write(LogLevel, std::string_view line) override {
+    std::string with_newline(line);
+    with_newline += '\n';
+    std::fwrite(with_newline.data(), 1, with_newline.size(), stderr);
+  }
+};
+
+StderrSink& DefaultSink() {
+  static StderrSink* sink = new StderrSink();
+  return *sink;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -29,9 +55,21 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
 
+LogSink* SetLogSink(LogSink* sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink* previous = g_sink;
+  g_sink = sink;
+  return previous;
+}
+
 void LogLine(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
-  std::fprintf(stderr, "%-5s %s\n", LevelName(level), message.c_str());
+  if (!ShouldLog(level)) return;
+  std::string line = LevelName(level);
+  line.append(5 - line.size() + 1, ' ');  // "%-5s " alignment
+  line += message;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink* sink = g_sink != nullptr ? g_sink : &DefaultSink();
+  sink->Write(level, line);
 }
 
 }  // namespace panoptes::util

@@ -1,11 +1,15 @@
 // Tiny leveled logger.
 //
 // Off (kWarn) by default so tests and benches stay quiet; examples turn
-// on kInfo to narrate the crawl.
+// on kInfo to narrate the crawl. The level check is a relaxed atomic on
+// the fast path (and short-circuits message formatting entirely); line
+// emission goes through a pluggable sink under a mutex so parallel
+// fleet workers can never tear a line on stderr.
 #pragma once
 
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace panoptes::util {
 
@@ -15,7 +19,28 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Writes one line to stderr if `level` passes the threshold.
+// True when a message at `level` would be emitted (the atomic fast
+// path; PANOPTES_LOG checks this before building the message).
+inline bool ShouldLog(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(GetLogLevel());
+}
+
+// Destination for formatted log lines. Write receives one complete
+// line — "LEVEL [tag] message", no trailing newline — and is always
+// invoked under the logger's mutex, so implementations need no locking
+// of their own and consecutive lines can never interleave.
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+  virtual void Write(LogLevel level, std::string_view line) = 0;
+};
+
+// Swaps the process sink; nullptr restores the stderr default. Returns
+// the previous sink (nullptr when it was the default). The caller keeps
+// ownership and must keep the sink alive until swapped back out.
+LogSink* SetLogSink(LogSink* sink);
+
+// Writes one line through the sink if `level` passes the threshold.
 void LogLine(LogLevel level, const std::string& message);
 
 namespace internal {
@@ -41,7 +66,12 @@ class LogMessage {
 
 }  // namespace panoptes::util
 
-#define PANOPTES_LOG(level, tag)                                       \
+// The for-loop wrapper skips message formatting when the level is
+// filtered, without the dangling-else hazard of an if-based macro.
+#define PANOPTES_LOG(level, tag)                                            \
+  for (bool panoptes_log_once =                                             \
+           ::panoptes::util::ShouldLog(::panoptes::util::LogLevel::level);  \
+       panoptes_log_once; panoptes_log_once = false)                        \
   ::panoptes::util::internal::LogMessage(::panoptes::util::LogLevel::level, \
-                                         tag)                          \
+                                         tag)                               \
       .stream()

@@ -1,0 +1,340 @@
+// obs:: telemetry subsystem tests.
+//
+// Three layers of guarantees: (1) the registry and tracer survive a
+// multi-threaded hammer without losing events (run this suite under
+// -DPANOPTES_SANITIZE=thread); (2) both exports are well-formed
+// (Prometheus text / Chrome trace_event JSON); (3) telemetry is
+// strictly additive — fleet reports are byte-identical with metrics and
+// tracing on versus off, and telemetry timestamps never come from the
+// simulated clock.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/export.h"
+#include "analysis/report.h"
+#include "browser/profiles.h"
+#include "core/fleet.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "util/clock.h"
+#include "util/json.h"
+
+namespace panoptes::obs {
+namespace {
+
+TEST(Metrics, CounterGaugeHistogramBasics) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("panoptes_test_events_total");
+  counter.Inc();
+  counter.Inc(41);
+  EXPECT_EQ(counter.Value(), 42u);
+
+  Gauge& gauge = registry.GetGauge("panoptes_test_depth");
+  gauge.Set(7);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 4);
+
+  Histogram& histogram =
+      registry.GetHistogram("panoptes_test_seconds", "", {0.1, 1.0, 10.0});
+  histogram.Observe(0.05);   // bucket le=0.1
+  histogram.Observe(0.5);    // bucket le=1
+  histogram.Observe(100.0);  // +Inf bucket
+  EXPECT_EQ(histogram.Count(), 3u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 100.55);
+  auto cumulative = histogram.CumulativeBuckets();
+  ASSERT_EQ(cumulative.size(), 4u);
+  EXPECT_EQ(cumulative[0], 1u);  // <= 0.1
+  EXPECT_EQ(cumulative[1], 2u);  // <= 1
+  EXPECT_EQ(cumulative[2], 2u);  // <= 10
+  EXPECT_EQ(cumulative[3], 3u);  // +Inf
+}
+
+TEST(Metrics, RegistrationIsIdempotent) {
+  MetricsRegistry registry;
+  Counter& a = registry.GetCounter("panoptes_test_total");
+  Counter& b = registry.GetCounter("panoptes_test_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.MetricCount(), 1u);
+}
+
+TEST(Metrics, DisabledMutationsAreDropped) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("panoptes_test_total");
+  SetMetricsEnabled(false);
+  counter.Inc(100);
+  SetMetricsEnabled(true);
+  EXPECT_EQ(counter.Value(), 0u);
+  counter.Inc();
+  EXPECT_EQ(counter.Value(), 1u);
+}
+
+TEST(Metrics, ResetZeroesValuesButKeepsRegistrations) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("panoptes_test_total");
+  Histogram& histogram = registry.GetHistogram("panoptes_test_seconds");
+  counter.Inc(5);
+  histogram.Observe(0.5);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.Sum(), 0.0);
+  EXPECT_EQ(registry.MetricCount(), 2u);
+  counter.Inc();  // the reference survived the reset
+  EXPECT_EQ(counter.Value(), 1u);
+}
+
+// The registration-order-independence + concurrency hammer: workers
+// mutate shared metrics (some registered on the fly) and every event
+// must be accounted for afterwards. TSan validates the synchronization
+// story; the totals validate atomicity.
+TEST(Metrics, MultiThreadedHammerLosesNothing) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 20000;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t]() {
+      // Half the threads race the registration path too.
+      Counter& counter = registry.GetCounter("panoptes_hammer_total");
+      Gauge& gauge = registry.GetGauge("panoptes_hammer_depth");
+      Histogram& histogram = registry.GetHistogram(
+          "panoptes_hammer_seconds", "", {0.25, 0.5, 0.75});
+      for (int i = 0; i < kIterations; ++i) {
+        counter.Inc();
+        gauge.Add(1);
+        gauge.Add(-1);
+        histogram.Observe(static_cast<double>((t + i) % 4) * 0.25);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(registry.GetCounter("panoptes_hammer_total").Value(),
+            static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(registry.GetGauge("panoptes_hammer_depth").Value(), 0);
+  Histogram& histogram = registry.GetHistogram("panoptes_hammer_seconds");
+  EXPECT_EQ(histogram.Count(), static_cast<uint64_t>(kThreads) * kIterations);
+  EXPECT_EQ(histogram.CumulativeBuckets().back(), histogram.Count());
+}
+
+TEST(Metrics, PrometheusTextIsWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("panoptes_b_total", "second family").Inc(3);
+  registry.GetGauge("panoptes_c_depth").Set(-2);
+  Histogram& histogram =
+      registry.GetHistogram("panoptes_a_seconds", "latency", {0.5, 1.0});
+  histogram.Observe(0.4);
+  histogram.Observe(2.0);
+
+  std::string text = registry.PrometheusText();
+  // Families sorted by name; histogram renders buckets + sum + count.
+  EXPECT_LT(text.find("panoptes_a_seconds"), text.find("panoptes_b_total"));
+  EXPECT_LT(text.find("panoptes_b_total"), text.find("panoptes_c_depth"));
+  EXPECT_NE(text.find("# TYPE panoptes_a_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("panoptes_a_seconds_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("panoptes_a_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("panoptes_a_seconds_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# HELP panoptes_b_total second family\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("panoptes_b_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("panoptes_c_depth -2\n"), std::string::npos);
+}
+
+TEST(Metrics, JsonExportParses) {
+  MetricsRegistry registry;
+  registry.GetCounter("panoptes_test_total").Inc(7);
+  registry.GetHistogram("panoptes_test_seconds", "", {1.0}).Observe(0.5);
+
+  auto parsed = util::Json::Parse(registry.JsonText());
+  ASSERT_TRUE(parsed.has_value());
+  const util::Json* counter = parsed->Find("panoptes_test_total");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->Find("type")->as_string(), "counter");
+  EXPECT_DOUBLE_EQ(counter->Find("value")->as_number(), 7.0);
+  const util::Json* histogram = parsed->Find("panoptes_test_seconds");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_DOUBLE_EQ(histogram->Find("count")->as_number(), 1.0);
+}
+
+TEST(Tracer, RecordsSpansWithThreadIdsAndArgs) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  {
+    ScopedSpan span("unit.work", "test", tracer);
+    span.Arg("browser", "Yandex");
+    span.Arg("shard", static_cast<int64_t>(2));
+  }
+  std::thread other([&tracer]() {
+    ScopedSpan span("unit.other", "test", tracer);
+  });
+  other.join();
+
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const SpanEvent* work = nullptr;
+  const SpanEvent* other_event = nullptr;
+  for (const auto& event : events) {
+    if (event.name == "unit.work") work = &event;
+    if (event.name == "unit.other") other_event = &event;
+  }
+  ASSERT_NE(work, nullptr);
+  ASSERT_NE(other_event, nullptr);
+  EXPECT_NE(work->tid, other_event->tid);
+  EXPECT_GE(work->duration_ns, 0);
+  ASSERT_EQ(work->args.size(), 2u);
+  EXPECT_EQ(work->args[0].first, "browser");
+  EXPECT_EQ(work->args[0].second, "Yandex");
+  EXPECT_EQ(work->args[1].second, "2");
+}
+
+TEST(Tracer, DisabledSpansRecordNothing) {
+  Tracer tracer;
+  {
+    ScopedSpan span("unit.ignored", "test", tracer);
+    span.Arg("key", "value");
+  }
+  EXPECT_EQ(tracer.EventCount(), 0u);
+}
+
+TEST(Tracer, ChromeTraceJsonIsWellFormed) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer]() {
+      for (int i = 0; i < kSpans; ++i) {
+        ScopedSpan span("mt.span", "test", tracer);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  auto parsed = util::Json::Parse(tracer.ChromeTraceJson());
+  ASSERT_TRUE(parsed.has_value());
+  const util::Json* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->as_array().size(),
+            static_cast<size_t>(kThreads) * kSpans);
+  double last_ts = -1;
+  for (const auto& event : events->as_array()) {
+    EXPECT_EQ(event.Find("ph")->as_string(), "X");
+    EXPECT_EQ(event.Find("name")->as_string(), "mt.span");
+    EXPECT_GE(event.Find("dur")->as_number(), 0.0);
+    EXPECT_GE(event.Find("tid")->as_number(), 1.0);
+    // Export is sorted by start timestamp.
+    EXPECT_GE(event.Find("ts")->as_number(), last_ts);
+    last_ts = event.Find("ts")->as_number();
+  }
+}
+
+// Telemetry timestamps are steady-clock only: advancing the simulated
+// clock by an hour must not add an hour to a span or to SteadyNowNanos.
+TEST(Tracer, TimestampsIgnoreSimulatedClock) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  util::SimClock sim;
+  int64_t steady_before = util::SteadyNowNanos();
+  {
+    ScopedSpan span("unit.sim", "test", tracer);
+    sim.Advance(util::Duration::Minutes(60));
+  }
+  int64_t steady_after = util::SteadyNowNanos();
+  EXPECT_GE(steady_after, steady_before);
+  // Less than a real minute passed, simulated hour notwithstanding.
+  EXPECT_LT(steady_after - steady_before, int64_t{60} * 1000 * 1000 * 1000);
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_LT(events[0].duration_ns, int64_t{60} * 1000 * 1000 * 1000);
+}
+
+// The acceptance criterion: exported fleet reports are byte-identical
+// with telemetry fully on versus fully off — wall-clock data must never
+// reach a report.
+TEST(ObsEndToEnd, FleetReportsAreByteIdenticalWithTelemetryOnAndOff) {
+  core::FleetOptions options;
+  options.jobs = 4;
+  options.framework.catalog.popular_count = 3;
+  options.framework.catalog.sensitive_count = 1;
+  core::FleetExecutor executor(options);
+  auto jobs = core::FleetExecutor::PlanCampaign(
+      {*browser::FindSpec("Yandex"), *browser::FindSpec("Opera")},
+      {core::CampaignKind::kCrawl}, 2);
+
+  SetMetricsEnabled(false);
+  auto off = core::FleetExecutor::MergeShards(executor.Run(jobs));
+  std::string json_off = analysis::FleetReportJson(off);
+  std::string csv_off = analysis::FleetSummaryCsv(off);
+
+  SetMetricsEnabled(true);
+  Tracer::Default().SetEnabled(true);
+  core::FleetRunStats stats;
+  auto on = core::FleetExecutor::MergeShards(executor.Run(jobs, &stats));
+  std::string json_on = analysis::FleetReportJson(on);
+  std::string csv_on = analysis::FleetSummaryCsv(on);
+  Tracer::Default().SetEnabled(false);
+  Tracer::Default().Clear();
+
+  EXPECT_EQ(json_on, json_off);
+  EXPECT_EQ(csv_on, csv_off);
+  // The instrumented run actually observed its jobs.
+  EXPECT_EQ(stats.job_seconds.size(), jobs.size());
+  int total = 0;
+  for (int count : stats.jobs_per_worker) total += count;
+  EXPECT_EQ(total, static_cast<int>(jobs.size()));
+  EXPECT_GE(stats.JobLatencyQuantile(0.95),
+            stats.JobLatencyQuantile(0.5));
+  // The stats-less summary table (what reports embed) is also stable.
+  EXPECT_EQ(analysis::FleetSummaryTable(on), analysis::FleetSummaryTable(off));
+}
+
+// Default-registry instrumentation sanity: a fleet run moves the layer
+// counters in ways that must agree with the job results.
+TEST(ObsEndToEnd, LayerCountersTrackFleetActivity) {
+  auto& registry = MetricsRegistry::Default();
+  registry.Reset();
+
+  core::FleetOptions options;
+  options.jobs = 2;
+  options.framework.catalog.popular_count = 2;
+  options.framework.catalog.sensitive_count = 0;
+  core::FleetExecutor executor(options);
+  auto jobs = core::FleetExecutor::PlanCampaign(
+      {*browser::FindSpec("Yandex")}, {core::CampaignKind::kCrawl}, 2);
+  auto results = executor.Run(jobs);
+
+  uint64_t engine = 0, native = 0, visits = 0;
+  for (const auto& result : results) {
+    engine += result.crawl->EngineRequestCount();
+    native += result.crawl->NativeRequestCount();
+    visits += result.crawl->visits.size();
+  }
+  EXPECT_EQ(
+      registry.GetCounter("panoptes_fleet_jobs_total").Value(), jobs.size());
+  EXPECT_EQ(registry.GetCounter("panoptes_core_visits_total").Value(),
+            visits);
+  EXPECT_EQ(registry.GetCounter("panoptes_core_engine_flows_total").Value(),
+            engine);
+  EXPECT_EQ(registry.GetCounter("panoptes_core_native_flows_total").Value(),
+            native);
+  // Every engine/native flow passed through the MITM proxy (plus any
+  // flows the taint addon never stored, e.g. DoH lookups).
+  EXPECT_GE(registry.GetCounter("panoptes_proxy_flows_total").Value(),
+            engine + native);
+  EXPECT_EQ(
+      registry.GetHistogram("panoptes_fleet_job_duration_seconds").Count(),
+      jobs.size());
+  registry.Reset();
+}
+
+}  // namespace
+}  // namespace panoptes::obs
