@@ -8,6 +8,8 @@
 # Expected variables:
 #   CLI     - path to the panoptes_cli executable
 #   OUT_DIR - scratch directory for the telemetry artifacts
+#   CHAOS   - optional: when set, run under the "flaky" fault profile
+#             with retries armed and validate the run manifest too
 
 if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
   message(FATAL_ERROR "fleet_smoke.cmake needs -DCLI=... and -DOUT_DIR=...")
@@ -16,12 +18,23 @@ endif()
 file(MAKE_DIRECTORY "${OUT_DIR}")
 set(metrics_file "${OUT_DIR}/metrics.prom")
 set(trace_file "${OUT_DIR}/trace.json")
-file(REMOVE "${metrics_file}" "${trace_file}")
+set(manifest_file "${OUT_DIR}/manifest.json")
+file(REMOVE "${metrics_file}" "${trace_file}" "${manifest_file}")
+
+set(fleet_args fleet --jobs 2 --sites 6 --shards 2
+    --browsers Yandex,DuckDuckGo
+    --metrics-out "${metrics_file}" --trace-out "${trace_file}")
+set(artifacts "${metrics_file}" "${trace_file}")
+set(validate_args --metrics "${metrics_file}" --trace "${trace_file}")
+if(CHAOS)
+  list(APPEND fleet_args --chaos-profile flaky --max-retries 2
+       --manifest-out "${manifest_file}")
+  list(APPEND artifacts "${manifest_file}")
+  list(APPEND validate_args --manifest "${manifest_file}")
+endif()
 
 execute_process(
-  COMMAND "${CLI}" fleet --jobs 2 --sites 6 --shards 2
-          --browsers Yandex,DuckDuckGo
-          --metrics-out "${metrics_file}" --trace-out "${trace_file}"
+  COMMAND "${CLI}" ${fleet_args}
   RESULT_VARIABLE fleet_rc
   OUTPUT_VARIABLE fleet_out
   ERROR_VARIABLE fleet_err)
@@ -30,15 +43,14 @@ if(NOT fleet_rc EQUAL 0)
       "panoptes_cli fleet failed (rc=${fleet_rc})\n${fleet_out}${fleet_err}")
 endif()
 
-foreach(artifact IN ITEMS "${metrics_file}" "${trace_file}")
+foreach(artifact IN LISTS artifacts)
   if(NOT EXISTS "${artifact}")
     message(FATAL_ERROR "fleet did not write ${artifact}\n${fleet_out}")
   endif()
 endforeach()
 
 execute_process(
-  COMMAND "${CLI}" validate-telemetry
-          --metrics "${metrics_file}" --trace "${trace_file}"
+  COMMAND "${CLI}" validate-telemetry ${validate_args}
   RESULT_VARIABLE validate_rc
   OUTPUT_VARIABLE validate_out
   ERROR_VARIABLE validate_err)

@@ -7,9 +7,12 @@
 //   panoptes_cli idle  --browser Opera --minutes 10
 //   panoptes_cli fleet --jobs 4 [--sites 100] [--shards 4]
 //                      [--browsers Yandex,Opera] [--incognito] [--idle]
+//                      [--chaos-profile flaky|dns-storm|...|file.json]
+//                      [--max-retries N] [--manifest-out manifest.json]
 //                      [--json report.json] [--csv report.csv]
 //                      [--metrics-out metrics.prom] [--trace-out trace.json]
 //   panoptes_cli validate-telemetry [--metrics f.prom] [--trace f.json]
+//                      [--manifest manifest.json]
 //   panoptes_cli sitelist [--out 1k.txt]
 #include <algorithm>
 #include <cctype>
@@ -26,9 +29,11 @@
 #include "analysis/manifest.h"
 #include "analysis/timeline.h"
 #include "browser/profiles.h"
+#include "chaos/profile.h"
 #include "core/campaign.h"
 #include "core/fleet.h"
 #include "core/framework.h"
+#include "core/run_manifest.h"
 #include "proxy/har.h"
 #include "util/args.h"
 #include "util/strings.h"
@@ -47,9 +52,12 @@ int Usage() {
                "  idle  --browser <name> [--minutes M]\n"
                "  fleet [--jobs N] [--sites N] [--shards K] [--seed S]\n"
                "        [--browsers A,B,..] [--incognito] [--idle]\n"
+               "        [--chaos-profile NAME|FILE] [--max-retries N]\n"
+               "        [--manifest-out FILE]\n"
                "        [--json FILE] [--csv FILE]\n"
                "        [--metrics-out FILE] [--trace-out FILE]\n"
                "  validate-telemetry [--metrics FILE] [--trace FILE]\n"
+               "        [--manifest FILE]\n"
                "  sitelist [--out FILE]         dump the crawl dataset\n"
                "  run-manifest <FILE> [--out FILE]   execute a JSON campaign\n");
   return 2;
@@ -67,6 +75,17 @@ core::Framework MakeFramework(int sites) {
   options.catalog.popular_count = sites / 2;
   options.catalog.sensitive_count = sites - sites / 2;
   return core::Framework(options);
+}
+
+// Resolves --chaos-profile: a preset name ("flaky", "dns-storm", ...)
+// or a path to a FaultProfile JSON file.
+std::optional<chaos::FaultProfile> LoadChaosProfile(const std::string& arg) {
+  if (auto named = chaos::FaultProfile::Named(arg)) return named;
+  std::ifstream in(arg, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return chaos::FaultProfile::FromJson(text);
 }
 
 int CmdBrowsers() {
@@ -215,8 +234,30 @@ int CmdFleet(const util::Args& args) {
   options.framework.catalog.popular_count = site_count / 2;
   options.framework.catalog.sensitive_count = site_count - site_count / 2;
 
+  // Chaos fabric + self-healing: an enabled profile injects seeded
+  // faults; --max-retries arms both the per-visit retry loop and the
+  // job-level retry/quarantine budget.
+  if (auto profile_arg = args.Option("chaos-profile")) {
+    auto profile = LoadChaosProfile(*profile_arg);
+    if (!profile) {
+      std::fprintf(stderr,
+                   "unknown chaos profile: %s (presets:", profile_arg->c_str());
+      for (const auto& name : chaos::FaultProfile::NamedProfiles()) {
+        std::fprintf(stderr, " %s", name.c_str());
+      }
+      std::fprintf(stderr, ")\n");
+      return 1;
+    }
+    options.framework.chaos = *profile;
+  }
+  int max_retries = static_cast<int>(args.IntOptionOr("max-retries", 0));
+  options.max_job_retries = max_retries;
+  core::CrawlOptions crawl_options;
+  crawl_options.retry.max_retries = max_retries;
+
   int shards = static_cast<int>(args.IntOptionOr("shards", options.jobs));
-  auto jobs = core::FleetExecutor::PlanCampaign(browsers, kinds, shards);
+  auto jobs =
+      core::FleetExecutor::PlanCampaign(browsers, kinds, shards, crawl_options);
   std::fprintf(stderr, "fleet: %zu jobs (%zu browsers x %zu kinds), %d "
                "workers\n",
                jobs.size(), browsers.size(), kinds.size(), options.jobs);
@@ -233,9 +274,21 @@ int CmdFleet(const util::Args& args) {
 
   core::FleetExecutor executor(options);
   core::FleetRunStats stats;
-  auto merged = core::FleetExecutor::MergeShards(executor.Run(jobs, &stats));
-  std::printf("%s", analysis::FleetSummaryTable(merged, &stats).c_str());
+  auto results = executor.Run(jobs, &stats);
+  // The manifest is built from the un-merged results (plan order), so
+  // quarantined shards are accounted before salvage drops them.
+  core::RunManifest manifest = core::BuildRunManifest(options, results);
+  auto merged = core::FleetExecutor::MergeShards(std::move(results));
+  std::printf("%s",
+              analysis::FleetSummaryTable(merged, &stats, &manifest).c_str());
 
+  if (auto manifest_path = args.Option("manifest-out")) {
+    if (!WriteFile(*manifest_path, analysis::RunManifestJson(manifest))) {
+      std::fprintf(stderr, "cannot write %s\n", manifest_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", manifest_path->c_str());
+  }
   if (auto json_path = args.Option("json")) {
     if (!WriteFile(*json_path, analysis::FleetReportJson(merged))) {
       std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
@@ -378,9 +431,64 @@ int CmdValidateTelemetry(const util::Args& args) {
     checked_any = true;
   }
 
+  if (auto manifest_path = args.Option("manifest")) {
+    std::ifstream in(*manifest_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", manifest_path->c_str());
+      return 1;
+    }
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    auto parsed = util::Json::Parse(text);
+    if (!parsed || !parsed->is_object()) {
+      std::fprintf(stderr, "%s: not a JSON object\n", manifest_path->c_str());
+      return 1;
+    }
+    for (const char* key :
+         {"base_seed", "chaos_profile", "max_job_retries", "degraded",
+          "totals", "jobs", "degraded_visits"}) {
+      if (parsed->Find(key) == nullptr) {
+        std::fprintf(stderr, "%s: missing \"%s\"\n", manifest_path->c_str(),
+                     key);
+        return 1;
+      }
+    }
+    const util::Json* jobs = parsed->Find("jobs");
+    if (!jobs->is_array()) {
+      std::fprintf(stderr, "%s: \"jobs\" is not an array\n",
+                   manifest_path->c_str());
+      return 1;
+    }
+    for (const auto& job : jobs->as_array()) {
+      for (const char* key : {"browser", "kind", "shard", "seed", "attempts",
+                              "quarantined", "faults_injected"}) {
+        if (job.Find(key) == nullptr) {
+          std::fprintf(stderr, "%s: job entry missing \"%s\"\n",
+                       manifest_path->c_str(), key);
+          return 1;
+        }
+      }
+    }
+    const util::Json* totals = parsed->Find("totals");
+    if (!totals->is_object() ||
+        totals->Find("faults_injected") == nullptr ||
+        totals->Find("quarantined_jobs") == nullptr) {
+      std::fprintf(stderr, "%s: malformed \"totals\"\n",
+                   manifest_path->c_str());
+      return 1;
+    }
+    std::printf("manifest ok: %zu jobs, %s, in %s\n",
+                jobs->as_array().size(),
+                parsed->Find("degraded")->as_bool() ? "degraded"
+                                                    : "not degraded",
+                manifest_path->c_str());
+    checked_any = true;
+  }
+
   if (!checked_any) {
     std::fprintf(stderr,
-                 "validate-telemetry needs --metrics and/or --trace\n");
+                 "validate-telemetry needs --metrics, --trace and/or "
+                 "--manifest\n");
     return 2;
   }
   return 0;

@@ -233,4 +233,9 @@ std::string FleetReportJson(
   return util::Json(std::move(root)).Dump();
 }
 
+std::string RunManifestJson(const core::RunManifest& manifest) {
+  ReportTimer timer("analysis.run_manifest_json");
+  return manifest.ToJson();
+}
+
 }  // namespace panoptes::analysis

@@ -8,6 +8,7 @@
 
 #include "analysis/stats.h"
 #include "core/fleet.h"
+#include "core/run_manifest.h"
 #include "proxy/flowstore.h"
 
 namespace panoptes::analysis {
@@ -39,5 +40,9 @@ std::string FleetSummaryCsv(const std::vector<core::FleetJobResult>& results);
 // deterministic for a given result set — the differential harness
 // compares serial and parallel runs byte-for-byte on this output.
 std::string FleetReportJson(const std::vector<core::FleetJobResult>& results);
+
+// The run manifest (degradation ledger) as JSON. Same determinism
+// contract as FleetReportJson: simulated time and counts only.
+std::string RunManifestJson(const core::RunManifest& manifest);
 
 }  // namespace panoptes::analysis

@@ -74,7 +74,7 @@ std::string Millis(double seconds) {
 
 std::string FleetSummaryTable(
     const std::vector<core::FleetJobResult>& results,
-    const core::FleetRunStats* stats) {
+    const core::FleetRunStats* stats, const core::RunManifest* manifest) {
   TextTable table(
       {"Browser", "Campaign", "Engine", "Native", "Ratio", "Native bytes"});
   for (const auto& result : results) {
@@ -110,6 +110,30 @@ std::string FleetSummaryTable(
              std::to_string(stats->jobs_per_worker[i]);
     }
     out += "\n";
+  }
+  if (manifest != nullptr && manifest->Degraded()) {
+    out += "degraded run (chaos profile \"" + manifest->chaos_profile +
+           "\"): " + std::to_string(manifest->total_faults) +
+           " faults injected";
+    if (!manifest->faults_by_kind.empty()) {
+      out += " (";
+      bool first = true;
+      for (const auto& [kind, count] : manifest->faults_by_kind) {
+        if (!first) out += ", ";
+        out += kind + "=" + std::to_string(count);
+        first = false;
+      }
+      out += ")";
+    }
+    out += "\n";
+    out += "self-healing: " + std::to_string(manifest->total_visit_retries) +
+           " visit retries, " + std::to_string(manifest->total_job_retries) +
+           " job retries, " + std::to_string(manifest->total_failed_visits) +
+           " failed visits, " + std::to_string(manifest->quarantined_jobs) +
+           " quarantined jobs, " +
+           std::to_string(manifest->flow_writes_dropped) +
+           " dropped flow writes, backoff " +
+           std::to_string(manifest->backoff_millis) + " ms (simulated)\n";
   }
   return out;
 }

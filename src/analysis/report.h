@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/fleet.h"
+#include "core/run_manifest.h"
 
 namespace panoptes::analysis {
 
@@ -38,8 +39,15 @@ std::string Bytes(uint64_t bytes);
 // The footer is operator display only — wall-clock data never goes
 // into exported reports, so the stats-less rendering stays
 // byte-deterministic.
+//
+// With `manifest` (from BuildRunManifest) a degradation footer is
+// appended when the run was degraded: injected faults by kind, visit
+// and job retries, quarantined jobs and dropped flow writes. The
+// footer renders counts and simulated times only — it is as
+// deterministic as the table itself.
 std::string FleetSummaryTable(
     const std::vector<core::FleetJobResult>& results,
-    const core::FleetRunStats* stats = nullptr);
+    const core::FleetRunStats* stats = nullptr,
+    const core::RunManifest* manifest = nullptr);
 
 }  // namespace panoptes::analysis

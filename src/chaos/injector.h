@@ -1,0 +1,85 @@
+// The deterministic fault injector.
+//
+// One Injector lives inside each Framework (one per fleet job) and is
+// consulted from every layer that can break: the DNS zone, the network
+// fabric's delivery path, the device send path, the MITM proxy and the
+// flow databases. Decisions are a pure function of
+// (seed, profile, fault point, host, per-point event counter) — never
+// of wall clock, thread identity or cross-job state — so a chaos run
+// replays bit-identically for the same (base_seed, profile), whatever
+// `--jobs` says. Every fault that fires is appended to an in-order
+// event log that the fleet layer folds into the RunManifest.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "chaos/profile.h"
+#include "util/clock.h"
+
+namespace panoptes::chaos {
+
+// One injected fault, as recorded for the run manifest. Times are
+// simulated (SimClock) — wall clock never enters exported artifacts.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDnsFailure;
+  std::string host;
+  int64_t sim_millis = 0;
+};
+
+class Injector {
+ public:
+  // `clock` stamps fault events with simulated time; may be null (events
+  // then carry time 0).
+  Injector(uint64_t seed, FaultProfile profile,
+           const util::SimClock* clock = nullptr);
+
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  const FaultProfile& profile() const { return profile_; }
+
+  // Decision points, one per layer. Each returns true (and logs the
+  // fault) when the fault fires for this event.
+  bool DnsFault(std::string_view host);        // dead host or transient
+  bool TlsDrop(std::string_view host);
+  bool ServerError(std::string_view host);     // episodic 5xx
+  bool ServerTimeout(std::string_view host);
+  bool UpstreamReset(std::string_view host);
+  bool FlowWriteDrop(std::string_view host);
+
+  // Zero, or the profile's spike when one fires for this exchange.
+  util::Duration LatencySpike(std::string_view host);
+
+  util::Duration server_timeout() const { return profile_.server_timeout; }
+
+  // Every fault injected so far, in injection order.
+  const std::vector<FaultEvent>& events() const { return events_; }
+  uint64_t injected_total() const { return events_.size(); }
+  uint64_t CountFor(FaultKind kind) const;
+
+ private:
+  struct Slot {
+    uint64_t draws = 0;
+    int episode_left = 0;
+  };
+
+  // Draws the next decision for (kind, host): true with probability `p`,
+  // or unconditionally while an episode is running.
+  bool Draw(FaultKind kind, std::string_view host, double p,
+            int episode_length = 1);
+  void Record(FaultKind kind, std::string_view host);
+
+  uint64_t seed_;
+  FaultProfile profile_;
+  const util::SimClock* clock_;
+  std::map<std::string, Slot, std::less<>> slots_;
+  std::vector<FaultEvent> events_;
+  std::array<uint64_t, kFaultKindCount> counts_{};
+};
+
+}  // namespace panoptes::chaos

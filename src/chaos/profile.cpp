@@ -1,0 +1,206 @@
+#include "chaos/profile.h"
+
+#include <cstring>
+
+#include "util/json.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace panoptes::chaos {
+
+namespace {
+
+uint64_t MixDouble(uint64_t state, double value) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  state ^= bits;
+  return util::SplitMix64(state);
+}
+
+uint64_t MixInt(uint64_t state, int64_t value) {
+  state ^= static_cast<uint64_t>(value) * 0x9E3779B97F4A7C15ull;
+  return util::SplitMix64(state);
+}
+
+double NumberOr(const util::Json& json, const char* key, double fallback) {
+  const util::Json* value = json.Find(key);
+  if (value == nullptr || !value->is_number()) return fallback;
+  return value->as_number();
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kDnsFailure: return "dns-failure";
+    case FaultKind::kDnsDeadHost: return "dns-dead-host";
+    case FaultKind::kTlsDrop: return "tls-drop";
+    case FaultKind::kServerError: return "server-error";
+    case FaultKind::kServerTimeout: return "server-timeout";
+    case FaultKind::kUpstreamReset: return "upstream-reset";
+    case FaultKind::kLatencySpike: return "latency-spike";
+    case FaultKind::kFlowWriteDrop: return "flow-write-drop";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> ParseFaultKind(std::string_view name) {
+  for (size_t i = 0; i < kFaultKindCount; ++i) {
+    FaultKind kind = static_cast<FaultKind>(i);
+    if (FaultKindName(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+bool FaultProfile::Enabled() const {
+  return dns_failure_p > 0 || !dead_hosts.empty() || tls_drop_p > 0 ||
+         server_error_p > 0 || server_timeout_p > 0 ||
+         upstream_reset_p > 0 || latency_spike_p > 0 ||
+         flow_write_drop_p > 0;
+}
+
+uint64_t FaultProfile::Fingerprint() const {
+  uint64_t state = util::HashString(name);
+  state = MixDouble(state, dns_failure_p);
+  for (const auto& host : dead_hosts) {
+    state ^= util::HashString(host);
+    util::SplitMix64(state);
+  }
+  state = MixDouble(state, tls_drop_p);
+  state = MixDouble(state, server_error_p);
+  state = MixInt(state, server_error_episode);
+  state = MixDouble(state, server_timeout_p);
+  state = MixInt(state, server_timeout.millis);
+  state = MixDouble(state, upstream_reset_p);
+  state = MixDouble(state, latency_spike_p);
+  state = MixInt(state, latency_spike.millis);
+  state = MixDouble(state, flow_write_drop_p);
+  return state;
+}
+
+std::string FaultProfile::ToJson() const {
+  util::JsonObject root;
+  root["name"] = name;
+  root["dns_failure_p"] = dns_failure_p;
+  util::JsonArray dead;
+  for (const auto& host : dead_hosts) dead.emplace_back(host);
+  root["dead_hosts"] = std::move(dead);
+  root["tls_drop_p"] = tls_drop_p;
+  root["server_error_p"] = server_error_p;
+  root["server_error_episode"] =
+      static_cast<int64_t>(server_error_episode);
+  root["server_timeout_p"] = server_timeout_p;
+  root["server_timeout_millis"] = server_timeout.millis;
+  root["upstream_reset_p"] = upstream_reset_p;
+  root["latency_spike_p"] = latency_spike_p;
+  root["latency_spike_millis"] = latency_spike.millis;
+  root["flow_write_drop_p"] = flow_write_drop_p;
+  return util::Json(std::move(root)).Dump();
+}
+
+std::optional<FaultProfile> FaultProfile::FromJson(std::string_view text) {
+  auto parsed = util::Json::Parse(text);
+  if (!parsed || !parsed->is_object()) return std::nullopt;
+
+  FaultProfile profile;
+  if (const auto* name = parsed->Find("name");
+      name != nullptr && name->is_string()) {
+    profile.name = name->as_string();
+  } else {
+    profile.name = "custom";
+  }
+  profile.dns_failure_p = NumberOr(*parsed, "dns_failure_p", 0);
+  if (const auto* dead = parsed->Find("dead_hosts");
+      dead != nullptr && dead->is_array()) {
+    for (const auto& host : dead->as_array()) {
+      if (!host.is_string()) return std::nullopt;
+      profile.dead_hosts.push_back(util::ToLower(host.as_string()));
+    }
+  }
+  profile.tls_drop_p = NumberOr(*parsed, "tls_drop_p", 0);
+  profile.server_error_p = NumberOr(*parsed, "server_error_p", 0);
+  profile.server_error_episode = static_cast<int>(
+      NumberOr(*parsed, "server_error_episode", 1));
+  if (profile.server_error_episode < 1) profile.server_error_episode = 1;
+  profile.server_timeout_p = NumberOr(*parsed, "server_timeout_p", 0);
+  profile.server_timeout = util::Duration::Millis(static_cast<int64_t>(
+      NumberOr(*parsed, "server_timeout_millis", 10000)));
+  profile.upstream_reset_p = NumberOr(*parsed, "upstream_reset_p", 0);
+  profile.latency_spike_p = NumberOr(*parsed, "latency_spike_p", 0);
+  profile.latency_spike = util::Duration::Millis(static_cast<int64_t>(
+      NumberOr(*parsed, "latency_spike_millis", 1500)));
+  profile.flow_write_drop_p = NumberOr(*parsed, "flow_write_drop_p", 0);
+
+  for (double p :
+       {profile.dns_failure_p, profile.tls_drop_p, profile.server_error_p,
+        profile.server_timeout_p, profile.upstream_reset_p,
+        profile.latency_spike_p, profile.flow_write_drop_p}) {
+    if (p < 0 || p > 1) return std::nullopt;
+  }
+  return profile;
+}
+
+std::optional<FaultProfile> FaultProfile::Named(std::string_view name) {
+  FaultProfile profile;
+  if (name == "none") {
+    profile.name = "none";
+    return profile;
+  }
+  if (name == "flaky") {
+    // The everyday-broken internet: a few percent of everything.
+    profile.name = "flaky";
+    profile.dns_failure_p = 0.03;
+    profile.tls_drop_p = 0.01;
+    profile.server_error_p = 0.03;
+    profile.server_error_episode = 2;
+    profile.server_timeout_p = 0.005;
+    profile.upstream_reset_p = 0.01;
+    profile.latency_spike_p = 0.02;
+    profile.flow_write_drop_p = 0.002;
+    return profile;
+  }
+  if (name == "dns-storm") {
+    profile.name = "dns-storm";
+    profile.dns_failure_p = 0.25;
+    return profile;
+  }
+  if (name == "vendor-5xx") {
+    profile.name = "vendor-5xx";
+    profile.server_error_p = 0.2;
+    profile.server_error_episode = 5;
+    return profile;
+  }
+  if (name == "blackout") {
+    // Every name dead: the fully-dead-host quarantine scenario.
+    profile.name = "blackout";
+    profile.dead_hosts = {"*"};
+    return profile;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> FaultProfile::NamedProfiles() {
+  return {"none", "flaky", "dns-storm", "vendor-5xx", "blackout"};
+}
+
+bool HostMatchesAny(std::string_view host,
+                    const std::vector<std::string>& patterns) {
+  for (const auto& pattern : patterns) {
+    if (pattern == "*") return true;
+    if (util::StartsWith(pattern, "*.")) {
+      std::string_view suffix = std::string_view(pattern).substr(2);
+      if (host == suffix) return true;
+      if (host.size() > suffix.size() &&
+          util::EndsWith(host, suffix) &&
+          host[host.size() - suffix.size() - 1] == '.') {
+        return true;
+      }
+      continue;
+    }
+    if (host == pattern) return true;
+  }
+  return false;
+}
+
+}  // namespace panoptes::chaos

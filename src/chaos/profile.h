@@ -1,0 +1,88 @@
+// Deterministic chaos: fault kinds and fault profiles.
+//
+// Real crawls are dominated by partial failure — DNS outages, vendor
+// 5xx storms, pinned connections, mid-crawl resets. A FaultProfile
+// describes *how broken* the simulated internet should be; the
+// Injector (injector.h) turns a (seed, profile) pair into a replayable
+// fault timeline. Profiles are pure data: the same profile and seed
+// always produce the same faults, so chaos runs stay byte-identical
+// under the fleet determinism contract.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace panoptes::chaos {
+
+// Everything the injector knows how to break, named for logs, metrics
+// and the run manifest.
+enum class FaultKind {
+  kDnsFailure,      // transient SERVFAIL on a lookup
+  kDnsDeadHost,     // permanent outage (dead_hosts match)
+  kTlsDrop,         // TLS handshake dropped mid-flight
+  kServerError,     // origin answers 5xx (episodic)
+  kServerTimeout,   // origin never answers inside the budget
+  kUpstreamReset,   // proxy-to-origin connection reset
+  kLatencySpike,    // exchange RTT multiplied by a spike
+  kFlowWriteDrop,   // flow database write fault (record lost)
+};
+
+inline constexpr size_t kFaultKindCount = 8;
+
+// Response header stamped onto every chaos-synthesized HTTP response
+// (injected 5xx, upstream resets). The proxy uses it to tag the flow so
+// downstream analysis can always tell an injected failure from genuine
+// browser traffic — no fabricated findings from broken runs.
+inline constexpr std::string_view kInjectedFaultHeader = "x-chaos-injected";
+
+std::string_view FaultKindName(FaultKind kind);
+std::optional<FaultKind> ParseFaultKind(std::string_view name);
+
+// Per-kind fault rates and shapes. All probabilities are per-event
+// (per lookup, per handshake, per delivery, per store write); zero
+// disables the kind. `dead_hosts` supports exact names, "*.suffix"
+// patterns and the catch-all "*".
+struct FaultProfile {
+  std::string name = "none";
+
+  double dns_failure_p = 0;
+  std::vector<std::string> dead_hosts;
+  double tls_drop_p = 0;
+  double server_error_p = 0;
+  // Consecutive deliveries to the same host that fail once a server
+  // error fires (a 5xx "episode" rather than isolated blips).
+  int server_error_episode = 1;
+  double server_timeout_p = 0;
+  util::Duration server_timeout = util::Duration::Seconds(10);
+  double upstream_reset_p = 0;
+  double latency_spike_p = 0;
+  util::Duration latency_spike = util::Duration::Millis(1500);
+  double flow_write_drop_p = 0;
+
+  // True when any fault can ever fire.
+  bool Enabled() const;
+
+  // Stable 64-bit digest of every field, mixed into the injector seed
+  // so distinct profiles produce distinct fault timelines even at the
+  // same base seed.
+  uint64_t Fingerprint() const;
+
+  std::string ToJson() const;
+  static std::optional<FaultProfile> FromJson(std::string_view text);
+
+  // Built-in presets: "none", "flaky", "dns-storm", "vendor-5xx",
+  // "blackout". Unknown names return nullopt.
+  static std::optional<FaultProfile> Named(std::string_view name);
+  static std::vector<std::string> NamedProfiles();
+};
+
+// True when `host` matches any dead-host pattern in `patterns`.
+bool HostMatchesAny(std::string_view host,
+                    const std::vector<std::string>& patterns);
+
+}  // namespace panoptes::chaos

@@ -1,9 +1,12 @@
 #include "core/campaign.h"
 
+#include <cmath>
+
 #include "browser/cdp.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "util/logging.h"
+#include "util/rng.h"
 
 namespace panoptes::core {
 
@@ -36,6 +39,31 @@ struct CampaignMetrics {
   }
 };
 
+// Bounded exponential backoff with deterministic jitter. `failures` is
+// the number of failed attempts so far (>= 1). Advances only the
+// simulated clock, never the wall clock.
+util::Duration BackoffDelay(const VisitRetryPolicy& policy, int failures,
+                            util::Rng& rng) {
+  double delay = static_cast<double>(policy.base_backoff.millis) *
+                 std::pow(policy.multiplier, failures - 1);
+  delay = std::min(delay, static_cast<double>(policy.max_backoff.millis));
+  if (policy.jitter > 0) {
+    delay *= 1.0 + policy.jitter * (2.0 * rng.NextDouble() - 1.0);
+  }
+  return util::Duration::Millis(static_cast<int64_t>(delay));
+}
+
+// The injected fault kind observed since `events_before`, for the
+// manifest's per-visit cause. Empty when the failure was not caused by
+// an injected fault.
+std::string FaultCauseSince(const chaos::Injector* injector,
+                            size_t events_before) {
+  if (injector == nullptr) return "";
+  const auto& events = injector->events();
+  if (events.size() <= events_before) return "";
+  return std::string(chaos::FaultKindName(events[events_before].kind));
+}
+
 }  // namespace
 
 double CrawlResult::NativeRatio() const {
@@ -66,6 +94,15 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
   framework.taint_addon().SetStores(result.engine_flows.get(),
                                     result.native_flows.get());
   framework.netstack().ResetStats();
+  chaos::Injector* injector = framework.chaos();
+  if (injector != nullptr) {
+    result.engine_flows->SetChaos(injector);
+    result.native_flows->SetChaos(injector);
+  }
+  uint64_t fault_flows_before = framework.taint_addon().fault_injected_flows();
+  // Deterministic jitter stream for retry backoff: derived from the
+  // framework seed, consumed in visit order.
+  util::Rng backoff_rng(framework.options().seed ^ 0xBAC0FFull);
 
   // Navigation is driven through CDP (Page.navigate) or, for browsers
   // without a CDP endpoint, a Frida WebView hook — never the address
@@ -79,12 +116,57 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
     obs::ScopedSpan visit_span("campaign.visit", "campaign");
     visit_span.Arg("host", site->hostname);
     metrics.visits_total.Inc();
-    auto outcome = driver->Navigate(site->landing_url, options.incognito);
-    framework.clock().Advance(options.settle);
 
     VisitRecord record;
     record.hostname = site->hostname;
     record.category = site->category;
+
+    // Self-healing visit loop: a failed attempt rolls the stores back
+    // to their pre-attempt marks (retries never double-count flows),
+    // backs off on the simulated clock, and tries again with the same
+    // driver. With the default policy (max_retries = 0) this runs the
+    // single attempt of the legacy path.
+    const size_t engine_mark = result.engine_flows->size();
+    const size_t native_mark = result.native_flows->size();
+    browser::NavigateOutcome outcome;
+    int failures = 0;
+    for (;;) {
+      const size_t events_before =
+          injector != nullptr ? injector->events().size() : 0;
+      outcome = driver->Navigate(site->landing_url, options.incognito);
+      framework.clock().Advance(options.settle);
+      record.attempts = failures + 1;
+      if (outcome.page.ok) break;
+      ++failures;
+      record.fault_cause = FaultCauseSince(injector, events_before);
+      if (record.fault_cause.empty()) record.fault_cause = "page-load-failed";
+      if (failures > options.retry.max_retries) {
+        if (options.retry.max_retries > 0) {
+          // Final failure under an active retry policy: a degraded
+          // visit contributes nothing, partial flows included.
+          result.engine_flows->TruncateTo(engine_mark);
+          result.native_flows->TruncateTo(native_mark);
+        }
+        break;
+      }
+      result.engine_flows->TruncateTo(engine_mark);
+      result.native_flows->TruncateTo(native_mark);
+      static obs::Counter& retries = obs::MetricsRegistry::Default().GetCounter(
+          "panoptes_fleet_visit_retries_total",
+          "Visit attempts retried after a failure");
+      retries.Inc();
+      util::Duration delay =
+          BackoffDelay(options.retry, failures, backoff_rng);
+      framework.clock().Advance(delay);
+      record.backoff_millis += delay.millis;
+      static obs::Histogram& backoff_hist =
+          obs::MetricsRegistry::Default().GetHistogram(
+              "panoptes_fleet_backoff_delay_seconds",
+              "Simulated backoff delay before a retry",
+              obs::Histogram::LatencyBounds());
+      backoff_hist.Observe(static_cast<double>(delay.millis) / 1000.0);
+    }
+
     record.ok = outcome.page.ok;
     record.dom_content_loaded = outcome.page.dom_content_loaded;
     record.incognito_honored = outcome.incognito_honored;
@@ -94,6 +176,10 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
   }
 
   result.stack_stats = framework.netstack().stats();
+  result.fault_injected_flows =
+      framework.taint_addon().fault_injected_flows() - fault_flows_before;
+  result.engine_flows->SetChaos(nullptr);
+  result.native_flows->SetChaos(nullptr);
   framework.taint_addon().SetStores(nullptr, nullptr);
   framework.TeardownBrowser();
 
@@ -135,6 +221,10 @@ IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
   auto& runtime = framework.PrepareBrowser(spec, options.factory_reset);
   // Idle runs only need the native database.
   framework.taint_addon().SetStores(nullptr, result.native_flows.get());
+  if (framework.chaos() != nullptr) {
+    result.native_flows->SetChaos(framework.chaos());
+  }
+  uint64_t fault_flows_before = framework.taint_addon().fault_injected_flows();
 
   util::SimTime start = framework.clock().Now();
   runtime.Startup();  // launch traffic is part of the idle timeline
@@ -158,6 +248,9 @@ IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
     result.cumulative_by_bucket.push_back(result.native_flows->size());
   }
 
+  result.fault_injected_flows =
+      framework.taint_addon().fault_injected_flows() - fault_flows_before;
+  result.native_flows->SetChaos(nullptr);
   framework.taint_addon().SetStores(nullptr, nullptr);
   framework.TeardownBrowser();
   metrics.native_flows_total.Inc(result.native_flows->size());

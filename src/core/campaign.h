@@ -18,6 +18,19 @@
 
 namespace panoptes::core {
 
+// Self-healing knobs for a crawl. Retries are deterministic: the
+// backoff delay advances the *simulated* clock only, and the jitter
+// stream is derived from the framework seed, so the same (seed,
+// profile) replays the same retry timeline. The default (max_retries
+// = 0) reproduces the legacy single-attempt behavior bit for bit.
+struct VisitRetryPolicy {
+  int max_retries = 0;  // extra attempts after the first failure
+  util::Duration base_backoff = util::Duration::Millis(500);
+  double multiplier = 2.0;
+  util::Duration max_backoff = util::Duration::Seconds(30);
+  double jitter = 0.2;  // +/- fraction applied to each delay
+};
+
 struct CrawlOptions {
   bool incognito = false;
   bool factory_reset = true;
@@ -26,6 +39,7 @@ struct CrawlOptions {
   // bound memory over 1000-site crawls; analyses that need engine
   // headers (Referer leakage) ask for a full store.
   bool compact_engine_store = true;
+  VisitRetryPolicy retry;
 };
 
 struct VisitRecord {
@@ -36,6 +50,13 @@ struct VisitRecord {
   bool incognito_honored = true;
   int engine_requests = 0;
   int blocked_by_adblock = 0;
+  // Degradation accounting (run manifest): how many attempts this
+  // visit took, the injected fault kind observed on the last failed
+  // attempt (empty when the visit never failed), and the total
+  // simulated backoff spent between attempts.
+  int attempts = 1;
+  std::string fault_cause;
+  int64_t backoff_millis = 0;
 };
 
 struct CrawlResult {
@@ -47,6 +68,8 @@ struct CrawlResult {
   std::unique_ptr<proxy::FlowStore> native_flows;  // full
   std::vector<VisitRecord> visits;
   device::NetworkStackStats stack_stats;
+  // Chaos-synthesized flows observed (and excluded from the stores).
+  uint64_t fault_injected_flows = 0;
 
   uint64_t EngineRequestCount() const { return engine_flows->size(); }
   uint64_t NativeRequestCount() const { return native_flows->size(); }
@@ -70,6 +93,8 @@ struct IdleOptions {
 struct IdleResult {
   std::string browser;
   std::unique_ptr<proxy::FlowStore> native_flows;
+  // Chaos-synthesized flows observed (and excluded from the store).
+  uint64_t fault_injected_flows = 0;
   // Cumulative native request count at the end of each bucket.
   std::vector<uint64_t> cumulative_by_bucket;
   util::Duration bucket;

@@ -31,6 +31,7 @@ device::NetworkStackStats SumStats(const device::NetworkStackStats& a,
   out.dns_failures += b.dns_failures;
   out.tls_failures += b.tls_failures;
   out.pin_failures += b.pin_failures;
+  out.timeouts += b.timeouts;
   out.quic_blocked += b.quic_blocked;
   out.quic_direct += b.quic_direct;
   out.diverted += b.diverted;
@@ -60,6 +61,19 @@ struct FleetMetrics {
     return *metrics;
   }
 };
+
+// A job is dead when it attempted visits and every one of them failed
+// (a fully-dead host, a catastrophic fault episode). Idle runs and
+// empty shards never fail — there is nothing to retry.
+bool JobFailed(const FleetJobResult& result) {
+  if (!result.crawl.has_value()) return false;
+  const auto& visits = result.crawl->visits;
+  if (visits.empty()) return false;
+  for (const auto& visit : visits) {
+    if (visit.ok) return false;
+  }
+  return true;
+}
 
 }  // namespace
 
@@ -96,6 +110,16 @@ uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
   return util::SplitMix64(state);
 }
 
+uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
+                       CampaignKind kind, int shard, int attempt) {
+  uint64_t state = DeriveJobSeed(base_seed, browser, kind, shard);
+  // attempt 0 must stay bit-identical to the 4-argument form (pinned
+  // by the determinism golden tests); retries diffuse the counter in.
+  if (attempt == 0) return state;
+  state ^= (static_cast<uint64_t>(attempt)) * 0x9E3779B97F4A7C15ull;
+  return util::SplitMix64(state);
+}
+
 std::vector<FleetJob> FleetExecutor::PlanCampaign(
     const std::vector<browser::BrowserSpec>& browsers,
     const std::vector<CampaignKind>& kinds, int shard_count,
@@ -120,18 +144,20 @@ std::vector<FleetJob> FleetExecutor::PlanCampaign(
   return jobs;
 }
 
-FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job) const {
+FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job,
+                                         int attempt) const {
   obs::ScopedSpan span("fleet.job", "fleet");
   span.Arg("browser", job.spec.name);
   span.Arg("kind", CampaignKindName(job.kind));
   span.Arg("shard", static_cast<int64_t>(job.shard));
+  if (attempt > 0) span.Arg("attempt", static_cast<int64_t>(attempt));
 
   FleetJobResult out;
   out.job = job;
 
   FrameworkOptions fw = options_.framework;
   fw.seed = DeriveJobSeed(options_.base_seed, job.spec.name, job.kind,
-                          job.shard);
+                          job.shard, attempt);
   // All jobs crawl the same generated web; only the runtime streams
   // (browser jitter, tokens, idle cadence) differ per job.
   if (!fw.catalog_seed.has_value()) fw.catalog_seed = options_.base_seed;
@@ -140,19 +166,52 @@ FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job) const {
 
   if (job.kind == CampaignKind::kIdle) {
     out.idle = RunIdle(framework, job.spec, job.idle);
-    return out;
+    out.flow_writes_dropped = out.idle->native_flows->dropped_writes();
+  } else {
+    CrawlOptions crawl = job.crawl;
+    crawl.incognito = job.kind == CampaignKind::kIncognitoCrawl;
+    const auto& sites = framework.catalog().sites();
+    size_t begin = 0, end = 0;
+    ShardRange(sites.size(), job.shard, job.shard_count, &begin, &end);
+    std::vector<const web::Site*> shard_sites;
+    shard_sites.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) shard_sites.push_back(&sites[i]);
+    out.crawl = RunCrawl(framework, job.spec, shard_sites, crawl);
+    out.flow_writes_dropped = out.crawl->engine_flows->dropped_writes() +
+                              out.crawl->native_flows->dropped_writes();
   }
 
-  CrawlOptions crawl = job.crawl;
-  crawl.incognito = job.kind == CampaignKind::kIncognitoCrawl;
-  const auto& sites = framework.catalog().sites();
-  size_t begin = 0, end = 0;
-  ShardRange(sites.size(), job.shard, job.shard_count, &begin, &end);
-  std::vector<const web::Site*> shard_sites;
-  shard_sites.reserve(end - begin);
-  for (size_t i = begin; i < end; ++i) shard_sites.push_back(&sites[i]);
-  out.crawl = RunCrawl(framework, job.spec, shard_sites, crawl);
+  // Copy the fault timeline out while the framework (which owns the
+  // injector) is still alive.
+  if (framework.chaos() != nullptr) {
+    out.faults = framework.chaos()->events();
+  }
   return out;
+}
+
+FleetJobResult FleetExecutor::ExecuteJobWithRetry(const FleetJob& job) const {
+  for (int attempt = 0;; ++attempt) {
+    FleetJobResult result = ExecuteJob(job, attempt);
+    result.attempts = attempt + 1;
+    if (!JobFailed(result)) return result;
+    if (attempt >= options_.max_job_retries) {
+      result.quarantined = true;
+      static obs::Counter& quarantined =
+          obs::MetricsRegistry::Default().GetCounter(
+              "panoptes_fleet_quarantined_jobs_total",
+              "Fleet jobs quarantined after exhausting the retry budget");
+      quarantined.Inc();
+      PANOPTES_LOG(kWarn, "fleet")
+          << job.spec.name << "/" << CampaignKindName(job.kind) << " shard "
+          << job.shard << " quarantined after " << result.attempts
+          << " attempts";
+      return result;
+    }
+    static obs::Counter& retries = obs::MetricsRegistry::Default().GetCounter(
+        "panoptes_fleet_job_retries_total",
+        "Fleet jobs re-executed with a fresh attempt seed");
+    retries.Inc();
+  }
 }
 
 std::vector<FleetJobResult> FleetExecutor::RunSerial(
@@ -168,7 +227,7 @@ std::vector<FleetJobResult> FleetExecutor::RunSerial(
   job_seconds.reserve(jobs.size());
   for (const auto& job : jobs) {
     int64_t start = util::SteadyNowNanos();
-    results.push_back(ExecuteJob(job));
+    results.push_back(ExecuteJobWithRetry(job));
     double seconds =
         static_cast<double>(util::SteadyNowNanos() - start) * 1e-9;
     job_seconds.push_back(seconds);
@@ -220,7 +279,7 @@ std::vector<FleetJobResult> FleetExecutor::Run(
           static_cast<int64_t>(jobs.size() - index - 1));
       metrics.workers_busy.Add(1);
       int64_t start = util::SteadyNowNanos();
-      results[index] = ExecuteJob(jobs[index]);
+      results[index] = ExecuteJobWithRetry(jobs[index]);
       double seconds =
           static_cast<double>(util::SteadyNowNanos() - start) * 1e-9;
       job_seconds[index] = seconds;
@@ -254,6 +313,10 @@ std::vector<FleetJobResult> FleetExecutor::MergeShards(
     std::vector<FleetJobResult> results) {
   std::vector<FleetJobResult> merged;
   for (auto& result : results) {
+    // Salvage: quarantined shards never reach the findings — the
+    // merged result covers the surviving shards only (the run manifest
+    // accounts for the gap).
+    if (result.quarantined) continue;
     bool continues_group =
         !merged.empty() && merged.back().crawl.has_value() &&
         result.crawl.has_value() &&
@@ -274,6 +337,12 @@ std::vector<FleetJobResult> FleetExecutor::MergeShards(
                        std::make_move_iterator(from.visits.begin()),
                        std::make_move_iterator(from.visits.end()));
     into.stack_stats = SumStats(into.stack_stats, from.stack_stats);
+    into.fault_injected_flows += from.fault_injected_flows;
+    merged.back().flow_writes_dropped += result.flow_writes_dropped;
+    merged.back().faults.insert(
+        merged.back().faults.end(),
+        std::make_move_iterator(result.faults.begin()),
+        std::make_move_iterator(result.faults.end()));
   }
   return merged;
 }

@@ -36,6 +36,12 @@ std::string_view CampaignKindName(CampaignKind kind);
 uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
                        CampaignKind kind, int shard);
 
+// Retry-aware form: `attempt` 0 is the first execution and returns
+// exactly the value above; each retry gets a fresh decorrelated seed,
+// still a pure function of job identity + attempt counter.
+uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
+                       CampaignKind kind, int shard, int attempt);
+
 // One unit of fleet work: a browser × campaign kind × site shard.
 // Crawl shards split the catalog into `shard_count` contiguous ranges
 // (shard s visits sites [s*n/count, (s+1)*n/count)); idle runs never
@@ -54,6 +60,14 @@ struct FleetJobResult {
   uint64_t seed = 0;  // the derived per-job seed, for provenance
   std::optional<CrawlResult> crawl;
   std::optional<IdleResult> idle;
+  // Self-healing accounting (run manifest): executions this job took
+  // (1 = no retry), whether it was quarantined after exhausting the
+  // retry budget, the fault timeline its injector produced on the
+  // final attempt, and flow-database writes lost to injected faults.
+  int attempts = 1;
+  bool quarantined = false;
+  std::vector<chaos::FaultEvent> faults;
+  uint64_t flow_writes_dropped = 0;
 };
 
 struct FleetOptions {
@@ -63,6 +77,11 @@ struct FleetOptions {
   uint64_t base_seed = 20231024;
   // Template for every job's framework; `seed` is overwritten per job.
   FrameworkOptions framework;
+  // Job-level self-healing: a job whose every visit failed is re-run
+  // up to this many extra times, each attempt with a fresh derived
+  // seed; a job still dead after the budget is quarantined (reported
+  // in the run manifest, excluded from merged findings).
+  int max_job_retries = 0;
 };
 
 // Wall-clock accounting for one Run/RunSerial call. Telemetry only —
@@ -110,13 +129,18 @@ class FleetExecutor {
   // Folds shard results of the same (browser, kind) back into one
   // per-browser result: flows appended in shard order (contiguous
   // shards ⇒ catalog order), visits concatenated, stack stats summed.
-  // Input must be in PlanCampaign order; merged entries report
-  // shard = 0, shard_count = 1.
+  // Quarantined shards are skipped (salvage: the merged result covers
+  // the surviving shards only — degraded, never fabricated). Input must
+  // be in PlanCampaign order; merged entries report shard = 0,
+  // shard_count = 1.
   static std::vector<FleetJobResult> MergeShards(
       std::vector<FleetJobResult> results);
 
  private:
-  FleetJobResult ExecuteJob(const FleetJob& job) const;
+  FleetJobResult ExecuteJob(const FleetJob& job, int attempt) const;
+  // Runs the job, re-running with fresh attempt seeds while every
+  // visit fails, up to options.max_job_retries; quarantines after.
+  FleetJobResult ExecuteJobWithRetry(const FleetJob& job) const;
 
   FleetOptions options_;
 };

@@ -37,6 +37,29 @@ Framework::Framework(FrameworkOptions options)
         net::GeoLatencyModel::FromVantageGreece(geo_plan_.ranges())));
   }
 
+  // Chaos fabric: one injector per framework, seeded from
+  // (seed, profile) so the same job replays the same fault timeline
+  // regardless of scheduling. A disabled profile leaves every hook
+  // detached — the default path is bit-identical to a build without
+  // chaos.
+  if (options_.chaos.Enabled()) {
+    chaos_ = std::make_unique<chaos::Injector>(options_.seed, options_.chaos,
+                                               &clock_);
+    network_.SetChaos(chaos_.get());
+    netstack_.SetChaos(chaos_.get());
+    proxy_->SetChaos(chaos_.get());
+    if (options_.use_geo_latency) {
+      netstack_.SetLatencyModel(std::make_unique<net::ChaosLatencyModel>(
+          std::make_unique<net::GeoLatencyModel>(
+              net::GeoLatencyModel::FromVantageGreece(geo_plan_.ranges())),
+          chaos_.get()));
+    } else {
+      netstack_.SetLatencyModel(std::make_unique<net::ChaosLatencyModel>(
+          std::make_unique<net::FixedLatency>(options_.latency),
+          chaos_.get()));
+    }
+  }
+
   // Device trust: the public web PKI always; the Panoptes CA when
   // interception is wanted.
   device_.trust_store().Trust(network_.web_ca().name());

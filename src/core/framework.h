@@ -14,6 +14,8 @@
 
 #include "browser/runtime.h"
 #include "browser/spec.h"
+#include "chaos/injector.h"
+#include "chaos/profile.h"
 #include "core/taint_addon.h"
 #include "device/device.h"
 #include "device/netstack.h"
@@ -45,6 +47,11 @@ struct FrameworkOptions {
   // Install the Panoptes CA into the device trust store (switching it
   // off demonstrates that interception then fails).
   bool install_mitm_ca = true;
+  // Fault profile for the chaos injector. The default ("none") disables
+  // injection entirely; any enabled profile builds a per-framework
+  // injector seeded from (seed, profile), so identical seeds replay
+  // identical fault timelines.
+  chaos::FaultProfile chaos;
 };
 
 class Framework {
@@ -64,6 +71,8 @@ class Framework {
   device::NetworkStack& netstack() { return netstack_; }
   proxy::MitmProxy& proxy() { return *proxy_; }
   TaintFilterAddon& taint_addon() { return *taint_addon_; }
+  // Null when the chaos profile is disabled.
+  chaos::Injector* chaos() { return chaos_.get(); }
 
   // Prepares a browser for a campaign: factory-resets the app (Appium
   // reset in the paper), builds a fresh runtime, installs the per-UID
@@ -80,6 +89,7 @@ class Framework {
  private:
   FrameworkOptions options_;
   util::SimClock clock_;
+  std::unique_ptr<chaos::Injector> chaos_;
   net::Network network_;
   vendors::GeoPlan geo_plan_;
   vendors::VendorWorld vendor_world_;

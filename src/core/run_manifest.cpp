@@ -1,0 +1,143 @@
+#include "core/run_manifest.h"
+
+#include <cstdio>
+
+#include "chaos/profile.h"
+#include "util/json.h"
+
+namespace panoptes::core {
+
+namespace {
+
+// 64-bit seeds exceed double precision; export as hex text (same
+// convention as the fleet report).
+std::string SeedHex(uint64_t seed) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(seed));
+  return std::string(buf);
+}
+
+}  // namespace
+
+RunManifest BuildRunManifest(const FleetOptions& options,
+                             const std::vector<FleetJobResult>& results) {
+  RunManifest manifest;
+  manifest.base_seed = options.base_seed;
+  manifest.chaos_profile = options.framework.chaos.name;
+  manifest.max_job_retries = options.max_job_retries;
+
+  for (const auto& result : results) {
+    ManifestJob job;
+    job.browser = result.job.spec.name;
+    job.kind = std::string(CampaignKindName(result.job.kind));
+    job.shard = result.job.shard;
+    job.seed = result.seed;
+    job.attempts = result.attempts;
+    job.quarantined = result.quarantined;
+    job.faults_injected = result.faults.size();
+    for (const auto& event : result.faults) {
+      ++job.faults_by_kind[std::string(chaos::FaultKindName(event.kind))];
+    }
+    job.flow_writes_dropped = result.flow_writes_dropped;
+    if (result.crawl.has_value()) {
+      job.fault_injected_flows = result.crawl->fault_injected_flows;
+      for (const auto& visit : result.crawl->visits) {
+        if (visit.attempts <= 1 && visit.ok) continue;
+        job.visit_retries += static_cast<uint64_t>(visit.attempts - 1);
+        if (!visit.ok) ++job.failed_visits;
+        job.backoff_millis += visit.backoff_millis;
+
+        DegradedVisit degraded;
+        degraded.browser = job.browser;
+        degraded.kind = job.kind;
+        degraded.shard = job.shard;
+        degraded.hostname = visit.hostname;
+        degraded.recovered = visit.ok;
+        degraded.attempts = visit.attempts;
+        degraded.fault_cause = visit.fault_cause;
+        degraded.backoff_millis = visit.backoff_millis;
+        manifest.degraded_visits.push_back(std::move(degraded));
+      }
+    } else if (result.idle.has_value()) {
+      job.fault_injected_flows = result.idle->fault_injected_flows;
+    }
+
+    manifest.total_faults += job.faults_injected;
+    for (const auto& [kind, count] : job.faults_by_kind) {
+      manifest.faults_by_kind[kind] += count;
+    }
+    manifest.total_visit_retries += job.visit_retries;
+    manifest.total_job_retries += static_cast<uint64_t>(job.attempts - 1);
+    manifest.total_failed_visits += job.failed_visits;
+    if (job.quarantined) ++manifest.quarantined_jobs;
+    manifest.fault_injected_flows += job.fault_injected_flows;
+    manifest.flow_writes_dropped += job.flow_writes_dropped;
+    manifest.backoff_millis += job.backoff_millis;
+    manifest.jobs.push_back(std::move(job));
+  }
+  return manifest;
+}
+
+std::string RunManifest::ToJson() const {
+  util::JsonObject root;
+  root["base_seed"] = base_seed;
+  root["chaos_profile"] = chaos_profile;
+  root["max_job_retries"] = static_cast<int64_t>(max_job_retries);
+  root["degraded"] = Degraded();
+
+  util::JsonObject totals;
+  totals["faults_injected"] = total_faults;
+  util::JsonObject by_kind;
+  for (const auto& [kind, count] : faults_by_kind) by_kind[kind] = count;
+  totals["faults_by_kind"] = std::move(by_kind);
+  totals["visit_retries"] = total_visit_retries;
+  totals["job_retries"] = total_job_retries;
+  totals["failed_visits"] = total_failed_visits;
+  totals["quarantined_jobs"] = quarantined_jobs;
+  totals["fault_injected_flows"] = fault_injected_flows;
+  totals["flow_writes_dropped"] = flow_writes_dropped;
+  totals["backoff_millis"] = backoff_millis;
+  root["totals"] = std::move(totals);
+
+  util::JsonArray job_array;
+  for (const auto& job : jobs) {
+    util::JsonObject entry;
+    entry["browser"] = job.browser;
+    entry["kind"] = job.kind;
+    entry["shard"] = static_cast<int64_t>(job.shard);
+    entry["seed"] = SeedHex(job.seed);
+    entry["attempts"] = static_cast<int64_t>(job.attempts);
+    entry["quarantined"] = job.quarantined;
+    entry["faults_injected"] = job.faults_injected;
+    util::JsonObject kinds;
+    for (const auto& [kind, count] : job.faults_by_kind) kinds[kind] = count;
+    entry["faults_by_kind"] = std::move(kinds);
+    entry["fault_injected_flows"] = job.fault_injected_flows;
+    entry["flow_writes_dropped"] = job.flow_writes_dropped;
+    entry["visit_retries"] = job.visit_retries;
+    entry["failed_visits"] = job.failed_visits;
+    entry["backoff_millis"] = job.backoff_millis;
+    job_array.emplace_back(std::move(entry));
+  }
+  root["jobs"] = std::move(job_array);
+
+  util::JsonArray visit_array;
+  for (const auto& visit : degraded_visits) {
+    util::JsonObject entry;
+    entry["browser"] = visit.browser;
+    entry["kind"] = visit.kind;
+    entry["shard"] = static_cast<int64_t>(visit.shard);
+    entry["hostname"] = visit.hostname;
+    entry["recovered"] = visit.recovered;
+    entry["attempts"] = static_cast<int64_t>(visit.attempts);
+    entry["fault_cause"] = visit.fault_cause;
+    entry["backoff_millis"] = visit.backoff_millis;
+    visit_array.emplace_back(std::move(entry));
+  }
+  root["degraded_visits"] = std::move(visit_array);
+
+  return util::Json(std::move(root)).Dump();
+}
+
+}  // namespace panoptes::core

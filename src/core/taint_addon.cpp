@@ -22,6 +22,12 @@ void TaintFilterAddon::OnRequest(proxy::Flow& flow,
 }
 
 void TaintFilterAddon::OnFlowComplete(const proxy::Flow& flow) {
+  if (flow.fault_injected) {
+    // Chaos-synthesized responses never reach the findings databases:
+    // a degraded run may under-report, but can never fabricate.
+    ++fault_injected_flows_;
+    return;
+  }
   if (flow.origin == proxy::TrafficOrigin::kEngine) {
     ++engine_flows_;
     if (engine_store_ != nullptr) engine_store_->Add(flow);
@@ -34,6 +40,7 @@ void TaintFilterAddon::OnFlowComplete(const proxy::Flow& flow) {
 void TaintFilterAddon::ResetCounters() {
   engine_flows_ = 0;
   native_flows_ = 0;
+  fault_injected_flows_ = 0;
 }
 
 }  // namespace panoptes::core

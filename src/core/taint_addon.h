@@ -27,6 +27,10 @@ class TaintFilterAddon : public proxy::Addon {
 
   uint64_t engine_flows() const { return engine_flows_; }
   uint64_t native_flows() const { return native_flows_; }
+  // Flows whose response was synthesized by the chaos injector. Never
+  // stored — injected faults must not fabricate findings — only
+  // counted, for the run manifest.
+  uint64_t fault_injected_flows() const { return fault_injected_flows_; }
   void ResetCounters();
 
  private:
@@ -34,6 +38,7 @@ class TaintFilterAddon : public proxy::Addon {
   proxy::FlowStore* native_store_ = nullptr;
   uint64_t engine_flows_ = 0;
   uint64_t native_flows_ = 0;
+  uint64_t fault_injected_flows_ = 0;
 };
 
 }  // namespace panoptes::core

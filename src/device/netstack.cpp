@@ -1,10 +1,30 @@
 #include "device/netstack.h"
 
+#include "chaos/injector.h"
 #include "obs/metrics.h"
 
 namespace panoptes::device {
 
 namespace {
+
+// Device-side failure counters promoted into the metrics registry so a
+// degraded run is visible in the Prometheus export, not only in the
+// per-framework NetworkStackStats snapshot.
+void CountDnsFailure() {
+  static obs::Counter& dns_failures =
+      obs::MetricsRegistry::Default().GetCounter(
+          "panoptes_device_dns_failures_total",
+          "Device-side sends aborted by a failed DNS lookup");
+  dns_failures.Inc();
+}
+
+void CountTlsFailure() {
+  static obs::Counter& tls_failures =
+      obs::MetricsRegistry::Default().GetCounter(
+          "panoptes_device_tls_failures_total",
+          "Device-side sends aborted during the TLS handshake");
+  tls_failures.Inc();
+}
 
 SendError FromVerify(net::TlsVerifyResult result) {
   switch (result) {
@@ -28,6 +48,8 @@ std::string_view SendErrorName(SendError error) {
     case SendError::kTlsUntrusted: return "tls-untrusted";
     case SendError::kTlsHostMismatch: return "tls-host-mismatch";
     case SendError::kTlsPinMismatch: return "tls-pin-mismatch";
+    case SendError::kTlsHandshakeDrop: return "tls-handshake-drop";
+    case SendError::kTimeout: return "timeout";
     case SendError::kNoRoute: return "no-route";
     case SendError::kRejected: return "rejected";
   }
@@ -51,6 +73,7 @@ SendOutcome NetworkStack::Send(const net::HttpRequest& request,
     // A failed lookup still costs a resolver round trip.
     clock_->Advance(latency_);
     ++stats_.dns_failures;
+    CountDnsFailure();
     traffic_.RecordFailure(ctx.app->uid);
     outcome.error = SendError::kDnsFailure;
     return outcome;
@@ -88,12 +111,24 @@ SendOutcome NetworkStack::Send(const net::HttpRequest& request,
   if (tcp_action == RuleAction::kDivert && diverter_ != nullptr) {
     ++stats_.diverted;
     if (https) {
+      if (chaos_ != nullptr && chaos_->TlsDrop(host)) {
+        // The handshake dies mid-flight before any application data:
+        // nothing for the proxy to record, exactly like a pinning
+        // failure from the flow ledger's point of view.
+        ++stats_.tls_failures;
+        CountTlsFailure();
+        traffic_.RecordFailure(uid);
+        outcome.error = SendError::kTlsHandshakeDrop;
+        outcome.quic_fallback = quic_fallback;
+        return outcome;
+      }
       const net::Certificate& presented =
           diverter_->PresentCertificate(host);
       auto verdict = net::VerifyCertificate(
           presented, host, device_->trust_store(), ctx.app->pins);
       if (verdict != net::TlsVerifyResult::kOk) {
         ++stats_.tls_failures;
+        CountTlsFailure();
         if (verdict == net::TlsVerifyResult::kUntrustedIssuer) {
           // The diverter presented a certificate the device rejects:
           // the MITM CA is not in the trust store, so interception
@@ -113,6 +148,16 @@ SendOutcome NetworkStack::Send(const net::HttpRequest& request,
         outcome.quic_fallback = quic_fallback;
         return outcome;
       }
+    }
+    if (chaos_ != nullptr && chaos_->ServerTimeout(host)) {
+      // The server never answers: the client burns the full timeout
+      // budget on the simulated clock, then gives up.
+      clock_->Advance(chaos_->server_timeout());
+      ++stats_.timeouts;
+      traffic_.RecordFailure(uid);
+      outcome.error = SendError::kTimeout;
+      outcome.quic_fallback = quic_fallback;
+      return outcome;
     }
     net::ConnectionMeta meta;
     meta.client_ip = device_->profile().public_ip;
@@ -151,6 +196,13 @@ SendOutcome NetworkStack::DirectExchange(const net::HttpRequest& request,
   const bool https = request.url.scheme() == "https";
 
   if (https) {
+    if (chaos_ != nullptr && chaos_->TlsDrop(host)) {
+      ++stats_.tls_failures;
+      CountTlsFailure();
+      traffic_.RecordFailure(ctx.app->uid);
+      outcome.error = SendError::kTlsHandshakeDrop;
+      return outcome;
+    }
     const net::Certificate* leaf = network_->LeafFor(host);
     if (leaf == nullptr) {
       traffic_.RecordFailure(ctx.app->uid);
@@ -161,6 +213,7 @@ SendOutcome NetworkStack::DirectExchange(const net::HttpRequest& request,
                                           ctx.app->pins);
     if (verdict != net::TlsVerifyResult::kOk) {
       ++stats_.tls_failures;
+      CountTlsFailure();
       if (verdict == net::TlsVerifyResult::kPinMismatch) {
         ++stats_.pin_failures;
       }
@@ -168,6 +221,14 @@ SendOutcome NetworkStack::DirectExchange(const net::HttpRequest& request,
       outcome.error = FromVerify(verdict);
       return outcome;
     }
+  }
+
+  if (chaos_ != nullptr && chaos_->ServerTimeout(host)) {
+    clock_->Advance(chaos_->server_timeout());
+    ++stats_.timeouts;
+    traffic_.RecordFailure(ctx.app->uid);
+    outcome.error = SendError::kTimeout;
+    return outcome;
   }
 
   net::ConnectionMeta meta;

@@ -26,6 +26,10 @@
 #include "net/fabric.h"
 #include "util/clock.h"
 
+namespace panoptes::chaos {
+class Injector;
+}  // namespace panoptes::chaos
+
 namespace panoptes::device {
 
 enum class SendError {
@@ -34,6 +38,8 @@ enum class SendError {
   kTlsUntrusted,
   kTlsHostMismatch,
   kTlsPinMismatch,
+  kTlsHandshakeDrop,  // handshake dropped mid-flight (chaos injection)
+  kTimeout,           // server never answered inside the budget
   kNoRoute,
   kRejected,  // iptables REJECT matched the TCP flow
 };
@@ -80,6 +86,7 @@ struct NetworkStackStats {
   uint64_t dns_failures = 0;
   uint64_t tls_failures = 0;
   uint64_t pin_failures = 0;
+  uint64_t timeouts = 0;       // server timeouts (chaos injection)
   uint64_t quic_blocked = 0;   // h3 attempts forced back to TCP
   uint64_t quic_direct = 0;    // h3 exchanges that bypassed the proxy
   uint64_t diverted = 0;
@@ -102,6 +109,12 @@ class NetworkStack {
     latency_model_ = std::move(model);
   }
 
+  // Layers the chaos injector into the send path: TLS handshake drops
+  // before any application data and server timeouts that burn the
+  // profile's timeout budget on the simulated clock. Pass nullptr to
+  // detach.
+  void SetChaos(chaos::Injector* injector) { chaos_ = injector; }
+
   SendOutcome Send(const net::HttpRequest& request, const SendContext& ctx);
 
   const NetworkStackStats& stats() const { return stats_; }
@@ -121,6 +134,7 @@ class NetworkStack {
   net::Network* network_;
   util::SimClock* clock_;
   TrafficDiverter* diverter_ = nullptr;
+  chaos::Injector* chaos_ = nullptr;
   util::Duration latency_ = util::Duration::Millis(25);
   std::unique_ptr<net::LatencyModel> latency_model_;
   NetworkStackStats stats_;

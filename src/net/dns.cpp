@@ -1,5 +1,6 @@
 #include "net/dns.h"
 
+#include "chaos/injector.h"
 #include "util/json.h"
 #include "util/strings.h"
 
@@ -12,6 +13,7 @@ void DnsZone::AddRecord(std::string_view hostname, IpAddress address) {
 std::optional<IpAddress> DnsZone::Lookup(std::string_view hostname) const {
   std::string key = util::ToLower(hostname);
   if (failing_.find(key) != failing_.end()) return std::nullopt;
+  if (chaos_ != nullptr && chaos_->DnsFault(key)) return std::nullopt;
   auto it = records_.find(key);
   if (it == records_.end()) return std::nullopt;
   return it->second;

@@ -13,6 +13,10 @@
 
 #include "net/ip.h"
 
+namespace panoptes::chaos {
+class Injector;
+}  // namespace panoptes::chaos
+
 namespace panoptes::net {
 
 // Authoritative hostname → address mapping for the whole simulation.
@@ -26,9 +30,16 @@ class DnsZone {
   // Simulate an outage for a specific name (failure injection).
   void SetFailing(std::string_view hostname, bool failing);
 
+  // Layers the chaos injector under every lookup: transient SERVFAILs
+  // and dead-host outages per the injector's profile. Both resolver
+  // paths (stub and DoH) resolve through the zone, so one hook covers
+  // them. Pass nullptr to detach.
+  void SetChaos(chaos::Injector* injector) { chaos_ = injector; }
+
  private:
   std::map<std::string, IpAddress, std::less<>> records_;
   std::set<std::string, std::less<>> failing_;
+  chaos::Injector* chaos_ = nullptr;
 };
 
 // Resolver interface used by the device network stack.

@@ -1,5 +1,6 @@
 #include "net/fabric.h"
 
+#include "chaos/injector.h"
 #include "util/strings.h"
 
 namespace panoptes::net {
@@ -59,7 +60,21 @@ HttpResponse Network::Deliver(IpAddress server_ip, const HttpRequest& request,
   if (binding == nullptr || binding->server == nullptr) {
     return HttpResponse::Error(502, "no server at " + server_ip.ToString());
   }
+  if (chaos_ != nullptr && chaos_->ServerError(binding->hostname)) {
+    // An origin-side 5xx episode: the request reached the server (and
+    // is counted above), but no genuine response comes back. The marker
+    // header lets the proxy tag the flow as fault-injected.
+    HttpResponse error =
+        HttpResponse::Error(503, "chaos: injected server error");
+    error.headers.Set(chaos::kInjectedFaultHeader, "server-error");
+    return error;
+  }
   return binding->server->Handle(request, meta);
+}
+
+void Network::SetChaos(chaos::Injector* injector) {
+  chaos_ = injector;
+  zone_.SetChaos(injector);
 }
 
 std::vector<std::string> Network::Hostnames() const {

@@ -22,6 +22,10 @@
 #include "net/tls.h"
 #include "util/clock.h"
 
+namespace panoptes::chaos {
+class Injector;
+}  // namespace panoptes::chaos
+
 namespace panoptes::net {
 
 // Per-exchange metadata visible to servers (and recorded by the proxy).
@@ -106,6 +110,13 @@ class Network {
   HttpResponse Deliver(IpAddress server_ip, const HttpRequest& request,
                        const ConnectionMeta& meta);
 
+  // Layers the chaos injector into delivery: origins answer with
+  // synthesized 5xx episodes per the injector's profile. Injected
+  // responses carry chaos::kInjectedFaultHeader so the proxy can tag
+  // the flow. Also propagates into the zone (DNS faults). Pass nullptr
+  // to detach.
+  void SetChaos(chaos::Injector* injector);
+
   uint64_t delivered_count() const { return delivered_; }
 
   // Number of delivered requests that still carried a Panoptes taint
@@ -122,6 +133,7 @@ class Network {
   CertificateAuthority web_ca_;
   std::map<std::string, HostBinding, std::less<>> by_host_;
   std::map<IpAddress, std::string> host_by_ip_;
+  chaos::Injector* chaos_ = nullptr;
   uint64_t delivered_ = 0;
   uint64_t taint_leaks_ = 0;
 };

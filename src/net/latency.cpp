@@ -1,5 +1,7 @@
 #include "net/latency.h"
 
+#include "chaos/injector.h"
+
 namespace panoptes::net {
 
 GeoLatencyModel::GeoLatencyModel(
@@ -45,6 +47,14 @@ util::Duration GeoLatencyModel::RttTo(IpAddress server) const {
   auto it = rtt_by_country_.find(best->country_code);
   if (it == rtt_by_country_.end()) return fallback_;
   return it->second;
+}
+
+util::Duration ChaosLatencyModel::RttTo(IpAddress server) const {
+  util::Duration rtt = base_->RttTo(server);
+  if (injector_ != nullptr) {
+    rtt = rtt + injector_->LatencySpike(server.ToString());
+  }
+  return rtt;
 }
 
 }  // namespace panoptes::net

@@ -10,9 +10,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "net/geo.h"
 #include "net/ip.h"
 #include "util/clock.h"
+
+namespace panoptes::chaos {
+class Injector;
+}  // namespace panoptes::chaos
 
 namespace panoptes::net {
 
@@ -49,6 +55,24 @@ class GeoLatencyModel : public LatencyModel {
   std::vector<GeoRange> ranges_;
   std::map<std::string, util::Duration> rtt_by_country_;
   util::Duration fallback_;
+};
+
+// Decorates another latency model with deterministic chaos spikes: the
+// injector decides per exchange whether this round trip hits a spike,
+// and the spike duration is added on top of the base model's RTT.
+// Latency (spiked or not) only moves the simulated clock — counts and
+// bytes in the figures are unaffected, exactly like the base models.
+class ChaosLatencyModel : public LatencyModel {
+ public:
+  ChaosLatencyModel(std::unique_ptr<LatencyModel> base,
+                    chaos::Injector* injector)
+      : base_(std::move(base)), injector_(injector) {}
+
+  util::Duration RttTo(IpAddress server) const override;
+
+ private:
+  std::unique_ptr<LatencyModel> base_;
+  chaos::Injector* injector_;
 };
 
 }  // namespace panoptes::net

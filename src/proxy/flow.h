@@ -43,6 +43,12 @@ struct Flow {
   bool blocked = false;
   std::string blocked_by;  // addon/rule label
 
+  // The response was synthesized by the chaos injector (5xx episode,
+  // upstream reset), not the genuine server. Such flows are excluded
+  // from the findings databases so injected faults can never fabricate
+  // results; they are accounted in the run manifest instead.
+  bool fault_injected = false;
+
   std::string Host() const { return url.host(); }
 };
 

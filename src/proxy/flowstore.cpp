@@ -1,17 +1,30 @@
 #include "proxy/flowstore.h"
 
+#include "chaos/injector.h"
 #include "net/psl.h"
 #include "obs/metrics.h"
 
 namespace panoptes::proxy {
 
 void FlowStore::Add(Flow flow) {
+  if (chaos_ != nullptr && chaos_->FlowWriteDrop(flow.Host())) {
+    ++dropped_writes_;
+    static obs::Counter& dropped = obs::MetricsRegistry::Default().GetCounter(
+        "panoptes_proxy_flow_writes_dropped_total",
+        "Flow database writes lost to injected write faults");
+    dropped.Inc();
+    return;
+  }
   static obs::Counter& stored = obs::MetricsRegistry::Default().GetCounter(
       "panoptes_proxy_flows_stored_total",
       "Flows stored into a flow database (first capture; shard merges "
       "are not re-counted)");
   stored.Inc();
   AddUncounted(std::move(flow));
+}
+
+void FlowStore::TruncateTo(size_t size) {
+  if (size < flows_.size()) flows_.resize(size);
 }
 
 void FlowStore::AddUncounted(Flow flow) {

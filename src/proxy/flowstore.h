@@ -11,6 +11,10 @@
 
 #include "proxy/flow.h"
 
+namespace panoptes::chaos {
+class Injector;
+}  // namespace panoptes::chaos
+
 namespace panoptes::proxy {
 
 class FlowStore {
@@ -22,6 +26,18 @@ class FlowStore {
 
   void Add(Flow flow);
   void Clear();
+
+  // Layers the chaos injector into the write path: a firing
+  // kFlowWriteDrop silently loses the flow (the paper's "database
+  // write failed" degradation). Dropped writes are counted so the run
+  // manifest can report them. Pass nullptr to detach.
+  void SetChaos(chaos::Injector* injector) { chaos_ = injector; }
+  uint64_t dropped_writes() const { return dropped_writes_; }
+
+  // Truncates the store back to `size` flows. Used by the visit retry
+  // loop to discard the partial flows of a failed attempt so retries
+  // never double-count traffic.
+  void TruncateTo(size_t size);
 
   // Appends a copy of every flow in `other`, preserving order. Used to
   // fold sharded campaign stores back into one database; this store's
@@ -54,6 +70,8 @@ class FlowStore {
   void AddUncounted(Flow flow);
 
   bool compact_;
+  chaos::Injector* chaos_ = nullptr;
+  uint64_t dropped_writes_ = 0;
   std::vector<Flow> flows_;
 };
 

@@ -1,5 +1,6 @@
 #include "proxy/mitm.h"
 
+#include "chaos/injector.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 
@@ -82,9 +83,18 @@ net::HttpResponse MitmProxy::Forward(net::HttpRequest request,
     response = net::HttpResponse::Error(403, "blocked by " + flow.blocked_by);
     ++blocked_count_;
     metrics.blocked_total.Inc();
+  } else if (chaos_ != nullptr && chaos_->UpstreamReset(flow.Host())) {
+    // The proxy→server connection is reset before the upstream
+    // answers; the client sees a 502 from the proxy, and the flow is
+    // tagged so it never enters the findings databases.
+    response = net::HttpResponse::Error(502, "chaos: upstream reset");
+    response.headers.Set(chaos::kInjectedFaultHeader, "upstream-reset");
   } else {
     meta.via_proxy = true;
     response = network_->Deliver(meta.server_ip, request, meta);
+  }
+  if (response.headers.Has(chaos::kInjectedFaultHeader)) {
+    flow.fault_injected = true;
   }
 
   for (const auto& addon : addons_) {

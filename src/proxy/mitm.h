@@ -17,6 +17,10 @@
 #include "proxy/addon.h"
 #include "proxy/flowstore.h"
 
+namespace panoptes::chaos {
+class Injector;
+}  // namespace panoptes::chaos
+
 namespace panoptes::proxy {
 
 class MitmProxy : public device::TrafficDiverter {
@@ -32,6 +36,12 @@ class MitmProxy : public device::TrafficDiverter {
   // Label stamped onto every flow (the browser under test).
   void SetBrowserLabel(std::string label) { browser_label_ = std::move(label); }
 
+  // Layers the chaos injector into the upstream leg: a firing
+  // kUpstreamReset makes the proxy→server connection die, so the proxy
+  // answers 502 and tags the flow fault-injected. Pass nullptr to
+  // detach.
+  void SetChaos(chaos::Injector* injector) { chaos_ = injector; }
+
   // device::TrafficDiverter:
   const net::Certificate& PresentCertificate(std::string_view sni) override;
   net::HttpResponse Forward(net::HttpRequest request,
@@ -44,6 +54,7 @@ class MitmProxy : public device::TrafficDiverter {
 
  private:
   net::Network* network_;
+  chaos::Injector* chaos_ = nullptr;
   net::CertificateAuthority ca_;
   std::map<std::string, net::Certificate, std::less<>> cert_cache_;
   std::vector<std::shared_ptr<Addon>> addons_;

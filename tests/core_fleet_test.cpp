@@ -163,6 +163,47 @@ TEST(FleetStress, FullRosterRepeatedRunsAreIdentical) {
   }
 }
 
+// Regression: the quantile helper on a stats object that never ran a
+// job must return 0, not index into an empty vector.
+TEST(FleetStats, JobLatencyQuantileOnEmptyStatsIsZero) {
+  FleetRunStats stats;
+  EXPECT_EQ(stats.JobLatencyQuantile(0.0), 0.0);
+  EXPECT_EQ(stats.JobLatencyQuantile(0.5), 0.0);
+  EXPECT_EQ(stats.JobLatencyQuantile(1.0), 0.0);
+}
+
+// Salvage: a quarantined shard is dropped from the merge and the
+// surviving shards still fold into one degraded-but-genuine result.
+TEST(FleetMerge, QuarantinedShardsAreSalvagedAround) {
+  FleetExecutor executor(TinyFleet(2));
+  auto jobs = FleetExecutor::PlanCampaign(Browsers({"Samsung"}),
+                                          {CampaignKind::kCrawl}, 3);
+  auto results = executor.Run(jobs);
+  ASSERT_EQ(results.size(), 3u);
+
+  // Quarantine the middle shard, then shard 0 — exercising both the
+  // "skip mid-group" and "surviving shard becomes the group head"
+  // paths.
+  for (int dead : {1, 0}) {
+    auto damaged = executor.Run(jobs);
+    damaged[dead].quarantined = true;
+    auto merged = FleetExecutor::MergeShards(std::move(damaged));
+    ASSERT_EQ(merged.size(), 1u);
+    ASSERT_TRUE(merged[0].crawl.has_value());
+
+    size_t surviving_visits = 0;
+    uint64_t surviving_engine = 0;
+    for (size_t i = 0; i < results.size(); ++i) {
+      if (static_cast<int>(i) == dead) continue;
+      surviving_visits += results[i].crawl->visits.size();
+      surviving_engine += results[i].crawl->EngineRequestCount();
+    }
+    EXPECT_EQ(merged[0].crawl->visits.size(), surviving_visits);
+    EXPECT_EQ(merged[0].crawl->EngineRequestCount(), surviving_engine);
+    EXPECT_FALSE(merged[0].quarantined);
+  }
+}
+
 TEST(FleetSeed, JobSeedsAreDistinctAcrossThePlan) {
   auto jobs = FleetExecutor::PlanCampaign(
       browser::AllBrowserSpecs(),

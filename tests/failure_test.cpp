@@ -6,6 +6,8 @@
 
 #include "analysis/historyleak.h"
 #include "browser/profiles.h"
+#include "chaos/injector.h"
+#include "chaos/profile.h"
 #include "core/campaign.h"
 #include "core/framework.h"
 
@@ -98,6 +100,42 @@ TEST(Failure, IdleShareOnEmptyStore) {
   core::IdleResult result;
   result.native_flows = std::make_unique<proxy::FlowStore>();
   EXPECT_EQ(result.ShareToHost("graph.facebook.com"), 0.0);
+}
+
+TEST(Failure, ChaosIsOffByDefault) {
+  core::Framework framework(TinyOptions());
+  // No profile configured ⇒ no injector is even constructed; the whole
+  // chaos fabric is dormant on the legacy path.
+  EXPECT_EQ(framework.chaos(), nullptr);
+}
+
+TEST(Failure, DnsStormDegradesButNeverFabricates) {
+  core::FrameworkOptions options = TinyOptions();
+  options.chaos = *chaos::FaultProfile::Named("dns-storm");
+  core::Framework framework(options);
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) sites.push_back(&site);
+
+  auto result =
+      core::RunCrawl(framework, *browser::FindSpec("DuckDuckGo"), sites);
+  ASSERT_EQ(result.visits.size(), 4u);
+  // The storm hit something on this seed...
+  ASSERT_NE(framework.chaos(), nullptr);
+  EXPECT_GT(framework.chaos()->CountFor(chaos::FaultKind::kDnsFailure), 0u);
+  EXPECT_GT(result.stack_stats.dns_failures, 0u);
+  // ...every failed visit carries a cause for the manifest...
+  for (const auto& visit : result.visits) {
+    if (!visit.ok) {
+      EXPECT_FALSE(visit.fault_cause.empty());
+    }
+  }
+  // ...and nothing synthesized leaked into the findings stores.
+  for (const auto* store :
+       {result.engine_flows.get(), result.native_flows.get()}) {
+    for (const auto& flow : store->flows()) {
+      EXPECT_FALSE(flow.fault_injected);
+    }
+  }
 }
 
 TEST(Failure, PreparingSameBrowserTwiceIsClean) {
