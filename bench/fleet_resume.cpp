@@ -1,0 +1,79 @@
+// Warm-vs-cold fleet resume: what the result cache actually buys.
+//
+// Arg 0 runs the fleet cold — the cache directory is wiped inside
+// PauseTiming before every iteration, so each iteration executes every
+// job and writes every snapshot. Arg 1 primes the cache once and then
+// measures warm runs, where every job replays from its snapshot. The
+// cold/warm ratio is the headline number recorded in EXPERIMENTS.md;
+// snapshot read/write latency histograms (obs) break down the rest.
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "browser/profiles.h"
+#include "core/fleet.h"
+#include "core/result_cache.h"
+
+using namespace panoptes;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+core::FleetOptions MakeOptions(const fs::path& cache_dir) {
+  core::FleetOptions options;
+  options.jobs = 2;
+  options.framework.catalog.popular_count = 4;
+  options.framework.catalog.sensitive_count = 2;
+  options.cache_dir = cache_dir.string();
+  return options;
+}
+
+std::vector<core::FleetJob> MakeJobs() {
+  return core::FleetExecutor::PlanCampaign(
+      {*browser::FindSpec("Yandex"), *browser::FindSpec("Opera"),
+       *browser::FindSpec("DuckDuckGo")},
+      {core::CampaignKind::kCrawl, core::CampaignKind::kIdle}, 2);
+}
+
+// arg 0: cold (cache cleared each iteration). arg 1: warm (pre-primed).
+void BM_FleetResume(benchmark::State& state) {
+  bool warm = state.range(0) != 0;
+  fs::path cache_dir =
+      fs::temp_directory_path() /
+      (warm ? "panoptes_bench_resume_warm" : "panoptes_bench_resume_cold");
+  auto jobs = MakeJobs();
+
+  fs::remove_all(cache_dir);
+  if (warm) {
+    // Prime once; every measured run below is all hits.
+    core::FleetExecutor primer(MakeOptions(cache_dir));
+    auto primed = primer.Run(jobs);
+    benchmark::DoNotOptimize(primed);
+  }
+
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      fs::remove_all(cache_dir);
+      state.ResumeTiming();
+    }
+    core::FleetExecutor executor(MakeOptions(cache_dir));
+    auto results = executor.Run(jobs);
+    benchmark::DoNotOptimize(results);
+  }
+  fs::remove_all(cache_dir);
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FleetResume)
+    ->ArgName("warm")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

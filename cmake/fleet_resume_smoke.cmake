@@ -1,0 +1,115 @@
+# Crash-safe resume smoke test, run as a ctest via `cmake -P`.
+#
+# Proves the result cache's resume contract end to end with the real
+# CLI. First an uninterrupted reference run (no cache) produces the
+# golden JSON/CSV reports. Then, for each worker count, a cache-backed
+# run is hard-killed mid-way (--kill-after-jobs), restarted with
+# --resume, and its reports must be byte-identical to the golden ones —
+# the killed run's surviving snapshots are replayed, only the missing
+# jobs execute. A final warm re-run must be all cache hits (zero misses
+# in its manifest) and still byte-identical.
+#
+# Expected variables:
+#   CLI     - path to the panoptes_cli executable
+#   OUT_DIR - scratch directory
+
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR
+      "fleet_resume_smoke.cmake needs -DCLI=... and -DOUT_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+# 2 browsers x (crawl + idle kinds) sharded over 2 shards = 6 jobs, so
+# killing after 3 leaves a half-populated cache at every --jobs level.
+set(common_args --sites 6 --shards 2 --browsers Yandex,DuckDuckGo --idle
+    --chaos-profile flaky --max-retries 2)
+
+function(run_fleet rc_var out_var)
+  execute_process(
+    COMMAND "${CLI}" fleet ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  set(${rc_var} "${rc}" PARENT_SCOPE)
+  set(${out_var} "${out}${err}" PARENT_SCOPE)
+endfunction()
+
+# Reference: uninterrupted, cache-less run.
+set(golden_json "${OUT_DIR}/golden.json")
+set(golden_csv "${OUT_DIR}/golden.csv")
+run_fleet(rc log --jobs 2 ${common_args}
+    --json "${golden_json}" --csv "${golden_csv}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference fleet run failed (rc=${rc})\n${log}")
+endif()
+
+foreach(jobs 1 2 4)
+  set(cache_dir "${OUT_DIR}/cache_j${jobs}")
+  set(resumed_json "${OUT_DIR}/resumed_j${jobs}.json")
+  set(resumed_csv "${OUT_DIR}/resumed_j${jobs}.csv")
+  set(warm_json "${OUT_DIR}/warm_j${jobs}.json")
+  set(warm_manifest "${OUT_DIR}/warm_j${jobs}_manifest.json")
+
+  # Kill the run after 3 of the 6 jobs have been persisted. The process
+  # must die (rc != 0) without writing any report.
+  run_fleet(rc log --jobs ${jobs} ${common_args}
+      --cache-dir "${cache_dir}" --kill-after-jobs 3
+      --json "${OUT_DIR}/never_j${jobs}.json")
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+        "killed run exited 0 at --jobs ${jobs}; --kill-after-jobs did not "
+        "fire\n${log}")
+  endif()
+  if(EXISTS "${OUT_DIR}/never_j${jobs}.json")
+    message(FATAL_ERROR
+        "killed run still wrote its report at --jobs ${jobs}\n${log}")
+  endif()
+
+  # Resume: replays the surviving snapshots, executes the rest.
+  run_fleet(rc log --jobs ${jobs} ${common_args}
+      --cache-dir "${cache_dir}" --resume
+      --json "${resumed_json}" --csv "${resumed_csv}")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "resumed run failed at --jobs ${jobs} (rc=${rc})\n${log}")
+  endif()
+  foreach(pair "${resumed_json};${golden_json}" "${resumed_csv};${golden_csv}")
+    list(GET pair 0 actual)
+    list(GET pair 1 expected)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files "${actual}" "${expected}"
+      RESULT_VARIABLE same)
+    if(NOT same EQUAL 0)
+      message(FATAL_ERROR
+          "resumed report ${actual} differs from the uninterrupted "
+          "reference at --jobs ${jobs}")
+    endif()
+  endforeach()
+
+  # Warm re-run: everything replays from cache.
+  run_fleet(rc log --jobs ${jobs} ${common_args}
+      --cache-dir "${cache_dir}"
+      --json "${warm_json}" --manifest-out "${warm_manifest}")
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "warm run failed at --jobs ${jobs} (rc=${rc})\n${log}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files "${warm_json}" "${golden_json}"
+    RESULT_VARIABLE same)
+  if(NOT same EQUAL 0)
+    message(FATAL_ERROR
+        "warm report differs from the reference at --jobs ${jobs}")
+  endif()
+  file(READ "${warm_manifest}" manifest_text)
+  if(NOT manifest_text MATCHES "\"misses\":0,")
+    message(FATAL_ERROR
+        "warm run executed campaign work at --jobs ${jobs}:\n${manifest_text}")
+  endif()
+  if(manifest_text MATCHES "\"cache_hit\":false")
+    message(FATAL_ERROR
+        "warm run has a non-hit job at --jobs ${jobs}:\n${manifest_text}")
+  endif()
+endforeach()
+
+message(STATUS "fleet resume smoke ok")

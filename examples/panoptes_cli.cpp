@@ -9,14 +9,17 @@
 //                      [--browsers Yandex,Opera] [--incognito] [--idle]
 //                      [--chaos-profile flaky|dns-storm|...|file.json]
 //                      [--max-retries N] [--manifest-out manifest.json]
+//                      [--cache-dir DIR] [--resume] [--kill-after-jobs N]
 //                      [--json report.json] [--csv report.csv]
 //                      [--metrics-out metrics.prom] [--trace-out trace.json]
 //   panoptes_cli validate-telemetry [--metrics f.prom] [--trace f.json]
 //                      [--manifest manifest.json]
 //   panoptes_cli sitelist [--out 1k.txt]
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 
@@ -33,6 +36,7 @@
 #include "core/campaign.h"
 #include "core/fleet.h"
 #include "core/framework.h"
+#include "core/result_cache.h"
 #include "core/run_manifest.h"
 #include "proxy/har.h"
 #include "util/args.h"
@@ -53,6 +57,7 @@ int Usage() {
                "  fleet [--jobs N] [--sites N] [--shards K] [--seed S]\n"
                "        [--browsers A,B,..] [--incognito] [--idle]\n"
                "        [--chaos-profile NAME|FILE] [--max-retries N]\n"
+               "        [--cache-dir DIR] [--resume] [--kill-after-jobs N]\n"
                "        [--manifest-out FILE]\n"
                "        [--json FILE] [--csv FILE]\n"
                "        [--metrics-out FILE] [--trace-out FILE]\n"
@@ -255,6 +260,22 @@ int CmdFleet(const util::Args& args) {
   core::CrawlOptions crawl_options;
   crawl_options.retry.max_retries = max_retries;
 
+  // Result cache: --cache-dir persists each completed job as a
+  // fingerprinted snapshot and replays matching snapshots on the next
+  // run; --resume additionally re-executes cached quarantines.
+  // --kill-after-jobs N hard-kills the process after N completed jobs
+  // (the crash half of the fleet_resume smoke test); _Exit skips
+  // cleanup on purpose — a crash wouldn't run it either.
+  options.cache_dir = args.OptionOr("cache-dir", "");
+  options.resume = args.HasFlag("resume");
+  int64_t kill_after = args.IntOptionOr("kill-after-jobs", 0);
+  if (kill_after > 0) {
+    static std::atomic<int64_t> completed{0};
+    options.on_job_complete = [kill_after](const core::FleetJobResult&) {
+      if (completed.fetch_add(1) + 1 >= kill_after) std::_Exit(17);
+    };
+  }
+
   int shards = static_cast<int>(args.IntOptionOr("shards", options.jobs));
   auto jobs =
       core::FleetExecutor::PlanCampaign(browsers, kinds, shards, crawl_options);
@@ -277,7 +298,10 @@ int CmdFleet(const util::Args& args) {
   auto results = executor.Run(jobs, &stats);
   // The manifest is built from the un-merged results (plan order), so
   // quarantined shards are accounted before salvage drops them.
-  core::RunManifest manifest = core::BuildRunManifest(options, results);
+  core::CacheStats cache_stats;
+  if (executor.cache() != nullptr) cache_stats = executor.cache()->Stats();
+  core::RunManifest manifest = core::BuildRunManifest(
+      options, results, executor.cache() != nullptr ? &cache_stats : nullptr);
   auto merged = core::FleetExecutor::MergeShards(std::move(results));
   std::printf("%s",
               analysis::FleetSummaryTable(merged, &stats, &manifest).c_str());
@@ -446,7 +470,7 @@ int CmdValidateTelemetry(const util::Args& args) {
     }
     for (const char* key :
          {"base_seed", "chaos_profile", "max_job_retries", "degraded",
-          "totals", "jobs", "degraded_visits"}) {
+          "totals", "cache", "jobs", "degraded_visits"}) {
       if (parsed->Find(key) == nullptr) {
         std::fprintf(stderr, "%s: missing \"%s\"\n", manifest_path->c_str(),
                      key);

@@ -135,6 +135,12 @@ std::string FleetSummaryTable(
            " dropped flow writes, backoff " +
            std::to_string(manifest->backoff_millis) + " ms (simulated)\n";
   }
+  if (manifest != nullptr && manifest->cache_enabled) {
+    out += "cache: " + std::to_string(manifest->cache_hits) + " hits, " +
+           std::to_string(manifest->cache_misses) + " misses, " +
+           std::to_string(manifest->cache_writes) + " writes, " +
+           std::to_string(manifest->cache_invalidated) + " invalidated\n";
+  }
   return out;
 }
 

@@ -44,7 +44,8 @@ std::string Bytes(uint64_t bytes);
 // appended when the run was degraded: injected faults by kind, visit
 // and job retries, quarantined jobs and dropped flow writes. The
 // footer renders counts and simulated times only — it is as
-// deterministic as the table itself.
+// deterministic as the table itself. Cache-backed runs additionally get
+// a result-cache footer (hits/misses/writes/invalidations).
 std::string FleetSummaryTable(
     const std::vector<core::FleetJobResult>& results,
     const core::FleetRunStats* stats = nullptr,

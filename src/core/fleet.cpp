@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <thread>
+#include <utility>
 
+#include "core/result_cache.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "util/clock.h"
@@ -120,6 +122,15 @@ uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
   return util::SplitMix64(state);
 }
 
+FleetExecutor::FleetExecutor(FleetOptions options)
+    : options_(std::move(options)) {
+  if (!options_.cache_dir.empty()) {
+    cache_ = std::make_unique<ResultCache>(options_.cache_dir);
+  }
+}
+
+FleetExecutor::~FleetExecutor() = default;
+
 std::vector<FleetJob> FleetExecutor::PlanCampaign(
     const std::vector<browser::BrowserSpec>& browsers,
     const std::vector<CampaignKind>& kinds, int shard_count,
@@ -214,6 +225,27 @@ FleetJobResult FleetExecutor::ExecuteJobWithRetry(const FleetJob& job) const {
   }
 }
 
+FleetJobResult FleetExecutor::RunJobCached(const FleetJob& job) const {
+  FleetJobResult result;
+  if (cache_ != nullptr) {
+    uint64_t fingerprint = ResultCache::FingerprintJob(options_, job);
+    auto cached = cache_->Load(job, fingerprint,
+                               /*skip_quarantined=*/options_.resume);
+    if (cached.has_value()) {
+      result = std::move(*cached);
+    } else {
+      result = ExecuteJobWithRetry(job);
+      cache_->Store(result, fingerprint);
+    }
+  } else {
+    result = ExecuteJobWithRetry(job);
+  }
+  // After the store: by the time the callback observes N completions,
+  // N snapshots are durably in place (the crash-simulation contract).
+  if (options_.on_job_complete) options_.on_job_complete(result);
+  return result;
+}
+
 std::vector<FleetJobResult> FleetExecutor::RunSerial(
     const std::vector<FleetJob>& jobs, FleetRunStats* stats) const {
   FleetMetrics& metrics = FleetMetrics::Get();
@@ -227,7 +259,7 @@ std::vector<FleetJobResult> FleetExecutor::RunSerial(
   job_seconds.reserve(jobs.size());
   for (const auto& job : jobs) {
     int64_t start = util::SteadyNowNanos();
-    results.push_back(ExecuteJobWithRetry(job));
+    results.push_back(RunJobCached(job));
     double seconds =
         static_cast<double>(util::SteadyNowNanos() - start) * 1e-9;
     job_seconds.push_back(seconds);
@@ -279,7 +311,7 @@ std::vector<FleetJobResult> FleetExecutor::Run(
           static_cast<int64_t>(jobs.size() - index - 1));
       metrics.workers_busy.Add(1);
       int64_t start = util::SteadyNowNanos();
-      results[index] = ExecuteJobWithRetry(jobs[index]);
+      results[index] = RunJobCached(jobs[index]);
       double seconds =
           static_cast<double>(util::SteadyNowNanos() - start) * 1e-9;
       job_seconds[index] = seconds;

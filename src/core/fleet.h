@@ -12,6 +12,8 @@
 // differential harness (tests/core_fleet_test.cpp) pins `Run` to it.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -22,6 +24,8 @@
 #include "core/framework.h"
 
 namespace panoptes::core {
+
+class ResultCache;
 
 // The three campaign types of the evaluation (§3.1 crawl, §3.2
 // incognito crawl, §3.5 idle run).
@@ -68,6 +72,9 @@ struct FleetJobResult {
   bool quarantined = false;
   std::vector<chaos::FaultEvent> faults;
   uint64_t flow_writes_dropped = 0;
+  // True when this result was replayed from a result-cache snapshot
+  // instead of executing (never serialized; set at load time).
+  bool cache_hit = false;
 };
 
 struct FleetOptions {
@@ -82,6 +89,20 @@ struct FleetOptions {
   // seed; a job still dead after the budget is quarantined (reported
   // in the run manifest, excluded from merged findings).
   int max_job_retries = 0;
+  // Result cache directory (core/result_cache.h). Empty disables
+  // caching: every job executes. Non-empty: completed jobs persist as
+  // fingerprinted snapshots and matching snapshots replay instead of
+  // executing.
+  std::string cache_dir;
+  // Resume semantics for a cache-backed run: cached *quarantined* jobs
+  // re-execute (a restarted run gives dead jobs a fresh chance) instead
+  // of replaying the recorded failure. Plain warm runs leave this off
+  // so a completed run replays byte-identically, quarantines included.
+  bool resume = false;
+  // Invoked after each job completes (executed and persisted, or
+  // replayed from cache), from whichever worker thread ran it. Used by
+  // the CLI's crash-simulation flag; never affects results.
+  std::function<void(const FleetJobResult&)> on_job_complete;
 };
 
 // Wall-clock accounting for one Run/RunSerial call. Telemetry only —
@@ -103,9 +124,13 @@ struct FleetRunStats {
 
 class FleetExecutor {
  public:
-  explicit FleetExecutor(FleetOptions options) : options_(options) {}
+  explicit FleetExecutor(FleetOptions options);
+  ~FleetExecutor();
 
   const FleetOptions& options() const { return options_; }
+
+  // Null when options.cache_dir is empty.
+  const ResultCache* cache() const { return cache_.get(); }
 
   // Runs every job on `options.jobs` worker threads. Results come back
   // indexed exactly like `jobs`, independent of scheduling. When
@@ -141,8 +166,13 @@ class FleetExecutor {
   // Runs the job, re-running with fresh attempt seeds while every
   // visit fails, up to options.max_job_retries; quarantines after.
   FleetJobResult ExecuteJobWithRetry(const FleetJob& job) const;
+  // The cache-aware job path both Run and RunSerial go through: probe
+  // the cache (when enabled), execute on a miss, persist the fresh
+  // result, then fire options.on_job_complete.
+  FleetJobResult RunJobCached(const FleetJob& job) const;
 
   FleetOptions options_;
+  std::unique_ptr<ResultCache> cache_;
 };
 
 }  // namespace panoptes::core

@@ -1,0 +1,300 @@
+#include "core/result_cache.h"
+
+#include <unistd.h>
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "core/snapshot.h"
+#include "obs/metrics.h"
+#include "util/clock.h"
+#include "util/rng.h"
+
+namespace panoptes::core {
+
+namespace {
+
+// Incremental fingerprint: every Mix advances a splitmix64 state, so
+// field *order* matters and adjacent fields can't cancel out.
+class FingerprintHasher {
+ public:
+  explicit FingerprintHasher(uint64_t init) : state_(init) {}
+
+  void Mix(uint64_t value) {
+    state_ ^= value;
+    util::SplitMix64(state_);
+  }
+  void Mix(std::string_view value) { Mix(util::HashString(value)); }
+  void Mix(bool value) { Mix(static_cast<uint64_t>(value ? 1 : 0)); }
+  void Mix(double value) { Mix(std::bit_cast<uint64_t>(value)); }
+  void Mix(int64_t value) { Mix(static_cast<uint64_t>(value)); }
+  void Mix(int value) { Mix(static_cast<uint64_t>(value)); }
+
+  uint64_t Digest() const { return state_; }
+
+ private:
+  uint64_t state_;
+};
+
+void MixNativeCalls(FingerprintHasher& h,
+                    const std::vector<browser::NativeCall>& calls) {
+  h.Mix(static_cast<uint64_t>(calls.size()));
+  for (const auto& call : calls) {
+    h.Mix(call.host);
+    h.Mix(call.path);
+    h.Mix(call.post);
+    h.Mix(call.per_visit);
+    h.Mix(static_cast<uint64_t>(call.body_bytes));
+    h.Mix(call.carries_pii);
+  }
+}
+
+void MixBrowserSpec(FingerprintHasher& h, const browser::BrowserSpec& spec) {
+  h.Mix(spec.name);
+  h.Mix(spec.package);
+  h.Mix(spec.version);
+  h.Mix(spec.engine);
+  h.Mix(spec.user_agent);
+  h.Mix(static_cast<uint64_t>(spec.instrumentation));
+  h.Mix(spec.has_incognito);
+  h.Mix(spec.supports_h3);
+  h.Mix(static_cast<uint64_t>(spec.doh));
+  h.Mix(spec.engine_adblock);
+  h.Mix(static_cast<uint64_t>(spec.pinned_hosts.size()));
+  for (const auto& host : spec.pinned_hosts) h.Mix(host);
+  h.Mix(static_cast<uint64_t>(spec.history_leak));
+  h.Mix(spec.history_leak_in_incognito);
+  h.Mix(spec.persistent_identifier);
+  const auto& pii = spec.pii;
+  uint64_t pii_bits = 0;
+  for (bool field : {pii.device_type, pii.manufacturer, pii.timezone,
+                     pii.resolution, pii.local_ip, pii.dpi, pii.rooted,
+                     pii.locale, pii.country, pii.location,
+                     pii.connection_type, pii.network_type}) {
+    pii_bits = (pii_bits << 1) | (field ? 1 : 0);
+  }
+  h.Mix(pii_bits);
+  MixNativeCalls(h, spec.per_visit_calls);
+  const auto& cadence = spec.idle_cadence;
+  h.Mix(static_cast<uint64_t>(cadence.shape));
+  h.Mix(cadence.burst_total);
+  h.Mix(cadence.burst_tau_seconds);
+  h.Mix(cadence.plateau_per_min);
+  h.Mix(cadence.linear_per_min);
+  h.Mix(cadence.quiet_total);
+  h.Mix(static_cast<uint64_t>(spec.idle_destinations.size()));
+  for (const auto& dest : spec.idle_destinations) {
+    h.Mix(dest.host);
+    h.Mix(dest.path);
+    h.Mix(dest.weight);
+  }
+  MixNativeCalls(h, spec.startup_calls);
+  h.Mix(spec.suggest_host);
+  h.Mix(spec.suggest_path);
+}
+
+void MixFramework(FingerprintHasher& h, const FleetOptions& options) {
+  const FrameworkOptions& fw = options.framework;
+  // The catalog the job sees derives from catalog_seed when set, else
+  // from the per-job seed the executor assigns; fleet runs always pin
+  // it to base_seed, and base_seed already feeds the derived job seed.
+  h.Mix(fw.catalog_seed.has_value());
+  if (fw.catalog_seed.has_value()) h.Mix(*fw.catalog_seed);
+  h.Mix(static_cast<int64_t>(fw.catalog.popular_count));
+  h.Mix(static_cast<int64_t>(fw.catalog.sensitive_count));
+  h.Mix(fw.catalog.sitegen.popular_mean_resources);
+  h.Mix(fw.catalog.sitegen.sensitive_mean_resources);
+  h.Mix(fw.catalog.sitegen.third_party_fraction);
+  h.Mix(fw.catalog.sitegen.h3_fraction);
+  h.Mix(fw.latency.millis);
+  h.Mix(fw.use_geo_latency);
+  h.Mix(fw.block_quic);
+  h.Mix(fw.install_mitm_ca);
+  h.Mix(fw.chaos.Fingerprint());
+}
+
+void MixCrawlOptions(FingerprintHasher& h, const CrawlOptions& crawl) {
+  h.Mix(crawl.incognito);
+  h.Mix(crawl.factory_reset);
+  h.Mix(crawl.settle.millis);
+  h.Mix(crawl.compact_engine_store);
+  h.Mix(static_cast<int64_t>(crawl.retry.max_retries));
+  h.Mix(crawl.retry.base_backoff.millis);
+  h.Mix(crawl.retry.multiplier);
+  h.Mix(crawl.retry.max_backoff.millis);
+  h.Mix(crawl.retry.jitter);
+}
+
+void MixIdleOptions(FingerprintHasher& h, const IdleOptions& idle) {
+  h.Mix(idle.duration.millis);
+  h.Mix(idle.tick.millis);
+  h.Mix(idle.bucket.millis);
+  h.Mix(idle.factory_reset);
+}
+
+// Filename-safe projection of a browser name ("UC Browser" →
+// "UC-Browser"). Collisions are harmless: the snapshot payload carries
+// the exact name and Read rejects a mismatch.
+std::string SanitizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                (c >= '0' && c <= '9') || c == '.' || c == '-';
+    out.push_back(safe ? c : '-');
+  }
+  return out;
+}
+
+struct CacheMetrics {
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& writes;
+  obs::Counter& invalidations;
+  obs::Histogram& read_seconds;
+  obs::Histogram& write_seconds;
+
+  static CacheMetrics& Get() {
+    auto& registry = obs::MetricsRegistry::Default();
+    static CacheMetrics metrics{
+        registry.GetCounter("panoptes_cache_hits_total",
+                            "Fleet jobs replayed from a result-cache "
+                            "snapshot instead of executing"),
+        registry.GetCounter("panoptes_cache_misses_total",
+                            "Fleet jobs executed because no usable "
+                            "snapshot existed"),
+        registry.GetCounter("panoptes_cache_writes_total",
+                            "Job snapshots persisted to the result cache"),
+        registry.GetCounter("panoptes_cache_invalidations_total",
+                            "Cached snapshots rejected for a stale "
+                            "fingerprint, schema or corruption"),
+        registry.GetHistogram("panoptes_cache_snapshot_read_seconds",
+                              "Snapshot load + decode latency"),
+        registry.GetHistogram("panoptes_cache_snapshot_write_seconds",
+                              "Snapshot encode + persist latency"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+uint64_t ResultCache::FingerprintJob(const FleetOptions& options,
+                                     const FleetJob& job) {
+  FingerprintHasher h(util::HashString("panoptes-result-cache"));
+  h.Mix(static_cast<uint64_t>(snapshot::kSchemaVersion));
+  MixFramework(h, options);
+  MixBrowserSpec(h, job.spec);
+  h.Mix(static_cast<uint64_t>(job.kind));
+  h.Mix(static_cast<int64_t>(job.shard));
+  h.Mix(static_cast<int64_t>(job.shard_count));
+  // Folds base_seed plus the whole identity-derivation chain; a base
+  // seed change moves every job's fingerprint through this term.
+  h.Mix(DeriveJobSeed(options.base_seed, job.spec.name, job.kind, job.shard,
+                      /*attempt=*/0));
+  h.Mix(static_cast<int64_t>(options.max_job_retries));
+  MixCrawlOptions(h, job.crawl);
+  MixIdleOptions(h, job.idle);
+  return h.Digest();
+}
+
+std::filesystem::path ResultCache::PathFor(const FleetJob& job) const {
+  std::ostringstream name;
+  name << SanitizeName(job.spec.name) << '_' << CampaignKindName(job.kind)
+       << "_shard" << job.shard << "of" << job.shard_count << ".snap";
+  return dir_ / name.str();
+}
+
+std::optional<FleetJobResult> ResultCache::Load(const FleetJob& job,
+                                                uint64_t fingerprint,
+                                                bool skip_quarantined) const {
+  auto& metrics = CacheMetrics::Get();
+  int64_t start_ns = util::SteadyNowNanos();
+  std::ifstream file(PathFor(job), std::ios::binary);
+  if (!file) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    metrics.misses.Inc();
+    return std::nullopt;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+
+  auto invalidate = [&]() -> std::optional<FleetJobResult> {
+    invalidated_.fetch_add(1, std::memory_order_relaxed);
+    metrics.invalidations.Inc();
+    return std::nullopt;
+  };
+
+  auto header = snapshot::PeekHeader(bytes);
+  if (!header.has_value() || header->schema != snapshot::kSchemaVersion ||
+      header->fingerprint != fingerprint) {
+    return invalidate();
+  }
+  FleetJobResult result;
+  if (!snapshot::Read(bytes, job, &result)) return invalidate();
+  if (skip_quarantined && result.quarantined) {
+    // Resume: the snapshot faithfully records that the job died, but a
+    // restarted run should retry it rather than replay the failure.
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    metrics.misses.Inc();
+    return std::nullopt;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  metrics.hits.Inc();
+  metrics.read_seconds.Observe(
+      static_cast<double>(util::SteadyNowNanos() - start_ns) * 1e-9);
+  result.cache_hit = true;
+  return result;
+}
+
+void ResultCache::Store(const FleetJobResult& result,
+                        uint64_t fingerprint) const {
+  auto& metrics = CacheMetrics::Get();
+  int64_t start_ns = util::SteadyNowNanos();
+  std::string bytes = snapshot::Write(result, fingerprint);
+  std::filesystem::path final_path = PathFor(result.job);
+  // Pid-suffixed temp keeps concurrent processes off each other's
+  // half-written files; the rename is the atomic commit point.
+  std::filesystem::path temp_path = final_path;
+  temp_path += ".tmp" + std::to_string(static_cast<long long>(getpid()));
+  {
+    std::ofstream file(temp_path, std::ios::binary | std::ios::trunc);
+    if (!file) return;
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!file) {
+      file.close();
+      std::error_code ec;
+      std::filesystem::remove(temp_path, ec);
+      return;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp_path, final_path, ec);
+  if (ec) {
+    std::filesystem::remove(temp_path, ec);
+    return;
+  }
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  metrics.writes.Inc();
+  metrics.write_seconds.Observe(
+      static_cast<double>(util::SteadyNowNanos() - start_ns) * 1e-9);
+}
+
+CacheStats ResultCache::Stats() const {
+  CacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.writes = writes_.load(std::memory_order_relaxed);
+  stats.invalidated = invalidated_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace panoptes::core

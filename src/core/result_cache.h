@@ -1,0 +1,90 @@
+// Content-addressed cache of completed fleet jobs.
+//
+// A fleet run is a pure function of its inputs, so a finished job never
+// needs to execute twice: its FleetJobResult is frozen to a snapshot
+// file (core/snapshot.h) and replayed on the next run. The cache is
+// addressed two ways at once:
+//
+//   * the *filename* carries the job identity (browser, kind, shard),
+//     so each planned job maps to exactly one candidate file, and
+//   * the snapshot *header* carries a content fingerprint folding every
+//     input that can change the job's bytes — schema version, framework
+//     and catalog configuration, the full BrowserSpec, campaign kind
+//     and options, shard geometry, the derived job seed (hence the base
+//     seed and retry budget) and the chaos-profile fingerprint.
+//
+// A candidate whose fingerprint disagrees with the current plan is an
+// *invalidation*: the file describes a job this run would compute
+// differently, so it is ignored and the job re-executes. Changing one
+// browser's spec therefore invalidates exactly that browser's jobs;
+// changing the base seed or chaos profile invalidates everything —
+// never silently reused, never over-invalidated.
+//
+// Writes are crash-safe: the snapshot lands in a temp file first and is
+// renamed into place, so a killed run leaves either the complete old
+// file or the complete new file, and `--resume` replays every job that
+// finished before the kill.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "core/fleet.h"
+
+namespace panoptes::core {
+
+// Point-in-time cache accounting for the run manifest. hits + misses +
+// invalidated = jobs probed; writes = snapshots persisted.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t writes = 0;
+  uint64_t invalidated = 0;
+};
+
+class ResultCache {
+ public:
+  // Creates `dir` (and parents) if missing.
+  explicit ResultCache(std::filesystem::path dir);
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  // Folds every execution-relevant input of `job` under `options` into
+  // one 64-bit fingerprint. Pure function of its arguments.
+  static uint64_t FingerprintJob(const FleetOptions& options,
+                                 const FleetJob& job);
+
+  // The single candidate file for `job`:
+  // <dir>/<browser>_<kind>_shard<k>of<n>.snap (browser sanitized to
+  // filename-safe characters).
+  std::filesystem::path PathFor(const FleetJob& job) const;
+
+  // Probes the cache for `job`. Returns the restored result on a hit;
+  // nullopt on a miss (no file), an invalidation (stale fingerprint or
+  // undecodable snapshot) or — when `skip_quarantined` is set — a
+  // cached quarantine (resume semantics: a restarted run gives dead
+  // jobs a fresh chance instead of replaying the failure). Accounting
+  // and cache metrics are updated; thread-safe.
+  std::optional<FleetJobResult> Load(const FleetJob& job,
+                                     uint64_t fingerprint,
+                                     bool skip_quarantined) const;
+
+  // Persists `result` atomically (temp file + rename). Failures to
+  // write are swallowed — the cache is an accelerator, never a
+  // correctness dependency. Thread-safe.
+  void Store(const FleetJobResult& result, uint64_t fingerprint) const;
+
+  CacheStats Stats() const;
+
+ private:
+  std::filesystem::path dir_;
+  mutable std::atomic<uint64_t> hits_{0};
+  mutable std::atomic<uint64_t> misses_{0};
+  mutable std::atomic<uint64_t> writes_{0};
+  mutable std::atomic<uint64_t> invalidated_{0};
+};
+
+}  // namespace panoptes::core

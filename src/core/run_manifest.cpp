@@ -21,11 +21,18 @@ std::string SeedHex(uint64_t seed) {
 }  // namespace
 
 RunManifest BuildRunManifest(const FleetOptions& options,
-                             const std::vector<FleetJobResult>& results) {
+                             const std::vector<FleetJobResult>& results,
+                             const CacheStats* cache) {
   RunManifest manifest;
   manifest.base_seed = options.base_seed;
   manifest.chaos_profile = options.framework.chaos.name;
   manifest.max_job_retries = options.max_job_retries;
+  manifest.cache_enabled = !options.cache_dir.empty();
+  if (cache != nullptr) {
+    manifest.cache_misses = cache->misses;
+    manifest.cache_writes = cache->writes;
+    manifest.cache_invalidated = cache->invalidated;
+  }
 
   for (const auto& result : results) {
     ManifestJob job;
@@ -40,6 +47,8 @@ RunManifest BuildRunManifest(const FleetOptions& options,
       ++job.faults_by_kind[std::string(chaos::FaultKindName(event.kind))];
     }
     job.flow_writes_dropped = result.flow_writes_dropped;
+    job.cache_hit = result.cache_hit;
+    if (job.cache_hit) ++manifest.cache_hits;
     if (result.crawl.has_value()) {
       job.fault_injected_flows = result.crawl->fault_injected_flows;
       for (const auto& visit : result.crawl->visits) {
@@ -100,6 +109,14 @@ std::string RunManifest::ToJson() const {
   totals["backoff_millis"] = backoff_millis;
   root["totals"] = std::move(totals);
 
+  util::JsonObject cache;
+  cache["enabled"] = cache_enabled;
+  cache["hits"] = cache_hits;
+  cache["misses"] = cache_misses;
+  cache["writes"] = cache_writes;
+  cache["invalidated"] = cache_invalidated;
+  root["cache"] = std::move(cache);
+
   util::JsonArray job_array;
   for (const auto& job : jobs) {
     util::JsonObject entry;
@@ -118,6 +135,7 @@ std::string RunManifest::ToJson() const {
     entry["visit_retries"] = job.visit_retries;
     entry["failed_visits"] = job.failed_visits;
     entry["backoff_millis"] = job.backoff_millis;
+    entry["cache_hit"] = job.cache_hit;
     job_array.emplace_back(std::move(entry));
   }
   root["jobs"] = std::move(job_array);

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/fleet.h"
+#include "core/result_cache.h"
 
 namespace panoptes::core {
 
@@ -47,6 +48,7 @@ struct ManifestJob {
   uint64_t visit_retries = 0;
   uint64_t failed_visits = 0;
   int64_t backoff_millis = 0;  // simulated backoff across retries
+  bool cache_hit = false;      // replayed from a result-cache snapshot
 };
 
 struct RunManifest {
@@ -68,6 +70,15 @@ struct RunManifest {
   uint64_t flow_writes_dropped = 0;
   int64_t backoff_millis = 0;
 
+  // Result-cache accounting for this run (all zero with caching off).
+  // hits come from the per-job results; the probe totals come from the
+  // executor's ResultCache stats when the caller passes them.
+  bool cache_enabled = false;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_writes = 0;
+  uint64_t cache_invalidated = 0;
+
   bool Degraded() const {
     return total_faults > 0 || total_visit_retries > 0 ||
            total_job_retries > 0 || total_failed_visits > 0 ||
@@ -80,8 +91,12 @@ struct RunManifest {
 };
 
 // Builds the manifest from an un-merged fleet result list in plan
-// order. Pure: depends only on the options and the results.
+// order. Pure: depends only on the options and the results. When the
+// run used a result cache, pass its Stats() so the manifest carries the
+// probe totals (hit counts alone are recoverable from the results; the
+// miss/write/invalidation breakdown is not).
 RunManifest BuildRunManifest(const FleetOptions& options,
-                             const std::vector<FleetJobResult>& results);
+                             const std::vector<FleetJobResult>& results,
+                             const CacheStats* cache = nullptr);
 
 }  // namespace panoptes::core

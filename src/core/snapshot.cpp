@@ -1,0 +1,224 @@
+#include "core/snapshot.h"
+
+#include <utility>
+
+#include "util/binio.h"
+
+namespace panoptes::core::snapshot {
+
+namespace {
+
+void WriteStackStats(const device::NetworkStackStats& stats,
+                     util::BinWriter& out) {
+  out.U64(stats.sends);
+  out.U64(stats.ok);
+  out.U64(stats.dns_failures);
+  out.U64(stats.tls_failures);
+  out.U64(stats.pin_failures);
+  out.U64(stats.timeouts);
+  out.U64(stats.quic_blocked);
+  out.U64(stats.quic_direct);
+  out.U64(stats.diverted);
+}
+
+void ReadStackStats(util::BinReader& in, device::NetworkStackStats* stats) {
+  stats->sends = in.U64();
+  stats->ok = in.U64();
+  stats->dns_failures = in.U64();
+  stats->tls_failures = in.U64();
+  stats->pin_failures = in.U64();
+  stats->timeouts = in.U64();
+  stats->quic_blocked = in.U64();
+  stats->quic_direct = in.U64();
+  stats->diverted = in.U64();
+}
+
+void WriteVisit(const VisitRecord& visit, util::BinWriter& out) {
+  out.Str(visit.hostname);
+  out.U8(static_cast<uint8_t>(visit.category));
+  out.Bool(visit.ok);
+  out.Bool(visit.dom_content_loaded);
+  out.Bool(visit.incognito_honored);
+  out.I64(visit.engine_requests);
+  out.I64(visit.blocked_by_adblock);
+  out.I64(visit.attempts);
+  out.Str(visit.fault_cause);
+  out.I64(visit.backoff_millis);
+}
+
+void ReadVisit(util::BinReader& in, VisitRecord* visit) {
+  visit->hostname = in.Str();
+  visit->category = static_cast<web::SiteCategory>(in.U8());
+  visit->ok = in.Bool();
+  visit->dom_content_loaded = in.Bool();
+  visit->incognito_honored = in.Bool();
+  visit->engine_requests = static_cast<int>(in.I64());
+  visit->blocked_by_adblock = static_cast<int>(in.I64());
+  visit->attempts = static_cast<int>(in.I64());
+  visit->fault_cause = in.Str();
+  visit->backoff_millis = in.I64();
+}
+
+void WriteCrawl(const CrawlResult& crawl, util::BinWriter& out) {
+  out.Str(crawl.browser);
+  out.Bool(crawl.incognito_requested);
+  out.Bool(crawl.incognito_effective);
+  crawl.engine_flows->SerializeTo(out);
+  crawl.native_flows->SerializeTo(out);
+  out.U32(static_cast<uint32_t>(crawl.visits.size()));
+  for (const auto& visit : crawl.visits) WriteVisit(visit, out);
+  WriteStackStats(crawl.stack_stats, out);
+  out.U64(crawl.fault_injected_flows);
+}
+
+bool ReadCrawl(util::BinReader& in, CrawlResult* crawl) {
+  crawl->browser = in.Str();
+  crawl->incognito_requested = in.Bool();
+  crawl->incognito_effective = in.Bool();
+  crawl->engine_flows = proxy::FlowStore::Deserialize(in);
+  if (crawl->engine_flows == nullptr) return false;
+  crawl->native_flows = proxy::FlowStore::Deserialize(in);
+  if (crawl->native_flows == nullptr) return false;
+  uint32_t visit_count = in.U32();
+  if (!in.ok() || visit_count > in.remaining()) return false;
+  crawl->visits.clear();
+  crawl->visits.reserve(visit_count);
+  for (uint32_t i = 0; i < visit_count; ++i) {
+    VisitRecord visit;
+    ReadVisit(in, &visit);
+    crawl->visits.push_back(std::move(visit));
+  }
+  ReadStackStats(in, &crawl->stack_stats);
+  crawl->fault_injected_flows = in.U64();
+  return in.ok();
+}
+
+void WriteIdle(const IdleResult& idle, util::BinWriter& out) {
+  out.Str(idle.browser);
+  idle.native_flows->SerializeTo(out);
+  out.U64(idle.fault_injected_flows);
+  out.U32(static_cast<uint32_t>(idle.cumulative_by_bucket.size()));
+  for (uint64_t value : idle.cumulative_by_bucket) out.U64(value);
+  out.I64(idle.bucket.millis);
+}
+
+bool ReadIdle(util::BinReader& in, IdleResult* idle) {
+  idle->browser = in.Str();
+  idle->native_flows = proxy::FlowStore::Deserialize(in);
+  if (idle->native_flows == nullptr) return false;
+  idle->fault_injected_flows = in.U64();
+  uint32_t bucket_count = in.U32();
+  if (!in.ok() || bucket_count > in.remaining() / 8) return false;
+  idle->cumulative_by_bucket.clear();
+  idle->cumulative_by_bucket.reserve(bucket_count);
+  for (uint32_t i = 0; i < bucket_count; ++i) {
+    idle->cumulative_by_bucket.push_back(in.U64());
+  }
+  idle->bucket.millis = in.I64();
+  return in.ok();
+}
+
+void WriteFaults(const std::vector<chaos::FaultEvent>& faults,
+                 util::BinWriter& out) {
+  out.U32(static_cast<uint32_t>(faults.size()));
+  for (const auto& fault : faults) {
+    out.U8(static_cast<uint8_t>(fault.kind));
+    out.Str(fault.host);
+    out.I64(fault.sim_millis);
+  }
+}
+
+bool ReadFaults(util::BinReader& in, std::vector<chaos::FaultEvent>* faults) {
+  uint32_t count = in.U32();
+  if (!in.ok() || count > in.remaining()) return false;
+  faults->clear();
+  faults->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    chaos::FaultEvent event;
+    uint8_t kind = in.U8();
+    if (kind >= chaos::kFaultKindCount) return false;
+    event.kind = static_cast<chaos::FaultKind>(kind);
+    event.host = in.Str();
+    event.sim_millis = in.I64();
+    faults->push_back(std::move(event));
+  }
+  return in.ok();
+}
+
+}  // namespace
+
+std::string Write(const FleetJobResult& result, uint64_t fingerprint) {
+  util::BinWriter out;
+  for (char c : kMagic) out.U8(static_cast<uint8_t>(c));
+  out.U32(kSchemaVersion);
+  out.U64(fingerprint);
+  // Job identity, so a misplaced file can be detected at read time. The
+  // full BrowserSpec is deliberately absent: the executor re-attaches
+  // it from the current plan, and spec changes are caught by the
+  // fingerprint, not by diffing specs.
+  out.Str(result.job.spec.name);
+  out.U8(static_cast<uint8_t>(result.job.kind));
+  out.U32(static_cast<uint32_t>(result.job.shard));
+  out.U32(static_cast<uint32_t>(result.job.shard_count));
+  out.U64(result.seed);
+  out.I64(result.attempts);
+  out.Bool(result.quarantined);
+  WriteFaults(result.faults, out);
+  out.U64(result.flow_writes_dropped);
+  out.Bool(result.crawl.has_value());
+  if (result.crawl.has_value()) WriteCrawl(*result.crawl, out);
+  out.Bool(result.idle.has_value());
+  if (result.idle.has_value()) WriteIdle(*result.idle, out);
+  return out.Take();
+}
+
+std::optional<Header> PeekHeader(std::string_view bytes) {
+  util::BinReader in(bytes);
+  for (char expected : kMagic) {
+    if (in.U8() != static_cast<uint8_t>(expected)) return std::nullopt;
+  }
+  Header header;
+  header.schema = in.U32();
+  header.fingerprint = in.U64();
+  if (!in.ok()) return std::nullopt;
+  return header;
+}
+
+bool Read(std::string_view bytes, const FleetJob& job,
+          FleetJobResult* result) {
+  auto header = PeekHeader(bytes);
+  if (!header.has_value() || header->schema != kSchemaVersion) return false;
+  util::BinReader in(bytes);
+  for (size_t i = 0; i < kMagic.size(); ++i) in.U8();
+  in.U32();
+  in.U64();
+
+  std::string browser = in.Str();
+  auto kind = static_cast<CampaignKind>(in.U8());
+  int shard = static_cast<int>(in.U32());
+  int shard_count = static_cast<int>(in.U32());
+  if (!in.ok() || browser != job.spec.name || kind != job.kind ||
+      shard != job.shard || shard_count != job.shard_count) {
+    return false;
+  }
+
+  *result = FleetJobResult();
+  result->job = job;
+  result->seed = in.U64();
+  result->attempts = static_cast<int>(in.I64());
+  result->quarantined = in.Bool();
+  if (!ReadFaults(in, &result->faults)) return false;
+  result->flow_writes_dropped = in.U64();
+  if (in.Bool()) {
+    result->crawl.emplace();
+    if (!ReadCrawl(in, &*result->crawl)) return false;
+  }
+  if (in.Bool()) {
+    result->idle.emplace();
+    if (!ReadIdle(in, &*result->idle)) return false;
+  }
+  // Trailing garbage is corruption too — the snapshot is the whole file.
+  return in.ok() && in.AtEnd();
+}
+
+}  // namespace panoptes::core::snapshot

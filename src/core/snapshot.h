@@ -1,0 +1,54 @@
+// Versioned binary snapshot of one completed fleet job.
+//
+// A snapshot is the unit of the result cache (result_cache.h): the full
+// FleetJobResult — flow stores with headers and bodies, visit records,
+// network-stack stats, fault timeline and retry accounting — frozen to
+// bytes, so a later run can replay the job without executing it and
+// still render byte-identical reports. The format is deliberately
+// boring: fixed magic, explicit schema version, little-endian
+// fixed-width fields (util/binio.h), no in-memory representations on
+// disk. Any schema change bumps kSchemaVersion, which invalidates every
+// existing snapshot at read time — stale formats are re-executed, never
+// misparsed.
+//
+// Layout:
+//   bytes 0..7   magic "PANOSNAP"
+//   u32          schema version (kSchemaVersion)
+//   u64          job fingerprint (see ResultCache::FingerprintJob)
+//   ...          job identity (browser, kind, shard, shard_count) and
+//                the serialized result payload
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/fleet.h"
+
+namespace panoptes::core::snapshot {
+
+inline constexpr std::string_view kMagic = "PANOSNAP";
+inline constexpr uint32_t kSchemaVersion = 1;
+
+// Serializes `result` (with `fingerprint` in the header) to the full
+// file image.
+std::string Write(const FleetJobResult& result, uint64_t fingerprint);
+
+struct Header {
+  uint32_t schema = 0;
+  uint64_t fingerprint = 0;
+};
+
+// Decodes just the header; nullopt when `bytes` is not a snapshot.
+std::optional<Header> PeekHeader(std::string_view bytes);
+
+// Decodes the payload into `result`. The snapshot must describe exactly
+// `job` (browser, kind, shard, shard_count) — the cache addresses files
+// by job identity, and a mismatch means the file is foreign or corrupt.
+// On success `result->job` is taken from `job` (the snapshot does not
+// carry the full BrowserSpec; the caller's plan does). Returns false on
+// any structural problem; `*result` is unspecified then.
+bool Read(std::string_view bytes, const FleetJob& job, FleetJobResult* result);
+
+}  // namespace panoptes::core::snapshot

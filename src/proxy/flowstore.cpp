@@ -24,7 +24,13 @@ void FlowStore::Add(Flow flow) {
 }
 
 void FlowStore::TruncateTo(size_t size) {
-  if (size < flows_.size()) flows_.resize(size);
+  if (size >= flows_.size()) return;
+  static obs::Counter& rolled_back = obs::MetricsRegistry::Default().GetCounter(
+      "panoptes_proxy_flows_rolled_back_total",
+      "Stored flows discarded by visit-retry rollback (stored - "
+      "rolled_back reconciles with final store sizes)");
+  rolled_back.Inc(flows_.size() - size);
+  flows_.resize(size);
 }
 
 void FlowStore::AddUncounted(Flow flow) {
@@ -37,8 +43,48 @@ void FlowStore::AddUncounted(Flow flow) {
 }
 
 void FlowStore::Append(const FlowStore& other) {
+  if (other.flows_.empty()) return;
+  // Merges copy flows verbatim — going through AddUncounted here would
+  // re-apply *this* store's compaction to flows whose capture-time
+  // policy already decided what to keep.
+  if (&other == this) {
+    // reserve would invalidate the source range mid-copy when the
+    // source is this store; snapshot the size and copy by index (the
+    // reserve guarantees no reallocation during the pushes).
+    const size_t count = flows_.size();
+    flows_.reserve(2 * count);
+    for (size_t i = 0; i < count; ++i) flows_.push_back(flows_[i]);
+    return;
+  }
   flows_.reserve(flows_.size() + other.flows_.size());
-  for (const auto& flow : other.flows_) AddUncounted(flow);
+  flows_.insert(flows_.end(), other.flows_.begin(), other.flows_.end());
+}
+
+void FlowStore::SerializeTo(util::BinWriter& out) const {
+  out.Bool(compact_);
+  out.U64(dropped_writes_);
+  out.U32(static_cast<uint32_t>(flows_.size()));
+  for (const auto& flow : flows_) SerializeFlow(flow, out);
+}
+
+std::unique_ptr<FlowStore> FlowStore::Deserialize(util::BinReader& in) {
+  bool compact = in.Bool();
+  uint64_t dropped = in.U64();
+  uint32_t count = in.U32();
+  // The count is untrusted: a corrupt header must not drive a huge
+  // reservation (every serialized flow occupies well over 8 bytes).
+  if (!in.ok() || count > in.remaining() / 8) return nullptr;
+  auto store = std::make_unique<FlowStore>(compact);
+  store->dropped_writes_ = dropped;
+  store->flows_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    Flow flow;
+    if (!DeserializeFlow(in, &flow)) return nullptr;
+    // Straight into the vector: restored flows are already compacted
+    // (or not) as captured, and must not bump the stored-flows counter.
+    store->flows_.push_back(std::move(flow));
+  }
+  return store;
 }
 
 void FlowStore::Clear() {

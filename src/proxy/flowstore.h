@@ -5,11 +5,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "proxy/flow.h"
+#include "util/binio.h"
 
 namespace panoptes::chaos {
 class Injector;
@@ -36,13 +38,26 @@ class FlowStore {
 
   // Truncates the store back to `size` flows. Used by the visit retry
   // loop to discard the partial flows of a failed attempt so retries
-  // never double-count traffic.
+  // never double-count traffic. Discarded flows are counted into
+  // panoptes_proxy_flows_rolled_back_total so stored-flow metrics keep
+  // reconciling with report totals (stored - rolled_back == final).
   void TruncateTo(size_t size);
 
   // Appends a copy of every flow in `other`, preserving order. Used to
-  // fold sharded campaign stores back into one database; this store's
-  // compaction policy applies to the incoming flows.
+  // fold sharded campaign stores back into one database. Flows are
+  // copied verbatim: compaction is a capture-time decision, so a merge
+  // must never strip headers/bodies that the source store kept (nor
+  // can it restore what the source already dropped). Self-append is
+  // well-defined and duplicates the store in place.
   void Append(const FlowStore& other);
+
+  // Binary round trip for the job-snapshot format. Serializes the
+  // compaction flag, the dropped-write count and every flow verbatim;
+  // Deserialize returns nullptr on truncation or corruption. Restored
+  // flows never re-enter the stored-flows metric (they were counted at
+  // first capture, in the run that produced the snapshot).
+  void SerializeTo(util::BinWriter& out) const;
+  static std::unique_ptr<FlowStore> Deserialize(util::BinReader& in);
 
   void Reserve(size_t capacity) { flows_.reserve(capacity); }
 

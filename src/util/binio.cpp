@@ -1,0 +1,75 @@
+#include "util/binio.h"
+
+#include <bit>
+#include <cstring>
+
+namespace panoptes::util {
+
+void BinWriter::U32(uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out_.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void BinWriter::U64(uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out_.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void BinWriter::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+void BinWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+std::string_view BinReader::Bytes(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  std::string_view out = data_.substr(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+uint8_t BinReader::U8() {
+  std::string_view bytes = Bytes(1);
+  return ok_ ? static_cast<uint8_t>(bytes[0]) : 0;
+}
+
+uint32_t BinReader::U32() {
+  std::string_view bytes = Bytes(4);
+  if (!ok_) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t BinReader::U64() {
+  std::string_view bytes = Bytes(8);
+  if (!ok_) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[i])) << (8 * i);
+  }
+  return v;
+}
+
+double BinReader::F64() { return std::bit_cast<double>(U64()); }
+
+std::string BinReader::Str() {
+  uint32_t n = U32();
+  // The length itself is untrusted input: a corrupt header must not
+  // trigger a multi-gigabyte allocation before the bounds check.
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  return std::string(Bytes(n));
+}
+
+}  // namespace panoptes::util

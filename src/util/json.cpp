@@ -20,9 +20,14 @@ void DumpNumber(double d, std::string& out) {
                           static_cast<long long>(d));
     out.append(buf.data(), static_cast<size_t>(n));
   } else {
+    // std::to_chars keeps the decimal separator a '.' under any
+    // LC_NUMERIC — JSON reports must stay byte-identical across locales.
     std::array<char, 40> buf{};
-    int n = std::snprintf(buf.data(), buf.size(), "%.17g", d);
-    out.append(buf.data(), static_cast<size_t>(n));
+    auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), d,
+                                   std::chars_format::general, 17);
+    if (ec == std::errc()) {
+      out.append(buf.data(), static_cast<size_t>(ptr - buf.data()));
+    }
   }
 }
 

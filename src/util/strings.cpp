@@ -149,10 +149,14 @@ std::optional<uint64_t> ParseUint(std::string_view s) {
 }
 
 std::string FormatDouble(double value, int decimals) {
+  // std::to_chars, not snprintf: %f obeys LC_NUMERIC and would emit a
+  // locale decimal comma, breaking the byte-determinism of every CSV
+  // report (and with it, snapshot fingerprint validation).
   std::array<char, 64> buf{};
-  int n = std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
-  if (n < 0) return {};
-  return std::string(buf.data(), static_cast<size_t>(n));
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), value,
+                                 std::chars_format::fixed, decimals);
+  if (ec != std::errc()) return {};
+  return std::string(buf.data(), static_cast<size_t>(ptr - buf.data()));
 }
 
 std::string PercentEncode(std::string_view s) {

@@ -26,6 +26,7 @@
 #include "core/framework.h"
 #include "core/run_manifest.h"
 #include "net/url.h"
+#include "obs/metrics.h"
 #include "proxy/flowstore.h"
 
 namespace panoptes {
@@ -339,6 +340,37 @@ TEST(ChaosFlowStore, TruncateToDiscardsTail) {
   EXPECT_EQ(store.size(), 2u);
   store.TruncateTo(4);  // growing is a no-op
   EXPECT_EQ(store.size(), 2u);
+}
+
+// Metric reconciliation: rollbacks emit their own counter, so the
+// stored-flows total keeps adding up — stored − rolled_back must equal
+// the number of flows actually sitting in the stores at the end.
+// (Before the rolled-back counter existed, TruncateTo silently made
+// panoptes_proxy_flows_stored_total overcount retry-heavy runs.)
+TEST(ChaosMetrics, StoredMinusRolledBackReconcilesWithFinalStores) {
+  obs::MetricsRegistry::Default().Reset();
+  core::FrameworkOptions options;
+  options.catalog.popular_count = 4;
+  options.catalog.sensitive_count = 0;
+  core::Framework framework(options);
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) sites.push_back(&site);
+  framework.network().zone().SetFailing(sites[1]->hostname, true);
+  core::CrawlOptions crawl;
+  crawl.retry.max_retries = 2;
+  auto result =
+      core::RunCrawl(framework, *browser::FindSpec("Yandex"), sites, crawl);
+
+  auto& registry = obs::MetricsRegistry::Default();
+  uint64_t stored =
+      registry.GetCounter("panoptes_proxy_flows_stored_total").Value();
+  uint64_t rolled =
+      registry.GetCounter("panoptes_proxy_flows_rolled_back_total").Value();
+  // The broken site's failed attempts left partial traffic behind and
+  // the retry loop rolled it back.
+  EXPECT_GT(rolled, 0u);
+  EXPECT_EQ(stored - rolled,
+            result.engine_flows->size() + result.native_flows->size());
 }
 
 // Disabled chaos is bit-identical to the pre-chaos build: the golden

@@ -75,6 +75,104 @@ TEST(FlowStore, CompactDropsHeadersAndBody) {
   EXPECT_EQ(store.flows().front().request_bytes, 100u);
 }
 
+// Regression: self-append used to reserve (invalidating iterators over
+// other.flows_ when &other == this) and then walk the dangling range.
+// Enough flows to force the reallocation, payloads to catch corruption.
+TEST(FlowStore, SelfAppendDuplicatesInPlace) {
+  FlowStore store;
+  for (int i = 0; i < 100; ++i) {
+    Flow flow = MakeFlow("https://a.com/" + std::to_string(i));
+    flow.request_body = "body-" + std::to_string(i);
+    store.Add(flow);
+  }
+  store.Append(store);
+  ASSERT_EQ(store.size(), 200u);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(store.flows()[i].url.Serialize(),
+              store.flows()[i + 100].url.Serialize());
+    EXPECT_EQ(store.flows()[i].request_body,
+              store.flows()[i + 100].request_body);
+  }
+}
+
+// Regression: Append used to route through the destination's
+// capture-time compaction, stripping headers/bodies that the source
+// (full) store had kept. Merges must copy verbatim, both directions.
+TEST(FlowStore, AppendCopiesVerbatimAcrossCompactionPolicies) {
+  Flow full_flow = MakeFlow("https://full.com/x");
+  full_flow.request_headers.Add("User-Agent", "kept");
+  full_flow.request_body = "kept-body";
+
+  FlowStore full;        // keeps headers/bodies
+  full.Add(full_flow);
+  FlowStore compact(/*compact=*/true);  // strips at capture
+  compact.Add(full_flow);
+
+  // full → compact: the compact destination must NOT re-strip.
+  FlowStore into_compact(/*compact=*/true);
+  into_compact.Append(full);
+  ASSERT_EQ(into_compact.size(), 1u);
+  EXPECT_EQ(into_compact.flows()[0].request_body, "kept-body");
+  EXPECT_FALSE(into_compact.flows()[0].request_headers.empty());
+
+  // compact → full: what capture already dropped stays dropped.
+  FlowStore into_full;
+  into_full.Append(compact);
+  ASSERT_EQ(into_full.size(), 1u);
+  EXPECT_TRUE(into_full.flows()[0].request_body.empty());
+  EXPECT_TRUE(into_full.flows()[0].request_headers.empty());
+}
+
+TEST(FlowStore, BinaryRoundTripPreservesEverything) {
+  FlowStore store(/*compact=*/false);
+  Flow flow = MakeFlow("https://a.com/x?q=1");
+  flow.id = 7;
+  flow.time.millis = 123456;
+  flow.browser = "Yandex";
+  flow.app_uid = 10042;
+  flow.request_headers.Add("User-Agent", "UA");
+  flow.request_headers.Add("Cookie", "sid=abc");
+  flow.request_body = std::string("payload\x00\x01\xff", 10);
+  flow.response_status = 204;
+  flow.origin = TrafficOrigin::kNative;
+  flow.taint = "x-taint";
+  flow.blocked = true;
+  flow.blocked_by = "easylist";
+  flow.fault_injected = true;
+  store.Add(flow);
+  store.Add(MakeFlow("https://b.com/y"));
+
+  util::BinWriter out;
+  store.SerializeTo(out);
+  std::string bytes = out.Take();
+
+  util::BinReader in(bytes);
+  auto restored = FlowStore::Deserialize(in);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_TRUE(in.AtEnd());
+  ASSERT_EQ(restored->size(), 2u);
+  const Flow& back = restored->flows()[0];
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_EQ(back.time.millis, 123456);
+  EXPECT_EQ(back.browser, "Yandex");
+  EXPECT_EQ(back.app_uid, 10042);
+  EXPECT_EQ(back.url.Serialize(), flow.url.Serialize());
+  EXPECT_EQ(back.request_headers.Get("Cookie").value_or(""), "sid=abc");
+  EXPECT_EQ(back.request_body, flow.request_body);
+  EXPECT_EQ(back.response_status, 204);
+  EXPECT_EQ(back.origin, TrafficOrigin::kNative);
+  EXPECT_EQ(back.taint, "x-taint");
+  EXPECT_TRUE(back.blocked);
+  EXPECT_EQ(back.blocked_by, "easylist");
+  EXPECT_TRUE(back.fault_injected);
+
+  // Truncated input fails soft, never throws.
+  for (size_t cut : {size_t{0}, size_t{5}, bytes.size() - 1}) {
+    util::BinReader bad(std::string_view(bytes).substr(0, cut));
+    EXPECT_EQ(FlowStore::Deserialize(bad), nullptr) << cut;
+  }
+}
+
 TEST(TrafficOrigin, Names) {
   EXPECT_EQ(TrafficOriginName(TrafficOrigin::kEngine), "engine");
   EXPECT_EQ(TrafficOriginName(TrafficOrigin::kNative), "native");
