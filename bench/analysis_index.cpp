@@ -1,0 +1,225 @@
+// BM_AnalysisIndex: the full_report analysis battery over one crawl,
+// measured two ways. The legacy path rescans the raw flow vectors once
+// per analyzer (re-parsing query strings, re-decoding Base64, re-parsing
+// JSON bodies each time); the indexed path builds one analysis::FlowIndex
+// per store and hands every analyzer the pre-parsed columns. The indexed
+// timing INCLUDES the index builds, so the reported ratio is the honest
+// end-to-end speedup a full_report run sees.
+//
+// BM_AnalysisIndexBuild / Serialize / Deserialize bound the index's own
+// costs and back the EXPERIMENTS.md rebuild-vs-deserialize note.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <set>
+
+#include "analysis/dns_leakage.h"
+#include "analysis/flow_index.h"
+#include "analysis/geoip.h"
+#include "analysis/historyleak.h"
+#include "analysis/hostslist.h"
+#include "analysis/naive_split.h"
+#include "analysis/pii.h"
+#include "analysis/referer.h"
+#include "analysis/stats.h"
+#include "analysis/timeline.h"
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+#include "net/psl.h"
+#include "util/binio.h"
+
+using namespace panoptes;
+
+namespace {
+
+// One crawl, captured once and shared by every benchmark. The engine
+// store keeps headers (compact_engine_store = false) so the Referer
+// analysis runs for real, matching AuditBrowser.
+struct Capture {
+  std::unique_ptr<core::Framework> framework;
+  core::CrawlResult result;
+  std::vector<net::Url> visited;
+  std::set<std::string> site_hosts;
+  analysis::GeoIpDb geo;
+  analysis::HostsList hosts_list = analysis::HostsList::Default();
+  device::DeviceProfile profile = device::DeviceProfile::PaperTestbed();
+};
+
+Capture& GetCapture() {
+  static Capture* capture = [] {
+    auto* c = new Capture;
+    core::FrameworkOptions options;
+    options.catalog.popular_count = 30;
+    options.catalog.sensitive_count = 10;
+    c->framework = std::make_unique<core::Framework>(options);
+    std::vector<const web::Site*> sites;
+    for (const auto& site : c->framework->catalog().sites()) {
+      sites.push_back(&site);
+    }
+    core::CrawlOptions crawl_options;
+    crawl_options.compact_engine_store = false;
+    c->result = core::RunCrawl(*c->framework, *browser::FindSpec("Yandex"),
+                               sites, crawl_options);
+    for (const auto* site : sites) {
+      c->visited.push_back(site->landing_url);
+      c->site_hosts.insert(site->landing_url.host());
+    }
+    c->geo = analysis::GeoIpDb(c->framework->geo_plan().ranges());
+    return c;
+  }();
+  return *capture;
+}
+
+// The analyzer battery full_report runs per browser, on the legacy
+// store-scanning overloads. Returns a checksum so nothing is dead code.
+uint64_t LegacyBattery(const Capture& c) {
+  const proxy::FlowStore& engine = *c.result.engine_flows;
+  const proxy::FlowStore& native = *c.result.native_flows;
+  uint64_t checksum = 0;
+
+  analysis::PiiScanner scanner(c.profile);
+  checksum += scanner.Scan(native).LeakCount();
+
+  analysis::HistoryLeakDetector detector(c.visited);
+  checksum += detector.Scan(native).size();
+  checksum += detector.Scan(engine, true).size();
+
+  checksum += analysis::CountriesContacted(native, c.geo).size();
+  checksum += analysis::AnalyzeRefererLeakage(engine).leaking_requests;
+  checksum += analysis::AnalyzeDnsLeakage(native).queries;
+
+  analysis::NaiveSplitter splitter(c.site_hosts);
+  checksum += splitter.Evaluate(engine, native).correct;
+
+  checksum += engine.RequestBytes() + native.RequestBytes();
+  for (const auto& host : native.DistinctHosts()) {
+    checksum += net::RegistrableDomain(host).size();
+    checksum += c.hosts_list.IsAdRelated(host) ? 1 : 0;
+  }
+  return checksum;
+}
+
+// The same battery on the FlowIndex overloads. `build_indexes` charges
+// the two index builds to this timing; full_report amortizes them
+// across analyzers exactly like this.
+uint64_t IndexedBattery(const Capture& c, bool build_indexes) {
+  const proxy::FlowStore& engine = *c.result.engine_flows;
+  const proxy::FlowStore& native = *c.result.native_flows;
+  std::shared_ptr<const analysis::FlowIndex> engine_index;
+  std::shared_ptr<const analysis::FlowIndex> native_index;
+  if (build_indexes) {
+    engine_index = std::make_shared<const analysis::FlowIndex>(
+        analysis::FlowIndex::Build(engine));
+    native_index = std::make_shared<const analysis::FlowIndex>(
+        analysis::FlowIndex::Build(native));
+  } else {
+    engine_index = c.result.engine_index;
+    native_index = c.result.native_index;
+  }
+  uint64_t checksum = 0;
+
+  analysis::PiiScanner scanner(c.profile);
+  checksum += scanner.Scan(*native_index).LeakCount();
+
+  analysis::HistoryLeakDetector detector(c.visited);
+  checksum += detector.Scan(native, *native_index).size();
+  checksum += detector.Scan(engine, *engine_index, true).size();
+
+  checksum += analysis::CountriesContacted(*native_index, c.geo).size();
+  checksum +=
+      analysis::AnalyzeRefererLeakage(engine, *engine_index).leaking_requests;
+  checksum += analysis::AnalyzeDnsLeakage(*native_index).queries;
+
+  analysis::NaiveSplitter splitter(c.site_hosts);
+  checksum += splitter.Evaluate(*engine_index, *native_index).correct;
+
+  checksum += engine_index->request_bytes_total() +
+              native_index->request_bytes_total();
+  for (const auto& host : native_index->hosts()) {
+    checksum += host.domain.size();
+    checksum += c.hosts_list.IsAdRelated(host.raw) ? 1 : 0;
+  }
+  return checksum;
+}
+
+void BM_AnalysisIndexLegacyScans(benchmark::State& state) {
+  Capture& c = GetCapture();
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    checksum = LegacyBattery(c);
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["checksum"] =
+      benchmark::Counter(static_cast<double>(checksum));
+}
+BENCHMARK(BM_AnalysisIndexLegacyScans)->Unit(benchmark::kMicrosecond);
+
+void BM_AnalysisIndex(benchmark::State& state) {
+  Capture& c = GetCapture();
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    checksum = IndexedBattery(c, /*build_indexes=*/true);
+    benchmark::DoNotOptimize(checksum);
+  }
+  // The two batteries must agree, or the comparison is meaningless.
+  if (checksum != LegacyBattery(c)) state.SkipWithError("checksum mismatch");
+  state.counters["checksum"] =
+      benchmark::Counter(static_cast<double>(checksum));
+}
+BENCHMARK(BM_AnalysisIndex)->Unit(benchmark::kMicrosecond);
+
+// Analyzers only, indexes prebuilt — the cache-hit path, where the
+// index arrives deserialized from the job snapshot.
+void BM_AnalysisIndexPrebuilt(benchmark::State& state) {
+  Capture& c = GetCapture();
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    checksum = IndexedBattery(c, /*build_indexes=*/false);
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.counters["checksum"] =
+      benchmark::Counter(static_cast<double>(checksum));
+}
+BENCHMARK(BM_AnalysisIndexPrebuilt)->Unit(benchmark::kMicrosecond);
+
+void BM_AnalysisIndexBuild(benchmark::State& state) {
+  Capture& c = GetCapture();
+  for (auto _ : state) {
+    auto index = analysis::FlowIndex::Build(*c.result.native_flows);
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["flows"] = benchmark::Counter(
+      static_cast<double>(c.result.native_flows->size()));
+}
+BENCHMARK(BM_AnalysisIndexBuild)->Unit(benchmark::kMicrosecond);
+
+void BM_AnalysisIndexSerialize(benchmark::State& state) {
+  Capture& c = GetCapture();
+  for (auto _ : state) {
+    util::BinWriter out;
+    c.result.native_index->SerializeTo(out);
+    std::string bytes = out.Take();
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_AnalysisIndexSerialize)->Unit(benchmark::kMicrosecond);
+
+void BM_AnalysisIndexDeserialize(benchmark::State& state) {
+  Capture& c = GetCapture();
+  util::BinWriter out;
+  c.result.native_index->SerializeTo(out);
+  std::string bytes = out.Take();
+  for (auto _ : state) {
+    util::BinReader in(bytes);
+    auto index = analysis::FlowIndex::Deserialize(in);
+    benchmark::DoNotOptimize(index);
+  }
+  state.counters["bytes"] =
+      benchmark::Counter(static_cast<double>(bytes.size()));
+}
+BENCHMARK(BM_AnalysisIndexDeserialize)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

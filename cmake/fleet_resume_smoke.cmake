@@ -45,7 +45,7 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "reference fleet run failed (rc=${rc})\n${log}")
 endif()
 
-foreach(jobs 1 2 4)
+foreach(jobs 1 2 4 8)
   set(cache_dir "${OUT_DIR}/cache_j${jobs}")
   set(resumed_json "${OUT_DIR}/resumed_j${jobs}.json")
   set(resumed_csv "${OUT_DIR}/resumed_j${jobs}.csv")

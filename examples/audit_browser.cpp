@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "analysis/flow_index.h"
 #include "analysis/geoip.h"
 #include "analysis/historyleak.h"
 #include "analysis/hostslist.h"
@@ -65,10 +66,12 @@ int main(int argc, char** argv) {
   analysis::GeoIpDb geo(framework.geo_plan().ranges());
   std::printf("--- native destinations ---\n");
   analysis::TextTable table({"Host", "Requests", "Class", "Country"});
-  for (const auto& host : result.native_flows->DistinctHosts()) {
-    auto flows = result.native_flows->ToHost(host);
-    auto info = geo.Lookup(flows.front()->server_ip);
-    table.AddRow({host, std::to_string(flows.size()),
+  const analysis::FlowIndex& native_index = *result.native_index;
+  for (const auto& host : native_index.SortedHosts()) {
+    const auto* flow_ids = native_index.FlowsToHost(host);
+    auto info = geo.Lookup(net::IpAddress(
+        native_index.entries()[flow_ids->front()].server_ip));
+    table.AddRow({host, std::to_string(flow_ids->size()),
                   hosts_list.IsAdRelated(host) ? "AD/ANALYTICS" : "vendor/infra",
                   info ? info->country_name +
                              (info->eu_member ? " (EU)" : " (non-EU)")
@@ -82,10 +85,19 @@ int main(int argc, char** argv) {
   analysis::HistoryLeakDetector detector(visited);
   std::printf("--- browsing-history leaks ---\n");
   bool any = false;
-  for (const auto* store :
-       {result.native_flows.get(), result.engine_flows.get()}) {
-    bool engine = store == result.engine_flows.get();
-    for (const auto& leak : detector.Scan(*store, engine)) {
+  struct TaintedStore {
+    const proxy::FlowStore* store;
+    const analysis::FlowIndex* index;
+    bool engine;
+  };
+  for (const auto& side : {
+           TaintedStore{result.native_flows.get(),
+                        result.native_index.get(), false},
+           TaintedStore{result.engine_flows.get(),
+                        result.engine_index.get(), true},
+       }) {
+    for (const auto& leak :
+         detector.Scan(*side.store, *side.index, side.engine)) {
       any = true;
       std::printf("%s receives the %s (%s%s%s) — %llu reports\n",
                   leak.destination_host.c_str(),
@@ -102,7 +114,7 @@ int main(int argc, char** argv) {
 
   // PII row.
   analysis::PiiScanner scanner(framework.device().profile());
-  auto pii = scanner.Scan(*result.native_flows);
+  auto pii = scanner.Scan(native_index);
   std::printf("\n--- Table 2 row ---\n");
   for (size_t i = 0; i < analysis::kPiiFieldCount; ++i) {
     std::printf("%-16s %s\n",

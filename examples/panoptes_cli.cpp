@@ -24,6 +24,7 @@
 #include <stdexcept>
 
 #include "analysis/export.h"
+#include "analysis/flow_index.h"
 #include "analysis/historyleak.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -140,10 +141,19 @@ int CmdCrawl(const util::Args& args) {
   std::vector<net::Url> visited;
   for (const auto* site : sites) visited.push_back(site->landing_url);
   analysis::HistoryLeakDetector detector(visited);
-  for (const auto* store :
-       {result.native_flows.get(), result.engine_flows.get()}) {
-    bool engine = store == result.engine_flows.get();
-    for (const auto& leak : detector.Scan(*store, engine)) {
+  struct TaintedStore {
+    const proxy::FlowStore* store;
+    const analysis::FlowIndex* index;
+    bool engine;
+  };
+  for (const auto& side : {
+           TaintedStore{result.native_flows.get(),
+                        result.native_index.get(), false},
+           TaintedStore{result.engine_flows.get(),
+                        result.engine_index.get(), true},
+       }) {
+    for (const auto& leak :
+         detector.Scan(*side.store, *side.index, side.engine)) {
       std::printf("leak -> %s [%s%s%s]\n", leak.destination_host.c_str(),
                   std::string(LeakGranularityName(leak.granularity)).c_str(),
                   leak.persistent_identifier ? ", persistent id" : "",
@@ -199,7 +209,7 @@ int CmdIdle(const util::Args& args) {
               (unsigned long long)timeline.total,
               std::string(analysis::TimelineShapeName(timeline.shape)).c_str(),
               analysis::Percent(timeline.first_minute_share).c_str());
-  for (const auto& host : result.native_flows->DistinctHosts()) {
+  for (const auto& host : result.native_index->SortedHosts()) {
     std::printf("  %-30s %s\n", host.c_str(),
                 analysis::Percent(result.ShareToHost(host)).c_str());
   }

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "analysis/flow_index.h"
 #include "analysis/geoip.h"
 #include "analysis/historyleak.h"
 #include "analysis/pii.h"
@@ -63,8 +64,10 @@ int main(int argc, char** argv) {
   std::vector<net::Url> visited;
   for (const auto* site : sites) visited.push_back(site->landing_url);
   analysis::HistoryLeakDetector detector(visited);
-  auto native_leaks = detector.Scan(*result.native_flows);
+  auto native_leaks =
+      detector.Scan(*result.native_flows, *result.native_index);
   auto engine_leaks = detector.Scan(*result.engine_flows,
+                                    *result.engine_index,
                                     /*engine_store=*/true);
 
   analysis::GeoIpDb geo(framework.geo_plan().ranges());
@@ -74,8 +77,8 @@ int main(int argc, char** argv) {
   for (const auto* leaks : {&native_leaks, &engine_leaks}) {
     for (const auto& leak : *leaks) {
       auto transfers = analysis::ClassifyTransfers(
-          leak.via_engine_injection ? *result.engine_flows
-                                    : *result.native_flows,
+          leak.via_engine_injection ? *result.engine_index
+                                    : *result.native_index,
           {leak.destination_host}, geo);
       std::string where = transfers.empty()
                               ? "?"
@@ -96,7 +99,7 @@ int main(int argc, char** argv) {
 
   // What device data left the phone?
   analysis::PiiScanner scanner(framework.device().profile());
-  auto pii = scanner.Scan(*result.native_flows);
+  auto pii = scanner.Scan(*result.native_index);
   std::printf("\nPII fields leaked natively: %zu\n", pii.LeakCount());
   for (const auto& evidence : pii.evidence) {
     std::printf("  %-15s -> %-28s %s\n",

@@ -1,5 +1,6 @@
 #include "analysis/audit.h"
 
+#include "analysis/flow_index.h"
 #include "analysis/report.h"
 
 namespace panoptes::analysis {
@@ -38,18 +39,23 @@ BrowserAuditReport AuditBrowser(core::Framework& framework,
   report.domains =
       ComputeDomainStats(result, VendorDomainsFor(spec.name), hosts_list);
 
+  // RunCrawl indexed both stores at capture end; every analysis below
+  // consumes the pre-parsed columns instead of rescanning the flows.
   PiiScanner scanner(framework.device().profile());
-  report.pii = scanner.Scan(*result.native_flows);
+  report.pii = scanner.Scan(*result.native_index);
 
   std::vector<net::Url> visited;
   visited.reserve(sites.size());
   for (const auto* site : sites) visited.push_back(site->landing_url);
   HistoryLeakDetector detector(std::move(visited));
-  report.native_leaks = detector.Scan(*result.native_flows);
-  report.engine_leaks = detector.Scan(*result.engine_flows, true);
+  report.native_leaks =
+      detector.Scan(*result.native_flows, *result.native_index);
+  report.engine_leaks =
+      detector.Scan(*result.engine_flows, *result.engine_index, true);
 
-  report.countries = CountriesContacted(*result.native_flows, geo);
-  report.referer = AnalyzeRefererLeakage(*result.engine_flows);
+  report.countries = CountriesContacted(*result.native_index, geo);
+  report.referer =
+      AnalyzeRefererLeakage(*result.engine_flows, *result.engine_index);
   report.stack = result.stack_stats;
   return report;
 }

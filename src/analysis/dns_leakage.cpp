@@ -1,5 +1,7 @@
 #include "analysis/dns_leakage.h"
 
+#include "analysis/flow_index.h"
+#include "net/psl.h"
 #include "util/strings.h"
 
 namespace panoptes::analysis {
@@ -11,24 +13,70 @@ constexpr const char* kDohProviders[] = {"cloudflare-dns.com",
 
 }  // namespace
 
+bool IsDohProviderHost(std::string_view host) {
+  // Label-boundary suffix match: covers the provider apex and scoped
+  // endpoints like "mozilla.cloudflare-dns.com", case- and trailing-
+  // dot-insensitively — but never "notdns.google"-style lookalikes.
+  for (const char* provider : kDohProviders) {
+    if (net::HostMatchesDomain(host, provider)) return true;
+  }
+  return false;
+}
+
 DnsLeakageReport AnalyzeDnsLeakage(
     const proxy::FlowStore& native_flows,
     const std::set<std::string>& visited_hosts) {
   DnsLeakageReport report;
   for (const auto& flow : native_flows.flows()) {
-    bool is_provider = false;
-    for (const char* provider : kDohProviders) {
-      if (flow.Host() == provider) {
-        is_provider = true;
-        break;
-      }
+    if (!IsDohProviderHost(flow.Host()) ||
+        flow.url.path() != "/dns-query") {
+      continue;
     }
-    if (!is_provider || flow.url.path() != "/dns-query") continue;
 
     auto name = flow.url.QueryParam("name");
     if (!name) continue;
     report.uses_doh = true;
     report.provider_host = flow.Host();
+    ++report.queries;
+    std::string lowered = util::ToLower(*name);
+    report.domains_leaked.insert(lowered);
+    if (visited_hosts.count(lowered) > 0) {
+      ++report.visited_site_lookups;
+    }
+  }
+  return report;
+}
+
+DnsLeakageReport AnalyzeDnsLeakage(
+    const FlowIndex& native_index,
+    const std::set<std::string>& visited_hosts) {
+  DnsLeakageReport report;
+  auto dns_query_path = native_index.PathId("/dns-query");
+  if (!dns_query_path) return report;
+
+  std::vector<bool> is_doh;
+  is_doh.reserve(native_index.hosts().size());
+  for (const auto& host : native_index.hosts()) {
+    is_doh.push_back(IsDohProviderHost(host.raw));
+  }
+
+  const auto& params = native_index.params();
+  for (const auto& entry : native_index.entries()) {
+    if (!is_doh[entry.host_id] || entry.path_id != *dns_query_path) {
+      continue;
+    }
+    // First "name" query parameter, like Url::QueryParam.
+    const std::string* name = nullptr;
+    for (uint32_t p = entry.param_begin; p < entry.param_end; ++p) {
+      if (params[p].source == FlowIndex::ParamSource::kQuery &&
+          native_index.key(params[p].key_id) == "name") {
+        name = &params[p].value;
+        break;
+      }
+    }
+    if (name == nullptr) continue;
+    report.uses_doh = true;
+    report.provider_host = native_index.host(entry.host_id).raw;
     ++report.queries;
     std::string lowered = util::ToLower(*name);
     report.domains_leaked.insert(lowered);

@@ -7,11 +7,14 @@
 
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "proxy/flowstore.h"
 
 namespace panoptes::analysis {
+
+class FlowIndex;
 
 struct DnsLeakageReport {
   bool uses_doh = false;
@@ -23,10 +26,21 @@ struct DnsLeakageReport {
   uint64_t visited_site_lookups = 0;
 };
 
+// True when `host` is (or is a subdomain of) one of the DoH provider
+// hosts the paper names. Case- and trailing-dot-insensitive,
+// label-boundary-aware.
+bool IsDohProviderHost(std::string_view host);
+
 // Scans native flows for DoH queries. `visited_hosts` (may be empty)
 // classifies which lookups expose the browsing history itself.
 DnsLeakageReport AnalyzeDnsLeakage(
     const proxy::FlowStore& native_flows,
+    const std::set<std::string>& visited_hosts = {});
+
+// Index-backed variant: the provider classification runs once per
+// distinct host and the query parameters come pre-decoded.
+DnsLeakageReport AnalyzeDnsLeakage(
+    const FlowIndex& native_index,
     const std::set<std::string>& visited_hosts = {});
 
 }  // namespace panoptes::analysis

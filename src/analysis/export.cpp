@@ -3,6 +3,7 @@
 #include <array>
 #include <cstdio>
 
+#include "analysis/flow_index.h"
 #include "analysis/pii.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -129,10 +130,16 @@ std::string SeedHex(uint64_t seed) {
   return std::string(buf.data());
 }
 
-// Sorted PII field names leaked by the native store.
-std::vector<std::string> PiiFieldNames(const proxy::FlowStore& native) {
+// Sorted PII field names leaked by the native store. The scan runs
+// over the prebuilt index when the result carries one; results without
+// an index (hand-assembled in tests) get a local single-use build,
+// which the scanner consumes identically.
+std::vector<std::string> PiiFieldNames(const proxy::FlowStore& native,
+                                       const FlowIndex* index) {
   PiiScanner scanner(device::DeviceProfile::PaperTestbed());
-  PiiReport report = scanner.Scan(native);
+  PiiReport report = index != nullptr
+                         ? scanner.Scan(*index)
+                         : scanner.Scan(FlowIndex::Build(native));
   std::vector<std::string> names;
   for (size_t i = 0; i < kPiiFieldCount; ++i) {
     if (report.leaked[i]) {
@@ -153,17 +160,26 @@ std::string FleetSummaryCsv(
     double ratio = 0;
     size_t pii = 0;
     if (result.crawl.has_value()) {
-      engine = result.crawl->EngineRequestCount();
-      native = result.crawl->NativeRequestCount();
-      engine_bytes = result.crawl->engine_flows->RequestBytes();
-      native_bytes = result.crawl->native_flows->RequestBytes();
-      ratio = result.crawl->NativeRatio();
-      pii = PiiFieldNames(*result.crawl->native_flows).size();
+      const core::CrawlResult& crawl = *result.crawl;
+      engine = crawl.EngineRequestCount();
+      native = crawl.NativeRequestCount();
+      engine_bytes = crawl.engine_index != nullptr
+                         ? crawl.engine_index->request_bytes_total()
+                         : crawl.engine_flows->RequestBytes();
+      native_bytes = crawl.native_index != nullptr
+                         ? crawl.native_index->request_bytes_total()
+                         : crawl.native_flows->RequestBytes();
+      ratio = crawl.NativeRatio();
+      pii = PiiFieldNames(*crawl.native_flows, crawl.native_index.get())
+                .size();
     } else if (result.idle.has_value()) {
-      native = result.idle->native_flows->size();
-      native_bytes = result.idle->native_flows->RequestBytes();
+      const core::IdleResult& idle = *result.idle;
+      native = idle.native_flows->size();
+      native_bytes = idle.native_index != nullptr
+                         ? idle.native_index->request_bytes_total()
+                         : idle.native_flows->RequestBytes();
       ratio = native == 0 ? 0 : 1.0;  // idle traffic is all native
-      pii = PiiFieldNames(*result.idle->native_flows).size();
+      pii = PiiFieldNames(*idle.native_flows, idle.native_index.get()).size();
     }
     rows.push_back({result.job.spec.name,
                     std::string(core::CampaignKindName(result.job.kind)),
@@ -193,20 +209,33 @@ std::string FleetReportJson(
       entry["engine_requests"] = crawl.EngineRequestCount();
       entry["native_requests"] = crawl.NativeRequestCount();
       entry["native_ratio"] = crawl.NativeRatio();
-      entry["engine_request_bytes"] = crawl.engine_flows->RequestBytes();
-      entry["native_request_bytes"] = crawl.native_flows->RequestBytes();
+      entry["engine_request_bytes"] =
+          crawl.engine_index != nullptr
+              ? crawl.engine_index->request_bytes_total()
+              : crawl.engine_flows->RequestBytes();
+      entry["native_request_bytes"] =
+          crawl.native_index != nullptr
+              ? crawl.native_index->request_bytes_total()
+              : crawl.native_flows->RequestBytes();
       entry["incognito_effective"] = crawl.incognito_effective;
       entry["visits"] = static_cast<uint64_t>(crawl.visits.size());
       uint64_t ok = 0;
       for (const auto& visit : crawl.visits) ok += visit.ok ? 1 : 0;
       entry["visits_ok"] = ok;
       util::JsonArray hosts;
-      for (const auto& host : crawl.native_flows->DistinctHosts()) {
-        hosts.emplace_back(host);
+      if (crawl.native_index != nullptr) {
+        for (auto& host : crawl.native_index->SortedHosts()) {
+          hosts.emplace_back(std::move(host));
+        }
+      } else {
+        for (const auto& host : crawl.native_flows->DistinctHosts()) {
+          hosts.emplace_back(host);
+        }
       }
       entry["native_hosts"] = std::move(hosts);
       util::JsonArray pii;
-      for (auto& name : PiiFieldNames(*crawl.native_flows)) {
+      for (auto& name :
+           PiiFieldNames(*crawl.native_flows, crawl.native_index.get())) {
         pii.emplace_back(std::move(name));
       }
       entry["pii_fields"] = std::move(pii);
@@ -214,14 +243,18 @@ std::string FleetReportJson(
       const core::IdleResult& idle = *result.idle;
       entry["native_requests"] =
           static_cast<uint64_t>(idle.native_flows->size());
-      entry["native_request_bytes"] = idle.native_flows->RequestBytes();
+      entry["native_request_bytes"] =
+          idle.native_index != nullptr
+              ? idle.native_index->request_bytes_total()
+              : idle.native_flows->RequestBytes();
       util::JsonArray buckets;
       for (uint64_t count : idle.cumulative_by_bucket) {
         buckets.emplace_back(count);
       }
       entry["cumulative_by_bucket"] = std::move(buckets);
       util::JsonArray pii;
-      for (auto& name : PiiFieldNames(*idle.native_flows)) {
+      for (auto& name :
+           PiiFieldNames(*idle.native_flows, idle.native_index.get())) {
         pii.emplace_back(std::move(name));
       }
       entry["pii_fields"] = std::move(pii);

@@ -1,0 +1,365 @@
+#include "analysis/flow_index.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/psl.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "util/base64.h"
+#include "util/clock.h"
+#include "util/json.h"
+#include "util/strings.h"
+
+namespace panoptes::analysis {
+
+namespace {
+
+struct IndexMetrics {
+  obs::Counter& builds;
+  obs::Counter& indexed_flows;
+  obs::Counter& appends;
+  obs::Counter& host_lookups;
+  obs::Histogram& build_seconds;
+};
+
+IndexMetrics& Metrics() {
+  auto& registry = obs::MetricsRegistry::Default();
+  static IndexMetrics* metrics = new IndexMetrics{
+      registry.GetCounter("panoptes_index_builds_total",
+                          "FlowIndex single-pass builds (captures, merges "
+                          "and snapshot-restore rebuilds)"),
+      registry.GetCounter("panoptes_index_indexed_flows_total",
+                          "Flows folded into a FlowIndex by Build/Append"),
+      registry.GetCounter("panoptes_index_appends_total",
+                          "FlowIndex shard merges via Append"),
+      registry.GetCounter("panoptes_index_host_lookups_total",
+                          "Host-id/postings lookups served by a FlowIndex"),
+      registry.GetHistogram("panoptes_index_build_seconds",
+                            "Wall time of FlowIndex::Build",
+                            obs::Histogram::LatencyBounds()),
+  };
+  return *metrics;
+}
+
+}  // namespace
+
+uint32_t FlowIndex::InternHost(const std::string& raw) {
+  if (auto it = host_ids_.find(raw); it != host_ids_.end()) {
+    return it->second;
+  }
+  uint32_t id = static_cast<uint32_t>(hosts_.size());
+  hosts_.push_back(HostInfo{raw, net::CanonicalHost(raw),
+                            net::RegistrableDomain(raw)});
+  flows_by_host_.emplace_back();
+  host_ids_.emplace(raw, id);
+  return id;
+}
+
+uint32_t FlowIndex::InternKey(const std::string& key) {
+  if (auto it = key_ids_.find(key); it != key_ids_.end()) {
+    return it->second;
+  }
+  uint32_t id = static_cast<uint32_t>(keys_.size());
+  keys_.push_back(key);
+  keys_lower_.push_back(util::ToLower(key));
+  key_ids_.emplace(key, id);
+  return id;
+}
+
+uint32_t FlowIndex::InternPath(const std::string& path) {
+  if (auto it = path_ids_.find(path); it != path_ids_.end()) {
+    return it->second;
+  }
+  uint32_t id = static_cast<uint32_t>(paths_.size());
+  paths_.push_back(path);
+  path_ids_.emplace(path, id);
+  return id;
+}
+
+void FlowIndex::IndexFlow(const proxy::Flow& flow) {
+  FlowEntry entry;
+  entry.host_id = InternHost(flow.Host());
+  entry.path_id = InternPath(flow.url.path());
+  entry.param_begin = static_cast<uint32_t>(params_.size());
+  entry.time_millis = flow.time.millis;
+  entry.app_uid = flow.app_uid;
+  entry.server_ip = flow.server_ip.value();
+  entry.request_bytes = flow.request_bytes;
+  entry.response_bytes = flow.response_bytes;
+  entry.has_body = !flow.request_body.empty();
+  entry.body_has_percent =
+      flow.request_body.find('%') != std::string::npos;
+
+  // Pool order replicates the legacy per-flow scans exactly: decoded
+  // query pairs in appearance order, each immediately followed by its
+  // Base64-decoded twin when one exists (the PII scanner and the
+  // history-leak detector both decode under the same condition), then
+  // the scalar JSON body members in key order (util::Json objects are
+  // sorted maps).
+  for (const auto& [key, value] : flow.url.QueryParams()) {
+    uint32_t key_id = InternKey(key);
+    params_.push_back(Param{key_id, ParamSource::kQuery, value, 0});
+    if (auto decoded = util::Base64Decode(value);
+        decoded && value.size() >= 8) {
+      params_.push_back(
+          Param{key_id, ParamSource::kQueryBase64, *decoded, 0});
+    }
+  }
+  if (entry.has_body) {
+    if (auto json = util::Json::Parse(flow.request_body);
+        json && json->is_object()) {
+      for (const auto& [key, value] : json->as_object()) {
+        if (value.is_string()) {
+          params_.push_back(Param{InternKey(key),
+                                  ParamSource::kBodyJsonString,
+                                  value.as_string(), 0});
+        } else if (value.is_number()) {
+          double number = value.as_number();
+          // Same rendering the PII scanner applies: exact integers
+          // print bare; otherwise four decimals (enough for lat/lon).
+          std::string text =
+              number == static_cast<double>(static_cast<int64_t>(number))
+                  ? std::to_string(static_cast<int64_t>(number))
+                  : util::FormatDouble(number, 4);
+          params_.push_back(Param{InternKey(key),
+                                  ParamSource::kBodyJsonNumber,
+                                  std::move(text), number});
+        } else if (value.is_bool()) {
+          params_.push_back(Param{InternKey(key),
+                                  ParamSource::kBodyJsonBool,
+                                  value.as_bool() ? "true" : "false", 0});
+        }
+      }
+    }
+  }
+  entry.param_end = static_cast<uint32_t>(params_.size());
+
+  entries_.push_back(entry);
+  AddPostings(static_cast<uint32_t>(entries_.size() - 1));
+}
+
+void FlowIndex::AddPostings(uint32_t flow_id) {
+  const FlowEntry& entry = entries_[flow_id];
+  flows_by_host_[entry.host_id].push_back(flow_id);
+  flows_by_uid_[entry.app_uid].push_back(flow_id);
+  int64_t bucket = entry.time_millis / kTimeBucketMillis * kTimeBucketMillis;
+  flows_by_bucket_[bucket].push_back(flow_id);
+  request_bytes_total_ += entry.request_bytes;
+  response_bytes_total_ += entry.response_bytes;
+}
+
+FlowIndex FlowIndex::Build(const proxy::FlowStore& store) {
+  obs::ScopedSpan span("index.build", "index");
+  int64_t start_ns = util::SteadyNowNanos();
+
+  FlowIndex index;
+  index.entries_.reserve(store.size());
+  for (const auto& flow : store.flows()) {
+    index.IndexFlow(flow);
+  }
+
+  auto& metrics = Metrics();
+  metrics.builds.Inc();
+  metrics.indexed_flows.Inc(index.entries_.size());
+  metrics.build_seconds.Observe(
+      static_cast<double>(util::SteadyNowNanos() - start_ns) * 1e-9);
+  span.Arg("flows", static_cast<int64_t>(index.entries_.size()));
+  span.Arg("hosts", static_cast<int64_t>(index.hosts_.size()));
+  return index;
+}
+
+void FlowIndex::Append(const FlowIndex& other) {
+  obs::ScopedSpan span("index.append", "index");
+  // Self-append would walk tables it is mutating; copy first.
+  if (&other == this) {
+    FlowIndex copy = *this;
+    Append(copy);
+    return;
+  }
+
+  // Interned tables are in first-appearance order, so re-interning each
+  // table in order reproduces exactly the ids a single Build over the
+  // concatenated stores would assign.
+  std::vector<uint32_t> host_map(other.hosts_.size());
+  for (size_t i = 0; i < other.hosts_.size(); ++i) {
+    host_map[i] = InternHost(other.hosts_[i].raw);
+  }
+  std::vector<uint32_t> key_map(other.keys_.size());
+  for (size_t i = 0; i < other.keys_.size(); ++i) {
+    key_map[i] = InternKey(other.keys_[i]);
+  }
+  std::vector<uint32_t> path_map(other.paths_.size());
+  for (size_t i = 0; i < other.paths_.size(); ++i) {
+    path_map[i] = InternPath(other.paths_[i]);
+  }
+
+  const uint32_t param_offset = static_cast<uint32_t>(params_.size());
+  params_.reserve(params_.size() + other.params_.size());
+  for (const auto& param : other.params_) {
+    params_.push_back(
+        Param{key_map[param.key_id], param.source, param.value,
+              param.number});
+  }
+
+  entries_.reserve(entries_.size() + other.entries_.size());
+  for (const auto& entry : other.entries_) {
+    FlowEntry mapped = entry;
+    mapped.host_id = host_map[entry.host_id];
+    mapped.path_id = path_map[entry.path_id];
+    mapped.param_begin += param_offset;
+    mapped.param_end += param_offset;
+    entries_.push_back(mapped);
+    AddPostings(static_cast<uint32_t>(entries_.size() - 1));
+  }
+
+  auto& metrics = Metrics();
+  metrics.appends.Inc();
+  metrics.indexed_flows.Inc(other.entries_.size());
+  span.Arg("flows", static_cast<int64_t>(other.entries_.size()));
+}
+
+std::optional<uint32_t> FlowIndex::HostId(std::string_view raw_host) const {
+  Metrics().host_lookups.Inc();
+  if (auto it = host_ids_.find(raw_host); it != host_ids_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::optional<uint32_t> FlowIndex::PathId(std::string_view path) const {
+  if (auto it = path_ids_.find(path); it != path_ids_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+const std::vector<uint32_t>* FlowIndex::FlowsToHost(
+    std::string_view raw_host) const {
+  auto id = HostId(raw_host);
+  return id ? &flows_by_host_[*id] : nullptr;
+}
+
+std::vector<std::string> FlowIndex::SortedHosts() const {
+  std::vector<std::string> sorted;
+  sorted.reserve(hosts_.size());
+  for (const auto& host : hosts_) {
+    sorted.push_back(host.raw);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+void FlowIndex::SerializeTo(util::BinWriter& out) const {
+  obs::ScopedSpan span("index.serialize", "index");
+  // Only the interned tables, the parameter pool and the flow entries
+  // are encoded. Postings, lookup maps, canonical/domain host forms,
+  // lowercase keys and byte totals are derived data, rebuilt on read —
+  // which is what makes a deserialized index serialize byte-identical
+  // to a freshly built one.
+  out.U32(static_cast<uint32_t>(hosts_.size()));
+  for (const auto& host : hosts_) {
+    out.Str(host.raw);
+  }
+  out.U32(static_cast<uint32_t>(keys_.size()));
+  for (const auto& key : keys_) {
+    out.Str(key);
+  }
+  out.U32(static_cast<uint32_t>(paths_.size()));
+  for (const auto& path : paths_) {
+    out.Str(path);
+  }
+  out.U64(params_.size());
+  for (const auto& param : params_) {
+    out.U32(param.key_id);
+    out.U8(static_cast<uint8_t>(param.source));
+    out.Str(param.value);
+    out.F64(param.number);
+  }
+  out.U64(entries_.size());
+  for (const auto& entry : entries_) {
+    out.U32(entry.host_id);
+    out.U32(entry.path_id);
+    out.U32(entry.param_begin);
+    out.U32(entry.param_end);
+    out.I64(entry.time_millis);
+    out.I64(entry.app_uid);
+    out.U32(entry.server_ip);
+    out.U64(entry.request_bytes);
+    out.U64(entry.response_bytes);
+    out.Bool(entry.has_body);
+    out.Bool(entry.body_has_percent);
+  }
+}
+
+std::unique_ptr<FlowIndex> FlowIndex::Deserialize(util::BinReader& in) {
+  obs::ScopedSpan span("index.deserialize", "index");
+  auto index = std::make_unique<FlowIndex>();
+
+  uint32_t host_count = in.U32();
+  for (uint32_t i = 0; i < host_count && in.ok(); ++i) {
+    std::string raw = in.Str();
+    // InternHost recomputes the canonical/domain forms and the lookup
+    // map; tables were written in first-appearance order, so ids are
+    // reassigned identically.
+    if (index->InternHost(raw) != i) return nullptr;  // duplicate entry
+  }
+  uint32_t key_count = in.U32();
+  for (uint32_t i = 0; i < key_count && in.ok(); ++i) {
+    if (index->InternKey(in.Str()) != i) return nullptr;
+  }
+  uint32_t path_count = in.U32();
+  for (uint32_t i = 0; i < path_count && in.ok(); ++i) {
+    if (index->InternPath(in.Str()) != i) return nullptr;
+  }
+
+  uint64_t param_count = in.U64();
+  if (!in.ok() || param_count > in.remaining()) return nullptr;
+  index->params_.reserve(param_count);
+  for (uint64_t i = 0; i < param_count && in.ok(); ++i) {
+    Param param;
+    param.key_id = in.U32();
+    uint8_t source = in.U8();
+    param.value = in.Str();
+    param.number = in.F64();
+    if (param.key_id >= index->keys_.size() ||
+        source > static_cast<uint8_t>(ParamSource::kBodyJsonBool)) {
+      return nullptr;
+    }
+    param.source = static_cast<ParamSource>(source);
+    index->params_.push_back(std::move(param));
+  }
+
+  uint64_t entry_count = in.U64();
+  if (!in.ok() || entry_count > in.remaining()) return nullptr;
+  index->entries_.reserve(entry_count);
+  for (uint64_t i = 0; i < entry_count && in.ok(); ++i) {
+    FlowEntry entry;
+    entry.host_id = in.U32();
+    entry.path_id = in.U32();
+    entry.param_begin = in.U32();
+    entry.param_end = in.U32();
+    entry.time_millis = in.I64();
+    entry.app_uid = static_cast<int32_t>(in.I64());
+    entry.server_ip = in.U32();
+    entry.request_bytes = in.U64();
+    entry.response_bytes = in.U64();
+    entry.has_body = in.Bool();
+    entry.body_has_percent = in.Bool();
+    if (entry.host_id >= index->hosts_.size() ||
+        entry.path_id >= index->paths_.size() ||
+        entry.param_begin > entry.param_end ||
+        entry.param_end > index->params_.size()) {
+      return nullptr;
+    }
+    index->entries_.push_back(entry);
+    index->AddPostings(static_cast<uint32_t>(index->entries_.size() - 1));
+  }
+  if (!in.ok()) return nullptr;
+
+  Metrics().builds.Inc();
+  span.Arg("flows", static_cast<int64_t>(index->entries_.size()));
+  return index;
+}
+
+}  // namespace panoptes::analysis

@@ -1,0 +1,169 @@
+// Columnar analysis index over a FlowStore.
+//
+// Every analysis in this repo used to rescan the raw flow vector —
+// re-parsing query strings, re-decoding Base64 payloads and re-parsing
+// JSON bodies once per analyzer. A FlowIndex performs that decode work
+// exactly once, in a single pass at capture (or merge) time, and hands
+// the analyzers columnar views instead:
+//
+//   - an interned host table (first-appearance order) carrying, per
+//     distinct host, the raw spelling analyzers report, the canonical
+//     matching form (net::CanonicalHost) and the registrable domain;
+//   - interned query/body parameter keys (original spelling plus an
+//     ASCII-lowercased twin for keyword heuristics) and interned URL
+//     paths;
+//   - a parameter pool holding, per flow, the decoded query pairs, the
+//     Base64-decoded twins the PII scanner also inspects, and the
+//     scalar JSON body members — in exactly the order the legacy
+//     per-flow scans produced them, so indexed analyzers replicate
+//     legacy reports byte for byte;
+//   - postings: flow ids per host, per app UID and per 10-second time
+//     bucket, plus request/response byte totals.
+//
+// A FlowIndex never holds a pointer to its store: analyzers take
+// (store, index) pairs, so stores may be moved, merged or restored from
+// snapshots without dangling the index. Append() folds another shard's
+// index in (remapping interned ids); Build(A+B) and A.Append(B) are
+// byte-identical under SerializeTo, which is what lets the fleet merge
+// per-shard indexes instead of re-parsing merged stores.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proxy/flowstore.h"
+#include "util/binio.h"
+
+namespace panoptes::analysis {
+
+class FlowIndex {
+ public:
+  // Width of the time-bucket postings. Buckets are absolute (floor of
+  // the flow timestamp), not run-relative, so merging shards never
+  // re-bases them.
+  static constexpr int64_t kTimeBucketMillis = 10'000;
+
+  // Where a parameter-pool entry came from. kQueryBase64 entries
+  // immediately follow the kQuery entry they were decoded from,
+  // mirroring the PII scanner's legacy decode-after-scan order.
+  enum class ParamSource : uint8_t {
+    kQuery = 0,
+    kQueryBase64 = 1,
+    kBodyJsonString = 2,
+    kBodyJsonNumber = 3,
+    kBodyJsonBool = 4,
+  };
+
+  struct HostInfo {
+    std::string raw;        // first-appearance spelling (reports use this)
+    std::string canonical;  // net::CanonicalHost(raw), for matching
+    std::string domain;     // net::RegistrableDomain(raw)
+  };
+
+  struct Param {
+    uint32_t key_id = 0;
+    ParamSource source = ParamSource::kQuery;
+    std::string value;  // decoded text exactly as analyzers consume it
+    double number = 0;  // raw numeric value for kBodyJsonNumber entries
+  };
+
+  struct FlowEntry {
+    uint32_t host_id = 0;
+    uint32_t path_id = 0;
+    uint32_t param_begin = 0;  // slice [param_begin, param_end) of params()
+    uint32_t param_end = 0;
+    int64_t time_millis = 0;
+    int32_t app_uid = -1;
+    uint32_t server_ip = 0;  // net::IpAddress::value()
+    uint64_t request_bytes = 0;
+    uint64_t response_bytes = 0;
+    bool has_body = false;
+    bool body_has_percent = false;  // body contains '%' (form-post decode)
+  };
+
+  FlowIndex() = default;
+
+  // Single pass over `store`: parses every URL and JSON body once.
+  static FlowIndex Build(const proxy::FlowStore& store);
+
+  // Folds `other` in after this index's flows, remapping interned ids.
+  // Equivalent to (and serialized byte-identical with) building one
+  // index over the concatenated stores.
+  void Append(const FlowIndex& other);
+
+  size_t flow_count() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+  const std::vector<Param>& params() const { return params_; }
+  const std::vector<HostInfo>& hosts() const { return hosts_; }
+  const HostInfo& host(uint32_t id) const { return hosts_[id]; }
+  const std::string& key(uint32_t id) const { return keys_[id]; }
+  const std::string& key_lower(uint32_t id) const { return keys_lower_[id]; }
+  size_t key_count() const { return keys_.size(); }
+  const std::string& path(uint32_t id) const { return paths_[id]; }
+
+  // Interned id of a raw host spelling; nullopt when no flow went there.
+  std::optional<uint32_t> HostId(std::string_view raw_host) const;
+  // Interned id of a URL path; nullopt when no flow used it.
+  std::optional<uint32_t> PathId(std::string_view path) const;
+
+  // Postings: flow ids ascending. by_host() is indexed by host id.
+  const std::vector<std::vector<uint32_t>>& by_host() const {
+    return flows_by_host_;
+  }
+  const std::vector<uint32_t>* FlowsToHost(std::string_view raw_host) const;
+  const std::map<int32_t, std::vector<uint32_t>>& by_uid() const {
+    return flows_by_uid_;
+  }
+  // Key: absolute bucket start in millis (multiple of kTimeBucketMillis).
+  const std::map<int64_t, std::vector<uint32_t>>& by_time_bucket() const {
+    return flows_by_bucket_;
+  }
+
+  uint64_t request_bytes_total() const { return request_bytes_total_; }
+  uint64_t response_bytes_total() const { return response_bytes_total_; }
+
+  // Sorted distinct raw hosts — same contents as
+  // FlowStore::DistinctHosts(), without rescanning flows.
+  std::vector<std::string> SortedHosts() const;
+
+  // Binary round trip (snapshot payload). Only the interned tables,
+  // parameter pool and flow entries are encoded; postings, lookup maps
+  // and byte totals are rebuilt on read, so a deserialized index is
+  // bit-identical (under SerializeTo) to a freshly built one.
+  void SerializeTo(util::BinWriter& out) const;
+  static std::unique_ptr<FlowIndex> Deserialize(util::BinReader& in);
+
+ private:
+  uint32_t InternHost(const std::string& raw);
+  uint32_t InternKey(const std::string& key);
+  uint32_t InternPath(const std::string& path);
+  void IndexFlow(const proxy::Flow& flow);
+  // Inserts postings + totals for entry `flow_id` (already in entries_).
+  void AddPostings(uint32_t flow_id);
+
+  std::vector<HostInfo> hosts_;
+  std::vector<std::string> keys_;
+  std::vector<std::string> keys_lower_;
+  std::vector<std::string> paths_;
+  std::vector<Param> params_;
+  std::vector<FlowEntry> entries_;
+
+  std::vector<std::vector<uint32_t>> flows_by_host_;
+  std::map<int32_t, std::vector<uint32_t>> flows_by_uid_;
+  std::map<int64_t, std::vector<uint32_t>> flows_by_bucket_;
+  uint64_t request_bytes_total_ = 0;
+  uint64_t response_bytes_total_ = 0;
+
+  std::map<std::string, uint32_t, std::less<>> host_ids_;
+  std::map<std::string, uint32_t, std::less<>> key_ids_;
+  std::map<std::string, uint32_t, std::less<>> path_ids_;
+};
+
+}  // namespace panoptes::analysis

@@ -13,6 +13,8 @@
 
 namespace panoptes::analysis {
 
+class FlowIndex;
+
 struct GeoInfo {
   std::string country_code;
   std::string country_name;
@@ -47,6 +49,11 @@ struct CountryShare {
 std::vector<CountryShare> CountriesContacted(const proxy::FlowStore& flows,
                                              const GeoIpDb& db);
 
+// Index-backed variant: the (linear-scan) geo lookup runs once per
+// distinct server IP instead of once per flow.
+std::vector<CountryShare> CountriesContacted(const FlowIndex& index,
+                                             const GeoIpDb& db);
+
 // The §3.4 question: for the given destination hosts (the ones found
 // leaking history), report the hosting country and whether it is
 // outside the EU.
@@ -59,6 +66,12 @@ struct TransferFinding {
 
 std::vector<TransferFinding> ClassifyTransfers(
     const proxy::FlowStore& flows, const std::vector<std::string>& hosts,
+    const GeoIpDb& db);
+
+// Index-backed variant: per-host flows come from the host postings
+// instead of a full store scan per queried host.
+std::vector<TransferFinding> ClassifyTransfers(
+    const FlowIndex& index, const std::vector<std::string>& hosts,
     const GeoIpDb& db);
 
 }  // namespace panoptes::analysis

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/flow_index.h"
 #include "util/base64.h"
 #include "util/json.h"
 #include "util/strings.h"
@@ -19,6 +20,40 @@ bool IsHexToken(std::string_view value) {
     if (!hex) return false;
   }
   return true;
+}
+
+// Per-destination tallies shared by the store-scan and index-backed
+// Scan variants.
+struct Accumulator {
+  uint64_t full_reports = 0;
+  uint64_t host_reports = 0;
+  bool persistent_identifier = false;
+  std::string identifier_sample;
+  std::string encoding;
+  std::string sample;
+};
+
+std::vector<LeakFinding> Finalize(
+    std::map<std::string, Accumulator>& by_destination, bool engine_store) {
+  std::vector<LeakFinding> findings;
+  for (auto& [destination, acc] : by_destination) {
+    LeakFinding finding;
+    finding.destination_host = destination;
+    finding.granularity = acc.full_reports > 0 ? LeakGranularity::kFullUrl
+                                               : LeakGranularity::kHostOnly;
+    finding.report_count = acc.full_reports + acc.host_reports;
+    finding.via_engine_injection = engine_store;
+    finding.persistent_identifier = acc.persistent_identifier;
+    finding.identifier_sample = acc.identifier_sample;
+    finding.encoding = acc.encoding;
+    finding.sample = acc.sample;
+    findings.push_back(std::move(finding));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const LeakFinding& a, const LeakFinding& b) {
+              return a.report_count > b.report_count;
+            });
+  return findings;
 }
 
 }  // namespace
@@ -77,14 +112,6 @@ bool HistoryLeakDetector::MatchText(std::string_view text,
 
 std::vector<LeakFinding> HistoryLeakDetector::Scan(
     const proxy::FlowStore& flows, bool engine_store) const {
-  struct Accumulator {
-    uint64_t full_reports = 0;
-    uint64_t host_reports = 0;
-    bool persistent_identifier = false;
-    std::string identifier_sample;
-    std::string encoding;
-    std::string sample;
-  };
   std::map<std::string, Accumulator> by_destination;
 
   for (const auto& flow : flows.flows()) {
@@ -160,25 +187,95 @@ std::vector<LeakFinding> HistoryLeakDetector::Scan(
     }
   }
 
-  std::vector<LeakFinding> findings;
-  for (auto& [destination, acc] : by_destination) {
-    LeakFinding finding;
-    finding.destination_host = destination;
-    finding.granularity = acc.full_reports > 0 ? LeakGranularity::kFullUrl
-                                               : LeakGranularity::kHostOnly;
-    finding.report_count = acc.full_reports + acc.host_reports;
-    finding.via_engine_injection = engine_store;
-    finding.persistent_identifier = acc.persistent_identifier;
-    finding.identifier_sample = acc.identifier_sample;
-    finding.encoding = acc.encoding;
-    finding.sample = acc.sample;
-    findings.push_back(std::move(finding));
+  return Finalize(by_destination, engine_store);
+}
+
+std::vector<LeakFinding> HistoryLeakDetector::Scan(
+    const proxy::FlowStore& flows, const FlowIndex& index,
+    bool engine_store) const {
+  if (index.flow_count() != flows.size()) {
+    return Scan(flows, engine_store);
   }
-  std::sort(findings.begin(), findings.end(),
-            [](const LeakFinding& a, const LeakFinding& b) {
-              return a.report_count > b.report_count;
-            });
-  return findings;
+  std::map<std::string, Accumulator> by_destination;
+
+  // Visited-site membership decided once per distinct host.
+  std::vector<bool> is_visited;
+  is_visited.reserve(index.hosts().size());
+  for (const auto& host : index.hosts()) {
+    is_visited.push_back(visited_hosts_.count(host.raw) > 0);
+  }
+
+  const auto& params = index.params();
+  std::string decoded_body;
+  std::vector<std::string_view> candidates;
+  for (uint32_t flow_id = 0; flow_id < index.flow_count(); ++flow_id) {
+    const FlowIndex::FlowEntry& entry = index.entries()[flow_id];
+    if (is_visited[entry.host_id]) continue;
+
+    // Same candidate texts, same order as the store scan: decoded query
+    // values with Base64-decoded twins interleaved (the pool keeps that
+    // order), then the raw body, then its percent-decoded form.
+    const std::string& body = flows.flow(flow_id).request_body;
+    candidates.clear();
+    for (uint32_t p = entry.param_begin; p < entry.param_end; ++p) {
+      if (params[p].source == FlowIndex::ParamSource::kQuery ||
+          params[p].source == FlowIndex::ParamSource::kQueryBase64) {
+        candidates.push_back(params[p].value);
+      }
+    }
+    if (entry.has_body) {
+      candidates.push_back(body);
+      if (entry.body_has_percent) {
+        decoded_body = util::PercentDecode(body);
+        candidates.push_back(decoded_body);
+      }
+    }
+
+    bool flow_matched = false;
+    Hit best_hit;
+    for (const auto& visited : visited_) {
+      for (std::string_view text : candidates) {
+        Hit hit;
+        if (MatchText(text, visited, hit)) {
+          flow_matched = true;
+          if (hit.full_url || best_hit.sample.empty()) best_hit = hit;
+          if (hit.full_url) break;
+        }
+      }
+      if (flow_matched && best_hit.full_url) break;
+    }
+    if (!flow_matched) continue;
+
+    auto& acc = by_destination[index.host(entry.host_id).raw];
+    if (best_hit.full_url) {
+      ++acc.full_reports;
+    } else {
+      ++acc.host_reports;
+    }
+    if (acc.sample.empty() || best_hit.full_url) {
+      acc.encoding = best_hit.encoding;
+      acc.sample = best_hit.sample;
+    }
+
+    // Does a stable identifier accompany the report? Query values
+    // first, then JSON body strings — the store scan's order.
+    for (uint32_t p = entry.param_begin; p < entry.param_end; ++p) {
+      if (params[p].source == FlowIndex::ParamSource::kQuery &&
+          LooksLikeIdentifier(params[p].value)) {
+        acc.persistent_identifier = true;
+        acc.identifier_sample = params[p].value;
+      }
+    }
+    for (uint32_t p = entry.param_begin; p < entry.param_end; ++p) {
+      if (params[p].source == FlowIndex::ParamSource::kBodyJsonString &&
+          LooksLikeIdentifier(params[p].value)) {
+        acc.persistent_identifier = true;
+        acc.identifier_sample = params[p].value;
+      }
+    }
+  }
+
+  return Finalize(by_destination, engine_store);
 }
 
 }  // namespace panoptes::analysis

@@ -20,6 +20,8 @@
 
 namespace panoptes::analysis {
 
+class FlowIndex;
+
 enum class LeakGranularity { kFullUrl, kHostOnly };
 
 std::string_view LeakGranularityName(LeakGranularity granularity);
@@ -44,6 +46,14 @@ class HistoryLeakDetector {
   // injection-based (the UC case: leak rides tainted engine traffic to
   // a non-website destination).
   std::vector<LeakFinding> Scan(const proxy::FlowStore& flows,
+                                bool engine_store = false) const;
+
+  // Index-backed variant: candidate texts come from the pre-decoded
+  // parameter pool; only raw bodies are read back from the store, so
+  // `index` must have been built over (or merged from) `flows`. Falls
+  // back to the store scan when the two disagree in size.
+  std::vector<LeakFinding> Scan(const proxy::FlowStore& flows,
+                                const FlowIndex& index,
                                 bool engine_store = false) const;
 
  private:

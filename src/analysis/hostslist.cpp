@@ -1,5 +1,6 @@
 #include "analysis/hostslist.h"
 
+#include "net/psl.h"
 #include "util/strings.h"
 #include "web/thirdparty.h"
 
@@ -37,11 +38,14 @@ HostsList HostsList::Parse(std::string_view text) {
 }
 
 void HostsList::Block(std::string_view domain) {
-  blocked_.emplace(util::ToLower(domain));
+  blocked_.emplace(net::CanonicalHost(domain));
 }
 
 bool HostsList::IsAdRelated(std::string_view host) const {
-  std::string current = util::ToLower(host);
+  // Canonical form first (case, trailing dot), then walk parent labels;
+  // dropping whole labels keeps the match label-boundary-aware — a
+  // blocked "example.com" can never match "notexample.com".
+  std::string current = net::CanonicalHost(host);
   while (true) {
     if (blocked_.find(current) != blocked_.end()) return true;
     size_t dot = current.find('.');

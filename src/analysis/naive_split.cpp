@@ -1,19 +1,28 @@
 #include "analysis/naive_split.h"
 
+#include "analysis/flow_index.h"
 #include "net/psl.h"
 #include "web/thirdparty.h"
 
 namespace panoptes::analysis {
 
-NaiveSplitter::NaiveSplitter(std::set<std::string> site_hosts)
-    : site_hosts_(std::move(site_hosts)) {
-  for (const auto& host : site_hosts_) {
-    site_domains_.insert(net::RegistrableDomain(host));
+NaiveSplitter::NaiveSplitter(std::set<std::string> site_hosts) {
+  // Canonicalize up front so lookups are case- and trailing-dot-
+  // insensitive without per-flow rework.
+  for (const auto& host : site_hosts) {
+    std::string canonical = net::CanonicalHost(host);
+    site_domains_.insert(net::RegistrableDomain(canonical));
+    site_hosts_.insert(std::move(canonical));
   }
 }
 
 proxy::TrafficOrigin NaiveSplitter::Predict(const proxy::Flow& flow) const {
-  const std::string host = flow.Host();
+  return PredictHost(flow.Host());
+}
+
+proxy::TrafficOrigin NaiveSplitter::PredictHost(
+    std::string_view raw_host) const {
+  const std::string host = net::CanonicalHost(raw_host);
   // Heuristic 1: requests to a crawled site (or its subdomains) are
   // engine traffic.
   if (site_hosts_.count(host) > 0 ||
@@ -48,12 +57,42 @@ void NaiveSplitter::ScoreStore(const proxy::FlowStore& flows,
   }
 }
 
+void NaiveSplitter::ScoreIndex(const FlowIndex& index,
+                               proxy::TrafficOrigin truth,
+                               Score& score) const {
+  for (size_t host_id = 0; host_id < index.hosts().size(); ++host_id) {
+    const uint64_t count = index.by_host()[host_id].size();
+    score.total += count;
+    proxy::TrafficOrigin predicted =
+        PredictHost(index.hosts()[host_id].raw);
+    if (predicted == truth) {
+      score.correct += count;
+    } else if (truth == proxy::TrafficOrigin::kNative) {
+      score.native_as_engine += count;
+    } else {
+      score.engine_as_native += count;
+    }
+  }
+}
+
 NaiveSplitter::Score NaiveSplitter::Evaluate(
     const proxy::FlowStore& engine_flows,
     const proxy::FlowStore& native_flows) const {
   Score score;
   ScoreStore(engine_flows, proxy::TrafficOrigin::kEngine, score);
   ScoreStore(native_flows, proxy::TrafficOrigin::kNative, score);
+  if (score.total > 0) {
+    score.accuracy =
+        static_cast<double>(score.correct) / static_cast<double>(score.total);
+  }
+  return score;
+}
+
+NaiveSplitter::Score NaiveSplitter::Evaluate(
+    const FlowIndex& engine_index, const FlowIndex& native_index) const {
+  Score score;
+  ScoreIndex(engine_index, proxy::TrafficOrigin::kEngine, score);
+  ScoreIndex(native_index, proxy::TrafficOrigin::kNative, score);
   if (score.total > 0) {
     score.accuracy =
         static_cast<double>(score.correct) / static_cast<double>(score.total);

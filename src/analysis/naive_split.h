@@ -18,6 +18,8 @@
 
 namespace panoptes::analysis {
 
+class FlowIndex;
+
 class NaiveSplitter {
  public:
   // `site_hosts` are the crawled sites (first-party hosts).
@@ -25,6 +27,10 @@ class NaiveSplitter {
 
   // Predicted origin for one flow, ignoring its taint.
   proxy::TrafficOrigin Predict(const proxy::Flow& flow) const;
+
+  // The prediction is a pure function of the destination host; matching
+  // is case-insensitive and label-boundary-aware (net::CanonicalHost).
+  proxy::TrafficOrigin PredictHost(std::string_view raw_host) const;
 
   struct Score {
     uint64_t total = 0;
@@ -38,9 +44,16 @@ class NaiveSplitter {
   Score Evaluate(const proxy::FlowStore& engine_flows,
                  const proxy::FlowStore& native_flows) const;
 
+  // Index-backed variant: the prediction is per-host, so it runs once
+  // per distinct host and is weighted by that host's posting size.
+  Score Evaluate(const FlowIndex& engine_index,
+                 const FlowIndex& native_index) const;
+
  private:
   void ScoreStore(const proxy::FlowStore& flows,
                   proxy::TrafficOrigin truth, Score& score) const;
+  void ScoreIndex(const FlowIndex& index, proxy::TrafficOrigin truth,
+                  Score& score) const;
 
   std::set<std::string> site_hosts_;
   std::set<std::string> site_domains_;  // registrable domains of sites

@@ -1,7 +1,9 @@
 #include "analysis/pii.h"
 
+#include "analysis/flow_index.h"
 #include "util/base64.h"
 #include "util/json.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 namespace panoptes::analysis {
@@ -9,13 +11,19 @@ namespace panoptes::analysis {
 namespace {
 
 void Mark(PiiReport& report, PiiField field, const std::string& host,
-          std::string sample) {
+          uint64_t value_hash, std::string sample) {
   report.leaked[static_cast<size_t>(field)] = true;
-  // Keep at most one evidence sample per (field, host) to bound memory.
+  // Dedup on the hash of the FULL value, not the (truncated) sample:
+  // two long values sharing an 80-byte prefix are distinct sightings,
+  // while the same value re-sent to the same host is not.
   for (const auto& existing : report.evidence) {
-    if (existing.field == field && existing.host == host) return;
+    if (existing.field == field && existing.host == host &&
+        existing.value_hash == value_hash) {
+      return;
+    }
   }
-  report.evidence.push_back(PiiEvidence{field, host, std::move(sample)});
+  report.evidence.push_back(
+      PiiEvidence{field, host, std::move(sample), value_hash});
 }
 
 bool KeyHintContains(std::string_view key, std::string_view needle) {
@@ -50,81 +58,114 @@ size_t PiiReport::LeakCount() const {
   return count;
 }
 
+struct PiiScanner::KeyTraits {
+  bool device_or_type = false;
+  bool manuf_or_vendor = false;
+  bool lat = false;
+  bool lon = false;
+  bool dpi = false;
+  bool root_or_jailb = false;
+  bool country_or_cc = false;
+  bool net_or_conn = false;
+};
+
+PiiScanner::KeyTraits PiiScanner::TraitsOf(std::string_view key_hint) {
+  KeyTraits traits;
+  traits.device_or_type = KeyHintContains(key_hint, "dev") ||
+                          KeyHintContains(key_hint, "type");
+  traits.manuf_or_vendor = KeyHintContains(key_hint, "manuf") ||
+                           KeyHintContains(key_hint, "vendor");
+  traits.lat = KeyHintContains(key_hint, "lat");
+  traits.lon = KeyHintContains(key_hint, "lon");
+  traits.dpi = KeyHintContains(key_hint, "dpi");
+  traits.root_or_jailb = KeyHintContains(key_hint, "root") ||
+                         KeyHintContains(key_hint, "jailb");
+  traits.country_or_cc = KeyHintContains(key_hint, "country") ||
+                         KeyHintContains(key_hint, "cc");
+  traits.net_or_conn = KeyHintContains(key_hint, "net") ||
+                       KeyHintContains(key_hint, "conn");
+  return traits;
+}
+
 PiiScanner::PiiScanner(device::DeviceProfile profile)
-    : profile_(std::move(profile)) {}
+    : profile_(std::move(profile)),
+      resolution_(std::to_string(profile_.screen_width) + "x" +
+                  std::to_string(profile_.screen_height)),
+      local_ip_(profile_.local_ip.ToString()),
+      locale_underscore_(util::ReplaceAll(profile_.locale, "-", "_")),
+      lat_prefix_(util::FormatDouble(profile_.latitude, 2)),
+      lon_prefix_(util::FormatDouble(profile_.longitude, 2)),
+      dpi_(std::to_string(profile_.dpi)) {}
 
 void PiiScanner::ScanText(std::string_view key_hint, std::string_view value,
                           const std::string& host,
                           PiiReport& report) const {
+  ScanValue(TraitsOf(key_hint), key_hint, value, host, report);
+}
+
+void PiiScanner::ScanValue(const KeyTraits& traits, std::string_view key_hint,
+                           std::string_view value, const std::string& host,
+                           PiiReport& report) const {
+  // Evidence samples keep at most 80 bytes of the value, cut on a UTF-8
+  // boundary so a multi-byte character straddling the limit is dropped
+  // whole instead of leaving a mangled partial sequence in reports.
   auto sample = [&] {
-    return std::string(key_hint) + "=" + std::string(value.substr(0, 80));
+    return std::string(key_hint) + "=" +
+           std::string(util::TruncateUtf8(value, 80));
   };
+  const uint64_t value_hash = util::HashString(value);
 
   // Value-anchored detections (distinctive values: safe without keys).
   if (value == profile_.device_type ||
       util::EqualsIgnoreCase(value, "tablet") ||
       util::EqualsIgnoreCase(value, "phone")) {
-    if (KeyHintContains(key_hint, "dev") || KeyHintContains(key_hint, "type") ||
-        value == profile_.device_type) {
-      Mark(report, PiiField::kDeviceType, host, sample());
+    if (traits.device_or_type || value == profile_.device_type) {
+      Mark(report, PiiField::kDeviceType, host, value_hash, sample());
     }
   }
   if (value == profile_.manufacturer ||
-      (KeyHintContains(key_hint, "manuf") &&
-       util::EqualsIgnoreCase(value, profile_.manufacturer)) ||
-      (KeyHintContains(key_hint, "vendor") &&
+      (traits.manuf_or_vendor &&
        util::EqualsIgnoreCase(value, profile_.manufacturer))) {
-    Mark(report, PiiField::kManufacturer, host, sample());
+    Mark(report, PiiField::kManufacturer, host, value_hash, sample());
   }
   if (value == profile_.timezone) {
-    Mark(report, PiiField::kTimezone, host, sample());
+    Mark(report, PiiField::kTimezone, host, value_hash, sample());
   }
-  std::string resolution = std::to_string(profile_.screen_width) + "x" +
-                           std::to_string(profile_.screen_height);
-  if (value == resolution) {
-    Mark(report, PiiField::kResolution, host, sample());
+  if (value == resolution_) {
+    Mark(report, PiiField::kResolution, host, value_hash, sample());
   }
-  if (value == profile_.local_ip.ToString()) {
-    Mark(report, PiiField::kLocalIp, host, sample());
+  if (value == local_ip_) {
+    Mark(report, PiiField::kLocalIp, host, value_hash, sample());
   }
-  if (value == profile_.locale ||
-      value == util::ReplaceAll(profile_.locale, "-", "_")) {
-    Mark(report, PiiField::kLocale, host, sample());
+  if (value == profile_.locale || value == locale_underscore_) {
+    Mark(report, PiiField::kLocale, host, value_hash, sample());
   }
-  std::string lat_prefix = util::FormatDouble(profile_.latitude, 2);
-  std::string lon_prefix = util::FormatDouble(profile_.longitude, 2);
-  if ((KeyHintContains(key_hint, "lat") &&
-       util::StartsWith(value, lat_prefix)) ||
-      (KeyHintContains(key_hint, "lon") &&
-       util::StartsWith(value, lon_prefix))) {
-    Mark(report, PiiField::kLocation, host, sample());
+  if ((traits.lat && util::StartsWith(value, lat_prefix_)) ||
+      (traits.lon && util::StartsWith(value, lon_prefix_))) {
+    Mark(report, PiiField::kLocation, host, value_hash, sample());
   }
 
   // Key-anchored detections (generic values: require a keyword).
-  if (KeyHintContains(key_hint, "dpi") &&
-      value == std::to_string(profile_.dpi)) {
-    Mark(report, PiiField::kDpi, host, sample());
+  if (traits.dpi && value == dpi_) {
+    Mark(report, PiiField::kDpi, host, value_hash, sample());
   }
-  if ((KeyHintContains(key_hint, "root") ||
-       KeyHintContains(key_hint, "jailb")) &&
+  if (traits.root_or_jailb &&
       (value == "true" || value == "false" || value == "0" ||
        value == "1")) {
-    Mark(report, PiiField::kRooted, host, sample());
+    Mark(report, PiiField::kRooted, host, value_hash, sample());
   }
-  if ((KeyHintContains(key_hint, "country") ||
-       KeyHintContains(key_hint, "cc")) &&
+  if (traits.country_or_cc &&
       util::EqualsIgnoreCase(value, profile_.country)) {
-    Mark(report, PiiField::kCountry, host, sample());
+    Mark(report, PiiField::kCountry, host, value_hash, sample());
   }
   if (util::EqualsIgnoreCase(value, "metered") ||
       util::EqualsIgnoreCase(value, "unmetered")) {
-    Mark(report, PiiField::kConnectionType, host, sample());
+    Mark(report, PiiField::kConnectionType, host, value_hash, sample());
   }
-  if ((KeyHintContains(key_hint, "net") ||
-       KeyHintContains(key_hint, "conn")) &&
+  if (traits.net_or_conn &&
       (util::EqualsIgnoreCase(value, "wifi") ||
        util::EqualsIgnoreCase(value, "cellular"))) {
-    Mark(report, PiiField::kNetworkType, host, sample());
+    Mark(report, PiiField::kNetworkType, host, value_hash, sample());
   }
 }
 
@@ -165,10 +206,10 @@ void PiiScanner::ScanFlow(const proxy::Flow& flow, PiiReport& report) const {
       height->is_number() &&
       static_cast<int>(width->as_number()) == profile_.screen_width &&
       static_cast<int>(height->as_number()) == profile_.screen_height) {
-    Mark(report, PiiField::kResolution, host,
-         "deviceScreenWidth/Height=" +
-             std::to_string(profile_.screen_width) + "x" +
-             std::to_string(profile_.screen_height));
+    std::string joined = std::to_string(profile_.screen_width) + "x" +
+                         std::to_string(profile_.screen_height);
+    Mark(report, PiiField::kResolution, host, util::HashString(joined),
+         "deviceScreenWidth/Height=" + joined);
   }
 }
 
@@ -176,6 +217,51 @@ PiiReport PiiScanner::Scan(const proxy::FlowStore& flows) const {
   PiiReport report;
   for (const auto& flow : flows.flows()) {
     ScanFlow(flow, report);
+  }
+  return report;
+}
+
+PiiReport PiiScanner::Scan(const FlowIndex& index) const {
+  PiiReport report;
+  const auto& params = index.params();
+  // Keys are interned, so the keyword probes run once per distinct key
+  // instead of once per parameter occurrence.
+  std::vector<char> traits_ready(index.key_count(), 0);
+  std::vector<KeyTraits> traits(index.key_count());
+  for (const auto& entry : index.entries()) {
+    const std::string& host = index.host(entry.host_id).raw;
+    // The parameter pool replays the legacy per-flow scan order: query
+    // pairs with their Base64-decoded twins interleaved, then scalar
+    // JSON body members — so evidence comes out in the same order.
+    for (uint32_t p = entry.param_begin; p < entry.param_end; ++p) {
+      const uint32_t key_id = params[p].key_id;
+      if (!traits_ready[key_id]) {
+        traits[key_id] = TraitsOf(index.key(key_id));
+        traits_ready[key_id] = 1;
+      }
+      ScanValue(traits[key_id], index.key(key_id), params[p].value, host,
+                report);
+    }
+
+    // Resolution split across two JSON numbers (Opera's oleads body).
+    const FlowIndex::Param* width = nullptr;
+    const FlowIndex::Param* height = nullptr;
+    for (uint32_t p = entry.param_begin; p < entry.param_end; ++p) {
+      if (params[p].source != FlowIndex::ParamSource::kBodyJsonNumber) {
+        continue;
+      }
+      const std::string& key = index.key(params[p].key_id);
+      if (key == "deviceScreenWidth") width = &params[p];
+      if (key == "deviceScreenHeight") height = &params[p];
+    }
+    if (width != nullptr && height != nullptr &&
+        static_cast<int>(width->number) == profile_.screen_width &&
+        static_cast<int>(height->number) == profile_.screen_height) {
+      std::string joined = std::to_string(profile_.screen_width) + "x" +
+                           std::to_string(profile_.screen_height);
+      Mark(report, PiiField::kResolution, host, util::HashString(joined),
+           "deviceScreenWidth/Height=" + joined);
+    }
   }
   return report;
 }

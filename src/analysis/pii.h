@@ -19,6 +19,8 @@
 
 namespace panoptes::analysis {
 
+class FlowIndex;
+
 enum class PiiField {
   kDeviceType,
   kManufacturer,
@@ -40,7 +42,8 @@ std::string_view PiiFieldName(PiiField field);
 struct PiiEvidence {
   PiiField field = PiiField::kDeviceType;
   std::string host;      // destination that received the value
-  std::string sample;    // "key=value" or JSON fragment
+  std::string sample;    // "key=value" or JSON fragment, UTF-8-safe cut
+  uint64_t value_hash = 0;  // hash of the FULL (untruncated) value
 };
 
 // Table 2 row for one browser.
@@ -61,14 +64,34 @@ class PiiScanner {
   // Scans every flow in the store (native database).
   PiiReport Scan(const proxy::FlowStore& flows) const;
 
+  // Same report, computed from the pre-parsed index: the query/body
+  // decode work was already done once at index build time.
+  PiiReport Scan(const FlowIndex& index) const;
+
   // Scans one flow, appending evidence to `report`.
   void ScanFlow(const proxy::Flow& flow, PiiReport& report) const;
 
  private:
+  // Which keyword hints a key carries. Computed once per distinct key:
+  // the index interns keys, so the indexed scan caches traits per
+  // key_id instead of re-running the substring probes on every value.
+  struct KeyTraits;
+
+  static KeyTraits TraitsOf(std::string_view key_hint);
   void ScanText(std::string_view key_hint, std::string_view value,
                 const std::string& host, PiiReport& report) const;
+  void ScanValue(const KeyTraits& traits, std::string_view key_hint,
+                 std::string_view value, const std::string& host,
+                 PiiReport& report) const;
 
   device::DeviceProfile profile_;
+  // Profile-derived needles, rendered once instead of per scanned value.
+  std::string resolution_;
+  std::string local_ip_;
+  std::string locale_underscore_;
+  std::string lat_prefix_;
+  std::string lon_prefix_;
+  std::string dpi_;
 };
 
 }  // namespace panoptes::analysis

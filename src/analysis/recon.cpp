@@ -1,7 +1,9 @@
 #include "analysis/recon.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <string_view>
 
 #include "util/json.h"
 #include "util/strings.h"
@@ -171,24 +173,37 @@ void ReconClassifier::Train(const std::vector<Example>& examples) {
 double ReconClassifier::Score(
     const std::vector<std::string>& tokens) const {
   if (!trained_) return 0.5;
+  // Single log-likelihood-ratio accumulator over *unique* tokens:
+  // duplicates are aggregated first (sorted map), then each unique
+  // token contributes count × its per-token log ratio. That makes the
+  // score exactly invariant to token order — two separate running sums
+  // accumulate rounding in permutation-dependent ways — and a sum of
+  // logs cannot underflow the way a probability product would on
+  // multi-thousand-token flows.
   double vocabulary = static_cast<double>(token_counts_.size()) + 1.0;
-  double log_pii = std::log(static_cast<double>(pii_examples_) /
-                            (pii_examples_ + clean_examples_));
-  double log_clean = std::log(static_cast<double>(clean_examples_) /
-                              (pii_examples_ + clean_examples_));
-  for (const auto& token : tokens) {
+  // trained_ guarantees both class counts are positive, so the Laplace
+  // denominators and the prior ratio below are finite and nonzero.
+  double llr = std::log(static_cast<double>(pii_examples_)) -
+               std::log(static_cast<double>(clean_examples_));
+  std::map<std::string_view, uint64_t> unique;
+  for (const auto& token : tokens) ++unique[token];
+  for (const auto& [token, count] : unique) {
     auto it = token_counts_.find(token);
-    double pii_count = it == token_counts_.end() ? 0 : it->second.pii;
-    double clean_count = it == token_counts_.end() ? 0 : it->second.clean;
-    log_pii += std::log((pii_count + 1.0) / (pii_tokens_ + vocabulary));
-    log_clean +=
-        std::log((clean_count + 1.0) / (clean_tokens_ + vocabulary));
+    double pii_count =
+        it == token_counts_.end() ? 0 : static_cast<double>(it->second.pii);
+    double clean_count =
+        it == token_counts_.end() ? 0 : static_cast<double>(it->second.clean);
+    double contribution =
+        std::log((pii_count + 1.0) /
+                 (static_cast<double>(pii_tokens_) + vocabulary)) -
+        std::log((clean_count + 1.0) /
+                 (static_cast<double>(clean_tokens_) + vocabulary));
+    llr += static_cast<double>(count) * contribution;
   }
-  // Softmax over two log-likelihoods.
-  double max_log = std::max(log_pii, log_clean);
-  double pii = std::exp(log_pii - max_log);
-  double clean = std::exp(log_clean - max_log);
-  return pii / (pii + clean);
+  // Clamp before the sigmoid: beyond ±700, exp() overflows to inf and
+  // the division would return NaN instead of a saturated 0 or 1.
+  llr = std::clamp(llr, -700.0, 700.0);
+  return 1.0 / (1.0 + std::exp(-llr));
 }
 
 std::vector<ReconClassifier::Example> GenerateTrainingCorpus(

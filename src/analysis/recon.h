@@ -60,7 +60,9 @@ class ReconClassifier {
     uint64_t pii = 0;
     uint64_t clean = 0;
   };
-  std::map<std::string, Counts> token_counts_;
+  // Transparent comparator: Score() aggregates incoming tokens as
+  // string_views and must probe without materialising a std::string.
+  std::map<std::string, Counts, std::less<>> token_counts_;
   uint64_t pii_examples_ = 0;
   uint64_t clean_examples_ = 0;
   uint64_t pii_tokens_ = 0;

@@ -1,19 +1,42 @@
 #include "analysis/referer.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
+#include "analysis/flow_index.h"
 #include "net/psl.h"
 #include "net/url.h"
 
 namespace panoptes::analysis {
 
+namespace {
+
+struct PerHost {
+  uint64_t requests = 0;
+  std::set<std::string> sites;
+};
+
+std::vector<RefererLeak> SortedLeaks(std::map<std::string, PerHost>& by_host) {
+  std::vector<RefererLeak> leaks;
+  for (auto& [host, entry] : by_host) {
+    RefererLeak leak;
+    leak.third_party_host = host;
+    leak.requests = entry.requests;
+    leak.distinct_sites = entry.sites.size();
+    leaks.push_back(std::move(leak));
+  }
+  std::sort(leaks.begin(), leaks.end(),
+            [](const RefererLeak& a, const RefererLeak& b) {
+              return a.requests > b.requests;
+            });
+  return leaks;
+}
+
+}  // namespace
+
 RefererReport AnalyzeRefererLeakage(const proxy::FlowStore& engine_flows) {
   RefererReport report;
-  struct PerHost {
-    uint64_t requests = 0;
-    std::set<std::string> sites;
-  };
   std::map<std::string, PerHost> by_host;
 
   for (const auto& flow : engine_flows.flows()) {
@@ -30,17 +53,54 @@ RefererReport AnalyzeRefererLeakage(const proxy::FlowStore& engine_flows) {
     entry.sites.insert(referer_url->host());
   }
 
-  for (auto& [host, entry] : by_host) {
-    RefererLeak leak;
-    leak.third_party_host = host;
-    leak.requests = entry.requests;
-    leak.distinct_sites = entry.sites.size();
-    report.leaks.push_back(std::move(leak));
+  report.leaks = SortedLeaks(by_host);
+  return report;
+}
+
+RefererReport AnalyzeRefererLeakage(const proxy::FlowStore& engine_flows,
+                                    const FlowIndex& index) {
+  if (index.flow_count() != engine_flows.size()) {
+    return AnalyzeRefererLeakage(engine_flows);
   }
-  std::sort(report.leaks.begin(), report.leaks.end(),
-            [](const RefererLeak& a, const RefererLeak& b) {
-              return a.requests > b.requests;
-            });
+  RefererReport report;
+  std::map<std::string, PerHost> by_host;
+  // The same page URL refers every embed it loads, so both the URL
+  // parse and the PSL walk repeat across flows; memoize (host, domain)
+  // per distinct raw Referer value. The destination side's domain is
+  // already interned in the index.
+  struct RefererInfo {
+    std::string host;
+    std::string domain;
+  };
+  std::map<std::string, std::optional<RefererInfo>, std::less<>>
+      parsed_referers;
+
+  for (uint32_t flow_id = 0; flow_id < index.flow_count(); ++flow_id) {
+    const FlowIndex::FlowEntry& entry = index.entries()[flow_id];
+    ++report.engine_requests;
+    auto referer =
+        engine_flows.flow(flow_id).request_headers.Get("Referer");
+    if (!referer) continue;
+    auto it = parsed_referers.find(*referer);
+    if (it == parsed_referers.end()) {
+      std::optional<RefererInfo> info;
+      if (auto referer_url = net::Url::Parse(*referer)) {
+        info = RefererInfo{referer_url->host(),
+                           net::RegistrableDomain(referer_url->host())};
+      }
+      it = parsed_referers.emplace(std::string(*referer), std::move(info))
+               .first;
+    }
+    if (!it->second) continue;
+    const FlowIndex::HostInfo& host = index.host(entry.host_id);
+    if (host.domain == it->second->domain) continue;
+    ++report.leaking_requests;
+    auto& leak = by_host[host.raw];
+    ++leak.requests;
+    leak.sites.insert(it->second->host);
+  }
+
+  report.leaks = SortedLeaks(by_host);
   return report;
 }
 

@@ -16,6 +16,8 @@
 
 namespace panoptes::analysis {
 
+class FlowIndex;
+
 struct RefererLeak {
   std::string third_party_host;  // who learned the visit
   uint64_t requests = 0;         // embed fetches carrying a Referer
@@ -39,5 +41,13 @@ struct RefererReport {
 // Scans an engine flow store (requires a non-compact store: headers
 // must have been retained).
 RefererReport AnalyzeRefererLeakage(const proxy::FlowStore& engine_flows);
+
+// Index-backed variant: destination registrable domains come from the
+// interned host table and referer-host domains are memoized, so the
+// PSL walk runs per distinct host instead of per flow. Headers are
+// still read from the store; `index` must match it (falls back to the
+// store scan when the sizes disagree).
+RefererReport AnalyzeRefererLeakage(const proxy::FlowStore& engine_flows,
+                                    const FlowIndex& index);
 
 }  // namespace panoptes::analysis

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "analysis/flow_index.h"
+
 namespace panoptes::analysis {
 
 namespace {
@@ -136,6 +138,27 @@ TimelineAnalysis AnalyzeTimeline(const std::vector<uint64_t>& cumulative,
                             : TimelineShape::kLinear;
   }
   return analysis;
+}
+
+std::vector<uint64_t> CumulativeByBucket(const FlowIndex& index) {
+  std::vector<uint64_t> cumulative;
+  const auto& buckets = index.by_time_bucket();
+  if (buckets.empty()) return cumulative;
+  int64_t first = buckets.begin()->first;
+  int64_t last = buckets.rbegin()->first;
+  uint64_t running = 0;
+  for (int64_t bucket = first; bucket <= last;
+       bucket += FlowIndex::kTimeBucketMillis) {
+    auto it = buckets.find(bucket);
+    if (it != buckets.end()) running += it->second.size();
+    cumulative.push_back(running);
+  }
+  return cumulative;
+}
+
+TimelineAnalysis AnalyzeTimeline(const FlowIndex& index) {
+  return AnalyzeTimeline(CumulativeByBucket(index),
+                         util::Duration::Millis(FlowIndex::kTimeBucketMillis));
 }
 
 }  // namespace panoptes::analysis

@@ -16,6 +16,8 @@
 
 namespace panoptes::analysis {
 
+class FlowIndex;
+
 struct LinearFit {
   double slope = 0;      // requests per second
   double intercept = 0;
@@ -54,5 +56,15 @@ struct TimelineAnalysis {
 // bucket of width `bucket`.
 TimelineAnalysis AnalyzeTimeline(const std::vector<uint64_t>& cumulative,
                                  util::Duration bucket);
+
+// Cumulative flow counts from the index's time-bucket postings, one
+// value per FlowIndex::kTimeBucketMillis bucket spanning the first to
+// the last occupied bucket. Unlike an IdleResult's run-relative
+// timeline, buckets here are absolute (see FlowIndex), so counts come
+// straight from the postings without touching the flows.
+std::vector<uint64_t> CumulativeByBucket(const FlowIndex& index);
+
+// AnalyzeTimeline over CumulativeByBucket(index).
+TimelineAnalysis AnalyzeTimeline(const FlowIndex& index);
 
 }  // namespace panoptes::analysis

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "analysis/flow_index.h"
 #include "browser/cdp.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -186,6 +187,13 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
   metrics.engine_flows_total.Inc(result.engine_flows->size());
   metrics.native_flows_total.Inc(result.native_flows->size());
 
+  // Index the final stores once; every downstream analysis reuses the
+  // pre-parsed columns instead of rescanning the flows.
+  result.engine_index = std::make_shared<const analysis::FlowIndex>(
+      analysis::FlowIndex::Build(*result.engine_flows));
+  result.native_index = std::make_shared<const analysis::FlowIndex>(
+      analysis::FlowIndex::Build(*result.native_flows));
+
   PANOPTES_LOG(kInfo, "crawl")
       << spec.name << ": " << result.visits.size() << " visits, "
       << result.engine_flows->size() << " engine / "
@@ -195,14 +203,31 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
 
 double IdleResult::ShareToHost(std::string_view host) const {
   if (native_flows->empty()) return 0;
-  size_t to_host = native_flows->ToHost(host).size();
+  size_t to_host;
+  if (native_index != nullptr) {
+    const auto* postings = native_index->FlowsToHost(host);
+    to_host = postings != nullptr ? postings->size() : 0;
+  } else {
+    to_host = native_flows->ToHost(host).size();
+  }
   return static_cast<double>(to_host) /
          static_cast<double>(native_flows->size());
 }
 
 double IdleResult::ShareToDomain(std::string_view domain) const {
   if (native_flows->empty()) return 0;
-  size_t to_domain = native_flows->ToDomain(domain).size();
+  size_t to_domain = 0;
+  if (native_index != nullptr) {
+    // Registrable domains are precomputed per distinct host; summing
+    // postings replaces the per-flow RegistrableDomain of ToDomain().
+    for (uint32_t id = 0; id < native_index->hosts().size(); ++id) {
+      if (native_index->host(id).domain == domain) {
+        to_domain += native_index->by_host()[id].size();
+      }
+    }
+  } else {
+    to_domain = native_flows->ToDomain(domain).size();
+  }
   return static_cast<double>(to_domain) /
          static_cast<double>(native_flows->size());
 }
@@ -254,6 +279,8 @@ IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
   framework.taint_addon().SetStores(nullptr, nullptr);
   framework.TeardownBrowser();
   metrics.native_flows_total.Inc(result.native_flows->size());
+  result.native_index = std::make_shared<const analysis::FlowIndex>(
+      analysis::FlowIndex::Build(*result.native_flows));
   return result;
 }
 

@@ -16,6 +16,10 @@
 #include "proxy/flowstore.h"
 #include "web/site.h"
 
+namespace panoptes::analysis {
+class FlowIndex;
+}  // namespace panoptes::analysis
+
 namespace panoptes::core {
 
 // Self-healing knobs for a crawl. Retries are deterministic: the
@@ -66,6 +70,12 @@ struct CrawlResult {
   bool incognito_effective = false;
   std::unique_ptr<proxy::FlowStore> engine_flows;  // compact
   std::unique_ptr<proxy::FlowStore> native_flows;  // full
+  // Columnar index over each store, built once at capture end (or
+  // restored from the job snapshot, or merged from shard indexes).
+  // Analyses consume (store, index) pairs instead of rescanning flows.
+  // shared_ptr: shard merges and cached results alias the same index.
+  std::shared_ptr<const analysis::FlowIndex> engine_index;
+  std::shared_ptr<const analysis::FlowIndex> native_index;
   std::vector<VisitRecord> visits;
   device::NetworkStackStats stack_stats;
   // Chaos-synthesized flows observed (and excluded from the stores).
@@ -93,6 +103,8 @@ struct IdleOptions {
 struct IdleResult {
   std::string browser;
   std::unique_ptr<proxy::FlowStore> native_flows;
+  // Columnar index over the store (see CrawlResult).
+  std::shared_ptr<const analysis::FlowIndex> native_index;
   // Chaos-synthesized flows observed (and excluded from the store).
   uint64_t fault_injected_flows = 0;
   // Cumulative native request count at the end of each bucket.

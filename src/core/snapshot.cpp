@@ -2,11 +2,36 @@
 
 #include <utility>
 
+#include "analysis/flow_index.h"
 #include "util/binio.h"
 
 namespace panoptes::core::snapshot {
 
 namespace {
+
+// Index payloads are presence-flagged so a result whose index was never
+// built (hand-assembled in tests) still snapshots cleanly; readers
+// rebuild absent indexes from the store, which serializes to the same
+// bytes as the one that was skipped.
+void WriteIndex(const std::shared_ptr<const analysis::FlowIndex>& index,
+                util::BinWriter& out) {
+  out.Bool(index != nullptr);
+  if (index != nullptr) index->SerializeTo(out);
+}
+
+bool ReadIndex(util::BinReader& in, const proxy::FlowStore& store,
+               std::shared_ptr<const analysis::FlowIndex>* index) {
+  if (in.Bool()) {
+    std::shared_ptr<const analysis::FlowIndex> restored =
+        analysis::FlowIndex::Deserialize(in);
+    if (restored == nullptr) return false;
+    *index = std::move(restored);
+  } else {
+    *index = std::make_shared<const analysis::FlowIndex>(
+        analysis::FlowIndex::Build(store));
+  }
+  return in.ok();
+}
 
 void WriteStackStats(const device::NetworkStackStats& stats,
                      util::BinWriter& out) {
@@ -64,7 +89,9 @@ void WriteCrawl(const CrawlResult& crawl, util::BinWriter& out) {
   out.Bool(crawl.incognito_requested);
   out.Bool(crawl.incognito_effective);
   crawl.engine_flows->SerializeTo(out);
+  WriteIndex(crawl.engine_index, out);
   crawl.native_flows->SerializeTo(out);
+  WriteIndex(crawl.native_index, out);
   out.U32(static_cast<uint32_t>(crawl.visits.size()));
   for (const auto& visit : crawl.visits) WriteVisit(visit, out);
   WriteStackStats(crawl.stack_stats, out);
@@ -77,8 +104,10 @@ bool ReadCrawl(util::BinReader& in, CrawlResult* crawl) {
   crawl->incognito_effective = in.Bool();
   crawl->engine_flows = proxy::FlowStore::Deserialize(in);
   if (crawl->engine_flows == nullptr) return false;
+  if (!ReadIndex(in, *crawl->engine_flows, &crawl->engine_index)) return false;
   crawl->native_flows = proxy::FlowStore::Deserialize(in);
   if (crawl->native_flows == nullptr) return false;
+  if (!ReadIndex(in, *crawl->native_flows, &crawl->native_index)) return false;
   uint32_t visit_count = in.U32();
   if (!in.ok() || visit_count > in.remaining()) return false;
   crawl->visits.clear();
@@ -96,6 +125,7 @@ bool ReadCrawl(util::BinReader& in, CrawlResult* crawl) {
 void WriteIdle(const IdleResult& idle, util::BinWriter& out) {
   out.Str(idle.browser);
   idle.native_flows->SerializeTo(out);
+  WriteIndex(idle.native_index, out);
   out.U64(idle.fault_injected_flows);
   out.U32(static_cast<uint32_t>(idle.cumulative_by_bucket.size()));
   for (uint64_t value : idle.cumulative_by_bucket) out.U64(value);
@@ -106,6 +136,7 @@ bool ReadIdle(util::BinReader& in, IdleResult* idle) {
   idle->browser = in.Str();
   idle->native_flows = proxy::FlowStore::Deserialize(in);
   if (idle->native_flows == nullptr) return false;
+  if (!ReadIndex(in, *idle->native_flows, &idle->native_index)) return false;
   idle->fault_injected_flows = in.U64();
   uint32_t bucket_count = in.U32();
   if (!in.ok() || bucket_count > in.remaining() / 8) return false;

@@ -29,7 +29,9 @@
 namespace panoptes::core::snapshot {
 
 inline constexpr std::string_view kMagic = "PANOSNAP";
-inline constexpr uint32_t kSchemaVersion = 1;
+// v2: each flow store is followed by its serialized analysis::FlowIndex
+// (presence-flagged; absent indexes are rebuilt from the store on read).
+inline constexpr uint32_t kSchemaVersion = 2;
 
 // Serializes `result` (with `fingerprint` in the header) to the full
 // file image.

@@ -66,7 +66,17 @@ bool SameSite(std::string_view host_a, std::string_view host_b) {
   return RegistrableDomain(host_a) == RegistrableDomain(host_b);
 }
 
+std::string CanonicalHost(std::string_view host) {
+  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
+  return util::ToLower(host);
+}
+
 bool HostMatchesDomain(std::string_view host, std::string_view domain) {
+  // Strip FQDN trailing dots before the suffix test; the comparisons
+  // below are already case-insensitive.
+  if (!host.empty() && host.back() == '.') host.remove_suffix(1);
+  if (!domain.empty() && domain.back() == '.') domain.remove_suffix(1);
+  if (domain.empty()) return false;
   if (util::EqualsIgnoreCase(host, domain)) return true;
   if (host.size() <= domain.size()) return false;
   std::string_view tail = host.substr(host.size() - domain.size());

@@ -22,7 +22,15 @@ std::string RegistrableDomain(std::string_view host);
 // used to split first-party from third-party requests).
 bool SameSite(std::string_view host_a, std::string_view host_b);
 
-// True if `host` equals `domain` or is a subdomain of it.
+// Canonical matching form of a host: ASCII-lowercased, with a single
+// trailing dot (the FQDN root label) removed. Every host-suffix
+// comparison in the analysis layer goes through this form so that
+// "Ad.DoubleClick.NET." and "ad.doubleclick.net" classify identically.
+std::string CanonicalHost(std::string_view host);
+
+// True if `host` equals `domain` or is a subdomain of it. Matching is
+// label-boundary-aware ("notexample.com" does NOT match "example.com"),
+// case-insensitive, and tolerates a trailing dot on either side.
 bool HostMatchesDomain(std::string_view host, std::string_view domain);
 
 }  // namespace panoptes::net

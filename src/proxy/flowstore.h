@@ -62,6 +62,7 @@ class FlowStore {
   void Reserve(size_t capacity) { flows_.reserve(capacity); }
 
   const std::vector<Flow>& flows() const { return flows_; }
+  const Flow& flow(size_t i) const { return flows_[i]; }
   size_t size() const { return flows_.size(); }
   bool empty() const { return flows_.empty(); }
 

@@ -159,6 +159,24 @@ std::string FormatDouble(double value, int decimals) {
   return std::string(buf.data(), static_cast<size_t>(ptr - buf.data()));
 }
 
+std::string_view TruncateUtf8(std::string_view s, size_t max_bytes) {
+  if (s.size() <= max_bytes) return s;
+  // If the first excluded byte is a continuation byte (10xxxxxx), the
+  // cut would split the sequence it belongs to; back up to that
+  // sequence's lead byte and cut before it. UTF-8 sequences are at most
+  // 4 bytes, so more than 3 continuation bytes means invalid input —
+  // then the byte cut is as good as any.
+  size_t cut = max_bytes;
+  size_t back = 0;
+  while (cut > 0 && back < 3 &&
+         (static_cast<unsigned char>(s[cut]) & 0xC0) == 0x80) {
+    --cut;
+    ++back;
+  }
+  if ((static_cast<unsigned char>(s[cut]) & 0xC0) == 0x80) cut = max_bytes;
+  return s.substr(0, cut);
+}
+
 std::string PercentEncode(std::string_view s) {
   static constexpr char kHex[] = "0123456789ABCDEF";
   std::string out;

@@ -50,6 +50,11 @@ std::optional<uint64_t> ParseUint(std::string_view s);
 // Formats `value` with `decimals` digits after the point (no locale).
 std::string FormatDouble(double value, int decimals);
 
+// Truncates `s` to at most `max_bytes` without splitting a UTF-8
+// sequence: if the cut would land inside a multi-byte character, the
+// whole character is dropped. Invalid UTF-8 is cut at the byte limit.
+std::string_view TruncateUtf8(std::string_view s, size_t max_bytes);
+
 // Percent-encodes bytes outside the RFC 3986 "unreserved" set.
 std::string PercentEncode(std::string_view s);
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <string>
+#include <vector>
+
 namespace panoptes::analysis {
 namespace {
 
@@ -125,6 +129,54 @@ TEST(ReconClassifierTest, ScoresConcreteFlows) {
   clean.url =
       net::Url::MustParse("https://api.example/search?q=weather&page=2");
   EXPECT_FALSE(classifier.Predict(ReconClassifier::Tokenize(clean)));
+}
+
+// Multi-thousand-token flows used to underflow the probability product
+// to 0/0 (NaN) and two running sums made the score drift with token
+// order. The log-likelihood-ratio form must stay finite and be exactly
+// permutation-invariant.
+TEST(ReconClassifierTest, ScoreIsFiniteAndOrderInvariantOnHugeFlows) {
+  util::Rng rng(11);
+  auto corpus =
+      GenerateTrainingCorpus(device::DeviceProfile::PaperTestbed(), rng,
+                             3000);
+  ReconClassifier classifier;
+  classifier.Train(corpus);
+
+  // 10k tokens drawn from the training vocabulary plus unseen ones.
+  std::vector<std::string> tokens;
+  tokens.reserve(10'000);
+  for (size_t i = 0; tokens.size() < 10'000; ++i) {
+    const auto& example = corpus[i % corpus.size()];
+    for (const auto& token : example.tokens) {
+      if (tokens.size() >= 9'900) break;
+      tokens.push_back(token);
+    }
+    if (tokens.size() >= 9'900) break;
+  }
+  while (tokens.size() < 10'000) {
+    tokens.push_back("key:unseen" + std::to_string(tokens.size()));
+  }
+
+  double score = classifier.Score(tokens);
+  ASSERT_FALSE(std::isnan(score));
+  EXPECT_GE(score, 0.0);
+  EXPECT_LE(score, 1.0);
+
+  // Reversing and rotating the token stream changes nothing, bit for
+  // bit: duplicates are aggregated before any floating-point work.
+  std::vector<std::string> reversed(tokens.rbegin(), tokens.rend());
+  EXPECT_EQ(classifier.Score(reversed), score);
+  std::vector<std::string> rotated(tokens.begin() + 1234, tokens.end());
+  rotated.insert(rotated.end(), tokens.begin(), tokens.begin() + 1234);
+  EXPECT_EQ(classifier.Score(rotated), score);
+
+  // A single token repeated 10k times saturates instead of overflowing.
+  std::vector<std::string> repeated(10'000, "lat:1");
+  double saturated = classifier.Score(repeated);
+  ASSERT_FALSE(std::isnan(saturated));
+  EXPECT_GE(saturated, 0.0);
+  EXPECT_LE(saturated, 1.0);
 }
 
 TEST(ReconEvaluationTest, Metrics) {

@@ -134,6 +134,48 @@ TEST_F(PiiTest, EvidenceDeduplicatedPerFieldHost) {
   EXPECT_EQ(report.evidence.size(), 1u);
 }
 
+// Dedup keys on the hash of the FULL value, not the 80-byte sample: two
+// long payloads sharing a prefix are distinct sightings, the same value
+// re-sent is one.
+TEST_F(PiiTest, LongValuesSharingAPrefixAreDistinctEvidence) {
+  std::string shared_prefix = "35.34" + std::string(90, 'x');
+  proxy::FlowStore store;
+  store.Add(FlowTo("https://v.example/a?lat=" + shared_prefix + "AAAA"));
+  store.Add(FlowTo("https://v.example/b?lat=" + shared_prefix + "BBBB"));
+  // And the first payload again: deduplicated against itself.
+  store.Add(FlowTo("https://v.example/c?lat=" + shared_prefix + "AAAA"));
+  auto report = scanner_.Scan(store);
+  EXPECT_TRUE(report.Leaks(PiiField::kLocation));
+  ASSERT_EQ(report.evidence.size(), 2u);
+  // Identical truncated samples, distinct hashes.
+  EXPECT_EQ(report.evidence[0].sample, report.evidence[1].sample);
+  EXPECT_NE(report.evidence[0].value_hash, report.evidence[1].value_hash);
+}
+
+TEST_F(PiiTest, DistinctShortValuesAreDistinctEvidence) {
+  proxy::FlowStore store;
+  store.Add(FlowTo("https://v.example/a?rooted=true"));
+  store.Add(FlowTo("https://v.example/b?rooted=false"));
+  store.Add(FlowTo("https://v.example/c?rooted=true"));
+  auto report = scanner_.Scan(store);
+  EXPECT_TRUE(report.Leaks(PiiField::kRooted));
+  EXPECT_EQ(report.evidence.size(), 2u);
+}
+
+TEST_F(PiiTest, SampleTruncationRespectsUtf8Boundaries) {
+  // 79 ASCII bytes, then a two-byte UTF-8 character straddling the
+  // 80-byte sample limit: the whole character must be dropped, never
+  // split into a mangled lead byte.
+  std::string value = "35.34" + std::string(74, 'x') + "\xCE\xB1";
+  ASSERT_EQ(value.size(), 81u);
+  proxy::FlowStore store;
+  store.Add(FlowTo("https://v.example/a?lat=" + value));
+  auto report = scanner_.Scan(store);
+  ASSERT_EQ(report.evidence.size(), 1u);
+  EXPECT_EQ(report.evidence[0].sample,
+            "lat=" + value.substr(0, 79));
+}
+
 TEST_F(PiiTest, FieldNames) {
   EXPECT_EQ(PiiFieldName(PiiField::kLocalIp), "Local IP");
   EXPECT_EQ(PiiFieldName(PiiField::kRooted), "Rooted Status");

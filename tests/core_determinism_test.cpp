@@ -13,10 +13,19 @@
 // re-check EXPERIMENTS.md's tables still hold.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/export.h"
+#include "analysis/flow_index.h"
 #include "browser/profiles.h"
 #include "core/campaign.h"
 #include "core/fleet.h"
 #include "core/framework.h"
+#include "util/binio.h"
 
 namespace panoptes::core {
 namespace {
@@ -83,6 +92,99 @@ TEST(Determinism, JobSeedDerivationIsPinned) {
             8379929806318620680ull);
   EXPECT_EQ(DeriveJobSeed(kPaperSeed, "Opera", CampaignKind::kIdle, 2),
             15057783577856798029ull);
+}
+
+// ---------------------------------------------------------------------------
+// FlowIndex shard-merge determinism: the merged analysis indexes — not
+// just the exported reports — must be independent of worker count and
+// of whether a result executed fresh or replayed from a cache snapshot.
+// ---------------------------------------------------------------------------
+
+FleetOptions IndexFleet(int jobs, std::string cache_dir = {}) {
+  FleetOptions options;
+  options.jobs = jobs;
+  options.base_seed = kPaperSeed;
+  options.framework.catalog.popular_count = 3;
+  options.framework.catalog.sensitive_count = 1;
+  options.cache_dir = std::move(cache_dir);
+  return options;
+}
+
+std::vector<FleetJob> IndexPlan() {
+  std::vector<browser::BrowserSpec> specs = {*browser::FindSpec("Yandex"),
+                                             *browser::FindSpec("DuckDuckGo")};
+  return FleetExecutor::PlanCampaign(
+      specs, {CampaignKind::kCrawl, CampaignKind::kIdle}, 2);
+}
+
+// Serialized bytes of every index a merged result set carries, in
+// result order — the strictest equality the indexes can satisfy.
+std::vector<std::string> IndexBytes(
+    const std::vector<FleetJobResult>& results) {
+  std::vector<std::string> bytes;
+  for (const auto& result : results) {
+    std::vector<std::shared_ptr<const analysis::FlowIndex>> indexes;
+    if (result.crawl) {
+      indexes.push_back(result.crawl->engine_index);
+      indexes.push_back(result.crawl->native_index);
+    }
+    if (result.idle) indexes.push_back(result.idle->native_index);
+    for (const auto& index : indexes) {
+      if (index == nullptr) continue;
+      util::BinWriter out;
+      index->SerializeTo(out);
+      bytes.push_back(out.Take());
+    }
+  }
+  return bytes;
+}
+
+TEST(Determinism, MergedReportsAndIndexesInvariantUnderJobCount) {
+  auto jobs = IndexPlan();
+  auto one = FleetExecutor(IndexFleet(1)).Run(jobs);
+  auto eight = FleetExecutor(IndexFleet(8)).Run(jobs);
+
+  auto merged_one = FleetExecutor::MergeShards(std::move(one));
+  auto merged_eight = FleetExecutor::MergeShards(std::move(eight));
+
+  // Every merged index is byte-identical: 8 workers merge per-shard
+  // indexes in exactly the order one worker does.
+  EXPECT_EQ(IndexBytes(merged_one), IndexBytes(merged_eight));
+  EXPECT_EQ(analysis::FleetReportJson(merged_one),
+            analysis::FleetReportJson(merged_eight));
+  EXPECT_EQ(analysis::FleetSummaryCsv(merged_one),
+            analysis::FleetSummaryCsv(merged_eight));
+}
+
+TEST(Determinism, WarmCacheRunMatchesColdByteForByte) {
+  namespace fs = std::filesystem;
+  fs::path dir =
+      fs::temp_directory_path() / "panoptes_determinism_test" / "warm_index";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  auto jobs = IndexPlan();
+  FleetExecutor cold(IndexFleet(8, dir.string()));
+  auto cold_results = cold.Run(jobs);
+  for (const auto& result : cold_results) EXPECT_FALSE(result.cache_hit);
+
+  FleetExecutor warm(IndexFleet(8, dir.string()));
+  auto warm_results = warm.Run(jobs);
+  for (const auto& result : warm_results) EXPECT_TRUE(result.cache_hit);
+
+  // Snapshot-restored indexes serialize byte-identically to the ones
+  // built at capture time — rebuilt or deserialized, same bytes.
+  EXPECT_EQ(IndexBytes(cold_results), IndexBytes(warm_results));
+
+  auto merged_cold = FleetExecutor::MergeShards(std::move(cold_results));
+  auto merged_warm = FleetExecutor::MergeShards(std::move(warm_results));
+  EXPECT_EQ(IndexBytes(merged_cold), IndexBytes(merged_warm));
+  EXPECT_EQ(analysis::FleetReportJson(merged_cold),
+            analysis::FleetReportJson(merged_warm));
+  EXPECT_EQ(analysis::FleetSummaryCsv(merged_cold),
+            analysis::FleetSummaryCsv(merged_warm));
+
+  fs::remove_all(dir);
 }
 
 }  // namespace

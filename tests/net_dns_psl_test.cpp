@@ -114,6 +114,28 @@ TEST(Psl, HostMatchesDomain) {
   EXPECT_TRUE(HostMatchesDomain("example.com", "example.com"));
   EXPECT_FALSE(HostMatchesDomain("badexample.com", "example.com"));
   EXPECT_FALSE(HostMatchesDomain("example.com", "ads.example.com"));
+  // Label-boundary regression: a host merely *ending in* the domain
+  // string is not a subdomain of it.
+  EXPECT_FALSE(HostMatchesDomain("notexample.com", "example.com"));
+  EXPECT_FALSE(HostMatchesDomain("example.com.evil.net", "example.com"));
+}
+
+TEST(Psl, HostMatchesDomainCaseAndTrailingDot) {
+  EXPECT_TRUE(HostMatchesDomain("Ad.DoubleClick.NET", "doubleclick.net"));
+  EXPECT_TRUE(HostMatchesDomain("ad.doubleclick.net", "DoubleClick.NET"));
+  EXPECT_TRUE(HostMatchesDomain("ad.doubleclick.net.", "doubleclick.net"));
+  EXPECT_TRUE(HostMatchesDomain("ad.doubleclick.net", "doubleclick.net."));
+  EXPECT_TRUE(HostMatchesDomain("Example.COM.", "example.com."));
+  EXPECT_FALSE(HostMatchesDomain("notexample.COM.", "example.com"));
+}
+
+TEST(Psl, CanonicalHost) {
+  EXPECT_EQ(CanonicalHost("Ad.DoubleClick.NET."), "ad.doubleclick.net");
+  EXPECT_EQ(CanonicalHost("ad.doubleclick.net"), "ad.doubleclick.net");
+  EXPECT_EQ(CanonicalHost("EXAMPLE.com"), "example.com");
+  // Only one trailing root-label dot is stripped.
+  EXPECT_EQ(CanonicalHost("example.com.."), "example.com.");
+  EXPECT_EQ(CanonicalHost(""), "");
 }
 
 }  // namespace

@@ -112,5 +112,24 @@ TEST_P(PercentRoundTrip, Holds) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PercentRoundTrip, ::testing::Range(0, 24));
 
+TEST(TruncateUtf8, NeverSplitsAMultiByteSequence) {
+  EXPECT_EQ(TruncateUtf8("abcdef", 10), "abcdef");
+  EXPECT_EQ(TruncateUtf8("abcdef", 3), "abc");
+  EXPECT_EQ(TruncateUtf8("", 5), "");
+  // Two-byte character (U+03B1) straddling the cut: dropped whole.
+  EXPECT_EQ(TruncateUtf8("ab\xCE\xB1", 3), "ab");
+  EXPECT_EQ(TruncateUtf8("ab\xCE\xB1", 4), "ab\xCE\xB1");
+  // Three-byte character (U+20AC): both partial cuts drop it whole.
+  EXPECT_EQ(TruncateUtf8("a\xE2\x82\xAC", 2), "a");
+  EXPECT_EQ(TruncateUtf8("a\xE2\x82\xAC", 3), "a");
+  EXPECT_EQ(TruncateUtf8("a\xE2\x82\xAC", 4), "a\xE2\x82\xAC");
+  // Four-byte character (U+1F600).
+  EXPECT_EQ(TruncateUtf8("\xF0\x9F\x98\x80", 3), "");
+  EXPECT_EQ(TruncateUtf8("\xF0\x9F\x98\x80", 4), "\xF0\x9F\x98\x80");
+  // Invalid UTF-8 (a run of 4+ continuation bytes cannot be a real
+  // sequence): cut at the byte limit instead of backing up further.
+  EXPECT_EQ(TruncateUtf8("a\x80\x80\x80\x80\x80", 4), "a\x80\x80\x80");
+}
+
 }  // namespace
 }  // namespace panoptes::util
