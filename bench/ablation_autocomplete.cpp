@@ -55,10 +55,11 @@ int main() {
     // The suggest queries also leak the hostname being typed, prefix
     // by prefix — show one example.
     if (name == std::string("Yandex")) {
-      for (const auto* flow : typed_store.ToHost(spec->suggest_host)) {
-        if (flow->url.QueryParam("q")) {
-          std::printf("example polluting query: %s\n",
-                      flow->url.Serialize().c_str());
+      for (const auto& flow : typed_store.ToHost(spec->suggest_host)) {
+        if (flow.url.QueryParam("q")) {
+          std::printf("example polluting query: %.*s\n",
+                      static_cast<int>(flow.url.text().size()),
+                      flow.url.text().data());
           break;
         }
       }

@@ -6,13 +6,21 @@
 // timing INCLUDES the index builds, so the reported ratio is the honest
 // end-to-end speedup a full_report run sees.
 //
+// Every variant prints a `checksum` counter and verifies it against the
+// legacy oracle (or, for the serialization benches, against a reference
+// encoding): a speedup that changes a byte of output is a bug, not a
+// win. Any mismatch makes the binary exit non-zero so CI's bench smoke
+// step fails hard even though the perf numbers stay advisory.
+//
 // BM_AnalysisIndexBuild / Serialize / Deserialize bound the index's own
 // costs and back the EXPERIMENTS.md rebuild-vs-deserialize note.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 #include <set>
 
+#include "analysis/battery.h"
 #include "analysis/dns_leakage.h"
 #include "analysis/flow_index.h"
 #include "analysis/geoip.h"
@@ -23,15 +31,31 @@
 #include "analysis/referer.h"
 #include "analysis/stats.h"
 #include "analysis/timeline.h"
+#include "bench_common.h"
 #include "browser/profiles.h"
 #include "core/campaign.h"
 #include "core/framework.h"
 #include "net/psl.h"
 #include "util/binio.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
 namespace {
+
+// Sticky failure flag: main() exits non-zero if any variant's checksum
+// disagreed with its oracle. SkipWithError alone is not enough — old
+// google-benchmark builds still exit 0 on skipped benchmarks.
+bool g_checksum_mismatch = false;
+
+void ReportChecksum(benchmark::State& state, uint64_t got, uint64_t want) {
+  state.counters["checksum"] =
+      benchmark::Counter(static_cast<double>(got));
+  if (got != want) {
+    g_checksum_mismatch = true;
+    state.SkipWithError("checksum mismatch");
+  }
+}
 
 // One crawl, captured once and shared by every benchmark. The engine
 // store keeps headers (compact_engine_store = false) so the Referer
@@ -100,6 +124,13 @@ uint64_t LegacyBattery(const Capture& c) {
   return checksum;
 }
 
+// The legacy battery is the oracle every other variant must match;
+// computed once, outside any timing loop.
+uint64_t OracleChecksum() {
+  static const uint64_t checksum = LegacyBattery(GetCapture());
+  return checksum;
+}
+
 // The same battery on the FlowIndex overloads. `build_indexes` charges
 // the two index builds to this timing; full_report amortizes them
 // across analyzers exactly like this.
@@ -143,6 +174,69 @@ uint64_t IndexedBattery(const Capture& c, bool build_indexes) {
   return checksum;
 }
 
+// The indexed battery scheduled through analysis::AnalysisBattery —
+// the exact concurrency AuditBrowser uses. Each task writes its own
+// slot; the slots are summed after the join, so the checksum is
+// schedule-independent by construction.
+uint64_t ConcurrentBattery(const Capture& c, int jobs) {
+  const proxy::FlowStore& engine = *c.result.engine_flows;
+  const proxy::FlowStore& native = *c.result.native_flows;
+  const analysis::FlowIndex& engine_index = *c.result.engine_index;
+  const analysis::FlowIndex& native_index = *c.result.native_index;
+
+  analysis::PiiScanner scanner(c.profile);
+  analysis::HistoryLeakDetector detector(c.visited);
+  analysis::NaiveSplitter splitter(c.site_hosts);
+
+  uint64_t slots[8] = {};
+  analysis::AnalysisBattery battery(jobs);
+  battery.Add("bench.pii", [&] {
+    slots[0] = scanner.Scan(native_index).LeakCount();
+  });
+  battery.Add("bench.history", [&] {
+    slots[1] = detector.Scan(native, native_index).size() +
+               detector.Scan(engine, engine_index, true).size();
+  });
+  battery.Add("bench.geo", [&] {
+    slots[2] = analysis::CountriesContacted(native_index, c.geo).size();
+  });
+  battery.Add("bench.referer", [&] {
+    slots[3] = analysis::AnalyzeRefererLeakage(engine, engine_index)
+                   .leaking_requests;
+  });
+  battery.Add("bench.dns", [&] {
+    slots[4] = analysis::AnalyzeDnsLeakage(native_index).queries;
+  });
+  battery.Add("bench.split", [&] {
+    slots[5] = splitter.Evaluate(engine_index, native_index).correct;
+  });
+  battery.Add("bench.bytes", [&] {
+    slots[6] = engine_index.request_bytes_total() +
+               native_index.request_bytes_total();
+  });
+  battery.Add("bench.hosts", [&] {
+    uint64_t sum = 0;
+    for (const auto& host : native_index.hosts()) {
+      sum += host.domain.size();
+      sum += c.hosts_list.IsAdRelated(host.raw) ? 1 : 0;
+    }
+    slots[7] = sum;
+  });
+  battery.Run();
+
+  uint64_t checksum = 0;
+  for (uint64_t slot : slots) checksum += slot;
+  return checksum;
+}
+
+// Stable hash of an index's serialized bytes — the byte-equivalence
+// probe for the build/serialize/deserialize variants.
+uint64_t IndexBytesHash(const analysis::FlowIndex& index) {
+  util::BinWriter out;
+  index.SerializeTo(out);
+  return util::HashString(out.Take());
+}
+
 void BM_AnalysisIndexLegacyScans(benchmark::State& state) {
   Capture& c = GetCapture();
   uint64_t checksum = 0;
@@ -150,8 +244,7 @@ void BM_AnalysisIndexLegacyScans(benchmark::State& state) {
     checksum = LegacyBattery(c);
     benchmark::DoNotOptimize(checksum);
   }
-  state.counters["checksum"] =
-      benchmark::Counter(static_cast<double>(checksum));
+  ReportChecksum(state, checksum, OracleChecksum());
 }
 BENCHMARK(BM_AnalysisIndexLegacyScans)->Unit(benchmark::kMicrosecond);
 
@@ -163,9 +256,7 @@ void BM_AnalysisIndex(benchmark::State& state) {
     benchmark::DoNotOptimize(checksum);
   }
   // The two batteries must agree, or the comparison is meaningless.
-  if (checksum != LegacyBattery(c)) state.SkipWithError("checksum mismatch");
-  state.counters["checksum"] =
-      benchmark::Counter(static_cast<double>(checksum));
+  ReportChecksum(state, checksum, OracleChecksum());
 }
 BENCHMARK(BM_AnalysisIndex)->Unit(benchmark::kMicrosecond);
 
@@ -178,10 +269,27 @@ void BM_AnalysisIndexPrebuilt(benchmark::State& state) {
     checksum = IndexedBattery(c, /*build_indexes=*/false);
     benchmark::DoNotOptimize(checksum);
   }
-  state.counters["checksum"] =
-      benchmark::Counter(static_cast<double>(checksum));
+  ReportChecksum(state, checksum, OracleChecksum());
 }
 BENCHMARK(BM_AnalysisIndexPrebuilt)->Unit(benchmark::kMicrosecond);
+
+// Prebuilt analyzers scheduled through AnalysisBattery at Arg() worker
+// threads. jobs=1 is the serial reference; higher job counts must hold
+// the same checksum (that is the battery's whole contract).
+void BM_AnalysisIndexBattery(benchmark::State& state) {
+  Capture& c = GetCapture();
+  int jobs = static_cast<int>(state.range(0));
+  uint64_t checksum = 0;
+  for (auto _ : state) {
+    checksum = ConcurrentBattery(c, jobs);
+    benchmark::DoNotOptimize(checksum);
+  }
+  ReportChecksum(state, checksum, OracleChecksum());
+}
+BENCHMARK(BM_AnalysisIndexBattery)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_AnalysisIndexBuild(benchmark::State& state) {
   Capture& c = GetCapture();
@@ -191,17 +299,26 @@ void BM_AnalysisIndexBuild(benchmark::State& state) {
   }
   state.counters["flows"] = benchmark::Counter(
       static_cast<double>(c.result.native_flows->size()));
+  // A rebuild must be byte-identical to the capture-time index.
+  auto rebuilt = analysis::FlowIndex::Build(*c.result.native_flows);
+  ReportChecksum(state, IndexBytesHash(rebuilt),
+                 IndexBytesHash(*c.result.native_index));
 }
 BENCHMARK(BM_AnalysisIndexBuild)->Unit(benchmark::kMicrosecond);
 
 void BM_AnalysisIndexSerialize(benchmark::State& state) {
   Capture& c = GetCapture();
+  std::string bytes;
   for (auto _ : state) {
     util::BinWriter out;
     c.result.native_index->SerializeTo(out);
-    std::string bytes = out.Take();
+    bytes = out.Take();
     benchmark::DoNotOptimize(bytes);
   }
+  // Serialization is deterministic: the last encoding must hash like a
+  // reference encoding taken outside the loop.
+  ReportChecksum(state, util::HashString(bytes),
+                 IndexBytesHash(*c.result.native_index));
 }
 BENCHMARK(BM_AnalysisIndexSerialize)->Unit(benchmark::kMicrosecond);
 
@@ -217,9 +334,46 @@ void BM_AnalysisIndexDeserialize(benchmark::State& state) {
   }
   state.counters["bytes"] =
       benchmark::Counter(static_cast<double>(bytes.size()));
+  // Decode → re-encode must round-trip to the same bytes.
+  util::BinReader in(bytes);
+  auto decoded = analysis::FlowIndex::Deserialize(in);
+  ReportChecksum(state, decoded ? IndexBytesHash(*decoded) : 0,
+                 util::HashString(bytes));
 }
 BENCHMARK(BM_AnalysisIndexDeserialize)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: after the google-benchmark run, print an interleaved
+// steady-clock median comparison (legacy vs indexed, alternating reps
+// so drift cancels — see bench_common.h), then exit non-zero if any
+// variant's checksum disagreed with its oracle. CI treats the timing
+// as advisory and the exit code as mandatory.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  Capture& c = GetCapture();
+  const uint64_t want = OracleChecksum();
+  uint64_t legacy_sum = 0;
+  uint64_t indexed_sum = 0;
+  bench::InterleavedTimer timer;
+  timer.Add("legacy_scans", [&] { legacy_sum = LegacyBattery(c); });
+  timer.Add("indexed_e2e",
+            [&] { indexed_sum = IndexedBattery(c, /*build_indexes=*/true); });
+  timer.Run(/*reps=*/9);
+  std::printf("\n--- interleaved medians (steady clock) ---\n");
+  timer.Print();
+  double legacy_s = timer.MedianSeconds("legacy_scans");
+  double indexed_s = timer.MedianSeconds("indexed_e2e");
+  if (indexed_s > 0) {
+    std::printf("speedup_median=%.2fx\n", legacy_s / indexed_s);
+  }
+  if (legacy_sum != want || indexed_sum != want) g_checksum_mismatch = true;
+  std::printf("checksum=%llu %s\n",
+              static_cast<unsigned long long>(want),
+              g_checksum_mismatch ? "MISMATCH" : "OK");
+
+  return g_checksum_mismatch ? 1 : 0;
+}

@@ -70,7 +70,7 @@ int main() {
             eval.false_positives <= 3) {
           std::printf("FP[%s]: %s %.80s\n", name,
                       flow.url.Serialize().c_str(),
-                      flow.request_body.c_str());
+                      std::string(flow.request_body).c_str());
         }
       }
       if (!predicted && truth) ++eval.false_negatives;

@@ -4,10 +4,13 @@
 // browsers (15 full crawls held at once would be gigabytes).
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "browser/profiles.h"
@@ -15,6 +18,66 @@
 #include "core/framework.h"
 
 namespace panoptes::bench {
+
+// Interleaved-median timer for phase measurements outside
+// google-benchmark. Single-shot wall-clock numbers are noise-bound
+// (one scheduler hiccup lands in exactly one variant) and the system
+// clock can step mid-run; this helper fixes both. Variants are
+// registered up front, every rep runs them back to back in
+// registration order (so drift — thermal, cache, page-cache warmup —
+// hits all variants equally instead of whichever ran last), each
+// sample is taken on the monotonic steady clock, and the reported
+// number per variant is the median over reps, which a single outlier
+// sample cannot move.
+class InterleavedTimer {
+ public:
+  // Registers a variant; `fn` is one timed execution.
+  void Add(std::string label, std::function<void()> fn) {
+    variants_.push_back(Variant{std::move(label), std::move(fn), {}});
+  }
+
+  // Runs `reps` interleaved rounds over every registered variant.
+  void Run(int reps) {
+    for (int rep = 0; rep < reps; ++rep) {
+      for (Variant& variant : variants_) {
+        auto start = std::chrono::steady_clock::now();
+        variant.fn();
+        auto stop = std::chrono::steady_clock::now();
+        variant.samples.push_back(
+            std::chrono::duration<double>(stop - start).count());
+      }
+    }
+  }
+
+  // Median seconds for `label` over the collected reps; 0 when unknown
+  // or not yet run.
+  double MedianSeconds(std::string_view label) const {
+    for (const Variant& variant : variants_) {
+      if (variant.label != label || variant.samples.empty()) continue;
+      std::vector<double> sorted = variant.samples;
+      std::sort(sorted.begin(), sorted.end());
+      return sorted[sorted.size() / 2];
+    }
+    return 0;
+  }
+
+  // "label median_us=... reps=N" per variant, registration order.
+  void Print() const {
+    for (const Variant& variant : variants_) {
+      std::printf("%-24s median_us=%.1f reps=%zu\n", variant.label.c_str(),
+                  MedianSeconds(variant.label) * 1e6,
+                  variant.samples.size());
+    }
+  }
+
+ private:
+  struct Variant {
+    std::string label;
+    std::function<void()> fn;
+    std::vector<double> samples;
+  };
+  std::vector<Variant> variants_;
+};
 
 // Site budget: the paper's 1000, reducible for quick runs via
 // PANOPTES_SITES.

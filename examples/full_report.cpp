@@ -1,7 +1,11 @@
 // Audits every browser and writes a single Markdown report — the
 // deliverable a DPA / privacy team would actually read.
 //
-//   ./build/examples/full_report [--sites N] [--out REPORT.md]
+//   ./build/examples/full_report [--sites N] [--jobs N] [--out REPORT.md]
+//
+// --jobs sets the analyzer battery's worker count per browser; any
+// value produces a byte-identical report (pinned by the Determinism
+// suite), so it is purely a wall-clock knob.
 #include <cstdio>
 #include <fstream>
 
@@ -14,6 +18,7 @@ using namespace panoptes;
 int main(int argc, char** argv) {
   auto args = util::Args::Parse(argc, argv);
   int site_count = static_cast<int>(args.IntOptionOr("sites", 60));
+  int jobs = static_cast<int>(args.IntOptionOr("jobs", 1));
 
   core::FrameworkOptions options;
   options.catalog.popular_count = site_count / 2;
@@ -28,8 +33,8 @@ int main(int argc, char** argv) {
   std::vector<analysis::BrowserAuditReport> reports;
   for (const auto& spec : browser::AllBrowserSpecs()) {
     std::fprintf(stderr, "auditing %s...\n", spec.name.c_str());
-    reports.push_back(
-        analysis::AuditBrowser(framework, spec, sites, hosts_list, geo));
+    reports.push_back(analysis::AuditBrowser(framework, spec, sites,
+                                             hosts_list, geo, jobs));
   }
 
   std::string markdown = analysis::RenderAuditMarkdown(reports);

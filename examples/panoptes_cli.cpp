@@ -164,8 +164,12 @@ int CmdCrawl(const util::Args& args) {
   if (auto har_path = args.Option("har")) {
     // Both stores concatenated into one capture, like a proxy dump.
     proxy::FlowStore combined;
-    for (const auto& flow : result.engine_flows->flows()) combined.Add(flow);
-    for (const auto& flow : result.native_flows->flows()) combined.Add(flow);
+    for (const auto& flow : result.engine_flows->flows()) {
+      combined.Add(flow.Materialize());
+    }
+    for (const auto& flow : result.native_flows->flows()) {
+      combined.Add(flow.Materialize());
+    }
     if (!WriteFile(*har_path, proxy::ExportHar(combined, "panoptes_cli"))) {
       std::fprintf(stderr, "cannot write %s\n", har_path->c_str());
       return 1;
@@ -175,8 +179,12 @@ int CmdCrawl(const util::Args& args) {
   }
   if (auto csv_path = args.Option("csv")) {
     proxy::FlowStore combined;
-    for (const auto& flow : result.engine_flows->flows()) combined.Add(flow);
-    for (const auto& flow : result.native_flows->flows()) combined.Add(flow);
+    for (const auto& flow : result.engine_flows->flows()) {
+      combined.Add(flow.Materialize());
+    }
+    for (const auto& flow : result.native_flows->flows()) {
+      combined.Add(flow.Materialize());
+    }
     if (!WriteFile(*csv_path, analysis::FlowStoreCsv(combined))) {
       std::fprintf(stderr, "cannot write %s\n", csv_path->c_str());
       return 1;

@@ -1,5 +1,6 @@
 #include "analysis/audit.h"
 
+#include "analysis/battery.h"
 #include "analysis/flow_index.h"
 #include "analysis/report.h"
 
@@ -25,7 +26,7 @@ BrowserAuditReport AuditBrowser(core::Framework& framework,
                                 const browser::BrowserSpec& spec,
                                 const std::vector<const web::Site*>& sites,
                                 const HostsList& hosts_list,
-                                const GeoIpDb& geo) {
+                                const GeoIpDb& geo, int analysis_jobs) {
   BrowserAuditReport report;
   report.browser = spec.name;
   report.version = spec.version;
@@ -34,29 +35,50 @@ BrowserAuditReport AuditBrowser(core::Framework& framework,
   core::CrawlOptions crawl_options;
   crawl_options.compact_engine_store = false;  // Referer analysis
   auto result = core::RunCrawl(framework, spec, sites, crawl_options);
-  report.requests = ComputeRequestStats(result);
-  report.volume = ComputeVolumeStats(result);
-  report.domains =
-      ComputeDomainStats(result, VendorDomainsFor(spec.name), hosts_list);
+  report.stack = result.stack_stats;
 
   // RunCrawl indexed both stores at capture end; every analysis below
   // consumes the pre-parsed columns instead of rescanning the flows.
+  // The analyzers are independent — each reads the frozen (stores,
+  // indexes) pair and writes its own report field — so the battery may
+  // run them concurrently without changing a byte of output.
   PiiScanner scanner(framework.device().profile());
-  report.pii = scanner.Scan(*result.native_index);
 
   std::vector<net::Url> visited;
   visited.reserve(sites.size());
   for (const auto* site : sites) visited.push_back(site->landing_url);
   HistoryLeakDetector detector(std::move(visited));
-  report.native_leaks =
-      detector.Scan(*result.native_flows, *result.native_index);
-  report.engine_leaks =
-      detector.Scan(*result.engine_flows, *result.engine_index, true);
 
-  report.countries = CountriesContacted(*result.native_index, geo);
-  report.referer =
-      AnalyzeRefererLeakage(*result.engine_flows, *result.engine_index);
-  report.stack = result.stack_stats;
+  AnalysisBattery battery(analysis_jobs);
+  battery.Add("battery.stats.requests", [&] {
+    report.requests = ComputeRequestStats(result);
+  });
+  battery.Add("battery.stats.volume", [&] {
+    report.volume = ComputeVolumeStats(result);
+  });
+  battery.Add("battery.stats.domains", [&] {
+    report.domains =
+        ComputeDomainStats(result, VendorDomainsFor(spec.name), hosts_list);
+  });
+  battery.Add("battery.pii", [&] {
+    report.pii = scanner.Scan(*result.native_index);
+  });
+  battery.Add("battery.history.native", [&] {
+    report.native_leaks =
+        detector.Scan(*result.native_flows, *result.native_index);
+  });
+  battery.Add("battery.history.engine", [&] {
+    report.engine_leaks =
+        detector.Scan(*result.engine_flows, *result.engine_index, true);
+  });
+  battery.Add("battery.geo", [&] {
+    report.countries = CountriesContacted(*result.native_index, geo);
+  });
+  battery.Add("battery.referer", [&] {
+    report.referer =
+        AnalyzeRefererLeakage(*result.engine_flows, *result.engine_index);
+  });
+  battery.Run();
   return report;
 }
 

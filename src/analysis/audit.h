@@ -41,12 +41,14 @@ struct BrowserAuditReport {
 
 // Crawls `sites` with `spec` and assembles the report. Uses the
 // framework's device profile for the PII scan and its geo plan for the
-// country analysis.
+// country analysis. `analysis_jobs` sets the analyzer battery's worker
+// count (analysis/battery.h); any value produces byte-identical
+// reports — 1 (the default) runs the analyzers serially.
 BrowserAuditReport AuditBrowser(core::Framework& framework,
                                 const browser::BrowserSpec& spec,
                                 const std::vector<const web::Site*>& sites,
                                 const HostsList& hosts_list,
-                                const GeoIpDb& geo);
+                                const GeoIpDb& geo, int analysis_jobs = 1);
 
 // Renders audits as a Markdown document (one section per browser plus
 // a comparison table).

@@ -66,15 +66,15 @@ DnsLeakageReport AnalyzeDnsLeakage(
       continue;
     }
     // First "name" query parameter, like Url::QueryParam.
-    const std::string* name = nullptr;
+    std::optional<std::string_view> name;
     for (uint32_t p = entry.param_begin; p < entry.param_end; ++p) {
       if (params[p].source == FlowIndex::ParamSource::kQuery &&
           native_index.key(params[p].key_id) == "name") {
-        name = &params[p].value;
+        name = params[p].value;
         break;
       }
     }
-    if (name == nullptr) continue;
+    if (!name) continue;
     report.uses_doh = true;
     report.provider_host = native_index.host(entry.host_id).raw;
     ++report.queries;

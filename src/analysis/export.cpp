@@ -106,10 +106,11 @@ std::string DomainStatsCsv(const std::vector<DomainStats>& stats) {
 std::string FlowStoreCsv(const proxy::FlowStore& store) {
   std::vector<std::vector<std::string>> rows;
   for (const auto& flow : store.flows()) {
-    rows.push_back({util::FormatTimestamp(flow.time), flow.browser,
+    rows.push_back({util::FormatTimestamp(flow.time),
+                    std::string(flow.browser),
                     std::string(proxy::TrafficOriginName(flow.origin)),
                     std::string(net::MethodName(flow.method)),
-                    flow.url.Serialize(),
+                    std::string(flow.url.text()),
                     std::to_string(flow.response_status),
                     std::to_string(flow.request_bytes),
                     std::to_string(flow.response_bytes),

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/psl.h"
+#include "net/url.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "util/base64.h"
@@ -44,42 +45,120 @@ IndexMetrics& Metrics() {
 
 }  // namespace
 
-uint32_t FlowIndex::InternHost(const std::string& raw) {
+uint32_t FlowIndex::InternHost(std::string_view raw) {
   if (auto it = host_ids_.find(raw); it != host_ids_.end()) {
     return it->second;
   }
   uint32_t id = static_cast<uint32_t>(hosts_.size());
-  hosts_.push_back(HostInfo{raw, net::CanonicalHost(raw),
+  hosts_.push_back(HostInfo{std::string(raw), net::CanonicalHost(raw),
                             net::RegistrableDomain(raw)});
   flows_by_host_.emplace_back();
-  host_ids_.emplace(raw, id);
+  host_ids_.emplace(std::string(raw), id);
   return id;
 }
 
-uint32_t FlowIndex::InternKey(const std::string& key) {
-  if (auto it = key_ids_.find(key); it != key_ids_.end()) {
+uint32_t FlowIndex::InternKey(std::string_view key) {
+  // A capture sees a handful of distinct keys; a linear scan over the
+  // id-ordered vector beats hashing until the table outgrows it.
+  if (keys_.size() <= 16) {
+    for (uint32_t id = 0; id < keys_.size(); ++id) {
+      if (keys_[id] == key) return id;
+    }
+  } else if (auto it = key_ids_.find(key); it != key_ids_.end()) {
     return it->second;
   }
   uint32_t id = static_cast<uint32_t>(keys_.size());
-  keys_.push_back(key);
+  keys_.push_back(std::string(key));
   keys_lower_.push_back(util::ToLower(key));
-  key_ids_.emplace(key, id);
+  key_ids_.emplace(std::string(key), id);
   return id;
 }
 
-uint32_t FlowIndex::InternPath(const std::string& path) {
-  if (auto it = path_ids_.find(path); it != path_ids_.end()) {
-    return it->second;
+namespace {
+inline uint64_t PathHash(std::string_view path) {
+  return std::hash<std::string_view>{}(path);
+}
+}  // namespace
+
+uint32_t FlowIndex::FindPath(std::string_view path, uint64_t hash) const {
+  if (path_slots_.empty()) return UINT32_MAX;
+  const size_t mask = path_slots_.size() - 1;
+  const uint64_t tag = hash & 0xFFFFFFFF00000000ull;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    const uint64_t slot = path_slots_[i];
+    if (slot == 0) return UINT32_MAX;
+    if ((slot & 0xFFFFFFFF00000000ull) == tag) {
+      uint32_t id = static_cast<uint32_t>(slot) - 1;
+      if (paths_[id] == path) return id;
+    }
   }
-  uint32_t id = static_cast<uint32_t>(paths_.size());
-  paths_.push_back(path);
-  path_ids_.emplace(path, id);
+}
+
+void FlowIndex::GrowPathSlots() {
+  size_t cap = path_slots_.empty() ? 64 : path_slots_.size() * 2;
+  while (cap < paths_.size() * 2) cap *= 2;
+  path_slots_.assign(cap, 0);
+  const size_t mask = cap - 1;
+  for (uint32_t id = 0; id < paths_.size(); ++id) {
+    uint64_t hash = PathHash(paths_[id]);
+    size_t i = hash & mask;
+    while (path_slots_[i] != 0) i = (i + 1) & mask;
+    path_slots_[i] =
+        (hash & 0xFFFFFFFF00000000ull) | (static_cast<uint64_t>(id) + 1);
+  }
+}
+
+uint32_t FlowIndex::InternPath(std::string_view path) {
+  const uint64_t hash = PathHash(path);
+  if (uint32_t id = FindPath(path, hash); id != UINT32_MAX) return id;
+  // Keep the load factor under 1/2 (counting the entry being added).
+  if ((paths_.size() + 1) * 2 > path_slots_.size()) GrowPathSlots();
+  const uint32_t id = static_cast<uint32_t>(paths_.size());
+  paths_.push_back(text_pool_.Copy(path));
+  const size_t mask = path_slots_.size() - 1;
+  size_t i = hash & mask;
+  while (path_slots_[i] != 0) i = (i + 1) & mask;
+  path_slots_[i] =
+      (hash & 0xFFFFFFFF00000000ull) | (static_cast<uint64_t>(id) + 1);
   return id;
 }
 
-void FlowIndex::IndexFlow(const proxy::Flow& flow) {
+FlowIndex::FlowIndex(const FlowIndex& other)
+    : hosts_(other.hosts_),
+      keys_(other.keys_),
+      keys_lower_(other.keys_lower_),
+      params_(other.params_),
+      entries_(other.entries_),
+      flows_by_host_(other.flows_by_host_),
+      flows_by_uid_(other.flows_by_uid_),
+      flows_by_bucket_(other.flows_by_bucket_),
+      request_bytes_total_(other.request_bytes_total_),
+      response_bytes_total_(other.response_bytes_total_),
+      host_ids_(other.host_ids_),
+      key_ids_(other.key_ids_),
+      path_slots_(other.path_slots_) {
+  // Re-pool the text the views point at; slot ids stay valid as-is.
+  paths_.reserve(other.paths_.size());
+  for (std::string_view path : other.paths_) {
+    paths_.push_back(text_pool_.Copy(path));
+  }
+  for (Param& param : params_) {
+    param.value = text_pool_.Copy(param.value);
+  }
+}
+
+FlowIndex& FlowIndex::operator=(const FlowIndex& other) {
+  if (this != &other) {
+    FlowIndex copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
+
+void FlowIndex::IndexFlow(const proxy::FlowView& flow, uint32_t host_id,
+                          PostingsCache& cache) {
   FlowEntry entry;
-  entry.host_id = InternHost(flow.Host());
+  entry.host_id = host_id;
   entry.path_id = InternPath(flow.url.path());
   entry.param_begin = static_cast<uint32_t>(params_.size());
   entry.time_millis = flow.time.millis;
@@ -96,16 +175,36 @@ void FlowIndex::IndexFlow(const proxy::Flow& flow) {
   // Base64-decoded twin when one exists (the PII scanner and the
   // history-leak detector both decode under the same condition), then
   // the scalar JSON body members in key order (util::Json objects are
-  // sorted maps).
-  for (const auto& [key, value] : flow.url.QueryParams()) {
-    uint32_t key_id = InternKey(key);
-    params_.push_back(Param{key_id, ParamSource::kQuery, value, 0});
-    if (auto decoded = util::Base64Decode(value);
-        decoded && value.size() >= 8) {
-      params_.push_back(
-          Param{key_id, ParamSource::kQueryBase64, *decoded, 0});
-    }
-  }
+  // sorted maps). Iterating the raw pieces avoids materializing the
+  // pair vector QueryParams() builds per flow: percent-decoding only
+  // allocates when a piece actually contains '%' (PercentDecode is the
+  // identity otherwise), and decoded text lands in the text pool.
+  std::string key_scratch;
+  std::string value_scratch;
+  net::ForEachQueryParamRaw(
+      flow.url.query(), [&](std::string_view raw_key, std::string_view raw_value) {
+        std::string_view key = raw_key;
+        if (raw_key.find('%') != std::string_view::npos) {
+          key_scratch = util::PercentDecode(raw_key);
+          key = key_scratch;
+        }
+        std::string_view value = raw_value;
+        if (raw_value.find('%') != std::string_view::npos) {
+          value_scratch = util::PercentDecode(raw_value);
+          value = value_scratch;
+        }
+        uint32_t key_id = InternKey(key);
+        // A Base64 twin needs a valid decode of a value ≥ 8 chars; the
+        // length gate runs first so short values skip the decode.
+        std::optional<std::string> decoded;
+        if (value.size() >= 8) decoded = util::Base64Decode(value);
+        params_.push_back(
+            Param{key_id, ParamSource::kQuery, text_pool_.Copy(value), 0});
+        if (decoded) {
+          params_.push_back(Param{key_id, ParamSource::kQueryBase64,
+                                  text_pool_.Copy(*decoded), 0});
+        }
+      });
   if (entry.has_body) {
     if (auto json = util::Json::Parse(flow.request_body);
         json && json->is_object()) {
@@ -113,7 +212,7 @@ void FlowIndex::IndexFlow(const proxy::Flow& flow) {
         if (value.is_string()) {
           params_.push_back(Param{InternKey(key),
                                   ParamSource::kBodyJsonString,
-                                  value.as_string(), 0});
+                                  text_pool_.Copy(value.as_string()), 0});
         } else if (value.is_number()) {
           double number = value.as_number();
           // Same rendering the PII scanner applies: exact integers
@@ -124,7 +223,7 @@ void FlowIndex::IndexFlow(const proxy::Flow& flow) {
                   : util::FormatDouble(number, 4);
           params_.push_back(Param{InternKey(key),
                                   ParamSource::kBodyJsonNumber,
-                                  std::move(text), number});
+                                  text_pool_.Copy(text), number});
         } else if (value.is_bool()) {
           params_.push_back(Param{InternKey(key),
                                   ParamSource::kBodyJsonBool,
@@ -136,15 +235,23 @@ void FlowIndex::IndexFlow(const proxy::Flow& flow) {
   entry.param_end = static_cast<uint32_t>(params_.size());
 
   entries_.push_back(entry);
-  AddPostings(static_cast<uint32_t>(entries_.size() - 1));
+  AddPostings(static_cast<uint32_t>(entries_.size() - 1), cache);
 }
 
-void FlowIndex::AddPostings(uint32_t flow_id) {
+void FlowIndex::AddPostings(uint32_t flow_id, PostingsCache& cache) {
   const FlowEntry& entry = entries_[flow_id];
   flows_by_host_[entry.host_id].push_back(flow_id);
-  flows_by_uid_[entry.app_uid].push_back(flow_id);
+  if (cache.uid_flows == nullptr || cache.uid != entry.app_uid) {
+    cache.uid = entry.app_uid;
+    cache.uid_flows = &flows_by_uid_[entry.app_uid];
+  }
+  cache.uid_flows->push_back(flow_id);
   int64_t bucket = entry.time_millis / kTimeBucketMillis * kTimeBucketMillis;
-  flows_by_bucket_[bucket].push_back(flow_id);
+  if (cache.bucket_flows == nullptr || cache.bucket != bucket) {
+    cache.bucket = bucket;
+    cache.bucket_flows = &flows_by_bucket_[bucket];
+  }
+  cache.bucket_flows->push_back(flow_id);
   request_bytes_total_ += entry.request_bytes;
   response_bytes_total_ += entry.response_bytes;
 }
@@ -155,8 +262,21 @@ FlowIndex FlowIndex::Build(const proxy::FlowStore& store) {
 
   FlowIndex index;
   index.entries_.reserve(store.size());
+  // Pre-size the path table for the worst case (every path distinct) so
+  // the build never rehashes.
+  size_t slot_cap = 64;
+  while (slot_cap < store.size() * 2) slot_cap *= 2;
+  index.path_slots_.assign(slot_cap, 0);
+  // The store already interned hosts; remap its pool ids to index ids
+  // lazily (first-live-appearance order, matching what per-flow
+  // interning produced) so repeated hosts skip the map lookup.
+  constexpr uint32_t kUnmapped = UINT32_MAX;
+  std::vector<uint32_t> host_map(store.hosts().size(), kUnmapped);
+  PostingsCache cache;
   for (const auto& flow : store.flows()) {
-    index.IndexFlow(flow);
+    uint32_t& mapped = host_map[flow.host_id];
+    if (mapped == kUnmapped) mapped = index.InternHost(flow.Host());
+    index.IndexFlow(flow, mapped, cache);
   }
 
   auto& metrics = Metrics();
@@ -197,12 +317,12 @@ void FlowIndex::Append(const FlowIndex& other) {
   const uint32_t param_offset = static_cast<uint32_t>(params_.size());
   params_.reserve(params_.size() + other.params_.size());
   for (const auto& param : other.params_) {
-    params_.push_back(
-        Param{key_map[param.key_id], param.source, param.value,
-              param.number});
+    params_.push_back(Param{key_map[param.key_id], param.source,
+                            text_pool_.Copy(param.value), param.number});
   }
 
   entries_.reserve(entries_.size() + other.entries_.size());
+  PostingsCache cache;
   for (const auto& entry : other.entries_) {
     FlowEntry mapped = entry;
     mapped.host_id = host_map[entry.host_id];
@@ -210,7 +330,7 @@ void FlowIndex::Append(const FlowIndex& other) {
     mapped.param_begin += param_offset;
     mapped.param_end += param_offset;
     entries_.push_back(mapped);
-    AddPostings(static_cast<uint32_t>(entries_.size() - 1));
+    AddPostings(static_cast<uint32_t>(entries_.size() - 1), cache);
   }
 
   auto& metrics = Metrics();
@@ -228,9 +348,8 @@ std::optional<uint32_t> FlowIndex::HostId(std::string_view raw_host) const {
 }
 
 std::optional<uint32_t> FlowIndex::PathId(std::string_view path) const {
-  if (auto it = path_ids_.find(path); it != path_ids_.end()) {
-    return it->second;
-  }
+  uint32_t id = FindPath(path, PathHash(path));
+  if (id != UINT32_MAX) return id;
   return std::nullopt;
 }
 
@@ -320,7 +439,7 @@ std::unique_ptr<FlowIndex> FlowIndex::Deserialize(util::BinReader& in) {
     Param param;
     param.key_id = in.U32();
     uint8_t source = in.U8();
-    param.value = in.Str();
+    param.value = index->text_pool_.Copy(in.Str());
     param.number = in.F64();
     if (param.key_id >= index->keys_.size() ||
         source > static_cast<uint8_t>(ParamSource::kBodyJsonBool)) {
@@ -333,6 +452,7 @@ std::unique_ptr<FlowIndex> FlowIndex::Deserialize(util::BinReader& in) {
   uint64_t entry_count = in.U64();
   if (!in.ok() || entry_count > in.remaining()) return nullptr;
   index->entries_.reserve(entry_count);
+  PostingsCache cache;
   for (uint64_t i = 0; i < entry_count && in.ok(); ++i) {
     FlowEntry entry;
     entry.host_id = in.U32();
@@ -353,7 +473,8 @@ std::unique_ptr<FlowIndex> FlowIndex::Deserialize(util::BinReader& in) {
       return nullptr;
     }
     index->entries_.push_back(entry);
-    index->AddPostings(static_cast<uint32_t>(index->entries_.size() - 1));
+    index->AddPostings(static_cast<uint32_t>(index->entries_.size() - 1),
+                       cache);
   }
   if (!in.ok()) return nullptr;
 

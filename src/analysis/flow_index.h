@@ -34,10 +34,13 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "proxy/flowstore.h"
+#include "util/arena.h"
 #include "util/binio.h"
+#include "util/strings.h"
 
 namespace panoptes::analysis {
 
@@ -68,7 +71,10 @@ class FlowIndex {
   struct Param {
     uint32_t key_id = 0;
     ParamSource source = ParamSource::kQuery;
-    std::string value;  // decoded text exactly as analyzers consume it
+    // Decoded text exactly as analyzers consume it. The bytes live in
+    // the index's text pool (address-stable for the index's lifetime);
+    // copies of the index re-pool them.
+    std::string_view value;
     double number = 0;  // raw numeric value for kBodyJsonNumber entries
   };
 
@@ -87,6 +93,13 @@ class FlowIndex {
   };
 
   FlowIndex() = default;
+  // Paths and parameter values are views into the index's arena-backed
+  // text pool, so copies re-pool those bytes instead of copying
+  // dangling views; moves keep the arena chunks and stay defaulted.
+  FlowIndex(const FlowIndex& other);
+  FlowIndex& operator=(const FlowIndex& other);
+  FlowIndex(FlowIndex&&) = default;
+  FlowIndex& operator=(FlowIndex&&) = default;
 
   // Single pass over `store`: parses every URL and JSON body once.
   static FlowIndex Build(const proxy::FlowStore& store);
@@ -106,7 +119,7 @@ class FlowIndex {
   const std::string& key(uint32_t id) const { return keys_[id]; }
   const std::string& key_lower(uint32_t id) const { return keys_lower_[id]; }
   size_t key_count() const { return keys_.size(); }
-  const std::string& path(uint32_t id) const { return paths_[id]; }
+  std::string_view path(uint32_t id) const { return paths_[id]; }
 
   // Interned id of a raw host spelling; nullopt when no flow went there.
   std::optional<uint32_t> HostId(std::string_view raw_host) const;
@@ -141,17 +154,43 @@ class FlowIndex {
   static std::unique_ptr<FlowIndex> Deserialize(util::BinReader& in);
 
  private:
-  uint32_t InternHost(const std::string& raw);
-  uint32_t InternKey(const std::string& key);
-  uint32_t InternPath(const std::string& path);
-  void IndexFlow(const proxy::Flow& flow);
+  // Memoizes the by-uid/by-bucket map nodes across consecutive flows:
+  // capture order clusters flows by app and by time, so most postings
+  // land in the vector the previous flow used. Node pointers into a
+  // std::map stay valid across inserts, but the cache must stay local
+  // to one bulk operation (Build/Append/Deserialize) — it must not
+  // outlive the index or travel with copies.
+  struct PostingsCache {
+    int32_t uid = 0;
+    std::vector<uint32_t>* uid_flows = nullptr;
+    int64_t bucket = 0;
+    std::vector<uint32_t>* bucket_flows = nullptr;
+  };
+
+  uint32_t InternHost(std::string_view raw);
+  uint32_t InternKey(std::string_view key);
+  uint32_t InternPath(std::string_view path);
+  // Open-addressing probe of path_slots_; UINT32_MAX when absent.
+  uint32_t FindPath(std::string_view path, uint64_t hash) const;
+  // Doubles path_slots_ (initial size 64) and re-inserts every path.
+  void GrowPathSlots();
+  // `host_id` is this index's interned id for flow.Host(); Build
+  // resolves it O(1) through the store's host pool instead of a map
+  // lookup per flow.
+  void IndexFlow(const proxy::FlowView& flow, uint32_t host_id,
+                 PostingsCache& cache);
   // Inserts postings + totals for entry `flow_id` (already in entries_).
-  void AddPostings(uint32_t flow_id);
+  void AddPostings(uint32_t flow_id, PostingsCache& cache);
 
   std::vector<HostInfo> hosts_;
   std::vector<std::string> keys_;
   std::vector<std::string> keys_lower_;
-  std::vector<std::string> paths_;
+  // Path spellings and decoded parameter values are bump-allocated into
+  // one arena (address-stable chunks, two allocations per 64 KiB of
+  // text) instead of one heap string each — the pool is written once at
+  // build time and only ever read back.
+  util::Arena text_pool_{1 << 16};
+  std::vector<std::string_view> paths_;
   std::vector<Param> params_;
   std::vector<FlowEntry> entries_;
 
@@ -161,9 +200,20 @@ class FlowIndex {
   uint64_t request_bytes_total_ = 0;
   uint64_t response_bytes_total_ = 0;
 
-  std::map<std::string, uint32_t, std::less<>> host_ids_;
-  std::map<std::string, uint32_t, std::less<>> key_ids_;
-  std::map<std::string, uint32_t, std::less<>> path_ids_;
+  // Interning is pure lookup (iteration always walks the id-ordered
+  // vectors above), so hashing beats the ordered map's O(log n) string
+  // compares — paths especially are long and mostly distinct.
+  template <typename V>
+  using InternMap =
+      std::unordered_map<std::string, V, util::StringHash, std::equal_to<>>;
+  InternMap<uint32_t> host_ids_;
+  InternMap<uint32_t> key_ids_;
+  // Paths (the hottest intern: one lookup per flow, mostly distinct)
+  // use a flat open-addressing table instead of a node-based map: each
+  // slot packs (hash's high 32 bits | path id + 1), 0 meaning empty,
+  // over a power-of-two vector — no per-entry allocation, one cache
+  // line per probe, and trivially copyable (ids, not views).
+  std::vector<uint64_t> path_slots_;
 };
 
 }  // namespace panoptes::analysis

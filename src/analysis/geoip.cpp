@@ -43,7 +43,7 @@ std::vector<CountryShare> CountriesContacted(const proxy::FlowStore& flows,
       share.eu_member = info && info->eu_member;
     }
     ++share.flows;
-    hosts_by_code[code].insert(flow.Host());
+    hosts_by_code[code].insert(std::string(flow.Host()));
   }
   std::vector<CountryShare> out;
   for (auto& [code, share] : by_code) {
@@ -115,7 +115,7 @@ std::vector<TransferFinding> ClassifyTransfers(
   for (const auto& host : hosts) {
     auto matching = flows.ToHost(host);
     if (matching.empty()) continue;
-    auto info = db.Lookup(matching.front()->server_ip);
+    auto info = db.Lookup(matching.front().server_ip);
     out.push_back(MakeTransferFinding(host, info));
   }
   return out;

@@ -78,36 +78,69 @@ HistoryLeakDetector::HistoryLeakDetector(std::vector<net::Url> visited) {
     entry.base64 = util::Base64Encode(entry.full);
     entry.host = url.host();
     visited_hosts_.insert(entry.host);
+    host_min_index_.emplace(entry.host,
+                            static_cast<uint32_t>(visited_.size()));
     visited_.push_back(std::move(entry));
   }
+  std::vector<std::string> patterns;
+  patterns.reserve(visited_.size() * 2);
+  for (const auto& entry : visited_) {
+    patterns.push_back(entry.full);
+    patterns.push_back(entry.base64);
+  }
+  needle_scan_ = std::make_unique<util::MultiScan>(std::move(patterns));
 }
 
-bool HistoryLeakDetector::MatchText(std::string_view text,
-                                    const VisitedEntry& visited,
-                                    Hit& hit) const {
-  // Full URL, plain (query-parameter decoding already removed any
-  // percent-encoding).
-  if (util::Contains(text, visited.full)) {
-    hit.full_url = true;
-    hit.encoding = "plain";
-    hit.sample = std::string(text.substr(0, 96));
-    return true;
+HistoryLeakDetector::Hit HistoryLeakDetector::BestHit(
+    const std::vector<std::string_view>& candidates, bool& matched) const {
+  // The legacy loop ran visited-major over (visited, candidate) pairs,
+  // preferred plain over Base64 within a pair, stopped at the first
+  // full-URL hit, and fell back to the first hit of any kind. One
+  // automaton pass per candidate finds the same winners: pattern ids
+  // are already ordered (visited, kind), so the per-candidate minimum
+  // dominates that candidate's hits, and packing (visited, candidate,
+  // kind) into one integer makes the global reduction a min().
+  constexpr uint64_t kNone = UINT64_MAX;
+  uint64_t best_full = kNone;  // (visited << 33) | (candidate << 1) | kind
+  uint64_t best_host = kNone;  // (visited << 32) | candidate
+  for (size_t j = 0; j < candidates.size(); ++j) {
+    const std::string_view text = candidates[j];
+    uint32_t min_pat = UINT32_MAX;
+    needle_scan_->Scan(text, [&](uint32_t pat, size_t) {
+      min_pat = std::min(min_pat, pat);
+    });
+    if (min_pat != UINT32_MAX) {
+      uint64_t key = (static_cast<uint64_t>(min_pat >> 1) << 33) |
+                     (static_cast<uint64_t>(j) << 1) |
+                     static_cast<uint64_t>(min_pat & 1);
+      best_full = std::min(best_full, key);
+    } else if (best_full == kNone) {
+      // Hostname only: the bare host as a discrete value. Irrelevant
+      // once any full-URL hit exists.
+      if (auto it = host_min_index_.find(text);
+          it != host_min_index_.end()) {
+        uint64_t key =
+            (static_cast<uint64_t>(it->second) << 32) | j;
+        best_host = std::min(best_host, key);
+      }
+    }
   }
-  // Full URL, Base64.
-  if (util::Contains(text, visited.base64)) {
+
+  Hit hit;
+  if (best_full != kNone) {
+    matched = true;
     hit.full_url = true;
-    hit.encoding = "base64";
-    hit.sample = std::string(text.substr(0, 96));
-    return true;
-  }
-  // Hostname only: the bare host as a discrete value.
-  if (text == visited.host) {
+    hit.encoding = (best_full & 1) != 0 ? "base64" : "plain";
+    size_t j = static_cast<size_t>((best_full >> 1) & 0xFFFFFFFFu);
+    hit.sample = std::string(candidates[j].substr(0, 96));
+  } else if (best_host != kNone) {
+    matched = true;
     hit.full_url = false;
     hit.encoding = "plain";
-    hit.sample = std::string(text.substr(0, 96));
-    return true;
+    size_t j = static_cast<size_t>(best_host & 0xFFFFFFFFu);
+    hit.sample = std::string(candidates[j].substr(0, 96));
   }
-  return false;
+  return hit;
 }
 
 std::vector<LeakFinding> HistoryLeakDetector::Scan(
@@ -115,43 +148,39 @@ std::vector<LeakFinding> HistoryLeakDetector::Scan(
   std::map<std::string, Accumulator> by_destination;
 
   for (const auto& flow : flows.flows()) {
-    const std::string destination = flow.Host();
+    const std::string destination(flow.Host());
     // Flows to a visited site itself are the visit, not a leak; the
     // interesting case is a *different* destination learning the URL.
     if (visited_hosts_.count(destination) > 0) continue;
 
-    // Candidate texts: decoded query parameter values and the body.
-    std::vector<std::pair<std::string, std::string>> candidates;
-    for (const auto& [key, value] : flow.url.QueryParams()) {
-      candidates.emplace_back(key, value);
-      if (auto decoded = util::Base64Decode(value);
-          decoded && value.size() >= 8) {
-        candidates.emplace_back(key, *decoded);
-      }
+    // Candidate texts: decoded query parameter values (each followed by
+    // its Base64-decoded twin when one exists), then the raw body, then
+    // its percent-decoded form (form posts may carry the URL
+    // percent-encoded). `owned` keeps the query strings alive for the
+    // duration of the automaton pass.
+    std::vector<std::string> owned;
+    for (auto& [key, value] : flow.url.QueryParams()) {
+      (void)key;
+      auto decoded = util::Base64Decode(value);
+      const bool twin = decoded.has_value() && value.size() >= 8;
+      owned.push_back(std::move(value));
+      if (twin) owned.push_back(std::move(*decoded));
     }
+    std::string decoded_body;
+    bool has_decoded_body = false;
+    if (!flow.request_body.empty() &&
+        flow.request_body.find('%') != std::string_view::npos) {
+      decoded_body = util::PercentDecode(flow.request_body);
+      has_decoded_body = true;
+    }
+    std::vector<std::string_view> candidates(owned.begin(), owned.end());
     if (!flow.request_body.empty()) {
-      candidates.emplace_back("<body>", flow.request_body);
-      // Bodies may carry the URL percent-encoded (form posts).
-      if (flow.request_body.find('%') != std::string::npos) {
-        candidates.emplace_back("<body-decoded>",
-                                util::PercentDecode(flow.request_body));
-      }
+      candidates.push_back(flow.request_body);
+      if (has_decoded_body) candidates.push_back(decoded_body);
     }
 
     bool flow_matched = false;
-    Hit best_hit;
-    for (const auto& visited : visited_) {
-      for (const auto& [key, text] : candidates) {
-        (void)key;
-        Hit hit;
-        if (MatchText(text, visited, hit)) {
-          flow_matched = true;
-          if (hit.full_url || best_hit.sample.empty()) best_hit = hit;
-          if (hit.full_url) break;
-        }
-      }
-      if (flow_matched && best_hit.full_url) break;
-    }
+    Hit best_hit = BestHit(candidates, flow_matched);
     if (!flow_matched) continue;
 
     auto& acc = by_destination[destination];
@@ -196,7 +225,9 @@ std::vector<LeakFinding> HistoryLeakDetector::Scan(
   if (index.flow_count() != flows.size()) {
     return Scan(flows, engine_store);
   }
-  std::map<std::string, Accumulator> by_destination;
+  // Accumulate per interned host id (vector slot, not map node); the
+  // by-destination map Finalize expects is assembled once at the end.
+  std::vector<Accumulator> by_host_id(index.hosts().size());
 
   // Visited-site membership decided once per distinct host.
   std::vector<bool> is_visited;
@@ -215,7 +246,7 @@ std::vector<LeakFinding> HistoryLeakDetector::Scan(
     // Same candidate texts, same order as the store scan: decoded query
     // values with Base64-decoded twins interleaved (the pool keeps that
     // order), then the raw body, then its percent-decoded form.
-    const std::string& body = flows.flow(flow_id).request_body;
+    const std::string_view body = flows.flow(flow_id).request_body;
     candidates.clear();
     for (uint32_t p = entry.param_begin; p < entry.param_end; ++p) {
       if (params[p].source == FlowIndex::ParamSource::kQuery ||
@@ -232,21 +263,10 @@ std::vector<LeakFinding> HistoryLeakDetector::Scan(
     }
 
     bool flow_matched = false;
-    Hit best_hit;
-    for (const auto& visited : visited_) {
-      for (std::string_view text : candidates) {
-        Hit hit;
-        if (MatchText(text, visited, hit)) {
-          flow_matched = true;
-          if (hit.full_url || best_hit.sample.empty()) best_hit = hit;
-          if (hit.full_url) break;
-        }
-      }
-      if (flow_matched && best_hit.full_url) break;
-    }
+    Hit best_hit = BestHit(candidates, flow_matched);
     if (!flow_matched) continue;
 
-    auto& acc = by_destination[index.host(entry.host_id).raw];
+    auto& acc = by_host_id[entry.host_id];
     if (best_hit.full_url) {
       ++acc.full_reports;
     } else {
@@ -275,6 +295,14 @@ std::vector<LeakFinding> HistoryLeakDetector::Scan(
     }
   }
 
+  std::map<std::string, Accumulator> by_destination;
+  for (size_t id = 0; id < by_host_id.size(); ++id) {
+    Accumulator& acc = by_host_id[id];
+    if (acc.full_reports + acc.host_reports > 0) {
+      by_destination.emplace(index.host(static_cast<uint32_t>(id)).raw,
+                             std::move(acc));
+    }
+  }
   return Finalize(by_destination, engine_store);
 }
 

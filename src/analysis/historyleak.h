@@ -10,6 +10,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <string_view>
@@ -17,6 +18,7 @@
 
 #include "net/url.h"
 #include "proxy/flowstore.h"
+#include "util/multiscan.h"
 
 namespace panoptes::analysis {
 
@@ -71,11 +73,24 @@ class HistoryLeakDetector {
     std::string host;
   };
 
-  bool MatchText(std::string_view text, const VisitedEntry& visited,
-                 Hit& hit) const;
+  // Reduces a flow's candidate texts (in scan order) to the hit the
+  // legacy nested visited×candidate loop would have reported: the first
+  // full-URL hit in (visited, candidate, plain-before-base64) order, or
+  // failing that the first host-only hit in (visited, candidate) order.
+  // `matched` is set when any hit exists.
+  Hit BestHit(const std::vector<std::string_view>& candidates,
+              bool& matched) const;
 
   std::vector<VisitedEntry> visited_;
   std::set<std::string> visited_hosts_;
+
+  // One automaton over every visited URL's plain and Base64 spelling;
+  // pattern id = visited_index * 2 + (0 plain | 1 base64), so smaller
+  // ids are earlier in the legacy preference order.
+  std::unique_ptr<util::MultiScan> needle_scan_;
+  // Host-only hits are exact equality, not substring: candidate text ->
+  // smallest visited index with that host.
+  std::map<std::string, uint32_t, std::less<>> host_min_index_;
 };
 
 // True for values shaped like stable identifiers: UUIDs or hex tokens

@@ -22,7 +22,11 @@ proxy::TrafficOrigin NaiveSplitter::Predict(const proxy::Flow& flow) const {
 
 proxy::TrafficOrigin NaiveSplitter::PredictHost(
     std::string_view raw_host) const {
-  const std::string host = net::CanonicalHost(raw_host);
+  return PredictCanonical(net::CanonicalHost(raw_host));
+}
+
+proxy::TrafficOrigin NaiveSplitter::PredictCanonical(
+    const std::string& host) const {
   // Heuristic 1: requests to a crawled site (or its subdomains) are
   // engine traffic.
   if (site_hosts_.count(host) > 0 ||
@@ -46,7 +50,7 @@ void NaiveSplitter::ScoreStore(const proxy::FlowStore& flows,
                                Score& score) const {
   for (const auto& flow : flows.flows()) {
     ++score.total;
-    proxy::TrafficOrigin predicted = Predict(flow);
+    proxy::TrafficOrigin predicted = PredictHost(flow.Host());
     if (predicted == truth) {
       ++score.correct;
     } else if (truth == proxy::TrafficOrigin::kNative) {
@@ -64,7 +68,7 @@ void NaiveSplitter::ScoreIndex(const FlowIndex& index,
     const uint64_t count = index.by_host()[host_id].size();
     score.total += count;
     proxy::TrafficOrigin predicted =
-        PredictHost(index.hosts()[host_id].raw);
+        PredictCanonical(index.hosts()[host_id].canonical);
     if (predicted == truth) {
       score.correct += count;
     } else if (truth == proxy::TrafficOrigin::kNative) {

@@ -32,6 +32,10 @@ class NaiveSplitter {
   // is case-insensitive and label-boundary-aware (net::CanonicalHost).
   proxy::TrafficOrigin PredictHost(std::string_view raw_host) const;
 
+  // Same prediction for a host the caller already canonicalized
+  // (net::CanonicalHost) — skips the per-call canonicalization.
+  proxy::TrafficOrigin PredictCanonical(const std::string& host) const;
+
   struct Score {
     uint64_t total = 0;
     uint64_t correct = 0;

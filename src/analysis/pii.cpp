@@ -3,6 +3,7 @@
 #include "analysis/flow_index.h"
 #include "util/base64.h"
 #include "util/json.h"
+#include "util/multiscan.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -24,10 +25,6 @@ void Mark(PiiReport& report, PiiField field, const std::string& host,
   }
   report.evidence.push_back(
       PiiEvidence{field, host, std::move(sample), value_hash});
-}
-
-bool KeyHintContains(std::string_view key, std::string_view needle) {
-  return util::ContainsIgnoreCase(key, needle);
 }
 
 }  // namespace
@@ -70,20 +67,25 @@ struct PiiScanner::KeyTraits {
 };
 
 PiiScanner::KeyTraits PiiScanner::TraitsOf(std::string_view key_hint) {
+  // One case-folded automaton pass replaces thirteen ContainsIgnoreCase
+  // sweeps. Bit positions follow the pattern list; a match sets its
+  // pattern's bit and the trait reads OR the relevant bits.
+  static const util::MultiScan& needles = *new util::MultiScan(
+      {"dev", "type", "manuf", "vendor", "lat", "lon", "dpi", "root",
+       "jailb", "country", "cc", "net", "conn"},
+      /*fold_ascii_case=*/true);
+  uint32_t hits = 0;
+  needles.Scan(key_hint,
+               [&](uint32_t pattern, size_t) { hits |= 1u << pattern; });
   KeyTraits traits;
-  traits.device_or_type = KeyHintContains(key_hint, "dev") ||
-                          KeyHintContains(key_hint, "type");
-  traits.manuf_or_vendor = KeyHintContains(key_hint, "manuf") ||
-                           KeyHintContains(key_hint, "vendor");
-  traits.lat = KeyHintContains(key_hint, "lat");
-  traits.lon = KeyHintContains(key_hint, "lon");
-  traits.dpi = KeyHintContains(key_hint, "dpi");
-  traits.root_or_jailb = KeyHintContains(key_hint, "root") ||
-                         KeyHintContains(key_hint, "jailb");
-  traits.country_or_cc = KeyHintContains(key_hint, "country") ||
-                         KeyHintContains(key_hint, "cc");
-  traits.net_or_conn = KeyHintContains(key_hint, "net") ||
-                       KeyHintContains(key_hint, "conn");
+  traits.device_or_type = (hits & 0b0000000000011u) != 0;   // dev|type
+  traits.manuf_or_vendor = (hits & 0b0000000001100u) != 0;  // manuf|vendor
+  traits.lat = (hits & 0b0000000010000u) != 0;
+  traits.lon = (hits & 0b0000000100000u) != 0;
+  traits.dpi = (hits & 0b0000001000000u) != 0;
+  traits.root_or_jailb = (hits & 0b0000110000000u) != 0;    // root|jailb
+  traits.country_or_cc = (hits & 0b0011000000000u) != 0;    // country|cc
+  traits.net_or_conn = (hits & 0b1100000000000u) != 0;      // net|conn
   return traits;
 }
 
@@ -169,8 +171,9 @@ void PiiScanner::ScanValue(const KeyTraits& traits, std::string_view key_hint,
   }
 }
 
-void PiiScanner::ScanFlow(const proxy::Flow& flow, PiiReport& report) const {
-  const std::string host = flow.Host();
+template <typename FlowT>
+void PiiScanner::ScanFlowImpl(const FlowT& flow, PiiReport& report) const {
+  const std::string host(flow.Host());
 
   for (const auto& [key, value] : flow.url.QueryParams()) {
     ScanText(key, value, host, report);
@@ -211,6 +214,15 @@ void PiiScanner::ScanFlow(const proxy::Flow& flow, PiiReport& report) const {
     Mark(report, PiiField::kResolution, host, util::HashString(joined),
          "deviceScreenWidth/Height=" + joined);
   }
+}
+
+void PiiScanner::ScanFlow(const proxy::Flow& flow, PiiReport& report) const {
+  ScanFlowImpl(flow, report);
+}
+
+void PiiScanner::ScanFlow(const proxy::FlowView& flow,
+                          PiiReport& report) const {
+  ScanFlowImpl(flow, report);
 }
 
 PiiReport PiiScanner::Scan(const proxy::FlowStore& flows) const {

@@ -68,8 +68,11 @@ class PiiScanner {
   // decode work was already done once at index build time.
   PiiReport Scan(const FlowIndex& index) const;
 
-  // Scans one flow, appending evidence to `report`.
+  // Scans one flow, appending evidence to `report`. The Flow and
+  // FlowView overloads share one implementation and produce identical
+  // evidence.
   void ScanFlow(const proxy::Flow& flow, PiiReport& report) const;
+  void ScanFlow(const proxy::FlowView& flow, PiiReport& report) const;
 
  private:
   // Which keyword hints a key carries. Computed once per distinct key:
@@ -78,6 +81,8 @@ class PiiScanner {
   struct KeyTraits;
 
   static KeyTraits TraitsOf(std::string_view key_hint);
+  template <typename FlowT>
+  void ScanFlowImpl(const FlowT& flow, PiiReport& report) const;
   void ScanText(std::string_view key_hint, std::string_view value,
                 const std::string& host, PiiReport& report) const;
   void ScanValue(const KeyTraits& traits, std::string_view key_hint,

@@ -114,18 +114,23 @@ std::string ValueShape(std::string_view value) {
 std::vector<std::string> ReconClassifier::TokenizePair(
     std::string_view key, std::string_view value) {
   std::vector<std::string> tokens;
-  tokens.push_back("key:" + util::ToLower(key));
-  tokens.push_back(ValueShape(value));
+  const std::string key_lower = util::ToLower(key);
+  const std::string shape = ValueShape(value);
+  tokens.push_back("key:" + key_lower);
+  tokens.push_back(shape);
   // Conjunction feature: key together with the value shape carries the
   // signal ("lat" + coordinate is telling; "price" + coordinate not).
-  tokens.push_back("pair:" + util::ToLower(key) + "|" + ValueShape(value));
+  tokens.push_back("pair:" + key_lower + "|" + shape);
   return tokens;
 }
 
-std::vector<std::string> ReconClassifier::Tokenize(const proxy::Flow& flow) {
+namespace {
+
+template <typename FlowT>
+std::vector<std::string> TokenizeImpl(const FlowT& flow) {
   std::vector<std::string> tokens;
   auto append = [&](std::string_view key, std::string_view value) {
-    for (auto& token : TokenizePair(key, value)) {
+    for (auto& token : ReconClassifier::TokenizePair(key, value)) {
       tokens.push_back(std::move(token));
     }
   };
@@ -147,6 +152,17 @@ std::vector<std::string> ReconClassifier::Tokenize(const proxy::Flow& flow) {
     }
   }
   return tokens;
+}
+
+}  // namespace
+
+std::vector<std::string> ReconClassifier::Tokenize(const proxy::Flow& flow) {
+  return TokenizeImpl(flow);
+}
+
+std::vector<std::string> ReconClassifier::Tokenize(
+    const proxy::FlowView& flow) {
+  return TokenizeImpl(flow);
 }
 
 void ReconClassifier::Train(const std::vector<Example>& examples) {

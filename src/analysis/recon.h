@@ -17,6 +17,7 @@
 
 #include "device/profile.h"
 #include "proxy/flow.h"
+#include "proxy/flowview.h"
 #include "util/rng.h"
 
 namespace panoptes::analysis {
@@ -32,6 +33,7 @@ class ReconClassifier {
   // value-shape classes (ip / WxH resolution / coordinate / locale tag
   // / tz path / boolean / enum-word / number / opaque token).
   static std::vector<std::string> Tokenize(const proxy::Flow& flow);
+  static std::vector<std::string> Tokenize(const proxy::FlowView& flow);
   static std::vector<std::string> TokenizePair(std::string_view key,
                                                std::string_view value);
 

@@ -218,7 +218,10 @@ std::optional<Header> PeekHeader(std::string_view bytes) {
 bool Read(std::string_view bytes, const FleetJob& job,
           FleetJobResult* result) {
   auto header = PeekHeader(bytes);
-  if (!header.has_value() || header->schema != kSchemaVersion) return false;
+  if (!header.has_value() || header->schema < kMinReadableSchema ||
+      header->schema > kSchemaVersion) {
+    return false;
+  }
   util::BinReader in(bytes);
   for (size_t i = 0; i < kMagic.size(); ++i) in.U8();
   in.U32();

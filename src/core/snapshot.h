@@ -7,9 +7,11 @@
 // still render byte-identical reports. The format is deliberately
 // boring: fixed magic, explicit schema version, little-endian
 // fixed-width fields (util/binio.h), no in-memory representations on
-// disk. Any schema change bumps kSchemaVersion, which invalidates every
-// existing snapshot at read time — stale formats are re-executed, never
-// misparsed.
+// disk. Any schema change bumps kSchemaVersion; unknown versions are
+// rejected at read time — stale formats are re-executed, never
+// misparsed. A version bump only keeps old snapshots readable when the
+// payload encoders themselves can still decode the old bytes (see the
+// kSchemaVersion note below).
 //
 // Layout:
 //   bytes 0..7   magic "PANOSNAP"
@@ -31,7 +33,14 @@ namespace panoptes::core::snapshot {
 inline constexpr std::string_view kMagic = "PANOSNAP";
 // v2: each flow store is followed by its serialized analysis::FlowIndex
 // (presence-flagged; absent indexes are rebuilt from the store on read).
-inline constexpr uint32_t kSchemaVersion = 2;
+// v3: flow stores use the arena encoding (proxy::FlowStore's 0xF3 tag:
+// interned pools + one payload blob, deserialized as a near-zero-copy
+// blit). Writers always emit v3; Read still accepts v2 because
+// FlowStore::Deserialize sniffs the store tag and decodes legacy
+// per-record stores via the copy path, so pre-arena snapshots replay
+// byte-identically instead of being re-executed.
+inline constexpr uint32_t kSchemaVersion = 3;
+inline constexpr uint32_t kMinReadableSchema = 2;
 
 // Serializes `result` (with `fingerprint` in the header) to the full
 // file image.

@@ -91,19 +91,17 @@ std::string Url::RequestTarget() const {
   return out;
 }
 
-std::vector<std::pair<std::string, std::string>> Url::QueryParams() const {
+std::vector<std::pair<std::string, std::string>> DecodeQueryParams(
+    std::string_view query) {
   std::vector<std::pair<std::string, std::string>> out;
-  if (query_.empty()) return out;
-  for (const auto& piece : util::SplitNonEmpty(query_, '&')) {
-    size_t eq = piece.find('=');
-    if (eq == std::string::npos) {
-      out.emplace_back(util::PercentDecode(piece), "");
-    } else {
-      out.emplace_back(util::PercentDecode(piece.substr(0, eq)),
-                       util::PercentDecode(piece.substr(eq + 1)));
-    }
-  }
+  ForEachQueryParamRaw(query, [&](std::string_view key, std::string_view value) {
+    out.emplace_back(util::PercentDecode(key), util::PercentDecode(value));
+  });
   return out;
+}
+
+std::vector<std::pair<std::string, std::string>> Url::QueryParams() const {
+  return DecodeQueryParams(query_);
 }
 
 std::optional<std::string> Url::QueryParam(std::string_view name) const {
@@ -121,6 +119,102 @@ void Url::AddQueryParam(std::string_view name, std::string_view value) {
   } else {
     query_ += "&" + pair;
   }
+}
+
+namespace {
+
+bool HasAsciiUpper(std::string_view s) {
+  for (char c : s) {
+    if (c >= 'A' && c <= 'Z') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<UrlView> UrlView::Parse(std::string_view text) {
+  UrlView view;
+  view.text_ = text;
+  size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos) return std::nullopt;
+  std::string_view scheme = text.substr(0, scheme_end);
+  if (scheme != "http" && scheme != "https") return std::nullopt;
+  view.scheme_len_ = static_cast<uint32_t>(scheme_end);
+
+  std::string_view rest = text.substr(scheme_end + 3);
+  size_t authority_end = rest.find_first_of("/?#");
+  // Url::Serialize always emits a path (at least "/"); text without one
+  // is not a serialization, so the view has nothing stable to slice.
+  if (authority_end == std::string_view::npos) return std::nullopt;
+  if (rest[authority_end] != '/') return std::nullopt;  // empty path
+  std::string_view authority = rest.substr(0, authority_end);
+  if (authority.empty()) return std::nullopt;
+
+  size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    std::string_view digits = authority.substr(colon + 1);
+    auto port = util::ParseUint(digits);
+    if (!port || *port == 0 || *port > 65535) return std::nullopt;
+    view.port_len_ = static_cast<uint32_t>(digits.size());
+    authority = authority.substr(0, colon);
+  }
+  if (authority.empty() || HasAsciiUpper(authority)) return std::nullopt;
+  view.host_len_ = static_cast<uint32_t>(authority.size());
+
+  std::string_view tail = rest.substr(authority_end);
+  size_t query_pos = tail.find('?');
+  size_t frag_pos = tail.find('#');
+  size_t path_end = std::min(query_pos, frag_pos);
+  view.path_len_ = static_cast<uint32_t>(
+      path_end == std::string_view::npos ? tail.size() : path_end);
+
+  if (query_pos != std::string_view::npos && query_pos < frag_pos) {
+    size_t query_end =
+        frag_pos == std::string_view::npos ? tail.size() : frag_pos;
+    // A bare '?' (empty query) serializes without the '?', so this text
+    // cannot round-trip; same for a bare '#' below.
+    if (query_end == query_pos + 1) return std::nullopt;
+    view.has_query_ = true;
+    view.query_len_ = static_cast<uint32_t>(query_end - query_pos - 1);
+  }
+  if (frag_pos != std::string_view::npos) {
+    if (frag_pos + 1 == tail.size()) return std::nullopt;
+    view.has_fragment_ = true;
+  }
+  return view;
+}
+
+uint16_t UrlView::EffectivePort() const {
+  if (port_len_ > 0) {
+    std::string_view digits =
+        text_.substr(scheme_len_ + 3 + host_len_ + 1, port_len_);
+    return static_cast<uint16_t>(*util::ParseUint(digits));
+  }
+  return scheme_len_ == 5 ? 443 : 80;  // "https" vs "http"
+}
+
+std::string_view UrlView::fragment() const {
+  if (!has_fragment_) return std::string_view();
+  size_t begin =
+      PathBegin() + path_len_ + (has_query_ ? query_len_ + 1 : 0) + 1;
+  return text_.substr(begin);
+}
+
+std::string UrlView::Origin() const {
+  // "scheme://host[:port]" is exactly the text up to the path.
+  return std::string(text_.substr(0, PathBegin()));
+}
+
+std::string UrlView::RequestTarget() const {
+  size_t len = path_len_ + (has_query_ ? query_len_ + 1 : 0);
+  return std::string(text_.substr(PathBegin(), len));
+}
+
+std::optional<std::string> UrlView::QueryParam(std::string_view name) const {
+  for (auto& [key, value] : QueryParams()) {
+    if (key == name) return value;
+  }
+  return std::nullopt;
 }
 
 std::string EncodeQuery(

@@ -71,4 +71,104 @@ class Url {
 std::string EncodeQuery(
     const std::vector<std::pair<std::string, std::string>>& params);
 
+// Splits a raw query string (without '?') into undecoded (name, value)
+// pieces in order of appearance and calls fn(raw_name, raw_value) for
+// each: pieces are '&'-separated, empty pieces are skipped, and a piece
+// without '=' yields an empty value. This is the single split routine
+// behind DecodeQueryParams, so callback consumers (which can skip the
+// per-pair allocations when nothing is percent-encoded) can never drift
+// from the materialized form.
+template <typename Fn>
+void ForEachQueryParamRaw(std::string_view query, Fn&& fn) {
+  size_t start = 0;
+  while (start < query.size()) {
+    size_t amp = query.find('&', start);
+    size_t end = amp == std::string_view::npos ? query.size() : amp;
+    std::string_view piece = query.substr(start, end - start);
+    if (!piece.empty()) {
+      size_t eq = piece.find('=');
+      if (eq == std::string_view::npos) {
+        fn(piece, std::string_view());
+      } else {
+        fn(piece.substr(0, eq), piece.substr(eq + 1));
+      }
+    }
+    if (amp == std::string_view::npos) break;
+    start = amp + 1;
+  }
+}
+
+// Decoded (name, value) pairs of a raw query string (without '?'), in
+// order of appearance — the single decode routine behind both
+// Url::QueryParams and UrlView::QueryParams, so the owning and view
+// forms can never drift apart.
+std::vector<std::pair<std::string, std::string>> DecodeQueryParams(
+    std::string_view query);
+
+// Non-owning view of a serialized absolute http(s) URL.
+//
+// A UrlView slices one contiguous text in Url::Serialize form
+// ("scheme://host[:port]path[?query][#fragment]"); the arena-backed
+// FlowStore keeps that text stable for the store's lifetime, so flows
+// expose their URLs without per-flow string ownership. Accessors mirror
+// Url member for member; for any text t, UrlView::Parse(t) and
+// Url::Parse(t) agree on every component.
+class UrlView {
+ public:
+  UrlView() = default;
+
+  // Splits `text` without allocating. `text` must outlive the view.
+  // Returns nullopt under exactly the conditions Url::Parse rejects,
+  // plus inputs whose serialization would differ from `text` (an
+  // uppercase scheme/host or an empty path — Url normalizes those, a
+  // view cannot).
+  static std::optional<UrlView> Parse(std::string_view text);
+
+  std::string_view text() const { return text_; }
+  std::string_view scheme() const { return text_.substr(0, scheme_len_); }
+  std::string_view host() const {
+    return text_.substr(scheme_len_ + 3, host_len_);
+  }
+  uint16_t EffectivePort() const;
+  bool has_explicit_port() const { return port_len_ > 0; }
+  std::string_view path() const {  // always begins '/'
+    return text_.substr(PathBegin(), path_len_);
+  }
+  std::string_view query() const {  // without '?'; empty when absent
+    return has_query_ ? text_.substr(PathBegin() + path_len_ + 1, query_len_)
+                      : std::string_view();
+  }
+  std::string_view fragment() const;
+
+  // "https://host[:port]" with the port omitted when default.
+  std::string Origin() const;
+
+  std::string Serialize() const { return std::string(text_); }
+
+  // Path plus "?query" when non-empty (the HTTP/1.1 request target).
+  std::string RequestTarget() const;
+
+  std::vector<std::pair<std::string, std::string>> QueryParams() const {
+    return DecodeQueryParams(query());
+  }
+  std::optional<std::string> QueryParam(std::string_view name) const;
+
+  // Owning copy, for call sites that must outlive the backing store.
+  Url ToUrl() const { return Url::MustParse(text_); }
+
+ private:
+  size_t PathBegin() const {
+    return scheme_len_ + 3 + host_len_ + (port_len_ > 0 ? port_len_ + 1 : 0);
+  }
+
+  std::string_view text_;
+  uint32_t scheme_len_ = 0;
+  uint32_t host_len_ = 0;
+  uint32_t port_len_ = 0;  // digits only, 0 when no explicit port
+  uint32_t path_len_ = 0;
+  uint32_t query_len_ = 0;  // meaningful only when has_query_
+  bool has_query_ = false;
+  bool has_fragment_ = false;
+};
+
 }  // namespace panoptes::net

@@ -1,10 +1,21 @@
 #include "proxy/flowstore.h"
 
+#include <cstring>
+
 #include "chaos/injector.h"
 #include "net/psl.h"
 #include "obs/metrics.h"
 
 namespace panoptes::proxy {
+
+namespace {
+
+// First byte of a schema-v3 store. The legacy (v2) encoding began with
+// Bool(compact), so its first byte is always 0 or 1 — any other value
+// is free to act as a version tag.
+constexpr uint8_t kV3Tag = 0xF3;
+
+}  // namespace
 
 void FlowStore::Add(Flow flow) {
   if (chaos_ != nullptr && chaos_->FlowWriteDrop(flow.Host())) {
@@ -20,122 +31,372 @@ void FlowStore::Add(Flow flow) {
       "Flows stored into a flow database (first capture; shard merges "
       "are not re-counted)");
   stored.Inc();
-  AddUncounted(std::move(flow));
+  AddUncounted(flow);
+}
+
+void FlowStore::AddUncounted(const Flow& flow) {
+  StoreFlow(flow, /*keep_headers_and_body=*/!compact_);
 }
 
 void FlowStore::TruncateTo(size_t size) {
-  if (size >= flows_.size()) return;
+  if (size >= recs_.size()) return;
   static obs::Counter& rolled_back = obs::MetricsRegistry::Default().GetCounter(
       "panoptes_proxy_flows_rolled_back_total",
       "Stored flows discarded by visit-retry rollback (stored - "
       "rolled_back reconciles with final store sizes)");
-  rolled_back.Inc(flows_.size() - size);
-  flows_.resize(size);
+  rolled_back.Inc(recs_.size() - size);
+  recs_.resize(size);
 }
 
-void FlowStore::AddUncounted(Flow flow) {
-  if (compact_) {
-    flow.request_headers = net::HttpHeaders();
-    flow.request_body.clear();
-    flow.request_body.shrink_to_fit();
+void FlowStore::StoreFlow(const Flow& flow, bool keep_headers_and_body) {
+  FlowView rec;
+  rec.id = flow.id;
+  rec.time = flow.time;
+  rec.browser = InternLabel(flow.browser);
+  rec.app_uid = flow.app_uid;
+  rec.method = flow.method;
+
+  // The URL is stored as its canonical serialization; the view re-slices
+  // it in place. A default-constructed Url has no scheme and cannot
+  // round-trip — such flows keep an empty view (Host() == ""), exactly
+  // the shape the owning-Flow store exposed.
+  std::string url_text = flow.url.Serialize();
+  std::string_view stored_url = arena_.Copy(url_text);
+  if (auto view = net::UrlView::Parse(stored_url)) rec.url = *view;
+  rec.host_id = InternHost(rec.url.host());
+
+  if (keep_headers_and_body) {
+    const auto& entries = flow.request_headers.entries();
+    if (!entries.empty()) {
+      HeaderView* arr = arena_.AllocArray<HeaderView>(entries.size());
+      for (size_t i = 0; i < entries.size(); ++i) {
+        arr[i].name = InternHeaderName(entries[i].first);
+        arr[i].value = arena_.Copy(entries[i].second);
+      }
+      rec.request_headers = HeadersView(arr, entries.size());
+    }
+    rec.request_body = arena_.Copy(flow.request_body);
   }
-  flows_.push_back(std::move(flow));
+
+  rec.response_status = flow.response_status;
+  rec.request_bytes = flow.request_bytes;
+  rec.response_bytes = flow.response_bytes;
+  rec.server_ip = flow.server_ip;
+  rec.version = flow.version;
+  rec.origin = flow.origin;
+  rec.taint = arena_.Copy(flow.taint);
+  rec.blocked = flow.blocked;
+  rec.blocked_by = InternLabel(flow.blocked_by);
+  rec.fault_injected = flow.fault_injected;
+  recs_.push_back(rec);
+}
+
+void FlowStore::StoreRec(const FlowView& src) {
+  FlowView rec = src;
+  rec.browser = InternLabel(src.browser);
+
+  std::string_view stored_url = arena_.Copy(src.url.text());
+  rec.url = net::UrlView();
+  if (auto view = net::UrlView::Parse(stored_url)) rec.url = *view;
+  rec.host_id = InternHost(rec.url.host());
+
+  rec.request_headers = HeadersView();
+  const auto src_headers = src.request_headers.entries();
+  if (!src_headers.empty()) {
+    HeaderView* arr = arena_.AllocArray<HeaderView>(src_headers.size());
+    for (size_t i = 0; i < src_headers.size(); ++i) {
+      arr[i].name = InternHeaderName(src_headers[i].name);
+      arr[i].value = arena_.Copy(src_headers[i].value);
+    }
+    rec.request_headers = HeadersView(arr, src_headers.size());
+  }
+  rec.request_body = arena_.Copy(src.request_body);
+  rec.taint = arena_.Copy(src.taint);
+  rec.blocked_by = InternLabel(src.blocked_by);
+  recs_.push_back(rec);
 }
 
 void FlowStore::Append(const FlowStore& other) {
-  if (other.flows_.empty()) return;
+  if (other.recs_.empty()) return;
   // Merges copy flows verbatim — going through AddUncounted here would
   // re-apply *this* store's compaction to flows whose capture-time
   // policy already decided what to keep.
   if (&other == this) {
-    // reserve would invalidate the source range mid-copy when the
-    // source is this store; snapshot the size and copy by index (the
-    // reserve guarantees no reallocation during the pushes).
-    const size_t count = flows_.size();
-    flows_.reserve(2 * count);
-    for (size_t i = 0; i < count; ++i) flows_.push_back(flows_[i]);
+    // Self-append duplicates records in place. The new records alias
+    // the payload bytes already in the arena (views are stable), so no
+    // byte is copied; reserve first because pushing while iterating the
+    // same vector would invalidate the source range on growth.
+    const size_t count = recs_.size();
+    recs_.reserve(2 * count);
+    for (size_t i = 0; i < count; ++i) recs_.push_back(recs_[i]);
     return;
   }
-  flows_.reserve(flows_.size() + other.flows_.size());
-  flows_.insert(flows_.end(), other.flows_.begin(), other.flows_.end());
+  recs_.reserve(recs_.size() + other.recs_.size());
+  for (const FlowView& rec : other.recs_) StoreRec(rec);
 }
 
 void FlowStore::SerializeTo(util::BinWriter& out) const {
+  out.U8(kV3Tag);
   out.Bool(compact_);
   out.U64(dropped_writes_);
-  out.U32(static_cast<uint32_t>(flows_.size()));
-  for (const auto& flow : flows_) SerializeFlow(flow, out);
+
+  // Pools are rebuilt in first-reference order over *live* records, so
+  // a truncated store serializes exactly like one that never held the
+  // discarded flows (content-addressed cache keys depend on this).
+  std::map<std::string_view, uint32_t> label_ids;
+  std::vector<std::string_view> labels;
+  auto LabelId = [&](std::string_view s) -> uint32_t {
+    auto [it, inserted] =
+        label_ids.emplace(s, static_cast<uint32_t>(labels.size()));
+    if (inserted) labels.push_back(s);
+    return it->second;
+  };
+  std::map<std::string_view, uint32_t> name_ids;
+  std::vector<std::string_view> names;
+  auto NameId = [&](std::string_view s) -> uint32_t {
+    auto [it, inserted] =
+        name_ids.emplace(s, static_cast<uint32_t>(names.size()));
+    if (inserted) names.push_back(s);
+    return it->second;
+  };
+
+  // One pass builds the payload blob (per flow: url text, header
+  // values, body, taint — lengths live in the fixed-width records) and
+  // the record buffer; pools are emitted first so the reader can
+  // resolve ids while scanning records.
+  std::string blob;
+  util::BinWriter recs;
+  for (const FlowView& rec : recs_) {
+    recs.U64(rec.id);
+    recs.I64(rec.time.millis);
+    recs.U32(LabelId(rec.browser));
+    recs.I64(rec.app_uid);
+    recs.U8(static_cast<uint8_t>(rec.method));
+    recs.U32(static_cast<uint32_t>(rec.url.text().size()));
+    blob.append(rec.url.text());
+    recs.U32(static_cast<uint32_t>(rec.request_headers.size()));
+    for (const auto& [name, value] : rec.request_headers.entries()) {
+      recs.U32(NameId(name));
+      recs.U32(static_cast<uint32_t>(value.size()));
+      blob.append(value);
+    }
+    recs.U32(static_cast<uint32_t>(rec.request_body.size()));
+    blob.append(rec.request_body);
+    recs.I64(rec.response_status);
+    recs.U64(rec.request_bytes);
+    recs.U64(rec.response_bytes);
+    recs.U32(rec.server_ip.value());
+    recs.U8(static_cast<uint8_t>(rec.version));
+    recs.U8(static_cast<uint8_t>(rec.origin));
+    recs.U32(static_cast<uint32_t>(rec.taint.size()));
+    blob.append(rec.taint);
+    recs.Bool(rec.blocked);
+    recs.U32(LabelId(rec.blocked_by));
+    recs.Bool(rec.fault_injected);
+  }
+
+  out.U32(static_cast<uint32_t>(labels.size()));
+  for (std::string_view label : labels) out.Str(label);
+  out.U32(static_cast<uint32_t>(names.size()));
+  for (std::string_view name : names) out.Str(name);
+  out.U32(static_cast<uint32_t>(recs_.size()));
+  out.U64(blob.size());
+  out.Raw(blob);
+  out.Raw(recs.data());
 }
 
 std::unique_ptr<FlowStore> FlowStore::Deserialize(util::BinReader& in) {
-  bool compact = in.Bool();
-  uint64_t dropped = in.U64();
-  uint32_t count = in.U32();
-  // The count is untrusted: a corrupt header must not drive a huge
-  // reservation (every serialized flow occupies well over 8 bytes).
-  if (!in.ok() || count > in.remaining() / 8) return nullptr;
-  auto store = std::make_unique<FlowStore>(compact);
-  store->dropped_writes_ = dropped;
-  store->flows_.reserve(count);
-  for (uint32_t i = 0; i < count; ++i) {
-    Flow flow;
-    if (!DeserializeFlow(in, &flow)) return nullptr;
-    // Straight into the vector: restored flows are already compacted
-    // (or not) as captured, and must not bump the stored-flows counter.
-    store->flows_.push_back(std::move(flow));
+  uint8_t tag = in.U8();
+  if (!in.ok()) return nullptr;
+
+  if (tag <= 1) {
+    // Legacy v2 layout: Bool(compact) first, then per-flow owned
+    // encodings. Decoded flows take the copy path into the arena with
+    // their capture-time contents kept as-is (compact flows already
+    // carry empty headers/bodies, so re-applying compaction would be a
+    // no-op; keep_headers_and_body preserves any store's contents).
+    auto store = std::make_unique<FlowStore>(tag == 1);
+    store->dropped_writes_ = in.U64();
+    uint32_t count = in.U32();
+    // The count is untrusted: a corrupt header must not drive a huge
+    // reservation (every serialized flow occupies well over 8 bytes).
+    if (!in.ok() || count > in.remaining() / 8) return nullptr;
+    store->recs_.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      Flow flow;
+      if (!DeserializeFlow(in, &flow)) return nullptr;
+      store->StoreFlow(flow, /*keep_headers_and_body=*/true);
+    }
+    return store;
   }
+  if (tag != kV3Tag) return nullptr;
+
+  auto store = std::make_unique<FlowStore>(in.Bool());
+  store->dropped_writes_ = in.U64();
+
+  uint32_t label_count = in.U32();
+  if (!in.ok() || label_count > in.remaining() / 4) return nullptr;
+  std::vector<std::string_view> labels;
+  labels.reserve(label_count);
+  for (uint32_t i = 0; i < label_count; ++i) {
+    labels.push_back(store->InternLabel(in.Str()));
+  }
+  uint32_t name_count = in.U32();
+  if (!in.ok() || name_count > in.remaining() / 4) return nullptr;
+  std::vector<std::string_view> names;
+  names.reserve(name_count);
+  for (uint32_t i = 0; i < name_count; ++i) {
+    names.push_back(store->InternHeaderName(in.Str()));
+  }
+
+  uint32_t count = in.U32();
+  if (!in.ok() || count > in.remaining() / 8) return nullptr;
+  uint64_t blob_len = in.U64();
+  if (!in.ok() || blob_len > in.remaining()) return nullptr;
+  // The whole payload lands in the arena as one copy; every view below
+  // slices it in place.
+  std::string_view blob = store->arena_.Copy(in.Raw(static_cast<size_t>(blob_len)));
+
+  size_t cursor = 0;
+  auto Take = [&](size_t len) -> std::string_view {
+    if (len > blob.size() - cursor || cursor > blob.size()) {
+      cursor = blob.size() + 1;  // poison: framing exceeded the blob
+      return std::string_view();
+    }
+    std::string_view piece = blob.substr(cursor, len);
+    cursor += len;
+    return piece;
+  };
+
+  store->recs_.reserve(count);
+  for (uint32_t i = 0; i < count && in.ok(); ++i) {
+    FlowView rec;
+    rec.id = in.U64();
+    rec.time.millis = in.I64();
+    uint32_t browser_id = in.U32();
+    if (browser_id >= labels.size()) return nullptr;
+    rec.browser = labels[browser_id];
+    rec.app_uid = static_cast<int>(in.I64());
+    rec.method = static_cast<net::HttpMethod>(in.U8());
+    auto url = net::UrlView::Parse(Take(in.U32()));
+    if (!url.has_value()) return nullptr;
+    rec.url = *url;
+    uint32_t header_count = in.U32();
+    if (!in.ok() || header_count > in.remaining() / 8) return nullptr;
+    if (header_count > 0) {
+      HeaderView* arr = store->arena_.AllocArray<HeaderView>(header_count);
+      for (uint32_t h = 0; h < header_count; ++h) {
+        uint32_t name_id = in.U32();
+        if (name_id >= names.size()) return nullptr;
+        arr[h].name = names[name_id];
+        arr[h].value = Take(in.U32());
+      }
+      rec.request_headers = HeadersView(arr, header_count);
+    }
+    rec.request_body = Take(in.U32());
+    rec.response_status = static_cast<int>(in.I64());
+    rec.request_bytes = in.U64();
+    rec.response_bytes = in.U64();
+    rec.server_ip = net::IpAddress(in.U32());
+    rec.version = static_cast<net::HttpVersion>(in.U8());
+    rec.origin = static_cast<TrafficOrigin>(in.U8());
+    rec.taint = Take(in.U32());
+    rec.blocked = in.Bool();
+    uint32_t blocked_id = in.U32();
+    if (blocked_id >= labels.size()) return nullptr;
+    rec.blocked_by = labels[blocked_id];
+    rec.fault_injected = in.Bool();
+    rec.host_id = store->InternHost(rec.url.host());
+    // Straight into the vector: restored flows must not bump the
+    // stored-flows counter (they were counted at first capture).
+    store->recs_.push_back(rec);
+  }
+  if (!in.ok() || cursor != blob.size()) return nullptr;
   return store;
 }
 
 void FlowStore::Clear() {
-  flows_.clear();
-  flows_.shrink_to_fit();
+  recs_.clear();
+  recs_.shrink_to_fit();
+  hosts_.clear();
+  host_ids_.clear();
+  label_ids_.clear();
+  header_name_ids_.clear();
+  arena_.Clear();
+}
+
+uint32_t FlowStore::InternHost(std::string_view host) {
+  auto it = host_ids_.find(host);
+  if (it != host_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(hosts_.size());
+  // `host` is a slice of an arena'd URL (or empty), so it is stable for
+  // the pool's lifetime and safe as both entry and map key.
+  hosts_.push_back(HostEntry{host, net::RegistrableDomain(host)});
+  host_ids_.emplace(host, id);
+  return id;
+}
+
+std::string_view FlowStore::InternLabel(std::string_view label) {
+  auto it = label_ids_.find(label);
+  if (it != label_ids_.end()) return it->first;
+  std::string_view stored = arena_.Copy(label);
+  label_ids_.emplace(stored, static_cast<uint32_t>(label_ids_.size()));
+  return stored;
+}
+
+std::string_view FlowStore::InternHeaderName(std::string_view name) {
+  auto it = header_name_ids_.find(name);
+  if (it != header_name_ids_.end()) return it->first;
+  std::string_view stored = arena_.Copy(name);
+  header_name_ids_.emplace(stored,
+                           static_cast<uint32_t>(header_name_ids_.size()));
+  return stored;
 }
 
 uint64_t FlowStore::TotalBytes() const {
   uint64_t total = 0;
-  for (const auto& flow : flows_) {
-    total += flow.request_bytes + flow.response_bytes;
+  for (const FlowView& rec : recs_) {
+    total += rec.request_bytes + rec.response_bytes;
   }
   return total;
 }
 
 uint64_t FlowStore::RequestBytes() const {
   uint64_t total = 0;
-  for (const auto& flow : flows_) total += flow.request_bytes;
+  for (const FlowView& rec : recs_) total += rec.request_bytes;
   return total;
 }
 
 std::set<std::string> FlowStore::DistinctHosts() const {
   std::set<std::string> out;
-  for (const auto& flow : flows_) out.insert(flow.Host());
+  for (const FlowView& rec : recs_) out.insert(std::string(rec.Host()));
   return out;
 }
 
 std::set<std::string> FlowStore::DistinctDomains() const {
   std::set<std::string> out;
-  for (const auto& flow : flows_) {
-    out.insert(net::RegistrableDomain(flow.Host()));
+  // The pool may hold hosts only referenced by truncated flows, so walk
+  // live records — the per-host domain was computed once at intern time.
+  for (const FlowView& rec : recs_) out.insert(hosts_[rec.host_id].domain);
+  return out;
+}
+
+std::vector<FlowView> FlowStore::Where(
+    const std::function<bool(const FlowView&)>& predicate) const {
+  std::vector<FlowView> out;
+  for (const FlowView& rec : recs_) {
+    if (predicate(rec)) out.push_back(rec);
   }
   return out;
 }
 
-std::vector<const Flow*> FlowStore::Where(
-    const std::function<bool(const Flow&)>& predicate) const {
-  std::vector<const Flow*> out;
-  for (const auto& flow : flows_) {
-    if (predicate(flow)) out.push_back(&flow);
-  }
-  return out;
+std::vector<FlowView> FlowStore::ToHost(std::string_view host) const {
+  return Where([&](const FlowView& rec) { return rec.Host() == host; });
 }
 
-std::vector<const Flow*> FlowStore::ToHost(std::string_view host) const {
-  return Where([&](const Flow& flow) { return flow.Host() == host; });
-}
-
-std::vector<const Flow*> FlowStore::ToDomain(std::string_view domain) const {
-  return Where([&](const Flow& flow) {
-    return net::RegistrableDomain(flow.Host()) == domain;
+std::vector<FlowView> FlowStore::ToDomain(std::string_view domain) const {
+  return Where([&](const FlowView& rec) {
+    return hosts_[rec.host_id].domain == domain;
   });
 }
 

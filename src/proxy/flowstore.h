@@ -1,16 +1,37 @@
 // Flow databases. The paper stores tainted (engine) and untainted
 // (native) flows in two separate local databases; analysis queries run
 // against these stores.
+//
+// Storage is arena-backed: every string payload (serialized URL text,
+// request body, header values, taint) lives in one bump-allocated byte
+// arena per store, header names and campaign/addon labels are interned
+// (one copy per distinct spelling), and hosts get an interned pool that
+// carries the precomputed registrable domain. Flows are exposed as
+// proxy::FlowView records — fixed-width structs of string_views into
+// the arena — so analyzers scan without per-flow string ownership, and
+// serialization blits the payload bytes as one blob instead of
+// re-encoding field by field.
+//
+// View validity: arena chunks never move or shrink, so FlowViews (and
+// every string_view inside them) stay valid across Add, Append and
+// TruncateTo, for the store's whole lifetime, including after the store
+// object itself is moved. References *to* the record vector
+// (flows()[i], &flow(i)) follow the usual vector rules and are
+// invalidated by growth — take a FlowView by value to keep it.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "proxy/flow.h"
+#include "proxy/flowview.h"
+#include "util/arena.h"
 #include "util/binio.h"
 
 namespace panoptes::chaos {
@@ -25,6 +46,13 @@ class FlowStore {
   // URLs are kept). Used for the high-volume engine database, where
   // only counts, bytes and destinations feed the figures.
   explicit FlowStore(bool compact = false) : compact_(compact) {}
+
+  // Moving a store moves its arena chunks: all views remain valid.
+  // Copying is disabled — Append onto a fresh store to clone.
+  FlowStore(FlowStore&&) = default;
+  FlowStore& operator=(FlowStore&&) = default;
+  FlowStore(const FlowStore&) = delete;
+  FlowStore& operator=(const FlowStore&) = delete;
 
   void Add(Flow flow);
   void Clear();
@@ -41,6 +69,9 @@ class FlowStore {
   // never double-count traffic. Discarded flows are counted into
   // panoptes_proxy_flows_rolled_back_total so stored-flow metrics keep
   // reconciling with report totals (stored - rolled_back == final).
+  // Arena bytes of discarded flows stay allocated until Clear — views
+  // handed out earlier never dangle — and serialization writes only
+  // live flows, so the leak never reaches a snapshot.
   void TruncateTo(size_t size);
 
   // Appends a copy of every flow in `other`, preserving order. Used to
@@ -48,23 +79,40 @@ class FlowStore {
   // copied verbatim: compaction is a capture-time decision, so a merge
   // must never strip headers/bodies that the source store kept (nor
   // can it restore what the source already dropped). Self-append is
-  // well-defined and duplicates the store in place.
+  // well-defined and duplicates the store in place (records alias the
+  // already-arena'd payload bytes; nothing is re-copied).
   void Append(const FlowStore& other);
 
-  // Binary round trip for the job-snapshot format. Serializes the
-  // compaction flag, the dropped-write count and every flow verbatim;
-  // Deserialize returns nullptr on truncation or corruption. Restored
-  // flows never re-enter the stored-flows metric (they were counted at
-  // first capture, in the run that produced the snapshot).
+  // Binary round trip for the job-snapshot format (schema v3 payload).
+  // Writes the compaction flag, the dropped-write count, the interned
+  // name/label pools actually referenced by live flows (in first-
+  // reference order, so a store that was truncated serializes exactly
+  // like one that never held the discarded flows) and one payload blob
+  // plus fixed-width records. Deserialize recognizes the v3 tag byte
+  // and reconstructs views over a single blob copy — the near-zero-copy
+  // path — while first bytes 0/1 (the legacy leading `compact` Bool)
+  // route v2 snapshots through the per-flow copy path. Returns nullptr
+  // on truncation or corruption. Restored flows never re-enter the
+  // stored-flows metric (they were counted at first capture, in the
+  // run that produced the snapshot).
   void SerializeTo(util::BinWriter& out) const;
   static std::unique_ptr<FlowStore> Deserialize(util::BinReader& in);
 
-  void Reserve(size_t capacity) { flows_.reserve(capacity); }
+  void Reserve(size_t capacity) { recs_.reserve(capacity); }
 
-  const std::vector<Flow>& flows() const { return flows_; }
-  const Flow& flow(size_t i) const { return flows_[i]; }
-  size_t size() const { return flows_.size(); }
-  bool empty() const { return flows_.empty(); }
+  const std::vector<FlowView>& flows() const { return recs_; }
+  const FlowView& flow(size_t i) const { return recs_[i]; }
+  size_t size() const { return recs_.size(); }
+  bool empty() const { return recs_.empty(); }
+
+  // Interned host pool, first-appearance order; FlowView::host_id
+  // indexes it. The registrable domain is computed once per distinct
+  // host instead of once per flow.
+  struct HostEntry {
+    std::string_view host;  // view into the first referencing URL
+    std::string domain;     // net::RegistrableDomain(host)
+  };
+  const std::vector<HostEntry>& hosts() const { return hosts_; }
 
   // Total request + response wire bytes across stored flows.
   uint64_t TotalBytes() const;
@@ -74,21 +122,38 @@ class FlowStore {
   std::set<std::string> DistinctHosts() const;
   std::set<std::string> DistinctDomains() const;
 
-  std::vector<const Flow*> Where(
-      const std::function<bool(const Flow&)>& predicate) const;
+  std::vector<FlowView> Where(
+      const std::function<bool(const FlowView&)>& predicate) const;
 
-  std::vector<const Flow*> ToHost(std::string_view host) const;
-  std::vector<const Flow*> ToDomain(std::string_view domain) const;
+  std::vector<FlowView> ToHost(std::string_view host) const;
+  std::vector<FlowView> ToDomain(std::string_view domain) const;
 
  private:
   // Add without the stored-flows counter (Append re-stores copies that
   // were already counted when first captured).
-  void AddUncounted(Flow flow);
+  void AddUncounted(const Flow& flow);
+  // Copies `flow` into the arena and appends its record. Compaction is
+  // decided by the caller: restored/merged flows keep exactly what
+  // their capture-time policy kept.
+  void StoreFlow(const Flow& flow, bool keep_headers_and_body);
+  // Cross-store Append of one record (payload bytes re-arena'd here).
+  void StoreRec(const FlowView& rec);
+
+  uint32_t InternHost(std::string_view host);
+  std::string_view InternLabel(std::string_view label);
+  std::string_view InternHeaderName(std::string_view name);
 
   bool compact_;
   chaos::Injector* chaos_ = nullptr;
   uint64_t dropped_writes_ = 0;
-  std::vector<Flow> flows_;
+
+  util::Arena arena_;  // every string payload and HeaderView array
+  std::vector<FlowView> recs_;
+
+  std::vector<HostEntry> hosts_;
+  std::map<std::string_view, uint32_t> host_ids_;
+  std::map<std::string_view, uint32_t> label_ids_;
+  std::map<std::string_view, uint32_t> header_name_ids_;
 };
 
 }  // namespace panoptes::proxy

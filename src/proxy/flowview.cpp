@@ -1,0 +1,69 @@
+#include "proxy/flowview.h"
+
+#include "util/strings.h"
+
+namespace panoptes::proxy {
+
+std::optional<std::string> HeadersView::Get(std::string_view name) const {
+  if (auto view = GetView(name)) return std::string(*view);
+  return std::nullopt;
+}
+
+std::optional<std::string_view> HeadersView::GetView(
+    std::string_view name) const {
+  for (const auto& [entry_name, value] : entries()) {
+    if (util::EqualsIgnoreCase(entry_name, name)) {
+      return value;
+    }
+  }
+  return std::nullopt;
+}
+
+bool HeadersView::Has(std::string_view name) const {
+  for (const auto& [entry_name, value] : entries()) {
+    (void)value;
+    if (util::EqualsIgnoreCase(entry_name, name)) return true;
+  }
+  return false;
+}
+
+size_t HeadersView::WireSize() const {
+  size_t total = 0;
+  for (const auto& [name, value] : entries()) {
+    total += name.size() + value.size() + 4;  // ": " and "\r\n"
+  }
+  return total;
+}
+
+net::HttpHeaders HeadersView::Materialize() const {
+  net::HttpHeaders out;
+  for (const auto& [name, value] : entries()) {
+    out.Add(name, value);
+  }
+  return out;
+}
+
+Flow FlowView::Materialize() const {
+  Flow flow;
+  flow.id = id;
+  flow.time = time;
+  flow.browser = std::string(browser);
+  flow.app_uid = app_uid;
+  flow.method = method;
+  if (!url.text().empty()) flow.url = url.ToUrl();
+  flow.request_headers = request_headers.Materialize();
+  flow.request_body = std::string(request_body);
+  flow.response_status = response_status;
+  flow.request_bytes = request_bytes;
+  flow.response_bytes = response_bytes;
+  flow.server_ip = server_ip;
+  flow.version = version;
+  flow.origin = origin;
+  flow.taint = std::string(taint);
+  flow.blocked = blocked;
+  flow.blocked_by = std::string(blocked_by);
+  flow.fault_injected = fault_injected;
+  return flow;
+}
+
+}  // namespace panoptes::proxy

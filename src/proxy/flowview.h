@@ -1,0 +1,93 @@
+// Non-owning views over flows stored in an arena-backed FlowStore.
+//
+// A FlowView mirrors proxy::Flow member for member, but every string
+// field is a std::string_view into the store's byte arena and the URL is
+// a net::UrlView over the serialized URL text. Arena bytes are
+// address-stable for the store's lifetime (growth never moves chunks,
+// TruncateTo never frees them, moving the store moves the chunks with
+// it), so a FlowView taken from a store stays readable across later
+// Add/Append calls — the property the arena FlowStore ASan test pins.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "net/http.h"
+#include "net/ip.h"
+#include "net/url.h"
+#include "proxy/flow.h"
+#include "util/clock.h"
+
+namespace panoptes::proxy {
+
+// One request header. Names are interned per store (one copy per
+// distinct spelling); values are stored verbatim.
+struct HeaderView {
+  std::string_view name;
+  std::string_view value;
+};
+
+// View counterpart of net::HttpHeaders: same ordered, case-insensitive
+// access over a header slice in the store's header arena.
+class HeadersView {
+ public:
+  HeadersView() = default;
+  HeadersView(const HeaderView* data, size_t count)
+      : data_(data), count_(count) {}
+
+  std::span<const HeaderView> entries() const { return {data_, count_}; }
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  // First value for `name`, case-insensitively (HttpHeaders::Get).
+  std::optional<std::string> Get(std::string_view name) const;
+  // Same lookup without copying the value out of the arena.
+  std::optional<std::string_view> GetView(std::string_view name) const;
+  bool Has(std::string_view name) const;
+
+  // Total bytes these headers occupy on the wire ("name: value\r\n").
+  size_t WireSize() const;
+
+  // Owning copy, order preserved.
+  net::HttpHeaders Materialize() const;
+
+ private:
+  const HeaderView* data_ = nullptr;
+  size_t count_ = 0;
+};
+
+struct FlowView {
+  uint64_t id = 0;
+  util::SimTime time;
+  std::string_view browser;  // interned campaign label
+  int app_uid = -1;
+  net::HttpMethod method = net::HttpMethod::kGet;
+  net::UrlView url;
+  HeadersView request_headers;
+  std::string_view request_body;
+  int response_status = 0;
+  size_t request_bytes = 0;
+  size_t response_bytes = 0;
+  net::IpAddress server_ip;
+  net::HttpVersion version = net::HttpVersion::kHttp11;
+  TrafficOrigin origin = TrafficOrigin::kUnknown;
+  std::string_view taint;
+  bool blocked = false;
+  std::string_view blocked_by;  // interned addon/rule label
+  bool fault_injected = false;
+
+  // Id into the owning store's interned host pool (FlowStore::hosts()),
+  // which carries the precomputed registrable domain per distinct host.
+  uint32_t host_id = 0;
+
+  std::string_view Host() const { return url.host(); }
+
+  // Owning deep copy, for callers that outlive the backing store.
+  Flow Materialize() const;
+};
+
+}  // namespace panoptes::proxy

@@ -7,22 +7,22 @@ namespace panoptes::proxy {
 
 namespace {
 
-util::Json EntryFor(const Flow& flow) {
+util::Json EntryFor(const FlowView& flow) {
   util::JsonObject request;
   request["method"] = std::string(net::MethodName(flow.method));
-  request["url"] = flow.url.Serialize();
+  request["url"] = std::string(flow.url.text());
   util::JsonArray headers;
   for (const auto& [name, value] : flow.request_headers.entries()) {
     util::JsonObject header;
-    header["name"] = name;
-    header["value"] = value;
+    header["name"] = std::string(name);
+    header["value"] = std::string(value);
     headers.push_back(util::Json(std::move(header)));
   }
   request["headers"] = std::move(headers);
   if (!flow.request_body.empty()) {
     util::JsonObject post_data;
     post_data["mimeType"] = "application/json";
-    post_data["text"] = flow.request_body;
+    post_data["text"] = std::string(flow.request_body);
     request["postData"] = std::move(post_data);
   }
 
@@ -35,13 +35,13 @@ util::Json EntryFor(const Flow& flow) {
   entry["request"] = std::move(request);
   entry["response"] = std::move(response);
   entry["_id"] = static_cast<int64_t>(flow.id);
-  entry["_browser"] = flow.browser;
+  entry["_browser"] = std::string(flow.browser);
   entry["_appUid"] = flow.app_uid;
   entry["_origin"] = std::string(TrafficOriginName(flow.origin));
   entry["_serverIp"] = flow.server_ip.ToString();
   entry["_requestBytes"] = static_cast<int64_t>(flow.request_bytes);
   entry["_timeMillis"] = static_cast<int64_t>(flow.time.millis);
-  if (!flow.taint.empty()) entry["_taint"] = flow.taint;
+  if (!flow.taint.empty()) entry["_taint"] = std::string(flow.taint);
   return util::Json(std::move(entry));
 }
 

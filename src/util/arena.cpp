@@ -1,0 +1,70 @@
+#include "util/arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace panoptes::util {
+
+namespace {
+// Chunks stop doubling here: one oversized store must not hold
+// gigabyte chunks mostly empty.
+constexpr size_t kMaxChunk = size_t{1} << 22;  // 4 MiB
+}  // namespace
+
+void Arena::AddChunk(size_t at_least) {
+  size_t cap = chunks_.empty()
+                   ? min_chunk_
+                   : std::min(chunks_.back().cap * 2, kMaxChunk);
+  cap = std::max(cap, at_least);
+  Chunk chunk;
+  chunk.data = std::make_unique<char[]>(cap);
+  chunk.cap = cap;
+  reserved_ += cap;
+  chunks_.push_back(std::move(chunk));
+}
+
+char* Arena::Alloc(size_t n) {
+  if (chunks_.empty() || chunks_.back().used + n > chunks_.back().cap) {
+    AddChunk(n);
+  }
+  Chunk& chunk = chunks_.back();
+  char* out = chunk.data.get() + chunk.used;
+  chunk.used += n;
+  used_ += n;
+  return out;
+}
+
+char* Arena::AllocAligned(size_t n, size_t align) {
+  if (!chunks_.empty()) {
+    Chunk& chunk = chunks_.back();
+    size_t aligned = (chunk.used + align - 1) & ~(align - 1);
+    if (aligned + n <= chunk.cap) {
+      chunk.used = aligned;
+      char* out = chunk.data.get() + chunk.used;
+      chunk.used += n;
+      used_ += n;
+      return out;
+    }
+  }
+  // A fresh chunk is malloc'd, hence aligned for any fundamental type.
+  AddChunk(n);
+  Chunk& chunk = chunks_.back();
+  char* out = chunk.data.get();
+  chunk.used = n;
+  used_ += n;
+  return out;
+}
+
+std::string_view Arena::Copy(std::string_view bytes) {
+  char* out = Alloc(bytes.size());
+  if (!bytes.empty()) std::memcpy(out, bytes.data(), bytes.size());
+  return std::string_view(out, bytes.size());
+}
+
+void Arena::Clear() {
+  chunks_.clear();
+  used_ = 0;
+  reserved_ = 0;
+}
+
+}  // namespace panoptes::util

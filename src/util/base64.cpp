@@ -70,6 +70,13 @@ std::optional<std::string> Base64Decode(std::string_view data) {
   while (!data.empty() && data.back() == '=') data.remove_suffix(1);
   if (data.size() % 4 == 1) return std::nullopt;
 
+  // Validate before allocating: callers probe arbitrary query values,
+  // so the common outcome is rejection and the output buffer would be
+  // a wasted malloc.
+  for (char c : data) {
+    if (DecodeChar(c) < 0) return std::nullopt;
+  }
+
   std::string out;
   out.reserve(data.size() / 4 * 3 + 3);
   uint32_t acc = 0;

@@ -27,6 +27,9 @@ class BinWriter {
   void F64(double v);
   // u32 byte length + raw bytes.
   void Str(std::string_view s);
+  // Raw bytes, no length prefix — for blob payloads whose framing the
+  // caller encodes separately (the arena FlowStore blits).
+  void Raw(std::string_view bytes) { out_.append(bytes.data(), bytes.size()); }
 
   const std::string& data() const { return out_; }
   std::string Take() { return std::move(out_); }
@@ -48,6 +51,9 @@ class BinReader {
   int64_t I64() { return static_cast<int64_t>(U64()); }
   double F64();
   std::string Str();
+  // `n` raw bytes as a view into the underlying buffer (valid while the
+  // buffer lives); empty + poisoned on underflow.
+  std::string_view Raw(size_t n) { return Bytes(n); }
 
   bool ok() const { return ok_; }
   bool AtEnd() const { return pos_ == data_.size(); }

@@ -1,0 +1,155 @@
+#include "util/multiscan.h"
+
+#include <algorithm>
+
+namespace panoptes::util {
+
+MultiScan::MultiScan(std::vector<std::string> patterns, bool fold_ascii_case)
+    : patterns_(std::move(patterns)), fold_(fold_ascii_case) {
+  // Build trie with pooled storage: per node only the head of an edge
+  // chain; edges and terminal (node, pattern) pairs live in two flat
+  // vectors reserved once. Building a thousand-node automaton this way
+  // costs a handful of allocations instead of a few per node.
+  struct Edge {
+    uint8_t byte;
+    uint32_t target;
+    int32_t next;  // next edge of the same source node, -1 at chain end
+  };
+  size_t total_bytes = 1;
+  for (const auto& pattern : patterns_) total_bytes += pattern.size();
+  std::vector<int32_t> edge_head;  // per node: first edge or -1
+  edge_head.reserve(total_bytes);
+  edge_head.push_back(-1);
+  std::vector<Edge> edges;
+  edges.reserve(total_bytes - 1);
+  std::vector<std::pair<uint32_t, uint32_t>> terminals;  // (node, pattern)
+  terminals.reserve(patterns_.size());
+
+  auto find_kid = [&](uint32_t node, uint8_t c) -> uint32_t {
+    for (int32_t e = edge_head[node]; e >= 0; e = edges[e].next) {
+      if (edges[e].byte == c) return edges[e].target;
+    }
+    return 0;
+  };
+
+  for (uint32_t id = 0; id < patterns_.size(); ++id) {
+    const std::string& pattern = patterns_[id];
+    if (pattern.empty()) {
+      empty_patterns_.push_back(id);
+      continue;
+    }
+    uint32_t state = 0;
+    for (char ch : pattern) {
+      uint8_t c = static_cast<uint8_t>(ch);
+      uint32_t next = find_kid(state, c);
+      if (next == 0) {
+        next = static_cast<uint32_t>(edge_head.size());
+        edges.push_back(Edge{c, next, edge_head[state]});
+        edge_head[state] = static_cast<int32_t>(edges.size() - 1);
+        edge_head.push_back(-1);
+      }
+      state = next;
+    }
+    terminals.emplace_back(state, id);
+  }
+  node_count_ = static_cast<uint32_t>(edge_head.size());
+
+  // Failure links, breadth-first: fail(child of u via c) is the state
+  // reached from fail(u) on c, which BFS order guarantees is final.
+  // The order is kept for the output-chain pass below.
+  fail_.assign(node_count_, 0);
+  std::vector<uint32_t> bfs_order;
+  bfs_order.reserve(node_count_ - 1);
+  for (int32_t e = edge_head[0]; e >= 0; e = edges[e].next) {
+    bfs_order.push_back(edges[e].target);
+  }
+  for (size_t i = 0; i < bfs_order.size(); ++i) {
+    uint32_t u = bfs_order[i];
+    for (int32_t e = edge_head[u]; e >= 0; e = edges[e].next) {
+      uint8_t c = edges[e].byte;
+      uint32_t v = edges[e].target;
+      uint32_t f = fail_[u];
+      uint32_t target = 0;
+      for (;;) {
+        target = find_kid(f, c);
+        if (target != 0 || f == 0) break;
+        f = fail_[f];
+      }
+      fail_[v] = (target == v) ? 0 : target;
+      bfs_order.push_back(v);
+    }
+  }
+
+  // Flatten into the scan-time tables. Edge chains list a node's kids
+  // in reverse insertion order; Child() probes linearly, so order is
+  // irrelevant.
+  child_begin_.assign(node_count_ + 1, 0);
+  child_keys_.resize(edges.size());
+  child_targets_.resize(edges.size());
+  uint32_t cursor = 0;
+  for (uint32_t s = 0; s < node_count_; ++s) {
+    child_begin_[s] = cursor;
+    for (int32_t e = edge_head[s]; e >= 0; e = edges[e].next) {
+      child_keys_[cursor] = edges[e].byte;
+      child_targets_[cursor] = edges[e].target;
+      ++cursor;
+    }
+  }
+  child_begin_[node_count_] = cursor;
+
+  // Stable counting sort of terminals by node: terminals were recorded
+  // in ascending pattern id, so each node's pattern list stays id-
+  // ordered (duplicate patterns report in id order).
+  pat_begin_.assign(node_count_ + 1, 0);
+  for (const auto& [node, id] : terminals) ++pat_begin_[node + 1];
+  for (uint32_t s = 0; s < node_count_; ++s) {
+    pat_begin_[s + 1] += pat_begin_[s];
+  }
+  pat_ids_.resize(terminals.size());
+  std::vector<uint32_t> fill(pat_begin_.begin(), pat_begin_.end() - 1);
+  for (const auto& [node, id] : terminals) pat_ids_[fill[node]++] = id;
+
+  // Output chains. Nodes were created in BFS-compatible order only for
+  // the trie, not for fail links, so resolve ancestors first by walking
+  // states in the BFS order recorded above.
+  out_start_.assign(node_count_, 0);
+  out_link_.assign(node_count_, 0);
+  for (uint32_t s : bfs_order) {
+    bool has_pat = pat_begin_[s + 1] > pat_begin_[s];
+    out_start_[s] = has_pat ? s : out_start_[fail_[s]];
+    if (has_pat) out_link_[s] = out_start_[fail_[s]];
+  }
+
+  // Root transition table and first-byte prefilter.
+  int distinct_starts = 0;
+  for (int32_t e = edge_head[0]; e >= 0; e = edges[e].next) {
+    root_next_[edges[e].byte] = edges[e].target;
+    root_mask_[edges[e].byte] = true;
+    if (distinct_starts < kMaxStartBytes) {
+      start_bytes_[distinct_starts] = edges[e].byte;
+    }
+    ++distinct_starts;
+  }
+  start_count_ =
+      (!fold_ && distinct_starts <= kMaxStartBytes) ? distinct_starts : 0;
+}
+
+std::vector<MultiScan::Match> MultiScan::FindAll(
+    std::string_view haystack) const {
+  std::vector<Match> out;
+  Scan(haystack, [&](uint32_t pattern, size_t end) {
+    out.push_back(Match{pattern, end});
+  });
+  return out;
+}
+
+bool MultiScan::AnyMatch(std::string_view haystack) const {
+  if (!empty_patterns_.empty()) return true;
+  bool found = false;
+  // The scan has no early exit hook; haystacks here are short enough
+  // that finishing the pass costs less than structuring an unwind.
+  Scan(haystack, [&](uint32_t, size_t) { found = true; });
+  return found;
+}
+
+}  // namespace panoptes::util

@@ -1,0 +1,167 @@
+// Multi-pattern substring search (Aho-Corasick).
+//
+// The analyzers used to probe every needle separately — the history-leak
+// detector ran |visited|×2 substring searches per candidate text, the
+// PII scanner 16 keyword probes per parameter key. A MultiScan automaton
+// is built once per analyzer configuration and finds every occurrence of
+// every pattern in a single pass over the haystack.
+//
+// Match semantics are those of the naive per-needle std::string::find
+// oracle (the differential fuzz test pins this): a pattern occurs at
+// every position where its bytes appear, duplicate patterns each report
+// their own id, and the empty pattern occurs at every position 0..n.
+// The callback order within one haystack position is
+// longest-pattern-first (the suffix-chain order); across positions it is
+// strictly increasing end offset.
+//
+// Scanning holds no mutable state, so one automaton may be shared by
+// concurrently running analyzers.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace panoptes::util {
+
+class MultiScan {
+ public:
+  struct Match {
+    uint32_t pattern = 0;
+    size_t end = 0;  // offset one past the occurrence's last byte
+  };
+
+  MultiScan() = default;
+
+  // Builds the automaton. With `fold_ascii_case`, haystack bytes are
+  // folded A-Z → a-z before matching (patterns must already be
+  // lowercase), giving util::ContainsIgnoreCase semantics for ASCII.
+  explicit MultiScan(std::vector<std::string> patterns,
+                     bool fold_ascii_case = false);
+
+  size_t pattern_count() const { return patterns_.size(); }
+  const std::string& pattern(uint32_t id) const { return patterns_[id]; }
+  bool empty() const { return patterns_.empty(); }
+
+  // Calls fn(pattern_id, end_offset) for every occurrence.
+  template <typename Fn>
+  void Scan(std::string_view haystack, Fn&& fn) const {
+    for (uint32_t id : empty_patterns_) {
+      for (size_t end = 0; end <= haystack.size(); ++end) fn(id, end);
+    }
+    if (node_count_ <= 1 || haystack.empty()) return;
+    const char* data = haystack.data();
+    const size_t n = haystack.size();
+    // First-byte prefilter: while at the root, hop straight to the next
+    // byte that can leave it. With few viable start bytes (the common
+    // case — every history-leak needle starts with 'h' or its Base64
+    // form 'a') this is a handful of memchr calls instead of a per-byte
+    // table loop. Each byte's next occurrence is cached so the combined
+    // memchr work stays linear in the haystack.
+    size_t next_start[kMaxStartBytes];
+    for (int i = 0; i < start_count_; ++i) {
+      const void* hit = std::memchr(data, start_bytes_[i], n);
+      next_start[i] =
+          hit ? static_cast<size_t>(static_cast<const char*>(hit) - data) : n;
+    }
+    uint32_t state = 0;
+    for (size_t pos = 0; pos < n; ++pos) {
+      if (state == 0) {
+        if (start_count_ > 0) {
+          size_t best = n;
+          for (int i = 0; i < start_count_; ++i) {
+            if (next_start[i] < pos) {
+              const void* hit =
+                  std::memchr(data + pos, start_bytes_[i], n - pos);
+              next_start[i] =
+                  hit ? static_cast<size_t>(static_cast<const char*>(hit) -
+                                            data)
+                      : n;
+            }
+            best = best < next_start[i] ? best : next_start[i];
+          }
+          if (best >= n) return;
+          pos = best;
+        } else {
+          while (pos < n &&
+                 !root_mask_[Fold(static_cast<uint8_t>(data[pos]))]) {
+            ++pos;
+          }
+          if (pos >= n) return;
+        }
+        state = root_next_[Fold(static_cast<uint8_t>(data[pos]))];
+      } else {
+        uint8_t c = Fold(static_cast<uint8_t>(data[pos]));
+        for (;;) {
+          uint32_t next = Child(state, c);
+          if (next != 0) {
+            state = next;
+            break;
+          }
+          state = fail_[state];
+          if (state == 0) {
+            state = root_next_[c];
+            break;
+          }
+        }
+      }
+      for (uint32_t node = out_start_[state]; node != 0;
+           node = out_link_[node]) {
+        for (uint32_t i = pat_begin_[node]; i < pat_begin_[node + 1]; ++i) {
+          fn(pat_ids_[i], pos + 1);
+        }
+      }
+    }
+  }
+
+  std::vector<Match> FindAll(std::string_view haystack) const;
+  bool AnyMatch(std::string_view haystack) const;
+
+ private:
+  uint8_t Fold(uint8_t c) const {
+    return fold_ && c >= 'A' && c <= 'Z' ? static_cast<uint8_t>(c + 32) : c;
+  }
+
+  // Transition out of a non-root node, 0 when absent. Nodes have few
+  // children; a linear scan over the sorted keys beats pointer-chasing.
+  uint32_t Child(uint32_t node, uint8_t c) const {
+    uint32_t begin = child_begin_[node];
+    uint32_t end = child_begin_[node + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      if (child_keys_[i] == c) return child_targets_[i];
+    }
+    return 0;
+  }
+
+  std::vector<std::string> patterns_;
+  std::vector<uint32_t> empty_patterns_;
+  bool fold_ = false;
+  uint32_t node_count_ = 1;
+
+  // Root transitions, dense (0 = stay at root).
+  uint32_t root_next_[256] = {};
+  bool root_mask_[256] = {};
+  // The distinct bytes patterns start with, when there are at most
+  // kMaxStartBytes of them and no folding (memchr cannot fold);
+  // start_count_ == 0 falls back to the root_mask_ loop.
+  static constexpr int kMaxStartBytes = 4;
+  uint8_t start_bytes_[kMaxStartBytes] = {};
+  int start_count_ = 0;
+
+  // Per-node tables (index 0 = root). child_begin_ and pat_begin_ carry
+  // one extra sentinel entry.
+  std::vector<uint32_t> fail_;
+  std::vector<uint32_t> child_begin_;
+  std::vector<uint8_t> child_keys_;
+  std::vector<uint32_t> child_targets_;
+  // out_start_[s]: deepest node on s's suffix chain (s included) with a
+  // pattern, 0 if none; out_link_[s]: next such node strictly above.
+  std::vector<uint32_t> out_start_;
+  std::vector<uint32_t> out_link_;
+  std::vector<uint32_t> pat_begin_;
+  std::vector<uint32_t> pat_ids_;
+};
+
+}  // namespace panoptes::util

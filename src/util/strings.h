@@ -4,12 +4,23 @@
 // owning string. Inputs are taken as std::string_view.
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace panoptes::util {
+
+// Transparent hash for unordered containers keyed by std::string but
+// probed with a string_view (C++20 heterogeneous lookup) — pair it with
+// std::equal_to<>.
+struct StringHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 // Returns `s` with ASCII uppercase letters folded to lowercase.
 std::string ToLower(std::string_view s);

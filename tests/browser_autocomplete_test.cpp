@@ -30,8 +30,8 @@ TEST_F(AutocompleteTest, TypingFiresOneQueryPerKeystroke) {
 
   auto suggests = native_store.ToHost("api.browser.yandex.ru");
   size_t with_q = 0;
-  for (const auto* flow : suggests) {
-    if (auto q = flow->url.QueryParam("q")) {
+  for (const auto& flow : suggests) {
+    if (auto q = flow.url.QueryParam("q")) {
       ++with_q;
       // Every prefix leaks, down to the first three characters.
       EXPECT_EQ(std::string("example.org").rfind(*q, 0), 0u) << *q;

@@ -98,17 +98,17 @@ TEST(Blocker, EndToEndKillsNativeTrackersKeepsPages) {
 
   // Blocked flows are recorded with 403 and never reached the server.
   size_t native_ad_ok = 0;
-  for (const auto* flow : result.native_flows->ToDomain("adnxs.com")) {
-    EXPECT_EQ(flow->response_status, 403);
-    EXPECT_TRUE(flow->blocked);
-    if (flow->response_status == 200) ++native_ad_ok;
+  for (const auto& flow : result.native_flows->ToDomain("adnxs.com")) {
+    EXPECT_EQ(flow.response_status, 403);
+    EXPECT_TRUE(flow.blocked);
+    if (flow.response_status == 200) ++native_ad_ok;
   }
   EXPECT_EQ(native_ad_ok, 0u);
 
   // Engine flows to the same ad-tech estate still succeed.
   bool engine_ad_succeeded = false;
-  for (const auto* flow : result.engine_flows->ToDomain("adnxs.com")) {
-    if (flow->response_status == 200) engine_ad_succeeded = true;
+  for (const auto& flow : result.engine_flows->ToDomain("adnxs.com")) {
+    if (flow.response_status == 200) engine_ad_succeeded = true;
   }
   EXPECT_TRUE(engine_ad_succeeded);
 
@@ -116,9 +116,9 @@ TEST(Blocker, EndToEndKillsNativeTrackersKeepsPages) {
   auto yandex_result =
       RunCrawl(framework, *browser::FindSpec("Yandex"), sites);
   EXPECT_EQ(framework.vendor_world().sba_yandex->valid_reports(), 0u);
-  for (const auto* flow :
+  for (const auto& flow :
        yandex_result.native_flows->ToHost("sba.yandex.net")) {
-    EXPECT_EQ(flow->response_status, 403);
+    EXPECT_EQ(flow.response_status, 403);
   }
 }
 

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/audit.h"
 #include "analysis/export.h"
 #include "analysis/flow_index.h"
 #include "browser/profiles.h"
@@ -185,6 +186,81 @@ TEST(Determinism, WarmCacheRunMatchesColdByteForByte) {
             analysis::FleetSummaryCsv(merged_warm));
 
   fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel analyzer battery determinism: AuditBrowser schedules its
+// analyzers through analysis::AnalysisBattery, and the battery's
+// contract is that the worker count is a pure wall-clock knob. Pin it
+// on every artifact shape a battery result reaches — the Markdown
+// report, the CSV exports, and a canonical JSON rendering — at jobs 1
+// (the serial reference schedule) vs 8.
+// ---------------------------------------------------------------------------
+
+analysis::BrowserAuditReport AuditAtJobs(int analysis_jobs) {
+  FrameworkOptions options;
+  options.seed = kPaperSeed;
+  options.catalog.popular_count = 5;
+  options.catalog.sensitive_count = 3;
+  Framework framework(options);
+  std::vector<const web::Site*> sites;
+  for (const auto& site : framework.catalog().sites()) sites.push_back(&site);
+  auto hosts_list = analysis::HostsList::Default();
+  analysis::GeoIpDb geo(framework.geo_plan().ranges());
+  return analysis::AuditBrowser(framework, *browser::FindSpec("Yandex"),
+                                sites, hosts_list, geo, analysis_jobs);
+}
+
+// Canonical JSON over every report field the battery tasks write, so a
+// scheduling bug in ANY task breaks byte equality, not just the fields
+// the Markdown renderer happens to print.
+std::string AuditJson(const analysis::BrowserAuditReport& report) {
+  util::JsonObject object;
+  object["browser"] = report.browser;
+  object["native_requests"] = report.requests.native_requests;
+  object["engine_requests"] = report.requests.engine_requests;
+  object["native_ratio"] = report.requests.native_ratio;
+  object["native_extra_fraction"] = report.volume.native_extra_fraction;
+  object["distinct_hosts"] = report.domains.distinct_hosts;
+  object["ad_related_hosts"] = report.domains.ad_related_hosts;
+  object["pii_leaks"] = report.pii.LeakCount();
+  object["referer_leaking_requests"] = report.referer.leaking_requests;
+  util::JsonArray leaks;
+  for (const auto* findings : {&report.native_leaks, &report.engine_leaks}) {
+    for (const auto& leak : *findings) {
+      util::JsonObject entry;
+      entry["host"] = leak.destination_host;
+      entry["encoding"] = leak.encoding;
+      entry["reports"] = static_cast<uint64_t>(leak.report_count);
+      leaks.push_back(std::move(entry));
+    }
+  }
+  object["history_leaks"] = std::move(leaks);
+  util::JsonArray countries;
+  for (const auto& share : report.countries) {
+    util::JsonObject entry;
+    entry["code"] = share.country_code;
+    entry["flows"] = static_cast<uint64_t>(share.flows);
+    countries.push_back(std::move(entry));
+  }
+  object["countries"] = std::move(countries);
+  return util::Json(std::move(object)).Dump();
+}
+
+TEST(Determinism, AuditBatteryInvariantUnderAnalysisJobs) {
+  auto serial = AuditAtJobs(1);
+  auto parallel = AuditAtJobs(8);
+
+  // Report, CSV and JSON artifacts, all byte-identical.
+  EXPECT_EQ(analysis::RenderAuditMarkdown({serial}),
+            analysis::RenderAuditMarkdown({parallel}));
+  EXPECT_EQ(analysis::RequestStatsCsv({serial.requests}),
+            analysis::RequestStatsCsv({parallel.requests}));
+  EXPECT_EQ(analysis::VolumeStatsCsv({serial.volume}),
+            analysis::VolumeStatsCsv({parallel.volume}));
+  EXPECT_EQ(analysis::DomainStatsCsv({serial.domains}),
+            analysis::DomainStatsCsv({parallel.domains}));
+  EXPECT_EQ(AuditJson(serial), AuditJson(parallel));
 }
 
 }  // namespace

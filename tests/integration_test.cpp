@@ -228,8 +228,8 @@ TEST(Integration, IncognitoDoesNotStopNativeLeaks) {
   EXPECT_TRUE(result.incognito_effective);
   // Bing still received every domain.
   size_t bing_reports = 0;
-  for (const auto* flow : result.native_flows->ToHost("www.bing.com")) {
-    if (flow->url.path() == "/api/v1/visited") ++bing_reports;
+  for (const auto& flow : result.native_flows->ToHost("www.bing.com")) {
+    if (flow.url.path() == "/api/v1/visited") ++bing_reports;
   }
   EXPECT_EQ(bing_reports, sites.size());
 }
@@ -255,13 +255,13 @@ TEST(Integration, UcInjectionRidesEngineTraffic) {
 
   auto beacons = result.engine_flows->ToHost("u.ucweb.com");
   size_t collect = 0;
-  for (const auto* flow : beacons) {
-    if (flow->url.path() == "/collect") ++collect;
+  for (const auto& flow : beacons) {
+    if (flow.url.path() == "/collect") ++collect;
   }
   EXPECT_EQ(collect, sites.size());
   // And not a single /collect in the native store.
-  for (const auto* flow : result.native_flows->ToHost("u.ucweb.com")) {
-    EXPECT_NE(flow->url.path(), "/collect");
+  for (const auto& flow : result.native_flows->ToHost("u.ucweb.com")) {
+    EXPECT_NE(flow.url.path(), "/collect");
   }
 }
 

@@ -1,0 +1,207 @@
+// Property tests for the arena-backed FlowStore (schema v3 payload).
+//
+// The arena rewrite makes three promises that plain unit tests of the
+// query API cannot falsify: (1) Serialize → Deserialize → Append is a
+// verbatim round trip, flow for flow, against owning deep copies taken
+// before the store was touched; (2) self-Append duplicates the store in
+// place; (3) TruncateTo discards records without freeing payload bytes,
+// keeping stored − rolled_back == final size AND keeping previously
+// handed-out views readable. Every view dereference here runs under
+// the CI ASan job, so a dangling string_view into a moved/freed arena
+// chunk is a hard failure, not a silent flake.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "proxy/flowstore.h"
+#include "util/binio.h"
+
+namespace panoptes::proxy {
+namespace {
+
+Flow MakeFlow(uint64_t id, const std::string& url) {
+  Flow flow;
+  flow.id = id;
+  flow.time.millis = 1000 + id;
+  flow.url = net::Url::MustParse(url);
+  flow.browser = (id % 2 == 0) ? "Yandex" : "Opera";
+  flow.request_headers.Add("User-Agent", "panoptes/" + std::to_string(id));
+  flow.request_headers.Add("X-Probe", std::string(32 + id % 64, 'p'));
+  flow.request_body = "body-" + std::to_string(id) + "-" +
+                      std::string(id % 128, 'b');
+  flow.request_bytes = 100 + id;
+  flow.response_bytes = 200 + id;
+  flow.response_status = 200;
+  flow.taint = (id % 3 == 0) ? "engine-inject" : "";
+  return flow;
+}
+
+void ExpectViewEqualsFlow(const FlowView& view, const Flow& expected) {
+  EXPECT_EQ(view.id, expected.id);
+  EXPECT_EQ(view.time.millis, expected.time.millis);
+  EXPECT_EQ(view.browser, expected.browser);
+  EXPECT_EQ(view.url.Serialize(), expected.url.Serialize());
+  EXPECT_EQ(view.request_body, expected.request_body);
+  EXPECT_EQ(view.request_bytes, expected.request_bytes);
+  EXPECT_EQ(view.response_bytes, expected.response_bytes);
+  EXPECT_EQ(view.taint, expected.taint);
+  ASSERT_EQ(view.request_headers.size(), expected.request_headers.size());
+  auto entries = view.request_headers.entries();
+  for (size_t h = 0; h < entries.size(); ++h) {
+    EXPECT_EQ(entries[h].name, expected.request_headers.entries()[h].first);
+    EXPECT_EQ(entries[h].value, expected.request_headers.entries()[h].second);
+  }
+}
+
+// Serialize → Deserialize → Append must reproduce the original flows
+// verbatim, compared against owning deep copies (Materialize) taken
+// before any of the three steps ran — so the comparison cannot be
+// fooled by two stores aliasing the same (possibly wrong) arena bytes.
+TEST(FlowStoreArena, SerializeDeserializeAppendRoundTripsDeepCopies) {
+  FlowStore original;
+  for (uint64_t i = 0; i < 64; ++i) {
+    original.Add(MakeFlow(i, "https://h" + std::to_string(i % 7) +
+                                 ".example.com/p/" + std::to_string(i) +
+                                 "?id=" + std::to_string(i * 31)));
+  }
+  std::vector<Flow> expected;
+  for (const FlowView& view : original.flows()) {
+    expected.push_back(view.Materialize());
+  }
+
+  util::BinWriter out;
+  original.SerializeTo(out);
+  std::string bytes = out.Take();
+
+  util::BinReader in(bytes);
+  auto decoded = FlowStore::Deserialize(in);
+  ASSERT_NE(decoded, nullptr);
+  ASSERT_EQ(decoded->size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ExpectViewEqualsFlow(decoded->flows()[i], expected[i]);
+  }
+
+  // The decoded store's views live in ITS arena: appending it onto a
+  // fresh store re-copies every payload byte again.
+  FlowStore merged;
+  merged.Append(*decoded);
+  decoded.reset();  // merged must not alias the decoded store's arena
+  ASSERT_EQ(merged.size(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ExpectViewEqualsFlow(merged.flows()[i], expected[i]);
+  }
+
+  // And the round trip is byte-stable: re-serializing the merged store
+  // yields the exact original encoding.
+  util::BinWriter again;
+  merged.SerializeTo(again);
+  EXPECT_EQ(again.Take(), bytes);
+}
+
+// Self-append duplicates the store in place; views taken before the
+// append still read the original bytes afterwards (records alias the
+// already-arena'd payloads, nothing moves).
+TEST(FlowStoreArena, SelfAppendDuplicatesAndPreservesViews) {
+  FlowStore store;
+  for (uint64_t i = 0; i < 50; ++i) {
+    store.Add(MakeFlow(i, "https://dup.example.com/" + std::to_string(i)));
+  }
+  std::vector<FlowView> before(store.flows().begin(), store.flows().end());
+  std::vector<Flow> expected;
+  for (const FlowView& view : before) expected.push_back(view.Materialize());
+
+  store.Append(store);
+  ASSERT_EQ(store.size(), 100u);
+  for (size_t i = 0; i < 50; ++i) {
+    ExpectViewEqualsFlow(store.flows()[i], expected[i]);
+    ExpectViewEqualsFlow(store.flows()[i + 50], expected[i]);
+    // The by-value views from before the append are still readable.
+    ExpectViewEqualsFlow(before[i], expected[i]);
+  }
+}
+
+// TruncateTo must keep the metric reconciliation invariant
+// stored − rolled_back == final size, and must not free the payload
+// bytes of discarded flows: views handed out before the rollback stay
+// readable (ASan would catch the use-after-free otherwise).
+TEST(FlowStoreArena, TruncateToReconcilesMetricsAndKeepsViewsAlive) {
+  obs::Counter& stored = obs::MetricsRegistry::Default().GetCounter(
+      "panoptes_proxy_flows_stored_total");
+  obs::Counter& rolled_back = obs::MetricsRegistry::Default().GetCounter(
+      "panoptes_proxy_flows_rolled_back_total");
+  uint64_t stored_before = stored.Value();
+  uint64_t rolled_back_before = rolled_back.Value();
+
+  FlowStore store;
+  for (uint64_t i = 0; i < 30; ++i) {
+    store.Add(MakeFlow(i, "https://trunc.example.com/" + std::to_string(i)));
+  }
+  // Views into the soon-to-be-discarded tail.
+  FlowView doomed = store.flow(25);
+  Flow doomed_copy = doomed.Materialize();
+
+  store.TruncateTo(10);
+  ASSERT_EQ(store.size(), 10u);
+  EXPECT_EQ(stored.Value() - stored_before, 30u);
+  EXPECT_EQ(rolled_back.Value() - rolled_back_before, 20u);
+  EXPECT_EQ((stored.Value() - stored_before) -
+                (rolled_back.Value() - rolled_back_before),
+            store.size());
+
+  // The discarded flow's bytes are still alive in the arena.
+  ExpectViewEqualsFlow(doomed, doomed_copy);
+
+  // A second rollback on top composes; truncating to a larger size is
+  // a no-op and counts nothing.
+  store.TruncateTo(10);
+  EXPECT_EQ(rolled_back.Value() - rolled_back_before, 20u);
+  store.TruncateTo(4);
+  EXPECT_EQ(rolled_back.Value() - rolled_back_before, 26u);
+  EXPECT_EQ((stored.Value() - stored_before) -
+                (rolled_back.Value() - rolled_back_before),
+            store.size());
+
+  // Serialization writes only live flows: a truncated store encodes
+  // exactly like one that never held the discarded records.
+  FlowStore fresh;
+  for (uint64_t i = 0; i < 4; ++i) {
+    fresh.Add(MakeFlow(i, "https://trunc.example.com/" + std::to_string(i)));
+  }
+  util::BinWriter truncated_out;
+  store.SerializeTo(truncated_out);
+  util::BinWriter fresh_out;
+  fresh.SerializeTo(fresh_out);
+  EXPECT_EQ(truncated_out.Take(), fresh_out.Take());
+}
+
+// Views taken early never dangle across arena growth: force many chunk
+// allocations with large payloads after capturing views, then read the
+// early views back. Growth appends chunks — it never moves or frees
+// the bytes earlier views point into.
+TEST(FlowStoreArena, ViewsSurviveArenaGrowthAndStoreMove) {
+  FlowStore store;
+  store.Add(MakeFlow(0, "https://first.example.com/pinned?k=v"));
+  FlowView first = store.flow(0);
+  Flow first_copy = first.Materialize();
+
+  // ~4 MiB of payload across many flows — far past any initial chunk.
+  for (uint64_t i = 1; i <= 256; ++i) {
+    Flow big = MakeFlow(i, "https://grow.example.com/" + std::to_string(i));
+    big.request_body = std::string(16 * 1024, static_cast<char>('a' + i % 26));
+    store.Add(big);
+  }
+  ExpectViewEqualsFlow(first, first_copy);
+  ExpectViewEqualsFlow(store.flow(0), first_copy);
+
+  // Moving the store moves its arena chunks; every view stays valid.
+  FlowStore moved = std::move(store);
+  ExpectViewEqualsFlow(first, first_copy);
+  ExpectViewEqualsFlow(moved.flow(0), first_copy);
+  ASSERT_EQ(moved.size(), 257u);
+  EXPECT_EQ(moved.flow(256).request_body.size(), 16u * 1024);
+}
+
+}  // namespace
+}  // namespace panoptes::proxy

@@ -60,7 +60,7 @@ TEST(Har, RoundTripPreservesEverything) {
   ASSERT_TRUE(imported.has_value());
   ASSERT_EQ(imported->size(), 2u);
 
-  const Flow& a = imported->flows()[0];
+  const FlowView& a = imported->flows()[0];
   EXPECT_EQ(a.id, 1u);
   EXPECT_EQ(a.browser, "Yandex");
   EXPECT_EQ(a.app_uid, 10053);
@@ -76,7 +76,7 @@ TEST(Har, RoundTripPreservesEverything) {
   EXPECT_EQ(a.origin, TrafficOrigin::kNative);
   EXPECT_EQ(a.time.millis, 1683849600001LL);
 
-  const Flow& b = imported->flows()[1];
+  const FlowView& b = imported->flows()[1];
   EXPECT_EQ(b.origin, TrafficOrigin::kEngine);
   EXPECT_EQ(b.taint, "cdp-abcdef");
 

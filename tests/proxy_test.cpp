@@ -56,7 +56,7 @@ TEST(FlowStore, QueriesByHostAndDomain) {
   EXPECT_EQ(store.ToDomain("yandex.ru").size(), 1u);
   EXPECT_TRUE(store.ToHost("other.com").empty());
   EXPECT_EQ(store
-                .Where([](const Flow& flow) {
+                .Where([](const FlowView& flow) {
                   return flow.url.path() == "/track";
                 })
                 .size(),
@@ -151,7 +151,7 @@ TEST(FlowStore, BinaryRoundTripPreservesEverything) {
   ASSERT_NE(restored, nullptr);
   EXPECT_TRUE(in.AtEnd());
   ASSERT_EQ(restored->size(), 2u);
-  const Flow& back = restored->flows()[0];
+  const FlowView& back = restored->flows()[0];
   EXPECT_EQ(back.id, 7u);
   EXPECT_EQ(back.time.millis, 123456);
   EXPECT_EQ(back.browser, "Yandex");

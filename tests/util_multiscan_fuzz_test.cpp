@@ -1,0 +1,239 @@
+// Differential fuzz for util::MultiScan: on seeded random inputs, the
+// automaton's match set must equal a naive per-needle std::string::find
+// oracle, byte for byte. Haystacks cover raw binary, UTF-8 text,
+// needles straddling chunk concatenation boundaries, overlapping and
+// nested needles, and the degenerate empty / one-byte needles. The
+// suite runs in the ASan/UBSan matrix, where a mis-sized table or
+// out-of-range transition turns into a hard failure instead of a
+// silently wrong report.
+#include "util/multiscan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace panoptes::util {
+namespace {
+
+// Every (pattern, end) occurrence per the oracle: position-by-position
+// std::string::find, the semantics MultiScan documents.
+std::vector<MultiScan::Match> NaiveFindAll(
+    const std::vector<std::string>& patterns, std::string_view haystack) {
+  std::vector<MultiScan::Match> out;
+  for (uint32_t id = 0; id < patterns.size(); ++id) {
+    const std::string& needle = patterns[id];
+    if (needle.empty()) {
+      for (size_t end = 0; end <= haystack.size(); ++end) {
+        out.push_back({id, end});
+      }
+      continue;
+    }
+    size_t pos = haystack.find(needle);
+    while (pos != std::string_view::npos) {
+      out.push_back({id, pos + needle.size()});
+      pos = haystack.find(needle, pos + 1);
+    }
+  }
+  return out;
+}
+
+void SortMatches(std::vector<MultiScan::Match>& matches) {
+  std::sort(matches.begin(), matches.end(),
+            [](const MultiScan::Match& a, const MultiScan::Match& b) {
+              return a.end != b.end ? a.end < b.end : a.pattern < b.pattern;
+            });
+}
+
+void ExpectIdentical(const std::vector<std::string>& patterns,
+                     std::string_view haystack) {
+  MultiScan scan(patterns);
+  auto got = scan.FindAll(haystack);
+  auto want = NaiveFindAll(patterns, haystack);
+  SortMatches(got);
+  SortMatches(want);
+  ASSERT_EQ(got.size(), want.size())
+      << "haystack size " << haystack.size() << ", " << patterns.size()
+      << " patterns";
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].pattern, want[i].pattern) << "match " << i;
+    EXPECT_EQ(got[i].end, want[i].end) << "match " << i;
+  }
+}
+
+std::string RandomBinary(Rng& rng, size_t length) {
+  std::string out(length, '\0');
+  for (char& c : out) {
+    c = static_cast<char>(rng.NextBelow(256));
+  }
+  return out;
+}
+
+// Small-alphabet text maximizes accidental overlaps, the regime where
+// failure links actually get exercised.
+std::string RandomNarrow(Rng& rng, size_t length) {
+  static constexpr char kAlphabet[] = "abAB/=%.";
+  std::string out(length, '\0');
+  for (char& c : out) {
+    c = kAlphabet[rng.NextBelow(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+std::string RandomUtf8(Rng& rng, size_t code_points) {
+  std::string out;
+  for (size_t i = 0; i < code_points; ++i) {
+    switch (rng.NextBelow(3)) {
+      case 0:
+        out.push_back(static_cast<char>('a' + rng.NextBelow(26)));
+        break;
+      case 1: {  // two-byte: U+00A0..U+07FF region
+        uint32_t cp = 0xA0 + static_cast<uint32_t>(rng.NextBelow(0x700));
+        out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        break;
+      }
+      default: {  // three-byte: CJK block
+        uint32_t cp = 0x4E00 + static_cast<uint32_t>(rng.NextBelow(0x1000));
+        out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+        out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+        out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+TEST(MultiScanFuzz, RandomBinaryHaystacks) {
+  Rng rng(0x6d736e31);
+  for (int round = 0; round < 60; ++round) {
+    size_t count = 1 + rng.NextBelow(8);
+    std::vector<std::string> patterns;
+    for (size_t i = 0; i < count; ++i) {
+      patterns.push_back(RandomBinary(rng, 1 + rng.NextBelow(6)));
+    }
+    std::string haystack = RandomBinary(rng, rng.NextBelow(400));
+    // Guarantee some planted hits among the noise.
+    for (int plant = 0; plant < 4 && !haystack.empty(); ++plant) {
+      const std::string& needle = patterns[rng.NextBelow(count)];
+      size_t at = rng.NextBelow(haystack.size());
+      haystack.replace(at, std::min(needle.size(), haystack.size() - at),
+                       needle.substr(0, haystack.size() - at));
+    }
+    ExpectIdentical(patterns, haystack);
+  }
+}
+
+TEST(MultiScanFuzz, NarrowAlphabetOverlapsAndNesting) {
+  Rng rng(0x6d736e32);
+  for (int round = 0; round < 80; ++round) {
+    size_t count = 2 + rng.NextBelow(10);
+    std::vector<std::string> patterns;
+    for (size_t i = 0; i < count; ++i) {
+      patterns.push_back(RandomNarrow(rng, 1 + rng.NextBelow(7)));
+    }
+    // Explicitly nested needles: every proper prefix of the first
+    // pattern is also a pattern, the case where one haystack position
+    // must report matches at several depths via the output chain.
+    for (size_t len = 1; len < patterns[0].size(); ++len) {
+      patterns.push_back(patterns[0].substr(0, len));
+    }
+    ExpectIdentical(patterns, RandomNarrow(rng, 300 + rng.NextBelow(200)));
+  }
+}
+
+TEST(MultiScanFuzz, Utf8HaystacksWithMultibyteNeedles) {
+  Rng rng(0x6d736e33);
+  for (int round = 0; round < 40; ++round) {
+    std::string haystack = RandomUtf8(rng, 150);
+    std::vector<std::string> patterns;
+    // Needles cut from the haystack at arbitrary BYTE offsets, so some
+    // begin or end mid-codepoint — matching is over bytes, and the
+    // oracle agrees on exactly where.
+    for (int i = 0; i < 6; ++i) {
+      size_t at = rng.NextBelow(haystack.size());
+      size_t len = 1 + rng.NextBelow(9);
+      patterns.push_back(haystack.substr(at, len));
+    }
+    patterns.push_back(RandomUtf8(rng, 3));  // likely absent
+    ExpectIdentical(patterns, haystack);
+  }
+}
+
+TEST(MultiScanFuzz, NeedleStraddlesChunkBoundary) {
+  Rng rng(0x6d736e34);
+  for (int round = 0; round < 60; ++round) {
+    std::vector<std::string> patterns;
+    size_t count = 1 + rng.NextBelow(5);
+    for (size_t i = 0; i < count; ++i) {
+      patterns.push_back(RandomNarrow(rng, 2 + rng.NextBelow(8)));
+    }
+    // Haystack assembled from chunks that each end with a PREFIX of
+    // some needle and start with the matching SUFFIX, so occurrences
+    // straddle every concatenation seam.
+    std::string haystack;
+    for (int chunk = 0; chunk < 6; ++chunk) {
+      const std::string& needle = patterns[rng.NextBelow(count)];
+      size_t split = rng.NextBelow(needle.size() + 1);
+      haystack += RandomNarrow(rng, rng.NextBelow(30));
+      haystack += needle.substr(0, split);
+      haystack += needle.substr(split);
+      haystack += needle.substr(0, split);  // dangling prefix
+    }
+    ExpectIdentical(patterns, haystack);
+  }
+}
+
+TEST(MultiScanFuzz, EmptyAndSingleByteNeedles) {
+  Rng rng(0x6d736e35);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::string> patterns;
+    patterns.push_back("");  // matches at every position, 0..n
+    patterns.push_back(std::string(1, static_cast<char>(rng.NextBelow(256))));
+    patterns.push_back("");  // duplicate empties both report
+    patterns.push_back(std::string(1, 'a'));
+    patterns.push_back(std::string(1, 'a'));  // duplicate one-byte
+    ExpectIdentical(patterns, RandomBinary(rng, rng.NextBelow(120)));
+  }
+  ExpectIdentical({"", "a", ""}, "");
+  ExpectIdentical({"x"}, "");
+}
+
+TEST(MultiScanFuzz, DuplicatePatternsEachReport) {
+  std::vector<std::string> patterns = {"ab", "ab", "b", "ab"};
+  ExpectIdentical(patterns, "abab");
+}
+
+TEST(MultiScanFuzz, CaseFoldedMatchesContainsIgnoreCase) {
+  Rng rng(0x6d736e36);
+  std::vector<std::string> needles = {"dev", "type", "manuf", "lat",
+                                      "cc",  "conn", "jailb"};
+  MultiScan scan(needles, /*fold_ascii_case=*/true);
+  for (int round = 0; round < 200; ++round) {
+    std::string key = RandomBinary(rng, rng.NextBelow(24));
+    // Mix in needle fragments with randomized case.
+    if (rng.NextBool(0.7)) {
+      std::string fragment = needles[rng.NextBelow(needles.size())];
+      for (char& c : fragment) {
+        if (rng.NextBool(0.5)) c = static_cast<char>(std::toupper(c));
+      }
+      key += fragment;
+      key += RandomBinary(rng, rng.NextBelow(6));
+    }
+    std::vector<bool> got(needles.size(), false);
+    scan.Scan(key, [&](uint32_t id, size_t) { got[id] = true; });
+    for (size_t i = 0; i < needles.size(); ++i) {
+      EXPECT_EQ(got[i], util::ContainsIgnoreCase(key, needles[i]))
+          << "needle " << needles[i] << " key " << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace panoptes::util
