@@ -7,10 +7,13 @@
 // construction.
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("ablation_autocomplete");
+  bench::WallTimer bench_timer;
   bench::PrintHeader(
       "Ablation A4 — address-bar typing vs CDP navigation",
       "paper §2.1: navigating via CDP/Frida keeps autocomplete out of "
@@ -66,5 +69,8 @@ int main() {
     }
   }
   std::printf("\n%s\n", table.Render().c_str());
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -51,6 +51,8 @@ RunStats RunOne(bool block_quic) {
 }  // namespace
 
 int main() {
+  bench::BenchReport bench_report("ablation_proxy");
+  bench::WallTimer bench_timer;
   bench::PrintHeader(
       "Ablation A2 — HTTP/3 blocking and certificate pinning",
       "paper §2.2: QUIC is blocked so browsers fall back; §2.3 "
@@ -84,5 +86,12 @@ int main() {
               analysis::Percent(lost).c_str());
   std::printf("page loads survive the blocking (fallback works): %s\n",
               analysis::Percent(with_block.dcl_rate).c_str());
+  bench_report.Metric("captured_blocked",
+                      static_cast<double>(with_block.captured));
+  bench_report.Metric("captured_open",
+                      static_cast<double>(without_block.captured));
+  bench_report.Metric("capture_lost_fraction", lost);
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return 0;
 }

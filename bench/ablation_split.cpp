@@ -9,10 +9,13 @@
 #include "analysis/naive_split.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("ablation_split");
+  bench::WallTimer bench_timer;
   bench::PrintHeader(
       "Ablation A1 — taint split vs destination heuristic",
       "no published number; demonstrates why Panoptes taints requests "
@@ -46,5 +49,10 @@ int main() {
   std::printf("native tracking requests a destination-only monitor "
               "would misattribute to the page: %llu\n",
               (unsigned long long)total_hidden);
+  bench_report.Metric("native_hidden_as_engine",
+                      static_cast<double>(total_hidden));
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return 0;
 }

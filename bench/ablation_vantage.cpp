@@ -82,6 +82,8 @@ VantageRun RunFrom(bool us_vantage) {
 }  // namespace
 
 int main() {
+  bench::BenchReport bench_report("ablation_vantage");
+  bench::WallTimer bench_timer;
   bench::PrintHeader(
       "Ablation A3 — vantage point and the GDPR framing",
       "the leak mechanics are vantage-independent; 'data leaves the "
@@ -105,5 +107,11 @@ int main() {
   bool mechanics_identical = eu.full_url_leaks == us.full_url_leaks;
   std::printf("\nleak mechanics identical across vantages: %s\n",
               mechanics_identical ? "yes" : "NO (unexpected)");
+  bench_report.Metric("eu_full_url_leaks",
+                      static_cast<double>(eu.full_url_leaks));
+  bench_report.Metric("us_full_url_leaks",
+                      static_cast<double>(us.full_url_leaks));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return mechanics_identical ? 0 : 1;
 }

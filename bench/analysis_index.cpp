@@ -375,5 +375,13 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(want),
               g_checksum_mismatch ? "MISMATCH" : "OK");
 
+  bench::BenchReport bench_report("analysis_index");
+  timer.Report(bench_report);
+  if (indexed_s > 0) {
+    bench_report.Metric("speedup_median", legacy_s / indexed_s);
+  }
+  bench_report.Metric("checksum_ok", g_checksum_mismatch ? 0 : 1);
+  bench_report.Checksum("battery_oracle", want);
+  bench_report.Write();
   return g_checksum_mismatch ? 1 : 0;
 }

@@ -11,10 +11,13 @@
 #include "analysis/recon.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("baseline_recon");
+  bench::WallTimer bench_timer;
   bench::PrintHeader(
       "Baseline B1 — ReCon-style learned PII detection (§4 related work)",
       "no published number; shows the taint-split traffic can feed a "
@@ -86,5 +89,8 @@ int main() {
   std::printf("%s\n", table.Render().c_str());
   std::printf("the classifier never saw the testbed device's values — "
               "only shapes learned from another device.\n");
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return 0;
 }

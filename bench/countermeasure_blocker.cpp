@@ -7,6 +7,7 @@
 #include "analysis/hostslist.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "util/rng.h"
 #include "core/blocker.h"
 
 using namespace panoptes;
@@ -64,6 +65,8 @@ Measurement RunOne(bool with_blocker, const char* browser_name) {
 }  // namespace
 
 int main() {
+  bench::BenchReport bench_report("countermeasure_blocker");
+  bench::WallTimer bench_timer;
   bench::PrintHeader(
       "Countermeasure — OS-level native-tracker blocker (§4)",
       "no published number; engine ad blockers cannot stop native "
@@ -85,5 +88,8 @@ int main() {
   std::printf("%s\n", table.Render().c_str());
   std::printf("note: engine traffic (the pages' own ads) is untouched in "
               "native-only scope; page success stays at 100%%.\n");
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return 0;
 }

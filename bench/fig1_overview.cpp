@@ -8,6 +8,8 @@
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("fig1_overview");
+  bench::WallTimer bench_timer;
   bench::PrintHeader("Figure 1 — framework system design",
                      "component inventory with live wiring checks");
 
@@ -81,5 +83,8 @@ int main() {
   std::printf("\n%s\n", checks_failed == 0
                             ? "architecture matches the paper's Figure 1"
                             : "WIRING BROKEN");
+  bench_report.Metric("checks_failed", checks_failed);
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return checks_failed == 0 ? 0 : 1;
 }

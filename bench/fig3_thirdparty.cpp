@@ -9,11 +9,14 @@
 #include "analysis/report.h"
 #include "analysis/stats.h"
 #include "bench_common.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("fig3_thirdparty");
+  bench::WallTimer bench_timer;
   bench::PrintHeader(
       "Figure 3 — third-party / ad-related native destinations",
       "Kiwi ~40%, Opera ~19.2%, Yandex ~16% ad-related; 8 browsers "
@@ -40,5 +43,9 @@ int main() {
   std::printf("browsers issuing native requests to ad/analytics "
               "servers: %d (paper: 8)\n",
               ad_contacting);
+  bench_report.Metric("ad_contacting", ad_contacting);
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -10,11 +10,14 @@
 #include "analysis/report.h"
 #include "analysis/timeline.h"
 #include "bench_common.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("fig5_idle");
+  bench::WallTimer bench_timer;
   bench::PrintHeader(
       "Figure 5 — native requests during 10 idle minutes",
       "burst-then-plateau for most, linear for Opera; Graph API 46% "
@@ -92,5 +95,10 @@ int main() {
   }
   std::printf("%s\n", shapes.Render().c_str());
   std::printf("shape mismatches vs paper: %d / 15\n", mismatches);
+  bench_report.Metric("shape_mismatches", mismatches);
+  bench_report.Checksum("timeline_table", util::HashString(table.Render()));
+  bench_report.Checksum("shares_table", util::HashString(shares.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return mismatches == 0 ? 0 : 1;
 }

@@ -10,6 +10,7 @@
 
 #include <filesystem>
 
+#include "bench_common.h"
 #include "browser/profiles.h"
 #include "core/fleet.h"
 #include "core/result_cache.h"
@@ -76,4 +77,35 @@ BENCHMARK(BM_FleetResume)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: after the google-benchmark pass, take one cold and one
+// warm wall-clock sample for the observatory report (the headline
+// cold/warm ratio lives in the gbench output; these are the baseline
+// gate's coarse regression tripwires).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  fs::path cache_dir = fs::temp_directory_path() / "panoptes_bench_resume_rpt";
+  fs::remove_all(cache_dir);
+  auto jobs = MakeJobs();
+
+  bench::WallTimer cold_timer;
+  core::FleetExecutor cold_executor(MakeOptions(cache_dir));
+  auto cold = cold_executor.Run(jobs);
+  double cold_s = cold_timer.Seconds();
+
+  bench::WallTimer warm_timer;
+  core::FleetExecutor warm_executor(MakeOptions(cache_dir));
+  auto warm = warm_executor.Run(jobs);
+  double warm_s = warm_timer.Seconds();
+  fs::remove_all(cache_dir);
+
+  bench::BenchReport bench_report("fleet_resume");
+  bench_report.Metric("jobs", static_cast<double>(jobs.size()));
+  bench_report.Metric("cold_seconds", cold_s);
+  bench_report.Metric("warm_seconds", warm_s);
+  if (warm_s > 0) bench_report.Metric("cold_over_warm", cold_s / warm_s);
+  bench_report.Write();
+  return 0;
+}

@@ -7,6 +7,8 @@
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("listing1_opera");
+  bench::WallTimer bench_timer;
   bench::PrintHeader("Listing 1 — Opera's native oleads ad request",
                      "POST s-odx.oleads.com/api/v1/sdk_fetch with "
                      "operaId, lat/long, device data, userConsent=false");
@@ -43,5 +45,11 @@ int main() {
     std::printf("  \"%s\": %s,\n", key.c_str(), rendered.c_str());
   }
   std::printf("}\n");
+  bench_report.Metric("oleads_valid_fetches",
+                      static_cast<double>(oleads.valid_fetches()));
+  bench_report.Metric("oleads_invalid_fetches",
+                      static_cast<double>(oleads.invalid_fetches()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return 0;
 }

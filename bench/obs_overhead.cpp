@@ -9,10 +9,13 @@
 // per-event cost picture. Numbers are recorded in EXPERIMENTS.md.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "browser/profiles.h"
 #include "core/fleet.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
@@ -20,12 +23,16 @@ namespace {
 
 // A fleet crawl sized like the unit-test fleets: full-ish roster work
 // without making each iteration take seconds.
-core::FleetExecutor MakeExecutor() {
+core::FleetOptions MakeFleetOptions() {
   core::FleetOptions options;
   options.jobs = 2;
   options.framework.catalog.popular_count = 4;
   options.framework.catalog.sensitive_count = 2;
-  return core::FleetExecutor(options);
+  return options;
+}
+
+core::FleetExecutor MakeExecutor() {
+  return core::FleetExecutor(MakeFleetOptions());
 }
 
 std::vector<core::FleetJob> MakeJobs() {
@@ -85,6 +92,37 @@ BENCHMARK(BM_TraceOverhead)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// arg 0: journal off (the default). arg 1: every layer emits journal
+// events into the per-job buffers and the merged run journal is
+// serialized — the full observatory write path. The acceptance budget
+// is <2% over the disabled run.
+void BM_JournalOverhead(benchmark::State& state) {
+  bool enabled = state.range(0) != 0;
+  auto options = MakeFleetOptions();
+  options.journal = enabled;
+  core::FleetExecutor executor(options);
+  auto jobs = MakeJobs();
+  for (auto _ : state) {
+    auto results = executor.Run(jobs);
+    if (enabled) {
+      obs::Journal journal;
+      core::FleetExecutor::MergeJournal(results, &journal);
+      auto jsonl = journal.Jsonl();
+      benchmark::DoNotOptimize(jsonl);
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.counters["jobs/s"] = benchmark::Counter(
+      static_cast<double>(jobs.size()) * state.iterations(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_JournalOverhead)
+    ->ArgName("enabled")
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // Per-event floor: one counter increment (the proxy does a handful per
 // flow).
 void BM_CounterInc(benchmark::State& state) {
@@ -133,4 +171,58 @@ BENCHMARK(BM_ScopedSpanDisabled);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: after the google-benchmark pass, measure the journal
+// overhead with the interleaved steady-clock median (single-shot
+// gbench deltas at these run lengths are noise-bound) and write the
+// observatory report. The journal checksum is a determinism pin: the
+// merged run journal for this fixed fleet must serialize to the same
+// bytes on every machine and at every thread count.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  auto jobs = MakeJobs();
+  auto off_options = MakeFleetOptions();
+  auto on_options = MakeFleetOptions();
+  on_options.journal = true;
+  core::FleetExecutor off_executor(off_options);
+  core::FleetExecutor on_executor(on_options);
+
+  // The gate number is the cost of *running* with the journal enabled
+  // (per-event emission on the proxy/campaign hot paths). Merging the
+  // per-job buffers and serializing the JSONL is a one-shot export step
+  // (the CLI does it once, after the run, next to writing report.json)
+  // and is reported separately.
+  std::vector<core::FleetJobResult> on_results;
+  std::string journal_bytes;
+  bench::InterleavedTimer timer;
+  timer.Add("journal_off", [&] {
+    auto results = off_executor.Run(jobs);
+    benchmark::DoNotOptimize(results);
+  });
+  timer.Add("journal_on", [&] {
+    on_results = on_executor.Run(jobs);
+    benchmark::DoNotOptimize(on_results);
+  });
+  timer.Add("journal_export", [&] {
+    obs::Journal journal;
+    core::FleetExecutor::MergeJournal(on_results, &journal);
+    journal_bytes = journal.Jsonl();
+    benchmark::DoNotOptimize(journal_bytes);
+  });
+  timer.Run(/*reps=*/9);
+  std::printf("\n--- journal overhead (interleaved medians) ---\n");
+  timer.Print();
+  double off_s = timer.MedianSeconds("journal_off");
+  double on_s = timer.MedianSeconds("journal_on");
+  double overhead = off_s > 0 ? on_s / off_s - 1.0 : 0.0;
+  std::printf("journal_overhead=%.2f%% (budget <2%%)\n", overhead * 100);
+
+  bench::BenchReport bench_report("obs_overhead");
+  timer.Report(bench_report);
+  bench_report.Metric("journal_overhead_fraction", overhead);
+  bench_report.Checksum("run_journal", util::HashString(journal_bytes));
+  bench_report.Write();
+  return 0;
+}

@@ -6,6 +6,7 @@
 
 #include "analysis/hostslist.h"
 #include "analysis/pii.h"
+#include "bench_common.h"
 #include "browser/profiles.h"
 #include "core/campaign.h"
 #include "core/fleet.h"
@@ -140,4 +141,48 @@ BENCHMARK(BM_FleetCrawl)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: after the google-benchmark pass, time fixed-size hot
+// path batches with the interleaved median and write the observatory
+// report; the checksum pins the URL parser's output bytes.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  const std::string url_text =
+      "https://fastlane.rubiconproject.com/a/api/fastlane.json?account_id="
+      "12345&site_id=67890&zone_id=13579&size_id=15&p_pos=atf&rand=0.837";
+  analysis::PiiScanner scanner(device::DeviceProfile::PaperTestbed());
+  proxy::Flow pii_flow;
+  pii_flow.url = net::Url::MustParse(
+      "https://api.browser.yandex.ru/track?uuid=3f2b9a64-5e1c-4d7a-9b0e-"
+      "2f6c8d1a7e43&host=example.com&devtype=TABLET&manuf=Samsung&res="
+      "1200x1920&dpi=240&locale=el-GR&net=WIFI");
+
+  bench::InterleavedTimer timer;
+  timer.Add("url_parse_10k", [&] {
+    for (int i = 0; i < 10000; ++i) {
+      auto url = net::Url::Parse(url_text);
+      benchmark::DoNotOptimize(url);
+    }
+  });
+  timer.Add("pii_scan_10k", [&] {
+    for (int i = 0; i < 10000; ++i) {
+      analysis::PiiReport report;
+      scanner.ScanFlow(pii_flow, report);
+      benchmark::DoNotOptimize(report);
+    }
+  });
+  timer.Run(/*reps=*/9);
+  std::printf("\n--- pipeline batches (interleaved medians) ---\n");
+  timer.Print();
+
+  bench::BenchReport bench_report("perf_pipeline");
+  timer.Report(bench_report);
+  auto parsed = net::Url::Parse(url_text);
+  bench_report.Checksum(
+      "url_roundtrip",
+      util::HashString(parsed ? parsed->Serialize() : std::string()));
+  bench_report.Write();
+  return 0;
+}

@@ -4,10 +4,13 @@
 // HTTPS traffic and show up in the native flow store.
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("sec32_doh");
+  bench::WallTimer bench_timer;
   bench::PrintHeader("§3.2 — DNS-over-HTTPS usage",
                      "8 browsers use Cloudflare/Google DoH; 7 use the "
                      "local stub resolver");
@@ -36,5 +39,9 @@ int main() {
   std::printf("%s\n", table.Render().c_str());
   std::printf("DoH users: %d (paper: 8); stub users: %d (paper: 7)\n",
               doh_users, 15 - doh_users);
+  bench_report.Metric("doh_users", doh_users);
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return doh_users == 8 ? 0 : 1;
 }

@@ -13,10 +13,13 @@
 #include "analysis/historyleak.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("sec32_history_leaks");
+  bench::WallTimer bench_timer;
   bench::PrintHeader(
       "§3.2 — browsing-history leaks",
       "full URL: Yandex (base64 + persistent id), QQ, UC (JS "
@@ -87,5 +90,9 @@ int main() {
                              ? "SAME identifier: Tor/VPN/IP rotation does "
                                "not help (paper finding)"
                              : "identifiers differ (unexpected)");
+  bench_report.Metric("full_url_leakers", full_url_leakers);
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return uuid_before == uuid_after ? 0 : 1;
 }

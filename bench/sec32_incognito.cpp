@@ -5,10 +5,13 @@
 #include "analysis/historyleak.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("sec32_incognito");
+  bench::WallTimer bench_timer;
   bench::PrintHeader(
       "§3.2 — incognito mode",
       "Edge / UC International / Opera keep leaking in incognito; "
@@ -65,5 +68,9 @@ int main() {
   std::printf("history-leaking browsers still leaking under the "
               "incognito request: %d / 5 (paper: all)\n",
               still_leaking);
+  bench_report.Metric("still_leaking_incognito", still_leaking);
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return still_leaking == 5 ? 0 : 1;
 }

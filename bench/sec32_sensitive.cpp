@@ -4,10 +4,13 @@
 #include "analysis/historyleak.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("sec32_sensitive");
+  bench::WallTimer bench_timer;
   bench::PrintHeader(
       "§3.2 — reporting visits to sensitive content",
       "Yandex, QQ and UC International leak the full URL of sensitive "
@@ -54,5 +57,8 @@ int main() {
     }
   }
   std::printf("%s\n", table.Render().c_str());
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -6,10 +6,13 @@
 #include "analysis/historyleak.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
 int main() {
+  bench::BenchReport bench_report("sec34_geo");
+  bench::WallTimer bench_timer;
   bench::PrintHeader("§3.4 — international data transfers",
                      "history-leak destinations: Yandex→Russia, "
                      "QQ→China, UC International→Canada (all outside EU)");
@@ -72,5 +75,9 @@ int main() {
         }
         std::printf("%s\n", line.c_str());
       });
+  bench_report.Metric("outside_eu_leakers", outside_eu_leakers);
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return outside_eu_leakers == 3 ? 0 : 1;
 }

@@ -22,6 +22,8 @@ struct Verdict {
 }  // namespace
 
 int main() {
+  bench::BenchReport bench_report("summary_findings");
+  bench::WallTimer bench_timer;
   bench::PrintHeader("Summary — the paper's six findings (§5)",
                      "all six must reproduce");
 
@@ -145,5 +147,12 @@ int main() {
                 verdict.finding.c_str(), verdict.detail.c_str());
     all_ok = all_ok && verdict.reproduced;
   }
+  int reproduced = 0;
+  for (const auto& verdict : verdicts) {
+    if (verdict.reproduced) ++reproduced;
+  }
+  bench_report.Metric("findings_reproduced", reproduced);
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return all_ok ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 // (CDP vs Frida, DoH choice, incognito availability).
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
@@ -20,6 +21,8 @@ std::string DohName(browser::DohProvider doh) {
 }  // namespace
 
 int main() {
+  bench::BenchReport bench_report("table1_dataset");
+  bench::WallTimer bench_timer;
   bench::PrintHeader("Table 1 — mobile browser dataset",
                      "15 browsers with versions; Firefox excluded "
                      "(incompatible instrumentation protocols)");
@@ -39,5 +42,9 @@ int main() {
   std::printf("browsers using third-party DoH: %d (paper: 8)\n", doh_count);
   std::printf("browsers on the local stub resolver: %d (paper: 7)\n",
               15 - doh_count);
+  bench_report.Metric("doh_count", doh_count);
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "analysis/pii.h"
 #include "analysis/report.h"
 #include "bench_common.h"
+#include "util/rng.h"
 
 using namespace panoptes;
 
@@ -52,6 +53,8 @@ const std::array<bool, analysis::kPiiFieldCount>* ExpectedFor(
 }  // namespace
 
 int main() {
+  bench::BenchReport bench_report("table2_pii");
+  bench::WallTimer bench_timer;
   bench::PrintHeader("Table 2 — PII / device identifiers leaked natively",
                      "exact Yes/No matrix; e.g. Whale leaks the local IP "
                      "and rooted status, Opera ships lat/long to its ad "
@@ -88,5 +91,9 @@ int main() {
   std::printf("%s\n", table.Render().c_str());
   std::printf("cells disagreeing with the paper's Table 2: %d / %zu\n",
               mismatches, 15 * analysis::kPiiFieldCount);
+  bench_report.Metric("matrix_mismatches", mismatches);
+  bench_report.Checksum("table", util::HashString(table.Render()));
+  bench_report.Metric("wall_seconds", bench_timer.Seconds());
+  bench_report.Write();
   return mismatches == 0 ? 0 : 1;
 }

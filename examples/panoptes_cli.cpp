@@ -12,20 +12,28 @@
 //                      [--cache-dir DIR] [--resume] [--kill-after-jobs N]
 //                      [--json report.json] [--csv report.csv]
 //                      [--metrics-out metrics.prom] [--trace-out trace.json]
+//                      [--journal-out journal.jsonl]
 //   panoptes_cli validate-telemetry [--metrics f.prom] [--trace f.json]
-//                      [--manifest manifest.json]
+//                      [--manifest manifest.json] [--journal f.jsonl]
+//   panoptes_cli explain --finding 0x<flow_id> --cache-dir DIR
+//                      [--journal journal.jsonl]
+//   panoptes_cli baseline-check --baseline base.json --current cur.json
 //   panoptes_cli sitelist [--out 1k.txt]
 #include <algorithm>
 #include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
 #include "analysis/export.h"
 #include "analysis/flow_index.h"
 #include "analysis/historyleak.h"
+#include "core/snapshot.h"
+#include "obs/baseline.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "analysis/report.h"
@@ -62,8 +70,11 @@ int Usage() {
                "        [--manifest-out FILE]\n"
                "        [--json FILE] [--csv FILE]\n"
                "        [--metrics-out FILE] [--trace-out FILE]\n"
+               "        [--journal-out FILE]\n"
                "  validate-telemetry [--metrics FILE] [--trace FILE]\n"
-               "        [--manifest FILE]\n"
+               "        [--manifest FILE] [--journal FILE]\n"
+               "  explain --finding 0xID --cache-dir DIR [--journal FILE]\n"
+               "  baseline-check --baseline FILE --current FILE\n"
                "  sitelist [--out FILE]         dump the crawl dataset\n"
                "  run-manifest <FILE> [--out FILE]   execute a JSON campaign\n");
   return 2;
@@ -286,6 +297,11 @@ int CmdFleet(const util::Args& args) {
   // cleanup on purpose — a crash wouldn't run it either.
   options.cache_dir = args.OptionOr("cache-dir", "");
   options.resume = args.HasFlag("resume");
+  // Observatory journal: strictly additive, so enabling it never moves
+  // a report byte — but it is off unless asked for (per-job buffers are
+  // not free).
+  auto journal_path = args.Option("journal-out");
+  options.journal = journal_path.has_value();
   int64_t kill_after = args.IntOptionOr("kill-after-jobs", 0);
   if (kill_after > 0) {
     static std::atomic<int64_t> completed{0};
@@ -320,6 +336,12 @@ int CmdFleet(const util::Args& args) {
   if (executor.cache() != nullptr) cache_stats = executor.cache()->Stats();
   core::RunManifest manifest = core::BuildRunManifest(
       options, results, executor.cache() != nullptr ? &cache_stats : nullptr);
+  // The journal merges from the un-merged results (plan order) —
+  // MergeShards drops per-job identity.
+  obs::Journal run_journal;
+  if (journal_path) {
+    core::FleetExecutor::MergeJournal(results, &run_journal);
+  }
   auto merged = core::FleetExecutor::MergeShards(std::move(results));
   std::printf("%s",
               analysis::FleetSummaryTable(merged, &stats, &manifest).c_str());
@@ -363,6 +385,14 @@ int CmdFleet(const util::Args& args) {
     }
     std::printf("wrote %zu spans to %s\n",
                 obs::Tracer::Default().EventCount(), trace_path->c_str());
+  }
+  if (journal_path) {
+    if (!WriteFile(*journal_path, run_journal.Jsonl())) {
+      std::fprintf(stderr, "cannot write %s\n", journal_path->c_str());
+      return 1;
+    }
+    std::printf("wrote %zu journal events to %s\n", run_journal.size(),
+                journal_path->c_str());
   }
   return 0;
 }
@@ -527,13 +557,246 @@ int CmdValidateTelemetry(const util::Args& args) {
     checked_any = true;
   }
 
+  if (auto journal_path = args.Option("journal")) {
+    std::ifstream in(*journal_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", journal_path->c_str());
+      return 1;
+    }
+    std::string line;
+    if (!std::getline(in, line)) {
+      std::fprintf(stderr, "%s: empty journal (missing header)\n",
+                   journal_path->c_str());
+      return 1;
+    }
+    auto header = util::Json::Parse(line);
+    if (!header || !header->is_object() ||
+        header->Find("journal_schema") == nullptr ||
+        header->Find("events") == nullptr) {
+      std::fprintf(stderr, "%s: malformed header line\n",
+                   journal_path->c_str());
+      return 1;
+    }
+    if (static_cast<int>(header->Find("journal_schema")->as_number()) !=
+        obs::kJournalSchemaVersion) {
+      std::fprintf(stderr, "%s: unsupported journal_schema\n",
+                   journal_path->c_str());
+      return 1;
+    }
+    const auto declared =
+        static_cast<size_t>(header->Find("events")->as_number());
+    size_t events = 0;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      auto event = util::Json::Parse(line);
+      if (!event || !event->is_object()) {
+        std::fprintf(stderr, "%s: event %zu is not a JSON object\n",
+                     journal_path->c_str(), events);
+        return 1;
+      }
+      for (const char* key : {"seq", "t", "layer", "kind"}) {
+        if (event->Find(key) == nullptr) {
+          std::fprintf(stderr, "%s: event %zu missing \"%s\"\n",
+                       journal_path->c_str(), events, key);
+          return 1;
+        }
+      }
+      // seq must be dense and 0-based — the merge-order fingerprint.
+      if (static_cast<size_t>(event->Find("seq")->as_number()) != events) {
+        std::fprintf(stderr, "%s: event %zu has out-of-order seq\n",
+                     journal_path->c_str(), events);
+        return 1;
+      }
+      ++events;
+    }
+    if (events != declared) {
+      std::fprintf(stderr, "%s: header declares %zu events, found %zu\n",
+                   journal_path->c_str(), declared, events);
+      return 1;
+    }
+    // A zero-event journal (header only) is valid: a zero-job run still
+    // writes a well-formed file.
+    std::printf("journal ok: %zu events in %s\n", events,
+                journal_path->c_str());
+    checked_any = true;
+  }
+
   if (!checked_any) {
     std::fprintf(stderr,
-                 "validate-telemetry needs --metrics, --trace and/or "
-                 "--manifest\n");
+                 "validate-telemetry needs --metrics, --trace, --manifest "
+                 "and/or --journal\n");
     return 2;
   }
   return 0;
+}
+
+// Walks a finding's provenance chain: given a flow_id (as printed in
+// FleetReportJson findings and in the journal), locates the exact flow
+// in the run's result-cache snapshots and reconstructs job → visit →
+// flow, optionally quoting the journal lines that mention it. This is
+// the observatory's payoff: every exported finding is a citable claim.
+int CmdExplain(const util::Args& args) {
+  auto finding = args.Option("finding");
+  std::string cache_dir = args.OptionOr("cache-dir", "");
+  if (!finding || cache_dir.empty()) {
+    std::fprintf(stderr,
+                 "explain needs --finding 0x<flow_id> and --cache-dir\n");
+    return 2;
+  }
+  std::string hex = *finding;
+  if (hex.rfind("0x", 0) == 0 || hex.rfind("0X", 0) == 0) {
+    hex = hex.substr(2);
+  }
+  char* end = nullptr;
+  uint64_t uid = std::strtoull(hex.c_str(), &end, 16);
+  if (end == hex.c_str() || *end != '\0' || uid == 0) {
+    std::fprintf(stderr, "bad flow id: %s\n", finding->c_str());
+    return 2;
+  }
+
+  // Snapshot walk in sorted filename order (deterministic output).
+  std::vector<std::filesystem::path> snaps;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(cache_dir, ec)) {
+    if (entry.path().extension() == ".snap") snaps.push_back(entry.path());
+  }
+  if (ec) {
+    std::fprintf(stderr, "cannot read %s\n", cache_dir.c_str());
+    return 1;
+  }
+  std::sort(snaps.begin(), snaps.end());
+
+  const uint32_t tag = static_cast<uint32_t>(uid >> 32);
+  const uint32_t ordinal = static_cast<uint32_t>(uid);
+  for (const auto& path : snaps) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    core::FleetJobResult result;
+    if (!core::snapshot::ReadAny(bytes, &result)) continue;
+
+    struct Side {
+      const proxy::FlowStore* store;
+      const char* role;
+    };
+    std::vector<Side> sides;
+    if (result.crawl.has_value()) {
+      sides.push_back({result.crawl->engine_flows.get(), "engine"});
+      sides.push_back({result.crawl->native_flows.get(), "native"});
+    }
+    if (result.idle.has_value()) {
+      sides.push_back({result.idle->native_flows.get(), "native"});
+    }
+    for (const Side& side : sides) {
+      if (side.store == nullptr) continue;
+      for (const auto& flow : side.store->flows()) {
+        if (flow.uid != uid) continue;
+
+        std::printf("finding %s\n", obs::FlowIdHex(uid).c_str());
+        std::printf(
+            "  job: browser=%s kind=%s shard=%d/%d seed=0x%016llx "
+            "attempts=%d%s\n",
+            result.job.spec.name.c_str(),
+            std::string(core::CampaignKindName(result.job.kind)).c_str(),
+            result.job.shard, result.job.shard_count,
+            static_cast<unsigned long long>(result.seed), result.attempts,
+            result.quarantined ? " QUARANTINED" : "");
+        std::printf("  snapshot: %s\n", path.filename().string().c_str());
+        if (result.crawl.has_value()) {
+          const auto& visits = result.crawl->visits;
+          for (size_t v = 0; v < visits.size(); ++v) {
+            const core::VisitRecord& rec = visits[v];
+            const bool in_native = rec.native_tag == tag &&
+                                   ordinal >= rec.native_flow_begin &&
+                                   ordinal < rec.native_flow_end;
+            const bool in_engine = rec.engine_tag == tag &&
+                                   ordinal >= rec.engine_flow_begin &&
+                                   ordinal < rec.engine_flow_end;
+            if (!in_native && !in_engine) continue;
+            std::string fault = rec.fault_cause.empty()
+                                    ? std::string()
+                                    : ", fault=" + rec.fault_cause;
+            std::printf(
+                "  visit: #%zu %s (%s, attempts=%d%s%s)\n", v,
+                rec.hostname.c_str(), rec.ok ? "ok" : "failed",
+                rec.attempts, fault.c_str(),
+                rec.incognito_honored ? "" : ", incognito NOT honored");
+            break;
+          }
+        }
+        std::printf(
+            "  flow: [%s] %s %s -> %d (%s store, origin=%s%s%s)\n",
+            util::FormatTimestamp(flow.time).c_str(),
+            std::string(net::MethodName(flow.method)).c_str(),
+            std::string(flow.url.text()).c_str(), flow.response_status,
+            side.role,
+            std::string(proxy::TrafficOriginName(flow.origin)).c_str(),
+            flow.fault_injected ? ", fault-injected" : "",
+            flow.blocked ? ", blocked" : "");
+
+        if (auto journal_path = args.Option("journal")) {
+          std::ifstream journal(*journal_path, std::ios::binary);
+          if (!journal) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         journal_path->c_str());
+            return 1;
+          }
+          const std::string needle =
+              "\"" + obs::FlowIdHex(uid) + "\"";
+          std::string line;
+          size_t matches = 0;
+          while (std::getline(journal, line)) {
+            if (line.find(needle) != std::string::npos) {
+              std::printf("  journal: %s\n", line.c_str());
+              ++matches;
+            }
+          }
+          if (matches == 0) {
+            std::printf("  journal: no events mention this flow\n");
+          }
+        }
+        return 0;
+      }
+    }
+  }
+  std::fprintf(stderr, "flow %s not found in %s (%zu snapshots)\n",
+               obs::FlowIdHex(uid).c_str(), cache_dir.c_str(),
+               snaps.size());
+  return 1;
+}
+
+// Compares a metrics/bench JSON file against a checked-in baseline
+// with tolerance bands (obs::BaselineGate). CI runs this over every
+// bench/baselines/*.json; a regression fails the build.
+int CmdBaselineCheck(const util::Args& args) {
+  auto baseline_path = args.Option("baseline");
+  auto current_path = args.Option("current");
+  if (!baseline_path || !current_path) {
+    std::fprintf(stderr, "baseline-check needs --baseline and --current\n");
+    return 2;
+  }
+  auto read = [](const std::string& path) -> std::optional<std::string> {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+  auto baseline = read(*baseline_path);
+  if (!baseline) {
+    std::fprintf(stderr, "cannot read %s\n", baseline_path->c_str());
+    return 1;
+  }
+  auto current = read(*current_path);
+  if (!current) {
+    std::fprintf(stderr, "cannot read %s\n", current_path->c_str());
+    return 1;
+  }
+  obs::BaselineResult result =
+      obs::BaselineGate::Compare(*baseline, *current);
+  std::printf("%s", result.Render().c_str());
+  return result.ok ? 0 : 1;
 }
 
 int CmdSitelist(const util::Args& args) {
@@ -598,6 +861,8 @@ int main(int argc, char** argv) {
   if (command == "idle") return CmdIdle(args);
   if (command == "fleet") return CmdFleet(args);
   if (command == "validate-telemetry") return CmdValidateTelemetry(args);
+  if (command == "explain") return CmdExplain(args);
+  if (command == "baseline-check") return CmdBaselineCheck(args);
   if (command == "sitelist") return CmdSitelist(args);
   if (command == "run-manifest") return CmdRunManifest(args);
   return Usage();

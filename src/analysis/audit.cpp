@@ -50,33 +50,43 @@ BrowserAuditReport AuditBrowser(core::Framework& framework,
   HistoryLeakDetector detector(std::move(visited));
 
   AnalysisBattery battery(analysis_jobs);
+  // Observatory: per-analyzer events land in the framework's journal
+  // (when fleet journaling is on), stamped at the frozen post-crawl
+  // simulated clock. Counted tasks report their finding counts.
+  battery.SetJournal(framework.journal(), framework.clock().Now().millis);
   battery.Add("battery.stats.requests", [&] {
     report.requests = ComputeRequestStats(result);
   });
   battery.Add("battery.stats.volume", [&] {
     report.volume = ComputeVolumeStats(result);
   });
-  battery.Add("battery.stats.domains", [&] {
+  battery.AddCounted("battery.stats.domains", [&]() -> int64_t {
     report.domains =
         ComputeDomainStats(result, VendorDomainsFor(spec.name), hosts_list);
+    return static_cast<int64_t>(report.domains.ad_related_hosts);
   });
-  battery.Add("battery.pii", [&] {
+  battery.AddCounted("battery.pii", [&]() -> int64_t {
     report.pii = scanner.Scan(*result.native_index);
+    return static_cast<int64_t>(report.pii.LeakCount());
   });
-  battery.Add("battery.history.native", [&] {
+  battery.AddCounted("battery.history.native", [&]() -> int64_t {
     report.native_leaks =
         detector.Scan(*result.native_flows, *result.native_index);
+    return static_cast<int64_t>(report.native_leaks.size());
   });
-  battery.Add("battery.history.engine", [&] {
+  battery.AddCounted("battery.history.engine", [&]() -> int64_t {
     report.engine_leaks =
         detector.Scan(*result.engine_flows, *result.engine_index, true);
+    return static_cast<int64_t>(report.engine_leaks.size());
   });
-  battery.Add("battery.geo", [&] {
+  battery.AddCounted("battery.geo", [&]() -> int64_t {
     report.countries = CountriesContacted(*result.native_index, geo);
+    return static_cast<int64_t>(report.countries.size());
   });
-  battery.Add("battery.referer", [&] {
+  battery.AddCounted("battery.referer", [&]() -> int64_t {
     report.referer =
         AnalyzeRefererLeakage(*result.engine_flows, *result.engine_index);
+    return static_cast<int64_t>(report.referer.leaking_requests);
   });
   battery.Run();
   return report;

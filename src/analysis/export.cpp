@@ -3,8 +3,11 @@
 #include <array>
 #include <cstdio>
 
+#include <unordered_map>
+
 #include "analysis/flow_index.h"
 #include "analysis/pii.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "util/clock.h"
@@ -150,6 +153,69 @@ std::vector<std::string> PiiFieldNames(const proxy::FlowStore& native,
   return names;
 }
 
+// Resolves a finding's flow_uid to the visit (index into `visits`) that
+// captured it: the uid's provenance tag picks the store (engine or
+// native role of one job attempt) and the ordinal falls in exactly one
+// visit's recorded flow range. -1 when no visit matches (idle traffic,
+// or uid 0 from a store without provenance tags). Ranges survive
+// MergeShards because each VisitRecord keeps its original tag and
+// store-local ordinals.
+int64_t VisitOfUid(uint64_t uid,
+                   const std::vector<core::VisitRecord>& visits) {
+  if (uid == 0) return -1;
+  const uint32_t tag = static_cast<uint32_t>(uid >> 32);
+  const uint32_t ord = static_cast<uint32_t>(uid);
+  for (size_t v = 0; v < visits.size(); ++v) {
+    const core::VisitRecord& rec = visits[v];
+    if (rec.native_tag == tag && ord >= rec.native_flow_begin &&
+        ord < rec.native_flow_end) {
+      return static_cast<int64_t>(v);
+    }
+    if (rec.engine_tag == tag && ord >= rec.engine_flow_begin &&
+        ord < rec.engine_flow_end) {
+      return static_cast<int64_t>(v);
+    }
+  }
+  return -1;
+}
+
+// The per-result findings array: one entry per PII evidence record,
+// each carrying the full provenance chain of the ISSUE's observatory
+// contract — flow_id, job (result index), visit, attempt,
+// fault_injected. Everything is computed from data the result always
+// carries (stores, visits, attempt count), never from the journal, so
+// the report stays byte-identical with journaling on or off.
+util::JsonArray FindingsJson(const PiiReport& report,
+                             const proxy::FlowStore& store,
+                             const std::vector<core::VisitRecord>* visits,
+                             size_t job_index, int attempts) {
+  std::unordered_map<uint64_t, uint32_t> ordinal_by_uid;
+  ordinal_by_uid.reserve(store.size());
+  for (uint32_t i = 0; i < store.size(); ++i) {
+    ordinal_by_uid.emplace(store.flow(i).uid, i);
+  }
+
+  util::JsonArray findings;
+  for (const PiiEvidence& evidence : report.evidence) {
+    util::JsonObject finding;
+    finding["analyzer"] = std::string("pii");
+    finding["field"] = std::string(PiiFieldName(evidence.field));
+    finding["host"] = evidence.host;
+    finding["sample"] = evidence.sample;
+    finding["flow_id"] = obs::FlowIdHex(evidence.flow_uid);
+    finding["job"] = static_cast<uint64_t>(job_index);
+    finding["attempt"] = static_cast<int64_t>(attempts);
+    int64_t visit =
+        visits != nullptr ? VisitOfUid(evidence.flow_uid, *visits) : -1;
+    finding["visit"] = visit;
+    auto it = ordinal_by_uid.find(evidence.flow_uid);
+    finding["fault_injected"] =
+        it != ordinal_by_uid.end() && store.flow(it->second).fault_injected;
+    findings.push_back(util::Json(std::move(finding)));
+  }
+  return findings;
+}
+
 }  // namespace
 
 std::string FleetSummaryCsv(
@@ -199,7 +265,8 @@ std::string FleetReportJson(
     const std::vector<core::FleetJobResult>& results) {
   ReportTimer timer("analysis.fleet_report_json");
   util::JsonArray entries;
-  for (const auto& result : results) {
+  for (size_t job_index = 0; job_index < results.size(); ++job_index) {
+    const auto& result = results[job_index];
     util::JsonObject entry;
     entry["browser"] = result.job.spec.name;
     entry["campaign"] =
@@ -234,12 +301,22 @@ std::string FleetReportJson(
         }
       }
       entry["native_hosts"] = std::move(hosts);
+      PiiScanner scanner(device::DeviceProfile::PaperTestbed());
+      PiiReport pii_report =
+          crawl.native_index != nullptr
+              ? scanner.Scan(*crawl.native_index)
+              : scanner.Scan(FlowIndex::Build(*crawl.native_flows));
       util::JsonArray pii;
-      for (auto& name :
-           PiiFieldNames(*crawl.native_flows, crawl.native_index.get())) {
-        pii.emplace_back(std::move(name));
+      for (size_t i = 0; i < kPiiFieldCount; ++i) {
+        if (pii_report.leaked[i]) {
+          pii.emplace_back(
+              std::string(PiiFieldName(static_cast<PiiField>(i))));
+        }
       }
       entry["pii_fields"] = std::move(pii);
+      entry["findings"] =
+          FindingsJson(pii_report, *crawl.native_flows, &crawl.visits,
+                       job_index, result.attempts);
     } else if (result.idle.has_value()) {
       const core::IdleResult& idle = *result.idle;
       entry["native_requests"] =
@@ -253,12 +330,21 @@ std::string FleetReportJson(
         buckets.emplace_back(count);
       }
       entry["cumulative_by_bucket"] = std::move(buckets);
+      PiiScanner scanner(device::DeviceProfile::PaperTestbed());
+      PiiReport pii_report =
+          idle.native_index != nullptr
+              ? scanner.Scan(*idle.native_index)
+              : scanner.Scan(FlowIndex::Build(*idle.native_flows));
       util::JsonArray pii;
-      for (auto& name :
-           PiiFieldNames(*idle.native_flows, idle.native_index.get())) {
-        pii.emplace_back(std::move(name));
+      for (size_t i = 0; i < kPiiFieldCount; ++i) {
+        if (pii_report.leaked[i]) {
+          pii.emplace_back(
+              std::string(PiiFieldName(static_cast<PiiField>(i))));
+        }
       }
       entry["pii_fields"] = std::move(pii);
+      entry["findings"] = FindingsJson(pii_report, *idle.native_flows,
+                                       nullptr, job_index, result.attempts);
     }
     entries.push_back(util::Json(std::move(entry)));
   }

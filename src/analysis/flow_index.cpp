@@ -158,6 +158,7 @@ FlowIndex& FlowIndex::operator=(const FlowIndex& other) {
 void FlowIndex::IndexFlow(const proxy::FlowView& flow, uint32_t host_id,
                           PostingsCache& cache) {
   FlowEntry entry;
+  entry.uid = flow.uid;
   entry.host_id = host_id;
   entry.path_id = InternPath(flow.url.path());
   entry.param_begin = static_cast<uint32_t>(params_.size());
@@ -397,6 +398,7 @@ void FlowIndex::SerializeTo(util::BinWriter& out) const {
   }
   out.U64(entries_.size());
   for (const auto& entry : entries_) {
+    out.U64(entry.uid);
     out.U32(entry.host_id);
     out.U32(entry.path_id);
     out.U32(entry.param_begin);
@@ -455,6 +457,7 @@ std::unique_ptr<FlowIndex> FlowIndex::Deserialize(util::BinReader& in) {
   PostingsCache cache;
   for (uint64_t i = 0; i < entry_count && in.ok(); ++i) {
     FlowEntry entry;
+    entry.uid = in.U64();
     entry.host_id = in.U32();
     entry.path_id = in.U32();
     entry.param_begin = in.U32();

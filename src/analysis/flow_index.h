@@ -79,6 +79,10 @@ class FlowIndex {
   };
 
   struct FlowEntry {
+    // Provenance uid copied verbatim from the source FlowView (see
+    // proxy::MakeProvenanceTag): postings resolve back to the exact
+    // stored flow, so analyzer evidence can carry a citable flow_id.
+    uint64_t uid = 0;
     uint32_t host_id = 0;
     uint32_t path_id = 0;
     uint32_t param_begin = 0;  // slice [param_begin, param_end) of params()

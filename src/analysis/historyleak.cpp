@@ -31,6 +31,7 @@ struct Accumulator {
   std::string identifier_sample;
   std::string encoding;
   std::string sample;
+  uint64_t flow_uid = 0;  // uid of the flow `sample` came from
 };
 
 std::vector<LeakFinding> Finalize(
@@ -47,6 +48,7 @@ std::vector<LeakFinding> Finalize(
     finding.identifier_sample = acc.identifier_sample;
     finding.encoding = acc.encoding;
     finding.sample = acc.sample;
+    finding.flow_uid = acc.flow_uid;
     findings.push_back(std::move(finding));
   }
   std::sort(findings.begin(), findings.end(),
@@ -192,6 +194,7 @@ std::vector<LeakFinding> HistoryLeakDetector::Scan(
     if (acc.sample.empty() || best_hit.full_url) {
       acc.encoding = best_hit.encoding;
       acc.sample = best_hit.sample;
+      acc.flow_uid = flow.uid;
     }
 
     // Does a stable identifier accompany the report?
@@ -275,6 +278,7 @@ std::vector<LeakFinding> HistoryLeakDetector::Scan(
     if (acc.sample.empty() || best_hit.full_url) {
       acc.encoding = best_hit.encoding;
       acc.sample = best_hit.sample;
+      acc.flow_uid = entry.uid;
     }
 
     // Does a stable identifier accompany the report? Query values

@@ -37,6 +37,10 @@ struct LeakFinding {
   std::string identifier_sample;
   std::string encoding;            // "plain", "base64", ...
   std::string sample;              // one example payload fragment
+  // Provenance uid (proxy::FlowView::uid) of the flow `sample` was cut
+  // from — the citable exhibit `panoptes_cli explain` resolves. 0 when
+  // the scan ran without store uids.
+  uint64_t flow_uid = 0;
 };
 
 class HistoryLeakDetector {

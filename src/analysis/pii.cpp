@@ -12,11 +12,13 @@ namespace panoptes::analysis {
 namespace {
 
 void Mark(PiiReport& report, PiiField field, const std::string& host,
-          uint64_t value_hash, std::string sample) {
+          uint64_t value_hash, std::string sample, uint64_t flow_uid) {
   report.leaked[static_cast<size_t>(field)] = true;
   // Dedup on the hash of the FULL value, not the (truncated) sample:
   // two long values sharing an 80-byte prefix are distinct sightings,
-  // while the same value re-sent to the same host is not.
+  // while the same value re-sent to the same host is not. The first
+  // sighting's flow_uid sticks — uid is provenance, never identity, so
+  // evidence is unchanged by the flow_uid column.
   for (const auto& existing : report.evidence) {
     if (existing.field == field && existing.host == host &&
         existing.value_hash == value_hash) {
@@ -24,8 +26,14 @@ void Mark(PiiReport& report, PiiField field, const std::string& host,
     }
   }
   report.evidence.push_back(
-      PiiEvidence{field, host, std::move(sample), value_hash});
+      PiiEvidence{field, host, std::move(sample), value_hash, flow_uid});
 }
+
+// Live proxy::Flow objects have no store ordinal yet, so the shared
+// scan implementation reports uid 0 for them; stored FlowViews carry
+// their provenance uid.
+uint64_t UidOf(const proxy::Flow&) { return 0; }
+uint64_t UidOf(const proxy::FlowView& flow) { return flow.uid; }
 
 }  // namespace
 
@@ -100,14 +108,14 @@ PiiScanner::PiiScanner(device::DeviceProfile profile)
       dpi_(std::to_string(profile_.dpi)) {}
 
 void PiiScanner::ScanText(std::string_view key_hint, std::string_view value,
-                          const std::string& host,
+                          const std::string& host, uint64_t flow_uid,
                           PiiReport& report) const {
-  ScanValue(TraitsOf(key_hint), key_hint, value, host, report);
+  ScanValue(TraitsOf(key_hint), key_hint, value, host, flow_uid, report);
 }
 
 void PiiScanner::ScanValue(const KeyTraits& traits, std::string_view key_hint,
                            std::string_view value, const std::string& host,
-                           PiiReport& report) const {
+                           uint64_t flow_uid, PiiReport& report) const {
   // Evidence samples keep at most 80 bytes of the value, cut on a UTF-8
   // boundary so a multi-byte character straddling the limit is dropped
   // whole instead of leaving a mangled partial sequence in reports.
@@ -122,65 +130,66 @@ void PiiScanner::ScanValue(const KeyTraits& traits, std::string_view key_hint,
       util::EqualsIgnoreCase(value, "tablet") ||
       util::EqualsIgnoreCase(value, "phone")) {
     if (traits.device_or_type || value == profile_.device_type) {
-      Mark(report, PiiField::kDeviceType, host, value_hash, sample());
+      Mark(report, PiiField::kDeviceType, host, value_hash, sample(), flow_uid);
     }
   }
   if (value == profile_.manufacturer ||
       (traits.manuf_or_vendor &&
        util::EqualsIgnoreCase(value, profile_.manufacturer))) {
-    Mark(report, PiiField::kManufacturer, host, value_hash, sample());
+    Mark(report, PiiField::kManufacturer, host, value_hash, sample(), flow_uid);
   }
   if (value == profile_.timezone) {
-    Mark(report, PiiField::kTimezone, host, value_hash, sample());
+    Mark(report, PiiField::kTimezone, host, value_hash, sample(), flow_uid);
   }
   if (value == resolution_) {
-    Mark(report, PiiField::kResolution, host, value_hash, sample());
+    Mark(report, PiiField::kResolution, host, value_hash, sample(), flow_uid);
   }
   if (value == local_ip_) {
-    Mark(report, PiiField::kLocalIp, host, value_hash, sample());
+    Mark(report, PiiField::kLocalIp, host, value_hash, sample(), flow_uid);
   }
   if (value == profile_.locale || value == locale_underscore_) {
-    Mark(report, PiiField::kLocale, host, value_hash, sample());
+    Mark(report, PiiField::kLocale, host, value_hash, sample(), flow_uid);
   }
   if ((traits.lat && util::StartsWith(value, lat_prefix_)) ||
       (traits.lon && util::StartsWith(value, lon_prefix_))) {
-    Mark(report, PiiField::kLocation, host, value_hash, sample());
+    Mark(report, PiiField::kLocation, host, value_hash, sample(), flow_uid);
   }
 
   // Key-anchored detections (generic values: require a keyword).
   if (traits.dpi && value == dpi_) {
-    Mark(report, PiiField::kDpi, host, value_hash, sample());
+    Mark(report, PiiField::kDpi, host, value_hash, sample(), flow_uid);
   }
   if (traits.root_or_jailb &&
       (value == "true" || value == "false" || value == "0" ||
        value == "1")) {
-    Mark(report, PiiField::kRooted, host, value_hash, sample());
+    Mark(report, PiiField::kRooted, host, value_hash, sample(), flow_uid);
   }
   if (traits.country_or_cc &&
       util::EqualsIgnoreCase(value, profile_.country)) {
-    Mark(report, PiiField::kCountry, host, value_hash, sample());
+    Mark(report, PiiField::kCountry, host, value_hash, sample(), flow_uid);
   }
   if (util::EqualsIgnoreCase(value, "metered") ||
       util::EqualsIgnoreCase(value, "unmetered")) {
-    Mark(report, PiiField::kConnectionType, host, value_hash, sample());
+    Mark(report, PiiField::kConnectionType, host, value_hash, sample(), flow_uid);
   }
   if (traits.net_or_conn &&
       (util::EqualsIgnoreCase(value, "wifi") ||
        util::EqualsIgnoreCase(value, "cellular"))) {
-    Mark(report, PiiField::kNetworkType, host, value_hash, sample());
+    Mark(report, PiiField::kNetworkType, host, value_hash, sample(), flow_uid);
   }
 }
 
 template <typename FlowT>
 void PiiScanner::ScanFlowImpl(const FlowT& flow, PiiReport& report) const {
   const std::string host(flow.Host());
+  const uint64_t flow_uid = UidOf(flow);
 
   for (const auto& [key, value] : flow.url.QueryParams()) {
-    ScanText(key, value, host, report);
+    ScanText(key, value, host, flow_uid, report);
     // Values may be Base64-wrapped (the paper decodes them too).
     if (auto decoded = util::Base64Decode(value);
         decoded && value.size() >= 8) {
-      ScanText(key, *decoded, host, report);
+      ScanText(key, *decoded, host, flow_uid, report);
     }
   }
 
@@ -189,16 +198,17 @@ void PiiScanner::ScanFlowImpl(const FlowT& flow, PiiReport& report) const {
   if (!json || !json->is_object()) return;
   for (const auto& [key, value] : json->as_object()) {
     if (value.is_string()) {
-      ScanText(key, value.as_string(), host, report);
+      ScanText(key, value.as_string(), host, flow_uid, report);
     } else if (value.is_number()) {
       double number = value.as_number();
       // Exact integers print bare; keep enough precision for lat/lon.
       std::string text = number == static_cast<int64_t>(number)
                              ? std::to_string(static_cast<int64_t>(number))
                              : util::FormatDouble(number, 4);
-      ScanText(key, text, host, report);
+      ScanText(key, text, host, flow_uid, report);
     } else if (value.is_bool()) {
-      ScanText(key, value.as_bool() ? "true" : "false", host, report);
+      ScanText(key, value.as_bool() ? "true" : "false", host,
+               flow_uid, report);
     }
   }
 
@@ -212,7 +222,7 @@ void PiiScanner::ScanFlowImpl(const FlowT& flow, PiiReport& report) const {
     std::string joined = std::to_string(profile_.screen_width) + "x" +
                          std::to_string(profile_.screen_height);
     Mark(report, PiiField::kResolution, host, util::HashString(joined),
-         "deviceScreenWidth/Height=" + joined);
+         "deviceScreenWidth/Height=" + joined, flow_uid);
   }
 }
 
@@ -252,7 +262,7 @@ PiiReport PiiScanner::Scan(const FlowIndex& index) const {
         traits_ready[key_id] = 1;
       }
       ScanValue(traits[key_id], index.key(key_id), params[p].value, host,
-                report);
+                entry.uid, report);
     }
 
     // Resolution split across two JSON numbers (Opera's oleads body).
@@ -272,7 +282,7 @@ PiiReport PiiScanner::Scan(const FlowIndex& index) const {
       std::string joined = std::to_string(profile_.screen_width) + "x" +
                            std::to_string(profile_.screen_height);
       Mark(report, PiiField::kResolution, host, util::HashString(joined),
-           "deviceScreenWidth/Height=" + joined);
+           "deviceScreenWidth/Height=" + joined, entry.uid);
     }
   }
   return report;

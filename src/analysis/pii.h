@@ -44,6 +44,11 @@ struct PiiEvidence {
   std::string host;      // destination that received the value
   std::string sample;    // "key=value" or JSON fragment, UTF-8-safe cut
   uint64_t value_hash = 0;  // hash of the FULL (untruncated) value
+  // Provenance uid of the FIRST flow that leaked this (field, host,
+  // value) triple — see proxy::FlowView::uid. 0 when the scan ran over
+  // a live proxy::Flow (no store ordinal yet). Not part of evidence
+  // identity: dedup still keys on (field, host, value_hash) only.
+  uint64_t flow_uid = 0;
 };
 
 // Table 2 row for one browser.
@@ -83,11 +88,14 @@ class PiiScanner {
   static KeyTraits TraitsOf(std::string_view key_hint);
   template <typename FlowT>
   void ScanFlowImpl(const FlowT& flow, PiiReport& report) const;
+  // `flow_uid` is the scanned flow's provenance uid (0 when unknown);
+  // it rides into PiiEvidence::flow_uid on first sighting.
   void ScanText(std::string_view key_hint, std::string_view value,
-                const std::string& host, PiiReport& report) const;
+                const std::string& host, uint64_t flow_uid,
+                PiiReport& report) const;
   void ScanValue(const KeyTraits& traits, std::string_view key_hint,
                  std::string_view value, const std::string& host,
-                 PiiReport& report) const;
+                 uint64_t flow_uid, PiiReport& report) const;
 
   device::DeviceProfile profile_;
   // Profile-derived needles, rendered once instead of per scanned value.

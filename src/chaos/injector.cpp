@@ -1,5 +1,6 @@
 #include "chaos/injector.h"
 
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -32,6 +33,11 @@ void Injector::Record(FaultKind kind, std::string_view host) {
   event.kind = kind;
   event.host = std::string(host);
   event.sim_millis = clock_ != nullptr ? clock_->Now().millis : 0;
+  if (journal_ != nullptr) {
+    journal_->Emit(event.sim_millis, "chaos", "fault")
+        .Str("fault_kind", FaultKindName(kind))
+        .Str("host", host);
+  }
   events_.push_back(std::move(event));
   ++counts_[static_cast<size_t>(kind)];
   FaultsInjectedCounter().Inc();

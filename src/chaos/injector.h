@@ -21,6 +21,10 @@
 #include "chaos/profile.h"
 #include "util/clock.h"
 
+namespace panoptes::obs {
+class Journal;
+}  // namespace panoptes::obs
+
 namespace panoptes::chaos {
 
 // One injected fault, as recorded for the run manifest. Times are
@@ -57,6 +61,12 @@ class Injector {
 
   util::Duration server_timeout() const { return profile_.server_timeout; }
 
+  // Observatory hook: every recorded fault additionally lands in the
+  // journal as a "fault" event. Strictly additive — the events() log
+  // and all decisions are identical with or without it. Pass nullptr
+  // to detach.
+  void SetJournal(obs::Journal* journal) { journal_ = journal; }
+
   // Every fault injected so far, in injection order.
   const std::vector<FaultEvent>& events() const { return events_; }
   uint64_t injected_total() const { return events_.size(); }
@@ -77,6 +87,7 @@ class Injector {
   uint64_t seed_;
   FaultProfile profile_;
   const util::SimClock* clock_;
+  obs::Journal* journal_ = nullptr;
   std::map<std::string, Slot, std::less<>> slots_;
   std::vector<FaultEvent> events_;
   std::array<uint64_t, kFaultKindCount> counts_{};

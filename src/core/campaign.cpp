@@ -4,6 +4,7 @@
 
 #include "analysis/flow_index.h"
 #include "browser/cdp.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "util/logging.h"
@@ -90,6 +91,14 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
   result.engine_flows =
       std::make_unique<proxy::FlowStore>(options.compact_engine_store);
   result.native_flows = std::make_unique<proxy::FlowStore>();
+  // Provenance tags: every flow stored below gets a uid of
+  // (tag << 32) | ordinal, resolvable across the whole fleet run.
+  const uint32_t engine_tag =
+      proxy::MakeProvenanceTag(framework.options().seed, /*role=*/0);
+  const uint32_t native_tag =
+      proxy::MakeProvenanceTag(framework.options().seed, /*role=*/1);
+  result.engine_flows->SetProvenance(engine_tag);
+  result.native_flows->SetProvenance(native_tag);
 
   auto& runtime = framework.PrepareBrowser(spec, options.factory_reset);
   framework.taint_addon().SetStores(result.engine_flows.get(),
@@ -99,6 +108,17 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
   if (injector != nullptr) {
     result.engine_flows->SetChaos(injector);
     result.native_flows->SetChaos(injector);
+  }
+  obs::Journal* journal = framework.journal();
+  if (journal != nullptr) {
+    result.engine_flows->SetJournal(journal);
+    result.native_flows->SetJournal(journal);
+    journal->Emit(framework.clock().Now().millis, "campaign", "crawl_begin")
+        .Str("browser", spec.name)
+        .Num("sites", static_cast<uint64_t>(sites.size()))
+        .Num("engine_tag", static_cast<uint64_t>(engine_tag))
+        .Num("native_tag", static_cast<uint64_t>(native_tag))
+        .BoolF("incognito", options.incognito);
   }
   uint64_t fault_flows_before = framework.taint_addon().fault_injected_flows();
   // Deterministic jitter stream for retry backoff: derived from the
@@ -121,6 +141,13 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
     VisitRecord record;
     record.hostname = site->hostname;
     record.category = site->category;
+    record.engine_tag = engine_tag;
+    record.native_tag = native_tag;
+    if (journal != nullptr) {
+      journal->Emit(framework.clock().Now().millis, "campaign", "visit_begin")
+          .Str("host", site->hostname)
+          .Num("visit", static_cast<uint64_t>(result.visits.size()));
+    }
 
     // Self-healing visit loop: a failed attempt rolls the stores back
     // to their pre-attempt marks (retries never double-count flows),
@@ -158,6 +185,14 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
       retries.Inc();
       util::Duration delay =
           BackoffDelay(options.retry, failures, backoff_rng);
+      if (journal != nullptr) {
+        journal->Emit(framework.clock().Now().millis, "campaign",
+                      "visit_retry")
+            .Str("host", site->hostname)
+            .Num("failures", static_cast<int64_t>(failures))
+            .Str("cause", record.fault_cause)
+            .Num("backoff_millis", delay.millis);
+      }
       framework.clock().Advance(delay);
       record.backoff_millis += delay.millis;
       static obs::Histogram& backoff_hist =
@@ -173,6 +208,26 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
     record.incognito_honored = outcome.incognito_honored;
     record.engine_requests = outcome.page.requests_attempted;
     record.blocked_by_adblock = outcome.page.blocked_by_adblock;
+    // Final (post-rollback) flow ordinal ranges: the uid span this
+    // visit contributed to each store, for finding→visit resolution.
+    record.engine_flow_begin = static_cast<uint32_t>(engine_mark);
+    record.engine_flow_end =
+        static_cast<uint32_t>(result.engine_flows->size());
+    record.native_flow_begin = static_cast<uint32_t>(native_mark);
+    record.native_flow_end =
+        static_cast<uint32_t>(result.native_flows->size());
+    if (journal != nullptr) {
+      journal->Emit(framework.clock().Now().millis, "campaign", "visit_end")
+          .Str("host", site->hostname)
+          .Num("visit", static_cast<uint64_t>(result.visits.size()))
+          .BoolF("ok", record.ok)
+          .Num("attempts", static_cast<int64_t>(record.attempts))
+          .Str("fault_cause", record.fault_cause)
+          .Num("engine_flows", static_cast<uint64_t>(record.engine_flow_end -
+                                                     record.engine_flow_begin))
+          .Num("native_flows", static_cast<uint64_t>(record.native_flow_end -
+                                                     record.native_flow_begin));
+    }
     result.visits.push_back(std::move(record));
   }
 
@@ -181,6 +236,15 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
       framework.taint_addon().fault_injected_flows() - fault_flows_before;
   result.engine_flows->SetChaos(nullptr);
   result.native_flows->SetChaos(nullptr);
+  result.engine_flows->SetJournal(nullptr);
+  result.native_flows->SetJournal(nullptr);
+  if (journal != nullptr) {
+    journal->Emit(framework.clock().Now().millis, "campaign", "crawl_end")
+        .Str("browser", spec.name)
+        .Num("engine_flows", static_cast<uint64_t>(result.engine_flows->size()))
+        .Num("native_flows",
+             static_cast<uint64_t>(result.native_flows->size()));
+  }
   framework.taint_addon().SetStores(nullptr, nullptr);
   framework.TeardownBrowser();
 
@@ -242,12 +306,23 @@ IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
   result.browser = spec.name;
   result.native_flows = std::make_unique<proxy::FlowStore>();
   result.bucket = options.bucket;
+  const uint32_t native_tag =
+      proxy::MakeProvenanceTag(framework.options().seed, /*role=*/1);
+  result.native_flows->SetProvenance(native_tag);
 
   auto& runtime = framework.PrepareBrowser(spec, options.factory_reset);
   // Idle runs only need the native database.
   framework.taint_addon().SetStores(nullptr, result.native_flows.get());
   if (framework.chaos() != nullptr) {
     result.native_flows->SetChaos(framework.chaos());
+  }
+  obs::Journal* journal = framework.journal();
+  if (journal != nullptr) {
+    result.native_flows->SetJournal(journal);
+    journal->Emit(framework.clock().Now().millis, "campaign", "idle_begin")
+        .Str("browser", spec.name)
+        .Num("native_tag", static_cast<uint64_t>(native_tag))
+        .Num("duration_millis", options.duration.millis);
   }
   uint64_t fault_flows_before = framework.taint_addon().fault_injected_flows();
 
@@ -276,6 +351,13 @@ IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
   result.fault_injected_flows =
       framework.taint_addon().fault_injected_flows() - fault_flows_before;
   result.native_flows->SetChaos(nullptr);
+  result.native_flows->SetJournal(nullptr);
+  if (journal != nullptr) {
+    journal->Emit(framework.clock().Now().millis, "campaign", "idle_end")
+        .Str("browser", spec.name)
+        .Num("native_flows",
+             static_cast<uint64_t>(result.native_flows->size()));
+  }
   framework.taint_addon().SetStores(nullptr, nullptr);
   framework.TeardownBrowser();
   metrics.native_flows_total.Inc(result.native_flows->size());

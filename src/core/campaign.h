@@ -61,6 +61,17 @@ struct VisitRecord {
   int attempts = 1;
   std::string fault_cause;
   int64_t backoff_millis = 0;
+  // Provenance: the ordinal ranges [.._flow_begin, .._flow_end) of the
+  // flows this visit contributed to each store (final, post-rollback),
+  // recorded so a flow uid — (store tag << 32) | ordinal — maps back to
+  // the visit that captured it. The tags identify which stores the
+  // ordinals refer to (engine/native of this job's crawl).
+  uint32_t engine_tag = 0;
+  uint32_t native_tag = 0;
+  uint32_t engine_flow_begin = 0;
+  uint32_t engine_flow_end = 0;
+  uint32_t native_flow_begin = 0;
+  uint32_t native_flow_end = 0;
 };
 
 struct CrawlResult {

@@ -174,8 +174,8 @@ std::vector<FleetJob> FleetExecutor::PlanCampaign(
   return jobs;
 }
 
-FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job,
-                                         int attempt) const {
+FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job, int attempt,
+                                         obs::Journal* journal) const {
   obs::ScopedSpan span("fleet.job", "fleet");
   span.Arg("browser", job.spec.name);
   span.Arg("kind", CampaignKindName(job.kind));
@@ -192,6 +192,19 @@ FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job,
   // (browser jitter, tokens, idle cadence) differ per job.
   if (!fw.catalog_seed.has_value()) fw.catalog_seed = options_.base_seed;
   out.seed = fw.seed;
+  // Every capture layer of this job's private framework reports into
+  // the per-job journal. Event times are simulated, identity fields
+  // are pure functions of the job — nothing scheduling-dependent.
+  fw.journal = journal;
+  if (journal != nullptr) {
+    journal->Emit(0, "fleet", "job_start")
+        .Str("browser", job.spec.name)
+        .Str("campaign", CampaignKindName(job.kind))
+        .Num("shard", static_cast<int64_t>(job.shard))
+        .Num("shard_count", static_cast<int64_t>(job.shard_count))
+        .Num("attempt", static_cast<int64_t>(attempt))
+        .U64Hex("seed", fw.seed);
+  }
   Framework framework(fw);
 
   if (job.kind == CampaignKind::kIdle) {
@@ -216,16 +229,32 @@ FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job,
   if (framework.chaos() != nullptr) {
     out.faults = framework.chaos()->events();
   }
+  if (journal != nullptr) {
+    journal->Emit(framework.clock().Now().millis, "fleet", "job_finish")
+        .Str("browser", job.spec.name)
+        .Str("campaign", CampaignKindName(job.kind))
+        .Num("shard", static_cast<int64_t>(job.shard))
+        .Num("faults", static_cast<uint64_t>(out.faults.size()))
+        .Num("flow_writes_dropped", out.flow_writes_dropped);
+  }
   return out;
 }
 
-FleetJobResult FleetExecutor::ExecuteJobWithRetry(const FleetJob& job) const {
+FleetJobResult FleetExecutor::ExecuteJobWithRetry(const FleetJob& job,
+                                                  obs::Journal* journal) const {
   for (int attempt = 0;; ++attempt) {
-    FleetJobResult result = ExecuteJob(job, attempt);
+    FleetJobResult result = ExecuteJob(job, attempt, journal);
     result.attempts = attempt + 1;
     if (!JobFailed(result)) return result;
     if (attempt >= options_.max_job_retries) {
       result.quarantined = true;
+      if (journal != nullptr) {
+        journal->Emit(0, "fleet", "job_quarantined")
+            .Str("browser", job.spec.name)
+            .Str("campaign", CampaignKindName(job.kind))
+            .Num("shard", static_cast<int64_t>(job.shard))
+            .Num("attempts", static_cast<int64_t>(result.attempts));
+      }
       static obs::Counter& quarantined =
           obs::MetricsRegistry::Default().GetCounter(
               "panoptes_fleet_quarantined_jobs_total",
@@ -241,10 +270,21 @@ FleetJobResult FleetExecutor::ExecuteJobWithRetry(const FleetJob& job) const {
         "panoptes_fleet_job_retries_total",
         "Fleet jobs re-executed with a fresh attempt seed");
     retries.Inc();
+    if (journal != nullptr) {
+      journal->Emit(0, "fleet", "job_retry")
+          .Str("browser", job.spec.name)
+          .Str("campaign", CampaignKindName(job.kind))
+          .Num("shard", static_cast<int64_t>(job.shard))
+          .Num("next_attempt", static_cast<int64_t>(attempt + 1));
+    }
   }
 }
 
 FleetJobResult FleetExecutor::RunJobCached(const FleetJob& job) const {
+  // Per-job buffer: single-threaded within the job, merged in plan
+  // order afterwards (MergeJournal) — the determinism contract.
+  obs::Journal job_journal;
+  obs::Journal* journal = options_.journal ? &job_journal : nullptr;
   FleetJobResult result;
   if (cache_ != nullptr) {
     uint64_t fingerprint = ResultCache::FingerprintJob(options_, job);
@@ -252,13 +292,21 @@ FleetJobResult FleetExecutor::RunJobCached(const FleetJob& job) const {
                                /*skip_quarantined=*/options_.resume);
     if (cached.has_value()) {
       result = std::move(*cached);
+      if (journal != nullptr) {
+        journal->Emit(0, "fleet", "cache_hit")
+            .Str("browser", job.spec.name)
+            .Str("campaign", CampaignKindName(job.kind))
+            .Num("shard", static_cast<int64_t>(job.shard))
+            .U64Hex("fingerprint", fingerprint);
+      }
     } else {
-      result = ExecuteJobWithRetry(job);
+      result = ExecuteJobWithRetry(job, journal);
       cache_->Store(result, fingerprint);
     }
   } else {
-    result = ExecuteJobWithRetry(job);
+    result = ExecuteJobWithRetry(job, journal);
   }
+  result.journal = std::move(job_journal);
   // After the store: by the time the callback observes N completions,
   // N snapshots are durably in place (the crash-simulation contract).
   if (options_.on_job_complete) options_.on_job_complete(result);
@@ -301,12 +349,16 @@ std::vector<FleetJobResult> FleetExecutor::Run(
   std::vector<FleetJobResult> results(jobs.size());
   size_t worker_count = options_.jobs < 1 ? 1 : options_.jobs;
   if (worker_count > jobs.size()) worker_count = jobs.size();
+  // Registered before the zero-job early return: an empty plan must
+  // still export its gauges/counters (at zero), or downstream telemetry
+  // validation sees an empty registry and cannot tell "nothing ran"
+  // from "metrics broke".
+  FleetMetrics& metrics = FleetMetrics::Get();
   if (jobs.empty()) {
+    metrics.queue_depth.Set(0);
     if (stats != nullptr) *stats = FleetRunStats{};
     return results;
   }
-
-  FleetMetrics& metrics = FleetMetrics::Get();
   obs::ScopedSpan run_span("fleet.run", "fleet");
   run_span.Arg("jobs", static_cast<int64_t>(jobs.size()));
   run_span.Arg("workers", static_cast<int64_t>(worker_count));
@@ -358,6 +410,14 @@ std::vector<FleetJobResult> FleetExecutor::Run(
   PANOPTES_LOG(kInfo, "fleet")
       << jobs.size() << " jobs over " << worker_count << " workers";
   return results;
+}
+
+void FleetExecutor::MergeJournal(const std::vector<FleetJobResult>& results,
+                                 obs::Journal* out) {
+  if (out == nullptr) return;
+  for (const FleetJobResult& result : results) {
+    out->Append(result.journal);
+  }
 }
 
 std::vector<FleetJobResult> FleetExecutor::MergeShards(

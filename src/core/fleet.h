@@ -22,6 +22,7 @@
 #include "browser/spec.h"
 #include "core/campaign.h"
 #include "core/framework.h"
+#include "obs/journal.h"
 
 namespace panoptes::core {
 
@@ -75,6 +76,11 @@ struct FleetJobResult {
   // True when this result was replayed from a result-cache snapshot
   // instead of executing (never serialized; set at load time).
   bool cache_hit = false;
+  // Observatory events this job emitted (FleetOptions::journal). Never
+  // serialized into snapshots; a replayed job carries only its
+  // cache_hit event. Merged in plan order by MergeJournal, so the
+  // merged journal is byte-identical at any worker count.
+  obs::Journal journal;
 };
 
 struct FleetOptions {
@@ -103,6 +109,12 @@ struct FleetOptions {
   // replayed from cache), from whichever worker thread ran it. Used by
   // the CLI's crash-simulation flag; never affects results.
   std::function<void(const FleetJobResult&)> on_job_complete;
+  // Observatory: when true every job records structured events (job
+  // start/finish/retry/quarantine/cache-hit, visits, faults, flows)
+  // into a private per-job journal, returned in
+  // FleetJobResult::journal. Strictly additive — reports and
+  // snapshots are byte-identical with this on or off.
+  bool journal = false;
 };
 
 // Wall-clock accounting for one Run/RunSerial call. Telemetry only —
@@ -161,11 +173,20 @@ class FleetExecutor {
   static std::vector<FleetJobResult> MergeShards(
       std::vector<FleetJobResult> results);
 
+  // Folds every job's journal into `out` in plan order (the
+  // order `results` came back from Run/RunSerial — call before
+  // MergeShards, which drops per-job identity). Deterministic at any
+  // worker count because each job's buffer is private and complete.
+  static void MergeJournal(const std::vector<FleetJobResult>& results,
+                           obs::Journal* out);
+
  private:
-  FleetJobResult ExecuteJob(const FleetJob& job, int attempt) const;
+  FleetJobResult ExecuteJob(const FleetJob& job, int attempt,
+                            obs::Journal* journal) const;
   // Runs the job, re-running with fresh attempt seeds while every
   // visit fails, up to options.max_job_retries; quarantines after.
-  FleetJobResult ExecuteJobWithRetry(const FleetJob& job) const;
+  FleetJobResult ExecuteJobWithRetry(const FleetJob& job,
+                                     obs::Journal* journal) const;
   // The cache-aware job path both Run and RunSerial go through: probe
   // the cache (when enabled), execute on a miss, persist the fresh
   // result, then fire options.on_job_complete.

@@ -30,6 +30,7 @@ Framework::Framework(FrameworkOptions options)
                                               options_.seed ^ 0x917Full);
   taint_addon_ = std::make_shared<TaintFilterAddon>();
   proxy_->AddAddon(taint_addon_);
+  proxy_->SetJournal(options_.journal);
   netstack_.SetDiverter(proxy_.get());
   netstack_.SetLatency(options_.latency);
   if (options_.use_geo_latency) {
@@ -45,6 +46,7 @@ Framework::Framework(FrameworkOptions options)
   if (options_.chaos.Enabled()) {
     chaos_ = std::make_unique<chaos::Injector>(options_.seed, options_.chaos,
                                                &clock_);
+    chaos_->SetJournal(options_.journal);
     network_.SetChaos(chaos_.get());
     netstack_.SetChaos(chaos_.get());
     proxy_->SetChaos(chaos_.get());

@@ -26,6 +26,10 @@
 #include "vendors/world.h"
 #include "web/catalog.h"
 
+namespace panoptes::obs {
+class Journal;
+}  // namespace panoptes::obs
+
 namespace panoptes::core {
 
 struct FrameworkOptions {
@@ -52,6 +56,12 @@ struct FrameworkOptions {
   // injector seeded from (seed, profile), so identical seeds replay
   // identical fault timelines.
   chaos::FaultProfile chaos;
+  // Observatory journal this framework's layers (proxy, chaos, flow
+  // stores, campaigns, battery) emit structured events into. Not owned;
+  // must outlive the framework. Null disables journaling — strictly
+  // additive either way, no report byte depends on it. The fleet wires
+  // one private journal per job here.
+  obs::Journal* journal = nullptr;
 };
 
 class Framework {
@@ -73,6 +83,8 @@ class Framework {
   TaintFilterAddon& taint_addon() { return *taint_addon_; }
   // Null when the chaos profile is disabled.
   chaos::Injector* chaos() { return chaos_.get(); }
+  // Null when no journal was configured (FrameworkOptions::journal).
+  obs::Journal* journal() { return options_.journal; }
 
   // Prepares a browser for a campaign: factory-resets the app (Appium
   // reset in the paper), builds a fresh runtime, installs the per-UID

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "analysis/flow_index.h"
+#include "browser/profiles.h"
 #include "util/binio.h"
 
 namespace panoptes::core::snapshot {
@@ -69,6 +70,12 @@ void WriteVisit(const VisitRecord& visit, util::BinWriter& out) {
   out.I64(visit.attempts);
   out.Str(visit.fault_cause);
   out.I64(visit.backoff_millis);
+  out.U32(visit.engine_tag);
+  out.U32(visit.native_tag);
+  out.U32(visit.engine_flow_begin);
+  out.U32(visit.engine_flow_end);
+  out.U32(visit.native_flow_begin);
+  out.U32(visit.native_flow_end);
 }
 
 void ReadVisit(util::BinReader& in, VisitRecord* visit) {
@@ -82,6 +89,12 @@ void ReadVisit(util::BinReader& in, VisitRecord* visit) {
   visit->attempts = static_cast<int>(in.I64());
   visit->fault_cause = in.Str();
   visit->backoff_millis = in.I64();
+  visit->engine_tag = in.U32();
+  visit->native_tag = in.U32();
+  visit->engine_flow_begin = in.U32();
+  visit->engine_flow_end = in.U32();
+  visit->native_flow_begin = in.U32();
+  visit->native_flow_end = in.U32();
 }
 
 void WriteCrawl(const CrawlResult& crawl, util::BinWriter& out) {
@@ -176,6 +189,25 @@ bool ReadFaults(util::BinReader& in, std::vector<chaos::FaultEvent>* faults) {
   return in.ok();
 }
 
+// Payload from `seed` onward (everything after the job identity).
+bool ReadPayload(util::BinReader& in, FleetJobResult* result) {
+  result->seed = in.U64();
+  result->attempts = static_cast<int>(in.I64());
+  result->quarantined = in.Bool();
+  if (!ReadFaults(in, &result->faults)) return false;
+  result->flow_writes_dropped = in.U64();
+  if (in.Bool()) {
+    result->crawl.emplace();
+    if (!ReadCrawl(in, &*result->crawl)) return false;
+  }
+  if (in.Bool()) {
+    result->idle.emplace();
+    if (!ReadIdle(in, &*result->idle)) return false;
+  }
+  // Trailing garbage is corruption too — the snapshot is the whole file.
+  return in.ok() && in.AtEnd();
+}
+
 }  // namespace
 
 std::string Write(const FleetJobResult& result, uint64_t fingerprint) {
@@ -238,21 +270,39 @@ bool Read(std::string_view bytes, const FleetJob& job,
 
   *result = FleetJobResult();
   result->job = job;
-  result->seed = in.U64();
-  result->attempts = static_cast<int>(in.I64());
-  result->quarantined = in.Bool();
-  if (!ReadFaults(in, &result->faults)) return false;
-  result->flow_writes_dropped = in.U64();
-  if (in.Bool()) {
-    result->crawl.emplace();
-    if (!ReadCrawl(in, &*result->crawl)) return false;
+  return ReadPayload(in, result);
+}
+
+bool ReadAny(std::string_view bytes, FleetJobResult* result) {
+  auto header = PeekHeader(bytes);
+  if (!header.has_value() || header->schema < kMinReadableSchema ||
+      header->schema > kSchemaVersion) {
+    return false;
   }
-  if (in.Bool()) {
-    result->idle.emplace();
-    if (!ReadIdle(in, &*result->idle)) return false;
+  util::BinReader in(bytes);
+  for (size_t i = 0; i < kMagic.size(); ++i) in.U8();
+  in.U32();
+  in.U64();
+
+  std::string browser = in.Str();
+  auto kind = static_cast<CampaignKind>(in.U8());
+  int shard = static_cast<int>(in.U32());
+  int shard_count = static_cast<int>(in.U32());
+  if (!in.ok() || shard < 0 || shard_count <= 0 || shard >= shard_count) {
+    return false;
   }
-  // Trailing garbage is corruption too — the snapshot is the whole file.
-  return in.ok() && in.AtEnd();
+
+  *result = FleetJobResult();
+  if (const browser::BrowserSpec* spec = browser::FindSpec(browser);
+      spec != nullptr) {
+    result->job.spec = *spec;
+  } else {
+    result->job.spec.name = browser;
+  }
+  result->job.kind = kind;
+  result->job.shard = shard;
+  result->job.shard_count = shard_count;
+  return ReadPayload(in, result);
 }
 
 }  // namespace panoptes::core::snapshot

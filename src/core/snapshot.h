@@ -35,12 +35,16 @@ inline constexpr std::string_view kMagic = "PANOSNAP";
 // (presence-flagged; absent indexes are rebuilt from the store on read).
 // v3: flow stores use the arena encoding (proxy::FlowStore's 0xF3 tag:
 // interned pools + one payload blob, deserialized as a near-zero-copy
-// blit). Writers always emit v3; Read still accepts v2 because
-// FlowStore::Deserialize sniffs the store tag and decodes legacy
-// per-record stores via the copy path, so pre-arena snapshots replay
-// byte-identically instead of being re-executed.
-inline constexpr uint32_t kSchemaVersion = 3;
-inline constexpr uint32_t kMinReadableSchema = 2;
+// blit). v4: provenance — flow stores carry per-record uids (0xF4 tag),
+// FlowIndex entries carry the uid column, and visit records carry
+// store tags + flow ordinal ranges, so findings resolve back to the
+// exact flow/visit that produced them. The FlowIndex payload has no
+// tag of its own (it is versioned by this schema number), so v4 bytes
+// are unreadable by v3 decoders and vice versa: kMinReadableSchema
+// rises to 4 and pre-provenance snapshots re-execute. That is the safe
+// direction — a replayed v3 job would mint findings with no flow_id.
+inline constexpr uint32_t kSchemaVersion = 4;
+inline constexpr uint32_t kMinReadableSchema = 4;
 
 // Serializes `result` (with `fingerprint` in the header) to the full
 // file image.
@@ -61,5 +65,13 @@ std::optional<Header> PeekHeader(std::string_view bytes);
 // carry the full BrowserSpec; the caller's plan does). Returns false on
 // any structural problem; `*result` is unspecified then.
 bool Read(std::string_view bytes, const FleetJob& job, FleetJobResult* result);
+
+// Decodes a snapshot whose identity is NOT known in advance, taking
+// browser/kind/shard from the file itself (the BrowserSpec is resolved
+// by name from the built-in profile set; an unknown name keeps a
+// default spec with just the name filled in). Used by `panoptes_cli
+// explain`, which walks cache directories without a plan. Same
+// structural validation as Read otherwise.
+bool ReadAny(std::string_view bytes, FleetJobResult* result);
 
 }  // namespace panoptes::core::snapshot

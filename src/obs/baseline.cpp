@@ -1,0 +1,171 @@
+#include "obs/baseline.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/json.h"
+
+namespace panoptes::obs {
+
+namespace {
+
+std::string Num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+// Flattens a report document into metric and checksum maps. Two shapes
+// are accepted:
+//   * bench reports: {"metrics": {name: number}, "checksums": {...}}
+//   * obs::MetricsRegistry::ToJson(): {name: {"type":..., "value": n,
+//     "count": n, ...}} — counters/gauges contribute "value",
+//     histograms contribute "<name>_count".
+struct FlatReport {
+  std::map<std::string, double> metrics;
+  std::map<std::string, std::string> checksums;
+};
+
+bool Flatten(const util::Json& doc, FlatReport* out, std::string* error) {
+  if (!doc.is_object()) {
+    *error = "top-level value is not an object";
+    return false;
+  }
+  if (const util::Json* metrics = doc.Find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    for (const auto& [name, value] : metrics->as_object()) {
+      if (value.is_number()) out->metrics[name] = value.as_number();
+    }
+    if (const util::Json* sums = doc.Find("checksums");
+        sums != nullptr && sums->is_object()) {
+      for (const auto& [name, value] : sums->as_object()) {
+        if (value.is_string()) out->checksums[name] = value.as_string();
+      }
+    }
+    return true;
+  }
+  // Registry-export shape.
+  for (const auto& [name, entry] : doc.as_object()) {
+    if (!entry.is_object()) continue;
+    if (const util::Json* value = entry.Find("value");
+        value != nullptr && value->is_number()) {
+      out->metrics[name] = value->as_number();
+    } else if (const util::Json* count = entry.Find("count");
+               count != nullptr && count->is_number()) {
+      out->metrics[name + "_count"] = count->as_number();
+    }
+  }
+  return true;
+}
+
+double ToleranceFor(const util::Json& baseline_doc, const std::string& name) {
+  const util::Json* bands = baseline_doc.Find("tolerance");
+  if (bands != nullptr && bands->is_object()) {
+    if (const util::Json* exact = bands->Find(name);
+        exact != nullptr && exact->is_number()) {
+      return exact->as_number();
+    }
+    if (const util::Json* star = bands->Find("*");
+        star != nullptr && star->is_number()) {
+      return star->as_number();
+    }
+  }
+  return BaselineGate::kDefaultTolerance;
+}
+
+}  // namespace
+
+std::string BaselineResult::Render() const {
+  std::string out;
+  for (const std::string& error : errors) {
+    out += "ERROR " + error + "\n";
+  }
+  for (const BaselineCheck& check : checks) {
+    out += std::string(check.ok ? "ok   " : "FAIL ") + check.metric +
+           " current=" + Num(check.current) +
+           " baseline=" + Num(check.baseline) +
+           " allowed_max=" + Num(check.allowed_max);
+    if (!check.detail.empty()) out += " (" + check.detail + ")";
+    out += "\n";
+  }
+  out += ok ? "baseline-gate: PASS\n" : "baseline-gate: FAIL\n";
+  return out;
+}
+
+BaselineResult BaselineGate::Compare(std::string_view baseline_json,
+                                     std::string_view current_json) {
+  BaselineResult result;
+  auto baseline_doc = util::Json::Parse(baseline_json);
+  auto current_doc = util::Json::Parse(current_json);
+  if (!baseline_doc.has_value()) {
+    result.errors.push_back("baseline: JSON parse failed");
+  }
+  if (!current_doc.has_value()) {
+    result.errors.push_back("current: JSON parse failed");
+  }
+  if (!result.errors.empty()) {
+    result.ok = false;
+    return result;
+  }
+
+  FlatReport baseline, current;
+  std::string error;
+  if (!Flatten(*baseline_doc, &baseline, &error)) {
+    result.errors.push_back("baseline: " + error);
+  }
+  if (!Flatten(*current_doc, &current, &error)) {
+    result.errors.push_back("current: " + error);
+  }
+  if (!result.errors.empty()) {
+    result.ok = false;
+    return result;
+  }
+
+  for (const auto& [name, base_value] : baseline.metrics) {
+    BaselineCheck check;
+    check.metric = name;
+    check.baseline = base_value;
+    auto found = current.metrics.find(name);
+    if (found == current.metrics.end()) {
+      check.ok = false;
+      check.detail = "metric missing from current report";
+      result.checks.push_back(std::move(check));
+      continue;
+    }
+    check.current = found->second;
+    double tolerance = ToleranceFor(*baseline_doc, name);
+    if (tolerance <= 0) {
+      check.allowed_max = base_value;
+      check.ok = check.current == base_value;
+      if (!check.ok) check.detail = "exact-match pin differs";
+    } else {
+      check.allowed_max = base_value * (1.0 + tolerance);
+      check.ok = std::isfinite(check.current) &&
+                 check.current <= check.allowed_max;
+      if (!check.ok) check.detail = "exceeds tolerance band";
+    }
+    result.checks.push_back(std::move(check));
+  }
+
+  for (const auto& [name, base_sum] : baseline.checksums) {
+    BaselineCheck check;
+    check.metric = "checksum:" + name;
+    auto found = current.checksums.find(name);
+    if (found == current.checksums.end()) {
+      check.ok = false;
+      check.detail = "checksum missing from current report";
+    } else if (found->second != base_sum) {
+      check.ok = false;
+      check.detail = "expected " + base_sum + " got " + found->second;
+    }
+    result.checks.push_back(std::move(check));
+  }
+
+  for (const BaselineCheck& check : result.checks) {
+    if (!check.ok) result.ok = false;
+  }
+  return result;
+}
+
+}  // namespace panoptes::obs

@@ -1,0 +1,68 @@
+// Run observatory: machine-readable bench/telemetry baseline gate.
+//
+// Every bench binary emits a BENCH_<name>.json report (see
+// bench/bench_common.h): a flat map of named scalar metrics (medians in
+// microseconds, counts, ratios), optional output checksums, and the git
+// revision that produced it. BaselineGate compares such a report — or a
+// metrics JSON export from obs::MetricsRegistry — against a checked-in
+// baseline file with per-metric tolerance bands, so CI fails when a
+// hot path regresses beyond noise or a determinism checksum drifts.
+//
+// Comparison rules:
+//   * every metric listed in the baseline must exist in the current
+//     report (a vanished metric is a failure: the bench stopped
+//     measuring something the baseline pins);
+//   * timing metrics are lower-is-better: current must be <=
+//     baseline * (1 + tolerance). Metrics whose baseline value is an
+//     exact-match pin (tolerance 0, e.g. counts) must match exactly;
+//   * checksums, when present in both files, must be byte-identical —
+//     tolerance never applies to determinism;
+//   * metrics present only in the current report are ignored (adding a
+//     measurement is not a regression).
+//
+// Baseline files are the same schema as bench reports plus an optional
+// "tolerance" object: {"*": 0.60, "specific_metric": 0.25}. The
+// default band is deliberately loose (CI machines are noisy); the gate
+// exists to catch step-function regressions, not 2% jitter.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace panoptes::obs {
+
+// One comparison outcome. `ok == false` entries carry a human-readable
+// reason in `detail`.
+struct BaselineCheck {
+  std::string metric;
+  double baseline = 0;
+  double current = 0;
+  double allowed_max = 0;  // baseline * (1 + tolerance); = baseline when exact
+  bool ok = true;
+  std::string detail;
+};
+
+struct BaselineResult {
+  bool ok = true;
+  std::vector<BaselineCheck> checks;
+  std::vector<std::string> errors;  // parse/schema failures
+
+  // One line per check plus a PASS/FAIL trailer; stable order.
+  std::string Render() const;
+};
+
+class BaselineGate {
+ public:
+  // Default tolerance band applied to metrics without an explicit
+  // entry in the baseline's "tolerance" object.
+  static constexpr double kDefaultTolerance = 0.60;
+
+  // Compares a current bench/metrics JSON document against a baseline
+  // JSON document (both as text). Never throws; malformed input lands
+  // in `errors` with ok=false.
+  static BaselineResult Compare(std::string_view baseline_json,
+                                std::string_view current_json);
+};
+
+}  // namespace panoptes::obs

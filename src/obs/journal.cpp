@@ -1,0 +1,119 @@
+#include "obs/journal.h"
+
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace panoptes::obs {
+
+namespace {
+
+// Appends `value` quoted and escaped without building temporaries.
+void AppendQuoted(std::string& out, std::string_view value) {
+  out.push_back('"');
+  // Fast path: most values (hosts, methods, browser names) need no
+  // escaping at all.
+  bool clean = true;
+  for (char c : value) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      clean = false;
+      break;
+    }
+  }
+  if (clean) {
+    out.append(value);
+  } else {
+    out.append(util::JsonEscape(value));
+  }
+  out.push_back('"');
+}
+
+}  // namespace
+
+std::string FlowIdHex(uint64_t uid) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(uid));
+  return buf;
+}
+
+void Journal::Append(const Journal& other) {
+  const uint32_t field_base = static_cast<uint32_t>(fields_.size());
+  const uint32_t char_base = static_cast<uint32_t>(chars_.size());
+  events_.reserve(events_.size() + other.events_.size());
+  for (JournalEvent event : other.events_) {
+    event.field_begin += field_base;
+    events_.push_back(event);
+  }
+  fields_.reserve(fields_.size() + other.fields_.size());
+  for (Field field : other.fields_) {
+    if (field.type == Field::Type::kStr) field.str_begin += char_base;
+    fields_.push_back(field);
+  }
+  chars_.append(other.chars_);
+}
+
+void Journal::Clear() {
+  events_.clear();
+  fields_.clear();
+  chars_.clear();
+}
+
+std::string Journal::EventJson(const JournalEvent& event) const {
+  std::string out = "{";
+  AppendEvent(out, event);
+  return out;
+}
+
+std::string Journal::Jsonl() const {
+  std::string out = "{\"journal_schema\":" +
+                    std::to_string(kJournalSchemaVersion) +
+                    ",\"events\":" + std::to_string(events_.size()) + "}\n";
+  // ~96 bytes per line in practice; one up-front reservation keeps the
+  // serialization loop nearly allocation-free.
+  out.reserve(out.size() + events_.size() * 128);
+  for (size_t seq = 0; seq < events_.size(); ++seq) {
+    out.append("{\"seq\":");
+    out.append(std::to_string(seq));
+    out.push_back(',');
+    AppendEvent(out, events_[seq]);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void Journal::AppendEvent(std::string& out, const JournalEvent& event) const {
+  out.append("\"t\":");
+  out.append(std::to_string(event.sim_millis));
+  out.append(",\"layer\":");
+  AppendQuoted(out, event.layer);
+  out.append(",\"kind\":");
+  AppendQuoted(out, event.kind);
+  ForEachField(event, [&out](const Field& field, std::string_view value) {
+    out.push_back(',');
+    AppendQuoted(out, field.key);
+    out.push_back(':');
+    switch (field.type) {
+      case Field::Type::kStr:
+        AppendQuoted(out, value);
+        break;
+      case Field::Type::kInt:
+        out.append(std::to_string(static_cast<int64_t>(field.num)));
+        break;
+      case Field::Type::kUint:
+        out.append(std::to_string(field.num));
+        break;
+      case Field::Type::kHex:
+        out.push_back('"');
+        out.append(FlowIdHex(field.num));
+        out.push_back('"');
+        break;
+      case Field::Type::kBool:
+        out.append(field.num != 0 ? "true" : "false");
+        break;
+    }
+  });
+  out.push_back('}');
+}
+
+}  // namespace panoptes::obs

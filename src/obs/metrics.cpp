@@ -32,6 +32,38 @@ std::string FormatNumber(double value) {
   return buf;
 }
 
+// Prometheus text-format escaping. HELP lines escape backslash and
+// newline; label values additionally escape the double quote. Emitting
+// either verbatim corrupts the exposition format (a newline in a help
+// string splits the line mid-comment; a quote in a label value
+// terminates it early), which `validate-telemetry` then rejects.
+std::string EscapeHelp(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeLabelValue(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '"': out += "\\\""; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
@@ -185,7 +217,7 @@ std::string MetricsRegistry::PrometheusText() const {
   std::string out;
   for (const Entry* entry : sorted) {
     if (!entry->help.empty()) {
-      out += "# HELP " + entry->name + " " + entry->help + "\n";
+      out += "# HELP " + entry->name + " " + EscapeHelp(entry->help) + "\n";
     }
     switch (entry->kind) {
       case Kind::kCounter:
@@ -203,8 +235,9 @@ std::string MetricsRegistry::PrometheusText() const {
         out += "# TYPE " + entry->name + " histogram\n";
         auto cumulative = h.CumulativeBuckets();
         for (size_t i = 0; i < h.bounds_.size(); ++i) {
-          out += entry->name + "_bucket{le=\"" + FormatNumber(h.bounds_[i]) +
-                 "\"} " + std::to_string(cumulative[i]) + "\n";
+          out += entry->name + "_bucket{le=\"" +
+                 EscapeLabelValue(FormatNumber(h.bounds_[i])) + "\"} " +
+                 std::to_string(cumulative[i]) + "\n";
         }
         out += entry->name + "_bucket{le=\"+Inf\"} " +
                std::to_string(cumulative.back()) + "\n";

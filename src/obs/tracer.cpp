@@ -12,29 +12,92 @@ namespace {
 
 std::atomic<uint64_t> g_next_tracer_id{1};
 
-// Per-thread buffer cache, keyed by tracer id. Ids are never reused, so
-// a stale entry for a destroyed tracer can never alias a live one.
-thread_local std::unordered_map<uint64_t, void*> t_buffer_cache;
+// Registry of live tracers, so a thread's TLS destructor can tell
+// whether the tracer a cached buffer belongs to still exists. Ids are
+// never reused, so a stale cache entry for a destroyed tracer can never
+// alias a live one. Function-local static with intentional leak: TLS
+// destructors of detached threads can run during process shutdown,
+// after namespace-scope statics are destroyed.
+struct LiveTracers {
+  std::mutex mutex;
+  std::unordered_map<uint64_t, Tracer*> map;
+};
+
+LiveTracers& Live() {
+  static LiveTracers* live = new LiveTracers();
+  return *live;
+}
 
 }  // namespace
 
-Tracer::Tracer()
-    : tracer_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+// Per-thread buffer cache, keyed by tracer id. The destructor runs at
+// thread exit and retires every cached buffer into its tracer (if the
+// tracer is still alive), so spans recorded by worker threads that die
+// before export are flushed instead of sitting in a dead thread's
+// buffer — and the buffer memory is reclaimed. Lock order here is
+// Live().mutex -> Tracer::mutex_; nothing takes them in the other
+// order (~Tracer only takes Live().mutex, never while holding mutex_).
+struct TracerTlsCache {
+  std::unordered_map<uint64_t, void*> buffers;
 
-Tracer::~Tracer() = default;
+  ~TracerTlsCache() {
+    LiveTracers& live = Live();
+    std::lock_guard<std::mutex> lock(live.mutex);
+    for (const auto& [tracer_id, buffer] : buffers) {
+      auto found = live.map.find(tracer_id);
+      if (found == live.map.end()) continue;  // tracer died first
+      found->second->RetireBuffer(
+          static_cast<Tracer::ThreadBuffer*>(buffer));
+    }
+  }
+};
+
+namespace {
+thread_local TracerTlsCache t_buffer_cache;
+}  // namespace
+
+Tracer::Tracer()
+    : tracer_id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {
+  LiveTracers& live = Live();
+  std::lock_guard<std::mutex> lock(live.mutex);
+  live.map[tracer_id_] = this;
+}
+
+Tracer::~Tracer() {
+  LiveTracers& live = Live();
+  std::lock_guard<std::mutex> lock(live.mutex);
+  live.map.erase(tracer_id_);
+}
 
 Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
-  auto cached = t_buffer_cache.find(tracer_id_);
-  if (cached != t_buffer_cache.end()) {
+  auto cached = t_buffer_cache.buffers.find(tracer_id_);
+  if (cached != t_buffer_cache.buffers.end()) {
     return static_cast<ThreadBuffer*>(cached->second);
   }
   std::lock_guard<std::mutex> lock(mutex_);
   auto buffer = std::make_unique<ThreadBuffer>();
-  buffer->tid = static_cast<uint32_t>(buffers_.size() + 1);
+  buffer->tid = next_tid_++;
   ThreadBuffer* out = buffer.get();
   buffers_.push_back(std::move(buffer));
-  t_buffer_cache[tracer_id_] = out;
+  t_buffer_cache.buffers[tracer_id_] = out;
   return out;
+}
+
+void Tracer::RetireBuffer(ThreadBuffer* buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+    retired_events_.insert(retired_events_.end(),
+                           std::make_move_iterator(buffer->events.begin()),
+                           std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+  }
+  for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
+    if (it->get() == buffer) {
+      buffers_.erase(it);
+      break;
+    }
+  }
 }
 
 void Tracer::Record(SpanEvent event) {
@@ -46,17 +109,23 @@ void Tracer::Record(SpanEvent event) {
 
 std::vector<SpanEvent> Tracer::Snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  std::vector<SpanEvent> out;
+  std::vector<SpanEvent> out = retired_events_;
   for (const auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
     out.insert(out.end(), buffer->events.begin(), buffer->events.end());
   }
+  // Retirement order follows thread exit, not tid order; re-establish
+  // (tid, record order) so export is independent of join timing.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SpanEvent& a, const SpanEvent& b) {
+                     return a.tid < b.tid;
+                   });
   return out;
 }
 
 size_t Tracer::EventCount() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  size_t count = 0;
+  size_t count = retired_events_.size();
   for (const auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
     count += buffer->events.size();
@@ -66,6 +135,7 @@ size_t Tracer::EventCount() const {
 
 void Tracer::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  retired_events_.clear();
   for (const auto& buffer : buffers_) {
     std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
     buffer->events.clear();

@@ -49,7 +49,10 @@ class Tracer {
   // assigned here.
   void Record(SpanEvent event);
 
-  // All recorded spans, in (tid, record order). Copies; recording
+  // All recorded spans, in (tid, record order) — including spans from
+  // worker threads that have already exited (their buffers are retired
+  // into the tracer at thread exit, so no tail spans are lost and the
+  // dead thread's buffer memory is reclaimed). Copies; recording
   // threads may keep running.
   std::vector<SpanEvent> Snapshot() const;
   size_t EventCount() const;
@@ -64,6 +67,8 @@ class Tracer {
   static Tracer& Default();
 
  private:
+  friend struct TracerTlsCache;
+
   struct ThreadBuffer {
     mutable std::mutex mutex;
     std::vector<SpanEvent> events;
@@ -72,10 +77,18 @@ class Tracer {
 
   ThreadBuffer* BufferForThisThread();
 
+  // Called from the owning thread's TLS destructor: moves the buffer's
+  // spans into retired_events_ and frees the buffer.
+  void RetireBuffer(ThreadBuffer* buffer);
+
   std::atomic<bool> enabled_{false};
   const uint64_t tracer_id_;  // distinguishes tracers in the TLS cache
-  mutable std::mutex mutex_;  // guards buffers_ registration
+  mutable std::mutex mutex_;  // guards buffers_/retired_events_/next_tid_
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  // Spans from threads that exited; tids stay stable, so Snapshot can
+  // re-establish (tid, record order) with a stable sort.
+  std::vector<SpanEvent> retired_events_;
+  uint32_t next_tid_ = 1;  // dense, never reused across retirements
 };
 
 // RAII span: captures the start timestamp on construction (when the

@@ -4,7 +4,9 @@
 
 #include "chaos/injector.h"
 #include "net/psl.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
+#include "util/rng.h"
 
 namespace panoptes::proxy {
 
@@ -14,8 +16,19 @@ namespace {
 // Bool(compact), so its first byte is always 0 or 1 — any other value
 // is free to act as a version tag.
 constexpr uint8_t kV3Tag = 0xF3;
+// v4 adds the per-record provenance uid. Writers always emit v4;
+// readers still accept v3 (uid falls back to the bare ordinal) and the
+// legacy v2 per-flow encoding.
+constexpr uint8_t kV4Tag = 0xF4;
 
 }  // namespace
+
+uint32_t MakeProvenanceTag(uint64_t job_seed, uint32_t role) {
+  uint64_t state = job_seed ^ (0x9E3779B97F4A7C15ull * (role + 1));
+  uint32_t tag = static_cast<uint32_t>(util::SplitMix64(state) >> 32);
+  // Tag 0 means "no provenance"; remap the 1-in-2^32 collision.
+  return tag == 0 ? 1 : tag;
+}
 
 void FlowStore::Add(Flow flow) {
   if (chaos_ != nullptr && chaos_->FlowWriteDrop(flow.Host())) {
@@ -32,6 +45,13 @@ void FlowStore::Add(Flow flow) {
       "are not re-counted)");
   stored.Inc();
   AddUncounted(flow);
+  if (journal_ != nullptr) {
+    const FlowView& rec = recs_.back();
+    journal_->Emit(flow.time.millis, "store", "flow_stored")
+        .U64Hex("flow", rec.uid)
+        .Num("proxy_id", flow.id)
+        .Str("host", flow.url.host());
+  }
 }
 
 void FlowStore::AddUncounted(const Flow& flow) {
@@ -51,6 +71,8 @@ void FlowStore::TruncateTo(size_t size) {
 void FlowStore::StoreFlow(const Flow& flow, bool keep_headers_and_body) {
   FlowView rec;
   rec.id = flow.id;
+  rec.uid = (static_cast<uint64_t>(provenance_tag_) << 32) |
+            static_cast<uint64_t>(recs_.size());
   rec.time = flow.time;
   rec.browser = InternLabel(flow.browser);
   rec.app_uid = flow.app_uid;
@@ -136,7 +158,7 @@ void FlowStore::Append(const FlowStore& other) {
 }
 
 void FlowStore::SerializeTo(util::BinWriter& out) const {
-  out.U8(kV3Tag);
+  out.U8(kV4Tag);
   out.Bool(compact_);
   out.U64(dropped_writes_);
 
@@ -168,6 +190,7 @@ void FlowStore::SerializeTo(util::BinWriter& out) const {
   util::BinWriter recs;
   for (const FlowView& rec : recs_) {
     recs.U64(rec.id);
+    recs.U64(rec.uid);
     recs.I64(rec.time.millis);
     recs.U32(LabelId(rec.browser));
     recs.I64(rec.app_uid);
@@ -229,7 +252,8 @@ std::unique_ptr<FlowStore> FlowStore::Deserialize(util::BinReader& in) {
     }
     return store;
   }
-  if (tag != kV3Tag) return nullptr;
+  if (tag != kV3Tag && tag != kV4Tag) return nullptr;
+  const bool has_uid = tag == kV4Tag;
 
   auto store = std::make_unique<FlowStore>(in.Bool());
   store->dropped_writes_ = in.U64();
@@ -272,6 +296,9 @@ std::unique_ptr<FlowStore> FlowStore::Deserialize(util::BinReader& in) {
   for (uint32_t i = 0; i < count && in.ok(); ++i) {
     FlowView rec;
     rec.id = in.U64();
+    // v3 snapshots predate provenance uids; the bare ordinal (tag 0)
+    // keeps them readable without inventing a job identity.
+    rec.uid = has_uid ? in.U64() : static_cast<uint64_t>(i);
     rec.time.millis = in.I64();
     uint32_t browser_id = in.U32();
     if (browser_id >= labels.size()) return nullptr;

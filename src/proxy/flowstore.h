@@ -38,7 +38,19 @@ namespace panoptes::chaos {
 class Injector;
 }  // namespace panoptes::chaos
 
+namespace panoptes::obs {
+class Journal;
+}  // namespace panoptes::obs
+
 namespace panoptes::proxy {
+
+// Derives a 32-bit store provenance tag from a job seed and the store's
+// role (0 = engine, 1 = native). Flow uids are (tag << 32) | ordinal,
+// so two jobs (or the two stores of one job) can never mint the same
+// uid unless the tags collide — SplitMix64 mixing makes that as
+// unlikely as any 32-bit hash collision. Tag 0 is reserved for stores
+// with no provenance configured (uid == ordinal).
+uint32_t MakeProvenanceTag(uint64_t job_seed, uint32_t role);
 
 class FlowStore {
  public:
@@ -64,6 +76,19 @@ class FlowStore {
   void SetChaos(chaos::Injector* injector) { chaos_ = injector; }
   uint64_t dropped_writes() const { return dropped_writes_; }
 
+  // Provenance tag folded into every uid stamped by this store (see
+  // MakeProvenanceTag). Set before the first Add; changing it mid-store
+  // is harmless but makes uids non-monotonic.
+  void SetProvenance(uint32_t tag) { provenance_tag_ = tag; }
+  uint32_t provenance_tag() const { return provenance_tag_; }
+
+  // Observatory hook: every first-capture Add emits a "flow_stored"
+  // journal event carrying {flow uid, proxy flow id, host}. Merges,
+  // snapshot restores and rollbacks never re-emit. Pass nullptr to
+  // detach. Strictly additive: store contents and serialization are
+  // byte-identical with or without a journal attached.
+  void SetJournal(obs::Journal* journal) { journal_ = journal; }
+
   // Truncates the store back to `size` flows. Used by the visit retry
   // loop to discard the partial flows of a failed attempt so retries
   // never double-count traffic. Discarded flows are counted into
@@ -83,15 +108,16 @@ class FlowStore {
   // already-arena'd payload bytes; nothing is re-copied).
   void Append(const FlowStore& other);
 
-  // Binary round trip for the job-snapshot format (schema v3 payload).
+  // Binary round trip for the job-snapshot format (schema v4 payload:
+  // v3 plus the per-record provenance uid).
   // Writes the compaction flag, the dropped-write count, the interned
   // name/label pools actually referenced by live flows (in first-
   // reference order, so a store that was truncated serializes exactly
   // like one that never held the discarded flows) and one payload blob
-  // plus fixed-width records. Deserialize recognizes the v3 tag byte
-  // and reconstructs views over a single blob copy — the near-zero-copy
-  // path — while first bytes 0/1 (the legacy leading `compact` Bool)
-  // route v2 snapshots through the per-flow copy path. Returns nullptr
+  // plus fixed-width records. Deserialize recognizes the v4/v3 tag
+  // bytes and reconstructs views over a single blob copy — the
+  // near-zero-copy path — while first bytes 0/1 (the legacy leading
+  // `compact` Bool) route v2 snapshots through the per-flow copy path. Returns nullptr
   // on truncation or corruption. Restored flows never re-enter the
   // stored-flows metric (they were counted at first capture, in the
   // run that produced the snapshot).
@@ -145,6 +171,8 @@ class FlowStore {
 
   bool compact_;
   chaos::Injector* chaos_ = nullptr;
+  obs::Journal* journal_ = nullptr;
+  uint32_t provenance_tag_ = 0;
   uint64_t dropped_writes_ = 0;
 
   util::Arena arena_;  // every string payload and HeaderView array

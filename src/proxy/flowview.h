@@ -62,6 +62,13 @@ class HeadersView {
 
 struct FlowView {
   uint64_t id = 0;
+  // Stable provenance id: (store provenance tag << 32) | store ordinal,
+  // stamped at first capture by FlowStore::StoreFlow and preserved
+  // verbatim across Append/serialize round trips. The tag is derived
+  // from the fleet job seed and the store's role (engine/native), so a
+  // finding's flow_id resolves to one flow of one job across the whole
+  // run — the handle `panoptes_cli explain` walks.
+  uint64_t uid = 0;
   util::SimTime time;
   std::string_view browser;  // interned campaign label
   int app_uid = -1;

@@ -1,6 +1,7 @@
 #include "proxy/mitm.h"
 
 #include "chaos/injector.h"
+#include "obs/journal.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 
@@ -67,6 +68,13 @@ net::HttpResponse MitmProxy::Forward(net::HttpRequest request,
   flow.server_ip = meta.server_ip;
   flow.version = meta.version;
 
+  if (journal_ != nullptr) {
+    journal_->Emit(flow.time.millis, "proxy", "flow_open")
+        .Num("proxy_id", flow.id)
+        .Str("host", flow.url.host())
+        .Str("method", net::MethodName(flow.method));
+  }
+
   // Addons may rewrite the request (the taint filter strips the
   // x-panoptes-taint header here, after recording it on the flow).
   for (const auto& addon : addons_) {
@@ -111,6 +119,13 @@ net::HttpResponse MitmProxy::Forward(net::HttpRequest request,
   metrics.flows_total.Inc();
   metrics.request_bytes_total.Inc(flow.request_bytes);
   metrics.response_bytes_total.Inc(flow.response_bytes);
+  if (journal_ != nullptr) {
+    journal_->Emit(flow.time.millis, "proxy", "flow_close")
+        .Num("proxy_id", flow.id)
+        .Num("status", static_cast<int64_t>(flow.response_status))
+        .BoolF("blocked", flow.blocked)
+        .BoolF("fault_injected", flow.fault_injected);
+  }
   return response;
 }
 

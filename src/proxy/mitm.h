@@ -21,6 +21,10 @@ namespace panoptes::chaos {
 class Injector;
 }  // namespace panoptes::chaos
 
+namespace panoptes::obs {
+class Journal;
+}  // namespace panoptes::obs
+
 namespace panoptes::proxy {
 
 class MitmProxy : public device::TrafficDiverter {
@@ -42,6 +46,12 @@ class MitmProxy : public device::TrafficDiverter {
   // detach.
   void SetChaos(chaos::Injector* injector) { chaos_ = injector; }
 
+  // Observatory hook: every intercepted flow emits flow_open/flow_close
+  // journal events keyed by the proxy's own deterministic flow id (the
+  // "flow_stored" store event links that id to the provenance uid).
+  // Strictly additive; pass nullptr to detach.
+  void SetJournal(obs::Journal* journal) { journal_ = journal; }
+
   // device::TrafficDiverter:
   const net::Certificate& PresentCertificate(std::string_view sni) override;
   net::HttpResponse Forward(net::HttpRequest request,
@@ -55,6 +65,7 @@ class MitmProxy : public device::TrafficDiverter {
  private:
   net::Network* network_;
   chaos::Injector* chaos_ = nullptr;
+  obs::Journal* journal_ = nullptr;
   net::CertificateAuthority ca_;
   std::map<std::string, net::Certificate, std::less<>> cert_cache_;
   std::vector<std::shared_ptr<Addon>> addons_;

@@ -9,6 +9,7 @@
 // simulated clock.
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -147,6 +148,47 @@ TEST(Metrics, PrometheusTextIsWellFormed) {
   EXPECT_NE(text.find("panoptes_c_depth -2\n"), std::string::npos);
 }
 
+// Regression: a newline in a help string used to split the HELP line
+// mid-comment (the continuation parsed as a bogus sample), and a
+// backslash reached the exposition unescaped. Both now render with
+// Prometheus text-format escaping, so every line stays well-formed.
+TEST(Metrics, PrometheusEscapesHelpTextAndLabelValues) {
+  MetricsRegistry registry;
+  registry
+      .GetCounter("panoptes_esc_total",
+                  "first line\nsecond line with back\\slash")
+      .Inc();
+  std::string text = registry.PrometheusText();
+
+  EXPECT_NE(
+      text.find(
+          "# HELP panoptes_esc_total first line\\nsecond line with "
+          "back\\\\slash\n"),
+      std::string::npos);
+  // The raw newline must not survive: every line is either a comment
+  // or a sample, never a dangling help fragment.
+  EXPECT_EQ(text.find("first line\nsecond"), std::string::npos);
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::string line = text.substr(pos, eol - pos);
+    EXPECT_TRUE(line.rfind("# ", 0) == 0 ||
+                line.rfind("panoptes_", 0) == 0)
+        << "malformed exposition line: " << line;
+    pos = eol + 1;
+  }
+
+  // Label values escape quotes/backslashes too; histogram `le=` labels
+  // go through the same path (numeric bounds exercise it structurally).
+  Histogram& histogram =
+      registry.GetHistogram("panoptes_esc_seconds", "", {0.5});
+  histogram.Observe(0.1);
+  text = registry.PrometheusText();
+  EXPECT_NE(text.find("panoptes_esc_seconds_bucket{le=\"0.5\"} 1\n"),
+            std::string::npos);
+}
+
 TEST(Metrics, JsonExportParses) {
   MetricsRegistry registry;
   registry.GetCounter("panoptes_test_total").Inc(7);
@@ -255,6 +297,37 @@ TEST(Tracer, TimestampsIgnoreSimulatedClock) {
   auto events = tracer.Snapshot();
   ASSERT_EQ(events.size(), 1u);
   EXPECT_LT(events[0].duration_ns, int64_t{60} * 1000 * 1000 * 1000);
+}
+
+// Regression: spans recorded by a thread that has since exited must
+// still be visible — the thread-local buffer cache retires its buffers
+// back to the tracer on thread exit, so Snapshot/EventCount after
+// join() lose nothing.
+TEST(Tracer, ThreadExitRetiresSpanBuffers) {
+  Tracer tracer;
+  tracer.SetEnabled(true);
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer]() {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        ScopedSpan span("unit.exit", "test", tracer);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // All worker threads are gone; every span must already be home.
+  EXPECT_EQ(tracer.EventCount(),
+            static_cast<size_t>(kThreads) * kSpansPerThread);
+  auto events = tracer.Snapshot();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads) * kSpansPerThread);
+  std::set<uint64_t> tids;
+  for (const auto& event : events) {
+    EXPECT_EQ(event.name, "unit.exit");
+    tids.insert(event.tid);
+  }
+  EXPECT_EQ(tids.size(), static_cast<size_t>(kThreads));
 }
 
 // The acceptance criterion: exported fleet reports are byte-identical
