@@ -1,0 +1,284 @@
+// Streaming ingest vs batch capture: the memory/throughput trade the
+// bounded-memory FlowSink makes.
+//
+// Two levels, because the honest answer differs by level:
+//
+//  - Micro: a synthetic flow stream whose serialized size is >= 10x
+//    the memory budget is pushed through (a) a plain unbounded
+//    FlowStore + post-hoc FlowIndex::Build — the pre-streaming capture
+//    path — and (b) a StreamBuffer with a hard budget spilling
+//    PANOSPILL segments to disk. Pins determinism (the budgeted,
+//    spilled, materialized store and index are byte-identical to the
+//    unbounded capture) and boundedness (peak live memory stays within
+//    budget + one segment's slack). The throughput ratio is advisory:
+//    spilling double-handles every byte (dump, write, read, rebase),
+//    so the isolated ingest path cannot match batch and the relocatable
+//    segment format exists to keep that overhead to arena-image memcpy
+//    speed rather than a per-record re-encode.
+//
+//  - End-to-end: the same fleet campaign (sim, capture, analyzers,
+//    report) run unbounded vs hard-budgeted with spill. Reports must be
+//    byte-identical and the budgeted run's wall time must stay within
+//    15% of batch — ingest is one stage of a campaign, and a memory
+//    budget must not tax the pipeline it protects.
+//
+// The baseline gate pins only the platform-independent counts and
+// checksums; timings are advisory (EXPERIMENTS.md), except the 15%
+// end-to-end band which is this bench's own exit criterion.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "analysis/export.h"
+#include "analysis/flow_index.h"
+#include "bench_common.h"
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/fleet.h"
+#include "core/stream_buffer.h"
+#include "proxy/flowstore.h"
+#include "util/binio.h"
+#include "util/rng.h"
+
+using namespace panoptes;
+using core::CampaignKind;
+using core::CrawlOptions;
+using core::FleetExecutor;
+using core::FleetOptions;
+using core::IdleOptions;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kBudgetBytes = 64 * 1024;
+constexpr int kFlowCount = 12'000;  // ~10x+ the budget once serialized
+// Per-job budget for the end-to-end fleet: small enough that every
+// campaign stream spills repeatedly.
+constexpr uint64_t kFleetBudgetBytes = 16 * 1024;
+
+// Deterministic synthetic flow stream shaped like campaign traffic: a
+// handful of trackers taking the bulk, a bounded set of tail hosts,
+// varied paths and query params — enough entropy that the index's
+// interned tables and postings do real work.
+std::vector<proxy::Flow> MakeFlows() {
+  std::vector<proxy::Flow> flows;
+  flows.reserve(kFlowCount);
+  for (int i = 0; i < kFlowCount; ++i) {
+    std::string host = (i % 5 != 0)
+                           ? "tracker" + std::to_string(i % 11) + ".example.com"
+                           : "tail" + std::to_string(i % 37) + ".example.org";
+    proxy::Flow flow;
+    flow.url = net::Url::MustParse(
+        "https://" + host + "/v" + std::to_string(i % 3) + "/collect/" +
+        std::to_string(i % 97) + "?sid=" + std::to_string(i * 2654435761u) +
+        "&ev=" + std::to_string(i % 17));
+    flow.time.millis = 1'000 + static_cast<int64_t>(i) * 25;
+    flow.app_uid = 10'000 + (i % 4);
+    flow.request_bytes = 200 + (i % 700);
+    flow.response_bytes = 40 + (i % 90);
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+std::string StoreBytes(const proxy::FlowStore& store) {
+  util::BinWriter out;
+  store.SerializeTo(out);
+  return out.Take();
+}
+
+std::string IndexBytes(const analysis::FlowIndex& index) {
+  util::BinWriter out;
+  index.SerializeTo(out);
+  return out.Take();
+}
+
+// One fleet campaign: two browsers x {crawl, idle} x two shards over a
+// small catalog. `budget` == 0 reproduces the batch path bit for bit.
+struct FleetOutcome {
+  std::string report;
+  core::IngestStats ingest;
+};
+
+FleetOutcome RunFleetCampaign(uint64_t budget, const std::string& spill_dir) {
+  FleetOptions options;
+  options.jobs = 1;  // serial: stable wall time for the 15% band
+  options.framework.catalog.popular_count = 12;
+  options.framework.catalog.sensitive_count = 4;
+  CrawlOptions crawl;
+  crawl.stream.memory_budget_bytes = budget;
+  crawl.stream.spill_dir = spill_dir;
+  IdleOptions idle;
+  idle.duration = util::Duration::Minutes(2);
+  idle.stream = crawl.stream;
+  std::vector<browser::BrowserSpec> specs{*browser::FindSpec("Yandex"),
+                                          *browser::FindSpec("Opera")};
+  auto jobs = FleetExecutor::PlanCampaign(
+      specs, {CampaignKind::kCrawl, CampaignKind::kIdle}, 2, crawl, idle);
+  FleetExecutor executor(options);
+  auto results = executor.Run(jobs);
+  FleetOutcome out;
+  for (const auto& result : results) {
+    if (result.crawl.has_value()) out.ingest.Accumulate(result.crawl->ingest);
+    if (result.idle.has_value()) out.ingest.Accumulate(result.idle->ingest);
+  }
+  out.report =
+      analysis::FleetReportJson(FleetExecutor::MergeShards(std::move(results)));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader("stream_ingest",
+                     "bounded-memory streaming capture is byte-identical to "
+                     "batch, holds peak live memory to the budget, and stays "
+                     "within 15% of batch end to end");
+
+  const std::vector<proxy::Flow> flows = MakeFlows();
+  const uint32_t tag = proxy::MakeProvenanceTag(20231024, 1);
+  const fs::path spill_dir =
+      fs::temp_directory_path() / "panoptes_bench_stream_ingest";
+  fs::remove_all(spill_dir);
+  fs::create_directories(spill_dir);
+
+  // --- Micro: reference unbounded batch path ----------------------
+  proxy::FlowStore batch;
+  batch.SetProvenance(tag);
+  for (const auto& flow : flows) batch.Add(flow);
+  const std::string batch_store_bytes = StoreBytes(batch);
+  const std::string batch_index_bytes =
+      IndexBytes(analysis::FlowIndex::Build(batch));
+  const uint64_t campaign_bytes = batch_store_bytes.size();
+
+  // Budgeted streaming capture, measured once for the accounting pins.
+  core::StreamBuffer::Config config;
+  config.provenance_tag = tag;
+  config.seed = 20231024;
+  config.stream.memory_budget_bytes = kBudgetBytes;
+  config.stream.spill_dir = (spill_dir / "micro").string();
+  core::StreamBuffer probe(config);
+  for (const auto& flow : flows) probe.Push(flow);
+  const core::IngestStats stats = probe.stats();
+  auto materialized = probe.Materialize();
+  const std::string stream_store_bytes = StoreBytes(*materialized.store);
+  const std::string stream_index_bytes = IndexBytes(materialized.index);
+
+  const bool identical = stream_store_bytes == batch_store_bytes &&
+                         stream_index_bytes == batch_index_bytes;
+  // "Budget +/- one segment": the live store may cross the budget by at
+  // most the flow that triggers the next spill, so one extra budget's
+  // worth of slack bounds it comfortably.
+  const bool bounded = stats.peak_live_bytes <= 2 * kBudgetBytes;
+  const bool campaign_large_enough = campaign_bytes >= 10 * kBudgetBytes;
+
+  // Micro throughput: batch append vs streaming capture (spill +
+  // incremental index included), interleaved medians so drift hits
+  // both equally.
+  bench::InterleavedTimer micro;
+  micro.Add("batch_ingest", [&] {
+    proxy::FlowStore store;
+    store.SetProvenance(tag);
+    for (const auto& flow : flows) store.Add(flow);
+    analysis::FlowIndex index = analysis::FlowIndex::Build(store);
+    if (index.flow_count() != flows.size()) std::abort();
+  });
+  micro.Add("stream_ingest", [&] {
+    core::StreamBuffer buffer(config);
+    for (const auto& flow : flows) buffer.Push(flow);
+    auto out = buffer.Materialize();
+    if (out.store->size() != flows.size()) std::abort();
+  });
+  micro.Run(9);
+  micro.Print();
+
+  const double batch_s = micro.MedianSeconds("batch_ingest");
+  const double stream_s = micro.MedianSeconds("stream_ingest");
+  const double micro_ratio = batch_s > 0 ? stream_s / batch_s : 0;
+
+  // --- End to end: the same campaign, unbounded vs budgeted -------
+  const std::string fleet_spill = (spill_dir / "fleet").string();
+  const FleetOutcome batch_fleet = RunFleetCampaign(0, "");
+  const FleetOutcome stream_fleet =
+      RunFleetCampaign(kFleetBudgetBytes, fleet_spill);
+  const bool e2e_identical = stream_fleet.report == batch_fleet.report;
+  const bool fleet_spilled = stream_fleet.ingest.spill_segments >= 2;
+  const bool fleet_clean = !stream_fleet.ingest.Degraded();
+
+  bench::InterleavedTimer e2e;
+  e2e.Add("batch_e2e", [&] {
+    if (RunFleetCampaign(0, "").report != batch_fleet.report) std::abort();
+  });
+  e2e.Add("stream_e2e", [&] {
+    if (RunFleetCampaign(kFleetBudgetBytes, fleet_spill).report !=
+        batch_fleet.report) {
+      std::abort();
+    }
+  });
+  e2e.Run(5);
+  e2e.Print();
+  fs::remove_all(spill_dir);
+
+  const double batch_e2e_s = e2e.MedianSeconds("batch_e2e");
+  const double stream_e2e_s = e2e.MedianSeconds("stream_e2e");
+  const double e2e_ratio = batch_e2e_s > 0 ? stream_e2e_s / batch_e2e_s : 0;
+  const bool e2e_within_band = e2e_ratio > 0 && e2e_ratio <= 1.15;
+
+  std::printf("\nflows            %d\n", kFlowCount);
+  std::printf("campaign bytes   %" PRIu64 " (budget %" PRIu64 ", %.1fx)\n",
+              campaign_bytes, kBudgetBytes,
+              static_cast<double>(campaign_bytes) / kBudgetBytes);
+  std::printf("spill segments   %" PRIu64 " (%" PRIu64 " bytes)\n",
+              stats.spill_segments, stats.spill_bytes);
+  std::printf("peak live bytes  %" PRIu64 " (bounded: %s)\n",
+              stats.peak_live_bytes, bounded ? "yes" : "NO");
+  std::printf("byte-identical   %s (micro), %s (fleet report)\n",
+              identical ? "yes" : "NO", e2e_identical ? "yes" : "NO");
+  std::printf("stream/batch     %.2fx micro (advisory), %.2fx end-to-end "
+              "(budget %" PRIu64 ", %" PRIu64 " segments)\n",
+              micro_ratio, e2e_ratio, kFleetBudgetBytes,
+              stream_fleet.ingest.spill_segments);
+
+  bench::BenchReport report("stream_ingest");
+  report.Metric("flows", static_cast<double>(kFlowCount));
+  report.Metric("byte_identical", identical ? 1 : 0);
+  report.Metric("peak_bounded", bounded ? 1 : 0);
+  report.Metric("campaign_10x_budget", campaign_large_enough ? 1 : 0);
+  report.Metric("spilled", stats.spill_segments >= 2 ? 1 : 0);
+  report.Metric("flows_lost", static_cast<double>(stats.flows_lost));
+  report.Metric("e2e_identical", e2e_identical ? 1 : 0);
+  report.Metric("e2e_spilled", fleet_spilled ? 1 : 0);
+  report.Metric("e2e_clean", fleet_clean ? 1 : 0);
+  report.MetricUs("batch_ingest", batch_s);
+  report.MetricUs("stream_ingest", stream_s);
+  report.MetricUs("batch_e2e", batch_e2e_s);
+  report.MetricUs("stream_e2e", stream_e2e_s);
+  if (micro_ratio > 0) report.Metric("stream_over_batch", micro_ratio);
+  if (e2e_ratio > 0) report.Metric("e2e_stream_over_batch", e2e_ratio);
+  report.Checksum("store", util::HashString(stream_store_bytes));
+  report.Checksum("index", util::HashString(stream_index_bytes));
+  report.Checksum("fleet_report", util::HashString(stream_fleet.report));
+  report.Write();
+  // Sanitizer builds distort timings without touching determinism;
+  // they set PANOPTES_BENCH_LAX_TIMING to skip the throughput band
+  // while keeping every identity/boundedness criterion fatal.
+  const bool lax_timing =
+      std::getenv("PANOPTES_BENCH_LAX_TIMING") != nullptr;
+  const bool ok = identical && bounded && campaign_large_enough &&
+                  e2e_identical && fleet_spilled && fleet_clean &&
+                  (e2e_within_band || lax_timing);
+  if (!ok) {
+    std::printf("\nFAIL:%s%s%s%s%s%s%s\n", identical ? "" : " micro-identity",
+                bounded ? "" : " peak-bound",
+                campaign_large_enough ? "" : " campaign-size",
+                e2e_identical ? "" : " e2e-identity",
+                fleet_spilled ? "" : " e2e-no-spill",
+                fleet_clean ? "" : " e2e-degraded",
+                e2e_within_band ? "" : " e2e-throughput-band");
+  }
+  return ok ? 0 : 1;
+}

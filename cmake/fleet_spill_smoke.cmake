@@ -1,0 +1,103 @@
+# Spill determinism smoke test, run as a ctest via `cmake -P`.
+#
+# Proves that bounded-memory streaming ingest never leaks into the
+# exported reports. The golden reference is an uninterrupted, unbounded,
+# cache-less run. Then, for each memory budget in {tiny, medium,
+# unlimited} and each worker count in {1, 8}, a budgeted spill-to-disk
+# run is hard-killed mid-way (--kill-after-jobs), restarted with
+# --resume, and its reports must come out byte-identical to the golden
+# ones: spilling, resuming, and re-reading spill segments are all
+# invisible to the analysis layer.
+#
+# Expected variables:
+#   CLI     - path to the panoptes_cli executable
+#   OUT_DIR - scratch directory
+
+if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
+  message(FATAL_ERROR
+      "fleet_spill_smoke.cmake needs -DCLI=... and -DOUT_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${OUT_DIR}")
+file(MAKE_DIRECTORY "${OUT_DIR}")
+
+# 2 browsers x (crawl + idle) sharded over 2 shards = 6 jobs; killing
+# after 3 leaves a half-populated cache. The tiny budget forces many
+# spill cycles per job; "unlimited" (0) never spills.
+set(common_args --sites 6 --shards 2 --browsers Yandex,DuckDuckGo --idle)
+
+function(run_fleet rc_var out_var)
+  execute_process(
+    COMMAND "${CLI}" fleet ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  set(${rc_var} "${rc}" PARENT_SCOPE)
+  set(${out_var} "${out}${err}" PARENT_SCOPE)
+endfunction()
+
+# Reference: uninterrupted, unbounded, cache-less run.
+set(golden_json "${OUT_DIR}/golden.json")
+set(golden_csv "${OUT_DIR}/golden.csv")
+run_fleet(rc log --jobs 2 ${common_args}
+    --json "${golden_json}" --csv "${golden_csv}")
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "reference fleet run failed (rc=${rc})\n${log}")
+endif()
+
+# budget 0 = unlimited (still goes through the streaming buffers).
+foreach(budget 16384 1048576 0)
+  foreach(jobs 1 8)
+    set(tag "b${budget}_j${jobs}")
+    set(cache_dir "${OUT_DIR}/cache_${tag}")
+    set(spill_dir "${OUT_DIR}/spill_${tag}")
+    set(resumed_json "${OUT_DIR}/resumed_${tag}.json")
+    set(resumed_csv "${OUT_DIR}/resumed_${tag}.csv")
+    set(budget_args --memory-budget ${budget} --spill-dir "${spill_dir}")
+    file(MAKE_DIRECTORY "${spill_dir}")
+
+    # Kill the budgeted run after 3 of the 6 jobs have been persisted.
+    run_fleet(rc log --jobs ${jobs} ${common_args} ${budget_args}
+        --cache-dir "${cache_dir}" --kill-after-jobs 3
+        --json "${OUT_DIR}/never_${tag}.json")
+    if(rc EQUAL 0)
+      message(FATAL_ERROR
+          "killed run exited 0 (${tag}); --kill-after-jobs did not "
+          "fire\n${log}")
+    endif()
+    if(EXISTS "${OUT_DIR}/never_${tag}.json")
+      message(FATAL_ERROR "killed run still wrote its report (${tag})\n${log}")
+    endif()
+
+    # Resume under the same budget; reports must match the unbounded
+    # uninterrupted reference byte for byte.
+    run_fleet(rc log --jobs ${jobs} ${common_args} ${budget_args}
+        --cache-dir "${cache_dir}" --resume
+        --json "${resumed_json}" --csv "${resumed_csv}")
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR "resumed run failed (${tag}, rc=${rc})\n${log}")
+    endif()
+    foreach(pair "${resumed_json};${golden_json}" "${resumed_csv};${golden_csv}")
+      list(GET pair 0 actual)
+      list(GET pair 1 expected)
+      execute_process(
+        COMMAND ${CMAKE_COMMAND} -E compare_files "${actual}" "${expected}"
+        RESULT_VARIABLE same)
+      if(NOT same EQUAL 0)
+        message(FATAL_ERROR
+            "budgeted resumed report ${actual} differs from the unbounded "
+            "reference (${tag})")
+      endif()
+    endforeach()
+
+    # Materialize consumed every segment: no .panospill files survive a
+    # clean exit (quarantined segments would be .quarantined — none
+    # expected without chaos).
+    file(GLOB leftover "${spill_dir}/*.panospill" "${spill_dir}/*.quarantined")
+    if(leftover)
+      message(FATAL_ERROR "spill segments left behind (${tag}): ${leftover}")
+    endif()
+  endforeach()
+endforeach()
+
+message(STATUS "fleet spill smoke ok")

@@ -10,6 +10,8 @@
 //                      [--chaos-profile flaky|dns-storm|...|file.json]
 //                      [--max-retries N] [--manifest-out manifest.json]
 //                      [--cache-dir DIR] [--resume] [--kill-after-jobs N]
+//                      [--memory-budget BYTES] [--spill-dir DIR] [--shed]
+//                      [--watchdog-seconds N] [--window SECONDS]
 //                      [--json report.json] [--csv report.csv]
 //                      [--metrics-out metrics.prom] [--trace-out trace.json]
 //                      [--journal-out journal.jsonl]
@@ -67,6 +69,8 @@ int Usage() {
                "        [--browsers A,B,..] [--incognito] [--idle]\n"
                "        [--chaos-profile NAME|FILE] [--max-retries N]\n"
                "        [--cache-dir DIR] [--resume] [--kill-after-jobs N]\n"
+               "        [--memory-budget BYTES] [--spill-dir DIR] [--shed]\n"
+               "        [--watchdog-seconds N] [--window SECONDS]\n"
                "        [--manifest-out FILE]\n"
                "        [--json FILE] [--csv FILE]\n"
                "        [--metrics-out FILE] [--trace-out FILE]\n"
@@ -289,6 +293,88 @@ int CmdFleet(const util::Args& args) {
   core::CrawlOptions crawl_options;
   crawl_options.retry.max_retries = max_retries;
 
+  // Streaming ingest: per-job live-store memory budget, spill directory
+  // for sealed segments (safe to share across jobs — segment filenames
+  // embed the per-job provenance tag), deterministic shedding, and a
+  // simulated-time watchdog. Defaults reproduce the unbounded batch
+  // capture bit for bit.
+  core::StreamOptions stream;
+  stream.memory_budget_bytes =
+      static_cast<uint64_t>(args.IntOptionOr("memory-budget", 0));
+  stream.spill_dir = args.OptionOr("spill-dir", "");
+  stream.shed_when_full = args.HasFlag("shed");
+  options.watchdog_deadline =
+      util::Duration::Seconds(args.IntOptionOr("watchdog-seconds", 0));
+  crawl_options.stream = stream;
+  core::IdleOptions idle_options;
+  idle_options.stream = stream;
+
+  // Rolling-window mode (--window): one continuous streaming campaign
+  // per browser, reported straight from the live incremental index —
+  // no fleet executor, no terminal batch pass, memory bounded by the
+  // budget however long the window runs.
+  if (int64_t window_seconds = args.IntOptionOr("window", 0);
+      window_seconds > 0) {
+    core::WindowOptions window_options;
+    window_options.window = util::Duration::Seconds(window_seconds);
+    window_options.stream = stream;
+    window_options.watchdog_deadline = options.watchdog_deadline;
+    obs::MetricsRegistry::Default().Reset();
+    auto window_journal_path = args.Option("journal-out");
+    obs::Journal run_journal;
+    std::string combined = "{\"results\":[";
+    bool first = true;
+    for (const auto& spec : browsers) {
+      core::FrameworkOptions fw = options.framework;
+      fw.catalog_seed = options.base_seed;
+      fw.seed = core::DeriveJobSeed(options.base_seed, spec.name,
+                                    core::CampaignKind::kIdle, 0);
+      obs::Journal job_journal;
+      if (window_journal_path) fw.journal = &job_journal;
+      core::Framework framework(fw);
+      auto result = core::RunWindow(framework, spec, window_options);
+      std::printf(
+          "%s window %llds: %llu native requests, %llu shed, %llu spill "
+          "segments, peak live %llu bytes%s\n",
+          spec.name.c_str(), static_cast<long long>(window_seconds),
+          static_cast<unsigned long long>(result.native_flows),
+          static_cast<unsigned long long>(result.ingest.flows_shed),
+          static_cast<unsigned long long>(result.ingest.spill_segments),
+          static_cast<unsigned long long>(result.ingest.peak_live_bytes),
+          result.watchdog_cancelled ? " [watchdog cancelled]" : "");
+      if (!first) combined += ",";
+      first = false;
+      combined += analysis::WindowReportJson(spec.name, result.native_index);
+      if (window_journal_path) run_journal.Append(job_journal);
+    }
+    combined += "]}";
+    if (auto json_path = args.Option("json")) {
+      if (!WriteFile(*json_path, combined)) {
+        std::fprintf(stderr, "cannot write %s\n", json_path->c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", json_path->c_str());
+    }
+    if (auto metrics_path = args.Option("metrics-out")) {
+      if (!WriteFile(*metrics_path,
+                     obs::MetricsRegistry::Default().PrometheusText())) {
+        std::fprintf(stderr, "cannot write %s\n", metrics_path->c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", metrics_path->c_str());
+    }
+    if (window_journal_path) {
+      if (!WriteFile(*window_journal_path, run_journal.Jsonl())) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     window_journal_path->c_str());
+        return 1;
+      }
+      std::printf("wrote %zu journal events to %s\n", run_journal.size(),
+                  window_journal_path->c_str());
+    }
+    return 0;
+  }
+
   // Result cache: --cache-dir persists each completed job as a
   // fingerprinted snapshot and replays matching snapshots on the next
   // run; --resume additionally re-executes cached quarantines.
@@ -311,8 +397,8 @@ int CmdFleet(const util::Args& args) {
   }
 
   int shards = static_cast<int>(args.IntOptionOr("shards", options.jobs));
-  auto jobs =
-      core::FleetExecutor::PlanCampaign(browsers, kinds, shards, crawl_options);
+  auto jobs = core::FleetExecutor::PlanCampaign(browsers, kinds, shards,
+                                                crawl_options, idle_options);
   std::fprintf(stderr, "fleet: %zu jobs (%zu browsers x %zu kinds), %d "
                "workers\n",
                jobs.size(), browsers.size(), kinds.size(), options.jobs);
@@ -563,60 +649,27 @@ int CmdValidateTelemetry(const util::Args& args) {
       std::fprintf(stderr, "cannot read %s\n", journal_path->c_str());
       return 1;
     }
-    std::string line;
-    if (!std::getline(in, line)) {
-      std::fprintf(stderr, "%s: empty journal (missing header)\n",
-                   journal_path->c_str());
-      return 1;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    // Fail-soft (obs::ValidateJournalJsonl): a journal cut off
+    // mid-write — crash, full disk — still yields its valid prefix.
+    // Exit 3 distinguishes "truncated but salvageable" from hard
+    // corruption (1), so callers can keep the recorded events.
+    obs::JournalValidation validation = obs::ValidateJournalJsonl(text);
+    if (validation.truncated) {
+      std::printf("journal truncated: %zu/%zu events valid in %s (%s)\n",
+                  validation.valid_events, validation.declared_events,
+                  journal_path->c_str(), validation.error.c_str());
+      return 3;
     }
-    auto header = util::Json::Parse(line);
-    if (!header || !header->is_object() ||
-        header->Find("journal_schema") == nullptr ||
-        header->Find("events") == nullptr) {
-      std::fprintf(stderr, "%s: malformed header line\n",
-                   journal_path->c_str());
-      return 1;
-    }
-    if (static_cast<int>(header->Find("journal_schema")->as_number()) !=
-        obs::kJournalSchemaVersion) {
-      std::fprintf(stderr, "%s: unsupported journal_schema\n",
-                   journal_path->c_str());
-      return 1;
-    }
-    const auto declared =
-        static_cast<size_t>(header->Find("events")->as_number());
-    size_t events = 0;
-    while (std::getline(in, line)) {
-      if (line.empty()) continue;
-      auto event = util::Json::Parse(line);
-      if (!event || !event->is_object()) {
-        std::fprintf(stderr, "%s: event %zu is not a JSON object\n",
-                     journal_path->c_str(), events);
-        return 1;
-      }
-      for (const char* key : {"seq", "t", "layer", "kind"}) {
-        if (event->Find(key) == nullptr) {
-          std::fprintf(stderr, "%s: event %zu missing \"%s\"\n",
-                       journal_path->c_str(), events, key);
-          return 1;
-        }
-      }
-      // seq must be dense and 0-based — the merge-order fingerprint.
-      if (static_cast<size_t>(event->Find("seq")->as_number()) != events) {
-        std::fprintf(stderr, "%s: event %zu has out-of-order seq\n",
-                     journal_path->c_str(), events);
-        return 1;
-      }
-      ++events;
-    }
-    if (events != declared) {
-      std::fprintf(stderr, "%s: header declares %zu events, found %zu\n",
-                   journal_path->c_str(), declared, events);
+    if (!validation.ok) {
+      std::fprintf(stderr, "%s: %s\n", journal_path->c_str(),
+                   validation.error.c_str());
       return 1;
     }
     // A zero-event journal (header only) is valid: a zero-job run still
     // writes a well-formed file.
-    std::printf("journal ok: %zu events in %s\n", events,
+    std::printf("journal ok: %zu events in %s\n", validation.valid_events,
                 journal_path->c_str());
     checked_any = true;
   }

@@ -2,7 +2,7 @@
 
 #include <array>
 #include <cstdio>
-
+#include <set>
 #include <unordered_map>
 
 #include "analysis/flow_index.h"
@@ -356,6 +356,47 @@ std::string FleetReportJson(
 std::string RunManifestJson(const core::RunManifest& manifest) {
   ReportTimer timer("analysis.run_manifest_json");
   return manifest.ToJson();
+}
+
+std::string WindowReportJson(std::string_view browser,
+                             const FlowIndex& index) {
+  ReportTimer timer("analysis.window_report_json");
+  util::JsonObject root;
+  root["browser"] = std::string(browser);
+  root["native_requests"] = static_cast<uint64_t>(index.flow_count());
+  root["native_request_bytes"] = index.request_bytes_total();
+  root["native_response_bytes"] = index.response_bytes_total();
+
+  util::JsonArray hosts;
+  for (auto& host : index.SortedHosts()) hosts.emplace_back(std::move(host));
+  root["native_hosts"] = std::move(hosts);
+  std::set<std::string_view> domains;
+  for (const auto& host : index.hosts()) domains.insert(host.domain);
+  root["distinct_domains"] = static_cast<uint64_t>(domains.size());
+
+  // Cumulative request count per absolute 10-second bucket (the Fig 5
+  // shape, answered from the postings instead of a store rescan).
+  util::JsonArray buckets;
+  uint64_t cumulative = 0;
+  for (const auto& [bucket, flows] : index.by_time_bucket()) {
+    util::JsonObject entry;
+    entry["t"] = bucket;
+    cumulative += flows.size();
+    entry["cumulative"] = cumulative;
+    buckets.push_back(util::Json(std::move(entry)));
+  }
+  root["by_time_bucket"] = std::move(buckets);
+
+  PiiScanner scanner(device::DeviceProfile::PaperTestbed());
+  PiiReport pii_report = scanner.Scan(index);
+  util::JsonArray pii;
+  for (size_t i = 0; i < kPiiFieldCount; ++i) {
+    if (pii_report.leaked[i]) {
+      pii.emplace_back(std::string(PiiFieldName(static_cast<PiiField>(i))));
+    }
+  }
+  root["pii_fields"] = std::move(pii);
+  return util::Json(std::move(root)).Dump();
 }
 
 }  // namespace panoptes::analysis

@@ -45,4 +45,11 @@ std::string FleetReportJson(const std::vector<core::FleetJobResult>& results);
 // contract as FleetReportJson: simulated time and counts only.
 std::string RunManifestJson(const core::RunManifest& manifest);
 
+// Rolling-window report: answered entirely from the live incremental
+// FlowIndex (no flow store, no terminal batch pass) — request counts,
+// byte totals, distinct hosts/domains, the cumulative per-time-bucket
+// timeline and the PII scan. Deterministic for a given index.
+std::string WindowReportJson(std::string_view browser,
+                             const analysis::FlowIndex& index);
+
 }  // namespace panoptes::analysis

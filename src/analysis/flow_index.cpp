@@ -290,6 +290,83 @@ FlowIndex FlowIndex::Build(const proxy::FlowStore& store) {
   return index;
 }
 
+void FlowIndex::AddFlow(const proxy::FlowStore& store, size_t i,
+                        Cursor& cursor) {
+  constexpr uint32_t kUnmapped = UINT32_MAX;
+  // The store's host pool only grows, so the map is extended lazily;
+  // a rewind shrinks it back through RewindTo.
+  if (cursor.host_map.size() < store.hosts().size()) {
+    cursor.host_map.resize(store.hosts().size(), kUnmapped);
+  }
+  const proxy::FlowView& flow = store.flow(i);
+  uint32_t& mapped = cursor.host_map[flow.host_id];
+  if (mapped == kUnmapped) mapped = InternHost(flow.Host());
+  IndexFlow(flow, mapped, cursor.cache);
+  Metrics().indexed_flows.Inc();
+}
+
+FlowIndex::Checkpoint FlowIndex::MakeCheckpoint() const {
+  return Checkpoint{hosts_.size(),   keys_.size(),
+                    paths_.size(),  params_.size(),
+                    entries_.size(), request_bytes_total_,
+                    response_bytes_total_};
+}
+
+void FlowIndex::RewindTo(const Checkpoint& checkpoint, Cursor* cursor) {
+  constexpr uint32_t kUnmapped = UINT32_MAX;
+  // Pop postings newest-first: each discarded entry is by construction
+  // the tail of every postings vector it appears in.
+  for (size_t id = entries_.size(); id-- > checkpoint.entries;) {
+    const FlowEntry& entry = entries_[id];
+    flows_by_host_[entry.host_id].pop_back();
+    auto uid_it = flows_by_uid_.find(entry.app_uid);
+    uid_it->second.pop_back();
+    if (uid_it->second.empty()) flows_by_uid_.erase(uid_it);
+    int64_t bucket = entry.time_millis / kTimeBucketMillis * kTimeBucketMillis;
+    auto bucket_it = flows_by_bucket_.find(bucket);
+    bucket_it->second.pop_back();
+    if (bucket_it->second.empty()) flows_by_bucket_.erase(bucket_it);
+  }
+  entries_.resize(checkpoint.entries);
+  params_.resize(checkpoint.params);
+
+  for (size_t id = checkpoint.hosts; id < hosts_.size(); ++id) {
+    host_ids_.erase(host_ids_.find(hosts_[id].raw));
+  }
+  hosts_.resize(checkpoint.hosts);
+  flows_by_host_.resize(checkpoint.hosts);
+  for (size_t id = checkpoint.keys; id < keys_.size(); ++id) {
+    key_ids_.erase(key_ids_.find(keys_[id]));
+  }
+  keys_.resize(checkpoint.keys);
+  keys_lower_.resize(checkpoint.keys);
+  if (paths_.size() > checkpoint.paths) {
+    paths_.resize(checkpoint.paths);
+    // Rebuild the probe table in place: deleting slots would leave
+    // tombstones that break the empty-slot probe termination.
+    std::fill(path_slots_.begin(), path_slots_.end(), 0);
+    const size_t mask = path_slots_.size() - 1;
+    for (uint32_t id = 0; id < paths_.size(); ++id) {
+      uint64_t hash = PathHash(paths_[id]);
+      size_t i = hash & mask;
+      while (path_slots_[i] != 0) i = (i + 1) & mask;
+      path_slots_[i] =
+          (hash & 0xFFFFFFFF00000000ull) | (static_cast<uint64_t>(id) + 1);
+    }
+  }
+  request_bytes_total_ = checkpoint.request_bytes;
+  response_bytes_total_ = checkpoint.response_bytes;
+
+  if (cursor != nullptr) {
+    for (uint32_t& mapped : cursor->host_map) {
+      if (mapped != kUnmapped && mapped >= checkpoint.hosts) {
+        mapped = kUnmapped;
+      }
+    }
+    cursor->cache = PostingsCache{};
+  }
+}
+
 void FlowIndex::Append(const FlowIndex& other) {
   obs::ScopedSpan span("index.append", "index");
   // Self-append would walk tables it is mutating; copy first.

@@ -113,6 +113,56 @@ class FlowIndex {
   // index over the concatenated stores.
   void Append(const FlowIndex& other);
 
+ private:
+  // Memoizes the by-uid/by-bucket map nodes across consecutive flows:
+  // capture order clusters flows by app and by time, so most postings
+  // land in the vector the previous flow used. Node pointers into a
+  // std::map stay valid across inserts, but the cache must stay local
+  // to one bulk operation (Build/Append/Deserialize) or one streaming
+  // Cursor — it must not outlive the index or travel with copies.
+  struct PostingsCache {
+    int32_t uid = 0;
+    std::vector<uint32_t>* uid_flows = nullptr;
+    int64_t bucket = 0;
+    std::vector<uint32_t>* bucket_flows = nullptr;
+  };
+
+ public:
+  // --- Incremental (streaming) build ------------------------------
+  //
+  // AddFlow folds one store flow into the index as it is captured; a
+  // sequence of AddFlow(store, 0..n-1) is byte-identical (under
+  // SerializeTo) to Build(store) over the same n flows. The Cursor
+  // carries the per-stream memoization Build keeps on its stack: the
+  // store-host-id → index-host-id map and the postings node cache. One
+  // cursor per (index, store) stream; it must not outlive either.
+  struct Cursor {
+    std::vector<uint32_t> host_map;
+    PostingsCache cache;
+  };
+  void AddFlow(const proxy::FlowStore& store, size_t i, Cursor& cursor);
+
+  // Rewind support for visit-retry rollback: MakeCheckpoint captures
+  // the current table watermarks, RewindTo discards everything indexed
+  // since — entries, params, postings, and any host/key/path interned
+  // first by a discarded flow — so the index is byte-identical to one
+  // that never saw the rolled-back flows. Text-pool bytes of discarded
+  // paths/params stay allocated (views never dangle), mirroring
+  // FlowStore::TruncateTo's arena behaviour; serialization writes only
+  // live tables, so the slack never reaches a snapshot. Pass the
+  // stream's cursor so its host map and node cache are invalidated.
+  struct Checkpoint {
+    size_t hosts = 0;
+    size_t keys = 0;
+    size_t paths = 0;
+    size_t params = 0;
+    size_t entries = 0;
+    uint64_t request_bytes = 0;
+    uint64_t response_bytes = 0;
+  };
+  Checkpoint MakeCheckpoint() const;
+  void RewindTo(const Checkpoint& checkpoint, Cursor* cursor);
+
   size_t flow_count() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
 
@@ -158,19 +208,6 @@ class FlowIndex {
   static std::unique_ptr<FlowIndex> Deserialize(util::BinReader& in);
 
  private:
-  // Memoizes the by-uid/by-bucket map nodes across consecutive flows:
-  // capture order clusters flows by app and by time, so most postings
-  // land in the vector the previous flow used. Node pointers into a
-  // std::map stay valid across inserts, but the cache must stay local
-  // to one bulk operation (Build/Append/Deserialize) — it must not
-  // outlive the index or travel with copies.
-  struct PostingsCache {
-    int32_t uid = 0;
-    std::vector<uint32_t>* uid_flows = nullptr;
-    int64_t bucket = 0;
-    std::vector<uint32_t>* bucket_flows = nullptr;
-  };
-
   uint32_t InternHost(std::string_view raw);
   uint32_t InternKey(std::string_view key);
   uint32_t InternPath(std::string_view path);

@@ -99,6 +99,10 @@ bool Injector::FlowWriteDrop(std::string_view host) {
   return Draw(FaultKind::kFlowWriteDrop, host, profile_.flow_write_drop_p);
 }
 
+bool Injector::SpillIoFault(std::string_view label) {
+  return Draw(FaultKind::kSpillIo, label, profile_.spill_io_p);
+}
+
 util::Duration Injector::LatencySpike(std::string_view host) {
   if (Draw(FaultKind::kLatencySpike, host, profile_.latency_spike_p)) {
     return profile_.latency_spike;

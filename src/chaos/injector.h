@@ -55,6 +55,9 @@ class Injector {
   bool ServerTimeout(std::string_view host);
   bool UpstreamReset(std::string_view host);
   bool FlowWriteDrop(std::string_view host);
+  // `label` names the spilling stream ("engine"/"native"), not a host:
+  // spill I/O breaks per device store, not per destination.
+  bool SpillIoFault(std::string_view label);
 
   // Zero, or the profile's spike when one fires for this exchange.
   util::Duration LatencySpike(std::string_view host);

@@ -41,6 +41,7 @@ std::string_view FaultKindName(FaultKind kind) {
     case FaultKind::kUpstreamReset: return "upstream-reset";
     case FaultKind::kLatencySpike: return "latency-spike";
     case FaultKind::kFlowWriteDrop: return "flow-write-drop";
+    case FaultKind::kSpillIo: return "spill-io";
   }
   return "?";
 }
@@ -57,7 +58,7 @@ bool FaultProfile::Enabled() const {
   return dns_failure_p > 0 || !dead_hosts.empty() || tls_drop_p > 0 ||
          server_error_p > 0 || server_timeout_p > 0 ||
          upstream_reset_p > 0 || latency_spike_p > 0 ||
-         flow_write_drop_p > 0;
+         flow_write_drop_p > 0 || spill_io_p > 0;
 }
 
 uint64_t FaultProfile::Fingerprint() const {
@@ -76,6 +77,7 @@ uint64_t FaultProfile::Fingerprint() const {
   state = MixDouble(state, latency_spike_p);
   state = MixInt(state, latency_spike.millis);
   state = MixDouble(state, flow_write_drop_p);
+  state = MixDouble(state, spill_io_p);
   return state;
 }
 
@@ -96,6 +98,7 @@ std::string FaultProfile::ToJson() const {
   root["latency_spike_p"] = latency_spike_p;
   root["latency_spike_millis"] = latency_spike.millis;
   root["flow_write_drop_p"] = flow_write_drop_p;
+  root["spill_io_p"] = spill_io_p;
   return util::Json(std::move(root)).Dump();
 }
 
@@ -131,11 +134,13 @@ std::optional<FaultProfile> FaultProfile::FromJson(std::string_view text) {
   profile.latency_spike = util::Duration::Millis(static_cast<int64_t>(
       NumberOr(*parsed, "latency_spike_millis", 1500)));
   profile.flow_write_drop_p = NumberOr(*parsed, "flow_write_drop_p", 0);
+  profile.spill_io_p = NumberOr(*parsed, "spill_io_p", 0);
 
   for (double p :
        {profile.dns_failure_p, profile.tls_drop_p, profile.server_error_p,
         profile.server_timeout_p, profile.upstream_reset_p,
-        profile.latency_spike_p, profile.flow_write_drop_p}) {
+        profile.latency_spike_p, profile.flow_write_drop_p,
+        profile.spill_io_p}) {
     if (p < 0 || p > 1) return std::nullopt;
   }
   return profile;

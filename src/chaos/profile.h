@@ -30,9 +30,10 @@ enum class FaultKind {
   kUpstreamReset,   // proxy-to-origin connection reset
   kLatencySpike,    // exchange RTT multiplied by a spike
   kFlowWriteDrop,   // flow database write fault (record lost)
+  kSpillIo,         // spill-segment write/read I/O fault
 };
 
-inline constexpr size_t kFaultKindCount = 8;
+inline constexpr size_t kFaultKindCount = 9;
 
 // Response header stamped onto every chaos-synthesized HTTP response
 // (injected 5xx, upstream resets). The proxy uses it to tag the flow so
@@ -63,6 +64,7 @@ struct FaultProfile {
   double latency_spike_p = 0;
   util::Duration latency_spike = util::Duration::Millis(1500);
   double flow_write_drop_p = 0;
+  double spill_io_p = 0;
 
   // True when any fault can ever fire.
   bool Enabled() const;

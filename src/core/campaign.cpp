@@ -88,31 +88,39 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
   result.browser = spec.name;
   result.incognito_requested = options.incognito;
   result.incognito_effective = options.incognito && spec.has_incognito;
-  result.engine_flows =
-      std::make_unique<proxy::FlowStore>(options.compact_engine_store);
-  result.native_flows = std::make_unique<proxy::FlowStore>();
   // Provenance tags: every flow stored below gets a uid of
   // (tag << 32) | ordinal, resolvable across the whole fleet run.
   const uint32_t engine_tag =
       proxy::MakeProvenanceTag(framework.options().seed, /*role=*/0);
   const uint32_t native_tag =
       proxy::MakeProvenanceTag(framework.options().seed, /*role=*/1);
-  result.engine_flows->SetProvenance(engine_tag);
-  result.native_flows->SetProvenance(native_tag);
 
   auto& runtime = framework.PrepareBrowser(spec, options.factory_reset);
-  framework.taint_addon().SetStores(result.engine_flows.get(),
-                                    result.native_flows.get());
   framework.netstack().ResetStats();
   chaos::Injector* injector = framework.chaos();
-  if (injector != nullptr) {
-    result.engine_flows->SetChaos(injector);
-    result.native_flows->SetChaos(injector);
-  }
   obs::Journal* journal = framework.journal();
+
+  // Capture is push-based: the taint addon pushes each completed flow
+  // into a budgeted StreamBuffer, which keeps the live ring, updates
+  // the incremental index, and spills/sheds under memory pressure.
+  StreamBuffer::Config engine_config;
+  engine_config.compact = options.compact_engine_store;
+  engine_config.provenance_tag = engine_tag;
+  engine_config.seed = framework.options().seed;
+  engine_config.stream = options.stream;
+  engine_config.chaos = injector;
+  engine_config.journal = journal;
+  engine_config.clock = &framework.clock();
+  engine_config.role = "engine";
+  StreamBuffer engine_buffer(engine_config);
+  StreamBuffer::Config native_config = engine_config;
+  native_config.compact = false;
+  native_config.provenance_tag = native_tag;
+  native_config.role = "native";
+  StreamBuffer native_buffer(native_config);
+  framework.taint_addon().SetSinks(&engine_buffer, &native_buffer);
+
   if (journal != nullptr) {
-    result.engine_flows->SetJournal(journal);
-    result.native_flows->SetJournal(journal);
     journal->Emit(framework.clock().Now().millis, "campaign", "crawl_begin")
         .Str("browser", spec.name)
         .Num("sites", static_cast<uint64_t>(sites.size()))
@@ -131,9 +139,31 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
   auto driver = browser::MakeDriver(&runtime);
   driver->Attach();
 
+  const util::SimTime campaign_start = framework.clock().Now();
   runtime.Startup();
 
   for (const web::Site* site : sites) {
+    // Watchdog: a wedged job (chaos timeouts and retries can stretch
+    // the simulated timeline arbitrarily) is cancelled at its deadline
+    // and routed through the fleet's retry/quarantine machinery.
+    if (options.watchdog_deadline.millis > 0 &&
+        framework.clock().Now() - campaign_start >=
+            options.watchdog_deadline) {
+      result.watchdog_cancelled = true;
+      static obs::Counter& watchdog_fires =
+          obs::MetricsRegistry::Default().GetCounter(
+              "panoptes_ingest_watchdog_cancels_total",
+              "Campaigns cancelled by the per-job watchdog deadline");
+      watchdog_fires.Inc();
+      if (journal != nullptr) {
+        journal->Emit(framework.clock().Now().millis, "campaign",
+                      "watchdog_cancel")
+            .Str("browser", spec.name)
+            .Num("visits_done", static_cast<uint64_t>(result.visits.size()))
+            .Num("deadline_millis", options.watchdog_deadline.millis);
+      }
+      break;
+    }
     obs::ScopedSpan visit_span("campaign.visit", "campaign");
     visit_span.Arg("host", site->hostname);
     metrics.visits_total.Inc();
@@ -149,13 +179,16 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
           .Num("visit", static_cast<uint64_t>(result.visits.size()));
     }
 
-    // Self-healing visit loop: a failed attempt rolls the stores back
-    // to their pre-attempt marks (retries never double-count flows),
-    // backs off on the simulated clock, and tries again with the same
-    // driver. With the default policy (max_retries = 0) this runs the
-    // single attempt of the legacy path.
-    const size_t engine_mark = result.engine_flows->size();
-    const size_t native_mark = result.native_flows->size();
+    // Self-healing visit loop: a failed attempt rolls both sinks back
+    // to their pre-attempt marks (retries never double-count flows —
+    // store and incremental index together), backs off on the simulated
+    // clock, and tries again with the same driver. With the default
+    // policy (max_retries = 0) this runs the single attempt of the
+    // legacy path.
+    const uint64_t engine_mark = engine_buffer.FlowCount();
+    const uint64_t native_mark = native_buffer.FlowCount();
+    engine_buffer.BeginTransaction();
+    native_buffer.BeginTransaction();
     browser::NavigateOutcome outcome;
     int failures = 0;
     for (;;) {
@@ -172,13 +205,13 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
         if (options.retry.max_retries > 0) {
           // Final failure under an active retry policy: a degraded
           // visit contributes nothing, partial flows included.
-          result.engine_flows->TruncateTo(engine_mark);
-          result.native_flows->TruncateTo(native_mark);
+          engine_buffer.RollbackTransaction();
+          native_buffer.RollbackTransaction();
         }
         break;
       }
-      result.engine_flows->TruncateTo(engine_mark);
-      result.native_flows->TruncateTo(native_mark);
+      engine_buffer.RollbackTransaction();
+      native_buffer.RollbackTransaction();
       static obs::Counter& retries = obs::MetricsRegistry::Default().GetCounter(
           "panoptes_fleet_visit_retries_total",
           "Visit attempts retried after a failure");
@@ -203,6 +236,11 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
       backoff_hist.Observe(static_cast<double>(delay.millis) / 1000.0);
     }
 
+    // Close the visit transaction; commit releases the spill deferral,
+    // so a budgeted buffer seals at visit boundaries.
+    engine_buffer.CommitTransaction();
+    native_buffer.CommitTransaction();
+
     record.ok = outcome.page.ok;
     record.dom_content_loaded = outcome.page.dom_content_loaded;
     record.incognito_honored = outcome.incognito_honored;
@@ -210,12 +248,12 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
     record.blocked_by_adblock = outcome.page.blocked_by_adblock;
     // Final (post-rollback) flow ordinal ranges: the uid span this
     // visit contributed to each store, for finding→visit resolution.
+    // FlowCount is the global ordinal, so the ranges stay valid when
+    // earlier flows have been spilled out of the live store.
     record.engine_flow_begin = static_cast<uint32_t>(engine_mark);
-    record.engine_flow_end =
-        static_cast<uint32_t>(result.engine_flows->size());
+    record.engine_flow_end = static_cast<uint32_t>(engine_buffer.FlowCount());
     record.native_flow_begin = static_cast<uint32_t>(native_mark);
-    record.native_flow_end =
-        static_cast<uint32_t>(result.native_flows->size());
+    record.native_flow_end = static_cast<uint32_t>(native_buffer.FlowCount());
     if (journal != nullptr) {
       journal->Emit(framework.clock().Now().millis, "campaign", "visit_end")
           .Str("host", site->hostname)
@@ -234,6 +272,18 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
   result.stack_stats = framework.netstack().stats();
   result.fault_injected_flows =
       framework.taint_addon().fault_injected_flows() - fault_flows_before;
+  framework.taint_addon().SetSinks(nullptr, nullptr);
+
+  // Drain the buffers: spill segments are read back and folded, with
+  // the live remainder, into one store per stream — byte-identical to
+  // an unbounded batch capture — and the incremental index rides along
+  // (rebuilt from the salvaged prefix if a segment was corrupt).
+  auto engine_out = engine_buffer.Materialize();
+  auto native_out = native_buffer.Materialize();
+  result.ingest.Accumulate(engine_buffer.stats());
+  result.ingest.Accumulate(native_buffer.stats());
+  result.engine_flows = std::move(engine_out.store);
+  result.native_flows = std::move(native_out.store);
   result.engine_flows->SetChaos(nullptr);
   result.native_flows->SetChaos(nullptr);
   result.engine_flows->SetJournal(nullptr);
@@ -245,18 +295,15 @@ CrawlResult RunCrawl(Framework& framework, const browser::BrowserSpec& spec,
         .Num("native_flows",
              static_cast<uint64_t>(result.native_flows->size()));
   }
-  framework.taint_addon().SetStores(nullptr, nullptr);
   framework.TeardownBrowser();
 
   metrics.engine_flows_total.Inc(result.engine_flows->size());
   metrics.native_flows_total.Inc(result.native_flows->size());
 
-  // Index the final stores once; every downstream analysis reuses the
-  // pre-parsed columns instead of rescanning the flows.
   result.engine_index = std::make_shared<const analysis::FlowIndex>(
-      analysis::FlowIndex::Build(*result.engine_flows));
+      std::move(engine_out.index));
   result.native_index = std::make_shared<const analysis::FlowIndex>(
-      analysis::FlowIndex::Build(*result.native_flows));
+      std::move(native_out.index));
 
   PANOPTES_LOG(kInfo, "crawl")
       << spec.name << ": " << result.visits.size() << " visits, "
@@ -304,21 +351,26 @@ IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
 
   IdleResult result;
   result.browser = spec.name;
-  result.native_flows = std::make_unique<proxy::FlowStore>();
   result.bucket = options.bucket;
   const uint32_t native_tag =
       proxy::MakeProvenanceTag(framework.options().seed, /*role=*/1);
-  result.native_flows->SetProvenance(native_tag);
 
   auto& runtime = framework.PrepareBrowser(spec, options.factory_reset);
-  // Idle runs only need the native database.
-  framework.taint_addon().SetStores(nullptr, result.native_flows.get());
-  if (framework.chaos() != nullptr) {
-    result.native_flows->SetChaos(framework.chaos());
-  }
   obs::Journal* journal = framework.journal();
+
+  StreamBuffer::Config native_config;
+  native_config.provenance_tag = native_tag;
+  native_config.seed = framework.options().seed;
+  native_config.stream = options.stream;
+  native_config.chaos = framework.chaos();
+  native_config.journal = journal;
+  native_config.clock = &framework.clock();
+  native_config.role = "native";
+  StreamBuffer native_buffer(native_config);
+  // Idle runs only need the native database.
+  framework.taint_addon().SetSinks(nullptr, &native_buffer);
+
   if (journal != nullptr) {
-    result.native_flows->SetJournal(journal);
     journal->Emit(framework.clock().Now().millis, "campaign", "idle_begin")
         .Str("browser", spec.name)
         .Num("native_tag", static_cast<uint64_t>(native_tag))
@@ -332,24 +384,45 @@ IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
   util::Duration elapsed{0};
   util::Duration next_bucket = options.bucket;
   while (elapsed < options.duration) {
+    if (options.watchdog_deadline.millis > 0 &&
+        elapsed >= options.watchdog_deadline) {
+      result.watchdog_cancelled = true;
+      static obs::Counter& watchdog_fires =
+          obs::MetricsRegistry::Default().GetCounter(
+              "panoptes_ingest_watchdog_cancels_total",
+              "Campaigns cancelled by the per-job watchdog deadline");
+      watchdog_fires.Inc();
+      if (journal != nullptr) {
+        journal->Emit(framework.clock().Now().millis, "campaign",
+                      "watchdog_cancel")
+            .Str("browser", spec.name)
+            .Num("elapsed_millis", elapsed.millis)
+            .Num("deadline_millis", options.watchdog_deadline.millis);
+      }
+      break;
+    }
     obs::ScopedSpan tick_span("campaign.idle_tick", "campaign");
     metrics.idle_ticks_total.Inc();
     framework.clock().Advance(options.tick);
     elapsed = framework.clock().Now() - start;
     runtime.IdleTick(elapsed);
     while (elapsed >= next_bucket && next_bucket <= options.duration) {
-      result.cumulative_by_bucket.push_back(result.native_flows->size());
+      result.cumulative_by_bucket.push_back(native_buffer.FlowCount());
       next_bucket = next_bucket + options.bucket;
     }
   }
   while (result.cumulative_by_bucket.size() <
          static_cast<size_t>(options.duration.millis /
                              options.bucket.millis)) {
-    result.cumulative_by_bucket.push_back(result.native_flows->size());
+    result.cumulative_by_bucket.push_back(native_buffer.FlowCount());
   }
 
   result.fault_injected_flows =
       framework.taint_addon().fault_injected_flows() - fault_flows_before;
+  framework.taint_addon().SetSinks(nullptr, nullptr);
+  auto native_out = native_buffer.Materialize();
+  result.ingest = native_buffer.stats();
+  result.native_flows = std::move(native_out.store);
   result.native_flows->SetChaos(nullptr);
   result.native_flows->SetJournal(nullptr);
   if (journal != nullptr) {
@@ -358,11 +431,91 @@ IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
         .Num("native_flows",
              static_cast<uint64_t>(result.native_flows->size()));
   }
-  framework.taint_addon().SetStores(nullptr, nullptr);
   framework.TeardownBrowser();
   metrics.native_flows_total.Inc(result.native_flows->size());
   result.native_index = std::make_shared<const analysis::FlowIndex>(
-      analysis::FlowIndex::Build(*result.native_flows));
+      std::move(native_out.index));
+  return result;
+}
+
+WindowResult RunWindow(Framework& framework, const browser::BrowserSpec& spec,
+                       const WindowOptions& options) {
+  CampaignMetrics& metrics = CampaignMetrics::Get();
+  obs::ScopedSpan window_span("campaign.window", "campaign");
+  window_span.Arg("browser", spec.name);
+
+  WindowResult result;
+  result.browser = spec.name;
+  const uint32_t native_tag =
+      proxy::MakeProvenanceTag(framework.options().seed, /*role=*/1);
+
+  auto& runtime = framework.PrepareBrowser(spec, /*factory_reset=*/true);
+  obs::Journal* journal = framework.journal();
+
+  StreamBuffer::Config native_config;
+  native_config.provenance_tag = native_tag;
+  native_config.seed = framework.options().seed;
+  native_config.stream = options.stream;
+  native_config.chaos = framework.chaos();
+  native_config.journal = journal;
+  native_config.clock = &framework.clock();
+  native_config.role = "native";
+  StreamBuffer native_buffer(native_config);
+  framework.taint_addon().SetSinks(nullptr, &native_buffer);
+
+  if (journal != nullptr) {
+    journal->Emit(framework.clock().Now().millis, "campaign", "window_begin")
+        .Str("browser", spec.name)
+        .Num("native_tag", static_cast<uint64_t>(native_tag))
+        .Num("window_millis", options.window.millis);
+  }
+  uint64_t fault_flows_before = framework.taint_addon().fault_injected_flows();
+
+  util::SimTime start = framework.clock().Now();
+  runtime.Startup();
+
+  util::Duration elapsed{0};
+  while (elapsed < options.window) {
+    if (options.watchdog_deadline.millis > 0 &&
+        elapsed >= options.watchdog_deadline) {
+      result.watchdog_cancelled = true;
+      static obs::Counter& watchdog_fires =
+          obs::MetricsRegistry::Default().GetCounter(
+              "panoptes_ingest_watchdog_cancels_total",
+              "Campaigns cancelled by the per-job watchdog deadline");
+      watchdog_fires.Inc();
+      if (journal != nullptr) {
+        journal->Emit(framework.clock().Now().millis, "campaign",
+                      "watchdog_cancel")
+            .Str("browser", spec.name)
+            .Num("elapsed_millis", elapsed.millis)
+            .Num("deadline_millis", options.watchdog_deadline.millis);
+      }
+      break;
+    }
+    metrics.idle_ticks_total.Inc();
+    framework.clock().Advance(options.tick);
+    elapsed = framework.clock().Now() - start;
+    runtime.IdleTick(elapsed);
+  }
+
+  result.fault_injected_flows =
+      framework.taint_addon().fault_injected_flows() - fault_flows_before;
+  framework.taint_addon().SetSinks(nullptr, nullptr);
+  // Rolling-window contract: no terminal batch pass. The report is
+  // answered from the live incremental index; spilled flows stay on
+  // disk and are discarded with the buffer.
+  result.native_flows = native_buffer.FlowCount();
+  result.ingest = native_buffer.stats();
+  result.native_index = native_buffer.TakeIndex();
+  if (journal != nullptr) {
+    journal->Emit(framework.clock().Now().millis, "campaign", "window_end")
+        .Str("browser", spec.name)
+        .Num("native_flows", result.native_flows)
+        .Num("flows_shed", result.ingest.flows_shed);
+  }
+  framework.TeardownBrowser();
+  metrics.native_flows_total.Inc(result.native_index.flow_count());
   return result;
 }
 

@@ -13,12 +13,9 @@
 #include <vector>
 
 #include "core/framework.h"
+#include "core/stream_buffer.h"
 #include "proxy/flowstore.h"
 #include "web/site.h"
-
-namespace panoptes::analysis {
-class FlowIndex;
-}  // namespace panoptes::analysis
 
 namespace panoptes::core {
 
@@ -44,6 +41,14 @@ struct CrawlOptions {
   // headers (Referer leakage) ask for a full store.
   bool compact_engine_store = true;
   VisitRetryPolicy retry;
+  // Streaming ingest knobs (memory budget / spill / shed); the default
+  // is unbounded and reproduces the batch capture bit for bit.
+  StreamOptions stream;
+  // Cancel the campaign once this much simulated time has elapsed
+  // since its start (0 = no watchdog). A cancelled job reports
+  // watchdog_cancelled and is routed through the fleet's retry /
+  // quarantine machinery.
+  util::Duration watchdog_deadline{0};
 };
 
 struct VisitRecord {
@@ -91,6 +96,10 @@ struct CrawlResult {
   device::NetworkStackStats stack_stats;
   // Chaos-synthesized flows observed (and excluded from the stores).
   uint64_t fault_injected_flows = 0;
+  // Streaming ingest accounting (engine + native buffers summed).
+  IngestStats ingest;
+  // True when the campaign watchdog cancelled the run mid-crawl.
+  bool watchdog_cancelled = false;
 
   uint64_t EngineRequestCount() const { return engine_flows->size(); }
   uint64_t NativeRequestCount() const { return native_flows->size(); }
@@ -109,6 +118,8 @@ struct IdleOptions {
   util::Duration tick = util::Duration::Seconds(1);
   util::Duration bucket = util::Duration::Seconds(10);
   bool factory_reset = true;
+  StreamOptions stream;
+  util::Duration watchdog_deadline{0};
 };
 
 struct IdleResult {
@@ -118,6 +129,8 @@ struct IdleResult {
   std::shared_ptr<const analysis::FlowIndex> native_index;
   // Chaos-synthesized flows observed (and excluded from the store).
   uint64_t fault_injected_flows = 0;
+  IngestStats ingest;
+  bool watchdog_cancelled = false;
   // Cumulative native request count at the end of each bucket.
   std::vector<uint64_t> cumulative_by_bucket;
   util::Duration bucket;
@@ -129,5 +142,30 @@ struct IdleResult {
 
 IdleResult RunIdle(Framework& framework, const browser::BrowserSpec& spec,
                    const IdleOptions& options = {});
+
+// Rolling-window campaign (ROADMAP item 2): a long continuous idle-style
+// run whose report is answered from the live incremental index — there
+// is no terminal Materialize/batch pass, so memory stays bounded by the
+// stream budget however long the window runs.
+struct WindowOptions {
+  util::Duration window = util::Duration::Minutes(10);
+  util::Duration tick = util::Duration::Seconds(1);
+  StreamOptions stream;
+  util::Duration watchdog_deadline{0};
+};
+
+struct WindowResult {
+  std::string browser;
+  // The incremental index over every accepted native flow, taken from
+  // the live buffer at window end. Reports derive from this alone.
+  analysis::FlowIndex native_index;
+  uint64_t native_flows = 0;
+  uint64_t fault_injected_flows = 0;
+  IngestStats ingest;
+  bool watchdog_cancelled = false;
+};
+
+WindowResult RunWindow(Framework& framework, const browser::BrowserSpec& spec,
+                       const WindowOptions& options = {});
 
 }  // namespace panoptes::core

@@ -87,6 +87,13 @@ struct FleetMetrics {
 // (a fully-dead host, a catastrophic fault episode). Idle runs and
 // empty shards never fail — there is nothing to retry.
 bool JobFailed(const FleetJobResult& result) {
+  // A watchdog-cancelled campaign is wedged, not merely degraded: its
+  // capture is incomplete by construction, so it takes the same
+  // retry/quarantine path as a fully-dead job.
+  if (result.crawl.has_value() && result.crawl->watchdog_cancelled) {
+    return true;
+  }
+  if (result.idle.has_value() && result.idle->watchdog_cancelled) return true;
   if (!result.crawl.has_value()) return false;
   const auto& visits = result.crawl->visits;
   if (visits.empty()) return false;
@@ -208,11 +215,18 @@ FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job, int attempt,
   Framework framework(fw);
 
   if (job.kind == CampaignKind::kIdle) {
-    out.idle = RunIdle(framework, job.spec, job.idle);
+    IdleOptions idle = job.idle;
+    if (options_.watchdog_deadline.millis > 0) {
+      idle.watchdog_deadline = options_.watchdog_deadline;
+    }
+    out.idle = RunIdle(framework, job.spec, idle);
     out.flow_writes_dropped = out.idle->native_flows->dropped_writes();
   } else {
     CrawlOptions crawl = job.crawl;
     crawl.incognito = job.kind == CampaignKind::kIncognitoCrawl;
+    if (options_.watchdog_deadline.millis > 0) {
+      crawl.watchdog_deadline = options_.watchdog_deadline;
+    }
     const auto& sites = framework.catalog().sites();
     size_t begin = 0, end = 0;
     ShardRange(sites.size(), job.shard, job.shard_count, &begin, &end);
@@ -451,6 +465,8 @@ std::vector<FleetJobResult> FleetExecutor::MergeShards(
                        std::make_move_iterator(from.visits.end()));
     into.stack_stats = SumStats(into.stack_stats, from.stack_stats);
     into.fault_injected_flows += from.fault_injected_flows;
+    into.ingest.Accumulate(from.ingest);
+    into.watchdog_cancelled |= from.watchdog_cancelled;
     merged.back().flow_writes_dropped += result.flow_writes_dropped;
     merged.back().faults.insert(
         merged.back().faults.end(),

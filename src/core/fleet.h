@@ -95,6 +95,12 @@ struct FleetOptions {
   // seed; a job still dead after the budget is quarantined (reported
   // in the run manifest, excluded from merged findings).
   int max_job_retries = 0;
+  // Per-job watchdog: when non-zero, every campaign is cancelled once
+  // its *simulated* timeline exceeds this deadline (chaos timeouts and
+  // retry backoff can stretch a wedged job arbitrarily). A cancelled
+  // job counts as failed and goes through the same retry/quarantine
+  // machinery as a dead one. Overrides the per-job campaign options.
+  util::Duration watchdog_deadline{0};
   // Result cache directory (core/result_cache.h). Empty disables
   // caching: every job executes. Non-empty: completed jobs persist as
   // fingerprinted snapshots and matching snapshots replay instead of

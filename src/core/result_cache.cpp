@@ -114,6 +114,20 @@ void MixFramework(FingerprintHasher& h, const FleetOptions& options) {
   h.Mix(fw.block_quic);
   h.Mix(fw.install_mitm_ca);
   h.Mix(fw.chaos.Fingerprint());
+  // The fleet-level watchdog overrides the per-job deadline at execute
+  // time, so it is part of the job's identity too.
+  h.Mix(options.watchdog_deadline.millis);
+}
+
+// Streaming knobs change what a job captures (shedding, spill
+// salvage) and so invalidate cached results. The spill *path* is
+// deliberately excluded: segments are consumed before the snapshot is
+// taken, so moving the spill directory must not re-execute jobs —
+// only turning spilling on/off does.
+void MixStreamOptions(FingerprintHasher& h, const StreamOptions& stream) {
+  h.Mix(stream.memory_budget_bytes);
+  h.Mix(!stream.spill_dir.empty());
+  h.Mix(stream.shed_when_full);
 }
 
 void MixCrawlOptions(FingerprintHasher& h, const CrawlOptions& crawl) {
@@ -126,6 +140,8 @@ void MixCrawlOptions(FingerprintHasher& h, const CrawlOptions& crawl) {
   h.Mix(crawl.retry.multiplier);
   h.Mix(crawl.retry.max_backoff.millis);
   h.Mix(crawl.retry.jitter);
+  MixStreamOptions(h, crawl.stream);
+  h.Mix(crawl.watchdog_deadline.millis);
 }
 
 void MixIdleOptions(FingerprintHasher& h, const IdleOptions& idle) {
@@ -133,6 +149,8 @@ void MixIdleOptions(FingerprintHasher& h, const IdleOptions& idle) {
   h.Mix(idle.tick.millis);
   h.Mix(idle.bucket.millis);
   h.Mix(idle.factory_reset);
+  MixStreamOptions(h, idle.stream);
+  h.Mix(idle.watchdog_deadline.millis);
 }
 
 // Filename-safe projection of a browser name ("UC Browser" →

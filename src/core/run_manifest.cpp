@@ -18,6 +18,20 @@ std::string SeedHex(uint64_t seed) {
   return std::string(buf);
 }
 
+util::JsonObject IngestJson(const IngestStats& ingest) {
+  util::JsonObject out;
+  out["flows_pushed"] = ingest.flows_pushed;
+  out["flows_shed"] = ingest.flows_shed;
+  out["spill_segments"] = ingest.spill_segments;
+  out["spill_bytes"] = ingest.spill_bytes;
+  out["spill_failures"] = ingest.spill_failures;
+  out["backpressure_stalls"] = ingest.backpressure_stalls;
+  out["segments_quarantined"] = ingest.segments_quarantined;
+  out["flows_lost"] = ingest.flows_lost;
+  out["peak_live_bytes"] = ingest.peak_live_bytes;
+  return out;
+}
+
 }  // namespace
 
 RunManifest BuildRunManifest(const FleetOptions& options,
@@ -51,6 +65,8 @@ RunManifest BuildRunManifest(const FleetOptions& options,
     if (job.cache_hit) ++manifest.cache_hits;
     if (result.crawl.has_value()) {
       job.fault_injected_flows = result.crawl->fault_injected_flows;
+      job.ingest = result.crawl->ingest;
+      job.watchdog_cancelled = result.crawl->watchdog_cancelled;
       for (const auto& visit : result.crawl->visits) {
         if (visit.attempts <= 1 && visit.ok) continue;
         job.visit_retries += static_cast<uint64_t>(visit.attempts - 1);
@@ -70,6 +86,8 @@ RunManifest BuildRunManifest(const FleetOptions& options,
       }
     } else if (result.idle.has_value()) {
       job.fault_injected_flows = result.idle->fault_injected_flows;
+      job.ingest = result.idle->ingest;
+      job.watchdog_cancelled = result.idle->watchdog_cancelled;
     }
 
     manifest.total_faults += job.faults_injected;
@@ -83,6 +101,8 @@ RunManifest BuildRunManifest(const FleetOptions& options,
     manifest.fault_injected_flows += job.fault_injected_flows;
     manifest.flow_writes_dropped += job.flow_writes_dropped;
     manifest.backoff_millis += job.backoff_millis;
+    manifest.ingest.Accumulate(job.ingest);
+    if (job.watchdog_cancelled) ++manifest.watchdog_cancelled_jobs;
     manifest.jobs.push_back(std::move(job));
   }
   return manifest;
@@ -107,6 +127,8 @@ std::string RunManifest::ToJson() const {
   totals["fault_injected_flows"] = fault_injected_flows;
   totals["flow_writes_dropped"] = flow_writes_dropped;
   totals["backoff_millis"] = backoff_millis;
+  totals["ingest"] = IngestJson(ingest);
+  totals["watchdog_cancelled_jobs"] = watchdog_cancelled_jobs;
   root["totals"] = std::move(totals);
 
   util::JsonObject cache;
@@ -136,6 +158,8 @@ std::string RunManifest::ToJson() const {
     entry["failed_visits"] = job.failed_visits;
     entry["backoff_millis"] = job.backoff_millis;
     entry["cache_hit"] = job.cache_hit;
+    entry["ingest"] = IngestJson(job.ingest);
+    entry["watchdog_cancelled"] = job.watchdog_cancelled;
     job_array.emplace_back(std::move(entry));
   }
   root["jobs"] = std::move(job_array);

@@ -18,6 +18,7 @@
 
 #include "core/fleet.h"
 #include "core/result_cache.h"
+#include "core/stream_buffer.h"
 
 namespace panoptes::core {
 
@@ -49,6 +50,10 @@ struct ManifestJob {
   uint64_t failed_visits = 0;
   int64_t backoff_millis = 0;  // simulated backoff across retries
   bool cache_hit = false;      // replayed from a result-cache snapshot
+  // Streaming-ingest accounting (engine + native buffers summed) and
+  // whether the final attempt was cancelled by the campaign watchdog.
+  IngestStats ingest;
+  bool watchdog_cancelled = false;
 };
 
 struct RunManifest {
@@ -69,6 +74,9 @@ struct RunManifest {
   uint64_t fault_injected_flows = 0;
   uint64_t flow_writes_dropped = 0;
   int64_t backoff_millis = 0;
+  // Streaming-ingest aggregates across every job.
+  IngestStats ingest;
+  uint64_t watchdog_cancelled_jobs = 0;
 
   // Result-cache accounting for this run (all zero with caching off).
   // hits come from the per-job results; the probe totals come from the
@@ -82,7 +90,8 @@ struct RunManifest {
   bool Degraded() const {
     return total_faults > 0 || total_visit_retries > 0 ||
            total_job_retries > 0 || total_failed_visits > 0 ||
-           quarantined_jobs > 0 || flow_writes_dropped > 0;
+           quarantined_jobs > 0 || flow_writes_dropped > 0 ||
+           ingest.Degraded() || watchdog_cancelled_jobs > 0;
   }
 
   // Deterministic JSON export (std::map ordering; no wall-clock, no

@@ -59,6 +59,30 @@ void ReadStackStats(util::BinReader& in, device::NetworkStackStats* stats) {
   stats->diverted = in.U64();
 }
 
+void WriteIngest(const IngestStats& ingest, util::BinWriter& out) {
+  out.U64(ingest.flows_pushed);
+  out.U64(ingest.flows_shed);
+  out.U64(ingest.spill_segments);
+  out.U64(ingest.spill_bytes);
+  out.U64(ingest.spill_failures);
+  out.U64(ingest.backpressure_stalls);
+  out.U64(ingest.segments_quarantined);
+  out.U64(ingest.flows_lost);
+  out.U64(ingest.peak_live_bytes);
+}
+
+void ReadIngest(util::BinReader& in, IngestStats* ingest) {
+  ingest->flows_pushed = in.U64();
+  ingest->flows_shed = in.U64();
+  ingest->spill_segments = in.U64();
+  ingest->spill_bytes = in.U64();
+  ingest->spill_failures = in.U64();
+  ingest->backpressure_stalls = in.U64();
+  ingest->segments_quarantined = in.U64();
+  ingest->flows_lost = in.U64();
+  ingest->peak_live_bytes = in.U64();
+}
+
 void WriteVisit(const VisitRecord& visit, util::BinWriter& out) {
   out.Str(visit.hostname);
   out.U8(static_cast<uint8_t>(visit.category));
@@ -109,6 +133,8 @@ void WriteCrawl(const CrawlResult& crawl, util::BinWriter& out) {
   for (const auto& visit : crawl.visits) WriteVisit(visit, out);
   WriteStackStats(crawl.stack_stats, out);
   out.U64(crawl.fault_injected_flows);
+  WriteIngest(crawl.ingest, out);
+  out.Bool(crawl.watchdog_cancelled);
 }
 
 bool ReadCrawl(util::BinReader& in, CrawlResult* crawl) {
@@ -132,6 +158,8 @@ bool ReadCrawl(util::BinReader& in, CrawlResult* crawl) {
   }
   ReadStackStats(in, &crawl->stack_stats);
   crawl->fault_injected_flows = in.U64();
+  ReadIngest(in, &crawl->ingest);
+  crawl->watchdog_cancelled = in.Bool();
   return in.ok();
 }
 
@@ -143,6 +171,8 @@ void WriteIdle(const IdleResult& idle, util::BinWriter& out) {
   out.U32(static_cast<uint32_t>(idle.cumulative_by_bucket.size()));
   for (uint64_t value : idle.cumulative_by_bucket) out.U64(value);
   out.I64(idle.bucket.millis);
+  WriteIngest(idle.ingest, out);
+  out.Bool(idle.watchdog_cancelled);
 }
 
 bool ReadIdle(util::BinReader& in, IdleResult* idle) {
@@ -159,6 +189,8 @@ bool ReadIdle(util::BinReader& in, IdleResult* idle) {
     idle->cumulative_by_bucket.push_back(in.U64());
   }
   idle->bucket.millis = in.I64();
+  ReadIngest(in, &idle->ingest);
+  idle->watchdog_cancelled = in.Bool();
   return in.ok();
 }
 

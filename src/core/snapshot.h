@@ -43,8 +43,12 @@ inline constexpr std::string_view kMagic = "PANOSNAP";
 // are unreadable by v3 decoders and vice versa: kMinReadableSchema
 // rises to 4 and pre-provenance snapshots re-execute. That is the safe
 // direction — a replayed v3 job would mint findings with no flow_id.
-inline constexpr uint32_t kSchemaVersion = 4;
-inline constexpr uint32_t kMinReadableSchema = 4;
+// v5: streaming ingest — crawl and idle payloads carry IngestStats
+// (shed/spill/backpressure/quarantine accounting) and the
+// watchdog_cancelled flag. v4 snapshots would replay with that
+// accounting silently zeroed, so kMinReadableSchema rises with it.
+inline constexpr uint32_t kSchemaVersion = 5;
+inline constexpr uint32_t kMinReadableSchema = 5;
 
 // Serializes `result` (with `fingerprint` in the header) to the full
 // file image.

@@ -2,10 +2,10 @@
 
 namespace panoptes::core {
 
-void TaintFilterAddon::SetStores(proxy::FlowStore* engine_store,
-                                 proxy::FlowStore* native_store) {
-  engine_store_ = engine_store;
-  native_store_ = native_store;
+void TaintFilterAddon::SetSinks(proxy::FlowSink* engine_sink,
+                                proxy::FlowSink* native_sink) {
+  engine_sink_ = engine_sink;
+  native_sink_ = native_sink;
 }
 
 void TaintFilterAddon::OnRequest(proxy::Flow& flow,
@@ -30,10 +30,10 @@ void TaintFilterAddon::OnFlowComplete(const proxy::Flow& flow) {
   }
   if (flow.origin == proxy::TrafficOrigin::kEngine) {
     ++engine_flows_;
-    if (engine_store_ != nullptr) engine_store_->Add(flow);
+    if (engine_sink_ != nullptr) engine_sink_->Push(flow);
   } else {
     ++native_flows_;
-    if (native_store_ != nullptr) native_store_->Add(flow);
+    if (native_sink_ != nullptr) native_sink_->Push(flow);
   }
 }
 

@@ -17,10 +17,15 @@ class TaintFilterAddon : public proxy::Addon {
  public:
   TaintFilterAddon() = default;
 
-  // Points the addon at the databases for the current campaign. Either
-  // may be null (flows of that class are then counted but not stored).
+  // Points the addon at the sinks for the current campaign. Either may
+  // be null (flows of that class are then counted but not stored).
+  // A plain FlowStore is the unbounded sink; a core::StreamBuffer is
+  // the budgeted one — the addon pushes either way.
+  void SetSinks(proxy::FlowSink* engine_sink, proxy::FlowSink* native_sink);
   void SetStores(proxy::FlowStore* engine_store,
-                 proxy::FlowStore* native_store);
+                 proxy::FlowStore* native_store) {
+    SetSinks(engine_store, native_store);
+  }
 
   void OnRequest(proxy::Flow& flow, net::HttpRequest& request) override;
   void OnFlowComplete(const proxy::Flow& flow) override;
@@ -34,8 +39,8 @@ class TaintFilterAddon : public proxy::Addon {
   void ResetCounters();
 
  private:
-  proxy::FlowStore* engine_store_ = nullptr;
-  proxy::FlowStore* native_store_ = nullptr;
+  proxy::FlowSink* engine_sink_ = nullptr;
+  proxy::FlowSink* native_sink_ = nullptr;
   uint64_t engine_flows_ = 0;
   uint64_t native_flows_ = 0;
   uint64_t fault_injected_flows_ = 0;

@@ -156,6 +156,16 @@ class UrlView {
   // Owning copy, for call sites that must outlive the backing store.
   Url ToUrl() const { return Url::MustParse(text_); }
 
+  // Re-points the view at `text`, which must hold the same bytes as
+  // text() at a different address (a relocated arena image). The parse
+  // offsets carry over unchanged, so this is a pointer swap, not a
+  // re-parse.
+  UrlView RebasedTo(std::string_view text) const {
+    UrlView out = *this;
+    out.text_ = text;
+    return out;
+  }
+
  private:
   size_t PathBegin() const {
     return scheme_len_ + 3 + host_len_ + (port_len_ > 0 ? port_len_ + 1 : 0);

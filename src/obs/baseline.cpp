@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
 
 #include "util/json.h"
@@ -139,6 +140,15 @@ BaselineResult BaselineGate::Compare(std::string_view baseline_json,
       check.allowed_max = base_value;
       check.ok = check.current == base_value;
       if (!check.ok) check.detail = "exact-match pin differs";
+    } else if (base_value == 0) {
+      // A relative band around zero is zero-width and would fail every
+      // positive current. A zero baseline under a tolerance means "this
+      // was too small to measure": accept any finite current and let
+      // the next baseline refresh pin the real value.
+      check.allowed_max = std::numeric_limits<double>::infinity();
+      check.ok = std::isfinite(check.current);
+      check.detail = check.ok ? "zero baseline: relative band skipped"
+                              : "current is not finite";
     } else {
       check.allowed_max = base_value * (1.0 + tolerance);
       check.ok = std::isfinite(check.current) &&

@@ -116,4 +116,83 @@ void Journal::AppendEvent(std::string& out, const JournalEvent& event) const {
   out.push_back('}');
 }
 
+JournalValidation ValidateJournalJsonl(std::string_view jsonl) {
+  JournalValidation out;
+  size_t pos = jsonl.find('\n');
+  if (pos == std::string_view::npos) {
+    // No complete header line. An unterminated-but-parseable header is
+    // still unusable: the event count cannot be trusted.
+    out.error = "missing or unterminated header line";
+    return out;
+  }
+  auto header = util::Json::Parse(jsonl.substr(0, pos));
+  if (!header || !header->is_object() ||
+      header->Find("journal_schema") == nullptr ||
+      header->Find("events") == nullptr) {
+    out.error = "malformed header line";
+    return out;
+  }
+  if (static_cast<int>(header->Find("journal_schema")->as_number()) !=
+      kJournalSchemaVersion) {
+    out.error = "unsupported journal_schema";
+    return out;
+  }
+  out.header_ok = true;
+  out.declared_events =
+      static_cast<size_t>(header->Find("events")->as_number());
+
+  std::string_view rest = jsonl.substr(pos + 1);
+  while (!rest.empty()) {
+    size_t eol = rest.find('\n');
+    const bool terminated = eol != std::string_view::npos;
+    std::string_view line =
+        terminated ? rest.substr(0, eol) : rest;
+    rest = terminated ? rest.substr(eol + 1) : std::string_view();
+    if (line.empty()) continue;
+
+    std::string problem;
+    auto event = util::Json::Parse(line);
+    if (!event || !event->is_object()) {
+      problem = "not a JSON object";
+    } else {
+      for (const char* key : {"seq", "t", "layer", "kind"}) {
+        if (event->Find(key) == nullptr) {
+          problem = std::string("missing \"") + key + "\"";
+          break;
+        }
+      }
+      // seq must be dense and 0-based — the merge-order fingerprint.
+      if (problem.empty() &&
+          static_cast<size_t>(event->Find("seq")->as_number()) !=
+              out.valid_events) {
+        problem = "out-of-order seq";
+      }
+    }
+    if (!problem.empty()) {
+      out.error = "event " + std::to_string(out.valid_events) + ": " + problem;
+      // A bad *final* line is the signature of a mid-write cut: the
+      // prefix stands. A bad line with more events after it is not a
+      // cut — it is corruption.
+      out.truncated = !terminated && rest.empty() &&
+                      out.valid_events < out.declared_events;
+      return out;
+    }
+    ++out.valid_events;
+  }
+
+  if (out.valid_events == out.declared_events) {
+    out.ok = true;
+  } else if (out.valid_events < out.declared_events) {
+    // Cut exactly at a line boundary: every present line is valid but
+    // the tail the header promised never made it to disk.
+    out.truncated = true;
+    out.error = "header declares " + std::to_string(out.declared_events) +
+                " events, found " + std::to_string(out.valid_events);
+  } else {
+    out.error = "header declares " + std::to_string(out.declared_events) +
+                " events, found " + std::to_string(out.valid_events);
+  }
+  return out;
+}
+
 }  // namespace panoptes::obs

@@ -170,4 +170,23 @@ class Journal {
   std::string chars_;          // kStr field values, back to back
 };
 
+// Structural validation of a serialized journal (Jsonl() output).
+// Fail-soft: a journal cut off mid-write — a partial final line, or a
+// clean cut at a line boundary before the declared event count — is
+// reported as `truncated` with the length of the valid prefix, so a
+// crashed run's journal still yields its recorded events instead of a
+// blanket "corrupt". Anything wrong *before* the cut (bad header, a
+// malformed or out-of-order event with more events after it) is hard
+// corruption: `ok` and `truncated` both false.
+struct JournalValidation {
+  bool ok = false;         // fully valid: header + declared events, in order
+  bool header_ok = false;
+  bool truncated = false;  // valid prefix, then the file just stops
+  size_t valid_events = 0;    // events validated before the first problem
+  size_t declared_events = 0; // from the header line
+  std::string error;          // first structural problem; empty when ok
+};
+
+JournalValidation ValidateJournalJsonl(std::string_view jsonl);
+
 }  // namespace panoptes::obs

@@ -1,6 +1,8 @@
 #include "proxy/flowstore.h"
 
+#include <algorithm>
 #include <cstring>
+#include <type_traits>
 
 #include "chaos/injector.h"
 #include "net/psl.h"
@@ -20,6 +22,9 @@ constexpr uint8_t kV3Tag = 0xF3;
 // readers still accept v3 (uid falls back to the bare ordinal) and the
 // legacy v2 per-flow encoding.
 constexpr uint8_t kV4Tag = 0xF4;
+// First byte of a relocatable arena image (DumpRelocatable). Spill
+// segments only — never a portable snapshot tag.
+constexpr uint8_t kRelocTag = 0xF5;
 
 }  // namespace
 
@@ -72,7 +77,7 @@ void FlowStore::StoreFlow(const Flow& flow, bool keep_headers_and_body) {
   FlowView rec;
   rec.id = flow.id;
   rec.uid = (static_cast<uint64_t>(provenance_tag_) << 32) |
-            static_cast<uint64_t>(recs_.size());
+            (ordinal_base_ + recs_.size());
   rec.time = flow.time;
   rec.browser = InternLabel(flow.browser);
   rec.app_uid = flow.app_uid;
@@ -253,33 +258,238 @@ std::unique_ptr<FlowStore> FlowStore::Deserialize(util::BinReader& in) {
     return store;
   }
   if (tag != kV3Tag && tag != kV4Tag) return nullptr;
-  const bool has_uid = tag == kV4Tag;
 
   auto store = std::make_unique<FlowStore>(in.Bool());
   store->dropped_writes_ = in.U64();
+  if (!store->AppendRecordsV34(tag, in)) return nullptr;
+  return store;
+}
+
+void FlowStore::DumpRelocatable(util::BinWriter& out) const {
+  static_assert(std::is_trivially_copyable_v<FlowView>,
+                "the record array is blitted verbatim");
+  out.U8(kRelocTag);
+  out.Bool(compact_);
+  out.U64(dropped_writes_);
+
+  // Arena image: every string payload, interned label/name and
+  // HeaderView array a live record references sits inside one of these
+  // ranges, at an offset the reader reconstructs from the recorded
+  // base address.
+  const auto chunks = arena_.ChunkRefs();
+  uint32_t chunk_count = 0;
+  for (const auto& chunk : chunks) {
+    if (chunk.used > 0) ++chunk_count;
+  }
+  out.U32(chunk_count);
+  for (const auto& chunk : chunks) {
+    if (chunk.used == 0) continue;
+    out.U64(static_cast<uint64_t>(reinterpret_cast<uintptr_t>(chunk.data)));
+    out.U64(chunk.used);
+    out.Raw(std::string_view(chunk.data, chunk.used));
+  }
+
+  // Host pool with the precomputed registrable domains, so replay
+  // never re-runs the PSL.
+  out.U32(static_cast<uint32_t>(hosts_.size()));
+  for (const HostEntry& host : hosts_) {
+    out.U64(
+        static_cast<uint64_t>(reinterpret_cast<uintptr_t>(host.host.data())));
+    out.U32(static_cast<uint32_t>(host.host.size()));
+    out.Str(host.domain);
+  }
+
+  out.U64(recs_.size());
+  out.Raw(std::string_view(reinterpret_cast<const char*>(recs_.data()),
+                           recs_.size() * sizeof(FlowView)));
+}
+
+bool FlowStore::AppendRelocatable(util::BinReader& in) {
+  if (in.U8() != kRelocTag || !in.ok()) return false;
+  // Compaction is a capture-time decision (see Append): replaying an
+  // image with the opposite policy into this store would silently
+  // re-apply or undo it, so the flags must agree.
+  if (in.Bool() != compact_) return false;
+  const uint64_t dropped = in.U64();
+
+  uint32_t chunk_count = in.U32();
+  if (!in.ok() || chunk_count > in.remaining() / 16) return false;
+  struct Span {
+    uint64_t old_base = 0;
+    uint64_t used = 0;
+    char* new_base = nullptr;
+  };
+  std::vector<Span> spans;
+  spans.reserve(chunk_count);
+  for (uint32_t i = 0; i < chunk_count; ++i) {
+    Span span;
+    span.old_base = in.U64();
+    span.used = in.U64();
+    if (!in.ok() || span.used == 0 || span.used > in.remaining()) return false;
+    std::string_view bytes = in.Raw(static_cast<size_t>(span.used));
+    span.new_base = arena_.AdoptBlock(bytes.data(), bytes.size());
+    spans.push_back(span);
+  }
+  std::sort(spans.begin(), spans.end(),
+            [](const Span& a, const Span& b) { return a.old_base < b.old_base; });
+
+  // Old addresses rebase to (new chunk base + offset). Lookups ride a
+  // one-entry cache: records reference the arena roughly in allocation
+  // order, so consecutive views almost always hit the same chunk.
+  size_t hint = 0;
+  bool bad = false;
+  auto RebaseRaw = [&](uint64_t p, size_t len) -> char* {
+    if (spans.empty()) {
+      bad = true;
+      return nullptr;
+    }
+    const Span* span = &spans[hint];
+    if (p < span->old_base || p + len > span->old_base + span->used) {
+      // Last span starting at or below p.
+      size_t lo = 0;
+      size_t hi = spans.size();
+      while (lo < hi) {
+        size_t mid = (lo + hi) / 2;
+        if (spans[mid].old_base <= p) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo == 0) {
+        bad = true;
+        return nullptr;
+      }
+      hint = lo - 1;
+      span = &spans[hint];
+      if (p < span->old_base || p + len > span->old_base + span->used) {
+        bad = true;
+        return nullptr;
+      }
+    }
+    return span->new_base + (p - span->old_base);
+  };
+  // Zero-length views flatten to the empty view: consumers and
+  // SerializeTo are content-keyed, so nothing distinguishes an empty
+  // slice's address.
+  auto Rebase = [&](std::string_view v) -> std::string_view {
+    if (v.empty()) return std::string_view();
+    char* out = RebaseRaw(reinterpret_cast<uintptr_t>(v.data()), v.size());
+    return out == nullptr ? std::string_view() : std::string_view(out, v.size());
+  };
+
+  // Merge the dumped host pool into this store's, reusing the carried
+  // domains. Pool entries interned before a later failure stay behind
+  // unreferenced — the same arena contract as AppendRecordsV34:
+  // serialization rebuilds pools from live records, so stragglers
+  // never reach an output byte.
+  uint32_t host_count = in.U32();
+  if (!in.ok() || host_count > in.remaining() / 12) return false;
+  std::vector<uint32_t> host_map;
+  host_map.reserve(host_count);
+  for (uint32_t i = 0; i < host_count; ++i) {
+    const uint64_t old_ptr = in.U64();
+    const uint32_t len = in.U32();
+    std::string domain = in.Str();
+    if (!in.ok()) return false;
+    std::string_view host =
+        len == 0 ? std::string_view()
+                 : std::string_view(RebaseRaw(old_ptr, len), len);
+    if (bad) return false;
+    auto it = host_ids_.find(host);
+    if (it != host_ids_.end()) {
+      host_map.push_back(it->second);
+    } else {
+      uint32_t id = static_cast<uint32_t>(hosts_.size());
+      hosts_.push_back(HostEntry{host, std::move(domain)});
+      host_ids_.emplace(host, id);
+      host_map.push_back(id);
+    }
+  }
+
+  const uint64_t rec_count = in.U64();
+  if (!in.ok() || rec_count > in.remaining() / sizeof(FlowView)) return false;
+  std::string_view raw =
+      in.Raw(static_cast<size_t>(rec_count) * sizeof(FlowView));
+  if (!in.ok() || !in.AtEnd()) return false;
+
+  const size_t mark = recs_.size();
+  auto fail = [&]() {
+    recs_.resize(mark);
+    return false;
+  };
+  recs_.resize(mark + static_cast<size_t>(rec_count));
+  if (!raw.empty()) {
+    std::memcpy(recs_.data() + mark, raw.data(), raw.size());
+  }
+  for (size_t i = mark; i < recs_.size(); ++i) {
+    FlowView& rec = recs_[i];
+    rec.browser = Rebase(rec.browser);
+    rec.url = rec.url.RebasedTo(Rebase(rec.url.text()));
+    const size_t header_count = rec.request_headers.size();
+    if (header_count > 0) {
+      const HeaderView* old_arr = rec.request_headers.entries().data();
+      // The array itself lives in an adopted chunk; rebase it, then fix
+      // its entries in place. Arrays are per-record (the DumpRelocatable
+      // precondition), so each is fixed exactly once.
+      char* arr_bytes =
+          RebaseRaw(reinterpret_cast<uintptr_t>(old_arr),
+                    header_count * sizeof(HeaderView));
+      if (arr_bytes == nullptr) return fail();
+      HeaderView* arr = reinterpret_cast<HeaderView*>(arr_bytes);
+      for (size_t h = 0; h < header_count; ++h) {
+        arr[h].name = Rebase(arr[h].name);
+        arr[h].value = Rebase(arr[h].value);
+      }
+      rec.request_headers = HeadersView(arr, header_count);
+    }
+    rec.request_body = Rebase(rec.request_body);
+    rec.taint = Rebase(rec.taint);
+    rec.blocked_by = Rebase(rec.blocked_by);
+    if (rec.host_id >= host_map.size()) return fail();
+    rec.host_id = host_map[rec.host_id];
+    if (bad) return fail();
+  }
+  if (bad) return fail();
+  dropped_writes_ += dropped;
+  return true;
+}
+
+bool FlowStore::AppendRecordsV34(uint8_t tag, util::BinReader& in) {
+  const bool has_uid = tag == kV4Tag;
+  const size_t mark = recs_.size();
+  // On any failure the record vector is rewound to `mark`, so the
+  // store holds either every record of the stream or none of them.
+  // Pool entries interned by the failed tail stay allocated but
+  // unreferenced; serialization rebuilds pools from live records, so
+  // they never reach an output byte (the TruncateTo arena contract).
+  auto fail = [&]() {
+    recs_.resize(mark);
+    return false;
+  };
 
   uint32_t label_count = in.U32();
-  if (!in.ok() || label_count > in.remaining() / 4) return nullptr;
+  if (!in.ok() || label_count > in.remaining() / 4) return fail();
   std::vector<std::string_view> labels;
   labels.reserve(label_count);
   for (uint32_t i = 0; i < label_count; ++i) {
-    labels.push_back(store->InternLabel(in.Str()));
+    labels.push_back(InternLabel(in.Str()));
   }
   uint32_t name_count = in.U32();
-  if (!in.ok() || name_count > in.remaining() / 4) return nullptr;
+  if (!in.ok() || name_count > in.remaining() / 4) return fail();
   std::vector<std::string_view> names;
   names.reserve(name_count);
   for (uint32_t i = 0; i < name_count; ++i) {
-    names.push_back(store->InternHeaderName(in.Str()));
+    names.push_back(InternHeaderName(in.Str()));
   }
 
   uint32_t count = in.U32();
-  if (!in.ok() || count > in.remaining() / 8) return nullptr;
+  if (!in.ok() || count > in.remaining() / 8) return fail();
   uint64_t blob_len = in.U64();
-  if (!in.ok() || blob_len > in.remaining()) return nullptr;
+  if (!in.ok() || blob_len > in.remaining()) return fail();
   // The whole payload lands in the arena as one copy; every view below
   // slices it in place.
-  std::string_view blob = store->arena_.Copy(in.Raw(static_cast<size_t>(blob_len)));
+  std::string_view blob = arena_.Copy(in.Raw(static_cast<size_t>(blob_len)));
 
   size_t cursor = 0;
   auto Take = [&](size_t len) -> std::string_view {
@@ -292,29 +502,29 @@ std::unique_ptr<FlowStore> FlowStore::Deserialize(util::BinReader& in) {
     return piece;
   };
 
-  store->recs_.reserve(count);
+  recs_.reserve(mark + count);
   for (uint32_t i = 0; i < count && in.ok(); ++i) {
     FlowView rec;
     rec.id = in.U64();
     // v3 snapshots predate provenance uids; the bare ordinal (tag 0)
     // keeps them readable without inventing a job identity.
-    rec.uid = has_uid ? in.U64() : static_cast<uint64_t>(i);
+    rec.uid = has_uid ? in.U64() : static_cast<uint64_t>(mark + i);
     rec.time.millis = in.I64();
     uint32_t browser_id = in.U32();
-    if (browser_id >= labels.size()) return nullptr;
+    if (browser_id >= labels.size()) return fail();
     rec.browser = labels[browser_id];
     rec.app_uid = static_cast<int>(in.I64());
     rec.method = static_cast<net::HttpMethod>(in.U8());
     auto url = net::UrlView::Parse(Take(in.U32()));
-    if (!url.has_value()) return nullptr;
+    if (!url.has_value()) return fail();
     rec.url = *url;
     uint32_t header_count = in.U32();
-    if (!in.ok() || header_count > in.remaining() / 8) return nullptr;
+    if (!in.ok() || header_count > in.remaining() / 8) return fail();
     if (header_count > 0) {
-      HeaderView* arr = store->arena_.AllocArray<HeaderView>(header_count);
+      HeaderView* arr = arena_.AllocArray<HeaderView>(header_count);
       for (uint32_t h = 0; h < header_count; ++h) {
         uint32_t name_id = in.U32();
-        if (name_id >= names.size()) return nullptr;
+        if (name_id >= names.size()) return fail();
         arr[h].name = names[name_id];
         arr[h].value = Take(in.U32());
       }
@@ -330,16 +540,16 @@ std::unique_ptr<FlowStore> FlowStore::Deserialize(util::BinReader& in) {
     rec.taint = Take(in.U32());
     rec.blocked = in.Bool();
     uint32_t blocked_id = in.U32();
-    if (blocked_id >= labels.size()) return nullptr;
+    if (blocked_id >= labels.size()) return fail();
     rec.blocked_by = labels[blocked_id];
     rec.fault_injected = in.Bool();
-    rec.host_id = store->InternHost(rec.url.host());
+    rec.host_id = InternHost(rec.url.host());
     // Straight into the vector: restored flows must not bump the
     // stored-flows counter (they were counted at first capture).
-    store->recs_.push_back(rec);
+    recs_.push_back(rec);
   }
-  if (!in.ok() || cursor != blob.size()) return nullptr;
-  return store;
+  if (!in.ok() || cursor != blob.size()) return fail();
+  return true;
 }
 
 void FlowStore::Clear() {

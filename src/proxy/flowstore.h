@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "proxy/flow.h"
+#include "proxy/flowsink.h"
 #include "proxy/flowview.h"
 #include "util/arena.h"
 #include "util/binio.h"
@@ -52,7 +53,7 @@ namespace panoptes::proxy {
 // with no provenance configured (uid == ordinal).
 uint32_t MakeProvenanceTag(uint64_t job_seed, uint32_t role);
 
-class FlowStore {
+class FlowStore : public FlowSink {
  public:
   // Compact stores drop request headers/bodies on insert (sizes and
   // URLs are kept). Used for the high-volume engine database, where
@@ -69,6 +70,20 @@ class FlowStore {
   void Add(Flow flow);
   void Clear();
 
+  // FlowSink: the unbounded in-memory sink. Push never sheds (a chaos
+  // write drop is the store losing the flow, not the producer being
+  // refused), and the transaction mark maps onto TruncateTo.
+  bool Push(Flow flow) override {
+    Add(std::move(flow));
+    return true;
+  }
+  uint64_t FlowCount() const override {
+    return ordinal_base_ + recs_.size();
+  }
+  void BeginTransaction() override { transaction_mark_ = recs_.size(); }
+  void CommitTransaction() override {}
+  void RollbackTransaction() override { TruncateTo(transaction_mark_); }
+
   // Layers the chaos injector into the write path: a firing
   // kFlowWriteDrop silently loses the flow (the paper's "database
   // write failed" degradation). Dropped writes are counted so the run
@@ -81,6 +96,27 @@ class FlowStore {
   // is harmless but makes uids non-monotonic.
   void SetProvenance(uint32_t tag) { provenance_tag_ = tag; }
   uint32_t provenance_tag() const { return provenance_tag_; }
+
+  // Uid ordinal of the first flow this store will stamp. A streaming
+  // buffer that seals its live store into a spill segment and starts a
+  // fresh one sets the new store's base to the global flow count, so
+  // uids stay (tag << 32) | global-ordinal — identical to the single
+  // unbounded store the batch path would have filled.
+  void SetOrdinalBase(uint64_t base) { ordinal_base_ = base; }
+  uint64_t ordinal_base() const { return ordinal_base_; }
+
+  // Bytes this store holds live: arena payload plus the record vector.
+  // Deterministic for a given flow sequence (no capacity terms), which
+  // is what lets a memory budget produce the same spill points at any
+  // worker count.
+  uint64_t MemoryUsage() const {
+    return arena_.bytes_used() + recs_.size() * sizeof(FlowView);
+  }
+
+  // Folds dropped-write counts carried by spill segments back into the
+  // materialized store, so a spilling capture reports the same total a
+  // single unbounded store would have accumulated.
+  void AccumulateDroppedWrites(uint64_t count) { dropped_writes_ += count; }
 
   // Observatory hook: every first-capture Add emits a "flow_stored"
   // journal event carrying {flow uid, proxy flow id, host}. Merges,
@@ -124,6 +160,30 @@ class FlowStore {
   void SerializeTo(util::BinWriter& out) const;
   static std::unique_ptr<FlowStore> Deserialize(util::BinReader& in);
 
+  // Relocatable image of this store: raw arena chunks (with their
+  // original base addresses), the host pool (with precomputed
+  // registrable domains) and the record array blitted verbatim. This is
+  // the PANOSPILL segment payload — reading it back is a memcpy plus a
+  // pointer rebase per view instead of a per-field re-encode/re-parse,
+  // which is what keeps spilling ingest near batch throughput. The
+  // image embeds native pointers and struct layout: it is a same-build,
+  // same-run artifact (spill segments never outlive their run), NOT a
+  // portable snapshot — that's SerializeTo's job. Requires records
+  // whose header arrays are unshared (true for any store filled via
+  // Add/Push; a self-Appended store aliases arrays and must not be
+  // dumped).
+  void DumpRelocatable(util::BinWriter& out) const;
+
+  // Replays a DumpRelocatable image straight into this store: adopts
+  // the chunk bytes, rebases every view by (new base - old base),
+  // remaps host ids into this store's pool (reusing the dumped
+  // registrable domains — no PSL recomputation) and accumulates the
+  // dropped-write count. The image's compaction flag must match this
+  // store's (capture-time policy, see Append). Returns false — leaving
+  // the record vector untouched — on a tag/compaction mismatch or a
+  // malformed image.
+  bool AppendRelocatable(util::BinReader& in);
+
   void Reserve(size_t capacity) { recs_.reserve(capacity); }
 
   const std::vector<FlowView>& flows() const { return recs_; }
@@ -165,6 +225,10 @@ class FlowStore {
   // Cross-store Append of one record (payload bytes re-arena'd here).
   void StoreRec(const FlowView& rec);
 
+  // Shared v3/v4 record-stream reader behind Deserialize and
+  // AppendSerialized: appends into this store, all-or-nothing.
+  bool AppendRecordsV34(uint8_t tag, util::BinReader& in);
+
   uint32_t InternHost(std::string_view host);
   std::string_view InternLabel(std::string_view label);
   std::string_view InternHeaderName(std::string_view name);
@@ -173,7 +237,9 @@ class FlowStore {
   chaos::Injector* chaos_ = nullptr;
   obs::Journal* journal_ = nullptr;
   uint32_t provenance_tag_ = 0;
+  uint64_t ordinal_base_ = 0;
   uint64_t dropped_writes_ = 0;
+  size_t transaction_mark_ = 0;
 
   util::Arena arena_;  // every string payload and HeaderView array
   std::vector<FlowView> recs_;

@@ -55,6 +55,32 @@ char* Arena::AllocAligned(size_t n, size_t align) {
   return out;
 }
 
+std::vector<Arena::ChunkRef> Arena::ChunkRefs() const {
+  std::vector<ChunkRef> out;
+  out.reserve(chunks_.size());
+  for (const Chunk& chunk : chunks_) {
+    out.push_back(ChunkRef{chunk.data.get(), chunk.used});
+  }
+  return out;
+}
+
+char* Arena::AdoptBlock(const char* src, size_t n) {
+  Chunk chunk;
+  // make_unique<char[]> (operator new[]) returns storage aligned for
+  // any fundamental type, like the original chunk base, so interior
+  // objects (HeaderView arrays) keep their alignment at the same
+  // offsets.
+  chunk.data = std::make_unique<char[]>(n);
+  chunk.cap = n;
+  chunk.used = n;
+  if (n > 0) std::memcpy(chunk.data.get(), src, n);
+  reserved_ += n;
+  used_ += n;
+  char* base = chunk.data.get();
+  chunks_.push_back(std::move(chunk));
+  return base;
+}
+
 std::string_view Arena::Copy(std::string_view bytes) {
   char* out = Alloc(bytes.size());
   if (!bytes.empty()) std::memcpy(out, bytes.data(), bytes.size());

@@ -46,6 +46,23 @@ class Arena {
   size_t bytes_used() const { return used_; }
   size_t bytes_reserved() const { return reserved_; }
 
+  // The live chunk chain, in allocation order: base address and bytes
+  // handed out per chunk. Every view the arena ever returned points
+  // into one of these ranges — the property relocatable spill dumps
+  // rely on to image a store as (chunk bytes, pointer fixup table).
+  struct ChunkRef {
+    const char* data;
+    size_t used;
+  };
+  std::vector<ChunkRef> ChunkRefs() const;
+
+  // Appends one fully-used chunk holding a copy of `src` and returns
+  // its base. Used when replaying a relocatable dump: the copied image
+  // keeps its internal offsets, so old views rebase by adding
+  // (new base - old base). The current bump chunk is left alone;
+  // later Allocs continue from a fresh chunk.
+  char* AdoptBlock(const char* src, size_t n);
+
   // Frees every chunk. All views into the arena dangle after this.
   void Clear();
 

@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <cstring>
 
 namespace panoptes::util {
 
@@ -23,6 +24,29 @@ uint64_t HashString(std::string_view s) {
     h ^= c;
     h *= 0x100000001B3ULL;
   }
+  return h;
+}
+
+uint64_t HashBytes64(std::string_view s) {
+  // Mix one native-order word per step (wyhash-style multiply-fold),
+  // then run the tail through the same path padded with the length so
+  // "abc" and "abc\0" cannot collide trivially.
+  uint64_t h = 0x9E3779B97F4A7C15ULL ^ (s.size() * 0x100000001B3ULL);
+  size_t i = 0;
+  for (; i + 8 <= s.size(); i += 8) {
+    uint64_t w;
+    std::memcpy(&w, s.data() + i, sizeof(w));
+    w *= 0x9DDFEA08EB382D69ULL;
+    w ^= w >> 29;
+    h = (h ^ w) * 0xBF58476D1CE4E5B9ULL;
+  }
+  uint64_t tail = s.size();
+  for (; i < s.size(); ++i) {
+    tail = (tail << 8) | static_cast<unsigned char>(s[i]);
+  }
+  h ^= tail;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 32;
   return h;
 }
 

@@ -11,6 +11,7 @@
 // equality the way CI relies on.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -344,6 +345,104 @@ TEST(BaselineGate, MalformedInputLandsInErrors) {
   ASSERT_EQ(result.errors.size(), 1u);
   EXPECT_NE(result.Render().find("ERROR baseline"), std::string::npos);
   EXPECT_FALSE(BaselineGate::Compare(R"({"metrics":{}})", "[]").ok);
+}
+
+// A relative band over a zero baseline would make *any* nonzero current
+// an infinite-percent regression. The gate skips the band instead of
+// dividing by zero: a zero-baseline entry under tolerance admits every
+// finite current.
+TEST(BaselineGate, ZeroBaselineSkipsRelativeBand) {
+  auto result = BaselineGate::Compare(
+      R"({"metrics":{"warmup_us":0.0,"crawl_us":100.0}})",
+      R"({"metrics":{"warmup_us":734.0,"crawl_us":100.0}})");
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.checks.size(), 2u);
+  const BaselineCheck* zero = nullptr;
+  for (const auto& check : result.checks) {
+    if (check.metric == "warmup_us") zero = &check;
+  }
+  ASSERT_NE(zero, nullptr);
+  EXPECT_TRUE(zero->ok);
+  EXPECT_TRUE(std::isinf(zero->allowed_max));
+  EXPECT_NE(zero->detail.find("zero baseline"), std::string::npos);
+  // An exact pin (tolerance 0) on a zero baseline still pins: the guard
+  // applies only to the relative band.
+  EXPECT_FALSE(BaselineGate::Compare(
+                   R"({"metrics":{"warmup_us":0.0},"tolerance":{"warmup_us":0}})",
+                   R"({"metrics":{"warmup_us":1.0}})")
+                   .ok);
+}
+
+// ---------------------------------------------------------------------------
+// Fail-soft journal validation (validate-telemetry --journal).
+
+std::string SampleJournalJsonl() {
+  Journal journal;
+  journal.Emit(10, "proxy", "flow_open").Str("host", "a.example.com");
+  journal.Emit(20, "proxy", "flow_close").Num("bytes", uint64_t{128});
+  journal.Emit(30, "fleet", "job_start").Num("shard", int64_t{0});
+  journal.Emit(40, "fleet", "job_done").Num("shard", int64_t{0});
+  return journal.Jsonl();
+}
+
+TEST(JournalValidation, AcceptsIntactJournal) {
+  JournalValidation validation = ValidateJournalJsonl(SampleJournalJsonl());
+  EXPECT_TRUE(validation.ok);
+  EXPECT_TRUE(validation.header_ok);
+  EXPECT_FALSE(validation.truncated);
+  EXPECT_EQ(validation.valid_events, 4u);
+  EXPECT_EQ(validation.declared_events, 4u);
+}
+
+// The regression the satellite pins: a journal cut mid-event (crash,
+// full disk) reports its valid prefix instead of a bare parse error.
+TEST(JournalValidation, TruncationMidEventReportsValidPrefix) {
+  std::string jsonl = SampleJournalJsonl();
+  // Cut inside the third event line (seq 2): events 0 and 1 survive.
+  size_t third = jsonl.find("{\"seq\":2,");
+  ASSERT_NE(third, std::string::npos);
+  JournalValidation validation =
+      ValidateJournalJsonl(std::string_view(jsonl).substr(0, third + 12));
+  EXPECT_FALSE(validation.ok);
+  EXPECT_TRUE(validation.header_ok);
+  EXPECT_TRUE(validation.truncated);
+  EXPECT_EQ(validation.valid_events, 2u);
+  EXPECT_EQ(validation.declared_events, 4u);
+}
+
+TEST(JournalValidation, TruncationAtLineBoundaryIsStillTruncation) {
+  std::string jsonl = SampleJournalJsonl();
+  size_t third = jsonl.find("{\"seq\":2,");
+  ASSERT_NE(third, std::string::npos);
+  // Clean cut right after event 1's newline: fewer events than declared.
+  JournalValidation validation =
+      ValidateJournalJsonl(std::string_view(jsonl).substr(0, third));
+  EXPECT_FALSE(validation.ok);
+  EXPECT_TRUE(validation.truncated);
+  EXPECT_EQ(validation.valid_events, 2u);
+}
+
+TEST(JournalValidation, MidFileCorruptionIsAHardErrorNotTruncation) {
+  std::string jsonl = SampleJournalJsonl();
+  size_t second = jsonl.find("{\"seq\":1,");
+  ASSERT_NE(second, std::string::npos);
+  jsonl[second] = '#';  // garbage with intact lines after it
+  JournalValidation validation = ValidateJournalJsonl(jsonl);
+  EXPECT_FALSE(validation.ok);
+  EXPECT_FALSE(validation.truncated);
+  EXPECT_EQ(validation.valid_events, 1u);
+  EXPECT_FALSE(validation.error.empty());
+}
+
+TEST(JournalValidation, BadHeaderIsAHardError) {
+  JournalValidation missing = ValidateJournalJsonl("");
+  EXPECT_FALSE(missing.ok);
+  EXPECT_FALSE(missing.header_ok);
+  JournalValidation wrong_schema =
+      ValidateJournalJsonl("{\"journal_schema\":99,\"events\":0}\n");
+  EXPECT_FALSE(wrong_schema.ok);
+  EXPECT_FALSE(wrong_schema.header_ok);
+  EXPECT_FALSE(wrong_schema.truncated);
 }
 
 }  // namespace
