@@ -10,6 +10,8 @@
 #   OUT_DIR - scratch directory for the telemetry artifacts
 #   CHAOS   - optional: when set, run under the "flaky" fault profile
 #             with retries armed and validate the run manifest too
+#   POPULATION - optional: when set, run a --population 32 device-cohort
+#             campaign and require the cohort breakdown in the reports
 
 if(NOT DEFINED CLI OR NOT DEFINED OUT_DIR)
   message(FATAL_ERROR "fleet_smoke.cmake needs -DCLI=... and -DOUT_DIR=...")
@@ -32,6 +34,14 @@ if(CHAOS)
   list(APPEND artifacts "${manifest_file}")
   list(APPEND validate_args --manifest "${manifest_file}")
 endif()
+if(POPULATION)
+  set(json_file "${OUT_DIR}/report.json")
+  set(csv_file "${OUT_DIR}/report.csv")
+  file(REMOVE "${json_file}" "${csv_file}")
+  list(APPEND fleet_args --population 32 --population-seed 20231024
+       --json "${json_file}" --csv "${csv_file}")
+  list(APPEND artifacts "${json_file}" "${csv_file}")
+endif()
 
 execute_process(
   COMMAND "${CLI}" ${fleet_args}
@@ -48,6 +58,23 @@ foreach(artifact IN LISTS artifacts)
     message(FATAL_ERROR "fleet did not write ${artifact}\n${fleet_out}")
   endif()
 endforeach()
+
+if(POPULATION)
+  # The cohort breakdown must actually land in the artifacts: the JSON
+  # report carries per-entry cohort objects plus the population-weighted
+  # aggregate block, the CSV the cohort columns.
+  file(READ "${json_file}" json_content)
+  string(FIND "${json_content}" "\"population\"" population_at)
+  string(FIND "${json_content}" "\"cohort\"" cohort_at)
+  if(population_at EQUAL -1 OR cohort_at EQUAL -1)
+    message(FATAL_ERROR "population fleet report lacks cohort breakdown")
+  endif()
+  file(READ "${csv_file}" csv_content)
+  string(FIND "${csv_content}" "cohort" csv_cohort_at)
+  if(csv_cohort_at EQUAL -1)
+    message(FATAL_ERROR "population fleet CSV lacks cohort columns")
+  endif()
+endif()
 
 execute_process(
   COMMAND "${CLI}" validate-telemetry ${validate_args}

@@ -7,6 +7,7 @@
 //   panoptes_cli idle  --browser Opera --minutes 10
 //   panoptes_cli fleet --jobs 4 [--sites 100] [--shards 4]
 //                      [--browsers Yandex,Opera] [--incognito] [--idle]
+//                      [--population N] [--population-seed S]
 //                      [--chaos-profile flaky|dns-storm|...|file.json]
 //                      [--max-retries N] [--manifest-out manifest.json]
 //                      [--cache-dir DIR] [--resume] [--kill-after-jobs N]
@@ -49,6 +50,7 @@
 #include "core/framework.h"
 #include "core/result_cache.h"
 #include "core/run_manifest.h"
+#include "device/population.h"
 #include "proxy/har.h"
 #include "util/args.h"
 #include "util/strings.h"
@@ -67,6 +69,7 @@ int Usage() {
                "  idle  --browser <name> [--minutes M]\n"
                "  fleet [--jobs N] [--sites N] [--shards K] [--seed S]\n"
                "        [--browsers A,B,..] [--incognito] [--idle]\n"
+               "        [--population N] [--population-seed S]\n"
                "        [--chaos-profile NAME|FILE] [--max-retries N]\n"
                "        [--cache-dir DIR] [--resume] [--kill-after-jobs N]\n"
                "        [--memory-budget BYTES] [--spill-dir DIR] [--shed]\n"
@@ -344,7 +347,8 @@ int CmdFleet(const util::Args& args) {
           result.watchdog_cancelled ? " [watchdog cancelled]" : "");
       if (!first) combined += ",";
       first = false;
-      combined += analysis::WindowReportJson(spec.name, result.native_index);
+      combined += analysis::WindowReportJson(spec.name, result.native_index,
+                                             fw.device_profile);
       if (window_journal_path) run_journal.Append(job_journal);
     }
     combined += "]}";
@@ -397,11 +401,31 @@ int CmdFleet(const util::Args& args) {
   }
 
   int shards = static_cast<int>(args.IntOptionOr("shards", options.jobs));
-  auto jobs = core::FleetExecutor::PlanCampaign(browsers, kinds, shards,
-                                                crawl_options, idle_options);
-  std::fprintf(stderr, "fleet: %zu jobs (%zu browsers x %zu kinds), %d "
-               "workers\n",
-               jobs.size(), browsers.size(), kinds.size(), options.jobs);
+  // Device-population campaign: --population N synthesizes N device
+  // cohorts deterministically from --population-seed and crosses them
+  // with the browser x kind x shard plan. No --population keeps the
+  // single-device (paper testbed) plan, byte for byte.
+  std::vector<device::DeviceCohort> cohorts;
+  if (int64_t population = args.IntOptionOr("population", 0);
+      population > 0) {
+    device::PopulationOptions pop_options;
+    pop_options.size = static_cast<int>(population);
+    pop_options.seed = static_cast<uint64_t>(
+        args.IntOptionOr("population-seed", 20231024));
+    cohorts = device::PopulationGenerator::Generate(pop_options);
+  }
+  auto jobs = core::FleetExecutor::PlanCampaign(
+      browsers, cohorts, kinds, shards, crawl_options, idle_options);
+  if (cohorts.empty()) {
+    std::fprintf(stderr, "fleet: %zu jobs (%zu browsers x %zu kinds), %d "
+                 "workers\n",
+                 jobs.size(), browsers.size(), kinds.size(), options.jobs);
+  } else {
+    std::fprintf(stderr, "fleet: %zu jobs (%zu browsers x %zu cohorts x "
+                 "%zu kinds), %d workers\n",
+                 jobs.size(), browsers.size(), cohorts.size(), kinds.size(),
+                 options.jobs);
+  }
 
   // Telemetry: fresh counters per invocation; span tracing only when a
   // trace file is requested (per-thread buffering is not free).

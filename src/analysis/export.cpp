@@ -134,13 +134,16 @@ std::string SeedHex(uint64_t seed) {
   return std::string(buf.data());
 }
 
-// Sorted PII field names leaked by the native store. The scan runs
-// over the prebuilt index when the result carries one; results without
-// an index (hand-assembled in tests) get a local single-use build,
-// which the scanner consumes identically.
+// Sorted PII field names leaked by the native store, scanned for the
+// values of `profile` — the device the capturing job actually
+// simulated, never a hardcoded testbed. The scan runs over the
+// prebuilt index when the result carries one; results without an index
+// (hand-assembled in tests) get a local single-use build, which the
+// scanner consumes identically.
 std::vector<std::string> PiiFieldNames(const proxy::FlowStore& native,
-                                       const FlowIndex* index) {
-  PiiScanner scanner(device::DeviceProfile::PaperTestbed());
+                                       const FlowIndex* index,
+                                       const device::DeviceProfile& profile) {
+  PiiScanner scanner(profile);
   PiiReport report = index != nullptr
                          ? scanner.Scan(*index)
                          : scanner.Scan(FlowIndex::Build(native));
@@ -151,6 +154,16 @@ std::vector<std::string> PiiFieldNames(const proxy::FlowStore& native,
     }
   }
   return names;
+}
+
+// True when any result simulates a synthesized cohort — the switch
+// that turns on population columns/sections. A run of default-cohort
+// jobs must render byte-identically to the pre-population format.
+bool HasPopulation(const std::vector<core::FleetJobResult>& results) {
+  for (const auto& result : results) {
+    if (!result.job.cohort.IsDefault()) return true;
+  }
+  return false;
 }
 
 // Resolves a finding's flow_uid to the visit (index into `visits`) that
@@ -221,8 +234,10 @@ util::JsonArray FindingsJson(const PiiReport& report,
 std::string FleetSummaryCsv(
     const std::vector<core::FleetJobResult>& results) {
   ReportTimer timer("analysis.fleet_summary_csv");
+  const bool population = HasPopulation(results);
   std::vector<std::vector<std::string>> rows;
   for (const auto& result : results) {
+    const device::DeviceProfile& profile = result.job.cohort.profile;
     uint64_t engine = 0, native = 0, engine_bytes = 0, native_bytes = 0;
     double ratio = 0;
     size_t pii = 0;
@@ -237,7 +252,8 @@ std::string FleetSummaryCsv(
                          ? crawl.native_index->request_bytes_total()
                          : crawl.native_flows->RequestBytes();
       ratio = crawl.NativeRatio();
-      pii = PiiFieldNames(*crawl.native_flows, crawl.native_index.get())
+      pii = PiiFieldNames(*crawl.native_flows, crawl.native_index.get(),
+                          profile)
                 .size();
     } else if (result.idle.has_value()) {
       const core::IdleResult& idle = *result.idle;
@@ -246,24 +262,66 @@ std::string FleetSummaryCsv(
                          ? idle.native_index->request_bytes_total()
                          : idle.native_flows->RequestBytes();
       ratio = native == 0 ? 0 : 1.0;  // idle traffic is all native
-      pii = PiiFieldNames(*idle.native_flows, idle.native_index.get()).size();
+      pii = PiiFieldNames(*idle.native_flows, idle.native_index.get(),
+                          profile)
+                .size();
     }
-    rows.push_back({result.job.spec.name,
-                    std::string(core::CampaignKindName(result.job.kind)),
-                    SeedHex(result.seed), std::to_string(engine),
-                    std::to_string(native), util::FormatDouble(ratio, 4),
-                    std::to_string(engine_bytes),
-                    std::to_string(native_bytes), std::to_string(pii)});
+    std::vector<std::string> row = {
+        result.job.spec.name,
+        std::string(core::CampaignKindName(result.job.kind)),
+        SeedHex(result.seed), std::to_string(engine), std::to_string(native),
+        util::FormatDouble(ratio, 4), std::to_string(engine_bytes),
+        std::to_string(native_bytes), std::to_string(pii)};
+    if (population) {
+      row.push_back(result.job.cohort.Label());
+      row.push_back(profile.model);
+      row.push_back(util::FormatDouble(result.job.cohort.weight, 6));
+    }
+    rows.push_back(std::move(row));
   }
-  return RenderCsv({"browser", "campaign", "seed", "engine_requests",
-                    "native_requests", "native_ratio", "engine_bytes",
-                    "native_bytes", "pii_fields"},
-                   rows);
+  std::vector<std::string> header = {
+      "browser", "campaign", "seed", "engine_requests", "native_requests",
+      "native_ratio", "engine_bytes", "native_bytes", "pii_fields"};
+  if (population) {
+    header.insert(header.end(), {"cohort", "device", "cohort_weight"});
+  }
+  return RenderCsv(header, rows);
 }
+
+namespace {
+
+// Population-weighted accumulator for one (browser, campaign) group.
+struct PopulationAggregate {
+  std::string browser;
+  std::string campaign;
+  double weight = 0;
+  double native_requests = 0;  // sum of w_i * count_i
+  double native_ratio = 0;
+  double pii_fields = 0;
+  std::set<std::string> pii_union;
+  uint64_t cohorts = 0;
+};
+
+}  // namespace
 
 std::string FleetReportJson(
     const std::vector<core::FleetJobResult>& results) {
   ReportTimer timer("analysis.fleet_report_json");
+  const bool population = HasPopulation(results);
+  // (browser, campaign) → aggregate, in first-appearance (plan) order.
+  std::vector<PopulationAggregate> aggregates;
+  auto aggregate_for = [&](const core::FleetJobResult& r)
+      -> PopulationAggregate& {
+    std::string campaign(core::CampaignKindName(r.job.kind));
+    for (auto& agg : aggregates) {
+      if (agg.browser == r.job.spec.name && agg.campaign == campaign) {
+        return agg;
+      }
+    }
+    aggregates.push_back(
+        PopulationAggregate{r.job.spec.name, std::move(campaign)});
+    return aggregates.back();
+  };
   util::JsonArray entries;
   for (size_t job_index = 0; job_index < results.size(); ++job_index) {
     const auto& result = results[job_index];
@@ -272,6 +330,21 @@ std::string FleetReportJson(
     entry["campaign"] =
         std::string(core::CampaignKindName(result.job.kind));
     entry["seed"] = SeedHex(result.seed);
+    if (population && !result.job.cohort.IsDefault()) {
+      const device::DeviceCohort& cohort = result.job.cohort;
+      util::JsonObject cohort_json;
+      cohort_json["label"] = cohort.Label();
+      cohort_json["id"] = SeedHex(cohort.id);
+      cohort_json["weight"] = cohort.weight;
+      cohort_json["manufacturer"] = cohort.profile.manufacturer;
+      cohort_json["model"] = cohort.profile.model;
+      cohort_json["locale"] = cohort.profile.locale;
+      cohort_json["country"] = cohort.profile.country;
+      cohort_json["connection"] = cohort.profile.connection_type;
+      cohort_json["rooted"] = cohort.profile.rooted;
+      entry["cohort"] = util::Json(std::move(cohort_json));
+    }
+    const device::DeviceProfile& job_profile = result.job.cohort.profile;
     if (result.crawl.has_value()) {
       const core::CrawlResult& crawl = *result.crawl;
       entry["engine_requests"] = crawl.EngineRequestCount();
@@ -301,14 +374,16 @@ std::string FleetReportJson(
         }
       }
       entry["native_hosts"] = std::move(hosts);
-      PiiScanner scanner(device::DeviceProfile::PaperTestbed());
+      PiiScanner scanner(job_profile);
       PiiReport pii_report =
           crawl.native_index != nullptr
               ? scanner.Scan(*crawl.native_index)
               : scanner.Scan(FlowIndex::Build(*crawl.native_flows));
       util::JsonArray pii;
+      size_t pii_count = 0;
       for (size_t i = 0; i < kPiiFieldCount; ++i) {
         if (pii_report.leaked[i]) {
+          ++pii_count;
           pii.emplace_back(
               std::string(PiiFieldName(static_cast<PiiField>(i))));
         }
@@ -317,6 +392,22 @@ std::string FleetReportJson(
       entry["findings"] =
           FindingsJson(pii_report, *crawl.native_flows, &crawl.visits,
                        job_index, result.attempts);
+      if (population) {
+        PopulationAggregate& agg = aggregate_for(result);
+        double w = result.job.cohort.weight;
+        agg.weight += w;
+        agg.native_requests += w * static_cast<double>(
+                                       crawl.NativeRequestCount());
+        agg.native_ratio += w * crawl.NativeRatio();
+        agg.pii_fields += w * static_cast<double>(pii_count);
+        for (size_t i = 0; i < kPiiFieldCount; ++i) {
+          if (pii_report.leaked[i]) {
+            agg.pii_union.insert(
+                std::string(PiiFieldName(static_cast<PiiField>(i))));
+          }
+        }
+        ++agg.cohorts;
+      }
     } else if (result.idle.has_value()) {
       const core::IdleResult& idle = *result.idle;
       entry["native_requests"] =
@@ -330,14 +421,16 @@ std::string FleetReportJson(
         buckets.emplace_back(count);
       }
       entry["cumulative_by_bucket"] = std::move(buckets);
-      PiiScanner scanner(device::DeviceProfile::PaperTestbed());
+      PiiScanner scanner(job_profile);
       PiiReport pii_report =
           idle.native_index != nullptr
               ? scanner.Scan(*idle.native_index)
               : scanner.Scan(FlowIndex::Build(*idle.native_flows));
       util::JsonArray pii;
+      size_t pii_count = 0;
       for (size_t i = 0; i < kPiiFieldCount; ++i) {
         if (pii_report.leaked[i]) {
+          ++pii_count;
           pii.emplace_back(
               std::string(PiiFieldName(static_cast<PiiField>(i))));
         }
@@ -345,11 +438,52 @@ std::string FleetReportJson(
       entry["pii_fields"] = std::move(pii);
       entry["findings"] = FindingsJson(pii_report, *idle.native_flows,
                                        nullptr, job_index, result.attempts);
+      if (population) {
+        PopulationAggregate& agg = aggregate_for(result);
+        double w = result.job.cohort.weight;
+        agg.weight += w;
+        agg.native_requests +=
+            w * static_cast<double>(idle.native_flows->size());
+        agg.native_ratio += w * (idle.native_flows->size() == 0 ? 0.0 : 1.0);
+        agg.pii_fields += w * static_cast<double>(pii_count);
+        for (size_t i = 0; i < kPiiFieldCount; ++i) {
+          if (pii_report.leaked[i]) {
+            agg.pii_union.insert(
+                std::string(PiiFieldName(static_cast<PiiField>(i))));
+          }
+        }
+        ++agg.cohorts;
+      }
     }
     entries.push_back(util::Json(std::move(entry)));
   }
   util::JsonObject root;
   root["results"] = std::move(entries);
+  if (population) {
+    // Population-weighted view: what the *average synthetic user* of
+    // this population leaks, per browser and campaign. Weighted means
+    // normalize by the group's weight mass so a sharded or partial run
+    // still reports per-user expectations.
+    util::JsonArray population_json;
+    for (const PopulationAggregate& agg : aggregates) {
+      util::JsonObject group;
+      group["browser"] = agg.browser;
+      group["campaign"] = agg.campaign;
+      group["cohorts"] = agg.cohorts;
+      group["weight"] = agg.weight;
+      double norm = agg.weight > 0 ? agg.weight : 1.0;
+      group["weighted_native_requests"] = agg.native_requests / norm;
+      group["weighted_native_ratio"] = agg.native_ratio / norm;
+      group["weighted_pii_fields"] = agg.pii_fields / norm;
+      util::JsonArray pii_union;
+      for (const std::string& field : agg.pii_union) {
+        pii_union.emplace_back(field);
+      }
+      group["pii_field_union"] = std::move(pii_union);
+      population_json.push_back(util::Json(std::move(group)));
+    }
+    root["population"] = std::move(population_json);
+  }
   return util::Json(std::move(root)).Dump();
 }
 
@@ -358,8 +492,8 @@ std::string RunManifestJson(const core::RunManifest& manifest) {
   return manifest.ToJson();
 }
 
-std::string WindowReportJson(std::string_view browser,
-                             const FlowIndex& index) {
+std::string WindowReportJson(std::string_view browser, const FlowIndex& index,
+                             const device::DeviceProfile& profile) {
   ReportTimer timer("analysis.window_report_json");
   util::JsonObject root;
   root["browser"] = std::string(browser);
@@ -387,7 +521,7 @@ std::string WindowReportJson(std::string_view browser,
   }
   root["by_time_bucket"] = std::move(buckets);
 
-  PiiScanner scanner(device::DeviceProfile::PaperTestbed());
+  PiiScanner scanner(profile);
   PiiReport pii_report = scanner.Scan(index);
   util::JsonArray pii;
   for (size_t i = 0; i < kPiiFieldCount; ++i) {

@@ -33,12 +33,20 @@ std::string DomainStatsCsv(const std::vector<DomainStats>& stats);
 std::string FlowStoreCsv(const proxy::FlowStore& store);
 
 // Fleet rows: browser, campaign, seed, request counts, ratio, request
-// bytes, PII field count. One row per (merged) fleet job result.
+// bytes, PII field count. One row per (merged) fleet job result. The
+// PII scan of each row searches for the values of *that job's* device
+// cohort profile. Population runs (any non-default cohort) gain
+// cohort/device/weight columns; default-cohort runs keep the legacy
+// nine-column layout byte-identically.
 std::string FleetSummaryCsv(const std::vector<core::FleetJobResult>& results);
 
 // Canonical JSON export of a fleet campaign, in result order. Fully
 // deterministic for a given result set — the differential harness
 // compares serial and parallel runs byte-for-byte on this output.
+// Each entry's PII scan uses its job's cohort profile. Population runs
+// add a per-entry "cohort" object and a root "population" section of
+// weighted aggregates per (browser, campaign); default-cohort runs
+// render byte-identically to the pre-population format.
 std::string FleetReportJson(const std::vector<core::FleetJobResult>& results);
 
 // The run manifest (degradation ledger) as JSON. Same determinism
@@ -48,8 +56,10 @@ std::string RunManifestJson(const core::RunManifest& manifest);
 // Rolling-window report: answered entirely from the live incremental
 // FlowIndex (no flow store, no terminal batch pass) — request counts,
 // byte totals, distinct hosts/domains, the cumulative per-time-bucket
-// timeline and the PII scan. Deterministic for a given index.
+// timeline and the PII scan against `profile`'s values. Deterministic
+// for a given (index, profile).
 std::string WindowReportJson(std::string_view browser,
-                             const analysis::FlowIndex& index);
+                             const analysis::FlowIndex& index,
+                             const device::DeviceProfile& profile);
 
 }  // namespace panoptes::analysis

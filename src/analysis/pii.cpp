@@ -35,6 +35,20 @@ void Mark(PiiReport& report, PiiField field, const std::string& host,
 uint64_t UidOf(const proxy::Flow&) { return 0; }
 uint64_t UidOf(const proxy::FlowView& flow) { return flow.uid; }
 
+// Two-decimal needle for coordinate prefix matching, derived by
+// TRUNCATING the emitted four-decimal rendering — never by rounding.
+// FormatDouble(35.3387, 2) rounds to "35.34", which the emitted value
+// "35.3387" does not start with: a rounded needle silently misses any
+// coordinate whose trailing decimals round the hundredths digit up, in
+// either hemisphere (the sign is part of the string and truncation
+// preserves it). Deriving the needle from the same rendering the
+// emitters and FlowIndex use keeps the two byte-consistent.
+std::string CoordinateNeedle(double value) {
+  std::string text = util::FormatDouble(value, 4);
+  size_t dot = text.find('.');
+  return dot == std::string::npos ? text : text.substr(0, dot + 3);
+}
+
 }  // namespace
 
 std::string_view PiiFieldName(PiiField field) {
@@ -103,8 +117,8 @@ PiiScanner::PiiScanner(device::DeviceProfile profile)
                   std::to_string(profile_.screen_height)),
       local_ip_(profile_.local_ip.ToString()),
       locale_underscore_(util::ReplaceAll(profile_.locale, "-", "_")),
-      lat_prefix_(util::FormatDouble(profile_.latitude, 2)),
-      lon_prefix_(util::FormatDouble(profile_.longitude, 2)),
+      lat_prefix_(CoordinateNeedle(profile_.latitude)),
+      lon_prefix_(CoordinateNeedle(profile_.longitude)),
       dpi_(std::to_string(profile_.dpi)) {}
 
 void PiiScanner::ScanText(std::string_view key_hint, std::string_view value,

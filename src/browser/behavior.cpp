@@ -6,6 +6,21 @@
 
 namespace panoptes::browser {
 
+namespace {
+
+// Device-conditional cadence: on a metered connection Android apps
+// defer and batch background telemetry (JobScheduler network
+// constraints), so browsers phone home less often. The paper testbed
+// is on unmetered WiFi — scale 1.0, bit-identical to the
+// pre-population behaviour; metered cohorts damp expected call counts.
+constexpr double kMeteredCadenceScale = 0.6;
+
+double CadenceScale(const device::DeviceProfile& profile) {
+  return profile.network_metering == "METERED" ? kMeteredCadenceScale : 1.0;
+}
+
+}  // namespace
+
 void NativeBehavior::OnStartup() {
   FirePlanOnce(ctx_->spec().startup_calls);
 }
@@ -13,10 +28,11 @@ void NativeBehavior::OnStartup() {
 void NativeBehavior::OnNavigate(const net::Url& url, bool incognito) {
   (void)url;
   (void)incognito;
+  double scale = CadenceScale(ctx_->device().profile());
   for (const auto& call : ctx_->spec().per_visit_calls) {
     // Expected `per_visit` executions: fire the integer part, then a
     // Bernoulli trial for the fraction.
-    double expected = call.per_visit;
+    double expected = call.per_visit * scale;
     int whole = static_cast<int>(std::floor(expected));
     for (int i = 0; i < whole; ++i) FireNativeCall(call);
     if (ctx_->rng().NextBool(expected - whole)) FireNativeCall(call);
@@ -29,7 +45,8 @@ void NativeBehavior::OnPageLoaded(const net::Url& url, bool incognito) {
 }
 
 void NativeBehavior::OnIdleTick(util::Duration elapsed) {
-  double target = ctx_->spec().idle_cadence.ExpectedAt(elapsed);
+  double target = ctx_->spec().idle_cadence.ExpectedAt(elapsed) *
+                  CadenceScale(ctx_->device().profile());
   while (idle_fired_ + 1.0 <= target) {
     FireIdleRequest();
     idle_fired_ += 1.0;

@@ -688,7 +688,15 @@ class OperaBehavior : public NativeBehavior {
 
     net::HttpRequest fetch;
     fetch.method = net::HttpMethod::kPost;
-    fetch.url = net::Url::MustParse("https://s-odx.oleads.com/api/v1/sdk_fetch");
+    // Regional ad-SDK front-end: devices west of UTC resolve the
+    // Americas endpoint (the SDK picks its CDN by device region). The
+    // paper's Greek vantage (UTC+3) keeps the default host, so
+    // default-cohort runs are byte-identical to the single-endpoint
+    // behaviour.
+    const bool western = profile.timezone_offset_minutes < 0;
+    fetch.url = net::Url::MustParse(
+        western ? "https://s-odx-amer.oleads.com/api/v1/sdk_fetch"
+                : "https://s-odx.oleads.com/api/v1/sdk_fetch");
     fetch.body = util::Json(std::move(body)).Dump();
     fetch.headers.Set("Content-Type", "application/json");
     fetch.headers.Set("Content-Length", std::to_string(fetch.body.size()));

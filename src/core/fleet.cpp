@@ -148,6 +148,19 @@ uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
   return util::SplitMix64(state);
 }
 
+uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
+                       CampaignKind kind, int shard, int attempt,
+                       uint64_t device_fingerprint) {
+  uint64_t state = DeriveJobSeed(base_seed, browser, kind, shard, attempt);
+  // The paper testbed is the identity element: default-cohort jobs keep
+  // the exact pre-population seeds the golden tests pin. Any other
+  // profile perturbs the chain, so a cohort sweep never replays the
+  // testbed's runtime streams.
+  if (device_fingerprint == device::PaperTestbedFingerprint()) return state;
+  state ^= device_fingerprint;
+  return util::SplitMix64(state);
+}
+
 FleetExecutor::FleetExecutor(FleetOptions options)
     : options_(std::move(options)) {
   if (!options_.cache_dir.empty()) {
@@ -181,6 +194,37 @@ std::vector<FleetJob> FleetExecutor::PlanCampaign(
   return jobs;
 }
 
+std::vector<FleetJob> FleetExecutor::PlanCampaign(
+    const std::vector<browser::BrowserSpec>& browsers,
+    const std::vector<device::DeviceCohort>& cohorts,
+    const std::vector<CampaignKind>& kinds, int shard_count,
+    const CrawlOptions& crawl, const IdleOptions& idle) {
+  if (cohorts.empty()) {
+    return PlanCampaign(browsers, kinds, shard_count, crawl, idle);
+  }
+  if (shard_count < 1) shard_count = 1;
+  std::vector<FleetJob> jobs;
+  for (const auto& spec : browsers) {
+    for (const auto& cohort : cohorts) {
+      for (CampaignKind kind : kinds) {
+        int shards = kind == CampaignKind::kIdle ? 1 : shard_count;
+        for (int shard = 0; shard < shards; ++shard) {
+          FleetJob job;
+          job.spec = spec;
+          job.kind = kind;
+          job.shard = shard;
+          job.shard_count = shards;
+          job.cohort = cohort;
+          job.crawl = crawl;
+          job.idle = idle;
+          jobs.push_back(std::move(job));
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
 FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job, int attempt,
                                          obs::Journal* journal) const {
   obs::ScopedSpan span("fleet.job", "fleet");
@@ -194,7 +238,11 @@ FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job, int attempt,
 
   FrameworkOptions fw = options_.framework;
   fw.seed = DeriveJobSeed(options_.base_seed, job.spec.name, job.kind,
-                          job.shard, attempt);
+                          job.shard, attempt,
+                          device::DeviceProfileFingerprint(job.cohort.profile));
+  // The job's framework simulates the cohort's device — PII payloads,
+  // cadence and endpoints all key off these traits.
+  fw.device_profile = job.cohort.profile;
   // All jobs crawl the same generated web; only the runtime streams
   // (browser jitter, tokens, idle cadence) differ per job.
   if (!fw.catalog_seed.has_value()) fw.catalog_seed = options_.base_seed;
@@ -204,13 +252,20 @@ FleetJobResult FleetExecutor::ExecuteJob(const FleetJob& job, int attempt,
   // are pure functions of the job — nothing scheduling-dependent.
   fw.journal = journal;
   if (journal != nullptr) {
-    journal->Emit(0, "fleet", "job_start")
-        .Str("browser", job.spec.name)
+    auto event = journal->Emit(0, "fleet", "job_start");
+    event.Str("browser", job.spec.name)
         .Str("campaign", CampaignKindName(job.kind))
         .Num("shard", static_cast<int64_t>(job.shard))
         .Num("shard_count", static_cast<int64_t>(job.shard_count))
         .Num("attempt", static_cast<int64_t>(attempt))
         .U64Hex("seed", fw.seed);
+    // Cohort fields only for population jobs: default-cohort journals
+    // stay byte-identical to the pre-population format.
+    if (!job.cohort.IsDefault()) {
+      event.Str("cohort", job.cohort.Label())
+          .U64Hex("cohort_id", job.cohort.id)
+          .Str("device", job.cohort.profile.model);
+    }
   }
   Framework framework(fw);
 
@@ -447,6 +502,8 @@ std::vector<FleetJobResult> FleetExecutor::MergeShards(
         result.crawl.has_value() &&
         merged.back().job.spec.name == result.job.spec.name &&
         merged.back().job.kind == result.job.kind &&
+        merged.back().job.cohort.id == result.job.cohort.id &&
+        merged.back().job.cohort.index == result.job.cohort.index &&
         result.job.shard > 0;
     if (!continues_group) {
       result.job.shard = 0;

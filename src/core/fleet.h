@@ -22,6 +22,7 @@
 #include "browser/spec.h"
 #include "core/campaign.h"
 #include "core/framework.h"
+#include "device/population.h"
 #include "obs/journal.h"
 
 namespace panoptes::core {
@@ -47,15 +48,27 @@ uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
 uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
                        CampaignKind kind, int shard, int attempt);
 
-// One unit of fleet work: a browser × campaign kind × site shard.
-// Crawl shards split the catalog into `shard_count` contiguous ranges
-// (shard s visits sites [s*n/count, (s+1)*n/count)); idle runs never
-// shard (the 10-minute timeline is indivisible).
+// Device-aware form: folds the job's device-profile fingerprint
+// (device::DeviceProfileFingerprint) into the chain so two cohorts of
+// the same browser×kind×shard never share a runtime stream. The paper
+// testbed's fingerprint is the identity element — it returns exactly
+// the value above, keeping every pinned golden seed valid.
+uint64_t DeriveJobSeed(uint64_t base_seed, std::string_view browser,
+                       CampaignKind kind, int shard, int attempt,
+                       uint64_t device_fingerprint);
+
+// One unit of fleet work: a browser × device cohort × campaign kind ×
+// site shard. Crawl shards split the catalog into `shard_count`
+// contiguous ranges (shard s visits sites [s*n/count, (s+1)*n/count));
+// idle runs never shard (the 10-minute timeline is indivisible). The
+// default cohort (id 0) is the paper testbed: such jobs execute and
+// report exactly like the pre-population scheme.
 struct FleetJob {
   browser::BrowserSpec spec;
   CampaignKind kind = CampaignKind::kCrawl;
   int shard = 0;
   int shard_count = 1;
+  device::DeviceCohort cohort;  // the synthetic user this job simulates
   CrawlOptions crawl;  // crawl kinds; `incognito` is set from `kind`
   IdleOptions idle;    // idle kind
 };
@@ -166,6 +179,16 @@ class FleetExecutor {
   // shards ascending. Idle kinds always get a single shard.
   static std::vector<FleetJob> PlanCampaign(
       const std::vector<browser::BrowserSpec>& browsers,
+      const std::vector<CampaignKind>& kinds, int shard_count,
+      const CrawlOptions& crawl = {}, const IdleOptions& idle = {});
+
+  // Population form: browsers × cohorts × kinds × shards, cohorts in
+  // population (index) order nested inside each browser. An empty
+  // cohort list plans the single default (paper testbed) cohort,
+  // byte-identical to the overload above.
+  static std::vector<FleetJob> PlanCampaign(
+      const std::vector<browser::BrowserSpec>& browsers,
+      const std::vector<device::DeviceCohort>& cohorts,
       const std::vector<CampaignKind>& kinds, int shard_count,
       const CrawlOptions& crawl = {}, const IdleOptions& idle = {});
 

@@ -8,6 +8,7 @@ Framework::Framework(FrameworkOptions options)
     : options_(options),
       network_(options.seed ^ 0xFAB51Cull),
       geo_plan_(vendors::GeoPlan::Default()),
+      device_(options.device_profile),
       netstack_(&device_, &network_, &clock_) {
   // The generated web.
   catalog_ = web::SiteCatalog::Generate(

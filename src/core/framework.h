@@ -34,6 +34,11 @@ namespace panoptes::core {
 
 struct FrameworkOptions {
   uint64_t seed = 20231024;  // IMC'23 first day
+  // The simulated device this framework's testbed runs on. Defaults to
+  // the paper's Samsung SM-T580; population campaigns substitute a
+  // synthesized cohort profile here, which changes the PII payloads,
+  // request cadence and vendor endpoints the browsers produce.
+  device::DeviceProfile device_profile = device::DeviceProfile::PaperTestbed();
   // When set, the generated web (site catalog) draws from this seed
   // instead of `seed`. Fleet jobs set it to the campaign's base seed so
   // every shard of a sharded crawl sees the *same* web while their

@@ -153,6 +153,18 @@ void MixIdleOptions(FingerprintHasher& h, const IdleOptions& idle) {
   h.Mix(idle.watchdog_deadline.millis);
 }
 
+// A job's captured traffic is a function of the simulated device (PII
+// payloads, cadence, endpoints), so the cohort — identity and full
+// profile content — is part of the cache key. Default-cohort jobs mix
+// the paper-testbed fingerprint, keeping pre-population snapshots'
+// fingerprints stable across this extension.
+void MixCohort(FingerprintHasher& h, const device::DeviceCohort& cohort) {
+  h.Mix(static_cast<int64_t>(cohort.index));
+  h.Mix(cohort.id);
+  h.Mix(cohort.weight);
+  h.Mix(device::DeviceProfileFingerprint(cohort.profile));
+}
+
 // Filename-safe projection of a browser name ("UC Browser" →
 // "UC-Browser"). Collisions are harmless: the snapshot payload carries
 // the exact name and Read rejects a mismatch.
@@ -214,10 +226,12 @@ uint64_t ResultCache::FingerprintJob(const FleetOptions& options,
   h.Mix(static_cast<uint64_t>(job.kind));
   h.Mix(static_cast<int64_t>(job.shard));
   h.Mix(static_cast<int64_t>(job.shard_count));
+  MixCohort(h, job.cohort);
   // Folds base_seed plus the whole identity-derivation chain; a base
   // seed change moves every job's fingerprint through this term.
   h.Mix(DeriveJobSeed(options.base_seed, job.spec.name, job.kind, job.shard,
-                      /*attempt=*/0));
+                      /*attempt=*/0,
+                      device::DeviceProfileFingerprint(job.cohort.profile)));
   h.Mix(static_cast<int64_t>(options.max_job_retries));
   MixCrawlOptions(h, job.crawl);
   MixIdleOptions(h, job.idle);
@@ -226,8 +240,11 @@ uint64_t ResultCache::FingerprintJob(const FleetOptions& options,
 
 std::filesystem::path ResultCache::PathFor(const FleetJob& job) const {
   std::ostringstream name;
-  name << SanitizeName(job.spec.name) << '_' << CampaignKindName(job.kind)
-       << "_shard" << job.shard << "of" << job.shard_count << ".snap";
+  name << SanitizeName(job.spec.name) << '_' << CampaignKindName(job.kind);
+  // Population jobs get a per-cohort file; default-cohort paths keep
+  // the pre-population layout so existing caches stay addressable.
+  if (!job.cohort.IsDefault()) name << '_' << job.cohort.Label();
+  name << "_shard" << job.shard << "of" << job.shard_count << ".snap";
   return dir_ / name.str();
 }
 

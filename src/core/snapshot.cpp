@@ -221,6 +221,68 @@ bool ReadFaults(util::BinReader& in, std::vector<chaos::FaultEvent>* faults) {
   return in.ok();
 }
 
+void WriteProfile(const device::DeviceProfile& profile, util::BinWriter& out) {
+  out.Str(profile.manufacturer);
+  out.Str(profile.model);
+  out.Str(profile.device_type);
+  out.Str(profile.os);
+  out.Str(profile.os_version);
+  out.I64(profile.screen_width);
+  out.I64(profile.screen_height);
+  out.I64(profile.dpi);
+  out.Str(profile.timezone);
+  out.I64(profile.timezone_offset_minutes);
+  out.Str(profile.locale);
+  out.Str(profile.country);
+  out.Str(profile.city);
+  out.F64(profile.latitude);
+  out.F64(profile.longitude);
+  out.Bool(profile.rooted);
+  out.Str(profile.connection_type);
+  out.Str(profile.network_metering);
+  out.Str(profile.isp);
+  out.U32(profile.local_ip.value());
+  out.U32(profile.public_ip.value());
+}
+
+void ReadProfile(util::BinReader& in, device::DeviceProfile* profile) {
+  profile->manufacturer = in.Str();
+  profile->model = in.Str();
+  profile->device_type = in.Str();
+  profile->os = in.Str();
+  profile->os_version = in.Str();
+  profile->screen_width = static_cast<int>(in.I64());
+  profile->screen_height = static_cast<int>(in.I64());
+  profile->dpi = static_cast<int>(in.I64());
+  profile->timezone = in.Str();
+  profile->timezone_offset_minutes = static_cast<int>(in.I64());
+  profile->locale = in.Str();
+  profile->country = in.Str();
+  profile->city = in.Str();
+  profile->latitude = in.F64();
+  profile->longitude = in.F64();
+  profile->rooted = in.Bool();
+  profile->connection_type = in.Str();
+  profile->network_metering = in.Str();
+  profile->isp = in.Str();
+  profile->local_ip = net::IpAddress(in.U32());
+  profile->public_ip = net::IpAddress(in.U32());
+}
+
+void WriteCohort(const device::DeviceCohort& cohort, util::BinWriter& out) {
+  out.U32(static_cast<uint32_t>(cohort.index));
+  out.U64(cohort.id);
+  out.F64(cohort.weight);
+  WriteProfile(cohort.profile, out);
+}
+
+void ReadCohort(util::BinReader& in, device::DeviceCohort* cohort) {
+  cohort->index = static_cast<int>(in.U32());
+  cohort->id = in.U64();
+  cohort->weight = in.F64();
+  ReadProfile(in, &cohort->profile);
+}
+
 // Payload from `seed` onward (everything after the job identity).
 bool ReadPayload(util::BinReader& in, FleetJobResult* result) {
   result->seed = in.U64();
@@ -255,6 +317,10 @@ std::string Write(const FleetJobResult& result, uint64_t fingerprint) {
   out.U8(static_cast<uint8_t>(result.job.kind));
   out.U32(static_cast<uint32_t>(result.job.shard));
   out.U32(static_cast<uint32_t>(result.job.shard_count));
+  // v6: the simulated user. The full profile rides along (unlike the
+  // BrowserSpec) because cohorts are synthesized per run — there is no
+  // static registry to re-attach them from at `explain` time.
+  WriteCohort(result.job.cohort, out);
   out.U64(result.seed);
   out.I64(result.attempts);
   out.Bool(result.quarantined);
@@ -295,8 +361,11 @@ bool Read(std::string_view bytes, const FleetJob& job,
   auto kind = static_cast<CampaignKind>(in.U8());
   int shard = static_cast<int>(in.U32());
   int shard_count = static_cast<int>(in.U32());
+  device::DeviceCohort cohort;
+  ReadCohort(in, &cohort);
   if (!in.ok() || browser != job.spec.name || kind != job.kind ||
-      shard != job.shard || shard_count != job.shard_count) {
+      shard != job.shard || shard_count != job.shard_count ||
+      cohort.id != job.cohort.id || cohort.index != job.cohort.index) {
     return false;
   }
 
@@ -320,6 +389,8 @@ bool ReadAny(std::string_view bytes, FleetJobResult* result) {
   auto kind = static_cast<CampaignKind>(in.U8());
   int shard = static_cast<int>(in.U32());
   int shard_count = static_cast<int>(in.U32());
+  device::DeviceCohort cohort;
+  ReadCohort(in, &cohort);
   if (!in.ok() || shard < 0 || shard_count <= 0 || shard >= shard_count) {
     return false;
   }
@@ -334,6 +405,7 @@ bool ReadAny(std::string_view bytes, FleetJobResult* result) {
   result->job.kind = kind;
   result->job.shard = shard;
   result->job.shard_count = shard_count;
+  result->job.cohort = std::move(cohort);
   return ReadPayload(in, result);
 }
 

@@ -47,8 +47,14 @@ inline constexpr std::string_view kMagic = "PANOSNAP";
 // (shed/spill/backpressure/quarantine accounting) and the
 // watchdog_cancelled flag. v4 snapshots would replay with that
 // accounting silently zeroed, so kMinReadableSchema rises with it.
-inline constexpr uint32_t kSchemaVersion = 5;
-inline constexpr uint32_t kMinReadableSchema = 5;
+// v6: device cohorts — the job identity section carries the cohort
+// (index, id, weight) and the full DeviceProfile, so `explain` can
+// reconstruct which synthetic user a population snapshot simulated
+// and the cache can tell cohorts of the same browser×kind×shard
+// apart. A v5 snapshot replayed as v6 would silently claim the paper
+// testbed for a cohort job, so kMinReadableSchema rises with it.
+inline constexpr uint32_t kSchemaVersion = 6;
+inline constexpr uint32_t kMinReadableSchema = 6;
 
 // Serializes `result` (with `fingerprint` in the header) to the full
 // file image.

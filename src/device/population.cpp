@@ -1,0 +1,264 @@
+#include "device/population.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace panoptes::device {
+namespace {
+
+// A hardware family: manufacturer plus weighted model/screen variants.
+struct ModelEntry {
+  const char* model;
+  const char* device_type;  // PHONE / TABLET
+  int screen_width;
+  int screen_height;
+  int dpi;
+  const char* os_version;
+  double weight;  // share within the manufacturer
+};
+
+struct ManufacturerEntry {
+  const char* name;
+  double weight;  // global market share (normalized at draw time)
+  std::array<ModelEntry, 3> models;
+};
+
+// Rough 2023 Android market shape: Samsung leads, Xiaomi/Oppo mid-tier
+// volume, Google/OnePlus long tail. Screen/DPI pairs are real device
+// panels so resolution-needle PII scans exercise distinct "WxH" values.
+constexpr std::array<ManufacturerEntry, 6> kManufacturers = {{
+    {"Samsung",
+     0.34,
+     {{{"SM-T580", "TABLET", 1200, 1920, 240, "11", 0.2},
+       {"SM-G991B", "PHONE", 1080, 2400, 421, "13", 0.5},
+       {"SM-A525F", "PHONE", 1080, 2400, 405, "12", 0.3}}}},
+    {"Xiaomi",
+     0.22,
+     {{{"M2101K6G", "PHONE", 1080, 2400, 395, "12", 0.45},
+       {"2201123G", "PHONE", 1080, 2400, 402, "13", 0.35},
+       {"21051182G", "TABLET", 1600, 2560, 274, "12", 0.2}}}},
+    {"OPPO",
+     0.14,
+     {{{"CPH2219", "PHONE", 720, 1600, 270, "11", 0.5},
+       {"CPH2339", "PHONE", 1080, 2400, 408, "12", 0.3},
+       {"CPH2473", "PHONE", 1080, 2412, 394, "13", 0.2}}}},
+    {"Huawei",
+     0.12,
+     {{{"ELS-NX9", "PHONE", 1200, 2640, 441, "10", 0.4},
+       {"JAD-LX9", "PHONE", 1224, 2700, 456, "12", 0.35},
+       {"AGS3K-W09", "TABLET", 1200, 2000, 225, "11", 0.25}}}},
+    {"Google",
+     0.1,
+     {{{"Pixel 6", "PHONE", 1080, 2400, 411, "13", 0.45},
+       {"Pixel 7a", "PHONE", 1080, 2400, 429, "13", 0.35},
+       {"Pixel 4a", "PHONE", 1080, 2340, 443, "12", 0.2}}}},
+    {"OnePlus",
+     0.08,
+     {{{"LE2113", "PHONE", 1080, 2400, 402, "12", 0.5},
+       {"NE2213", "PHONE", 1440, 3216, 525, "13", 0.3},
+       {"CPH2409", "PHONE", 1080, 2412, 394, "13", 0.2}}}},
+}};
+
+// A measurement vantage: locale, timezone and geo coordinates, ISP and
+// a public-IP block. Half the table sits in the western and/or
+// southern hemisphere so populations always carry negative latitudes,
+// longitudes and UTC offsets — the regression surface for the
+// FormatDouble / PII round-trip audits.
+struct VantageEntry {
+  const char* locale;
+  const char* country;
+  const char* city;
+  const char* timezone;
+  int timezone_offset_minutes;
+  double latitude;
+  double longitude;
+  const char* isp;
+  uint8_t ip_a;  // first two public-IP octets of the ISP block
+  uint8_t ip_b;
+  double weight;
+};
+
+constexpr std::array<VantageEntry, 8> kVantages = {{
+    {"el-GR", "GR", "Heraklion", "Europe/Athens", 180, 35.3387, 25.1442,
+     "HellasNet Broadband", 94, 66, 0.14},
+    {"de-DE", "DE", "Berlin", "Europe/Berlin", 120, 52.52, 13.405,
+     "Telekom DE", 91, 64, 0.16},
+    {"en-US", "US", "New York", "America/New_York", -240, 40.7128, -74.006,
+     "Verizon Wireless", 72, 229, 0.18},
+    {"pt-BR", "BR", "Sao Paulo", "America/Sao_Paulo", -180, -23.5505,
+     -46.6333, "Vivo Movel", 177, 32, 0.14},
+    {"en-AU", "AU", "Sydney", "Australia/Sydney", 600, -33.8688, 151.2093,
+     "Telstra Mobile", 58, 96, 0.1},
+    {"es-MX", "MX", "Mexico City", "America/Mexico_City", -360, 19.4326,
+     -99.1332, "Telcel", 187, 190, 0.1},
+    {"ja-JP", "JP", "Tokyo", "Asia/Tokyo", 540, 35.6762, 139.6503,
+     "NTT Docomo", 110, 163, 0.1},
+    {"en-IN", "IN", "Mumbai", "Asia/Kolkata", 330, 19.076, 72.8777,
+     "Jio Mobile", 49, 36, 0.08},
+}};
+
+void Fold(uint64_t& state, uint64_t value) {
+  state ^= value;
+  util::SplitMix64(state);
+}
+
+void Fold(uint64_t& state, std::string_view value) {
+  Fold(state, util::HashString(value));
+}
+
+template <typename Table>
+size_t PickWeighted(util::Rng& rng, const Table& table) {
+  double total = 0.0;
+  for (const auto& entry : table) total += entry.weight;
+  double roll = rng.NextDouble() * total;
+  for (size_t i = 0; i < table.size(); ++i) {
+    roll -= table[i].weight;
+    if (roll < 0.0) return i;
+  }
+  return table.size() - 1;
+}
+
+}  // namespace
+
+uint64_t DeviceProfileFingerprint(const DeviceProfile& profile) {
+  uint64_t state = util::HashString("panoptes-device-profile");
+  Fold(state, profile.manufacturer);
+  Fold(state, profile.model);
+  Fold(state, profile.device_type);
+  Fold(state, profile.os);
+  Fold(state, profile.os_version);
+  Fold(state, static_cast<uint64_t>(profile.screen_width));
+  Fold(state, static_cast<uint64_t>(profile.screen_height));
+  Fold(state, static_cast<uint64_t>(profile.dpi));
+  Fold(state, profile.timezone);
+  Fold(state, static_cast<uint64_t>(
+                  static_cast<int64_t>(profile.timezone_offset_minutes)));
+  Fold(state, profile.locale);
+  Fold(state, profile.country);
+  Fold(state, profile.city);
+  uint64_t lat_bits;
+  uint64_t lon_bits;
+  static_assert(sizeof(lat_bits) == sizeof(profile.latitude));
+  std::memcpy(&lat_bits, &profile.latitude, sizeof(lat_bits));
+  std::memcpy(&lon_bits, &profile.longitude, sizeof(lon_bits));
+  Fold(state, lat_bits);
+  Fold(state, lon_bits);
+  Fold(state, static_cast<uint64_t>(profile.rooted ? 1 : 0));
+  Fold(state, profile.connection_type);
+  Fold(state, profile.network_metering);
+  Fold(state, profile.isp);
+  Fold(state, static_cast<uint64_t>(profile.local_ip.value()));
+  Fold(state, static_cast<uint64_t>(profile.public_ip.value()));
+  return state;
+}
+
+uint64_t PaperTestbedFingerprint() {
+  static const uint64_t kFingerprint =
+      DeviceProfileFingerprint(DeviceProfile::PaperTestbed());
+  return kFingerprint;
+}
+
+uint64_t DeriveCohortId(uint64_t population_seed, int index) {
+  uint64_t state = population_seed;
+  util::SplitMix64(state);
+  state ^= util::HashString("panoptes-cohort");
+  util::SplitMix64(state);
+  state ^= static_cast<uint64_t>(index) + 1;
+  uint64_t id = util::SplitMix64(state);
+  // id 0 names the default cohort; nudge the (astronomically unlikely)
+  // collision off it.
+  return id == 0 ? 1 : id;
+}
+
+std::string DeviceCohort::Label() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "c%04d", index);
+  return buf;
+}
+
+std::vector<DeviceCohort> PopulationGenerator::Generate(
+    const PopulationOptions& options) {
+  std::vector<DeviceCohort> cohorts;
+  if (options.size <= 0) return cohorts;
+  cohorts.reserve(static_cast<size_t>(options.size));
+
+  double weight_total = 0.0;
+  for (int i = 0; i < options.size; ++i) {
+    // Each cohort draws from its own generator seeded by (seed, index),
+    // so cohort k is identical whether the population has 10 or 10000
+    // members and regardless of generation order.
+    uint64_t cohort_seed = options.seed;
+    util::SplitMix64(cohort_seed);
+    cohort_seed ^= static_cast<uint64_t>(i) + 0x5EEDC0C0DE17ull;
+    util::Rng rng(util::SplitMix64(cohort_seed));
+
+    const ManufacturerEntry& manufacturer =
+        kManufacturers[PickWeighted(rng, kManufacturers)];
+    const ModelEntry& model =
+        manufacturer.models[PickWeighted(rng, manufacturer.models)];
+    const VantageEntry& vantage = kVantages[PickWeighted(rng, kVantages)];
+
+    DeviceCohort cohort;
+    cohort.index = i;
+    cohort.id = DeriveCohortId(options.seed, i);
+    cohort.weight = rng.NextExponential(1.0) + 1e-6;
+
+    DeviceProfile& p = cohort.profile;
+    p.manufacturer = manufacturer.name;
+    p.model = model.model;
+    p.device_type = model.device_type;
+    p.os = "ANDROID";
+    p.os_version = model.os_version;
+    p.screen_width = model.screen_width;
+    p.screen_height = model.screen_height;
+    p.dpi = model.dpi;
+    p.timezone = vantage.timezone;
+    p.timezone_offset_minutes = vantage.timezone_offset_minutes;
+    p.locale = vantage.locale;
+    p.country = vantage.country;
+    p.city = vantage.city;
+    // Jitter the city centroid by up to ±0.05° so cohorts in the same
+    // vantage still carry distinct coordinates (distinct PII needles).
+    p.latitude = vantage.latitude + (rng.NextDouble() - 0.5) * 0.1;
+    p.longitude = vantage.longitude + (rng.NextDouble() - 0.5) * 0.1;
+    p.rooted = rng.NextBool(options.rooted_fraction);
+    if (rng.NextBool(options.cellular_fraction)) {
+      p.connection_type = "CELLULAR";
+      p.network_metering = rng.NextBool(options.metered_cellular_fraction)
+                               ? "METERED"
+                               : "UNMETERED";
+    } else {
+      p.connection_type = "WIFI";
+      p.network_metering = "UNMETERED";
+    }
+    p.isp = vantage.isp;
+    // RFC1918 local address unique-ish per cohort; public address in
+    // the vantage ISP's /16.
+    p.local_ip = net::IpAddress(
+        192, 168, static_cast<uint8_t>(1 + (i / 200) % 250),
+        static_cast<uint8_t>(2 + i % 250));
+    p.public_ip = net::IpAddress(
+        vantage.ip_a, vantage.ip_b,
+        static_cast<uint8_t>(rng.NextBelow(256)),
+        static_cast<uint8_t>(1 + rng.NextBelow(254)));
+
+    weight_total += cohort.weight;
+    cohorts.push_back(std::move(cohort));
+  }
+
+  for (DeviceCohort& cohort : cohorts) cohort.weight /= weight_total;
+  return cohorts;
+}
+
+std::vector<DeviceCohort> PopulationGenerator::Generate(int size,
+                                                        uint64_t seed) {
+  PopulationOptions options;
+  options.size = size;
+  options.seed = seed;
+  return Generate(options);
+}
+
+}  // namespace panoptes::device

@@ -122,6 +122,11 @@ VendorWorld InstallVendors(net::Network& network, GeoPlan& plan) {
   world.oleads = std::make_shared<OleadsServer>();
   network.Host("s-odx.oleads.com", plan.Allocator("NO").Next(),
                world.oleads);
+  // Americas CDN front of the same ad SDK backend: device cohorts west
+  // of UTC fetch ads here (browser/profiles.cpp picks the endpoint by
+  // device region). Same handler — only the hostname and geo differ.
+  network.Host("s-odx-amer.oleads.com", plan.Allocator("US").Next(),
+               world.oleads);
 
   world.bing = std::make_shared<BingApiServer>();
   network.Host("www.bing.com", plan.Allocator("US").Next(), world.bing,

@@ -138,7 +138,7 @@ TEST_F(PiiTest, EvidenceDeduplicatedPerFieldHost) {
 // long payloads sharing a prefix are distinct sightings, the same value
 // re-sent is one.
 TEST_F(PiiTest, LongValuesSharingAPrefixAreDistinctEvidence) {
-  std::string shared_prefix = "35.34" + std::string(90, 'x');
+  std::string shared_prefix = "35.33" + std::string(90, 'x');
   proxy::FlowStore store;
   store.Add(FlowTo("https://v.example/a?lat=" + shared_prefix + "AAAA"));
   store.Add(FlowTo("https://v.example/b?lat=" + shared_prefix + "BBBB"));
@@ -166,7 +166,7 @@ TEST_F(PiiTest, SampleTruncationRespectsUtf8Boundaries) {
   // 79 ASCII bytes, then a two-byte UTF-8 character straddling the
   // 80-byte sample limit: the whole character must be dropped, never
   // split into a mangled lead byte.
-  std::string value = "35.34" + std::string(74, 'x') + "\xCE\xB1";
+  std::string value = "35.33" + std::string(74, 'x') + "\xCE\xB1";
   ASSERT_EQ(value.size(), 81u);
   proxy::FlowStore store;
   store.Add(FlowTo("https://v.example/a?lat=" + value));

@@ -263,5 +263,73 @@ TEST(Determinism, AuditBatteryInvariantUnderAnalysisJobs) {
   EXPECT_EQ(AuditJson(serial), AuditJson(parallel));
 }
 
+// ---------------------------------------------------------------------------
+// Device-population fleet determinism: the cohort dimension must obey
+// the same contracts as browser×kind×shard — worker count is a pure
+// wall-clock knob, shard merge matches the serial oracle, and the
+// population seed is part of the report's identity.
+// ---------------------------------------------------------------------------
+
+std::vector<FleetJob> PopulationPlan(uint64_t population_seed,
+                                     int shards = 1) {
+  std::vector<browser::BrowserSpec> specs = {*browser::FindSpec("Yandex"),
+                                             *browser::FindSpec("Opera")};
+  auto cohorts = device::PopulationGenerator::Generate(3, population_seed);
+  return FleetExecutor::PlanCampaign(
+      specs, cohorts, {CampaignKind::kCrawl, CampaignKind::kIdle}, shards);
+}
+
+TEST(Determinism, PopulationReportsInvariantUnderJobCount) {
+  auto jobs = PopulationPlan(kPaperSeed);
+  auto one = FleetExecutor(IndexFleet(1)).Run(jobs);
+  auto eight = FleetExecutor(IndexFleet(8)).Run(jobs);
+
+  auto merged_one = FleetExecutor::MergeShards(std::move(one));
+  auto merged_eight = FleetExecutor::MergeShards(std::move(eight));
+
+  EXPECT_EQ(IndexBytes(merged_one), IndexBytes(merged_eight));
+  auto json = analysis::FleetReportJson(merged_one);
+  EXPECT_EQ(json, analysis::FleetReportJson(merged_eight));
+  EXPECT_EQ(analysis::FleetSummaryCsv(merged_one),
+            analysis::FleetSummaryCsv(merged_eight));
+
+  // The population actually shows in the artifacts: per-entry cohort
+  // objects plus the weighted per-browser aggregate block.
+  EXPECT_NE(json.find("\"cohort\""), std::string::npos);
+  EXPECT_NE(json.find("\"population\""), std::string::npos);
+  EXPECT_NE(analysis::FleetSummaryCsv(merged_eight).find("c0002"),
+            std::string::npos);
+}
+
+// A sharded cohort plan executed on the thread pool merges to exactly
+// what the in-line reference path (RunSerial) produces — cohort by
+// cohort, byte for byte.
+TEST(Determinism, PopulationShardMergeMatchesSerialOracle) {
+  auto jobs = PopulationPlan(kPaperSeed, 2);
+  auto serial = FleetExecutor(IndexFleet(1)).RunSerial(jobs);
+  auto sharded = FleetExecutor(IndexFleet(4)).Run(jobs);
+
+  auto merged_serial = FleetExecutor::MergeShards(std::move(serial));
+  auto merged_sharded = FleetExecutor::MergeShards(std::move(sharded));
+
+  ASSERT_EQ(merged_serial.size(), merged_sharded.size());
+  for (size_t i = 0; i < merged_serial.size(); ++i) {
+    EXPECT_EQ(merged_serial[i].job.cohort.id,
+              merged_sharded[i].job.cohort.id);
+  }
+  EXPECT_EQ(analysis::FleetReportJson(merged_serial),
+            analysis::FleetReportJson(merged_sharded));
+  EXPECT_EQ(analysis::FleetSummaryCsv(merged_serial),
+            analysis::FleetSummaryCsv(merged_sharded));
+}
+
+TEST(Determinism, PopulationSeedChangesTheCampaign) {
+  auto a = FleetExecutor::MergeShards(
+      FleetExecutor(IndexFleet(1)).Run(PopulationPlan(kPaperSeed)));
+  auto b = FleetExecutor::MergeShards(
+      FleetExecutor(IndexFleet(1)).Run(PopulationPlan(kPaperSeed + 7)));
+  EXPECT_NE(analysis::FleetReportJson(a), analysis::FleetReportJson(b));
+}
+
 }  // namespace
 }  // namespace panoptes::core

@@ -488,8 +488,9 @@ TEST(Window, BudgetedWindowMatchesUnboundedIndex) {
 
   EXPECT_EQ(r1.native_flows, r2.native_flows);
   EXPECT_EQ(IndexBytes(r1.native_index), IndexBytes(r2.native_index));
-  EXPECT_EQ(analysis::WindowReportJson(spec->name, r1.native_index),
-            analysis::WindowReportJson(spec->name, r2.native_index));
+  const auto profile = device::DeviceProfile::PaperTestbed();
+  EXPECT_EQ(analysis::WindowReportJson(spec->name, r1.native_index, profile),
+            analysis::WindowReportJson(spec->name, r2.native_index, profile));
   EXPECT_GT(r1.native_flows, 0u);
 }
 
