@@ -1,0 +1,203 @@
+// BM_UidSmuggling: the cross-flow identifier join (analysis::
+// AnalyzeUidSmuggling) over one scenario-enabled crawl. The capture
+// turns the sitegen tracking overlay on (bounce redirects, link
+// decoration, a slice of plain-http sites) so the joins have real work:
+// decorated embeds repeat pan_uid across ad domains, bounce hops carry
+// the uid through tracker 302 chains, and the browser's native beacons
+// smuggle the visited URL (which now embeds the uid) — the containment
+// pass has to catch those.
+//
+// Two timed shapes: `join` runs the analyzer against the prebuilt
+// capture indexes (the audit-battery path, where FlowIndex already
+// exists for the other analyzers), and `join_cold` charges the two
+// index builds to the join (the standalone-report path). The finding
+// set is pinned by checksum: a faster join that changes a finding is a
+// bug, not a win. Any mismatch exits non-zero so CI's bench smoke step
+// fails hard while the perf numbers stay advisory.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "analysis/flow_index.h"
+#include "analysis/uid_smuggling.h"
+#include "bench_common.h"
+#include "browser/profiles.h"
+#include "core/campaign.h"
+#include "core/framework.h"
+#include "util/rng.h"
+
+using namespace panoptes;
+
+namespace {
+
+// Sticky failure flag: main() exits non-zero if any variant's checksum
+// disagreed with the oracle. SkipWithError alone is not enough — old
+// google-benchmark builds still exit 0 on skipped benchmarks.
+bool g_checksum_mismatch = false;
+
+void ReportChecksum(benchmark::State& state, uint64_t got, uint64_t want) {
+  state.counters["checksum"] =
+      benchmark::Counter(static_cast<double>(got));
+  if (got != want) {
+    g_checksum_mismatch = true;
+    state.SkipWithError("checksum mismatch");
+  }
+}
+
+// One scenario-enabled crawl, captured once and shared by every
+// benchmark. Yandex is the carrier-rich spec: its native beacons
+// Base64-wrap the visited URL, so the containment pass has native-side
+// work on top of the engine-side exact joins.
+struct Capture {
+  std::unique_ptr<core::Framework> framework;
+  core::CrawlResult result;
+};
+
+Capture& GetCapture() {
+  static Capture* capture = [] {
+    auto* c = new Capture;
+    core::FrameworkOptions options;
+    options.catalog.popular_count = 30;
+    options.catalog.sensitive_count = 10;
+    options.catalog.sitegen.bounce_fraction = 0.4;
+    options.catalog.sitegen.decoration_fraction = 0.4;
+    options.catalog.sitegen.plain_http_fraction = 0.15;
+    options.catalog.sitegen.max_bounce_hops = 3;
+    c->framework = std::make_unique<core::Framework>(options);
+    std::vector<const web::Site*> sites;
+    for (const auto& site : c->framework->catalog().sites()) {
+      sites.push_back(&site);
+    }
+    core::CrawlOptions crawl_options;
+    crawl_options.compact_engine_store = false;
+    c->result = core::RunCrawl(*c->framework, *browser::FindSpec("Yandex"),
+                               sites, crawl_options);
+    return c;
+  }();
+  return *capture;
+}
+
+// Stable digest of a smuggling report: every finding field and every
+// sighting's provenance (flow uid, chain head, hop) feeds the hash, so
+// a join change anywhere in the output moves the pin.
+uint64_t ReportHash(const analysis::UidSmugglingReport& report) {
+  std::string text;
+  text += std::to_string(report.values_examined) + "|" +
+          std::to_string(report.flows_with_chains) + "\n";
+  for (const auto& finding : report.findings) {
+    text += finding.value + "," + std::to_string(finding.domains) + "," +
+            std::to_string(finding.engine_sightings) + "," +
+            std::to_string(finding.native_sightings) + "," +
+            std::to_string(finding.embedded_sightings) + "," +
+            std::to_string(finding.chained_sightings) + "," +
+            std::to_string(finding.max_chain_hops) + "\n";
+    for (const auto& s : finding.sightings) {
+      text += "  " + std::to_string(s.flow_uid) + "," + s.host + "," +
+              s.key + "," +
+              std::string(analysis::UidCarrierName(s.carrier)) + "," +
+              (s.embedded ? "1" : "0") + "," +
+              std::to_string(s.redirect_hop) + "," +
+              std::to_string(s.redirect_of) + "," +
+              std::to_string(s.chain_head) + "\n";
+    }
+  }
+  return util::HashString(text);
+}
+
+analysis::UidSmugglingReport RunJoin(const Capture& c, bool build_indexes) {
+  if (!build_indexes) {
+    return analysis::AnalyzeUidSmuggling(
+        *c.result.engine_flows, *c.result.engine_index,
+        *c.result.native_flows, *c.result.native_index);
+  }
+  auto engine_index = analysis::FlowIndex::Build(*c.result.engine_flows);
+  auto native_index = analysis::FlowIndex::Build(*c.result.native_flows);
+  return analysis::AnalyzeUidSmuggling(*c.result.engine_flows, engine_index,
+                                       *c.result.native_flows, native_index);
+}
+
+// The oracle pin: the warm join's digest, computed once outside any
+// timing loop. Cold (rebuild-index) runs must match it byte for byte.
+uint64_t OracleHash() {
+  static const uint64_t hash =
+      ReportHash(RunJoin(GetCapture(), /*build_indexes=*/false));
+  return hash;
+}
+
+void BM_UidSmugglingJoin(benchmark::State& state) {
+  Capture& c = GetCapture();
+  uint64_t hash = 0;
+  for (auto _ : state) {
+    auto report = RunJoin(c, /*build_indexes=*/false);
+    hash = ReportHash(report);
+    benchmark::DoNotOptimize(report);
+  }
+  ReportChecksum(state, hash, OracleHash());
+}
+BENCHMARK(BM_UidSmugglingJoin)->Unit(benchmark::kMicrosecond);
+
+void BM_UidSmugglingJoinCold(benchmark::State& state) {
+  Capture& c = GetCapture();
+  uint64_t hash = 0;
+  for (auto _ : state) {
+    auto report = RunJoin(c, /*build_indexes=*/true);
+    hash = ReportHash(report);
+    benchmark::DoNotOptimize(report);
+  }
+  ReportChecksum(state, hash, OracleHash());
+}
+BENCHMARK(BM_UidSmugglingJoinCold)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+// Custom main: after the google-benchmark run, take interleaved
+// steady-clock medians of the two join shapes (bench_common.h), pin the
+// finding-set shape into the bench report, and exit non-zero if any
+// checksum disagreed. CI gates the checksums and the count metrics; the
+// timings stay advisory.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+
+  Capture& c = GetCapture();
+  const auto report = RunJoin(c, /*build_indexes=*/false);
+  const uint64_t want = OracleHash();
+  if (ReportHash(report) != want) g_checksum_mismatch = true;
+
+  uint64_t warm_hash = 0;
+  uint64_t cold_hash = 0;
+  bench::InterleavedTimer timer;
+  timer.Add("join_warm", [&] {
+    warm_hash = ReportHash(RunJoin(c, /*build_indexes=*/false));
+  });
+  timer.Add("join_cold", [&] {
+    cold_hash = ReportHash(RunJoin(c, /*build_indexes=*/true));
+  });
+  timer.Run(/*reps=*/9);
+  std::printf("\n--- interleaved medians (steady clock) ---\n");
+  timer.Print();
+  if (warm_hash != want || cold_hash != want) g_checksum_mismatch = true;
+
+  std::printf(
+      "findings=%zu sightings=%llu chains=%llu values_examined=%llu %s\n",
+      report.findings.size(),
+      static_cast<unsigned long long>(report.TotalSightings()),
+      static_cast<unsigned long long>(report.flows_with_chains),
+      static_cast<unsigned long long>(report.values_examined),
+      g_checksum_mismatch ? "MISMATCH" : "OK");
+
+  bench::BenchReport bench_report("uid_smuggling");
+  timer.Report(bench_report);
+  bench_report.Metric("findings", static_cast<double>(report.findings.size()));
+  bench_report.Metric("sightings",
+                      static_cast<double>(report.TotalSightings()));
+  bench_report.Metric("flows_with_chains",
+                      static_cast<double>(report.flows_with_chains));
+  bench_report.Metric("checksum_ok", g_checksum_mismatch ? 0 : 1);
+  bench_report.Checksum("findings", want);
+  bench_report.Write();
+  return g_checksum_mismatch ? 1 : 0;
+}

@@ -13,6 +13,10 @@
 //                      [--cache-dir DIR] [--resume] [--kill-after-jobs N]
 //                      [--memory-budget BYTES] [--spill-dir DIR] [--shed]
 //                      [--watchdog-seconds N] [--window SECONDS]
+//                      [--smuggling F] [--bounce-fraction F]
+//                      [--decoration-fraction F] [--plain-http-fraction F]
+//                      [--max-bounce-hops N]
+//                      [--smuggling-json s.json] [--smuggling-csv s.csv]
 //                      [--json report.json] [--csv report.csv]
 //                      [--metrics-out metrics.prom] [--trace-out trace.json]
 //                      [--journal-out journal.jsonl]
@@ -74,6 +78,10 @@ int Usage() {
                "        [--cache-dir DIR] [--resume] [--kill-after-jobs N]\n"
                "        [--memory-budget BYTES] [--spill-dir DIR] [--shed]\n"
                "        [--watchdog-seconds N] [--window SECONDS]\n"
+               "        [--smuggling F] [--bounce-fraction F]\n"
+               "        [--decoration-fraction F] [--plain-http-fraction F]\n"
+               "        [--max-bounce-hops N]\n"
+               "        [--smuggling-json FILE] [--smuggling-csv FILE]\n"
                "        [--manifest-out FILE]\n"
                "        [--json FILE] [--csv FILE]\n"
                "        [--metrics-out FILE] [--trace-out FILE]\n"
@@ -274,6 +282,32 @@ int CmdFleet(const util::Args& args) {
       static_cast<uint64_t>(args.IntOptionOr("seed", 20231024));
   options.framework.catalog.popular_count = site_count / 2;
   options.framework.catalog.sensitive_count = site_count - site_count / 2;
+
+  // UID-smuggling scenario knobs (web/sitegen.h): --smuggling F turns
+  // on both first-party bounce chains and link decoration for a
+  // fraction F of generated sites; the fine-grained flags set one knob
+  // each. All default to 0, which reproduces the legacy catalog byte
+  // for byte.
+  auto fraction_option = [&](const char* name) -> double {
+    auto text = args.Option(name);
+    return text ? std::strtod(text->c_str(), nullptr) : 0.0;
+  };
+  web::SiteGenOptions& sitegen = options.framework.catalog.sitegen;
+  if (double f = fraction_option("smuggling"); f > 0) {
+    sitegen.bounce_fraction = f;
+    sitegen.decoration_fraction = f;
+  }
+  if (double f = fraction_option("bounce-fraction"); f > 0) {
+    sitegen.bounce_fraction = f;
+  }
+  if (double f = fraction_option("decoration-fraction"); f > 0) {
+    sitegen.decoration_fraction = f;
+  }
+  if (double f = fraction_option("plain-http-fraction"); f > 0) {
+    sitegen.plain_http_fraction = f;
+  }
+  sitegen.max_bounce_hops = static_cast<int>(
+      args.IntOptionOr("max-bounce-hops", sitegen.max_bounce_hops));
 
   // Chaos fabric + self-healing: an enabled profile injects seeded
   // faults; --max-retries arms both the per-visit retry loop and the
@@ -476,6 +510,21 @@ int CmdFleet(const util::Args& args) {
       return 1;
     }
     std::printf("wrote %s\n", csv_path->c_str());
+  }
+  if (auto smuggling_json = args.Option("smuggling-json")) {
+    if (!WriteFile(*smuggling_json,
+                   analysis::UidSmugglingReportJson(merged))) {
+      std::fprintf(stderr, "cannot write %s\n", smuggling_json->c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", smuggling_json->c_str());
+  }
+  if (auto smuggling_csv = args.Option("smuggling-csv")) {
+    if (!WriteFile(*smuggling_csv, analysis::UidSmugglingCsv(merged))) {
+      std::fprintf(stderr, "cannot write %s\n", smuggling_csv->c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", smuggling_csv->c_str());
   }
 
   // Telemetry files go last so report-rendering spans are included.

@@ -88,6 +88,12 @@ BrowserAuditReport AuditBrowser(core::Framework& framework,
         AnalyzeRefererLeakage(*result.engine_flows, *result.engine_index);
     return static_cast<int64_t>(report.referer.leaking_requests);
   });
+  battery.AddCounted("battery.uid_smuggling", [&]() -> int64_t {
+    report.smuggling = AnalyzeUidSmuggling(
+        *result.engine_flows, *result.engine_index, *result.native_flows,
+        *result.native_index);
+    return static_cast<int64_t>(report.smuggling.findings.size());
+  });
   battery.Run();
   return report;
 }
@@ -160,6 +166,13 @@ std::string RenderAuditMarkdown(
              std::to_string(report.referer.leaking_requests) +
              " cross-site embed fetches carried the visited page in "
              "their Referer\n";
+    }
+    if (!report.smuggling.findings.empty()) {
+      out += "- " + std::to_string(report.smuggling.findings.size()) +
+             " identifier value(s) smuggled across registrable domains "
+             "(widest reached " +
+             std::to_string(report.smuggling.findings.front().domains) +
+             " domains)\n";
     }
     if (report.stack.pin_failures > 0) {
       out += "- " + std::to_string(report.stack.pin_failures) +

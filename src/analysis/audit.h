@@ -14,6 +14,7 @@
 #include "analysis/pii.h"
 #include "analysis/referer.h"
 #include "analysis/stats.h"
+#include "analysis/uid_smuggling.h"
 #include "browser/spec.h"
 #include "core/campaign.h"
 #include "core/framework.h"
@@ -33,6 +34,7 @@ struct BrowserAuditReport {
   std::vector<LeakFinding> engine_leaks;   // §3.2 (UC-style injection)
   std::vector<CountryShare> countries;     // §3.4
   RefererReport referer;                   // classic engine-side channel
+  UidSmugglingReport smuggling;            // cross-site identifier joins
   device::NetworkStackStats stack;         // pinning/QUIC accounting
 
   bool LeaksFullUrl() const;

@@ -7,6 +7,7 @@
 
 #include "analysis/flow_index.h"
 #include "analysis/pii.h"
+#include "analysis/uid_smuggling.h"
 #include "obs/journal.h"
 #include "obs/metrics.h"
 #include "obs/tracer.h"
@@ -485,6 +486,217 @@ std::string FleetReportJson(
     root["population"] = std::move(population_json);
   }
   return util::Json(std::move(root)).Dump();
+}
+
+namespace {
+
+// Idle results carry no engine store; the analyzer treats an empty
+// (store, index) pair as an empty side, so the native self-join still
+// runs (device-fingerprint values shared across vendor domains).
+const proxy::FlowStore& EmptyFlowStore() {
+  static const proxy::FlowStore empty;
+  return empty;
+}
+const FlowIndex& EmptyFlowIndex() {
+  static const FlowIndex empty;
+  return empty;
+}
+
+// Runs the smuggling analyzer for one fleet result; nullopt when the
+// result holds neither a crawl nor idle traffic (quarantined job).
+std::optional<UidSmugglingReport> SmugglingFor(
+    const core::FleetJobResult& result) {
+  if (result.crawl.has_value()) {
+    const core::CrawlResult& crawl = *result.crawl;
+    if (crawl.engine_index == nullptr || crawl.native_index == nullptr) {
+      return AnalyzeUidSmuggling(*crawl.engine_flows,
+                                 FlowIndex::Build(*crawl.engine_flows),
+                                 *crawl.native_flows,
+                                 FlowIndex::Build(*crawl.native_flows));
+    }
+    return AnalyzeUidSmuggling(*crawl.engine_flows, *crawl.engine_index,
+                               *crawl.native_flows, *crawl.native_index);
+  }
+  if (result.idle.has_value()) {
+    const core::IdleResult& idle = *result.idle;
+    if (idle.native_index == nullptr) {
+      return AnalyzeUidSmuggling(EmptyFlowStore(), EmptyFlowIndex(),
+                                 *idle.native_flows,
+                                 FlowIndex::Build(*idle.native_flows));
+    }
+    return AnalyzeUidSmuggling(EmptyFlowStore(), EmptyFlowIndex(),
+                               *idle.native_flows, *idle.native_index);
+  }
+  return std::nullopt;
+}
+
+util::JsonObject SightingJson(const UidSighting& sighting,
+                              const std::vector<core::VisitRecord>* visits) {
+  util::JsonObject out;
+  out["flow_id"] = obs::FlowIdHex(sighting.flow_uid);
+  out["host"] = sighting.host;
+  out["domain"] = sighting.domain;
+  out["key"] = sighting.key;
+  out["carrier"] = std::string(UidCarrierName(sighting.carrier));
+  out["embedded"] = sighting.embedded;
+  out["visit"] =
+      visits != nullptr ? VisitOfUid(sighting.flow_uid, *visits) : -1;
+  if (sighting.redirect_hop > 0) {
+    out["hop"] = static_cast<uint64_t>(sighting.redirect_hop);
+    out["redirect_of"] = obs::FlowIdHex(sighting.redirect_of);
+    out["chain_head"] = obs::FlowIdHex(sighting.chain_head);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string UidSmugglingReportJson(
+    const std::vector<core::FleetJobResult>& results) {
+  ReportTimer timer("analysis.uid_smuggling_json");
+  const bool population = HasPopulation(results);
+
+  struct SmugglingAggregate {
+    std::string browser;
+    std::string campaign;
+    double weight = 0;
+    double findings = 0;   // sum of w_i * finding-count_i
+    double sightings = 0;  // sum of w_i * sighting-count_i
+    std::set<std::string> value_union;
+    uint64_t cohorts = 0;
+  };
+  std::vector<SmugglingAggregate> aggregates;
+  auto aggregate_for =
+      [&](const core::FleetJobResult& r) -> SmugglingAggregate& {
+    std::string campaign(core::CampaignKindName(r.job.kind));
+    for (auto& agg : aggregates) {
+      if (agg.browser == r.job.spec.name && agg.campaign == campaign) {
+        return agg;
+      }
+    }
+    aggregates.push_back(
+        SmugglingAggregate{r.job.spec.name, std::move(campaign)});
+    return aggregates.back();
+  };
+
+  util::JsonArray entries;
+  for (const auto& result : results) {
+    auto smuggling = SmugglingFor(result);
+    if (!smuggling.has_value()) continue;
+    util::JsonObject entry;
+    entry["browser"] = result.job.spec.name;
+    entry["campaign"] = std::string(core::CampaignKindName(result.job.kind));
+    entry["seed"] = SeedHex(result.seed);
+    if (population && !result.job.cohort.IsDefault()) {
+      const device::DeviceCohort& cohort = result.job.cohort;
+      util::JsonObject cohort_json;
+      cohort_json["label"] = cohort.Label();
+      cohort_json["id"] = SeedHex(cohort.id);
+      cohort_json["weight"] = cohort.weight;
+      cohort_json["model"] = cohort.profile.model;
+      entry["cohort"] = util::Json(std::move(cohort_json));
+    }
+    entry["values_examined"] = smuggling->values_examined;
+    entry["flows_with_chains"] = smuggling->flows_with_chains;
+    const std::vector<core::VisitRecord>* visits =
+        result.crawl.has_value() ? &result.crawl->visits : nullptr;
+    util::JsonArray findings;
+    for (const UidSmugglingFinding& finding : smuggling->findings) {
+      util::JsonObject finding_json;
+      finding_json["value"] = finding.value;
+      finding_json["domains"] = finding.domains;
+      finding_json["engine_sightings"] = finding.engine_sightings;
+      finding_json["native_sightings"] = finding.native_sightings;
+      finding_json["embedded_sightings"] = finding.embedded_sightings;
+      finding_json["chained_sightings"] = finding.chained_sightings;
+      finding_json["max_chain_hops"] =
+          static_cast<uint64_t>(finding.max_chain_hops);
+      finding_json["first_seen"] = finding.first_seen_millis;
+      finding_json["last_seen"] = finding.last_seen_millis;
+      util::JsonArray sightings;
+      for (const UidSighting& sighting : finding.sightings) {
+        sightings.push_back(util::Json(SightingJson(sighting, visits)));
+      }
+      finding_json["sightings"] = std::move(sightings);
+      findings.push_back(util::Json(std::move(finding_json)));
+    }
+    entry["findings"] = std::move(findings);
+    entries.push_back(util::Json(std::move(entry)));
+
+    if (population) {
+      SmugglingAggregate& agg = aggregate_for(result);
+      double w = result.job.cohort.weight;
+      agg.weight += w;
+      agg.findings += w * static_cast<double>(smuggling->findings.size());
+      agg.sightings += w * static_cast<double>(smuggling->TotalSightings());
+      for (const UidSmugglingFinding& finding : smuggling->findings) {
+        agg.value_union.insert(finding.value);
+      }
+      ++agg.cohorts;
+    }
+  }
+
+  util::JsonObject root;
+  root["results"] = std::move(entries);
+  if (population) {
+    util::JsonArray population_json;
+    for (const SmugglingAggregate& agg : aggregates) {
+      util::JsonObject group;
+      group["browser"] = agg.browser;
+      group["campaign"] = agg.campaign;
+      group["cohorts"] = agg.cohorts;
+      group["weight"] = agg.weight;
+      double norm = agg.weight > 0 ? agg.weight : 1.0;
+      group["weighted_findings"] = agg.findings / norm;
+      group["weighted_sightings"] = agg.sightings / norm;
+      util::JsonArray values;
+      for (const std::string& value : agg.value_union) {
+        values.emplace_back(value);
+      }
+      group["value_union"] = std::move(values);
+      population_json.push_back(util::Json(std::move(group)));
+    }
+    root["population"] = std::move(population_json);
+  }
+  return util::Json(std::move(root)).Dump();
+}
+
+std::string UidSmugglingCsv(
+    const std::vector<core::FleetJobResult>& results) {
+  ReportTimer timer("analysis.uid_smuggling_csv");
+  const bool population = HasPopulation(results);
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& result : results) {
+    auto smuggling = SmugglingFor(result);
+    if (!smuggling.has_value()) continue;
+    for (const UidSmugglingFinding& finding : smuggling->findings) {
+      std::vector<std::string> row = {
+          result.job.spec.name,
+          std::string(core::CampaignKindName(result.job.kind)),
+          SeedHex(result.seed),
+          finding.value,
+          std::to_string(finding.domains),
+          std::to_string(finding.engine_sightings),
+          std::to_string(finding.native_sightings),
+          std::to_string(finding.embedded_sightings),
+          std::to_string(finding.chained_sightings),
+          std::to_string(finding.max_chain_hops)};
+      if (population) {
+        row.push_back(result.job.cohort.Label());
+        row.push_back(result.job.cohort.profile.model);
+        row.push_back(util::FormatDouble(result.job.cohort.weight, 6));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  std::vector<std::string> header = {
+      "browser", "campaign", "seed", "value", "domains", "engine_sightings",
+      "native_sightings", "embedded_sightings", "chained_sightings",
+      "max_chain_hops"};
+  if (population) {
+    header.insert(header.end(), {"cohort", "device", "cohort_weight"});
+  }
+  return RenderCsv(header, rows);
 }
 
 std::string RunManifestJson(const core::RunManifest& manifest) {

@@ -53,6 +53,23 @@ std::string FleetReportJson(const std::vector<core::FleetJobResult>& results);
 // contract as FleetReportJson: simulated time and counts only.
 std::string RunManifestJson(const core::RunManifest& manifest);
 
+// UID-smuggling report family (analysis/uid_smuggling.h) over a fleet
+// run: per result, the token-like parameter values observed at two or
+// more registrable domains, each sighting carrying resolvable flow
+// provenance (flow_id, visit, redirect-chain hop/predecessor/head).
+// Deterministic for a given result set — the differential harness
+// compares serial and parallel runs byte-for-byte on this output too.
+// Population runs add a per-entry "cohort" object and a root
+// "population" section of weighted per-(browser, campaign) aggregates;
+// default-cohort runs omit both.
+std::string UidSmugglingReportJson(
+    const std::vector<core::FleetJobResult>& results);
+
+// CSV twin: one row per finding (browser, campaign, seed, value,
+// domains, carrier/chain counts). Population runs gain cohort/device/
+// weight columns.
+std::string UidSmugglingCsv(const std::vector<core::FleetJobResult>& results);
+
 // Rolling-window report: answered entirely from the live incremental
 // FlowIndex (no flow store, no terminal batch pass) — request counts,
 // byte totals, distinct hosts/domains, the cumulative per-time-bucket

@@ -20,6 +20,18 @@ struct PerHost {
   std::set<std::string> sites;
 };
 
+// Third party = destination and referring page live on different
+// registrable domains (net::SameSite is exactly this equality). Both
+// analysis paths — the store scan and the indexed one — route through
+// this single predicate so they cannot drift on edge hosts (IP
+// literals, bare PSL suffixes, trailing-dot spellings): one side
+// compares domains interned by the FlowIndex, the other computes them
+// fresh, but the classification itself is shared.
+bool CrossSiteReferer(std::string_view dest_domain,
+                      std::string_view referer_domain) {
+  return dest_domain != referer_domain;
+}
+
 std::vector<RefererLeak> SortedLeaks(std::map<std::string, PerHost>& by_host) {
   std::vector<RefererLeak> leaks;
   for (auto& [host, entry] : by_host) {
@@ -48,8 +60,10 @@ RefererReport AnalyzeRefererLeakage(const proxy::FlowStore& engine_flows) {
     if (!referer) continue;
     auto referer_url = net::Url::Parse(*referer);
     if (!referer_url) continue;
-    // Third party = the destination is not same-site with the page.
-    if (net::SameSite(flow.Host(), referer_url->host())) continue;
+    if (!CrossSiteReferer(net::RegistrableDomain(flow.Host()),
+                          net::RegistrableDomain(referer_url->host()))) {
+      continue;
+    }
     ++report.leaking_requests;
     auto& entry = by_host[std::string(flow.Host())];
     ++entry.requests;
@@ -123,7 +137,7 @@ RefererReport AnalyzeRefererLeakage(const proxy::FlowStore& engine_flows,
     }
     if (!*last_info) continue;
     const FlowIndex::HostInfo& host = index.host(entry.host_id);
-    if (host.domain == (*last_info)->domain) continue;
+    if (!CrossSiteReferer(host.domain, (*last_info)->domain)) continue;
     ++report.leaking_requests;
     auto& leak = by_host_id[entry.host_id];
     ++leak.requests;

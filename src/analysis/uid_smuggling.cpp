@@ -1,0 +1,241 @@
+#include "analysis/uid_smuggling.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "analysis/flow_index.h"
+#include "util/multiscan.h"
+
+namespace panoptes::analysis {
+
+std::string_view UidCarrierName(UidCarrier carrier) {
+  switch (carrier) {
+    case UidCarrier::kEngine: return "engine";
+    case UidCarrier::kNative: return "native";
+  }
+  return "engine";
+}
+
+namespace {
+
+// A value can be a smuggled identifier when it looks like a token:
+// long enough to be distinctive, alphanumeric (plus -/_), and mixing
+// letters with digits — which keeps plain words, pure counters and
+// structured values (URLs, paths, JSON) out of the join.
+bool TokenLike(std::string_view value) {
+  if (value.size() < 8 || value.size() > 128) return false;
+  bool digit = false;
+  bool alpha = false;
+  for (char c : value) {
+    if (c >= '0' && c <= '9') {
+      digit = true;
+    } else if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+      alpha = true;
+    } else if (c != '-' && c != '_') {
+      return false;
+    }
+  }
+  return digit && alpha;
+}
+
+bool TextParam(FlowIndex::ParamSource source) {
+  return source == FlowIndex::ParamSource::kQuery ||
+         source == FlowIndex::ParamSource::kQueryBase64 ||
+         source == FlowIndex::ParamSource::kBodyJsonString;
+}
+
+struct RawSighting {
+  uint8_t side = 0;  // 0 = engine, 1 = native
+  uint32_t flow_id = 0;
+  uint32_t key_id = 0;
+  bool embedded = false;
+};
+
+}  // namespace
+
+UidSmugglingReport AnalyzeUidSmuggling(const proxy::FlowStore& engine_flows,
+                                       const FlowIndex& engine_index,
+                                       const proxy::FlowStore& native_flows,
+                                       const FlowIndex& native_index) {
+  UidSmugglingReport report;
+  const FlowIndex* indexes[2] = {&engine_index, &native_index};
+  const proxy::FlowStore* stores[2] = {&engine_flows, &native_flows};
+  // An index that doesn't describe its store can't resolve sightings
+  // back to flows; treat that side as empty rather than misattribute.
+  bool side_ok[2];
+  for (int side = 0; side < 2; ++side) {
+    side_ok[side] = indexes[side]->flow_count() == stores[side]->size();
+  }
+
+  for (int side = 0; side < 2; ++side) {
+    if (!side_ok[side]) continue;
+    for (const auto& flow : stores[side]->flows()) {
+      if (flow.redirect_hop > 0) ++report.flows_with_chains;
+    }
+  }
+
+  // Phase 1: exact equality join over the parameter pools. std::map
+  // keys the groups lexicographically, which fixes finding order
+  // before the popularity sort.
+  std::map<std::string_view, std::vector<RawSighting>> groups;
+  for (int side = 0; side < 2; ++side) {
+    if (!side_ok[side]) continue;
+    const FlowIndex& index = *indexes[side];
+    const auto& params = index.params();
+    const auto& entries = index.entries();
+    for (uint32_t f = 0; f < entries.size(); ++f) {
+      for (uint32_t p = entries[f].param_begin; p < entries[f].param_end;
+           ++p) {
+        const FlowIndex::Param& param = params[p];
+        if (!TextParam(param.source)) continue;
+        if (!TokenLike(param.value)) continue;
+        groups[param.value].push_back(
+            {static_cast<uint8_t>(side), f, param.key_id, false});
+      }
+    }
+  }
+  report.values_examined = groups.size();
+
+  // A value is confirmed when its exact sightings span two or more
+  // registrable domains — same-value-same-domain is just a site
+  // talking to itself.
+  struct Confirmed {
+    std::string_view value;
+    std::vector<RawSighting> sightings;
+  };
+  std::vector<Confirmed> confirmed;
+  for (auto& [value, sightings] : groups) {
+    std::set<std::string_view> domains;
+    for (const RawSighting& raw : sightings) {
+      const FlowIndex& index = *indexes[raw.side];
+      domains.insert(index.host(index.entries()[raw.flow_id].host_id).domain);
+    }
+    if (domains.size() >= 2) {
+      confirmed.push_back({value, std::move(sightings)});
+    }
+  }
+  if (confirmed.empty()) return report;
+
+  // Phase 2: containment widening. One multi-pattern pass over both
+  // pools catches carriers that ship a confirmed value inside a larger
+  // parameter value — a phone-home body quoting the decorated URL, a
+  // Base64-decoded URL report, a bounce hop's dest parameter.
+  {
+    std::vector<std::string> patterns;
+    patterns.reserve(confirmed.size());
+    for (const Confirmed& c : confirmed) patterns.emplace_back(c.value);
+    util::MultiScan scanner(std::move(patterns));
+    std::vector<uint32_t> hits;  // distinct pattern ids, per param
+    for (int side = 0; side < 2; ++side) {
+      if (!side_ok[side]) continue;
+      const FlowIndex& index = *indexes[side];
+      const auto& params = index.params();
+      const auto& entries = index.entries();
+      for (uint32_t f = 0; f < entries.size(); ++f) {
+        for (uint32_t p = entries[f].param_begin; p < entries[f].param_end;
+             ++p) {
+          const FlowIndex::Param& param = params[p];
+          if (!TextParam(param.source)) continue;
+          hits.clear();
+          scanner.Scan(param.value, [&](uint32_t id, size_t) {
+            if (std::find(hits.begin(), hits.end(), id) == hits.end()) {
+              hits.push_back(id);
+            }
+          });
+          std::sort(hits.begin(), hits.end());
+          for (uint32_t id : hits) {
+            // An occurrence filling the whole value is the exact match
+            // phase 1 already recorded.
+            if (confirmed[id].value.size() == param.value.size()) continue;
+            confirmed[id].sightings.push_back(
+                {static_cast<uint8_t>(side), f, param.key_id, true});
+          }
+        }
+      }
+    }
+  }
+
+  // uid → store ordinal, for the redirect-chain walks.
+  std::unordered_map<uint64_t, uint32_t> ordinals[2];
+  for (int side = 0; side < 2; ++side) {
+    if (!side_ok[side]) continue;
+    const auto& flows = stores[side]->flows();
+    ordinals[side].reserve(flows.size());
+    for (uint32_t i = 0; i < flows.size(); ++i) {
+      ordinals[side].emplace(flows[i].uid, i);
+    }
+  }
+  auto chain_head = [&](int side, uint64_t uid) -> uint64_t {
+    uint64_t cur = uid;
+    // Bounded walk: a chain longer than any the engine follows means a
+    // corrupt store; stop rather than loop.
+    for (int guard = 0; guard < 64; ++guard) {
+      auto it = ordinals[side].find(cur);
+      if (it == ordinals[side].end()) break;
+      uint64_t pred = stores[side]->flows()[it->second].redirect_of;
+      if (pred == 0) break;
+      cur = pred;
+    }
+    return cur;
+  };
+
+  report.findings.reserve(confirmed.size());
+  for (Confirmed& c : confirmed) {
+    UidSmugglingFinding finding;
+    finding.value = std::string(c.value);
+    std::set<std::string_view> domains;
+    bool first = true;
+    for (const RawSighting& raw : c.sightings) {
+      const FlowIndex& index = *indexes[raw.side];
+      const FlowIndex::FlowEntry& entry = index.entries()[raw.flow_id];
+      const proxy::FlowView& flow = stores[raw.side]->flows()[raw.flow_id];
+      const FlowIndex::HostInfo& host = index.host(entry.host_id);
+      UidSighting sighting;
+      sighting.flow_uid = entry.uid;
+      sighting.host = host.raw;
+      sighting.domain = host.domain;
+      sighting.key = index.key(raw.key_id);
+      sighting.carrier =
+          raw.side == 0 ? UidCarrier::kEngine : UidCarrier::kNative;
+      sighting.embedded = raw.embedded;
+      sighting.redirect_hop = flow.redirect_hop;
+      sighting.redirect_of = flow.redirect_of;
+      sighting.chain_head = flow.redirect_hop > 0
+                                ? chain_head(raw.side, entry.uid)
+                                : entry.uid;
+      domains.insert(host.domain);
+      if (sighting.carrier == UidCarrier::kEngine) {
+        ++finding.engine_sightings;
+      } else {
+        ++finding.native_sightings;
+      }
+      if (sighting.embedded) ++finding.embedded_sightings;
+      if (sighting.redirect_hop > 0) {
+        ++finding.chained_sightings;
+        finding.max_chain_hops =
+            std::max(finding.max_chain_hops, sighting.redirect_hop);
+      }
+      if (first || entry.time_millis < finding.first_seen_millis) {
+        finding.first_seen_millis = entry.time_millis;
+      }
+      if (first || entry.time_millis > finding.last_seen_millis) {
+        finding.last_seen_millis = entry.time_millis;
+      }
+      first = false;
+      finding.sightings.push_back(std::move(sighting));
+    }
+    finding.domains = domains.size();
+    report.findings.push_back(std::move(finding));
+  }
+  std::stable_sort(report.findings.begin(), report.findings.end(),
+                   [](const UidSmugglingFinding& a,
+                      const UidSmugglingFinding& b) {
+                     if (a.domains != b.domains) return a.domains > b.domains;
+                     return a.value < b.value;
+                   });
+  return report;
+}
+
+}  // namespace panoptes::analysis

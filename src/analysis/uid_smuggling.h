@@ -1,0 +1,96 @@
+// Cross-site identifier smuggling.
+//
+// The scenario layer (web/sitegen.h scenario knobs) decorates embeds
+// and bounces navigations so a per-site user identifier reaches many
+// registrable domains. This analyzer finds such identifiers from the
+// traffic alone: any token-like parameter value observed at two or
+// more registrable domains is a smuggled identifier candidate, and the
+// existing taint split says which carrier moved it — the web engine
+// (link decoration, bounce redirects) or the browser's native layer
+// (phone-home endpoints re-reporting the decorated URL).
+//
+// The join runs over the FlowIndex parameter pool — decoded query
+// pairs, their Base64-decoded twins and scalar JSON body members — so
+// a value hidden inside a Base64-encoded URL report or a JSON
+// phone-home body joins against the plain query-parameter sightings
+// without any re-decoding here. Confirmed values are then widened by a
+// single multi-pattern containment pass (util::MultiScan), catching
+// carriers that embed the whole decorated URL as one parameter value.
+// Each sighting resolves its redirect-chain provenance through the
+// store's redirect_of links back to the chain head.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "proxy/flowstore.h"
+
+namespace panoptes::analysis {
+
+class FlowIndex;
+
+// Which taint side of the capture carried the value.
+enum class UidCarrier { kEngine, kNative };
+
+std::string_view UidCarrierName(UidCarrier carrier);
+
+// One observation of a smuggled value in one flow's parameter.
+struct UidSighting {
+  uint64_t flow_uid = 0;     // provenance uid of the stored flow
+  std::string host;          // raw host spelling (first appearance)
+  std::string domain;        // registrable domain of that host
+  std::string key;           // parameter key that carried the value
+  UidCarrier carrier = UidCarrier::kEngine;
+  // True when the value was found inside a larger parameter value
+  // (containment widening), not as the exact parameter value.
+  bool embedded = false;
+  // Redirect-chain provenance of the sighting's flow: hop index within
+  // its navigation chain, the predecessor flow's uid (0 = chain head
+  // or untracked), and the uid of the chain's hop-0 flow, resolved by
+  // walking redirect_of links (equal to flow_uid when unchained).
+  uint32_t redirect_hop = 0;
+  uint64_t redirect_of = 0;
+  uint64_t chain_head = 0;
+};
+
+struct UidSmugglingFinding {
+  std::string value;               // the smuggled identifier
+  uint64_t domains = 0;            // distinct registrable domains
+  uint64_t engine_sightings = 0;
+  uint64_t native_sightings = 0;
+  uint64_t embedded_sightings = 0; // via containment widening
+  uint64_t chained_sightings = 0;  // on redirect-chain hops (hop > 0)
+  uint32_t max_chain_hops = 0;     // deepest hop observed carrying it
+  int64_t first_seen_millis = 0;
+  int64_t last_seen_millis = 0;
+  // Exact sightings first (engine store order, then native), then
+  // embedded ones in the same order. Deterministic for a given pair of
+  // (store, index) inputs.
+  std::vector<UidSighting> sightings;
+};
+
+struct UidSmugglingReport {
+  uint64_t values_examined = 0;    // distinct token-like values seen
+  uint64_t flows_with_chains = 0;  // flows on a redirect hop (hop > 0)
+  // Most-travelled first: distinct domains descending, value ascending.
+  std::vector<UidSmugglingFinding> findings;
+
+  uint64_t TotalSightings() const {
+    uint64_t total = 0;
+    for (const auto& finding : findings) total += finding.sightings.size();
+    return total;
+  }
+};
+
+// Joins token-like parameter values across both taint sides. Each
+// index must describe its store (entries aligned 1:1 with the store's
+// flows); a mismatched pair contributes nothing. Compact stores work:
+// the join only needs URLs (kept) and whatever bodies the store
+// retained.
+UidSmugglingReport AnalyzeUidSmuggling(const proxy::FlowStore& engine_flows,
+                                       const FlowIndex& engine_index,
+                                       const proxy::FlowStore& native_flows,
+                                       const FlowIndex& native_index);
+
+}  // namespace panoptes::analysis

@@ -65,13 +65,17 @@ BrowserContext::BrowserContext(const BrowserSpec* spec,
   }
 }
 
-device::SendOutcome BrowserContext::SendEngine(net::HttpRequest request) {
+device::SendOutcome BrowserContext::SendEngine(net::HttpRequest request,
+                                               uint64_t chain_id,
+                                               uint32_t redirect_hop) {
   request.headers.Set("User-Agent", spec_->user_agent);
   interceptor_->InterceptEngineRequest(request);
   device::SendContext send_ctx;
   send_ctx.app = app_;
   send_ctx.resolver = resolver_;
   send_ctx.wants_h3 = spec_->supports_h3;
+  send_ctx.chain_id = chain_id;
+  send_ctx.redirect_hop = redirect_hop;
   ++counters_.engine_requests;
   auto outcome = netstack_->Send(request, send_ctx);
   if (!outcome.ok) ++counters_.engine_failures;

@@ -35,7 +35,7 @@ WebEngine::WebEngine(BrowserContext* ctx)
 
 net::HttpRequest WebEngine::BuildRequest(const net::Url& url,
                                          const net::Url& referer,
-                                         bool incognito) {
+                                         bool incognito, bool is_document) {
   net::HttpRequest request;
   request.method = net::HttpMethod::kGet;
   request.url = url;
@@ -43,7 +43,6 @@ net::HttpRequest WebEngine::BuildRequest(const net::Url& url,
   // (content negotiation, client hints, fetch metadata); native app
   // pings are much terser. This asymmetry is why Fig 4's byte overhead
   // ranks browsers differently from Fig 2's request-count ratio.
-  bool is_document = referer.host().empty();
   request.headers.Set("Accept",
                       is_document
                           ? "text/html,application/xhtml+xml,application/"
@@ -82,14 +81,52 @@ void WebEngine::StoreCookies(const net::Url& url,
   }
 }
 
+namespace {
+
+bool IsRedirectStatus(int status) {
+  return status == 301 || status == 302 || status == 303 || status == 307 ||
+         status == 308;
+}
+
+}  // namespace
+
 PageLoadResult WebEngine::LoadPage(const net::Url& url, bool incognito) {
   PageLoadResult result;
   util::SimTime start = ctx_->clock().Now();
 
-  net::HttpRequest doc_request = BuildRequest(url, net::Url(), incognito);
-  ++result.requests_attempted;
-  auto doc = ctx_->SendEngine(doc_request);
-  result.bytes_sent += doc.request_bytes;
+  // Document fetch, following server redirects up to kMaxRedirectHops.
+  // Every hop of one navigation carries the same freshly minted chain
+  // token (plus its hop index), so the proxy's flow records link into
+  // one provenance chain. Server redirects of an address-bar
+  // navigation carry no Referer; cookies set by a redirecting response
+  // (the first-party bounce pattern) are stored before following it.
+  const uint64_t chain = ctx_->NextChainToken();
+  net::Url doc_url = url;
+  int hop = 0;
+  device::SendOutcome doc;
+  for (;;) {
+    net::HttpRequest doc_request =
+        BuildRequest(doc_url, net::Url(), incognito, /*is_document=*/true);
+    ++result.requests_attempted;
+    doc = ctx_->SendEngine(doc_request, chain, static_cast<uint32_t>(hop));
+    result.bytes_sent += doc.request_bytes;
+    if (!doc.ok) break;
+    auto location = doc.response.headers.Get("Location");
+    if (!IsRedirectStatus(doc.response.status) || !location) break;
+    if (hop >= kMaxRedirectHops ||
+        ctx_->clock().Now() - start >= kLoadTimeout) {
+      break;
+    }
+    auto next = net::Url::Parse(*location);
+    if (!next.has_value()) break;  // unresolvable hop: navigation fails
+    ++result.requests_succeeded;
+    result.bytes_received += doc.response_bytes;
+    StoreCookies(doc_url, doc.response, incognito);
+    doc_url = std::move(*next);
+    ++hop;
+  }
+  result.redirect_hops = hop;
+  result.final_url = doc_url;
   if (!doc.ok || doc.response.status != 200) {
     result.elapsed = ctx_->clock().Now() - start;
     return result;
@@ -97,16 +134,21 @@ PageLoadResult WebEngine::LoadPage(const net::Url& url, bool incognito) {
   ++result.requests_succeeded;
   result.ok = true;
   result.bytes_received += doc.response_bytes;
-  result.fetched.push_back(url);
-  StoreCookies(url, doc.response, incognito);
+  result.fetched.push_back(doc_url);
+  StoreCookies(doc_url, doc.response, incognito);
 
+  // Subresources belong to the committed (post-redirect) document:
+  // first-party checks, Referer and cookie scoping all key on where
+  // the navigation landed, not where it started.
   for (const auto& resource_url : ExtractResourceUrls(doc.response.body)) {
     if (ctx_->clock().Now() - start >= kLoadTimeout) break;
-    if (adblock_enabled_ && filter_.ShouldBlock(resource_url, url.host())) {
+    if (adblock_enabled_ &&
+        filter_.ShouldBlock(resource_url, doc_url.host())) {
       ++result.blocked_by_adblock;
       continue;
     }
-    net::HttpRequest request = BuildRequest(resource_url, url, incognito);
+    net::HttpRequest request =
+        BuildRequest(resource_url, doc_url, incognito, /*is_document=*/false);
     ++result.requests_attempted;
     auto outcome = ctx_->SendEngine(request);
     result.bytes_sent += outcome.request_bytes;

@@ -27,6 +27,10 @@ struct PageLoadResult {
   size_t bytes_received = 0;
   util::Duration elapsed;
   std::vector<net::Url> fetched;     // successfully fetched URLs
+  // Where the navigation committed: the requested URL, or — when the
+  // server answered 3xx — the end of the followed redirect chain.
+  net::Url final_url;
+  int redirect_hops = 0;             // redirects followed (0 = none)
 };
 
 class WebEngine {
@@ -36,16 +40,24 @@ class WebEngine {
 
   // Navigates to `url` (no address bar involved: the crawler drives
   // this through CDP Page.navigate / a Frida hook). `incognito`
-  // disables cookie persistence.
+  // disables cookie persistence. 3xx answers with a Location header
+  // are followed for up to kMaxRedirectHops hops; each document hop
+  // carries the navigation's chain token so the proxy links the hops
+  // into one provenance chain. Subresources load from the final
+  // (post-redirect) document.
   PageLoadResult LoadPage(const net::Url& url, bool incognito);
 
   // DOMContentLoaded deadline, after which the crawler gives up
   // (paper: 60 s).
   static constexpr util::Duration kLoadTimeout = util::Duration::Seconds(60);
 
+  // Redirect-hop bound, matching Chromium's net::URLRequest limit: a
+  // longer chain fails the navigation instead of looping forever.
+  static constexpr int kMaxRedirectHops = 20;
+
  private:
   net::HttpRequest BuildRequest(const net::Url& url, const net::Url& referer,
-                                bool incognito);
+                                bool incognito, bool is_document);
   void StoreCookies(const net::Url& url, const net::HttpResponse& response,
                     bool incognito);
 

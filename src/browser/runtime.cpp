@@ -43,8 +43,19 @@ NavigateOutcome BrowserRuntime::Navigate(const net::Url& url,
   }
   behavior_->OnNavigate(url, effective_incognito);
   outcome.page = engine_->LoadPage(url, effective_incognito);
+  // When the server redirected, the navigation committed somewhere
+  // else: the native layer observes the committed URL too (real
+  // browsers report history/sync/safe-browsing on the final URL), so
+  // behaviors fire again with it — which is exactly how a decorated
+  // post-bounce URL reaches native telemetry endpoints.
+  if (outcome.page.redirect_hops > 0 && outcome.page.ok &&
+      outcome.page.final_url != url) {
+    behavior_->OnNavigate(outcome.page.final_url, effective_incognito);
+  }
   if (outcome.page.dom_content_loaded) {
-    behavior_->OnPageLoaded(url, effective_incognito);
+    // dom_content_loaded implies the document committed, so final_url
+    // is where the page actually loaded.
+    behavior_->OnPageLoaded(outcome.page.final_url, effective_incognito);
   }
   return outcome;
 }

@@ -109,6 +109,10 @@ void MixFramework(FingerprintHasher& h, const FleetOptions& options) {
   h.Mix(fw.catalog.sitegen.sensitive_mean_resources);
   h.Mix(fw.catalog.sitegen.third_party_fraction);
   h.Mix(fw.catalog.sitegen.h3_fraction);
+  h.Mix(fw.catalog.sitegen.bounce_fraction);
+  h.Mix(fw.catalog.sitegen.decoration_fraction);
+  h.Mix(fw.catalog.sitegen.plain_http_fraction);
+  h.Mix(static_cast<int64_t>(fw.catalog.sitegen.max_bounce_hops));
   h.Mix(fw.latency.millis);
   h.Mix(fw.use_geo_latency);
   h.Mix(fw.block_quic);

@@ -53,7 +53,12 @@ inline constexpr std::string_view kMagic = "PANOSNAP";
 // and the cache can tell cohorts of the same browser×kind×shard
 // apart. A v5 snapshot replayed as v6 would silently claim the paper
 // testbed for a cohort job, so kMinReadableSchema rises with it.
-inline constexpr uint32_t kSchemaVersion = 6;
+// v7: redirect-chain provenance — flow stores serialize in the v5
+// record format (per-record redirect_of uid + hop index). The store
+// decoder still reads the v4 record tag, so kMinReadableSchema stays
+// at 6: a v6 snapshot replays with chain fields zeroed, which is
+// exactly what its run observed (no redirect scenarios existed).
+inline constexpr uint32_t kSchemaVersion = 7;
 inline constexpr uint32_t kMinReadableSchema = 6;
 
 // Serializes `result` (with `fingerprint` in the header) to the full

@@ -282,7 +282,12 @@ void StreamBuffer::SpillLive() {
   spilled_flows_ += live_->size();
   spilled_dropped_writes_ += live_->dropped_writes();
   segments_.push_back(std::move(segment));
+  // Hand the navigation-chain tails to the fresh live store so a
+  // redirect chain spanning the spill boundary resolves its
+  // predecessor uids exactly as the unbounded batch store would.
+  auto chain_tails = live_->TakeChainTails();
   live_ = NewLiveStore(next_base);
+  live_->SetChainTails(std::move(chain_tails));
   // Fresh store, fresh host pool: the cursor's store-id map is stale.
   cursor_.host_map.clear();
   cursor_.cache = {};

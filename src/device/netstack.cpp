@@ -167,6 +167,8 @@ SendOutcome NetworkStack::Send(const net::HttpRequest& request,
     meta.version = net::HttpVersion::kHttp11;
     meta.time = clock_->Now();
     meta.tls = https;
+    meta.chain_id = ctx.chain_id;
+    meta.redirect_hop = ctx.redirect_hop;
     outcome.response = diverter_->Forward(request, meta);
     outcome.ok = true;
     outcome.via_proxy = true;

@@ -78,6 +78,11 @@ struct SendContext {
   const InstalledApp* app = nullptr;  // UID + pins; required
   net::Resolver* resolver = nullptr;  // required
   bool wants_h3 = false;              // app supports HTTP/3
+  // Navigation-chain provenance for engine document requests, copied
+  // into the ConnectionMeta so the MITM proxy can record redirect
+  // chains without the request carrying extra bytes. Zero = untracked.
+  uint64_t chain_id = 0;
+  uint32_t redirect_hop = 0;
 };
 
 struct NetworkStackStats {

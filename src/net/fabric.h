@@ -38,6 +38,12 @@ struct ConnectionMeta {
   util::SimTime time;       // simulated send time
   bool via_proxy = false;   // true once the MITM has forwarded it
   bool tls = true;
+  // Navigation-chain provenance observed by the instrumentation on
+  // engine document requests (CDP navigation events, not wire bytes):
+  // a per-context navigation token plus the 0-based redirect hop
+  // index. Zero token = not a tracked document request.
+  uint64_t chain_id = 0;
+  uint32_t redirect_hop = 0;
 };
 
 // A remote HTTP endpoint.

@@ -67,6 +67,14 @@ HttpResponse HttpResponse::NotFound() {
   return Error(404, "not found");
 }
 
+HttpResponse HttpResponse::Redirect(std::string location, int status) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.headers.Set("Location", location);
+  resp.headers.Set("Content-Length", "0");
+  return resp;
+}
+
 HttpResponse HttpResponse::Error(int status, std::string_view reason) {
   HttpResponse resp;
   resp.status = status;
@@ -82,6 +90,9 @@ std::string_view StatusReason(int status) {
     case 204: return "No Content";
     case 301: return "Moved Permanently";
     case 302: return "Found";
+    case 303: return "See Other";
+    case 307: return "Temporary Redirect";
+    case 308: return "Permanent Redirect";
     case 400: return "Bad Request";
     case 403: return "Forbidden";
     case 404: return "Not Found";

@@ -48,6 +48,11 @@ struct HttpResponse {
   static HttpResponse Json(std::string body);
   static HttpResponse NotFound();
   static HttpResponse Error(int status, std::string_view reason);
+  // 3xx with a Location header and an empty body. `status` must be a
+  // redirect code (301/302/303/307/308); `location` should be an
+  // absolute URL — the engine's redirect follower does not resolve
+  // relative references.
+  static HttpResponse Redirect(std::string location, int status = 302);
 };
 
 std::string_view StatusReason(int status);

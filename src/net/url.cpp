@@ -22,13 +22,23 @@ std::optional<Url> Url::Parse(std::string_view text) {
 
   size_t colon = authority.rfind(':');
   if (colon != std::string_view::npos) {
-    auto port = util::ParseUint(authority.substr(colon + 1));
+    std::string_view digits = authority.substr(colon + 1);
+    auto port = util::ParseUint(digits);
     if (!port || *port == 0 || *port > 65535) return std::nullopt;
+    // ":080" would re-serialize as ":80", breaking parse∘serialize
+    // identity and letting one origin intern under two spellings.
+    if (digits.front() == '0') return std::nullopt;
     url.port_ = static_cast<uint16_t>(*port);
     authority = authority.substr(0, colon);
   }
   if (authority.empty()) return std::nullopt;
   url.host_ = util::ToLower(authority);
+  // A scheme-default port normalizes away entirely, so
+  // "https://a.com:443" and "https://a.com" are one origin — and one
+  // join key — everywhere downstream.
+  if (url.port_ && *url.port_ == (url.scheme_ == "https" ? 443 : 80)) {
+    url.port_.reset();
+  }
 
   if (authority_end == std::string_view::npos) return url;
   text.remove_prefix(authority_end);
@@ -155,6 +165,11 @@ std::optional<UrlView> UrlView::Parse(std::string_view text) {
     std::string_view digits = authority.substr(colon + 1);
     auto port = util::ParseUint(digits);
     if (!port || *port == 0 || *port > 65535) return std::nullopt;
+    // Url normalizes leading-zero digits and scheme-default ports away;
+    // text carrying either is not a serialization, so the view (which
+    // can only slice, not rewrite) rejects it.
+    if (digits.front() == '0') return std::nullopt;
+    if (*port == (scheme_end == 5 ? 443u : 80u)) return std::nullopt;
     view.port_len_ = static_cast<uint32_t>(digits.size());
     authority = authority.substr(0, colon);
   }

@@ -19,7 +19,10 @@ class Url {
   Url() = default;
 
   // Parses an absolute http(s) URL. Returns nullopt for other schemes,
-  // empty hosts, or invalid ports.
+  // empty hosts, or invalid ports (zero, > 65535, non-digits, leading
+  // zeros). A scheme-default port (":443" on https, ":80" on http)
+  // parses but normalizes away, so the default-port and portless
+  // spellings of an origin compare — and serialize — identically.
   static std::optional<Url> Parse(std::string_view text);
 
   // Convenience for literals that are known-valid; aborts on failure.
@@ -120,8 +123,8 @@ class UrlView {
   // Splits `text` without allocating. `text` must outlive the view.
   // Returns nullopt under exactly the conditions Url::Parse rejects,
   // plus inputs whose serialization would differ from `text` (an
-  // uppercase scheme/host or an empty path — Url normalizes those, a
-  // view cannot).
+  // uppercase scheme/host, an empty path, or an explicit scheme-default
+  // port — Url normalizes those, a view cannot).
   static std::optional<UrlView> Parse(std::string_view text);
 
   std::string_view text() const { return text_; }

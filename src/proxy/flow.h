@@ -50,6 +50,17 @@ struct Flow {
   // results; they are accounted in the run manifest instead.
   bool fault_injected = false;
 
+  // Navigation-chain provenance, observed out-of-band by the
+  // instrumentation (net::ConnectionMeta, not request bytes — wire
+  // sizes must not depend on whether chains are tracked). chain_id is
+  // the per-context navigation token (0 = not a document request);
+  // redirect_hop is the 0-based hop index within that navigation —
+  // hop 0 is the address-bar request, hop N>0 the Nth followed
+  // redirect. The store resolves these into a per-record
+  // `redirect_of` predecessor uid at ingest time.
+  uint64_t chain_id = 0;
+  uint32_t redirect_hop = 0;
+
   std::string Host() const { return url.host(); }
 };
 

@@ -25,6 +25,17 @@ constexpr uint8_t kV4Tag = 0xF4;
 // First byte of a relocatable arena image (DumpRelocatable). Spill
 // segments only — never a portable snapshot tag.
 constexpr uint8_t kRelocTag = 0xF5;
+// v5 appends redirect-chain provenance (redirect_of uid, hop index)
+// to each record. Writers always emit v5; readers accept v5/v4/v3
+// (older records fall back to "no chain") and legacy v2. 0xF5 is the
+// reloc tag, so v5 takes the next free byte.
+constexpr uint8_t kV5Tag = 0xF6;
+
+// Bound on the chain-tails map. Tokens are minted monotonically per
+// browser context and a chain is dead once its navigation finishes, so
+// evicting the smallest (oldest) token can only ever drop a finished
+// chain — 256 in-flight navigations is far beyond any campaign.
+constexpr size_t kMaxChainTails = 256;
 
 }  // namespace
 
@@ -52,10 +63,16 @@ void FlowStore::Add(Flow flow) {
   AddUncounted(flow);
   if (journal_ != nullptr) {
     const FlowView& rec = recs_.back();
-    journal_->Emit(flow.time.millis, "store", "flow_stored")
-        .U64Hex("flow", rec.uid)
-        .Num("proxy_id", flow.id)
-        .Str("host", flow.url.host());
+    auto event = journal_->Emit(flow.time.millis, "store", "flow_stored")
+                     .U64Hex("flow", rec.uid)
+                     .Num("proxy_id", flow.id)
+                     .Str("host", flow.url.host());
+    // Chain fields only on redirect hops, so journals of runs without
+    // redirect scenarios stay byte-identical to the pre-chain format.
+    if (rec.redirect_hop > 0) {
+      event.Num("hop", static_cast<uint64_t>(rec.redirect_hop))
+          .U64Hex("redirect_of", rec.redirect_of);
+    }
   }
 }
 
@@ -115,6 +132,24 @@ void FlowStore::StoreFlow(const Flow& flow, bool keep_headers_and_body) {
   rec.blocked = flow.blocked;
   rec.blocked_by = InternLabel(flow.blocked_by);
   rec.fault_injected = flow.fault_injected;
+
+  // Resolve the navigation-chain token into a predecessor uid: the
+  // last stored flow of the same chain is this hop's redirect source.
+  // Tails key on the token (minted fresh per navigation attempt), so a
+  // rolled-back attempt's stale tail is never consulted again, and a
+  // chain spanning a spill boundary resolves identically because the
+  // streaming buffer hands the tails to the fresh live store.
+  rec.redirect_hop = flow.redirect_hop;
+  if (flow.chain_id != 0) {
+    if (flow.redirect_hop > 0) {
+      auto it = chain_tails_.find(flow.chain_id);
+      if (it != chain_tails_.end()) rec.redirect_of = it->second;
+    }
+    chain_tails_[flow.chain_id] = rec.uid;
+    if (chain_tails_.size() > kMaxChainTails) {
+      chain_tails_.erase(chain_tails_.begin());
+    }
+  }
   recs_.push_back(rec);
 }
 
@@ -163,7 +198,7 @@ void FlowStore::Append(const FlowStore& other) {
 }
 
 void FlowStore::SerializeTo(util::BinWriter& out) const {
-  out.U8(kV4Tag);
+  out.U8(kV5Tag);
   out.Bool(compact_);
   out.U64(dropped_writes_);
 
@@ -221,6 +256,8 @@ void FlowStore::SerializeTo(util::BinWriter& out) const {
     recs.Bool(rec.blocked);
     recs.U32(LabelId(rec.blocked_by));
     recs.Bool(rec.fault_injected);
+    recs.U64(rec.redirect_of);
+    recs.U32(rec.redirect_hop);
   }
 
   out.U32(static_cast<uint32_t>(labels.size()));
@@ -257,7 +294,7 @@ std::unique_ptr<FlowStore> FlowStore::Deserialize(util::BinReader& in) {
     }
     return store;
   }
-  if (tag != kV3Tag && tag != kV4Tag) return nullptr;
+  if (tag != kV3Tag && tag != kV4Tag && tag != kV5Tag) return nullptr;
 
   auto store = std::make_unique<FlowStore>(in.Bool());
   store->dropped_writes_ = in.U64();
@@ -456,7 +493,8 @@ bool FlowStore::AppendRelocatable(util::BinReader& in) {
 }
 
 bool FlowStore::AppendRecordsV34(uint8_t tag, util::BinReader& in) {
-  const bool has_uid = tag == kV4Tag;
+  const bool has_uid = tag == kV4Tag || tag == kV5Tag;
+  const bool has_chain = tag == kV5Tag;
   const size_t mark = recs_.size();
   // On any failure the record vector is rewound to `mark`, so the
   // store holds either every record of the stream or none of them.
@@ -543,6 +581,10 @@ bool FlowStore::AppendRecordsV34(uint8_t tag, util::BinReader& in) {
     if (blocked_id >= labels.size()) return fail();
     rec.blocked_by = labels[blocked_id];
     rec.fault_injected = in.Bool();
+    if (has_chain) {
+      rec.redirect_of = in.U64();
+      rec.redirect_hop = in.U32();
+    }
     rec.host_id = InternHost(rec.url.host());
     // Straight into the vector: restored flows must not bump the
     // stored-flows counter (they were counted at first capture).

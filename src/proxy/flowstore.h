@@ -144,13 +144,27 @@ class FlowStore : public FlowSink {
   // already-arena'd payload bytes; nothing is re-copied).
   void Append(const FlowStore& other);
 
-  // Binary round trip for the job-snapshot format (schema v4 payload:
-  // v3 plus the per-record provenance uid).
+  // Navigation-chain tails: last stored document uid per chain token,
+  // consulted by StoreFlow to resolve each redirect hop's predecessor
+  // uid. A streaming buffer that seals its live store into a spill
+  // segment and starts a fresh one moves the tails over, so chains
+  // spanning a spill boundary resolve exactly as they would in the
+  // single unbounded batch store.
+  std::map<uint64_t, uint64_t> TakeChainTails() {
+    return std::move(chain_tails_);
+  }
+  void SetChainTails(std::map<uint64_t, uint64_t> tails) {
+    chain_tails_ = std::move(tails);
+  }
+
+  // Binary round trip for the job-snapshot format (schema v5 payload:
+  // v4 — v3 plus the per-record provenance uid — plus the per-record
+  // redirect-chain provenance: redirect_of uid and hop index).
   // Writes the compaction flag, the dropped-write count, the interned
   // name/label pools actually referenced by live flows (in first-
   // reference order, so a store that was truncated serializes exactly
   // like one that never held the discarded flows) and one payload blob
-  // plus fixed-width records. Deserialize recognizes the v4/v3 tag
+  // plus fixed-width records. Deserialize recognizes the v5/v4/v3 tag
   // bytes and reconstructs views over a single blob copy — the
   // near-zero-copy path — while first bytes 0/1 (the legacy leading
   // `compact` Bool) route v2 snapshots through the per-flow copy path. Returns nullptr
@@ -225,7 +239,7 @@ class FlowStore : public FlowSink {
   // Cross-store Append of one record (payload bytes re-arena'd here).
   void StoreRec(const FlowView& rec);
 
-  // Shared v3/v4 record-stream reader behind Deserialize and
+  // Shared v3/v4/v5 record-stream reader behind Deserialize and
   // AppendSerialized: appends into this store, all-or-nothing.
   bool AppendRecordsV34(uint8_t tag, util::BinReader& in);
 
@@ -243,6 +257,9 @@ class FlowStore : public FlowSink {
 
   util::Arena arena_;  // every string payload and HeaderView array
   std::vector<FlowView> recs_;
+
+  // chain token -> uid of the last stored flow in that chain.
+  std::map<uint64_t, uint64_t> chain_tails_;
 
   std::vector<HostEntry> hosts_;
   std::map<std::string_view, uint32_t> host_ids_;

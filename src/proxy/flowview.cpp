@@ -63,6 +63,9 @@ Flow FlowView::Materialize() const {
   flow.blocked = blocked;
   flow.blocked_by = std::string(blocked_by);
   flow.fault_injected = fault_injected;
+  // chain_id is an ingest-time token; only the resolved hop survives
+  // in the view, so the materialized flow carries the hop alone.
+  flow.redirect_hop = redirect_hop;
   return flow;
 }
 

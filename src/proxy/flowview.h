@@ -87,6 +87,15 @@ struct FlowView {
   std::string_view blocked_by;  // interned addon/rule label
   bool fault_injected = false;
 
+  // Redirect-chain provenance, resolved by FlowStore::StoreFlow from
+  // the flow's navigation-chain token: the uid of the predecessor
+  // document flow in the same chain (0 = chain start or not a document
+  // request) and the 0-based hop index within the navigation. Encoded
+  // in the v5 record format and preserved across Append/serialize
+  // round trips like `uid`.
+  uint64_t redirect_of = 0;
+  uint32_t redirect_hop = 0;
+
   // Id into the owning store's interned host pool (FlowStore::hosts()),
   // which carries the precomputed registrable domain per distinct host.
   uint32_t host_id = 0;

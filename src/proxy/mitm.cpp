@@ -67,6 +67,8 @@ net::HttpResponse MitmProxy::Forward(net::HttpRequest request,
   flow.request_bytes = request.WireSize();
   flow.server_ip = meta.server_ip;
   flow.version = meta.version;
+  flow.chain_id = meta.chain_id;
+  flow.redirect_hop = meta.redirect_hop;
 
   if (journal_ != nullptr) {
     journal_->Emit(flow.time.millis, "proxy", "flow_open")

@@ -47,6 +47,17 @@ struct Site {
   std::vector<Resource> resources;
   bool supports_h3 = false;
 
+  // Tracking-scenario overlay (all off unless the SiteGenOptions
+  // scenario knobs enable them; legacy generation never sets these).
+  bool plain_http = false;       // site served over http://, no TLS
+  bool bounce_tracking = false;  // landing 302s through tracker hops
+  bool link_decoration = false;  // ad/analytics embeds carry pan_uid
+  // Tracker hosts the first-party bounce walks through, in hop order.
+  std::vector<std::string> bounce_hosts;
+  // The user identifier the scenario smuggles cross-site (hex token);
+  // set whenever bounce_tracking or link_decoration is on.
+  std::string smuggle_uid;
+
   size_t ThirdPartyCount() const;
   size_t TotalBytes() const;  // document + all subresources
 };

@@ -96,6 +96,60 @@ ResourceType ThirdPartyType(const ThirdPartyService& service) {
   return ResourceType::kXhr;
 }
 
+// Salt separating the scenario-overlay rng stream from every other
+// HashString-derived stream in the codebase.
+constexpr uint64_t kScenarioSalt = 0x75696473636e726fULL;  // "uidscnro"
+
+// Applies the tracking-scenario overlay. Runs after the main
+// generation on a hostname-derived stream — never on the site rng — so
+// the legacy structure is byte-identical whether or not any scenario
+// knob is on, and one knob's outcome never re-deals another's roll
+// (every decision is drawn unconditionally, in fixed order).
+void ApplyScenarioOverlay(Site& site, const SiteGenOptions& options) {
+  if (options.bounce_fraction <= 0 && options.decoration_fraction <= 0 &&
+      options.plain_http_fraction <= 0) {
+    return;
+  }
+  util::Rng rng(util::HashString(site.hostname) ^ kScenarioSalt);
+  const bool plain = rng.NextBool(options.plain_http_fraction);
+  const bool bounce = rng.NextBool(options.bounce_fraction);
+  const bool decorate = rng.NextBool(options.decoration_fraction);
+  std::string uid = rng.NextHex(16);
+  const int max_hops = std::max(1, options.max_bounce_hops);
+  const int hops = static_cast<int>(rng.NextInRange(1, max_hops));
+
+  if (plain) {
+    site.plain_http = true;
+    site.landing_url = net::Url::MustParse(
+        "http://" + site.hostname + site.landing_url.RequestTarget());
+    for (auto& resource : site.resources) {
+      if (!resource.third_party) {
+        resource.url = net::Url::MustParse(
+            "http://" + resource.url.host() + resource.url.RequestTarget());
+      }
+    }
+  }
+  if (bounce || decorate) site.smuggle_uid = std::move(uid);
+  if (bounce) {
+    site.bounce_tracking = true;
+    auto trackers = ServicesOfKind(ThirdPartyKind::kAnalytics);
+    auto ads = ServicesOfKind(ThirdPartyKind::kAd);
+    trackers.insert(trackers.end(), ads.begin(), ads.end());
+    for (int i = 0; i < hops; ++i) {
+      site.bounce_hosts.push_back(
+          trackers[rng.NextBelow(trackers.size())].request_host);
+    }
+  }
+  if (decorate) {
+    site.link_decoration = true;
+    for (auto& resource : site.resources) {
+      if (resource.third_party && resource.ad_related) {
+        resource.url.AddQueryParam("pan_uid", site.smuggle_uid);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Site GenerateSite(std::string hostname, SiteCategory category, int rank,
@@ -141,6 +195,7 @@ Site GenerateSite(std::string hostname, SiteCategory category, int rank,
     resource.body_size = TypicalSize(resource.type, rng);
     site.resources.push_back(std::move(resource));
   }
+  ApplyScenarioOverlay(site, options);
   return site;
 }
 

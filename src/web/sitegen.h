@@ -24,6 +24,24 @@ struct SiteGenOptions {
   double third_party_fraction = 0.45;
   // Fraction of sites that deploy HTTP/3.
   double h3_fraction = 0.35;
+
+  // Tracking-scenario overlay knobs, all off by default. Scenario
+  // decisions draw from a hostname-derived rng stream applied AFTER
+  // the main generation, so enabling any of them leaves the legacy
+  // site structure (sizes, resources, rng stream) byte-identical.
+  //
+  // Fraction of sites whose landing page 302s through tracker hops
+  // before committing, decorated with the site's smuggle uid (the
+  // first-party bounce pattern).
+  double bounce_fraction = 0.0;
+  // Fraction of sites whose ad/analytics embeds carry the smuggle uid
+  // as a pan_uid query parameter (link decoration).
+  double decoration_fraction = 0.0;
+  // Fraction of sites served over plain http (no TLS). Exercises the
+  // Secure-cookie handling of OriginServer.
+  double plain_http_fraction = 0.0;
+  // Upper bound on tracker hops a bouncing site walks through (>= 1).
+  int max_bounce_hops = 2;
 };
 
 // Expands one site. `rng` should be forked per site from the catalog

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "analysis/flow_index.h"
 #include "browser/profiles.h"
 #include "core/campaign.h"
 #include "core/framework.h"
@@ -39,6 +40,54 @@ TEST(RefererLeakage, ClassifiesCrossSiteOnly) {
   EXPECT_EQ(report.leaks[0].requests, 2u);
   EXPECT_EQ(report.leaks[0].distinct_sites, 2u);
   EXPECT_NEAR(report.LeakFraction(), 0.4, 1e-12);
+}
+
+// The store-scan and indexed paths must classify identically on the
+// hosts where PSL helpers are easiest to get wrong: IP literals, bare
+// public-suffix hosts, trailing-dot spellings, single labels and
+// unknown TLDs. Differential: run both overloads on the same store and
+// compare the complete reports.
+TEST(RefererLeakage, StoreScanAndIndexedPathsAgreeOnEdgeHosts) {
+  proxy::FlowStore store;
+  // IP-literal destination, same and different referring IPs.
+  store.Add(EngineFlow("https://10.0.0.1/pixel", "https://10.0.0.1/"));
+  store.Add(EngineFlow("https://10.0.0.1/pixel", "https://10.0.0.2/"));
+  store.Add(EngineFlow("https://10.0.0.1/pixel", "https://site.com/"));
+  // Bare public-suffix hosts on both sides.
+  store.Add(EngineFlow("https://com/x", "https://com/"));
+  store.Add(EngineFlow("https://com/x", "https://a.com/"));
+  store.Add(EngineFlow("https://a.com/x", "https://com/"));
+  // Trailing-dot (FQDN) spellings against the dotless twin.
+  store.Add(EngineFlow("https://tracker.net./t", "https://site.net/"));
+  store.Add(EngineFlow("https://site.net./t", "https://www.site.net/"));
+  // Single labels and unknown TLDs.
+  store.Add(EngineFlow("https://localhost/x", "https://localhost/"));
+  store.Add(EngineFlow("https://localhost/x", "https://dev.localhost/"));
+  store.Add(EngineFlow("https://a.internal/x", "https://b.internal/"));
+  store.Add(EngineFlow("https://x.a.internal/x", "https://y.a.internal/"));
+  // Ordinary cross-site traffic so the leak list is non-trivial.
+  store.Add(EngineFlow("https://ads.example.net/bid", "https://shop.com/"));
+  store.Add(EngineFlow("https://ads.example.net/bid", "https://news.org/"));
+
+  auto legacy = AnalyzeRefererLeakage(store);
+  FlowIndex index = FlowIndex::Build(store);
+  auto indexed = AnalyzeRefererLeakage(store, index);
+
+  EXPECT_EQ(legacy.engine_requests, indexed.engine_requests);
+  EXPECT_EQ(legacy.leaking_requests, indexed.leaking_requests);
+  ASSERT_EQ(legacy.leaks.size(), indexed.leaks.size());
+  for (size_t i = 0; i < legacy.leaks.size(); ++i) {
+    EXPECT_EQ(legacy.leaks[i].third_party_host,
+              indexed.leaks[i].third_party_host) << i;
+    EXPECT_EQ(legacy.leaks[i].requests, indexed.leaks[i].requests) << i;
+    EXPECT_EQ(legacy.leaks[i].distinct_sites, indexed.leaks[i].distinct_sites)
+        << i;
+  }
+  // Spot-pin the semantics both paths must share: same-registrable-
+  // domain pairs (IP==IP, suffix==suffix, FQDN dot stripped by the PSL
+  // walk) are not leaks.
+  EXPECT_EQ(legacy.engine_requests, 14u);
+  EXPECT_EQ(legacy.leaking_requests, 9u);
 }
 
 TEST(RefererLeakage, EmptyStore) {

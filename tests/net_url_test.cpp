@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/rng.h"
+#include "util/strings.h"
 
 namespace panoptes::net {
 namespace {
@@ -54,6 +55,72 @@ TEST(Url, ParseRejectsInvalid) {
   EXPECT_FALSE(Url::Parse("https://host:0/").has_value());
   EXPECT_FALSE(Url::Parse("https://host:99999/").has_value());
   EXPECT_FALSE(Url::Parse("https://host:abc/").has_value());
+  // Leading-zero port digits re-serialize differently, breaking the
+  // parse∘serialize identity — rejected, not silently rewritten.
+  EXPECT_FALSE(Url::Parse("https://host:080/").has_value());
+  EXPECT_FALSE(Url::Parse("https://host:00443/").has_value());
+  EXPECT_FALSE(Url::Parse("https://host:01/").has_value());
+}
+
+// The same origin must never serialize two ways: an explicit
+// scheme-default port normalizes away at parse time.
+TEST(Url, DefaultPortNormalizesAway) {
+  auto with_port = Url::Parse("https://a.com:443/x?y=1");
+  auto without = Url::Parse("https://a.com/x?y=1");
+  ASSERT_TRUE(with_port.has_value());
+  ASSERT_TRUE(without.has_value());
+  EXPECT_EQ(*with_port, *without);
+  EXPECT_FALSE(with_port->has_explicit_port());
+  EXPECT_EQ(with_port->EffectivePort(), 443);
+  EXPECT_EQ(with_port->Origin(), "https://a.com");
+  EXPECT_EQ(with_port->Serialize(), "https://a.com/x?y=1");
+
+  auto http = Url::Parse("http://b.org:80/");
+  ASSERT_TRUE(http.has_value());
+  EXPECT_EQ(http->Origin(), "http://b.org");
+  EXPECT_EQ(http->Serialize(), "http://b.org/");
+
+  // Non-default ports survive untouched, cross-scheme defaults too.
+  EXPECT_EQ(Url::MustParse("https://a.com:8443/").Origin(),
+            "https://a.com:8443");
+  EXPECT_EQ(Url::MustParse("https://a.com:80/").Origin(), "https://a.com:80");
+  EXPECT_EQ(Url::MustParse("http://a.com:443/").Origin(), "http://a.com:443");
+}
+
+TEST(UrlView, RejectsNonCanonicalPortSpellings) {
+  // A UrlView slices its text verbatim, so text Url would rewrite is
+  // not a serialization and must not parse.
+  EXPECT_FALSE(UrlView::Parse("https://a.com:443/").has_value());
+  EXPECT_FALSE(UrlView::Parse("http://a.com:80/").has_value());
+  EXPECT_FALSE(UrlView::Parse("https://a.com:080/").has_value());
+  EXPECT_FALSE(UrlView::Parse("https://a.com:0443/").has_value());
+  // The cross-scheme defaults are ordinary explicit ports.
+  auto cross = UrlView::Parse("http://a.com:443/");
+  ASSERT_TRUE(cross.has_value());
+  EXPECT_EQ(cross->EffectivePort(), 443);
+  EXPECT_EQ(cross->Origin(), "http://a.com:443");
+  auto high = UrlView::Parse("https://a.com:8443/p");
+  ASSERT_TRUE(high.has_value());
+  EXPECT_EQ(high->Origin(), "https://a.com:8443");
+}
+
+// Url and UrlView agree on the origin string for every accepted text —
+// the property the cross-origin joins lean on.
+TEST(UrlView, OriginAgreesWithUrl) {
+  const char* cases[] = {
+      "https://a.com/",
+      "https://a.com:8443/x",
+      "http://a.com:443/x?q=1",
+      "http://b.org/deep/path#f",
+  };
+  for (const char* text : cases) {
+    auto url = Url::Parse(text);
+    auto view = UrlView::Parse(text);
+    ASSERT_TRUE(url.has_value()) << text;
+    ASSERT_TRUE(view.has_value()) << text;
+    EXPECT_EQ(url->Origin(), view->Origin()) << text;
+    EXPECT_EQ(url->Serialize(), view->Serialize()) << text;
+  }
 }
 
 TEST(Url, RequestTarget) {
@@ -105,6 +172,50 @@ TEST(Url, EncodeQueryHelper) {
   EXPECT_EQ(EncodeQuery({}), "");
 }
 
+// Link decoration makes degenerate query shapes common (trackers
+// append params mechanically), so the raw split must be pinned.
+TEST(Url, ForEachQueryParamRawEdgeCases) {
+  auto split = [](std::string_view query) {
+    std::vector<std::pair<std::string, std::string>> out;
+    ForEachQueryParamRaw(query, [&](std::string_view k, std::string_view v) {
+      out.emplace_back(std::string(k), std::string(v));
+    });
+    return out;
+  };
+  using Pairs = std::vector<std::pair<std::string, std::string>>;
+
+  // Empty name before '=': one pair with empty key.
+  EXPECT_EQ(split("=v"), (Pairs{{"", "v"}}));
+  // Bare key (no '='): empty value.
+  EXPECT_EQ(split("key"), (Pairs{{"key", ""}}));
+  // Trailing '&' and doubled '&&': empty pieces are skipped.
+  EXPECT_EQ(split("a=1&"), (Pairs{{"a", "1"}}));
+  EXPECT_EQ(split("a=1&&b=2"), (Pairs{{"a", "1"}, {"b", "2"}}));
+  EXPECT_EQ(split("&a=1"), (Pairs{{"a", "1"}}));
+  EXPECT_EQ(split("&&&"), Pairs{});
+  EXPECT_EQ(split(""), Pairs{});
+  // Value containing '=': split at the first only.
+  EXPECT_EQ(split("a=b=c"), (Pairs{{"a", "b=c"}}));
+  // Lone '=' piece: both sides empty.
+  EXPECT_EQ(split("="), (Pairs{{"", ""}}));
+
+  // Pin the raw split against the decode path: same pieces, in order,
+  // for every edge shape above plus percent-encoded mixtures.
+  const char* queries[] = {
+      "=v", "key", "a=1&", "a=1&&b=2", "&a=1", "&&&", "", "a=b=c", "=",
+      "a=%3D&=x&&b", "pan_uid=abc123&dest=https%3A%2F%2Fs.com%2F&",
+  };
+  for (const char* q : queries) {
+    auto raw = split(q);
+    auto decoded = DecodeQueryParams(q);
+    ASSERT_EQ(raw.size(), decoded.size()) << q;
+    for (size_t i = 0; i < raw.size(); ++i) {
+      EXPECT_EQ(util::PercentDecode(raw[i].first), decoded[i].first) << q;
+      EXPECT_EQ(util::PercentDecode(raw[i].second), decoded[i].second) << q;
+    }
+  }
+}
+
 // Property: parse∘serialize is the identity over generated URLs.
 class UrlRoundTrip : public ::testing::TestWithParam<int> {};
 
@@ -112,7 +223,11 @@ TEST_P(UrlRoundTrip, Holds) {
   util::Rng rng(static_cast<uint64_t>(GetParam()));
   std::string text = "https://";
   text += rng.NextToken(8) + "." + rng.NextToken(4) + ".com";
-  if (rng.NextBool(0.3)) text += ":" + std::to_string(rng.NextInRange(1, 65535));
+  uint64_t port = 0;
+  if (rng.NextBool(0.3)) {
+    port = rng.NextInRange(1, 65535);
+    text += ":" + std::to_string(port);
+  }
   int segments = static_cast<int>(rng.NextBelow(4));
   for (int i = 0; i < segments; ++i) text += "/" + rng.NextToken(6);
   if (segments == 0) text += "/";
@@ -124,7 +239,22 @@ TEST_P(UrlRoundTrip, Holds) {
 
   auto url = Url::Parse(text);
   ASSERT_TRUE(url.has_value()) << text;
-  EXPECT_EQ(url->Serialize(), text);
+  // Value identity always holds; text identity holds except when the
+  // random port happened to be the scheme default, which normalizes
+  // away (and must still round-trip as a value).
+  EXPECT_EQ(Url::Parse(url->Serialize()), url) << text;
+  EXPECT_EQ(url->has_explicit_port(), port != 0 && port != 443) << text;
+  EXPECT_EQ(url->EffectivePort(), port == 0 ? 443 : port) << text;
+  if (port != 443) EXPECT_EQ(url->Serialize(), text);
+  // Serialize is a fixed point: the canonical spelling re-parses to
+  // itself byte for byte.
+  EXPECT_EQ(Url::Parse(url->Serialize())->Serialize(), url->Serialize());
+  // And the view accepts exactly the canonical spelling. The view
+  // borrows, so the serialized text must outlive it.
+  std::string canonical = url->Serialize();
+  auto view = UrlView::Parse(canonical);
+  ASSERT_TRUE(view.has_value()) << canonical;
+  EXPECT_EQ(view->Origin(), url->Origin());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UrlRoundTrip, ::testing::Range(0, 50));
